@@ -1,0 +1,37 @@
+//! Random-forest training and prediction throughput on trace-shaped data.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use richnote_forest::dataset::Dataset;
+use richnote_forest::forest::{RandomForest, RandomForestConfig};
+use richnote_trace::generator::{classifier_rows, TraceConfig, TraceGenerator};
+
+fn training_data() -> Dataset {
+    let trace = TraceGenerator::new(TraceConfig {
+        n_users: 150,
+        days: 3,
+        ..TraceConfig::default()
+    })
+    .generate();
+    let (rows, labels) = classifier_rows(&trace.items);
+    Dataset::new(rows, labels).expect("trace produces rows")
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = training_data();
+    let cfg = RandomForestConfig { n_trees: 20, ..RandomForestConfig::default() };
+    c.bench_function("forest_fit_20_trees", |b| {
+        b.iter(|| RandomForest::fit(black_box(&data), &cfg, 7))
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let data = training_data();
+    let forest = RandomForest::fit(&data, &RandomForestConfig::default(), 7);
+    let row: Vec<f64> = data.row(0).to_vec();
+    c.bench_function("forest_predict_proba", |b| {
+        b.iter(|| forest.predict_proba(black_box(&row)))
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! One full RichNote scheduler round (enqueue + adjusted utilities + MCKP +
+//! delivery bookkeeping) at several backlog sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use richnote_core::content::{ContentFeatures, ContentItem, ContentKind, Interaction};
+use richnote_core::ids::{AlbumId, ArtistId, ContentId, TrackId, UserId};
+use richnote_core::presentation::AudioPresentationSpec;
+use richnote_core::scheduler::{
+    LinearCost, NotificationScheduler, QueuedNotification, RichNoteScheduler, RoundContext,
+};
+
+fn notification(id: u64) -> QueuedNotification {
+    QueuedNotification {
+        item: ContentItem {
+            id: ContentId::new(id),
+            recipient: UserId::new(1),
+            sender: None,
+            kind: ContentKind::FriendFeed,
+            track: TrackId::new(id),
+            album: AlbumId::new(id),
+            artist: ArtistId::new(id),
+            arrival: 0.0,
+            track_secs: 276.0,
+            features: ContentFeatures::default(),
+            interaction: Interaction::Hovered,
+        },
+        ladder: AudioPresentationSpec::paper_default().ladder(),
+        content_utility: 0.1 + 0.8 * ((id * 37) % 101) as f64 / 101.0,
+        enqueued_at: 0.0,
+    }
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("richnote_round");
+    let cost = LinearCost { fixed: 3.5, per_byte: 2.5e-5 };
+    for backlog in [10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(backlog), &backlog, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut s = RichNoteScheduler::with_defaults();
+                    for i in 0..n as u64 {
+                        s.enqueue(notification(i));
+                    }
+                    s
+                },
+                |mut s| {
+                    let ctx = RoundContext {
+                        round: 0,
+                        now: 3_600.0,
+                        round_secs: 3_600.0,
+                        online: true,
+                        link_capacity: u64::MAX,
+                        data_grant: (n as u64) * 50_000,
+                        energy_grant: 3_000.0,
+                        cost: &cost,
+                    };
+                    black_box(s.run_round(&ctx))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

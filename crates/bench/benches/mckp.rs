@@ -1,0 +1,90 @@
+//! MCKP kernel benchmarks: the paper's greedy `SelectPresentations`
+//! (Algorithm 1, `O(n + K log n)`) vs the fractional relaxation and the
+//! exact DP, plus the greedy's scaling in the number of queued items.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use richnote_bench::mckp_fixture;
+use richnote_core::mckp::{
+    select_exact, select_fractional, select_greedy, select_greedy_with, GreedyOptions,
+};
+use richnote_core::mckp2::{select_greedy2, EnergyProfile};
+
+fn bench_greedy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mckp_greedy_scaling");
+    for n in [10usize, 100, 1_000, 10_000] {
+        let items = mckp_fixture(n);
+        // Budget sized so roughly half the demand fits.
+        let budget = (n as u64) * 400_000;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &items, |b, items| {
+            b.iter(|| select_greedy(black_box(items), black_box(budget)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mckp_solvers");
+    let items = mckp_fixture(200);
+    let budget = 40_000_000u64;
+    group.bench_function("greedy_paper", |b| {
+        b.iter(|| select_greedy(black_box(&items), black_box(budget)))
+    });
+    group.bench_function("greedy_continue", |b| {
+        b.iter(|| {
+            select_greedy_with(
+                black_box(&items),
+                black_box(budget),
+                GreedyOptions { stop_at_first_overflow: false, ..Default::default() },
+            )
+        })
+    });
+    group.bench_function("fractional", |b| {
+        b.iter(|| select_fractional(black_box(&items), black_box(budget)))
+    });
+    // The two-constraint (data + energy) variant of Eq. 2.
+    let energy: Vec<EnergyProfile> = items
+        .iter()
+        .map(|it| {
+            EnergyProfile::from_item(it, |s| if s == 0 { 0.0 } else { 3.5 + s as f64 * 2.5e-5 })
+        })
+        .collect();
+    group.bench_function("greedy_two_constraint", |b| {
+        b.iter(|| {
+            select_greedy2(
+                black_box(&items),
+                black_box(&energy),
+                black_box(budget),
+                black_box(5_000.0),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_exact_small(c: &mut Criterion) {
+    // The DP is O(n · budget); keep it tiny.
+    let mut items = mckp_fixture(12);
+    // Rescale sizes down so the DP table stays small.
+    items = items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let levels: Vec<(u64, f64)> = item
+                .levels()
+                .iter()
+                .skip(1)
+                .enumerate()
+                // Offset by the level index so the scaled-down metadata
+                // level keeps a nonzero, strictly increasing size.
+                .map(|(lvl, &(s, u))| (s / 10_000 + lvl as u64 + 1, u))
+                .collect();
+            richnote_core::mckp::MckpItem::new(i, levels)
+        })
+        .collect();
+    c.bench_function("mckp_exact_dp_small", |b| {
+        b.iter(|| select_exact(black_box(&items), black_box(500)))
+    });
+}
+
+criterion_group!(benches, bench_greedy_scaling, bench_solver_comparison, bench_exact_small);
+criterion_main!(benches);

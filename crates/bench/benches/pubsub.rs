@@ -1,0 +1,69 @@
+//! Pub/sub matching throughput: publications fanned out to subscribers
+//! under real-time and batch modes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use richnote_core::ids::UserId;
+use richnote_pubsub::broker::{Broker, DeliveryMode};
+use richnote_pubsub::topic::{Publication, Topic};
+
+fn subscribed_broker(subscribers: usize, realtime: bool) -> Broker<u64> {
+    let mut b = Broker::new();
+    let topic = Topic::FriendFeed(UserId::new(0));
+    for u in 0..subscribers as u64 {
+        let mode = if realtime {
+            DeliveryMode::Realtime
+        } else {
+            DeliveryMode::Rounds { round_secs: 3_600.0 }
+        };
+        b.subscribe_with_mode(UserId::new(u + 1), topic, mode);
+    }
+    b
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pubsub_publish");
+    for subs in [10usize, 100, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("realtime", subs),
+            &subs,
+            |bench, &subs| {
+                let broker = subscribed_broker(subs, true);
+                bench.iter_batched(
+                    || broker.clone(),
+                    |mut b| {
+                        black_box(b.publish(Publication::new(
+                            Topic::FriendFeed(UserId::new(0)),
+                            7,
+                            0.0,
+                        )))
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_flush(c: &mut Criterion) {
+    c.bench_function("pubsub_flush_1000_buffered", |b| {
+        b.iter_batched(
+            || {
+                let mut broker = subscribed_broker(100, false);
+                for i in 0..10 {
+                    broker.publish(Publication::new(
+                        Topic::FriendFeed(UserId::new(0)),
+                        i,
+                        0.0,
+                    ));
+                }
+                broker
+            },
+            |mut broker| black_box(broker.flush(3_600.0)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_publish, bench_flush);
+criterion_main!(benches);

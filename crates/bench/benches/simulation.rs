@@ -1,0 +1,66 @@
+//! End-to-end simulation benchmarks: a full 168-round week for one user
+//! and a small population, per policy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use richnote_sim::simulator::{constant_utility, PolicyKind, PopulationSim, SimulationConfig};
+use richnote_trace::generator::{Trace, TraceConfig, TraceGenerator};
+use std::sync::Arc;
+
+fn trace() -> Arc<Trace> {
+    Arc::new(
+        TraceGenerator::new(TraceConfig {
+            n_users: 60,
+            days: 7,
+            mean_notifications_per_user_day: 30.0,
+            ..TraceConfig::default()
+        })
+        .generate(),
+    )
+}
+
+fn bench_week(c: &mut Criterion) {
+    let trace = trace();
+    let users = trace.top_users(20);
+    let mut group = c.benchmark_group("simulate_week_20_users");
+    group.sample_size(10);
+    for policy in [
+        PolicyKind::richnote_default(),
+        PolicyKind::Fifo { level: 3 },
+        PolicyKind::Util { level: 3 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &policy| {
+                let sim = PopulationSim::new(
+                    trace.clone(),
+                    constant_utility(0.6),
+                    SimulationConfig::weekly(policy, 20),
+                );
+                b.iter(|| black_box(sim.run(&users)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    use richnote_sim::events::EventQueue;
+    c.bench_function("event_queue_10k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Pseudo-shuffled times in increasing-safe order.
+                q.schedule(((i * 2_654_435_761) % 1_000_000) as f64, i);
+            }
+            let mut sum = 0u64;
+            while let Some(s) = q.pop() {
+                sum = sum.wrapping_add(s.event);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+criterion_group!(benches, bench_week, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Trace-generation throughput: social graph, catalog and per-user
+//! notification streams.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use richnote_trace::generator::{TraceConfig, TraceGenerator};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generate");
+    group.sample_size(10);
+    for n_users in [100usize, 500] {
+        let cfg = TraceConfig { n_users, days: 7, ..TraceConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(n_users), &cfg, |b, cfg| {
+            b.iter(|| TraceGenerator::new(*black_box(cfg)).generate())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate);
+criterion_main!(benches);

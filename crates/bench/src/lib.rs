@@ -1,0 +1,41 @@
+//! # richnote-bench
+//!
+//! Benchmarks and the `repro` harness for the RichNote reproduction.
+//!
+//! * `src/bin/repro.rs` — regenerates every table and figure of the paper's
+//!   evaluation (`cargo run -p richnote-bench --release --bin repro -- all`).
+//! * `benches/` — Criterion micro-benchmarks of the algorithmic kernels:
+//!   MCKP selection, Lyapunov rounds, random-forest training/prediction,
+//!   trace generation, pub/sub matching and the full single-user
+//!   simulation.
+//!
+//! This library crate only exposes shared fixture helpers for the benches.
+
+use richnote_core::mckp::MckpItem;
+use richnote_core::presentation::AudioPresentationSpec;
+
+/// Builds `n` MCKP items over the paper ladder with deterministic,
+/// spread-out content utilities — the standard bench fixture.
+pub fn mckp_fixture(n: usize) -> Vec<MckpItem> {
+    let ladder = AudioPresentationSpec::paper_default().ladder();
+    (0..n)
+        .map(|i| {
+            let uc = 0.1 + 0.8 * ((i * 37) % 101) as f64 / 101.0;
+            MckpItem::from_ladder(i, &ladder, uc)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_produces_varied_items() {
+        let items = mckp_fixture(50);
+        assert_eq!(items.len(), 50);
+        let first_util = items[0].levels()[1].1;
+        let second_util = items[1].levels()[1].1;
+        assert_ne!(first_util, second_util);
+    }
+}

@@ -1,0 +1,288 @@
+//! Crowdsourced presentation-utility surveys — the paper's future-work
+//! suggestion made concrete.
+//!
+//! Sec. V-B closes with: "These surveys, though limited in scale, give
+//! useful insights ... A wide scale survey through crowdsourcing can give
+//! better results." This module models exactly that: a heterogeneous crowd
+//! of raters with per-rater bias and noise (as crowdsourcing platforms
+//! exhibit), robust aggregation of their responses, and the machinery to
+//! measure how fit quality improves with crowd size — quantifying how much
+//! "better" the wide-scale survey actually gets.
+
+use crate::error::SurveyFitError;
+use crate::paper;
+use crate::survey::{empirical_utility, fit_logarithmic, StopResponse};
+use crate::utility::DurationUtility;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A simulated crowd rater: systematic bias plus idiosyncratic noise, and
+/// a small probability of being a *spammer* who answers uniformly at
+/// random — the standard contamination model for crowdsourcing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RaterProfile {
+    /// Multiplicative bias on the rater's stop duration (patient raters
+    /// > 1, impatient < 1).
+    pub bias: f64,
+    /// Relative magnitude of the rater's per-response noise.
+    pub noise: f64,
+    /// Whether the rater is a spammer.
+    pub spammer: bool,
+}
+
+/// Crowd composition parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowdConfig {
+    /// Standard deviation of the log-bias across raters.
+    pub bias_spread: f64,
+    /// Mean per-response noise.
+    pub response_noise: f64,
+    /// Fraction of spammers in the crowd.
+    pub spammer_rate: f64,
+    /// Responses collected per rater.
+    pub responses_per_rater: usize,
+}
+
+impl Default for CrowdConfig {
+    fn default() -> Self {
+        Self {
+            // Rater bias flattens the observed stop-duration CDF and puts a
+            // *floor* under the fit error that no crowd size removes — the
+            // quantitative caveat to the paper's "crowdsourcing can give
+            // better results" conjecture. The default keeps the bias small
+            // so variance (which crowd size does fix) dominates.
+            bias_spread: 0.08,
+            response_noise: 0.25,
+            spammer_rate: 0.05,
+            responses_per_rater: 3,
+        }
+    }
+}
+
+/// Draws a crowd of `n` rater profiles.
+pub fn sample_crowd<R: Rng>(rng: &mut R, n: usize, cfg: &CrowdConfig) -> Vec<RaterProfile> {
+    (0..n)
+        .map(|_| {
+            let z: f64 = {
+                // Box–Muller standard normal.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            RaterProfile {
+                bias: (cfg.bias_spread * z).exp(),
+                noise: cfg.response_noise * rng.gen_range(0.5..1.5),
+                spammer: rng.gen_bool(cfg.spammer_rate.clamp(0.0, 1.0)),
+            }
+        })
+        .collect()
+}
+
+/// Collects stop-duration responses from a crowd. Honest raters invert the
+/// ground-truth logarithmic curve (Eq. 8) at a personal quantile with bias
+/// and noise; spammers answer uniformly in `(0, 60]` seconds.
+pub fn collect_responses<R: Rng>(
+    rng: &mut R,
+    crowd: &[RaterProfile],
+    cfg: &CrowdConfig,
+) -> Vec<StopResponse> {
+    let (a, b) = (paper::LOG_UTILITY_A, paper::LOG_UTILITY_B);
+    let mut responses = Vec::with_capacity(crowd.len() * cfg.responses_per_rater);
+    for rater in crowd {
+        for _ in 0..cfg.responses_per_rater {
+            let stop = if rater.spammer {
+                rng.gen_range(0.5..60.0)
+            } else {
+                let u: f64 = rng.gen_range(0.0..1.0);
+                let d = ((u - a) / b).exp() - 1.0;
+                let jitter = 1.0 + rater.noise * rng.gen_range(-1.0..1.0);
+                (d * rater.bias * jitter).clamp(0.5, paper::SURVEY_MEAN_TRACK_SECS)
+            };
+            responses.push(StopResponse { stop_secs: stop });
+        }
+    }
+    responses
+}
+
+/// Trims the fastest and slowest `trim_fraction` of stop durations.
+///
+/// Note the statistical caveat: trimming is the right defense for *mean*
+/// aggregation, but the survey pipeline fits the empirical **CDF**, where
+/// removing tail mass rescales every quantile — so aggressive trimming can
+/// *hurt* the fit. The CDF estimator is already fairly robust to uniform
+/// spam (a bounded mixture component); see the crate tests for the
+/// measured behaviour.
+///
+/// # Panics
+///
+/// Panics if `trim_fraction` is not within `[0, 0.5)`.
+pub fn trim_responses(mut responses: Vec<StopResponse>, trim_fraction: f64) -> Vec<StopResponse> {
+    assert!(
+        (0.0..0.5).contains(&trim_fraction),
+        "trim fraction must be in [0, 0.5)"
+    );
+    responses.sort_by(|x, y| x.stop_secs.total_cmp(&y.stop_secs));
+    let n = responses.len();
+    let cut = (n as f64 * trim_fraction) as usize;
+    responses.into_iter().skip(cut).take(n - 2 * cut.min(n / 2)).collect()
+}
+
+/// One point of the crowd-size study: fit error against the ground truth
+/// at a given crowd size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowdSizePoint {
+    /// Number of raters.
+    pub raters: usize,
+    /// Total responses used after trimming.
+    pub responses: usize,
+    /// Absolute error of the fitted intercept vs Eq. 8's `a`.
+    pub err_a: f64,
+    /// Absolute error of the fitted slope vs Eq. 8's `b`.
+    pub err_b: f64,
+}
+
+/// Runs the crowd-size study: for each size, sample a crowd, collect and
+/// trim responses, fit Eq. 8 and record the coefficient errors.
+///
+/// # Errors
+///
+/// Propagates [`SurveyFitError`] if a fit degenerates (cannot happen for
+/// sizes ≥ 2 with the default grid).
+pub fn crowd_size_study<R: Rng>(
+    rng: &mut R,
+    sizes: &[usize],
+    cfg: &CrowdConfig,
+    trim_fraction: f64,
+) -> Result<Vec<CrowdSizePoint>, SurveyFitError> {
+    let grid: Vec<f64> = (1..=9).map(|i| i as f64 * 5.0).collect();
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let crowd = sample_crowd(rng, n, cfg);
+        let responses = trim_responses(collect_responses(rng, &crowd, cfg), trim_fraction);
+        let points = empirical_utility(&responses, &grid);
+        let fitted = fit_logarithmic(&points)?;
+        let (err_a, err_b) = match fitted {
+            DurationUtility::Logarithmic { a, b } => (
+                (a - paper::LOG_UTILITY_A).abs(),
+                (b - paper::LOG_UTILITY_B).abs(),
+            ),
+            _ => unreachable!("fit_logarithmic returns the logarithmic variant"),
+        };
+        out.push(CrowdSizePoint { raters: n, responses: responses.len(), err_a, err_b });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn crowd_has_configured_composition() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = CrowdConfig { spammer_rate: 0.2, ..CrowdConfig::default() };
+        let crowd = sample_crowd(&mut rng, 5_000, &cfg);
+        let spammers = crowd.iter().filter(|r| r.spammer).count();
+        let rate = spammers as f64 / crowd.len() as f64;
+        assert!((rate - 0.2).abs() < 0.03, "spammer rate {rate}");
+        // Biases center on 1 in log space.
+        let mean_log_bias: f64 =
+            crowd.iter().map(|r| r.bias.ln()).sum::<f64>() / crowd.len() as f64;
+        assert!(mean_log_bias.abs() < 0.05, "mean log bias {mean_log_bias}");
+    }
+
+    #[test]
+    fn trimming_removes_extremes() {
+        let responses: Vec<StopResponse> = (1..=100)
+            .map(|i| StopResponse { stop_secs: i as f64 })
+            .collect();
+        let trimmed = trim_responses(responses, 0.1);
+        assert_eq!(trimmed.len(), 80);
+        assert!(trimmed.first().unwrap().stop_secs >= 11.0);
+        assert!(trimmed.last().unwrap().stop_secs <= 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim fraction")]
+    fn bad_trim_fraction_panics() {
+        let _ = trim_responses(vec![], 0.5);
+    }
+
+    #[test]
+    fn larger_crowds_fit_better() {
+        // The paper's conjecture: wide-scale crowdsourcing improves the
+        // fit. Slope error at 5000 raters must beat 80 raters (the paper's
+        // in-house survey size), averaged over a few repetitions.
+        let cfg = CrowdConfig::default();
+        let mut small_err = 0.0;
+        let mut large_err = 0.0;
+        for seed in 0..5 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let pts = crowd_size_study(&mut rng, &[80, 5_000], &cfg, 0.0).unwrap();
+            small_err += pts[0].err_b;
+            large_err += pts[1].err_b;
+        }
+        assert!(
+            large_err < small_err,
+            "5000-rater slope error {large_err} must beat 80-rater {small_err}"
+        );
+    }
+
+    #[test]
+    fn trimming_distorts_cdf_fits() {
+        // Regression-documenting test: tail-trimming before *CDF* fitting
+        // rescales every quantile and badly biases the slope — the reason
+        // crowd_size_study defaults to no trimming and the docs warn
+        // against it.
+        let cfg = CrowdConfig::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let raw = crowd_size_study(&mut rng, &[5_000], &cfg, 0.0).unwrap()[0].err_b;
+        let mut rng = SmallRng::seed_from_u64(7);
+        let trimmed = crowd_size_study(&mut rng, &[5_000], &cfg, 0.05).unwrap()[0].err_b;
+        assert!(
+            trimmed > 3.0 * raw.max(1e-4),
+            "expected trimming to visibly distort: raw {raw}, trimmed {trimmed}"
+        );
+    }
+
+    #[test]
+    fn cdf_fitting_degrades_gracefully_under_spam() {
+        // The CDF estimator absorbs a bounded uniform-spam mixture: with
+        // 30% spammers the slope error stays small in absolute terms.
+        let clean = CrowdConfig { spammer_rate: 0.0, ..CrowdConfig::default() };
+        let spammy = CrowdConfig { spammer_rate: 0.30, ..CrowdConfig::default() };
+        let grid: Vec<f64> = (1..=9).map(|i| i as f64 * 5.0).collect();
+
+        let fit_err = |cfg: &CrowdConfig, seed: u64| -> f64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let crowd = sample_crowd(&mut rng, 2_000, cfg);
+            let responses = collect_responses(&mut rng, &crowd, cfg);
+            let pts = empirical_utility(&responses, &grid);
+            match fit_logarithmic(&pts).unwrap() {
+                DurationUtility::Logarithmic { b, .. } => (b - paper::LOG_UTILITY_B).abs(),
+                _ => unreachable!(),
+            }
+        };
+        let clean_err = fit_err(&clean, 42);
+        let spam_err = fit_err(&spammy, 42);
+        assert!(spam_err < 0.06, "spam-contaminated slope error {spam_err} too large");
+        assert!(
+            spam_err >= clean_err * 0.5,
+            "spam should not magically *improve* the fit: {spam_err} vs {clean_err}"
+        );
+    }
+
+    #[test]
+    fn responses_per_rater_scales_volume() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = CrowdConfig { responses_per_rater: 4, ..CrowdConfig::default() };
+        let crowd = sample_crowd(&mut rng, 25, &cfg);
+        let responses = collect_responses(&mut rng, &crowd, &cfg);
+        assert_eq!(responses.len(), 100);
+        for r in &responses {
+            assert!(r.stop_secs > 0.0 && r.stop_secs <= paper::SURVEY_MEAN_TRACK_SECS);
+        }
+    }
+}

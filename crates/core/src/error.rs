@@ -1,0 +1,119 @@
+//! Error types for the core crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error building or validating a [`PresentationLadder`].
+///
+/// [`PresentationLadder`]: crate::presentation::PresentationLadder
+#[derive(Debug, Clone, PartialEq)]
+pub enum LadderError {
+    /// The ladder has no presentation beyond level 0.
+    Empty,
+    /// Two successive levels do not strictly increase in size.
+    NonMonotoneSize {
+        /// The lower of the two offending levels.
+        level: u8,
+    },
+    /// Two successive levels do not strictly increase in utility.
+    NonMonotoneUtility {
+        /// The lower of the two offending levels.
+        level: u8,
+    },
+    /// A utility value is not a finite number.
+    NonFiniteUtility {
+        /// Level carrying the non-finite value.
+        level: u8,
+    },
+    /// Level 0 must have zero size and zero utility.
+    NonZeroBase,
+}
+
+impl fmt::Display for LadderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LadderError::Empty => write!(f, "presentation ladder has no deliverable level"),
+            LadderError::NonMonotoneSize { level } => write!(
+                f,
+                "presentation size does not strictly increase between levels {} and {}",
+                level,
+                level + 1
+            ),
+            LadderError::NonMonotoneUtility { level } => write!(
+                f,
+                "presentation utility does not strictly increase between levels {} and {}",
+                level,
+                level + 1
+            ),
+            LadderError::NonFiniteUtility { level } => {
+                write!(f, "presentation utility at level {level} is not finite")
+            }
+            LadderError::NonZeroBase => {
+                write!(f, "level 0 must have zero size and zero utility")
+            }
+        }
+    }
+}
+
+impl Error for LadderError {}
+
+/// Error fitting a duration-utility function to survey data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SurveyFitError {
+    /// Fewer than two usable data points were supplied.
+    TooFewPoints {
+        /// Number of usable points found.
+        found: usize,
+    },
+    /// All x-values are identical, so no slope can be estimated.
+    DegenerateDesign,
+    /// A sample fell outside the domain of the model being fitted
+    /// (e.g. a duration at or beyond `D` for the polynomial model).
+    OutOfDomain {
+        /// The offending duration in seconds.
+        duration: f64,
+    },
+}
+
+impl fmt::Display for SurveyFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurveyFitError::TooFewPoints { found } => {
+                write!(f, "need at least two usable survey points, found {found}")
+            }
+            SurveyFitError::DegenerateDesign => {
+                write!(f, "survey points share a single x-value; slope is undefined")
+            }
+            SurveyFitError::OutOfDomain { duration } => {
+                write!(f, "duration {duration}s is outside the model domain")
+            }
+        }
+    }
+}
+
+impl Error for SurveyFitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_error_messages_are_lowercase_and_specific() {
+        let msg = LadderError::NonMonotoneSize { level: 2 }.to_string();
+        assert!(msg.contains("levels 2 and 3"));
+        assert!(msg.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn survey_error_reports_counts() {
+        let msg = SurveyFitError::TooFewPoints { found: 1 }.to_string();
+        assert!(msg.contains("found 1"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<LadderError>();
+        assert_err::<SurveyFitError>();
+    }
+}

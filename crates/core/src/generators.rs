@@ -1,0 +1,299 @@
+//! Presentation generators for different media types (Sec. III-B).
+//!
+//! The paper assumes "a certain *generator* exists that produces these
+//! presentations at different level of details. Different generators may
+//! exist for different content types, which are developed by the content
+//! providers." This module provides that abstraction plus three concrete
+//! generators:
+//!
+//! * audio previews ([`crate::presentation::AudioPresentationSpec`], the
+//!   Spotify use case),
+//! * scalable **video** (duration × quality layers, in the spirit of the
+//!   H.264/SVC layering the related-work section points to),
+//! * **images** (thumbnail pyramid, e.g. album cover art).
+//!
+//! Every generator yields a validated [`PresentationLadder`]; candidates
+//! that are not on the size/utility Pareto frontier are pruned exactly as
+//! in Fig. 2(a).
+
+use crate::error::LadderError;
+use crate::presentation::{
+    pareto_frontier, AudioPresentationSpec, CandidatePresentation, PresentationLadder,
+};
+use crate::utility::DurationUtility;
+use serde::{Deserialize, Serialize};
+
+/// A producer of presentation ladders for one media type.
+///
+/// Implementations are expected to be cheap to call — the broker invokes
+/// them once per incoming content item.
+pub trait PresentationGenerator {
+    /// Generates the ladder for a content item with the given full media
+    /// duration (seconds; ignored by duration-free media such as images).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LadderError`] when the configured parameters cannot yield
+    /// a monotone ladder.
+    fn generate(&self, full_duration_secs: f64) -> Result<PresentationLadder, LadderError>;
+
+    /// A short name for reports ("audio", "video", "image").
+    fn media_type(&self) -> &'static str;
+}
+
+impl PresentationGenerator for AudioPresentationSpec {
+    fn generate(&self, full_duration_secs: f64) -> Result<PresentationLadder, LadderError> {
+        // Previews never exceed the track itself.
+        let mut spec = self.clone();
+        spec.preview_secs.retain(|&d| d <= full_duration_secs);
+        if spec.preview_secs.is_empty() {
+            // Degenerate short clips: metadata only.
+            return PresentationLadder::new(vec![(
+                self.metadata_bytes,
+                self.metadata_utility_fraction,
+            )]);
+        }
+        spec.try_ladder()
+    }
+
+    fn media_type(&self) -> &'static str {
+        "audio"
+    }
+}
+
+/// A quality layer of a scalable video encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VideoLayer {
+    /// Bitrate of the layer in kbit/s (cumulative, i.e. total stream rate
+    /// when this layer is the top one).
+    pub bitrate_kbps: u32,
+    /// Subjective quality factor of the layer in `(0, 1]`, relative to the
+    /// best layer.
+    pub quality: f64,
+}
+
+/// Video presentation generator: metadata, poster frame, then preview
+/// clips over the Cartesian product of durations × quality layers — with
+/// dominated combinations pruned to a Pareto frontier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VideoPresentationSpec {
+    /// Metadata size in bytes (level 1).
+    pub metadata_bytes: u64,
+    /// Poster-frame (single image) size in bytes.
+    pub poster_bytes: u64,
+    /// Preview durations in seconds.
+    pub preview_secs: Vec<f64>,
+    /// Quality layers, ascending bitrate.
+    pub layers: Vec<VideoLayer>,
+    /// Fraction of utility attributed to metadata alone.
+    pub metadata_utility_fraction: f64,
+    /// Fraction of utility attributed to the poster frame (on top of
+    /// metadata).
+    pub poster_utility_fraction: f64,
+    /// Duration→utility model for the moving-picture part.
+    pub duration_utility: DurationUtility,
+}
+
+impl VideoPresentationSpec {
+    /// A plausible default: 300-byte metadata, 40 KB poster, 5/10/20-second
+    /// previews at 400/1200 kbit/s layers.
+    pub fn default_spec() -> Self {
+        Self {
+            metadata_bytes: 300,
+            poster_bytes: 40_000,
+            preview_secs: vec![5.0, 10.0, 20.0],
+            layers: vec![
+                VideoLayer { bitrate_kbps: 400, quality: 0.6 },
+                VideoLayer { bitrate_kbps: 1_200, quality: 1.0 },
+            ],
+            metadata_utility_fraction: 0.01,
+            poster_utility_fraction: 0.05,
+            duration_utility: DurationUtility::paper_logarithmic(),
+        }
+    }
+}
+
+impl PresentationGenerator for VideoPresentationSpec {
+    fn generate(&self, full_duration_secs: f64) -> Result<PresentationLadder, LadderError> {
+        let meta_u = self.metadata_utility_fraction;
+        let poster_u = meta_u + self.poster_utility_fraction;
+        let media_scale = 1.0 - poster_u;
+
+        // Enumerate duration × layer candidates, then prune.
+        let mut cands = vec![
+            CandidatePresentation { size: self.metadata_bytes, utility: meta_u, label_id: 0 },
+            CandidatePresentation {
+                size: self.metadata_bytes + self.poster_bytes,
+                utility: poster_u,
+                label_id: 1,
+            },
+        ];
+        let mut label = 2usize;
+        for &d in &self.preview_secs {
+            if d > full_duration_secs {
+                continue;
+            }
+            for layer in &self.layers {
+                let clip_bytes = (d * f64::from(layer.bitrate_kbps) * 1000.0 / 8.0) as u64;
+                let duration_u = self.duration_utility.eval(d).max(0.0);
+                cands.push(CandidatePresentation {
+                    size: self.metadata_bytes + self.poster_bytes + clip_bytes,
+                    utility: poster_u + media_scale * duration_u * layer.quality,
+                    label_id: label,
+                });
+                label += 1;
+            }
+        }
+        let frontier = pareto_frontier(&cands);
+        PresentationLadder::new(frontier.iter().map(|c| (c.size, c.utility)).collect())
+    }
+
+    fn media_type(&self) -> &'static str {
+        "video"
+    }
+}
+
+/// Image presentation generator: a thumbnail pyramid (e.g. album art),
+/// each level a larger rendition with diminishing-returns utility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImagePresentationSpec {
+    /// Metadata size in bytes.
+    pub metadata_bytes: u64,
+    /// Rendition edge sizes in pixels, ascending.
+    pub edge_px: Vec<u32>,
+    /// Compressed bytes per pixel (JPEG-ish ≈ 0.25).
+    pub bytes_per_pixel: f64,
+    /// Fraction of utility attributed to metadata alone.
+    pub metadata_utility_fraction: f64,
+}
+
+impl ImagePresentationSpec {
+    /// Album-art default: 64/160/320/640-pixel renditions.
+    pub fn default_spec() -> Self {
+        Self {
+            metadata_bytes: 200,
+            edge_px: vec![64, 160, 320, 640],
+            bytes_per_pixel: 0.25,
+            metadata_utility_fraction: 0.05,
+        }
+    }
+}
+
+impl PresentationGenerator for ImagePresentationSpec {
+    fn generate(&self, _full_duration_secs: f64) -> Result<PresentationLadder, LadderError> {
+        let meta_u = self.metadata_utility_fraction;
+        let max_px = self.edge_px.iter().copied().max().unwrap_or(1).max(1);
+        let mut levels = vec![(self.metadata_bytes, meta_u)];
+        for &edge in &self.edge_px {
+            let px = u64::from(edge) * u64::from(edge);
+            let size = self.metadata_bytes + (px as f64 * self.bytes_per_pixel) as u64;
+            // Perceptual quality scales roughly with log resolution.
+            let quality = (1.0 + px as f64).ln() / (1.0 + f64::from(max_px) * f64::from(max_px)).ln();
+            levels.push((size, meta_u + (1.0 - meta_u) * quality));
+        }
+        let cands: Vec<CandidatePresentation> = levels
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, utility))| CandidatePresentation { size, utility, label_id: i })
+            .collect();
+        let frontier = pareto_frontier(&cands);
+        PresentationLadder::new(frontier.iter().map(|c| (c.size, c.utility)).collect())
+    }
+
+    fn media_type(&self) -> &'static str {
+        "image"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audio_generator_matches_spec_ladder() {
+        let spec = AudioPresentationSpec::paper_default();
+        let ladder = spec.generate(276.0).unwrap();
+        assert_eq!(ladder, spec.ladder());
+        assert_eq!(spec.media_type(), "audio");
+    }
+
+    #[test]
+    fn audio_generator_truncates_previews_to_track_length() {
+        let spec = AudioPresentationSpec::paper_default();
+        // A 12-second jingle: only the 5 and 10-second previews survive.
+        let ladder = spec.generate(12.0).unwrap();
+        assert_eq!(ladder.max_level(), 3); // metadata + 5s + 10s
+        // A 3-second sting: metadata only.
+        let tiny = spec.generate(3.0).unwrap();
+        assert_eq!(tiny.max_level(), 1);
+    }
+
+    #[test]
+    fn video_ladder_is_monotone_and_pruned() {
+        let spec = VideoPresentationSpec::default_spec();
+        let ladder = spec.generate(600.0).unwrap();
+        assert!(ladder.max_level() >= 3, "{ladder:?}");
+        let mut last = (0u64, 0.0f64);
+        for p in ladder.deliverable() {
+            assert!(p.size > last.0);
+            assert!(p.utility > last.1);
+            last = (p.size, p.utility);
+        }
+        assert_eq!(spec.media_type(), "video");
+    }
+
+    #[test]
+    fn video_low_quality_long_clip_can_be_dominated() {
+        // A low-quality 20 s clip is bigger than a high-quality 5 s clip;
+        // whether it survives depends on the utility trade-off. Verify the
+        // frontier drops at least one of the 2×3 = 6 raw combinations or
+        // keeps all monotone — i.e., the ladder never exceeds
+        // metadata + poster + 6 levels.
+        let ladder = VideoPresentationSpec::default_spec().generate(600.0).unwrap();
+        assert!(ladder.max_level() as usize <= 8);
+    }
+
+    #[test]
+    fn video_respects_short_content() {
+        let spec = VideoPresentationSpec::default_spec();
+        let ladder = spec.generate(6.0).unwrap();
+        // Only the 5-second previews (two layers) are candidates.
+        assert!(ladder.max_level() <= 4);
+    }
+
+    #[test]
+    fn image_pyramid_is_monotone() {
+        let spec = ImagePresentationSpec::default_spec();
+        let ladder = spec.generate(0.0).unwrap();
+        assert_eq!(ladder.max_level(), 5); // metadata + four renditions
+        for w in ladder.deliverable().windows(2) {
+            assert!(w[1].utility > w[0].utility);
+            assert!(w[1].size > w[0].size);
+        }
+        assert_eq!(spec.media_type(), "image");
+    }
+
+    #[test]
+    fn image_utility_shows_diminishing_returns() {
+        let ladder = ImagePresentationSpec::default_spec().generate(0.0).unwrap();
+        let mut last_gradient = f64::INFINITY;
+        for w in ladder.deliverable().windows(2) {
+            let g = (w[1].utility - w[0].utility) / (w[1].size - w[0].size) as f64;
+            assert!(g < last_gradient);
+            last_gradient = g;
+        }
+    }
+
+    #[test]
+    fn generators_are_object_safe() {
+        let generators: Vec<Box<dyn PresentationGenerator>> = vec![
+            Box::new(AudioPresentationSpec::paper_default()),
+            Box::new(VideoPresentationSpec::default_spec()),
+            Box::new(ImagePresentationSpec::default_spec()),
+        ];
+        for g in &generators {
+            let ladder = g.generate(300.0).unwrap();
+            assert!(ladder.max_level() >= 1, "{} ladder empty", g.media_type());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Strongly-typed identifiers for the entities in the RichNote data model.
+//!
+//! Every identifier is a newtype over `u64` ([C-NEWTYPE]): a [`UserId`] can
+//! never be confused with a [`ContentId`] at compile time even though both
+//! are plain integers in the trace files.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Creates a new identifier from a raw integer.
+            ///
+            /// ```
+            /// # use richnote_core::ids::*;
+            #[doc = concat!("let id = ", stringify!($name), "::new(7);")]
+            /// assert_eq!(id.value(), 7);
+            /// ```
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw integer value.
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(raw: u64) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(id: $name) -> u64 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a notification/content item flowing through the system.
+    ContentId,
+    "c"
+);
+id_type!(
+    /// Identifier of a (de-identified) user.
+    UserId,
+    "u"
+);
+id_type!(
+    /// Identifier of a music track in the catalog.
+    TrackId,
+    "t"
+);
+id_type!(
+    /// Identifier of an artist in the catalog.
+    ArtistId,
+    "ar"
+);
+id_type!(
+    /// Identifier of an album in the catalog.
+    AlbumId,
+    "al"
+);
+id_type!(
+    /// Identifier of a shared playlist.
+    PlaylistId,
+    "pl"
+);
+id_type!(
+    /// Identifier of a pub/sub topic (friend feed, artist page, playlist).
+    TopicId,
+    "tp"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_through_u64() {
+        let id = ContentId::new(42);
+        let raw: u64 = id.into();
+        assert_eq!(raw, 42);
+        assert_eq!(ContentId::from(raw), id);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(UserId::new(3).to_string(), "u3");
+        assert_eq!(ArtistId::new(9).to_string(), "ar9");
+        assert_eq!(TopicId::new(1).to_string(), "tp1");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TrackId::new(1));
+        set.insert(TrackId::new(1));
+        set.insert(TrackId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(TrackId::new(1) < TrackId::new(2));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(AlbumId::default().value(), 0);
+    }
+
+    #[test]
+    fn distinct_types_do_not_unify() {
+        // Compile-time property: UserId and ContentId are different types.
+        fn takes_user(_: UserId) {}
+        takes_user(UserId::new(1));
+    }
+}

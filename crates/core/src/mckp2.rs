@@ -1,0 +1,387 @@
+//! Two-constraint MCKP: the paper's original formulation (Eq. 2) with both
+//! a **data budget** `Σ s(i,η(i)) ≤ B(t)` and an **energy budget**
+//! `Σ ρ(i,η(i)) ≤ E(t)`.
+//!
+//! The production path (Sec. IV) moves the energy constraint into the
+//! objective via the Lyapunov virtual queue; this module implements the
+//! hard-constrained problem directly so the relaxation can be evaluated
+//! against it (see the `mckp` bench and the energy ablation):
+//!
+//! * [`select_greedy2`] — greedy on the *composite* gradient
+//!   `ΔU / (Δs/B + λ·Δρ/E)`: the marginal utility per unit of normalized
+//!   combined resource, with both budgets enforced exactly;
+//! * [`select_exact2`] — two-dimensional dynamic program, exponential-free
+//!   but `O(n·B·E)`; for small instances (tests, gap measurement).
+
+use crate::mckp::{MckpItem, Selection};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A per-level resource annotation: the energy cost `ρ(i, j)` aligned with
+/// an [`MckpItem`]'s levels (including level 0, which must cost 0).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyProfile {
+    costs: Vec<f64>,
+}
+
+impl EnergyProfile {
+    /// Creates a profile from level-0-inclusive energy costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `costs` is empty, `costs[0] != 0`, any cost is negative or
+    /// non-finite, or costs are not non-decreasing.
+    pub fn new(costs: Vec<f64>) -> Self {
+        assert!(!costs.is_empty(), "energy profile needs at least level 0");
+        assert_eq!(costs[0], 0.0, "level 0 must cost no energy");
+        for w in costs.windows(2) {
+            assert!(
+                w[1].is_finite() && w[1] >= w[0],
+                "energy costs must be finite and non-decreasing: {costs:?}"
+            );
+        }
+        Self { costs }
+    }
+
+    /// Builds a profile by applying a cost function to an item's sizes.
+    pub fn from_item(item: &MckpItem, cost: impl Fn(u64) -> f64) -> Self {
+        Self::new(item.levels().iter().map(|&(s, _)| cost(s)).collect())
+    }
+
+    /// Energy at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn cost(&self, level: u8) -> f64 {
+        self.costs[level as usize]
+    }
+
+    /// Number of levels (including level 0).
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Whether the profile covers only level 0.
+    pub fn is_empty(&self) -> bool {
+        self.costs.len() <= 1
+    }
+}
+
+/// Result of a two-constraint solve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection2 {
+    /// Chosen level per item.
+    pub levels: Vec<u8>,
+    /// Total bytes of chosen presentations.
+    pub total_size: u64,
+    /// Total energy of chosen presentations.
+    pub total_energy: f64,
+    /// Total utility.
+    pub total_utility: f64,
+}
+
+impl Selection2 {
+    fn from_levels(items: &[MckpItem], energy: &[EnergyProfile], levels: Vec<u8>) -> Self {
+        let mut total_size = 0u64;
+        let mut total_energy = 0.0;
+        let mut total_utility = 0.0;
+        for ((item, prof), &lvl) in items.iter().zip(energy).zip(&levels) {
+            let (s, u) = item.levels()[lvl as usize];
+            total_size += s;
+            total_energy += prof.cost(lvl);
+            total_utility += u;
+        }
+        Self { levels, total_size, total_energy, total_utility }
+    }
+
+    /// Downgrades to a single-constraint [`Selection`] (drops energy).
+    pub fn into_selection(self) -> Selection {
+        Selection {
+            levels: self.levels,
+            total_size: self.total_size,
+            total_utility: self.total_utility,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    gradient: f64,
+    item: usize,
+}
+
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gradient
+            .total_cmp(&other.gradient)
+            .then_with(|| other.item.cmp(&self.item))
+    }
+}
+
+/// Greedy heuristic for the two-constraint MCKP.
+///
+/// Upgrades are ranked by utility per unit of *normalized combined
+/// resource*: an upgrade consuming `Δs` bytes and `Δρ` joules against
+/// budgets `B` and `E` scores `ΔU / (Δs/B + Δρ/E)`. An upgrade is applied
+/// only if **both** budgets still accommodate it; upgrades that do not fit
+/// are skipped (the heap keeps draining — the "continue" variant, which
+/// dominates the stop-at-first-overflow variant on two constraints).
+///
+/// # Panics
+///
+/// Panics if `items` and `energy` differ in length or a profile's level
+/// count differs from its item's.
+pub fn select_greedy2(
+    items: &[MckpItem],
+    energy: &[EnergyProfile],
+    data_budget: u64,
+    energy_budget: f64,
+) -> Selection2 {
+    assert_eq!(items.len(), energy.len(), "items and energy profiles must align");
+    for (item, prof) in items.iter().zip(energy) {
+        assert_eq!(item.levels().len(), prof.len(), "level counts must align");
+    }
+
+    let b = (data_budget as f64).max(1.0);
+    let e = energy_budget.max(1e-12);
+    let gradient = |item: &MckpItem, prof: &EnergyProfile, lvl: u8| -> f64 {
+        let (s0, u0) = item.levels()[lvl as usize];
+        let (s1, u1) = item.levels()[lvl as usize + 1];
+        let ds = (s1 - s0) as f64 / b;
+        let de = (prof.cost(lvl + 1) - prof.cost(lvl)) / e;
+        (u1 - u0) / (ds + de).max(1e-15)
+    };
+
+    let mut levels = vec![0u8; items.len()];
+    let mut used_size = 0u64;
+    let mut used_energy = 0.0f64;
+
+    let mut heap: BinaryHeap<HeapEntry> = items
+        .iter()
+        .enumerate()
+        .filter(|(_, it)| it.max_level() >= 1)
+        .map(|(i, it)| HeapEntry { gradient: gradient(it, &energy[i], 0), item: i })
+        .collect();
+
+    while let Some(entry) = heap.pop() {
+        if entry.gradient <= 0.0 {
+            break;
+        }
+        let i = entry.item;
+        let item = &items[i];
+        let prof = &energy[i];
+        let cur = levels[i];
+        let size_gain = item.levels()[cur as usize + 1].0 - item.levels()[cur as usize].0;
+        let energy_gain = prof.cost(cur + 1) - prof.cost(cur);
+        if used_size + size_gain <= data_budget && used_energy + energy_gain <= energy_budget {
+            levels[i] = cur + 1;
+            used_size += size_gain;
+            used_energy += energy_gain;
+            if levels[i] < item.max_level() {
+                heap.push(HeapEntry { gradient: gradient(item, prof, levels[i]), item: i });
+            }
+        }
+        // else: skip this upgrade; cheaper upgrades may still fit.
+    }
+
+    Selection2::from_levels(items, energy, levels)
+}
+
+/// Exact two-dimensional DP for small instances.
+///
+/// Energy is discretized into `energy_steps` buckets of the energy budget;
+/// complexity is `O(n · data_budget · energy_steps · max_level)`.
+///
+/// # Panics
+///
+/// Panics on misaligned inputs, `data_budget > u32::MAX`, or
+/// `energy_steps == 0`.
+pub fn select_exact2(
+    items: &[MckpItem],
+    energy: &[EnergyProfile],
+    data_budget: u64,
+    energy_budget: f64,
+    energy_steps: usize,
+) -> Selection2 {
+    assert_eq!(items.len(), energy.len(), "items and energy profiles must align");
+    assert!(data_budget <= u64::from(u32::MAX), "exact DP is for small budgets");
+    assert!(energy_steps > 0, "need at least one energy bucket");
+
+    let w = data_budget as usize + 1;
+    let h = energy_steps + 1;
+    let bucket = |joules: f64| -> usize {
+        if energy_budget <= 0.0 {
+            if joules > 0.0 { h } else { 0 }
+        } else {
+            (joules / energy_budget * energy_steps as f64).ceil() as usize
+        }
+    };
+
+    // dp[b][k] = best utility with size ≤ b and energy ≤ k buckets.
+    let mut dp = vec![vec![0.0f64; h]; w];
+    let mut choice: Vec<Vec<Vec<u8>>> = Vec::with_capacity(items.len());
+
+    for (item, prof) in items.iter().zip(energy) {
+        let mut next = vec![vec![f64::NEG_INFINITY; h]; w];
+        let mut pick = vec![vec![0u8; h]; w];
+        for bb in 0..w {
+            for kk in 0..h {
+                for (lvl, &(size, util)) in item.levels().iter().enumerate() {
+                    let eb = bucket(prof.cost(lvl as u8));
+                    if size as usize <= bb && eb <= kk {
+                        let cand = dp[bb - size as usize][kk - eb] + util;
+                        if cand > next[bb][kk] {
+                            next[bb][kk] = cand;
+                            pick[bb][kk] = lvl as u8;
+                        }
+                    }
+                }
+            }
+        }
+        dp = next;
+        choice.push(pick);
+    }
+
+    let mut levels = vec![0u8; items.len()];
+    let mut bb = data_budget as usize;
+    let mut kk = energy_steps;
+    for i in (0..items.len()).rev() {
+        let lvl = choice[i][bb][kk];
+        levels[i] = lvl;
+        bb -= items[i].levels()[lvl as usize].0 as usize;
+        kk -= bucket(energy[i].cost(lvl));
+    }
+    Selection2::from_levels(items, energy, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: usize, pairs: Vec<(u64, f64)>) -> MckpItem {
+        MckpItem::new(id, pairs)
+    }
+
+    fn linear_energy(item: &MckpItem, per_byte: f64) -> EnergyProfile {
+        EnergyProfile::from_item(item, |s| s as f64 * per_byte)
+    }
+
+    #[test]
+    fn respects_both_budgets() {
+        let items = vec![
+            item(0, vec![(10, 1.0), (30, 1.8)]),
+            item(1, vec![(10, 0.9), (30, 1.6)]),
+            item(2, vec![(10, 0.8)]),
+        ];
+        let energy: Vec<EnergyProfile> =
+            items.iter().map(|it| linear_energy(it, 0.5)).collect();
+        for (db, eb) in [(15u64, 100.0), (100, 6.0), (100, 100.0), (0, 0.0)] {
+            let sel = select_greedy2(&items, &energy, db, eb);
+            assert!(sel.total_size <= db, "size {} > {db}", sel.total_size);
+            assert!(sel.total_energy <= eb + 1e-9, "energy {} > {eb}", sel.total_energy);
+        }
+    }
+
+    #[test]
+    fn energy_constraint_binds_independently() {
+        // Plenty of data budget, almost no energy: selection must shrink.
+        let items = vec![item(0, vec![(100, 1.0), (200, 1.5)])];
+        let energy = vec![EnergyProfile::new(vec![0.0, 10.0, 20.0])];
+        let generous = select_greedy2(&items, &energy, 10_000, 100.0);
+        assert_eq!(generous.levels, vec![2]);
+        let starved = select_greedy2(&items, &energy, 10_000, 10.0);
+        assert_eq!(starved.levels, vec![1]);
+        let none = select_greedy2(&items, &energy, 10_000, 5.0);
+        assert_eq!(none.levels, vec![0]);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_small_grid() {
+        let items = vec![
+            item(0, vec![(2, 0.5), (5, 0.9)]),
+            item(1, vec![(3, 0.6), (7, 1.0)]),
+            item(2, vec![(1, 0.2), (4, 0.55)]),
+        ];
+        let energy: Vec<EnergyProfile> =
+            items.iter().map(|it| linear_energy(it, 1.0)).collect();
+        for db in [0u64, 3, 6, 9, 12, 16] {
+            for eb in [0.0f64, 4.0, 8.0, 16.0] {
+                let g = select_greedy2(&items, &energy, db, eb);
+                let x = select_exact2(&items, &energy, db, eb, 32);
+                assert!(
+                    x.total_utility + 1e-9 >= g.total_utility,
+                    "exact {} < greedy {} at ({db}, {eb})",
+                    x.total_utility,
+                    g.total_utility
+                );
+                assert!(x.total_size <= db);
+                assert!(x.total_energy <= eb + 1e-9);
+                // Greedy should be within one upgrade of exact here.
+                assert!(
+                    g.total_utility >= x.total_utility - 1.0,
+                    "greedy too far off at ({db}, {eb}): {g:?} vs {x:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skipping_oversized_upgrades_keeps_packing() {
+        // Item 0's upgrade violates the energy budget; item 1's still fits.
+        let items = vec![
+            item(0, vec![(10, 5.0)]),
+            item(1, vec![(10, 0.5)]),
+        ];
+        let energy = vec![
+            EnergyProfile::new(vec![0.0, 1_000.0]),
+            EnergyProfile::new(vec![0.0, 1.0]),
+        ];
+        let sel = select_greedy2(&items, &energy, 100, 10.0);
+        assert_eq!(sel.levels, vec![0, 1]);
+    }
+
+    #[test]
+    fn zero_energy_levels_are_free() {
+        let items = vec![item(0, vec![(200, 0.01)])];
+        let energy = vec![EnergyProfile::new(vec![0.0, 0.0])];
+        let sel = select_greedy2(&items, &energy, 1_000, 0.0);
+        assert_eq!(sel.levels, vec![1], "zero-energy metadata fits a zero energy budget");
+    }
+
+    #[test]
+    #[should_panic(expected = "level 0 must cost no energy")]
+    fn nonzero_base_energy_panics() {
+        let _ = EnergyProfile::new(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_energy_panics() {
+        let _ = EnergyProfile::new(vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_inputs_panic() {
+        let items = vec![item(0, vec![(10, 1.0)])];
+        let _ = select_greedy2(&items, &[], 10, 10.0);
+    }
+
+    #[test]
+    fn selection2_converts_to_selection() {
+        let items = vec![item(0, vec![(10, 1.0)])];
+        let energy = vec![linear_energy(&items[0], 0.1)];
+        let sel2 = select_greedy2(&items, &energy, 100, 100.0);
+        let sel = sel2.clone().into_selection();
+        assert_eq!(sel.levels, sel2.levels);
+        assert_eq!(sel.total_size, sel2.total_size);
+    }
+}

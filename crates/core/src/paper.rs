@@ -1,0 +1,115 @@
+//! Constants from the RichNote paper's experimental setup (Sec. V-C).
+//!
+//! These are the defaults used throughout the reproduction; every harness
+//! accepts overrides but starts from these values.
+
+/// Duration of one scheduling round: 1 hour (3600 s).
+pub const ROUND_SECS: f64 = 3600.0;
+
+/// Number of rounds in the one-week evaluation horizon.
+pub const ROUNDS_PER_WEEK: u64 = 7 * 24;
+
+/// Energy budget per round, κ: 3 kJ per hour (paper Sec. V-C).
+pub const KAPPA_JOULES_PER_ROUND: f64 = 3_000.0;
+
+/// Weekly energy ceiling implied by κ: 3 kJ/h × 168 h = 504 kJ (the paper
+/// quotes "500KJ ... 3KJ per hour for 7 days").
+pub const WEEKLY_ENERGY_CEILING_JOULES: f64 = KAPPA_JOULES_PER_ROUND * ROUNDS_PER_WEEK as f64;
+
+/// Lyapunov control knob V (paper Sec. V-C).
+pub const LYAPUNOV_V: f64 = 1_000.0;
+
+/// Average notification metadata size: 200 bytes (track/artist/album names
+/// plus a URL; paper Sec. V-C, citing its reference 2).
+pub const METADATA_BYTES: u64 = 200;
+
+/// Spotify default audio bitrate used for previews: 160 kbps.
+pub const PREVIEW_BITRATE_KBPS: u32 = 160;
+
+/// Bytes per second of preview at 160 kbps: the paper approximates a
+/// d-second preview as d × 20 KB.
+pub const PREVIEW_BYTES_PER_SEC: u64 = 20_000;
+
+/// Preview durations used as presentation levels 2..=6 (seconds).
+pub const PREVIEW_DURATIONS_SECS: [f64; 5] = [5.0, 10.0, 20.0, 30.0, 40.0];
+
+/// Fraction of a notification's presentation utility attributed to the
+/// metadata alone (paper: "a small portion of utility (about 1%) is due to
+/// metadata").
+pub const METADATA_UTILITY_FRACTION: f64 = 0.01;
+
+/// Coefficients of the fitted logarithmic duration-utility function
+/// `util(d) = A + B·ln(1 + d)` (paper Eq. 8).
+pub const LOG_UTILITY_A: f64 = -0.397;
+/// See [`LOG_UTILITY_A`].
+pub const LOG_UTILITY_B: f64 = 0.352;
+
+/// Coefficients of the fitted polynomial duration-utility function
+/// `util(d) = A·(1 − d/D)^B` (paper Eq. 9).
+pub const POLY_UTILITY_A: f64 = 0.253;
+/// See [`POLY_UTILITY_A`].
+pub const POLY_UTILITY_B: f64 = 2.087;
+/// See [`POLY_UTILITY_A`].
+pub const POLY_UTILITY_D: f64 = 40.0;
+
+/// Number of users simulated in the paper's evaluation (top-10k by
+/// delivered notifications).
+pub const PAPER_USER_COUNT: usize = 10_000;
+
+/// Budget sweep used in Figures 3–5 (weekly data budgets in MB).
+pub const BUDGET_SWEEP_MB: [u64; 8] = [1, 3, 5, 10, 20, 30, 50, 100];
+
+/// Classifier quality reported by the paper for the Spotify traces with a
+/// Random Forest: precision 0.700, accuracy 0.689 (five-fold CV).
+pub const PAPER_RF_PRECISION: f64 = 0.700;
+/// See [`PAPER_RF_PRECISION`].
+pub const PAPER_RF_ACCURACY: f64 = 0.689;
+
+/// Average full track duration in the duration survey (seconds).
+pub const SURVEY_MEAN_TRACK_SECS: f64 = 276.0;
+
+/// Number of participants in the duration survey.
+pub const SURVEY_PARTICIPANTS: usize = 80;
+
+/// Converts a weekly data budget in megabytes into the per-round grant θ.
+///
+/// ```
+/// use richnote_core::paper::{theta_bytes_per_round, ROUNDS_PER_WEEK};
+/// let theta = theta_bytes_per_round(168);
+/// assert_eq!(theta, 1_000_000); // 168 MB/week == 1 MB per hourly round
+/// ```
+pub const fn theta_bytes_per_round(weekly_mb: u64) -> u64 {
+    weekly_mb * 1_000_000 / ROUNDS_PER_WEEK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weekly_ceiling_matches_paper_quote() {
+        // The paper rounds 504 kJ down to "500KJ".
+        assert!((WEEKLY_ENERGY_CEILING_JOULES - 504_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preview_size_matches_paper_rule_of_thumb() {
+        // d × 20KB for a d-second preview.
+        assert_eq!(PREVIEW_BYTES_PER_SEC * 10, 200_000);
+    }
+
+    #[test]
+    fn theta_is_weekly_budget_split_across_rounds() {
+        assert_eq!(theta_bytes_per_round(0), 0);
+        // 1 MB/week ≈ 5952 bytes/round.
+        assert_eq!(theta_bytes_per_round(1), 1_000_000 / 168);
+    }
+
+    #[test]
+    fn log_utility_is_positive_for_all_paper_durations() {
+        for d in PREVIEW_DURATIONS_SECS {
+            let u = LOG_UTILITY_A + LOG_UTILITY_B * (1.0 + d).ln();
+            assert!(u > 0.0, "util({d}) = {u} must be positive");
+        }
+    }
+}

@@ -1,0 +1,766 @@
+//! Round-based notification scheduling policies (Sec. IV, Algorithm 2).
+//!
+//! Three policies are provided:
+//!
+//! * [`RichNoteScheduler`] — the paper's contribution: per round, compute
+//!   Lyapunov-adjusted utilities for every (item, level) pair, solve the
+//!   MCKP under the accumulated data budget, deliver the winners in
+//!   descending utility order, and update the queues.
+//! * [`FifoScheduler`] — industry baseline: deliver in arrival order at a
+//!   *fixed* presentation level (Spotify real-time mode).
+//! * [`UtilScheduler`] — industry baseline: deliver in descending utility
+//!   order at a fixed level (Spotify batch mode).
+//!
+//! All policies operate on the same [`RoundContext`] so the simulator can
+//! swap them freely, and all manage a per-user rolled-over data budget.
+
+use crate::content::ContentItem;
+use crate::ids::ContentId;
+use crate::lyapunov::{LyapunovConfig, LyapunovState};
+use crate::mckp::{select_greedy_with, GreedyOptions, MckpItem};
+use crate::presentation::PresentationLadder;
+use crate::utility::combined_utility;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Energy-cost model for downloading bytes under the *current* network
+/// conditions — the `ρ(i, j)` of the formulation. Implemented by the
+/// `richnote-energy` crate; simple closures/constants suffice for tests.
+pub trait TransferCost {
+    /// Estimated energy in joules to download `bytes` now.
+    fn energy(&self, bytes: u64) -> f64;
+}
+
+/// A constant per-byte energy cost (plus fixed overhead), for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearCost {
+    /// Fixed per-transfer overhead (J).
+    pub fixed: f64,
+    /// Energy per byte (J/B).
+    pub per_byte: f64,
+}
+
+impl TransferCost for LinearCost {
+    fn energy(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            0.0
+        } else {
+            self.fixed + self.per_byte * bytes as f64
+        }
+    }
+}
+
+/// Everything a policy may consult during one round.
+#[derive(Clone, Copy)]
+pub struct RoundContext<'a> {
+    /// Round index `t`.
+    pub round: u64,
+    /// Wall-clock seconds at the start of the round.
+    pub now: f64,
+    /// Round length in seconds (used to pace downloads over the link).
+    pub round_secs: f64,
+    /// Whether the device currently has connectivity.
+    pub online: bool,
+    /// Maximum bytes the link can move this round (bandwidth × round).
+    pub link_capacity: u64,
+    /// Data budget granted this round (`θ`, possibly scaled by network).
+    pub data_grant: u64,
+    /// Energy replenishment this round (`e(t)`, from battery state).
+    pub energy_grant: f64,
+    /// Energy model for the current network.
+    pub cost: &'a dyn TransferCost,
+}
+
+impl RoundContext<'_> {
+    /// Link rate in bytes per second implied by capacity and round length.
+    pub fn link_rate(&self) -> f64 {
+        if self.round_secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.link_capacity as f64 / self.round_secs
+    }
+
+    /// The wall-clock instant at which a download finishes, given the bytes
+    /// already transferred this round before it and its own size — the
+    /// delivery-queue pacing of Fig. 1.
+    pub fn finish_time(&self, bytes_before: u64, size: u64) -> f64 {
+        let rate = self.link_rate();
+        if rate <= 0.0 || !rate.is_finite() {
+            return self.now;
+        }
+        self.now + (bytes_before + size) as f64 / rate
+    }
+}
+
+impl std::fmt::Debug for RoundContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundContext")
+            .field("round", &self.round)
+            .field("now", &self.now)
+            .field("online", &self.online)
+            .field("link_capacity", &self.link_capacity)
+            .field("data_grant", &self.data_grant)
+            .field("energy_grant", &self.energy_grant)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A notification waiting in a policy's scheduling queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueuedNotification {
+    /// The underlying content item.
+    pub item: ContentItem,
+    /// Its presentation ladder.
+    pub ladder: PresentationLadder,
+    /// Content utility `Uc(i)` assigned by the utility model.
+    pub content_utility: f64,
+    /// Broker time at which the notification entered the queue.
+    pub enqueued_at: f64,
+}
+
+impl QueuedNotification {
+    /// Combined utility `U(i, j)` at `level`.
+    pub fn utility_at(&self, level: u8) -> f64 {
+        combined_utility(self.content_utility, self.ladder.get(level).utility)
+    }
+}
+
+/// A notification chosen for delivery in some round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveredNotification {
+    /// Content identifier.
+    pub content: ContentId,
+    /// Presentation level it was delivered at.
+    pub level: u8,
+    /// Bytes transferred.
+    pub size: u64,
+    /// Combined utility `U(i, j)` realized.
+    pub utility: f64,
+    /// Energy spent downloading (J).
+    pub energy: f64,
+    /// When the notification entered the scheduling queue.
+    pub enqueued_at: f64,
+    /// When it was delivered.
+    pub delivered_at: f64,
+}
+
+impl DeliveredNotification {
+    /// Queuing delay experienced by this notification (seconds).
+    pub fn queuing_delay(&self) -> f64 {
+        self.delivered_at - self.enqueued_at
+    }
+}
+
+/// Common interface of all scheduling policies.
+pub trait NotificationScheduler {
+    /// Short policy name for reports ("RichNote", "FIFO", "UTIL").
+    fn name(&self) -> &str;
+
+    /// Adds a notification to the scheduling queue.
+    fn enqueue(&mut self, notification: QueuedNotification);
+
+    /// Runs one round: updates budgets, selects notifications and returns
+    /// them in delivery order.
+    fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification>;
+
+    /// Number of items still queued.
+    fn backlog(&self) -> usize;
+
+    /// Bytes still queued, measured as `Σ s(i)` over queued items.
+    fn backlog_bytes(&self) -> u64;
+}
+
+/// Configuration of the RichNote policy.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RichNoteConfig {
+    /// Lyapunov controller parameters.
+    pub lyapunov: LyapunovConfig,
+    /// MCKP greedy options.
+    pub greedy: GreedyOptions,
+    /// Drop notifications that have waited in the scheduling queue longer
+    /// than this many seconds (`None` disables expiry). A stale social
+    /// notification — a friend's stream from days ago — has no value, and
+    /// expiry bounds the queue even when budgets starve.
+    pub max_age_secs: Option<f64>,
+}
+
+/// The RichNote scheduler (Algorithm 2): Lyapunov-adjusted utilities fed to
+/// the greedy MCKP each round.
+///
+/// ```
+/// use richnote_core::scheduler::{
+///     LinearCost, NotificationScheduler, RichNoteScheduler, RoundContext,
+/// };
+///
+/// let mut sched = RichNoteScheduler::with_defaults();
+/// let cost = LinearCost { fixed: 1.0, per_byte: 1e-4 };
+/// let ctx = RoundContext {
+///     round: 0, now: 0.0, round_secs: 3_600.0, online: true,
+///     link_capacity: u64::MAX, data_grant: 100_000, energy_grant: 3_000.0,
+///     cost: &cost,
+/// };
+/// let delivered = sched.run_round(&ctx);
+/// assert!(delivered.is_empty()); // nothing queued yet
+/// ```
+#[derive(Debug)]
+pub struct RichNoteScheduler {
+    cfg: RichNoteConfig,
+    lyap: LyapunovState,
+    queue: Vec<QueuedNotification>,
+    expired: u64,
+}
+
+impl RichNoteScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(cfg: RichNoteConfig) -> Self {
+        Self {
+            lyap: LyapunovState::new(cfg.lyapunov),
+            cfg,
+            queue: Vec::new(),
+            expired: 0,
+        }
+    }
+
+    /// Creates a scheduler with the paper's default parameters.
+    pub fn with_defaults() -> Self {
+        Self::new(RichNoteConfig::default())
+    }
+
+    /// Read-only view of the Lyapunov state (for telemetry).
+    pub fn lyapunov(&self) -> &LyapunovState {
+        &self.lyap
+    }
+
+    /// Notifications dropped by queue expiry so far.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Drops queue entries older than the configured `max_age_secs`.
+    fn expire(&mut self, now: f64) {
+        let Some(max_age) = self.cfg.max_age_secs else {
+            return;
+        };
+        let lyap = &mut self.lyap;
+        let expired = &mut self.expired;
+        self.queue.retain(|n| {
+            if now - n.enqueued_at > max_age {
+                lyap.on_drop(n.ladder.total_size());
+                *expired += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+impl NotificationScheduler for RichNoteScheduler {
+    fn name(&self) -> &str {
+        "RichNote"
+    }
+
+    fn enqueue(&mut self, notification: QueuedNotification) {
+        self.lyap.on_enqueue(notification.ladder.total_size());
+        self.queue.push(notification);
+    }
+
+    fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
+        self.lyap.begin_round(ctx.data_grant, ctx.energy_grant);
+        self.expire(ctx.now);
+        if !ctx.online || self.queue.is_empty() {
+            return Vec::new();
+        }
+
+        let budget = (self.lyap.data_budget() as u64).min(ctx.link_capacity);
+
+        // Build the MCKP instance with Lyapunov-adjusted utilities (Eq. 7).
+        let items: Vec<MckpItem> = self
+            .queue
+            .iter()
+            .enumerate()
+            .map(|(idx, n)| {
+                let s_total = n.ladder.total_size();
+                let (sizes, utils): (Vec<u64>, Vec<f64>) = n
+                    .ladder
+                    .deliverable()
+                    .iter()
+                    .map(|p| {
+                        let rho = ctx.cost.energy(p.size);
+                        let u = combined_utility(n.content_utility, p.utility);
+                        (p.size, self.lyap.adjusted_utility(s_total, rho, u))
+                    })
+                    .unzip();
+                MckpItem::from_adjusted(idx, &sizes, &utils)
+            })
+            .collect();
+
+        let selection = select_greedy_with(&items, budget, self.cfg.greedy);
+
+        // Move winners to the delivery queue, sorted in descending combined
+        // utility (Algorithm 2, step 1), and update budgets (step 3).
+        let mut chosen: Vec<(usize, u8)> = selection.delivered().collect();
+        chosen.sort_by(|a, b| {
+            let ua = self.queue[a.0].utility_at(a.1);
+            let ub = self.queue[b.0].utility_at(b.1);
+            ub.total_cmp(&ua)
+        });
+
+        let mut delivered = Vec::with_capacity(chosen.len());
+        let mut bytes_before = 0u64;
+        for &(idx, level) in &chosen {
+            let n = &self.queue[idx];
+            let pres = n.ladder.get(level);
+            let energy = ctx.cost.energy(pres.size);
+            self.lyap.on_deliver(n.ladder.total_size(), pres.size, energy);
+            let delivered_at = ctx.finish_time(bytes_before, pres.size);
+            bytes_before += pres.size;
+            delivered.push(DeliveredNotification {
+                content: n.item.id,
+                level,
+                size: pres.size,
+                utility: n.utility_at(level),
+                energy,
+                enqueued_at: n.enqueued_at,
+                delivered_at,
+            });
+        }
+
+        // Remove delivered items from the scheduling queue (descending
+        // index order keeps the remaining indices valid).
+        let mut indices: Vec<usize> = chosen.iter().map(|&(i, _)| i).collect();
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        for idx in indices {
+            self.queue.swap_remove(idx);
+        }
+
+        delivered
+    }
+
+    fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.queue.iter().map(|n| n.ladder.total_size()).sum()
+    }
+}
+
+/// Shared machinery of the two fixed-level baselines.
+#[derive(Debug)]
+struct FixedLevelState {
+    fixed_level: u8,
+    data_budget: f64,
+    queue: VecDeque<QueuedNotification>,
+}
+
+impl FixedLevelState {
+    fn new(fixed_level: u8) -> Self {
+        Self {
+            fixed_level,
+            data_budget: 0.0,
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Delivers queued items in the queue's current order at the fixed
+    /// level until the budget or capacity is exhausted. Stops at the first
+    /// item that does not fit (head-of-line blocking, as deployed systems
+    /// that preserve ordering do).
+    fn drain(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
+        self.data_budget += ctx.data_grant as f64;
+        if !ctx.online {
+            return Vec::new();
+        }
+        let mut capacity = ctx.link_capacity;
+        let mut delivered = Vec::new();
+        let mut bytes_before = 0u64;
+        while let Some(front) = self.queue.front() {
+            let level = front.ladder.clamp_level(self.fixed_level);
+            let pres = front.ladder.get(level);
+            if pres.size as f64 > self.data_budget || pres.size > capacity {
+                break;
+            }
+            let n = self.queue.pop_front().expect("front exists");
+            let energy = ctx.cost.energy(pres.size);
+            self.data_budget -= pres.size as f64;
+            capacity -= pres.size;
+            let delivered_at = ctx.finish_time(bytes_before, pres.size);
+            bytes_before += pres.size;
+            delivered.push(DeliveredNotification {
+                content: n.item.id,
+                level,
+                size: pres.size,
+                utility: n.utility_at(level),
+                energy,
+                enqueued_at: n.enqueued_at,
+                delivered_at,
+            });
+        }
+        delivered
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.queue.iter().map(|n| n.ladder.total_size()).sum()
+    }
+}
+
+/// FIFO baseline: notifications delivered in arrival order at a fixed
+/// presentation level (Spotify real-time mode behaviour).
+#[derive(Debug)]
+pub struct FifoScheduler {
+    state: FixedLevelState,
+}
+
+impl FifoScheduler {
+    /// Creates a FIFO scheduler delivering at `fixed_level` (clamped to
+    /// each item's ladder depth).
+    pub fn new(fixed_level: u8) -> Self {
+        Self {
+            state: FixedLevelState::new(fixed_level),
+        }
+    }
+
+    /// The configured fixed level.
+    pub fn fixed_level(&self) -> u8 {
+        self.state.fixed_level
+    }
+}
+
+impl NotificationScheduler for FifoScheduler {
+    fn name(&self) -> &str {
+        "FIFO"
+    }
+
+    fn enqueue(&mut self, notification: QueuedNotification) {
+        self.state.queue.push_back(notification);
+    }
+
+    fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
+        self.state.drain(ctx)
+    }
+
+    fn backlog(&self) -> usize {
+        self.state.queue.len()
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.state.backlog_bytes()
+    }
+}
+
+/// UTIL baseline: notifications delivered in descending utility order at a
+/// fixed presentation level (Spotify batch mode behaviour).
+#[derive(Debug)]
+pub struct UtilScheduler {
+    state: FixedLevelState,
+}
+
+impl UtilScheduler {
+    /// Creates a UTIL scheduler delivering at `fixed_level`.
+    pub fn new(fixed_level: u8) -> Self {
+        Self {
+            state: FixedLevelState::new(fixed_level),
+        }
+    }
+
+    /// The configured fixed level.
+    pub fn fixed_level(&self) -> u8 {
+        self.state.fixed_level
+    }
+
+    fn resort(&mut self) {
+        let level = self.state.fixed_level;
+        self.state
+            .queue
+            .make_contiguous()
+            .sort_by(|a, b| {
+                let ua = a.utility_at(a.ladder.clamp_level(level));
+                let ub = b.utility_at(b.ladder.clamp_level(level));
+                ub.total_cmp(&ua)
+            });
+    }
+}
+
+impl NotificationScheduler for UtilScheduler {
+    fn name(&self) -> &str {
+        "UTIL"
+    }
+
+    fn enqueue(&mut self, notification: QueuedNotification) {
+        self.state.queue.push_back(notification);
+    }
+
+    fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
+        self.resort();
+        self.state.drain(ctx)
+    }
+
+    fn backlog(&self) -> usize {
+        self.state.queue.len()
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.state.backlog_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::{ContentFeatures, ContentKind, Interaction};
+    use crate::ids::{AlbumId, ArtistId, ContentId, TrackId, UserId};
+    use crate::presentation::AudioPresentationSpec;
+
+    fn notification(id: u64, content_utility: f64, enqueued_at: f64) -> QueuedNotification {
+        QueuedNotification {
+            item: ContentItem {
+                id: ContentId::new(id),
+                recipient: UserId::new(1),
+                sender: None,
+                kind: ContentKind::FriendFeed,
+                track: TrackId::new(id),
+                album: AlbumId::new(id),
+                artist: ArtistId::new(id),
+                arrival: enqueued_at,
+                track_secs: 276.0,
+                features: ContentFeatures::default(),
+                interaction: Interaction::Hovered,
+            },
+            ladder: AudioPresentationSpec::paper_default().ladder(),
+            content_utility,
+            enqueued_at,
+        }
+    }
+
+    const COST: LinearCost = LinearCost { fixed: 5.0, per_byte: 5e-4 };
+
+    fn online_ctx(round: u64, grant: u64) -> RoundContext<'static> {
+        RoundContext {
+            round,
+            now: round as f64 * 3600.0,
+            round_secs: 3_600.0,
+            online: true,
+            link_capacity: u64::MAX,
+            data_grant: grant,
+            energy_grant: 3_000.0,
+            cost: &COST,
+        }
+    }
+
+    #[test]
+    fn richnote_delivers_nothing_when_offline() {
+        let mut s = RichNoteScheduler::with_defaults();
+        s.enqueue(notification(1, 0.9, 0.0));
+        let ctx = RoundContext { online: false, ..online_ctx(0, 1_000_000) };
+        assert!(s.run_round(&ctx).is_empty());
+        // Budget still accrues while offline.
+        assert_eq!(s.lyapunov().data_budget(), 1_000_000.0);
+    }
+
+    #[test]
+    fn richnote_adapts_level_to_budget() {
+        // Tiny budget → metadata only; huge budget → full previews.
+        let mut small = RichNoteScheduler::with_defaults();
+        let mut large = RichNoteScheduler::with_defaults();
+        for i in 0..5 {
+            small.enqueue(notification(i, 0.8, 0.0));
+            large.enqueue(notification(i, 0.8, 0.0));
+        }
+        let d_small = small.run_round(&online_ctx(0, 1_500));
+        let d_large = large.run_round(&online_ctx(0, 50_000_000));
+        assert!(!d_small.is_empty());
+        assert!(d_small.iter().all(|d| d.level == 1), "{d_small:?}");
+        assert_eq!(d_large.len(), 5);
+        assert!(d_large.iter().all(|d| d.level == 6), "{d_large:?}");
+    }
+
+    #[test]
+    fn richnote_delivery_sorted_by_utility() {
+        let mut s = RichNoteScheduler::with_defaults();
+        s.enqueue(notification(1, 0.2, 0.0));
+        s.enqueue(notification(2, 0.9, 0.0));
+        s.enqueue(notification(3, 0.5, 0.0));
+        let delivered = s.run_round(&online_ctx(0, 50_000_000));
+        let utils: Vec<f64> = delivered.iter().map(|d| d.utility).collect();
+        for w in utils.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert_eq!(delivered[0].content, ContentId::new(2));
+    }
+
+    #[test]
+    fn richnote_queue_drains_and_backlog_tracks() {
+        let mut s = RichNoteScheduler::with_defaults();
+        for i in 0..10 {
+            s.enqueue(notification(i, 0.5, 0.0));
+        }
+        assert_eq!(s.backlog(), 10);
+        let ladder_total = AudioPresentationSpec::paper_default().ladder().total_size();
+        assert_eq!(s.backlog_bytes(), 10 * ladder_total);
+        let delivered = s.run_round(&online_ctx(0, u64::MAX >> 8));
+        assert_eq!(delivered.len(), 10);
+        assert_eq!(s.backlog(), 0);
+        assert_eq!(s.backlog_bytes(), 0);
+        assert_eq!(s.lyapunov().q(), 0.0);
+    }
+
+    #[test]
+    fn richnote_budget_rolls_over_when_offline() {
+        let mut s = RichNoteScheduler::with_defaults();
+        s.enqueue(notification(1, 0.9, 0.0));
+        // Three offline rounds bank 3θ...
+        for r in 0..3 {
+            let ctx = RoundContext { online: false, ..online_ctx(r, 40_000) };
+            assert!(s.run_round(&ctx).is_empty());
+        }
+        // ...enough for a 5-second preview (100_200 B) in round 3 even
+        // though a single round's grant (40 kB) is not.
+        let delivered = s.run_round(&online_ctx(3, 40_000));
+        assert_eq!(delivered.len(), 1);
+        assert!(delivered[0].level >= 2, "{delivered:?}");
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut s = FifoScheduler::new(1);
+        s.enqueue(notification(1, 0.1, 0.0));
+        s.enqueue(notification(2, 0.9, 10.0));
+        let delivered = s.run_round(&online_ctx(0, 1_000_000));
+        let ids: Vec<u64> = delivered.iter().map(|d| d.content.value()).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn util_orders_by_utility() {
+        let mut s = UtilScheduler::new(1);
+        s.enqueue(notification(1, 0.1, 0.0));
+        s.enqueue(notification(2, 0.9, 10.0));
+        s.enqueue(notification(3, 0.5, 20.0));
+        let delivered = s.run_round(&online_ctx(0, 1_000_000));
+        let ids: Vec<u64> = delivered.iter().map(|d| d.content.value()).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn baselines_block_on_fixed_level_size() {
+        // Level 3 = metadata + 10s preview = 200_200 bytes. Budget for one.
+        let mut fifo = FifoScheduler::new(3);
+        fifo.enqueue(notification(1, 0.9, 0.0));
+        fifo.enqueue(notification(2, 0.9, 0.0));
+        let delivered = fifo.run_round(&online_ctx(0, 250_000));
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].size, 200_200);
+        assert_eq!(fifo.backlog(), 1);
+    }
+
+    #[test]
+    fn baseline_budget_rolls_over() {
+        let mut fifo = FifoScheduler::new(3);
+        fifo.enqueue(notification(1, 0.9, 0.0));
+        // One round with half the needed budget: nothing delivered.
+        assert!(fifo.run_round(&online_ctx(0, 110_000)).is_empty());
+        // Next round the rolled-over budget suffices.
+        assert_eq!(fifo.run_round(&online_ctx(1, 110_000)).len(), 1);
+    }
+
+    #[test]
+    fn baseline_clamps_missing_levels() {
+        let ladder = crate::presentation::PresentationLadder::new(vec![(200, 0.01)]).unwrap();
+        let mut n = notification(1, 0.9, 0.0);
+        n.ladder = ladder;
+        let mut fifo = FifoScheduler::new(6);
+        fifo.enqueue(n);
+        let delivered = fifo.run_round(&online_ctx(0, 1_000));
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].level, 1);
+    }
+
+    #[test]
+    fn link_capacity_caps_deliveries() {
+        let mut s = RichNoteScheduler::with_defaults();
+        for i in 0..4 {
+            s.enqueue(notification(i, 0.9, 0.0));
+        }
+        let ctx = RoundContext { link_capacity: 500, ..online_ctx(0, 10_000_000) };
+        let delivered = s.run_round(&ctx);
+        let bytes: u64 = delivered.iter().map(|d| d.size).sum();
+        assert!(bytes <= 500);
+    }
+
+    #[test]
+    fn queuing_delay_is_measured() {
+        let mut s = FifoScheduler::new(1);
+        s.enqueue(notification(1, 0.9, 100.0));
+        let ctx = online_ctx(2, 1_000_000); // now = 7200
+        let delivered = s.run_round(&ctx);
+        assert!((delivered[0].queuing_delay() - 7_100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expiry_drops_stale_items_and_shrinks_q() {
+        let cfg = RichNoteConfig {
+            max_age_secs: Some(2.0 * 3600.0),
+            ..RichNoteConfig::default()
+        };
+        let mut s = RichNoteScheduler::new(cfg);
+        s.enqueue(notification(1, 0.9, 0.0));
+        s.enqueue(notification(2, 0.9, 9_000.0));
+        assert_eq!(s.backlog(), 2);
+        // Offline round at t = 3 h: item 1 (age 3 h) expires, item 2 stays.
+        let ctx = RoundContext { online: false, now: 3.0 * 3600.0, ..online_ctx(2, 0) };
+        assert!(s.run_round(&ctx).is_empty());
+        assert_eq!(s.backlog(), 1);
+        assert_eq!(s.expired(), 1);
+        let remaining_total = AudioPresentationSpec::paper_default().ladder().total_size();
+        assert_eq!(s.lyapunov().q(), remaining_total as f64);
+    }
+
+    #[test]
+    fn expiry_disabled_by_default() {
+        let mut s = RichNoteScheduler::with_defaults();
+        s.enqueue(notification(1, 0.9, 0.0));
+        let ctx = RoundContext { online: false, now: 1e9, ..online_ctx(0, 0) };
+        assert!(s.run_round(&ctx).is_empty());
+        assert_eq!(s.backlog(), 1);
+        assert_eq!(s.expired(), 0);
+    }
+
+    #[test]
+    fn energy_depletion_steers_selection_to_smaller_levels() {
+        // Drain the virtual energy queue far below κ: the (P−κ)·ρ term then
+        // penalizes big transfers, so RichNote should pick smaller levels
+        // than an energy-rich scheduler would under the same data budget.
+        let cfg = RichNoteConfig {
+            lyapunov: LyapunovConfig { v: 1_000.0, kappa: 3_000.0, initial_energy: 0.0 },
+            ..RichNoteConfig::default()
+        };
+        let mut poor = RichNoteScheduler::new(cfg);
+        let mut rich = RichNoteScheduler::with_defaults();
+        for i in 0..3 {
+            poor.enqueue(notification(i, 0.9, 0.0));
+            rich.enqueue(notification(i, 0.9, 0.0));
+        }
+        // Strongly energy-costly link.
+        let cost = LinearCost { fixed: 50.0, per_byte: 5e-3 };
+        let ctx = RoundContext {
+            round: 0,
+            now: 0.0,
+            round_secs: 3_600.0,
+            online: true,
+            link_capacity: u64::MAX,
+            data_grant: 10_000_000,
+            energy_grant: 0.0,
+            cost: &cost,
+        };
+        let d_poor = poor.run_round(&ctx);
+        let ctx_rich = RoundContext { energy_grant: 3_000.0, ..ctx };
+        let d_rich = rich.run_round(&ctx_rich);
+        let max_poor = d_poor.iter().map(|d| d.level).max().unwrap_or(0);
+        let max_rich = d_rich.iter().map(|d| d.level).max().unwrap_or(0);
+        assert!(
+            max_poor <= max_rich,
+            "energy-poor scheduler must not pick richer levels ({max_poor} vs {max_rich})"
+        );
+    }
+}

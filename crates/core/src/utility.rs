@@ -1,0 +1,275 @@
+//! Utility modeling (Sec. III-A): content utility, presentation utility and
+//! their combination `U(i, j) = Uc(i) × Up(i, j)`.
+
+use crate::content::ContentItem;
+use crate::paper;
+use serde::{Deserialize, Serialize};
+
+/// Source of content utility `Uc(i)` — "how likely the user is to consume
+/// content `i`".
+///
+/// The production implementation is a trained classifier (see the
+/// `richnote-forest` crate); tests and baselines use constant or oracle
+/// implementations.
+pub trait ContentUtility {
+    /// Returns `Uc(i) ∈ [0, 1]` for the item.
+    fn content_utility(&self, item: &ContentItem) -> f64;
+}
+
+/// A constant content utility, useful as a null model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantUtility(pub f64);
+
+impl ContentUtility for ConstantUtility {
+    fn content_utility(&self, _item: &ContentItem) -> f64 {
+        self.0.clamp(0.0, 1.0)
+    }
+}
+
+/// An oracle that reads the ground-truth interaction: clicked items get
+/// utility 1, everything else 0. Used to upper-bound achievable precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OracleUtility;
+
+impl ContentUtility for OracleUtility {
+    fn content_utility(&self, item: &ContentItem) -> f64 {
+        if item.interaction.is_click() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl<F> ContentUtility for F
+where
+    F: Fn(&ContentItem) -> f64,
+{
+    fn content_utility(&self, item: &ContentItem) -> f64 {
+        self(item)
+    }
+}
+
+/// Duration→utility model for audio previews, fitted from the user survey
+/// (Sec. V-B).
+///
+/// Two functional forms are supported, exactly as in the paper:
+///
+/// * logarithmic, Eq. 8: `util(d) = a + b·ln(1 + d)`;
+/// * polynomial, Eq. 9: `util(d) = a·(1 − d/D)^b`.
+///
+/// ```
+/// use richnote_core::utility::DurationUtility;
+///
+/// let log = DurationUtility::paper_logarithmic();
+/// assert!(log.eval(40.0) > log.eval(5.0)); // longer previews are better
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DurationUtility {
+    /// `util(d) = a + b·ln(1 + d)`.
+    Logarithmic {
+        /// Intercept `a`.
+        a: f64,
+        /// Slope `b` on `ln(1 + d)`.
+        b: f64,
+    },
+    /// `util(d) = a·(1 − d/d_max)^b`.
+    Polynomial {
+        /// Scale `a`.
+        a: f64,
+        /// Exponent `b`.
+        b: f64,
+        /// Normalizing duration `D`.
+        d_max: f64,
+    },
+    /// The monotone-increasing counterpart of [`Self::Polynomial`]:
+    /// `util(d) = a·(1 − (1 − d/d_max)^b)`, rising from 0 at `d = 0` to
+    /// `a` at `d = d_max`. Used by the utility-function ablation, where the
+    /// decreasing Eq. 9 form cannot drive a monotone presentation ladder.
+    RisingPolynomial {
+        /// Asymptotic utility `a`.
+        a: f64,
+        /// Exponent `b`.
+        b: f64,
+        /// Saturating duration `D`.
+        d_max: f64,
+    },
+}
+
+impl DurationUtility {
+    /// The paper's fitted logarithmic model (Eq. 8):
+    /// `util(d) = −0.397 + 0.352·ln(1 + d)`.
+    pub fn paper_logarithmic() -> Self {
+        DurationUtility::Logarithmic {
+            a: paper::LOG_UTILITY_A,
+            b: paper::LOG_UTILITY_B,
+        }
+    }
+
+    /// The paper's fitted polynomial model (Eq. 9):
+    /// `util(d) = 0.253·(1 − d/40)^2.087`.
+    pub fn paper_polynomial() -> Self {
+        DurationUtility::Polynomial {
+            a: paper::POLY_UTILITY_A,
+            b: paper::POLY_UTILITY_B,
+            d_max: paper::POLY_UTILITY_D,
+        }
+    }
+
+    /// Evaluates the model at duration `d` seconds.
+    ///
+    /// Values are *not* clamped; callers deciding on utilities for a ladder
+    /// typically clamp negatives to zero (a 0-second preview has no value).
+    pub fn eval(&self, d: f64) -> f64 {
+        match *self {
+            DurationUtility::Logarithmic { a, b } => a + b * (1.0 + d).ln(),
+            DurationUtility::Polynomial { a, b, d_max } => {
+                let x = (1.0 - d / d_max).max(0.0);
+                a * x.powf(b)
+            }
+            DurationUtility::RisingPolynomial { a, b, d_max } => {
+                let x = (1.0 - d / d_max).max(0.0);
+                a * (1.0 - x.powf(b))
+            }
+        }
+    }
+
+    /// The rising counterpart of the paper's Eq. 9 constants, scaled so its
+    /// ceiling matches the logarithmic curve at 40 s (for the ablation).
+    pub fn paper_rising_polynomial() -> Self {
+        DurationUtility::RisingPolynomial {
+            a: paper::LOG_UTILITY_A + paper::LOG_UTILITY_B * (1.0 + paper::POLY_UTILITY_D).ln(),
+            b: paper::POLY_UTILITY_B,
+            d_max: paper::POLY_UTILITY_D,
+        }
+    }
+
+    /// Sum of squared residuals against observed `(duration, utility)`
+    /// points — the goodness-of-fit statistic behind Fig. 2(b).
+    pub fn sse(&self, points: &[(f64, f64)]) -> f64 {
+        points
+            .iter()
+            .map(|&(d, u)| {
+                let r = self.eval(d) - u;
+                r * r
+            })
+            .sum()
+    }
+}
+
+/// Combines content and presentation utility per Eq. 1:
+/// `U(i, j) = Uc(i) × Up(i, j)`.
+///
+/// ```
+/// use richnote_core::utility::combined_utility;
+/// assert_eq!(combined_utility(0.5, 0.8), 0.4);
+/// ```
+pub fn combined_utility(content_utility: f64, presentation_utility: f64) -> f64 {
+    content_utility * presentation_utility
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::{ContentFeatures, ContentKind, Interaction};
+    use crate::ids::{AlbumId, ArtistId, ContentId, TrackId, UserId};
+
+    fn item(interaction: Interaction) -> ContentItem {
+        ContentItem {
+            id: ContentId::new(1),
+            recipient: UserId::new(1),
+            sender: None,
+            kind: ContentKind::AlbumRelease,
+            track: TrackId::new(1),
+            album: AlbumId::new(1),
+            artist: ArtistId::new(1),
+            arrival: 0.0,
+            track_secs: 200.0,
+            features: ContentFeatures::default(),
+            interaction,
+        }
+    }
+
+    #[test]
+    fn paper_log_matches_quoted_values() {
+        let f = DurationUtility::paper_logarithmic();
+        // util(5) = -0.397 + 0.352 ln 6 ≈ 0.2337
+        assert!((f.eval(5.0) - 0.2337).abs() < 1e-3);
+        // util(40) = -0.397 + 0.352 ln 41 ≈ 0.9101
+        assert!((f.eval(40.0) - 0.9101).abs() < 1e-3);
+    }
+
+    #[test]
+    fn log_model_is_monotone_increasing() {
+        let f = DurationUtility::paper_logarithmic();
+        let mut last = f64::NEG_INFINITY;
+        for d in [0.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
+            let u = f.eval(d);
+            assert!(u > last);
+            last = u;
+        }
+    }
+
+    #[test]
+    fn poly_model_matches_quoted_constants() {
+        let f = DurationUtility::paper_polynomial();
+        // At d = 0: a·1^b = 0.253.
+        assert!((f.eval(0.0) - 0.253).abs() < 1e-12);
+        // At d = D: zero.
+        assert!(f.eval(40.0).abs() < 1e-12);
+        // Beyond D the base clamps at 0 instead of going NaN.
+        assert_eq!(f.eval(45.0), 0.0);
+    }
+
+    #[test]
+    fn rising_polynomial_is_monotone_and_saturates() {
+        let f = DurationUtility::paper_rising_polynomial();
+        let mut last = -1.0;
+        for d in [0.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
+            let u = f.eval(d);
+            assert!(u >= last, "util({d}) = {u} dropped below {last}");
+            last = u;
+        }
+        assert!(f.eval(0.0).abs() < 1e-12);
+        // Ceiling matches the log curve at 40 s by construction.
+        let log = DurationUtility::paper_logarithmic();
+        assert!((f.eval(40.0) - log.eval(40.0)).abs() < 1e-9);
+        // Saturates past d_max.
+        assert_eq!(f.eval(50.0), f.eval(40.0));
+    }
+
+    #[test]
+    fn sse_is_zero_on_own_curve() {
+        let f = DurationUtility::paper_logarithmic();
+        let pts: Vec<(f64, f64)> = [5.0, 10.0, 20.0].iter().map(|&d| (d, f.eval(d))).collect();
+        assert!(f.sse(&pts) < 1e-20);
+        assert!(DurationUtility::paper_polynomial().sse(&pts) > 0.0);
+    }
+
+    #[test]
+    fn combined_utility_is_a_product() {
+        assert_eq!(combined_utility(0.0, 0.9), 0.0);
+        assert_eq!(combined_utility(1.0, 0.9), 0.9);
+    }
+
+    #[test]
+    fn oracle_reads_ground_truth() {
+        assert_eq!(
+            OracleUtility.content_utility(&item(Interaction::Clicked { at: 1.0 })),
+            1.0
+        );
+        assert_eq!(OracleUtility.content_utility(&item(Interaction::Hovered)), 0.0);
+    }
+
+    #[test]
+    fn constant_utility_clamps() {
+        assert_eq!(ConstantUtility(2.0).content_utility(&item(Interaction::Hovered)), 1.0);
+        assert_eq!(ConstantUtility(-1.0).content_utility(&item(Interaction::Hovered)), 0.0);
+    }
+
+    #[test]
+    fn closures_implement_content_utility() {
+        let f = |it: &ContentItem| it.features.track_popularity / 100.0;
+        assert!((f.content_utility(&item(Interaction::Hovered)) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,23 @@
+//! # richnote-energy
+//!
+//! Mobile download-energy model and battery simulation for RichNote.
+//!
+//! The paper measures "download energy" with the model of Balasubramanian
+//! et al., *Energy Consumption in Mobile Phones* (IMC 2009): every transfer
+//! pays a network-dependent **setup** cost (radio ramp / association), a
+//! **per-byte transfer** cost, and — on cellular — a **tail** cost for the
+//! seconds the radio lingers in a high-power state after the transfer.
+//!
+//! * [`model::NetworkEnergyModel`] — the per-network parameters with
+//!   IMC'09-style presets for 3G cellular and WiFi;
+//! * [`battery::Battery`] and [`battery::BatteryTrace`] — device battery
+//!   state and a synthetic diurnal drain/recharge trace standing in for the
+//!   per-user battery traces of Do et al. (INFOCOM 2014) used by the paper;
+//! * [`battery::energy_grant`] — the variable per-round replenishment rate
+//!   `e(t)` derived from battery status (Algorithm 2, step 2).
+
+pub mod battery;
+pub mod model;
+
+pub use battery::{energy_grant, Battery, BatteryTrace, BatteryTraceConfig};
+pub use model::NetworkEnergyModel;

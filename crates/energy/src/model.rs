@@ -1,0 +1,141 @@
+//! The IMC'09-style download energy model.
+
+use serde::{Deserialize, Serialize};
+
+/// Energy parameters of one network type.
+///
+/// The energy of downloading `x` bytes is modeled as
+///
+/// ```text
+/// E(x) = setup + per_kb · (x / 1000) + tail
+/// ```
+///
+/// with `tail = tail_power · tail_secs` paid once per radio session. The
+/// presets approximate the regressions measured by Balasubramanian et al.
+/// (IMC 2009) for 3G and WiFi downloads.
+///
+/// ```
+/// use richnote_energy::model::NetworkEnergyModel;
+///
+/// let cell = NetworkEnergyModel::cellular();
+/// // A 200 KB notification (10 s preview) costs setup + transfer + tail:
+/// assert!((cell.transfer_energy(200_000) - 16.25).abs() < 1e-9);
+/// // WiFi wins for large payloads.
+/// assert!(NetworkEnergyModel::wifi().transfer_energy(1_000_000)
+///     < cell.transfer_energy(1_000_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkEnergyModel {
+    /// One-time session setup energy (radio promotion / association), J.
+    pub setup: f64,
+    /// Transfer energy per kilobyte, J/KB.
+    pub per_kb: f64,
+    /// Post-transfer tail power, W.
+    pub tail_power: f64,
+    /// Tail duration, s.
+    pub tail_secs: f64,
+}
+
+impl NetworkEnergyModel {
+    /// 3G cellular preset (IMC'09: ≈0.025 J/KB transfer, ≈3.5 J ramp,
+    /// ≈0.62 W tail power held for ≈12.5 s).
+    pub fn cellular() -> Self {
+        Self {
+            setup: 3.5,
+            per_kb: 0.025,
+            tail_power: 0.62,
+            tail_secs: 12.5,
+        }
+    }
+
+    /// WiFi preset (IMC'09: ≈0.007 J/KB, ≈5.9 J association/scan overhead,
+    /// negligible tail).
+    pub fn wifi() -> Self {
+        Self {
+            setup: 5.9,
+            per_kb: 0.007,
+            tail_power: 0.0,
+            tail_secs: 0.0,
+        }
+    }
+
+    /// Tail energy per session, J.
+    pub fn tail_energy(&self) -> f64 {
+        self.tail_power * self.tail_secs
+    }
+
+    /// Energy for one isolated transfer of `bytes` (setup + transfer +
+    /// tail). Zero bytes cost nothing — the radio never wakes.
+    pub fn transfer_energy(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.setup + self.per_kb * bytes as f64 / 1000.0 + self.tail_energy()
+    }
+
+    /// Energy for a batched session delivering `total_bytes` across any
+    /// number of notifications back-to-back: setup and tail are paid once.
+    /// This is how the simulator accounts a round's actual expenditure,
+    /// while [`Self::transfer_energy`] is the scheduler's per-item estimate
+    /// `ρ(i, j)`.
+    pub fn session_energy(&self, total_bytes: u64) -> f64 {
+        self.transfer_energy(total_bytes)
+    }
+}
+
+impl Default for NetworkEnergyModel {
+    fn default() -> Self {
+        Self::cellular()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_cost_nothing() {
+        assert_eq!(NetworkEnergyModel::cellular().transfer_energy(0), 0.0);
+        assert_eq!(NetworkEnergyModel::wifi().transfer_energy(0), 0.0);
+    }
+
+    #[test]
+    fn cellular_has_tail_wifi_does_not() {
+        assert!(NetworkEnergyModel::cellular().tail_energy() > 0.0);
+        assert_eq!(NetworkEnergyModel::wifi().tail_energy(), 0.0);
+    }
+
+    #[test]
+    fn energy_is_monotone_in_bytes() {
+        let m = NetworkEnergyModel::cellular();
+        let mut last = 0.0;
+        for bytes in [1u64, 1_000, 100_000, 1_000_000, 10_000_000] {
+            let e = m.transfer_energy(bytes);
+            assert!(e > last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn wifi_is_cheaper_per_byte_for_large_transfers() {
+        let cell = NetworkEnergyModel::cellular();
+        let wifi = NetworkEnergyModel::wifi();
+        // For a 10 MB transfer WiFi wins decisively.
+        assert!(wifi.transfer_energy(10_000_000) < cell.transfer_energy(10_000_000));
+    }
+
+    #[test]
+    fn known_cellular_value() {
+        let m = NetworkEnergyModel::cellular();
+        // 200 KB: 3.5 + 0.025·200 + 0.62·12.5 = 3.5 + 5 + 7.75 = 16.25 J.
+        assert!((m.transfer_energy(200_000) - 16.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_session_saves_overhead() {
+        let m = NetworkEnergyModel::cellular();
+        let individually = m.transfer_energy(100_000) * 3.0;
+        let batched = m.session_energy(300_000);
+        assert!(batched < individually);
+    }
+}

@@ -1,0 +1,173 @@
+//! Probability calibration diagnostics.
+//!
+//! RichNote consumes the classifier's confidence directly as the content
+//! utility `Uc(i)` (Sec. V-A) — so the *calibration* of those confidences
+//! matters as much as their ranking: a forest that says "0.7" should be
+//! right about 70% of the time. This module provides reliability diagrams
+//! (binned predicted-vs-observed frequencies), the Brier score, and the
+//! expected calibration error (ECE).
+
+use crate::dataset::Dataset;
+use crate::forest::RandomForest;
+use serde::{Deserialize, Serialize};
+
+/// One bin of a reliability diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityBin {
+    /// Lower edge of the predicted-probability bin.
+    pub lo: f64,
+    /// Upper edge.
+    pub hi: f64,
+    /// Number of predictions in the bin.
+    pub count: usize,
+    /// Mean predicted probability.
+    pub mean_predicted: f64,
+    /// Observed positive frequency.
+    pub observed: f64,
+}
+
+/// Calibration diagnostics for a set of probabilistic predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Reliability bins (equal-width over `[0, 1]`).
+    pub bins: Vec<ReliabilityBin>,
+    /// Brier score: mean squared error of the probabilities (lower is
+    /// better; 0.25 is the score of always predicting 0.5).
+    pub brier: f64,
+    /// Expected calibration error: count-weighted mean |predicted −
+    /// observed| over non-empty bins.
+    pub ece: f64,
+}
+
+/// Computes calibration diagnostics from parallel score/label slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length, are empty, or `n_bins == 0`.
+pub fn calibration(scores: &[f64], labels: &[bool], n_bins: usize) -> CalibrationReport {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(!scores.is_empty(), "need at least one prediction");
+    assert!(n_bins > 0, "need at least one bin");
+
+    let mut sum_pred = vec![0.0f64; n_bins];
+    let mut sum_pos = vec![0usize; n_bins];
+    let mut counts = vec![0usize; n_bins];
+    let mut brier = 0.0f64;
+
+    for (&p, &y) in scores.iter().zip(labels) {
+        let clamped = p.clamp(0.0, 1.0);
+        let idx = ((clamped * n_bins as f64) as usize).min(n_bins - 1);
+        counts[idx] += 1;
+        sum_pred[idx] += clamped;
+        if y {
+            sum_pos[idx] += 1;
+        }
+        let target = if y { 1.0 } else { 0.0 };
+        brier += (clamped - target).powi(2);
+    }
+    brier /= scores.len() as f64;
+
+    let mut bins = Vec::with_capacity(n_bins);
+    let mut ece = 0.0f64;
+    for i in 0..n_bins {
+        let lo = i as f64 / n_bins as f64;
+        let hi = (i + 1) as f64 / n_bins as f64;
+        let (mean_predicted, observed) = if counts[i] > 0 {
+            (sum_pred[i] / counts[i] as f64, sum_pos[i] as f64 / counts[i] as f64)
+        } else {
+            (0.0, 0.0)
+        };
+        if counts[i] > 0 {
+            ece += counts[i] as f64 / scores.len() as f64 * (mean_predicted - observed).abs();
+        }
+        bins.push(ReliabilityBin { lo, hi, count: counts[i], mean_predicted, observed });
+    }
+
+    CalibrationReport { bins, brier, ece }
+}
+
+/// Calibration of a trained forest over a dataset.
+pub fn forest_calibration(forest: &RandomForest, data: &Dataset, n_bins: usize) -> CalibrationReport {
+    let scores: Vec<f64> = (0..data.len()).map(|i| forest.predict_proba(data.row(i))).collect();
+    calibration(&scores, data.labels(), n_bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::RandomForestConfig;
+
+    #[test]
+    fn perfectly_calibrated_scores_have_zero_ece() {
+        // Predictions exactly matching frequencies: 1000 samples at p = 0.3
+        // with 30% positives (deterministically interleaved).
+        let scores = vec![0.3; 1000];
+        let labels: Vec<bool> = (0..1000).map(|i| i % 10 < 3).collect();
+        let r = calibration(&scores, &labels, 10);
+        assert!(r.ece < 1e-9, "ece {}", r.ece);
+        // Brier = p(1−p) for a calibrated constant predictor.
+        assert!((r.brier - 0.21).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overconfident_scores_have_high_ece() {
+        // Predicting 0.95 for a 50/50 outcome.
+        let scores = vec![0.95; 400];
+        let labels: Vec<bool> = (0..400).map(|i| i % 2 == 0).collect();
+        let r = calibration(&scores, &labels, 10);
+        assert!((r.ece - 0.45).abs() < 1e-9, "ece {}", r.ece);
+        assert!(r.brier > 0.25);
+    }
+
+    #[test]
+    fn bins_partition_the_unit_interval() {
+        let scores = vec![0.05, 0.55, 0.95, 1.0, 0.0];
+        let labels = vec![false, true, true, true, false];
+        let r = calibration(&scores, &labels, 10);
+        assert_eq!(r.bins.len(), 10);
+        let total: usize = r.bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 5);
+        assert_eq!(r.bins[9].count, 2, "p=0.95 and p=1.0 share the top bin");
+    }
+
+    #[test]
+    fn forest_is_reasonably_calibrated_on_held_out_data() {
+        // y = x > 0.5 with 20% label noise: the achievable Brier floor is
+        // 0.2·0.8 = 0.16. Calibration must be measured on *held-out* data —
+        // on the training set the trees memorize the noise and look
+        // overconfident.
+        let make = |offset: usize, n: usize| {
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|i| vec![((offset + i * 7) % 1000) as f64 / 1000.0]).collect();
+            let labels: Vec<bool> = (0..n)
+                .map(|i| {
+                    let x = ((offset + i * 7) % 1000) as f64 / 1000.0;
+                    let flip = ((offset + i) as u64 * 2_654_435_761) % 10 < 2;
+                    (x > 0.5) ^ flip
+                })
+                .collect();
+            Dataset::new(rows, labels).unwrap()
+        };
+        let train = make(0, 2_000);
+        let test = make(3, 1_000);
+        let forest = RandomForest::fit(&train, &RandomForestConfig::default(), 11);
+        let r = forest_calibration(&forest, &test, 10);
+        assert!(r.brier < 0.24, "brier {}", r.brier);
+        assert!(r.ece < 0.15, "ece {}", r.ece);
+        // And the training-set view is visibly more confident than honest.
+        let on_train = forest_calibration(&forest, &train, 10);
+        assert!(on_train.ece >= r.ece * 0.5, "train ece {} vs test {}", on_train.ece, r.ece);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = calibration(&[0.5], &[true, false], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one prediction")]
+    fn empty_inputs_panic() {
+        let _ = calibration(&[], &[], 10);
+    }
+}

@@ -1,0 +1,201 @@
+//! Dense feature matrix with binary labels.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Error constructing a [`Dataset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The dataset has no rows.
+    Empty,
+    /// Row `row` has `found` features but the first row had `expected`.
+    RaggedRow {
+        /// Index of the offending row.
+        row: usize,
+        /// Expected feature count.
+        expected: usize,
+        /// Found feature count.
+        found: usize,
+    },
+    /// Labels and rows differ in length.
+    LabelMismatch {
+        /// Number of rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Empty => write!(f, "dataset has no rows"),
+            DatasetError::RaggedRow { row, expected, found } => {
+                write!(f, "row {row} has {found} features, expected {expected}")
+            }
+            DatasetError::LabelMismatch { rows, labels } => {
+                write!(f, "{rows} rows but {labels} labels")
+            }
+        }
+    }
+}
+
+impl Error for DatasetError {}
+
+/// A dense dataset: `n` rows × `d` features, binary labels.
+///
+/// Rows are stored contiguously for cache-friendly splitting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<f64>,
+    labels: Vec<bool>,
+    n_features: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from per-row feature vectors and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the input is empty, ragged, or labels
+    /// and rows differ in count.
+    pub fn new(rows: Vec<Vec<f64>>, labels: Vec<bool>) -> Result<Self, DatasetError> {
+        if rows.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if rows.len() != labels.len() {
+            return Err(DatasetError::LabelMismatch { rows: rows.len(), labels: labels.len() });
+        }
+        let n_features = rows[0].len();
+        let mut features = Vec::with_capacity(rows.len() * n_features);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != n_features {
+                return Err(DatasetError::RaggedRow {
+                    row: i,
+                    expected: n_features,
+                    found: row.len(),
+                });
+            }
+            features.extend_from_slice(row);
+        }
+        Ok(Self { features, labels, n_features })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// The feature vector of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The label of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().filter(|&&l| l).count() as f64 / self.labels.len() as f64
+    }
+
+    /// Builds a new dataset from a subset of row indices (rows may repeat,
+    /// enabling bootstrap samples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut features = Vec::with_capacity(indices.len() * self.n_features);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            features.extend_from_slice(self.row(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset { features, labels, n_features: self.n_features }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::new(
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![true, false, true],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let d = small();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert!(d.label(0));
+        assert!(!d.label(1));
+    }
+
+    #[test]
+    fn empty_is_rejected() {
+        assert_eq!(Dataset::new(vec![], vec![]), Err(DatasetError::Empty));
+    }
+
+    #[test]
+    fn ragged_is_rejected() {
+        let err = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![true, false]).unwrap_err();
+        assert_eq!(err, DatasetError::RaggedRow { row: 1, expected: 1, found: 2 });
+    }
+
+    #[test]
+    fn label_mismatch_is_rejected() {
+        let err = Dataset::new(vec![vec![1.0]], vec![true, false]).unwrap_err();
+        assert_eq!(err, DatasetError::LabelMismatch { rows: 1, labels: 2 });
+    }
+
+    #[test]
+    fn positive_rate() {
+        assert!((small().positive_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_allows_repeats() {
+        let d = small();
+        let s = d.subset(&[0, 0, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.row(0), s.row(1));
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+        assert!(s.label(2));
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-state link profiles and connectivity schedules.
+
+use crate::markov::{MarkovConnectivity, NetworkState};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth characteristics of each network state, used to cap how many
+/// bytes can be moved within one scheduling round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Sustained WiFi throughput, bytes/s.
+    pub wifi_bytes_per_sec: u64,
+    /// Sustained cellular throughput, bytes/s.
+    pub cell_bytes_per_sec: u64,
+}
+
+impl LinkProfile {
+    /// Era-appropriate defaults: ≈8 Mbps WiFi, ≈2 Mbps 3G cellular.
+    pub fn paper_default() -> Self {
+        Self {
+            wifi_bytes_per_sec: 1_000_000,
+            cell_bytes_per_sec: 250_000,
+        }
+    }
+
+    /// Bytes the link can carry in `secs` seconds under `state`.
+    pub fn capacity(&self, state: NetworkState, secs: f64) -> u64 {
+        let rate = match state {
+            NetworkState::Wifi => self.wifi_bytes_per_sec,
+            NetworkState::Cell => self.cell_bytes_per_sec,
+            NetworkState::Off => 0,
+        };
+        (rate as f64 * secs.max(0.0)) as u64
+    }
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A source of per-round network states. Implemented by the Markov model
+/// and by degenerate fixed schedules.
+pub trait ConnectivitySchedule {
+    /// The network state during round `round`.
+    fn state_for_round<R: Rng>(&mut self, round: u64, rng: &mut R) -> NetworkState;
+}
+
+/// Always-cellular connectivity: the setting of Figures 3, 4 and 5(a,b,d),
+/// where "users ... are connected to the broker sporadically through a
+/// cellular connection". Sporadic availability is modeled by an
+/// availability probability per round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellOnly {
+    /// Probability the user is reachable in a given round.
+    pub availability: f64,
+}
+
+impl CellOnly {
+    /// Always-on cellular.
+    pub fn always() -> Self {
+        Self { availability: 1.0 }
+    }
+
+    /// Sporadic cellular with the given per-round availability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `availability` is outside `[0, 1]`.
+    pub fn sporadic(availability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&availability),
+            "availability must be a probability"
+        );
+        Self { availability }
+    }
+}
+
+impl ConnectivitySchedule for CellOnly {
+    fn state_for_round<R: Rng>(&mut self, _round: u64, rng: &mut R) -> NetworkState {
+        if self.availability >= 1.0 || rng.gen_bool(self.availability.clamp(0.0, 1.0)) {
+            NetworkState::Cell
+        } else {
+            NetworkState::Off
+        }
+    }
+}
+
+impl ConnectivitySchedule for MarkovConnectivity {
+    fn state_for_round<R: Rng>(&mut self, _round: u64, rng: &mut R) -> NetworkState {
+        self.step(rng)
+    }
+}
+
+/// A connectivity schedule replayed from an explicit per-round state
+/// sequence — the substitute for real per-user connectivity traces, and
+/// the tool for constructing adversarial patterns in tests (e.g. "offline
+/// all week, WiFi for one hour").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleFromTrace {
+    states: Vec<NetworkState>,
+    /// State used for rounds past the end of the recorded sequence.
+    pub fallback: NetworkState,
+}
+
+impl ScheduleFromTrace {
+    /// Creates a replayed schedule; rounds beyond `states` use `fallback`.
+    pub fn new(states: Vec<NetworkState>, fallback: NetworkState) -> Self {
+        Self { states, fallback }
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no rounds are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Fraction of recorded rounds that are online.
+    pub fn availability(&self) -> f64 {
+        if self.states.is_empty() {
+            return 0.0;
+        }
+        self.states.iter().filter(|s| s.is_online()).count() as f64 / self.states.len() as f64
+    }
+}
+
+impl ConnectivitySchedule for ScheduleFromTrace {
+    fn state_for_round<R: Rng>(&mut self, round: u64, _rng: &mut R) -> NetworkState {
+        self.states
+            .get(round as usize)
+            .copied()
+            .unwrap_or(self.fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn capacity_is_zero_when_off() {
+        let p = LinkProfile::paper_default();
+        assert_eq!(p.capacity(NetworkState::Off, 3600.0), 0);
+    }
+
+    #[test]
+    fn wifi_outpaces_cell() {
+        let p = LinkProfile::paper_default();
+        assert!(p.capacity(NetworkState::Wifi, 60.0) > p.capacity(NetworkState::Cell, 60.0));
+    }
+
+    #[test]
+    fn negative_duration_gives_zero() {
+        let p = LinkProfile::paper_default();
+        assert_eq!(p.capacity(NetworkState::Cell, -1.0), 0);
+    }
+
+    #[test]
+    fn always_cell_is_always_cell() {
+        let mut c = CellOnly::always();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for r in 0..50 {
+            assert_eq!(c.state_for_round(r, &mut rng), NetworkState::Cell);
+        }
+    }
+
+    #[test]
+    fn sporadic_cell_mixes_cell_and_off() {
+        let mut c = CellOnly::sporadic(0.5);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut cell = 0;
+        let n = 10_000;
+        for r in 0..n {
+            if c.state_for_round(r, &mut rng) == NetworkState::Cell {
+                cell += 1;
+            }
+        }
+        let f = cell as f64 / n as f64;
+        assert!((f - 0.5).abs() < 0.03, "availability {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_availability_panics() {
+        let _ = CellOnly::sporadic(1.5);
+    }
+
+    #[test]
+    fn replayed_schedule_follows_the_trace() {
+        let mut s = ScheduleFromTrace::new(
+            vec![NetworkState::Off, NetworkState::Cell, NetworkState::Wifi],
+            NetworkState::Off,
+        );
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(s.state_for_round(0, &mut rng), NetworkState::Off);
+        assert_eq!(s.state_for_round(1, &mut rng), NetworkState::Cell);
+        assert_eq!(s.state_for_round(2, &mut rng), NetworkState::Wifi);
+        // Past the end: fallback.
+        assert_eq!(s.state_for_round(99, &mut rng), NetworkState::Off);
+        assert_eq!(s.len(), 3);
+        assert!((s.availability() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_replay_uses_fallback_and_zero_availability() {
+        let mut s = ScheduleFromTrace::new(vec![], NetworkState::Cell);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(s.is_empty());
+        assert_eq!(s.availability(), 0.0);
+        assert_eq!(s.state_for_round(0, &mut rng), NetworkState::Cell);
+    }
+
+    #[test]
+    fn markov_implements_schedule() {
+        let mut chain = MarkovConnectivity::paper_default(NetworkState::Off);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen_online = false;
+        for r in 0..100 {
+            if chain.state_for_round(r, &mut rng).is_online() {
+                seen_online = true;
+            }
+        }
+        assert!(seen_online);
+    }
+}

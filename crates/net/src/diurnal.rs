@@ -1,0 +1,152 @@
+//! Diurnal connectivity synthesis: a realistic daily rhythm of WiFi at
+//! home, cellular while out, and overnight radio silence.
+//!
+//! The uniform Markov chain of Sec. V-D3 has no time-of-day structure;
+//! real connectivity traces do. This generator produces per-round state
+//! sequences with a home/commute/work cycle plus per-user phase shifts and
+//! random perturbation, replayable through
+//! [`crate::connectivity::ScheduleFromTrace`].
+
+use crate::connectivity::ScheduleFromTrace;
+use crate::markov::NetworkState;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the daily connectivity rhythm (hours in local time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalConfig {
+    /// Start of the overnight offline window.
+    pub sleep_start_hour: f64,
+    /// End of the overnight offline window.
+    pub sleep_end_hour: f64,
+    /// Start of the workday (WiFi at the workplace).
+    pub work_start_hour: f64,
+    /// End of the workday.
+    pub work_end_hour: f64,
+    /// Whether the workplace offers WiFi (else cellular all day).
+    pub work_wifi: bool,
+    /// Probability of a random per-round perturbation (elevator, dead
+    /// zone, tethering, ...) flipping the nominal state.
+    pub perturbation: f64,
+    /// Per-user phase shift in hours.
+    pub phase_hours: f64,
+}
+
+impl Default for DiurnalConfig {
+    fn default() -> Self {
+        Self {
+            sleep_start_hour: 0.0,
+            sleep_end_hour: 7.0,
+            work_start_hour: 9.0,
+            work_end_hour: 17.0,
+            work_wifi: true,
+            perturbation: 0.05,
+            phase_hours: 0.0,
+        }
+    }
+}
+
+impl DiurnalConfig {
+    /// The nominal (perturbation-free) state at an hour of day.
+    pub fn nominal_state(&self, hour: f64) -> NetworkState {
+        let h = ((hour % 24.0) + 24.0) % 24.0;
+        let in_window = |start: f64, end: f64| {
+            if start <= end {
+                (start..end).contains(&h)
+            } else {
+                h >= start || h < end
+            }
+        };
+        if in_window(self.sleep_start_hour, self.sleep_end_hour) {
+            NetworkState::Off
+        } else if in_window(self.work_start_hour, self.work_end_hour) {
+            if self.work_wifi {
+                NetworkState::Wifi
+            } else {
+                NetworkState::Cell
+            }
+        } else if in_window(self.work_end_hour, self.sleep_start_hour) {
+            // Evening at home: WiFi.
+            NetworkState::Wifi
+        } else {
+            // Morning routine / commute: cellular.
+            NetworkState::Cell
+        }
+    }
+
+    /// Synthesizes a replayable schedule of `rounds` hourly states.
+    pub fn synthesize<R: Rng>(&self, rng: &mut R, rounds: u64) -> ScheduleFromTrace {
+        let states = (0..rounds)
+            .map(|r| {
+                let hour = (r as f64 + self.phase_hours) % 24.0;
+                let nominal = self.nominal_state(hour);
+                if rng.gen_bool(self.perturbation.clamp(0.0, 1.0)) {
+                    // Perturbation: degrade one step (WiFi→Cell, Cell→Off,
+                    // Off→Cell for an unexpectedly reachable device).
+                    match nominal {
+                        NetworkState::Wifi => NetworkState::Cell,
+                        NetworkState::Cell => NetworkState::Off,
+                        NetworkState::Off => NetworkState::Cell,
+                    }
+                } else {
+                    nominal
+                }
+            })
+            .collect();
+        ScheduleFromTrace::new(states, NetworkState::Cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_day_follows_the_rhythm() {
+        let cfg = DiurnalConfig::default();
+        assert_eq!(cfg.nominal_state(3.0), NetworkState::Off); // asleep
+        assert_eq!(cfg.nominal_state(8.0), NetworkState::Cell); // commute
+        assert_eq!(cfg.nominal_state(12.0), NetworkState::Wifi); // office
+        assert_eq!(cfg.nominal_state(20.0), NetworkState::Wifi); // home
+        assert_eq!(cfg.nominal_state(27.0), cfg.nominal_state(3.0)); // wraps
+    }
+
+    #[test]
+    fn no_work_wifi_means_cell_days() {
+        let cfg = DiurnalConfig { work_wifi: false, ..Default::default() };
+        assert_eq!(cfg.nominal_state(12.0), NetworkState::Cell);
+    }
+
+    #[test]
+    fn synthesized_week_is_mostly_nominal() {
+        let cfg = DiurnalConfig::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let schedule = cfg.synthesize(&mut rng, 168);
+        assert_eq!(schedule.len(), 168);
+        // 7h sleep per day → availability ≈ (24−7)/24 ≈ 0.71 ± perturbation.
+        let availability = schedule.availability();
+        assert!((0.6..0.8).contains(&availability), "availability {availability}");
+    }
+
+    #[test]
+    fn perturbation_zero_is_deterministic_rhythm() {
+        let cfg = DiurnalConfig { perturbation: 0.0, ..Default::default() };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let schedule = cfg.synthesize(&mut rng, 48);
+        let mut rng2 = SmallRng::seed_from_u64(99);
+        let schedule2 = cfg.synthesize(&mut rng2, 48);
+        assert_eq!(schedule, schedule2, "no randomness without perturbation");
+    }
+
+    #[test]
+    fn phase_shift_staggers_users() {
+        let base = DiurnalConfig { perturbation: 0.0, ..Default::default() };
+        let shifted = DiurnalConfig { phase_hours: 8.0, perturbation: 0.0, ..Default::default() };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let a = base.synthesize(&mut rng, 24);
+        let b = shifted.synthesize(&mut rng, 24);
+        assert_ne!(a, b);
+    }
+}

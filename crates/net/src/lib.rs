@@ -1,0 +1,25 @@
+//! # richnote-net
+//!
+//! Network connectivity substrate for the RichNote simulations.
+//!
+//! The paper models per-user connectivity as a three-state Markov chain
+//! over **WIFI**, **CELL** and **OFF** with 50% probability of remaining in
+//! the current state and equal probability of transitioning to the other
+//! states (Sec. V-D3). This crate provides:
+//!
+//! * [`markov::NetworkState`] — the three states and their properties;
+//! * [`markov::MarkovConnectivity`] — a validated transition matrix with
+//!   the paper's preset, per-round sampling and stationary-distribution
+//!   computation;
+//! * [`connectivity::LinkProfile`] — per-state bandwidth/capacity figures
+//!   used to cap deliveries within a round;
+//! * [`connectivity::CellOnly`] — the degenerate always-cellular schedule
+//!   used in Figures 3, 4 and 5(a,b,d).
+
+pub mod connectivity;
+pub mod diurnal;
+pub mod markov;
+
+pub use connectivity::{CellOnly, ConnectivitySchedule, LinkProfile, ScheduleFromTrace};
+pub use diurnal::DiurnalConfig;
+pub use markov::{MarkovConnectivity, NetworkState, TransitionMatrixError};

@@ -1,0 +1,285 @@
+//! The three-state Markov connectivity model of Sec. V-D3.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Connectivity state of a mobile device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkState {
+    /// Connected via WiFi.
+    Wifi,
+    /// Connected via cellular.
+    Cell,
+    /// No connectivity.
+    Off,
+}
+
+impl NetworkState {
+    /// All states in matrix order.
+    pub const ALL: [NetworkState; 3] = [NetworkState::Wifi, NetworkState::Cell, NetworkState::Off];
+
+    /// Whether the device can receive data in this state.
+    pub fn is_online(self) -> bool {
+        !matches!(self, NetworkState::Off)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            NetworkState::Wifi => 0,
+            NetworkState::Cell => 1,
+            NetworkState::Off => 2,
+        }
+    }
+}
+
+impl fmt::Display for NetworkState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NetworkState::Wifi => "WIFI",
+            NetworkState::Cell => "CELL",
+            NetworkState::Off => "OFF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error validating a transition matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionMatrixError {
+    /// A row does not sum to 1 (within tolerance).
+    RowSum {
+        /// Offending row index.
+        row: usize,
+        /// The row's actual sum.
+        sum: f64,
+    },
+    /// A probability is negative or non-finite.
+    InvalidProbability {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+}
+
+impl fmt::Display for TransitionMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionMatrixError::RowSum { row, sum } => {
+                write!(f, "transition row {row} sums to {sum}, expected 1")
+            }
+            TransitionMatrixError::InvalidProbability { row, col } => {
+                write!(f, "transition probability at ({row}, {col}) is invalid")
+            }
+        }
+    }
+}
+
+impl Error for TransitionMatrixError {}
+
+/// A validated 3×3 Markov transition matrix over
+/// `[Wifi, Cell, Off]` with per-round sampling.
+///
+/// ```
+/// use richnote_net::markov::{MarkovConnectivity, NetworkState};
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let mut chain = MarkovConnectivity::paper_default(NetworkState::Cell);
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let next = chain.step(&mut rng);
+/// assert!(matches!(next, NetworkState::Wifi | NetworkState::Cell | NetworkState::Off));
+/// // The paper's 50%-stay matrix has a uniform stationary distribution.
+/// let pi = chain.stationary();
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovConnectivity {
+    matrix: [[f64; 3]; 3],
+    state: NetworkState,
+}
+
+impl MarkovConnectivity {
+    /// Creates a chain from a row-stochastic matrix, starting in `initial`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransitionMatrixError`] if any entry is negative or
+    /// non-finite, or a row does not sum to 1 within `1e-9`.
+    pub fn new(
+        matrix: [[f64; 3]; 3],
+        initial: NetworkState,
+    ) -> Result<Self, TransitionMatrixError> {
+        for (r, row) in matrix.iter().enumerate() {
+            for (c, &p) in row.iter().enumerate() {
+                if !p.is_finite() || p < 0.0 {
+                    return Err(TransitionMatrixError::InvalidProbability { row: r, col: c });
+                }
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(TransitionMatrixError::RowSum { row: r, sum });
+            }
+        }
+        Ok(Self { matrix, state: initial })
+    }
+
+    /// The paper's matrix: 50% probability of remaining in the current
+    /// state, equal split of the remainder ("equal probability of
+    /// transiting to cell or wifi when off").
+    pub fn paper_default(initial: NetworkState) -> Self {
+        let m = [
+            [0.50, 0.25, 0.25], // from Wifi
+            [0.25, 0.50, 0.25], // from Cell
+            [0.25, 0.25, 0.50], // from Off
+        ];
+        Self::new(m, initial).expect("paper matrix is valid")
+    }
+
+    /// A cellular-dominated variant: the device is mostly on cell, never on
+    /// WiFi — used as the Markov counterpart of the cell-only experiments.
+    pub fn cell_heavy(initial: NetworkState) -> Self {
+        let m = [
+            [0.0, 0.7, 0.3], // Wifi decays immediately (unused start)
+            [0.0, 0.7, 0.3],
+            [0.0, 0.5, 0.5],
+        ];
+        Self::new(m, initial).expect("cell-heavy matrix is valid")
+    }
+
+    /// Current state.
+    pub fn state(&self) -> NetworkState {
+        self.state
+    }
+
+    /// Advances one round and returns the new state.
+    pub fn step<R: Rng>(&mut self, rng: &mut R) -> NetworkState {
+        let row = self.matrix[self.state.index()];
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (idx, &p) in row.iter().enumerate() {
+            acc += p;
+            if draw < acc {
+                self.state = NetworkState::ALL[idx];
+                return self.state;
+            }
+        }
+        // Floating-point slack: stay in the last state of the row.
+        self.state = NetworkState::ALL[2];
+        self.state
+    }
+
+    /// The stationary distribution `π` (power iteration), as
+    /// `[P(Wifi), P(Cell), P(Off)]`.
+    pub fn stationary(&self) -> [f64; 3] {
+        let mut pi = [1.0 / 3.0; 3];
+        for _ in 0..10_000 {
+            let mut next = [0.0; 3];
+            for (i, &p) in pi.iter().enumerate() {
+                for (j, cell) in next.iter_mut().enumerate() {
+                    *cell += p * self.matrix[i][j];
+                }
+            }
+            let diff: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if diff < 1e-14 {
+                break;
+            }
+        }
+        pi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_matrix_is_uniform_stationary() {
+        let chain = MarkovConnectivity::paper_default(NetworkState::Off);
+        let pi = chain.stationary();
+        for p in pi {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9, "{pi:?}");
+        }
+    }
+
+    #[test]
+    fn occupancy_converges_to_stationary() {
+        let mut chain = MarkovConnectivity::paper_default(NetworkState::Off);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0u64; 3];
+        let n = 60_000;
+        for _ in 0..n {
+            let s = chain.step(&mut rng);
+            counts[match s {
+                NetworkState::Wifi => 0,
+                NetworkState::Cell => 1,
+                NetworkState::Off => 2,
+            }] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 1.0 / 3.0).abs() < 0.02, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn bad_row_sum_rejected() {
+        let m = [[0.5, 0.5, 0.1], [0.25, 0.5, 0.25], [0.25, 0.25, 0.5]];
+        assert!(matches!(
+            MarkovConnectivity::new(m, NetworkState::Off),
+            Err(TransitionMatrixError::RowSum { row: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn negative_probability_rejected() {
+        let m = [[1.5, -0.5, 0.0], [0.25, 0.5, 0.25], [0.25, 0.25, 0.5]];
+        assert!(matches!(
+            MarkovConnectivity::new(m, NetworkState::Off),
+            Err(TransitionMatrixError::InvalidProbability { row: 0, col: 1 })
+        ));
+    }
+
+    #[test]
+    fn nan_probability_rejected() {
+        let m = [[f64::NAN, 0.5, 0.5], [0.25, 0.5, 0.25], [0.25, 0.25, 0.5]];
+        assert!(MarkovConnectivity::new(m, NetworkState::Off).is_err());
+    }
+
+    #[test]
+    fn cell_heavy_never_reaches_wifi() {
+        let mut chain = MarkovConnectivity::cell_heavy(NetworkState::Cell);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..5_000 {
+            assert_ne!(chain.step(&mut rng), NetworkState::Wifi);
+        }
+    }
+
+    #[test]
+    fn online_predicate() {
+        assert!(NetworkState::Wifi.is_online());
+        assert!(NetworkState::Cell.is_online());
+        assert!(!NetworkState::Off.is_online());
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(NetworkState::Wifi.to_string(), "WIFI");
+        assert_eq!(NetworkState::Cell.to_string(), "CELL");
+        assert_eq!(NetworkState::Off.to_string(), "OFF");
+    }
+
+    #[test]
+    fn absorbing_state_stays_put() {
+        let m = [[1.0, 0.0, 0.0], [0.25, 0.5, 0.25], [0.25, 0.25, 0.5]];
+        let mut chain = MarkovConnectivity::new(m, NetworkState::Wifi).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(chain.step(&mut rng), NetworkState::Wifi);
+        }
+    }
+}

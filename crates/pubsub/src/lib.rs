@@ -1,0 +1,26 @@
+//! # richnote-pubsub
+//!
+//! Topic-based publish/subscribe substrate modeling Spotify's hybrid
+//! notification engine (Sec. II of the RichNote paper).
+//!
+//! Topics correspond to **friend feeds**, **artist pages** and **shared
+//! playlists**; publications are notifications about friends streaming
+//! tracks, album releases, and playlist updates. Delivery happens in one of
+//! three modes:
+//!
+//! * **real-time** — matched publications are handed to the subscriber
+//!   immediately (Spotify's friend-feed path);
+//! * **batch** — publications are buffered and flushed on a long period
+//!   (Spotify's album/playlist path);
+//! * **rounds** — RichNote's middle ground: flush on a fixed round length,
+//!   tunable per feed frequency.
+//!
+//! The [`broker::Broker`] is single-threaded and deterministic; a
+//! [`broker::SharedBroker`] wrapper provides thread-safe access for
+//! concurrent publishers.
+
+pub mod broker;
+pub mod topic;
+
+pub use broker::{Broker, Delivery, DeliveryMode, SharedBroker};
+pub use topic::{Publication, Topic};

@@ -1,0 +1,164 @@
+//! `simulate` — run one custom RichNote simulation from the command line.
+//!
+//! ```text
+//! simulate [--policy richnote|fifo|util] [--level N] [--budget-mb N]
+//!          [--network cell|sporadic:P|markov|diurnal] [--users N] [--days N]
+//!          [--rate N] [--seed N] [--v N] [--kappa N] [--json]
+//! ```
+//!
+//! Example: compare RichNote and UTIL on a 5 MB weekly budget under the
+//! Markov network:
+//!
+//! ```text
+//! simulate --policy richnote --budget-mb 5 --network markov
+//! simulate --policy util --level 3 --budget-mb 5 --network markov
+//! ```
+
+use richnote_core::paper;
+use richnote_sim::experiments::{EnvConfig, ExperimentEnv};
+use richnote_sim::report::to_json;
+use richnote_sim::simulator::{NetworkKind, PolicyKind, PopulationSim, SimulationConfig};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    policy: String,
+    level: u8,
+    budget_mb: u64,
+    network: NetworkKind,
+    users: usize,
+    days: u64,
+    rate: f64,
+    seed: u64,
+    v: f64,
+    kappa: f64,
+    json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            policy: "richnote".to_string(),
+            level: 3,
+            budget_mb: 20,
+            network: NetworkKind::CellAlways,
+            users: 150,
+            days: 7,
+            rate: 40.0,
+            seed: 2015,
+            v: paper::LYAPUNOV_V,
+            kappa: paper::KAPPA_JOULES_PER_ROUND,
+            json: false,
+        }
+    }
+}
+
+fn parse() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--policy" => opts.policy = take("--policy")?,
+            "--level" => opts.level = take("--level")?.parse().map_err(|e| format!("bad level: {e}"))?,
+            "--budget-mb" => {
+                opts.budget_mb =
+                    take("--budget-mb")?.parse().map_err(|e| format!("bad budget: {e}"))?
+            }
+            "--network" => {
+                let v = take("--network")?;
+                opts.network = match v.as_str() {
+                    "cell" => NetworkKind::CellAlways,
+                    "markov" => NetworkKind::Markov,
+                    "diurnal" => NetworkKind::Diurnal,
+                    other if other.starts_with("sporadic:") => {
+                        let p: f64 = other["sporadic:".len()..]
+                            .parse()
+                            .map_err(|e| format!("bad availability: {e}"))?;
+                        NetworkKind::CellSporadic(p)
+                    }
+                    other => return Err(format!("unknown network {other}")),
+                };
+            }
+            "--users" => opts.users = take("--users")?.parse().map_err(|e| format!("bad users: {e}"))?,
+            "--days" => opts.days = take("--days")?.parse().map_err(|e| format!("bad days: {e}"))?,
+            "--rate" => opts.rate = take("--rate")?.parse().map_err(|e| format!("bad rate: {e}"))?,
+            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--v" => opts.v = take("--v")?.parse().map_err(|e| format!("bad v: {e}"))?,
+            "--kappa" => opts.kappa = take("--kappa")?.parse().map_err(|e| format!("bad kappa: {e}"))?,
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let policy = match opts.policy.as_str() {
+        "richnote" => PolicyKind::richnote_with(opts.v, opts.kappa),
+        "fifo" => PolicyKind::Fifo { level: opts.level },
+        "util" => PolicyKind::Util { level: opts.level },
+        other => {
+            eprintln!("unknown policy {other} (expected richnote|fifo|util)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "building environment: {} users, {} days, ~{} notifications/user-day...",
+        opts.users, opts.days, opts.rate
+    );
+    let env = ExperimentEnv::build(EnvConfig {
+        seed: opts.seed,
+        n_users: opts.users,
+        top_users: opts.users / 2,
+        mean_notifications_per_user_day: opts.rate,
+        days: opts.days,
+    });
+
+    let cfg = SimulationConfig {
+        policy,
+        network: opts.network,
+        rounds: opts.days * 24,
+        theta_bytes: paper::theta_bytes_per_round(opts.budget_mb),
+        kappa: opts.kappa,
+        ..SimulationConfig::default()
+    };
+    let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
+    let (agg, _) = sim.run(&env.users);
+
+    if opts.json {
+        println!("{}", to_json(&agg));
+    } else {
+        println!(
+            "policy {} | budget {} MB/week | {} users simulated",
+            policy.name(),
+            opts.budget_mb,
+            env.users.len()
+        );
+        println!("  arrived        {}", agg.arrived);
+        println!("  delivered      {} ({:.1}%)", agg.delivered, 100.0 * agg.delivery_ratio());
+        println!("  data           {:.1} MB", agg.bytes_delivered as f64 / 1e6);
+        println!("  utility        {:.1}", agg.total_utility);
+        println!("  precision      {:.3}", agg.precision());
+        println!("  recall         {:.3}", agg.recall());
+        println!("  energy         {:.1} kJ", agg.energy_joules / 1000.0);
+        println!("  mean delay     {:.2} h", agg.mean_delay_secs() / 3600.0);
+        let mix = agg.level_mix();
+        println!(
+            "  level mix      meta {:.2} | 5s {:.2} | 10s {:.2} | 20s {:.2} | 30s {:.2} | 40s {:.2}",
+            mix[1], mix[2], mix[3], mix[4], mix[5], mix[6]
+        );
+    }
+    ExitCode::SUCCESS
+}

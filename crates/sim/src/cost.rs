@@ -1,0 +1,45 @@
+//! Adapter from the `richnote-energy` models to the core scheduler's
+//! [`TransferCost`] trait.
+
+use richnote_core::scheduler::TransferCost;
+use richnote_energy::model::NetworkEnergyModel;
+
+/// Wraps a [`NetworkEnergyModel`] as a [`TransferCost`] — the per-item
+/// energy estimate `ρ(i, j)` the scheduler consults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCost(pub NetworkEnergyModel);
+
+impl EnergyCost {
+    /// Cellular cost model.
+    pub fn cellular() -> Self {
+        Self(NetworkEnergyModel::cellular())
+    }
+
+    /// WiFi cost model.
+    pub fn wifi() -> Self {
+        Self(NetworkEnergyModel::wifi())
+    }
+}
+
+impl TransferCost for EnergyCost {
+    fn energy(&self, bytes: u64) -> f64 {
+        self.0.transfer_energy(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_matches_model() {
+        let model = NetworkEnergyModel::cellular();
+        let cost = EnergyCost(model);
+        assert_eq!(cost.energy(100_000), model.transfer_energy(100_000));
+    }
+
+    #[test]
+    fn wifi_cheaper_than_cell_for_big_payloads() {
+        assert!(EnergyCost::wifi().energy(1_000_000) < EnergyCost::cellular().energy(1_000_000));
+    }
+}

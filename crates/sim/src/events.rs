@@ -1,0 +1,182 @@
+//! A generic discrete-event queue — the core of the "custom event-based
+//! simulator" the paper evaluates with.
+//!
+//! Events are popped in non-decreasing time order; ties break by insertion
+//! sequence so replays are fully deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduled<E> {
+    /// Simulated time in seconds.
+    pub time: f64,
+    /// Monotonic sequence number (assigned by the queue).
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering for earliest-first pops.
+impl<E: PartialEq> Eq for Scheduled<E> {}
+
+impl<E: PartialEq> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E: PartialEq> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// ```
+/// use richnote_sim::events::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(5.0, "later");
+/// q.schedule(1.0, "sooner");
+/// assert_eq!(q.pop().map(|s| s.event), Some("sooner"));
+/// assert_eq!(q.pop().map(|s| s.event), Some("later"));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<E: PartialEq> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
+    }
+
+    /// Schedules `event` at absolute `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or lies in the past (before the last popped
+    /// event) — simulations must never travel backwards.
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must be a number");
+        assert!(time >= self.now, "cannot schedule into the past ({time} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<Scheduled<E>> {
+        let next = self.heap.pop();
+        if let Some(s) = &next {
+            self.now = s.time;
+        }
+        next
+    }
+
+    /// The earliest pending event time, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E: PartialEq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.schedule(1.0, "second");
+        q.schedule(1.0, "third");
+        assert_eq!(q.pop().unwrap().event, "first");
+        assert_eq!(q.pop().unwrap().event, "second");
+        assert_eq!(q.pop().unwrap().event, "third");
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+    }
+
+    #[test]
+    fn can_schedule_at_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.pop();
+        q.schedule(1.0, 2); // same instant is fine
+        assert_eq!(q.pop().unwrap().event, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a number")]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(4.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(2.0));
+    }
+}

@@ -1,0 +1,117 @@
+//! Sec. V-D5: sensitivity of RichNote to the Lyapunov control knob `V`.
+//!
+//! The paper reports that "RichNote performs uniformly better in all these
+//! settings"; this harness sweeps `V` over several orders of magnitude and
+//! records utility, delivery ratio, queuing delay and final backlog so the
+//! utility/queue-stability trade-off is visible.
+
+use super::ExperimentEnv;
+use crate::metrics::AggregateMetrics;
+use crate::report::{f1, f3, Table};
+use crate::simulator::{PolicyKind, PopulationSim, SimulationConfig};
+use serde::{Deserialize, Serialize};
+
+/// One V-sweep cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VPoint {
+    /// The control knob value.
+    pub v: f64,
+    /// Aggregate metrics.
+    pub metrics: AggregateMetrics,
+}
+
+/// The V-sensitivity report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LyapunovReport {
+    /// Budget used (MB/week).
+    pub budget_mb: u64,
+    /// Sweep cells in V order.
+    pub points: Vec<VPoint>,
+    /// Baseline (UTIL level 3) utility at the same budget, for reference.
+    pub util_baseline_utility: f64,
+}
+
+impl LyapunovReport {
+    /// Renders the sweep table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Sec. V-D5: Lyapunov V sensitivity at {} MB/week (UTIL baseline utility {:.1})",
+                self.budget_mb, self.util_baseline_utility
+            ),
+            &["V", "utility", "delivery_ratio", "delay_h", "backlog"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                format!("{}", p.v),
+                f1(p.metrics.total_utility),
+                f3(p.metrics.delivery_ratio()),
+                f3(p.metrics.mean_delay_secs() / 3600.0),
+                format!("{}", p.metrics.final_backlog),
+            ]);
+        }
+        t
+    }
+
+    /// Whether every V setting beats the UTIL baseline on utility — the
+    /// paper's "uniformly better" claim.
+    pub fn uniformly_better(&self) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.metrics.total_utility >= self.util_baseline_utility)
+    }
+}
+
+/// Runs the V sweep at `budget_mb`.
+pub fn run(
+    env: &ExperimentEnv,
+    vs: &[f64],
+    budget_mb: u64,
+    base: &SimulationConfig,
+) -> LyapunovReport {
+    let theta = richnote_core::paper::theta_bytes_per_round(budget_mb);
+    let mut points = Vec::with_capacity(vs.len());
+    for &v in vs {
+        let cfg = SimulationConfig {
+            policy: PolicyKind::richnote_with(v, base.kappa),
+            theta_bytes: theta,
+            ..base.clone()
+        };
+        let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
+        let (agg, _) = sim.run(&env.users);
+        points.push(VPoint { v, metrics: agg });
+    }
+
+    let util_cfg = SimulationConfig {
+        policy: PolicyKind::Util { level: 3 },
+        theta_bytes: theta,
+        ..base.clone()
+    };
+    let sim = PopulationSim::new(env.trace.clone(), env.utility(), util_cfg);
+    let (util_agg, _) = sim.run(&env.users);
+
+    LyapunovReport {
+        budget_mb,
+        points,
+        util_baseline_utility: util_agg.total_utility,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::EnvConfig;
+
+    #[test]
+    fn richnote_is_uniformly_better_across_v() {
+        let env = ExperimentEnv::build(EnvConfig::test_small());
+        let base = SimulationConfig { rounds: 72, ..SimulationConfig::default() };
+        let report = run(&env, &[10.0, 1_000.0, 100_000.0], 10, &base);
+        assert!(report.uniformly_better(), "{}", report.table());
+        assert_eq!(report.table().n_rows(), 3);
+        // Every setting keeps the queue drained at this budget.
+        for p in &report.points {
+            assert!(p.metrics.delivery_ratio() > 0.9, "V={} ratio {}", p.v, p.metrics.delivery_ratio());
+        }
+    }
+}

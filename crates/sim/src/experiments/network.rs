@@ -1,0 +1,301 @@
+//! Network-dynamics experiments beyond Fig. 5(c): how the policies cope
+//! with sporadic connectivity ("users ... are connected to the broker
+//! sporadically through a cellular connection", Sec. V-C), and how much
+//! the *learned* content-utility model is worth compared to a constant and
+//! to the ground-truth oracle.
+
+use super::ExperimentEnv;
+use crate::metrics::AggregateMetrics;
+use crate::report::{f1, f3, Table};
+use crate::simulator::{
+    constant_utility, oracle_utility, NetworkKind, PolicyKind, PopulationSim, SimulationConfig,
+    UtilityFn,
+};
+use serde::{Deserialize, Serialize};
+
+/// One availability cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityPoint {
+    /// Policy display name.
+    pub policy: String,
+    /// Per-round probability the device is reachable.
+    pub availability: f64,
+    /// Aggregate metrics.
+    pub metrics: AggregateMetrics,
+}
+
+/// Availability-sweep report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityReport {
+    /// Budget used (MB/week).
+    pub budget_mb: u64,
+    /// All cells.
+    pub points: Vec<AvailabilityPoint>,
+}
+
+impl AvailabilityReport {
+    /// Renders the sweep.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Network availability sweep at {} MB/week", self.budget_mb),
+            &["policy", "availability", "delivery", "utility", "delay_h"],
+        );
+        for p in &self.points {
+            t.push_row(vec![
+                p.policy.clone(),
+                f3(p.availability),
+                f3(p.metrics.delivery_ratio()),
+                f1(p.metrics.total_utility),
+                f3(p.metrics.mean_delay_secs() / 3600.0),
+            ]);
+        }
+        t
+    }
+
+    /// Lookup of one cell.
+    pub fn get(&self, policy: &str, availability: f64) -> Option<&AggregateMetrics> {
+        self.points
+            .iter()
+            .find(|p| p.policy == policy && (p.availability - availability).abs() < 1e-9)
+            .map(|p| &p.metrics)
+    }
+}
+
+/// Sweeps per-round availability for RichNote and UTIL.
+pub fn availability_sweep(
+    env: &ExperimentEnv,
+    availabilities: &[f64],
+    budget_mb: u64,
+    base: &SimulationConfig,
+) -> AvailabilityReport {
+    let mut points = Vec::new();
+    for policy in [PolicyKind::richnote_default(), PolicyKind::Util { level: 3 }] {
+        for &a in availabilities {
+            let cfg = SimulationConfig {
+                policy,
+                network: NetworkKind::CellSporadic(a),
+                theta_bytes: richnote_core::paper::theta_bytes_per_round(budget_mb),
+                ..base.clone()
+            };
+            let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
+            let (agg, _) = sim.run(&env.users);
+            points.push(AvailabilityPoint {
+                policy: policy.name(),
+                availability: a,
+                metrics: agg,
+            });
+        }
+    }
+    AvailabilityReport { budget_mb, points }
+}
+
+/// One connectivity-model cell of the model comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivityPoint {
+    /// Model label.
+    pub model: String,
+    /// Aggregate metrics.
+    pub metrics: AggregateMetrics,
+}
+
+/// Comparison of connectivity models at a fixed budget: always-on cellular
+/// (Figs. 3–5(b)), the Markov chain (Fig. 5(c)) and the diurnal rhythm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConnectivityReport {
+    /// Budget used (MB/week).
+    pub budget_mb: u64,
+    /// Cells in model order.
+    pub points: Vec<ConnectivityPoint>,
+}
+
+impl ConnectivityReport {
+    /// Renders the comparison.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!("Connectivity models at {} MB/week (RichNote)", self.budget_mb),
+            &["model", "delivery", "preview_frac", "delay_h", "energy_kj"],
+        );
+        for p in &self.points {
+            let mix = p.metrics.level_mix();
+            let preview: f64 = mix[2..].iter().sum();
+            t.push_row(vec![
+                p.model.clone(),
+                f3(p.metrics.delivery_ratio()),
+                f3(preview),
+                f3(p.metrics.mean_delay_secs() / 3600.0),
+                f1(p.metrics.energy_joules / 1000.0),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs RichNote under the three connectivity models.
+pub fn connectivity_models(
+    env: &ExperimentEnv,
+    budget_mb: u64,
+    base: &SimulationConfig,
+) -> ConnectivityReport {
+    let models = [
+        ("cell-always", NetworkKind::CellAlways),
+        ("markov (Fig. 5c)", NetworkKind::Markov),
+        ("diurnal", NetworkKind::Diurnal),
+    ];
+    let mut points = Vec::new();
+    for (label, network) in models {
+        let cfg = SimulationConfig {
+            policy: PolicyKind::richnote_default(),
+            network,
+            theta_bytes: richnote_core::paper::theta_bytes_per_round(budget_mb),
+            ..base.clone()
+        };
+        let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
+        let (agg, _) = sim.run(&env.users);
+        points.push(ConnectivityPoint { model: label.to_string(), metrics: agg });
+    }
+    ConnectivityReport { budget_mb, points }
+}
+
+/// One utility-model cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelValuePoint {
+    /// Model label ("constant", "forest", "oracle").
+    pub model: String,
+    /// Aggregate metrics under UTIL selection at a tight budget.
+    pub metrics: AggregateMetrics,
+}
+
+/// Report on the value of the learned content-utility model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelValueReport {
+    /// Budget used (MB/week).
+    pub budget_mb: u64,
+    /// Cells in (constant, forest, oracle) order.
+    pub points: Vec<ModelValuePoint>,
+}
+
+impl ModelValueReport {
+    /// Renders the comparison.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Value of the content-utility model (UTIL selection, {} MB/week)",
+                self.budget_mb
+            ),
+            &["model", "clicked_share", "precision", "recall", "utility"],
+        );
+        for p in &self.points {
+            let share = if p.metrics.total_utility == 0.0 {
+                0.0
+            } else {
+                p.metrics.clicked_utility / p.metrics.total_utility
+            };
+            t.push_row(vec![
+                p.model.clone(),
+                f3(share),
+                f3(p.metrics.precision()),
+                f3(p.metrics.recall()),
+                f1(p.metrics.total_utility),
+            ]);
+        }
+        t
+    }
+
+    /// Clicked-utility share of a model.
+    pub fn clicked_share(&self, model: &str) -> f64 {
+        self.points
+            .iter()
+            .find(|p| p.model == model)
+            .map(|p| {
+                if p.metrics.total_utility == 0.0 {
+                    0.0
+                } else {
+                    p.metrics.clicked_utility / p.metrics.total_utility
+                }
+            })
+            .unwrap_or(0.0)
+    }
+}
+
+/// Compares constant, learned and oracle content utility under a tight
+/// budget where *selection* matters most.
+pub fn model_value(env: &ExperimentEnv, budget_mb: u64, base: &SimulationConfig) -> ModelValueReport {
+    let models: Vec<(&str, UtilityFn)> = vec![
+        ("constant", constant_utility(0.5)),
+        ("forest", env.utility()),
+        ("oracle", oracle_utility()),
+    ];
+    let mut points = Vec::new();
+    for (label, utility) in models {
+        let cfg = SimulationConfig {
+            policy: PolicyKind::Util { level: 2 },
+            theta_bytes: richnote_core::paper::theta_bytes_per_round(budget_mb),
+            ..base.clone()
+        };
+        let sim = PopulationSim::new(env.trace.clone(), utility, cfg);
+        let (agg, _) = sim.run(&env.users);
+        points.push(ModelValuePoint { model: label.to_string(), metrics: agg });
+    }
+    ModelValueReport { budget_mb, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::EnvConfig;
+
+    fn env() -> ExperimentEnv {
+        ExperimentEnv::build(EnvConfig::test_small())
+    }
+
+    fn base() -> SimulationConfig {
+        SimulationConfig { rounds: 72, ..SimulationConfig::default() }
+    }
+
+    #[test]
+    fn richnote_degrades_gracefully_with_availability() {
+        let env = env();
+        let r = availability_sweep(&env, &[0.25, 1.0], 10, &base());
+        let low = r.get("RichNote", 0.25).unwrap();
+        let high = r.get("RichNote", 1.0).unwrap();
+        // Offline rounds bank budget; delivery stays near-complete, only
+        // the delay grows.
+        assert!(low.delivery_ratio() > 0.9, "{}", low.delivery_ratio());
+        assert!(low.mean_delay_secs() > high.mean_delay_secs());
+        // UTIL's delivery also survives (its budget rolls over), but its
+        // delay under sporadic connectivity is far above RichNote's.
+        let util_low = r.get("UTIL(L3)", 0.25).unwrap();
+        assert!(util_low.mean_delay_secs() > low.mean_delay_secs());
+        assert_eq!(r.table().n_rows(), 4);
+    }
+
+    #[test]
+    fn diurnal_model_delays_but_still_delivers() {
+        let env = env();
+        let r = connectivity_models(&env, 10, &base());
+        let cell = &r.points[0].metrics;
+        let diurnal = &r.points[2].metrics;
+        assert!(diurnal.delivery_ratio() > 0.9, "{}", diurnal.delivery_ratio());
+        assert!(
+            diurnal.mean_delay_secs() > cell.mean_delay_secs(),
+            "overnight gaps must add delay: {} vs {}",
+            diurnal.mean_delay_secs(),
+            cell.mean_delay_secs()
+        );
+        assert_eq!(r.table().n_rows(), 3);
+    }
+
+    #[test]
+    fn learned_model_sits_between_constant_and_oracle() {
+        let env = env();
+        let r = model_value(&env, 3, &base());
+        let constant = r.clicked_share("constant");
+        let forest = r.clicked_share("forest");
+        let oracle = r.clicked_share("oracle");
+        assert!(
+            constant < forest && forest < oracle,
+            "clicked-utility shares must order constant {constant} < forest {forest} < oracle {oracle}"
+        );
+        assert!((oracle - 1.0).abs() < 1e-9);
+    }
+}

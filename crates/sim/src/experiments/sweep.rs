@@ -1,0 +1,264 @@
+//! Figures 3 and 4: budget sweeps of RichNote vs the FIFO/UTIL baselines.
+//!
+//! One sweep simulates every (policy, weekly-budget) pair and records the
+//! aggregate metrics; Fig. 3 reads delivery ratio / data delivered /
+//! recall / precision out of it, Fig. 4 reads utility / clicked utility /
+//! energy / queuing delay.
+
+use super::ExperimentEnv;
+use crate::metrics::AggregateMetrics;
+use crate::report::{f1, f3, mb, Table};
+use crate::simulator::{PolicyKind, PopulationSim, SimulationConfig};
+use serde::{Deserialize, Serialize};
+
+/// One simulated (policy, budget) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Policy display name.
+    pub policy: String,
+    /// Weekly data budget in MB.
+    pub budget_mb: u64,
+    /// Aggregate metrics of the run.
+    pub metrics: AggregateMetrics,
+}
+
+/// A full budget sweep across policies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// All simulated cells, grouped by policy then budget.
+    pub points: Vec<SweepPoint>,
+    /// The budget axis.
+    pub budgets_mb: Vec<u64>,
+    /// Policy names in run order.
+    pub policies: Vec<String>,
+    /// The κ used (J/round), for the Fig. 4(c) cap line.
+    pub kappa: f64,
+    /// Number of rounds simulated.
+    pub rounds: u64,
+}
+
+impl SweepReport {
+    fn metric_table(
+        &self,
+        title: &str,
+        value: impl Fn(&AggregateMetrics) -> String,
+    ) -> Table {
+        let mut header: Vec<String> = vec!["budget_mb".into()];
+        header.extend(self.policies.iter().cloned());
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = Table::new(title, &header_refs);
+        for &b in &self.budgets_mb {
+            let mut row = vec![format!("{b}")];
+            for p in &self.policies {
+                let point = self
+                    .points
+                    .iter()
+                    .find(|pt| pt.budget_mb == b && &pt.policy == p)
+                    .expect("sweep covers the full grid");
+                row.push(value(&point.metrics));
+            }
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// Fig. 3(a): delivery ratio vs budget.
+    pub fn fig3a(&self) -> Table {
+        self.metric_table("Fig. 3(a): delivery ratio vs weekly budget", |m| {
+            f3(m.delivery_ratio())
+        })
+    }
+
+    /// Fig. 3(b): total data delivered (MB) vs budget.
+    pub fn fig3b(&self) -> Table {
+        self.metric_table("Fig. 3(b): data delivered (MB) vs weekly budget", |m| {
+            mb(m.bytes_delivered)
+        })
+    }
+
+    /// Fig. 3(c): recall vs budget.
+    pub fn fig3c(&self) -> Table {
+        self.metric_table("Fig. 3(c): recall vs weekly budget", |m| f3(m.recall()))
+    }
+
+    /// Fig. 3(d): precision vs budget.
+    pub fn fig3d(&self) -> Table {
+        self.metric_table("Fig. 3(d): precision vs weekly budget", |m| f3(m.precision()))
+    }
+
+    /// Fig. 4(a): total utility of delivered notifications vs budget.
+    pub fn fig4a(&self) -> Table {
+        self.metric_table("Fig. 4(a): total utility vs weekly budget", |m| {
+            f1(m.total_utility)
+        })
+    }
+
+    /// Fig. 4(b): utility among ground-truth-clicked items vs budget.
+    pub fn fig4b(&self) -> Table {
+        self.metric_table("Fig. 4(b): utility among clicked items vs weekly budget", |m| {
+            f1(m.clicked_utility)
+        })
+    }
+
+    /// Fig. 4(c): download energy (kJ) vs budget.
+    pub fn fig4c(&self) -> Table {
+        let cap_kj = self.kappa * self.rounds as f64 / 1000.0;
+        self.metric_table(
+            &format!("Fig. 4(c): download energy (kJ, per-user cap {cap_kj:.0} kJ x users) vs weekly budget"),
+            |m| f1(m.energy_joules / 1000.0),
+        )
+    }
+
+    /// Fig. 4(d): mean queuing delay (hours) vs budget.
+    pub fn fig4d(&self) -> Table {
+        self.metric_table("Fig. 4(d): mean queuing delay (hours) vs weekly budget", |m| {
+            f3(m.mean_delay_secs() / 3600.0)
+        })
+    }
+
+    /// All eight tables in figure order.
+    pub fn tables(&self) -> Vec<Table> {
+        vec![
+            self.fig3a(),
+            self.fig3b(),
+            self.fig3c(),
+            self.fig3d(),
+            self.fig4a(),
+            self.fig4b(),
+            self.fig4c(),
+            self.fig4d(),
+        ]
+    }
+
+    /// Convenience lookup of one cell.
+    pub fn get(&self, policy: &str, budget_mb: u64) -> Option<&AggregateMetrics> {
+        self.points
+            .iter()
+            .find(|p| p.policy == policy && p.budget_mb == budget_mb)
+            .map(|p| &p.metrics)
+    }
+}
+
+/// Runs the sweep: `policies` × `budgets_mb` over the environment's top
+/// users, with `base` supplying all non-budget configuration.
+pub fn run(
+    env: &ExperimentEnv,
+    policies: &[PolicyKind],
+    budgets_mb: &[u64],
+    base: &SimulationConfig,
+) -> SweepReport {
+    let mut points = Vec::with_capacity(policies.len() * budgets_mb.len());
+    for &policy in policies {
+        for &budget in budgets_mb {
+            let cfg = SimulationConfig {
+                policy,
+                theta_bytes: richnote_core::paper::theta_bytes_per_round(budget),
+                ..base.clone()
+            };
+            let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
+            let (agg, _) = sim.run(&env.users);
+            points.push(SweepPoint {
+                policy: policy.name(),
+                budget_mb: budget,
+                metrics: agg,
+            });
+        }
+    }
+    SweepReport {
+        points,
+        budgets_mb: budgets_mb.to_vec(),
+        policies: policies.iter().map(PolicyKind::name).collect(),
+        kappa: base.kappa,
+        rounds: base.rounds,
+    }
+}
+
+/// The paper's Fig. 3/4 policy set: RichNote plus FIFO and UTIL fixed at
+/// metadata+5s (level 2) and metadata+10s (level 3) — "this matches the
+/// current behavior of Spotify embedding an URL to 10s song preview".
+pub fn paper_policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::richnote_default(),
+        PolicyKind::Fifo { level: 2 },
+        PolicyKind::Fifo { level: 3 },
+        PolicyKind::Util { level: 2 },
+        PolicyKind::Util { level: 3 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::EnvConfig;
+
+    fn small_sweep() -> SweepReport {
+        let env = ExperimentEnv::build(EnvConfig::test_small());
+        let base = SimulationConfig {
+            rounds: 72,
+            ..SimulationConfig::default()
+        };
+        run(
+            &env,
+            &[
+                PolicyKind::richnote_default(),
+                PolicyKind::Fifo { level: 3 },
+                PolicyKind::Util { level: 3 },
+            ],
+            &[1, 10, 100],
+            &base,
+        )
+    }
+
+    #[test]
+    fn sweep_reproduces_fig3_fig4_shapes() {
+        let s = small_sweep();
+
+        // Fig 3(a): RichNote ≈ full delivery at every budget; baselines
+        // climb with budget.
+        let rn_1 = s.get("RichNote", 1).unwrap().delivery_ratio();
+        let rn_100 = s.get("RichNote", 100).unwrap().delivery_ratio();
+        let fifo_1 = s.get("FIFO(L3)", 1).unwrap().delivery_ratio();
+        let fifo_100 = s.get("FIFO(L3)", 100).unwrap().delivery_ratio();
+        assert!(rn_1 > 0.95, "RichNote at 1MB delivers {rn_1}");
+        assert!(rn_100 > 0.95);
+        assert!(fifo_1 < 0.5, "FIFO at 1MB delivers {fifo_1}");
+        assert!(fifo_100 > fifo_1);
+
+        // Fig 4(a): RichNote utility beats both baselines at mid budget.
+        let rn_u = s.get("RichNote", 10).unwrap().total_utility;
+        let fifo_u = s.get("FIFO(L3)", 10).unwrap().total_utility;
+        let util_u = s.get("UTIL(L3)", 10).unwrap().total_utility;
+        assert!(rn_u > fifo_u, "RichNote {rn_u} vs FIFO {fifo_u}");
+        assert!(rn_u > util_u, "RichNote {rn_u} vs UTIL {util_u}");
+
+        // Fig 4(d): RichNote has lower queuing delay at low budget.
+        let rn_d = s.get("RichNote", 1).unwrap().mean_delay_secs();
+        let fifo_d = s.get("FIFO(L3)", 1).unwrap().mean_delay_secs();
+        assert!(rn_d < fifo_d, "delay RichNote {rn_d} vs FIFO {fifo_d}");
+
+        // Fig 3(c): recall ordering follows delivery.
+        let rn_r = s.get("RichNote", 1).unwrap().recall();
+        let fifo_r = s.get("FIFO(L3)", 1).unwrap().recall();
+        assert!(rn_r > fifo_r);
+    }
+
+    #[test]
+    fn tables_cover_the_grid() {
+        let s = small_sweep();
+        let tables = s.tables();
+        assert_eq!(tables.len(), 8);
+        for t in &tables {
+            assert_eq!(t.n_rows(), 3, "{t}");
+        }
+    }
+
+    #[test]
+    fn util_beats_fifo_on_utility() {
+        // UTIL delivers high-utility items first, so under a constrained
+        // budget its utility should be at least FIFO's.
+        let s = small_sweep();
+        let util_u = s.get("UTIL(L3)", 1).unwrap().total_utility;
+        let fifo_u = s.get("FIFO(L3)", 1).unwrap().total_utility;
+        assert!(util_u >= fifo_u * 0.95, "UTIL {util_u} vs FIFO {fifo_u}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # richnote-sim
+//!
+//! Discrete-event simulator and experiment harness reproducing the
+//! RichNote evaluation (Sec. V).
+//!
+//! The simulator replays a (synthetic) Spotify-like notification trace
+//! through per-user brokers running one of the three scheduling policies —
+//! RichNote, FIFO, UTIL — under data budgets, battery-driven energy grants
+//! and Markov/cellular connectivity, and measures exactly the paper's
+//! metrics: delivery ratio, precision/recall, utility, download energy and
+//! queuing delay.
+//!
+//! Layout:
+//!
+//! * [`cost`] — adapts the `richnote-energy` models to the scheduler's
+//!   [`richnote_core::scheduler::TransferCost`] trait;
+//! * [`events`] — a generic time-ordered event queue (the simulation core);
+//! * [`feed`] — the Sec. II generation path: activity routed through the
+//!   pub/sub broker into notification candidates;
+//! * [`metrics`] — per-user and aggregate metric accumulators;
+//! * [`user`] — the single-user round loop (Algorithm 2 driven end-to-end);
+//! * [`simulator`] — population-level orchestration with thread-parallel
+//!   user simulation;
+//! * [`report`] — text tables, CSV and JSON export;
+//! * [`experiments`] — one module per figure/table of the paper, plus
+//!   ablations and network/model-value studies.
+
+pub mod cost;
+pub mod events;
+pub mod experiments;
+pub mod feed;
+pub mod metrics;
+pub mod report;
+pub mod simulator;
+pub mod user;
+
+pub use cost::EnergyCost;
+pub use metrics::{AggregateMetrics, UserMetrics};
+pub use simulator::{NetworkKind, PolicyKind, PopulationSim, SimulationConfig};

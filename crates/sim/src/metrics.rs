@@ -1,0 +1,298 @@
+//! Per-user and aggregate metrics — exactly the quantities of Sec. V-C:
+//! delivery ratio, precision/recall, average utility, download energy and
+//! queuing delay, plus the presentation-level mix behind Fig. 5(b,c).
+
+use richnote_core::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// Maximum presentation level tracked in histograms (level 0 = not sent).
+pub const MAX_LEVEL: usize = 8;
+
+/// Metrics of one simulated user over the whole horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserMetrics {
+    /// The user.
+    pub user: UserId,
+    /// Notifications that arrived at the broker for this user.
+    pub arrived: usize,
+    /// Notifications delivered to the device.
+    pub delivered: usize,
+    /// Bytes delivered.
+    pub bytes_delivered: u64,
+    /// Sum of combined utility `U(i, j)` over delivered notifications.
+    pub total_utility: f64,
+    /// Utility restricted to delivered notifications whose ground truth was
+    /// a click (Fig. 4(b)).
+    pub clicked_utility: f64,
+    /// Ground-truth clicked notifications among the arrived ones.
+    pub clicked_total: usize,
+    /// Delivered notifications that were ground-truth clicks *and* arrived
+    /// on the device before the recorded click time.
+    pub delivered_before_click: usize,
+    /// Energy spent downloading, joules (per-item scheduler estimates).
+    pub energy_joules: f64,
+    /// Energy under batched per-round radio sessions, joules.
+    pub session_energy_joules: f64,
+    /// Sum of queuing delays over delivered notifications, seconds.
+    pub delay_sum_secs: f64,
+    /// Count of deliveries per presentation level; index 0 counts items
+    /// never delivered within the horizon.
+    pub level_histogram: [usize; MAX_LEVEL],
+    /// Items still queued at the end of the horizon.
+    pub final_backlog: usize,
+    /// Per-round backlog (items queued after the round ran); empty unless
+    /// the simulation enables backlog recording.
+    pub backlog_series: Vec<usize>,
+}
+
+impl UserMetrics {
+    /// Creates zeroed metrics for `user`.
+    pub fn new(user: UserId) -> Self {
+        Self {
+            user,
+            arrived: 0,
+            delivered: 0,
+            bytes_delivered: 0,
+            total_utility: 0.0,
+            clicked_utility: 0.0,
+            clicked_total: 0,
+            delivered_before_click: 0,
+            energy_joules: 0.0,
+            session_energy_joules: 0.0,
+            delay_sum_secs: 0.0,
+            level_histogram: [0; MAX_LEVEL],
+            final_backlog: 0,
+            backlog_series: Vec::new(),
+        }
+    }
+
+    /// Fraction of arrived notifications delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        fraction(self.delivered as f64, self.arrived as f64)
+    }
+
+    /// Precision: delivered-before-click ÷ delivered (Sec. V-C).
+    pub fn precision(&self) -> f64 {
+        fraction(self.delivered_before_click as f64, self.delivered as f64)
+    }
+
+    /// Recall: delivered-before-click ÷ ground-truth clicks (Sec. V-C).
+    pub fn recall(&self) -> f64 {
+        fraction(self.delivered_before_click as f64, self.clicked_total as f64)
+    }
+
+    /// Mean utility per delivered notification.
+    pub fn avg_utility(&self) -> f64 {
+        fraction(self.total_utility, self.delivered as f64)
+    }
+
+    /// Mean queuing delay in seconds.
+    pub fn mean_delay_secs(&self) -> f64 {
+        fraction(self.delay_sum_secs, self.delivered as f64)
+    }
+}
+
+fn fraction(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Aggregate metrics over a simulated population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateMetrics {
+    /// Number of users aggregated.
+    pub users: usize,
+    /// Total notifications arrived.
+    pub arrived: usize,
+    /// Total delivered.
+    pub delivered: usize,
+    /// Total bytes delivered.
+    pub bytes_delivered: u64,
+    /// Total utility delivered.
+    pub total_utility: f64,
+    /// Total utility among ground-truth-clicked deliveries.
+    pub clicked_utility: f64,
+    /// Total ground-truth clicks.
+    pub clicked_total: usize,
+    /// Total delivered before their click time.
+    pub delivered_before_click: usize,
+    /// Total energy (per-item estimates), joules.
+    pub energy_joules: f64,
+    /// Total energy under batched sessions, joules.
+    pub session_energy_joules: f64,
+    /// Sum of delays, seconds.
+    pub delay_sum_secs: f64,
+    /// Summed per-level delivery counts.
+    pub level_histogram: [usize; MAX_LEVEL],
+    /// Total leftover backlog.
+    pub final_backlog: usize,
+    /// Mean of per-user delivery ratios (the paper averages metrics
+    /// "across all users").
+    pub mean_user_delivery_ratio: f64,
+    /// Mean of per-user average utilities.
+    pub mean_user_avg_utility: f64,
+}
+
+impl AggregateMetrics {
+    /// Aggregates a set of per-user metrics.
+    pub fn from_users(users: &[UserMetrics]) -> Self {
+        let mut agg = Self {
+            users: users.len(),
+            arrived: 0,
+            delivered: 0,
+            bytes_delivered: 0,
+            total_utility: 0.0,
+            clicked_utility: 0.0,
+            clicked_total: 0,
+            delivered_before_click: 0,
+            energy_joules: 0.0,
+            session_energy_joules: 0.0,
+            delay_sum_secs: 0.0,
+            level_histogram: [0; MAX_LEVEL],
+            final_backlog: 0,
+            mean_user_delivery_ratio: 0.0,
+            mean_user_avg_utility: 0.0,
+        };
+        for u in users {
+            agg.arrived += u.arrived;
+            agg.delivered += u.delivered;
+            agg.bytes_delivered += u.bytes_delivered;
+            agg.total_utility += u.total_utility;
+            agg.clicked_utility += u.clicked_utility;
+            agg.clicked_total += u.clicked_total;
+            agg.delivered_before_click += u.delivered_before_click;
+            agg.energy_joules += u.energy_joules;
+            agg.session_energy_joules += u.session_energy_joules;
+            agg.delay_sum_secs += u.delay_sum_secs;
+            agg.final_backlog += u.final_backlog;
+            for (a, b) in agg.level_histogram.iter_mut().zip(&u.level_histogram) {
+                *a += b;
+            }
+        }
+        if !users.is_empty() {
+            agg.mean_user_delivery_ratio =
+                users.iter().map(UserMetrics::delivery_ratio).sum::<f64>() / users.len() as f64;
+            agg.mean_user_avg_utility =
+                users.iter().map(UserMetrics::avg_utility).sum::<f64>() / users.len() as f64;
+        }
+        agg
+    }
+
+    /// Overall delivery ratio.
+    pub fn delivery_ratio(&self) -> f64 {
+        fraction(self.delivered as f64, self.arrived as f64)
+    }
+
+    /// Overall precision.
+    pub fn precision(&self) -> f64 {
+        fraction(self.delivered_before_click as f64, self.delivered as f64)
+    }
+
+    /// Overall recall.
+    pub fn recall(&self) -> f64 {
+        fraction(self.delivered_before_click as f64, self.clicked_total as f64)
+    }
+
+    /// Mean utility per delivered notification.
+    pub fn avg_utility(&self) -> f64 {
+        fraction(self.total_utility, self.delivered as f64)
+    }
+
+    /// Mean queuing delay, seconds.
+    pub fn mean_delay_secs(&self) -> f64 {
+        fraction(self.delay_sum_secs, self.delivered as f64)
+    }
+
+    /// Fraction of arrived items delivered at each level (index 0 = never
+    /// delivered) — the stacked bars of Fig. 5(b,c).
+    pub fn level_mix(&self) -> [f64; MAX_LEVEL] {
+        let mut mix = [0.0; MAX_LEVEL];
+        if self.arrived == 0 {
+            return mix;
+        }
+        let mut accounted = 0usize;
+        for (i, &c) in self.level_histogram.iter().enumerate().skip(1) {
+            mix[i] = c as f64 / self.arrived as f64;
+            accounted += c;
+        }
+        mix[0] = (self.arrived.saturating_sub(accounted)) as f64 / self.arrived as f64;
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_user(user: u64) -> UserMetrics {
+        UserMetrics {
+            user: UserId::new(user),
+            arrived: 10,
+            delivered: 8,
+            bytes_delivered: 1_000,
+            total_utility: 4.0,
+            clicked_utility: 2.0,
+            clicked_total: 4,
+            delivered_before_click: 3,
+            energy_joules: 100.0,
+            session_energy_joules: 60.0,
+            delay_sum_secs: 800.0,
+            level_histogram: [2, 5, 3, 0, 0, 0, 0, 0],
+            final_backlog: 2,
+            backlog_series: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn user_ratios() {
+        let m = sample_user(1);
+        assert!((m.delivery_ratio() - 0.8).abs() < 1e-12);
+        assert!((m.precision() - 3.0 / 8.0).abs() < 1e-12);
+        assert!((m.recall() - 0.75).abs() < 1e-12);
+        assert!((m.avg_utility() - 0.5).abs() < 1e-12);
+        assert!((m.mean_delay_secs() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_user_is_all_zeros() {
+        let m = UserMetrics::new(UserId::new(1));
+        assert_eq!(m.delivery_ratio(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.avg_utility(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_sums_and_averages() {
+        let users = vec![sample_user(1), sample_user(2)];
+        let agg = AggregateMetrics::from_users(&users);
+        assert_eq!(agg.users, 2);
+        assert_eq!(agg.arrived, 20);
+        assert_eq!(agg.delivered, 16);
+        assert_eq!(agg.bytes_delivered, 2_000);
+        assert!((agg.total_utility - 8.0).abs() < 1e-12);
+        assert!((agg.mean_user_delivery_ratio - 0.8).abs() < 1e-12);
+        assert_eq!(agg.level_histogram[1], 10);
+    }
+
+    #[test]
+    fn level_mix_sums_to_one() {
+        let agg = AggregateMetrics::from_users(&[sample_user(1)]);
+        let mix = agg.level_mix();
+        let sum: f64 = mix.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{mix:?}");
+        assert!((mix[1] - 0.5).abs() < 1e-12);
+        assert!((mix[0] - 0.2).abs() < 1e-12); // 2 of 10 never delivered
+    }
+
+    #[test]
+    fn empty_aggregate_is_sane() {
+        let agg = AggregateMetrics::from_users(&[]);
+        assert_eq!(agg.users, 0);
+        assert_eq!(agg.delivery_ratio(), 0.0);
+        assert_eq!(agg.level_mix(), [0.0; MAX_LEVEL]);
+    }
+}

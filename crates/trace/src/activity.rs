@@ -1,0 +1,431 @@
+//! Activity-driven trace generation: the full Sec. II pipeline.
+//!
+//! The default [`crate::generator::TraceGenerator`] draws each user's
+//! notifications as an independent Poisson stream — convenient, but the
+//! real system derives notifications from *publications*: friends'
+//! listening sessions, album releases and playlist updates fan out to
+//! subscribers. This module generates that upstream activity and derives
+//! the notifications from it, which produces the bursty, socially
+//! correlated arrivals of a production feed (one popular listener's session
+//! hits all of their followers at once).
+//!
+//! The output is the same [`Trace`] type, so every downstream consumer —
+//! classifier training, simulation, experiments — works unchanged.
+
+use crate::behavior::{BehaviorConfig, BehaviorModel};
+use crate::catalog::{Catalog, CatalogConfig, Track};
+use crate::generator::Trace;
+use crate::graph::{GraphConfig, SocialGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use richnote_core::content::{ContentFeatures, ContentItem, ContentKind, SocialTie};
+use richnote_core::ids::{ContentId, PlaylistId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One listening event: `listener` started playing `track` at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityEvent {
+    /// The streaming user.
+    pub listener: UserId,
+    /// The track being streamed.
+    pub track: richnote_core::ids::TrackId,
+    /// Stream start, seconds from trace start.
+    pub at: f64,
+}
+
+/// Configuration of the activity-driven generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityConfig {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Number of users.
+    pub n_users: usize,
+    /// Horizon in days.
+    pub days: u64,
+    /// Mean listening sessions per user per day.
+    pub sessions_per_user_day: f64,
+    /// Tracks per session, inclusive range.
+    pub tracks_per_session: (usize, usize),
+    /// Probability that a follower is notified when a friend's session
+    /// starts ("a friend starts streaming a music track", Sec. II).
+    pub notify_probability: f64,
+    /// Album release events per day across the catalog.
+    pub releases_per_day: f64,
+    /// Number of community playlists.
+    pub n_playlists: usize,
+    /// Subscribers per playlist.
+    pub playlist_subscribers: usize,
+    /// Playlist update events per playlist per day.
+    pub playlist_updates_per_day: f64,
+    /// Catalog parameters.
+    pub catalog: CatalogConfig,
+    /// Social-graph parameters.
+    pub graph: GraphConfig,
+    /// Click ground-truth parameters.
+    pub behavior: BehaviorConfig,
+}
+
+impl Default for ActivityConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20150101,
+            n_users: 300,
+            days: 7,
+            sessions_per_user_day: 4.0,
+            tracks_per_session: (3, 12),
+            notify_probability: 0.9,
+            releases_per_day: 6.0,
+            n_playlists: 30,
+            playlist_subscribers: 25,
+            playlist_updates_per_day: 0.5,
+            catalog: CatalogConfig::default(),
+            graph: GraphConfig::default(),
+            behavior: BehaviorConfig::paper_calibrated(),
+        }
+    }
+}
+
+impl ActivityConfig {
+    /// A small configuration for tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            n_users: 80,
+            days: 2,
+            n_playlists: 8,
+            playlist_subscribers: 10,
+            catalog: CatalogConfig { n_artists: 40, ..CatalogConfig::default() },
+            ..Self::default()
+        }
+    }
+}
+
+/// Diurnal weight of hour-of-day `h`: quiet at night, peaking in the
+/// evening (a smooth approximation of listening diaries).
+fn diurnal_weight(hour: f64) -> f64 {
+    // Peak around 19:00, trough around 04:00.
+    let phase = (hour - 19.0) / 24.0 * std::f64::consts::TAU;
+    0.55 + 0.45 * phase.cos()
+}
+
+/// The activity-driven generator.
+#[derive(Debug)]
+pub struct ActivityTraceGenerator {
+    cfg: ActivityConfig,
+}
+
+impl ActivityTraceGenerator {
+    /// Creates a generator; graph user/artist counts are synchronized with
+    /// the top-level configuration as in the plain generator.
+    pub fn new(mut cfg: ActivityConfig) -> Self {
+        cfg.graph.n_users = cfg.n_users;
+        cfg.graph.n_artists = cfg.catalog.n_artists;
+        Self { cfg }
+    }
+
+    /// Generates the trace along with the underlying activity events.
+    pub fn generate(&self) -> (Trace, Vec<ActivityEvent>) {
+        let cfg = &self.cfg;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let catalog = Catalog::generate(&cfg.catalog, &mut rng);
+        let graph = SocialGraph::generate(&cfg.graph, &mut rng);
+        let behavior = BehaviorModel::new(cfg.behavior);
+        let horizon_secs = cfg.days as f64 * 86_400.0;
+
+        let mut activity = Vec::new();
+        let mut items: Vec<ContentItem> = Vec::new();
+        let mut next_id = 0u64;
+
+        let emit = |items: &mut Vec<ContentItem>,
+                        next_id: &mut u64,
+                        recipient: UserId,
+                        sender: Option<UserId>,
+                        kind: ContentKind,
+                        track: &Track,
+                        at: f64,
+                        tie: SocialTie,
+                        rng: &mut SmallRng| {
+            let hour = (at / 3_600.0) % 24.0;
+            let day = (at / 86_400.0) as u64;
+            let features = ContentFeatures {
+                tie,
+                track_popularity: track.popularity,
+                album_popularity: catalog.album(track.album).popularity,
+                artist_popularity: catalog.artist(track.artist).popularity,
+                weekend: matches!(day % 7, 2 | 3),
+                night: !(6.0..22.0).contains(&hour),
+            };
+            let interaction = behavior.sample_interaction(&features, at, rng);
+            items.push(ContentItem {
+                id: ContentId::new(*next_id),
+                recipient,
+                sender,
+                kind,
+                track: track.id,
+                album: track.album,
+                artist: track.artist,
+                arrival: at,
+                track_secs: track.duration_secs,
+                features,
+                interaction,
+            });
+            *next_id += 1;
+        };
+
+        // 1. Listening sessions → friend-feed notifications.
+        for u in 0..cfg.n_users {
+            let listener = UserId::new(u as u64);
+            let followers: Vec<UserId> = (0..cfg.n_users)
+                .map(|v| UserId::new(v as u64))
+                .filter(|&v| v != listener && graph.follows(v, listener))
+                .collect();
+            let n_sessions =
+                poisson(&mut rng, cfg.sessions_per_user_day * cfg.days as f64);
+            for _ in 0..n_sessions {
+                // Diurnal rejection sampling of the session start.
+                let start = loop {
+                    let t = rng.gen_range(0.0..horizon_secs);
+                    let hour = (t / 3_600.0) % 24.0;
+                    if rng.gen_range(0.0..1.0) < diurnal_weight(hour) {
+                        break t;
+                    }
+                };
+                let (lo, hi) = cfg.tracks_per_session;
+                let n_tracks = rng.gen_range(lo..=hi.max(lo));
+                let mut t = start;
+                let mut first_track: Option<Track> = None;
+                for k in 0..n_tracks {
+                    let track = *catalog.sample_track(&mut rng);
+                    activity.push(ActivityEvent { listener, track: track.id, at: t });
+                    if k == 0 {
+                        first_track = Some(track);
+                    }
+                    t += track.duration_secs;
+                    if t >= horizon_secs {
+                        break;
+                    }
+                }
+                // Session start notifies followers (Spotify friend feed).
+                if let Some(track) = first_track {
+                    for &follower in &followers {
+                        if rng.gen_bool(cfg.notify_probability) {
+                            let tie = graph.tie(follower, listener);
+                            emit(
+                                &mut items,
+                                &mut next_id,
+                                follower,
+                                Some(listener),
+                                ContentKind::FriendFeed,
+                                &track,
+                                start,
+                                tie,
+                                &mut rng,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Album releases → notifications to users favoring the artist.
+        let n_releases = poisson(&mut rng, cfg.releases_per_day * cfg.days as f64);
+        for _ in 0..n_releases {
+            let at = rng.gen_range(0.0..horizon_secs);
+            let track = *catalog.sample_track(&mut rng);
+            for u in 0..cfg.n_users {
+                let user = UserId::new(u as u64);
+                if graph.favorites(user).contains(&track.artist) {
+                    emit(
+                        &mut items,
+                        &mut next_id,
+                        user,
+                        None,
+                        ContentKind::AlbumRelease,
+                        &track,
+                        at,
+                        SocialTie::FavoriteArtist,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+
+        // 3. Playlist updates → notifications to playlist subscribers.
+        for p in 0..cfg.n_playlists {
+            let _playlist = PlaylistId::new(p as u64);
+            let subscribers: Vec<UserId> = (0..cfg.playlist_subscribers)
+                .map(|_| UserId::new(rng.gen_range(0..cfg.n_users) as u64))
+                .collect();
+            let n_updates = poisson(&mut rng, cfg.playlist_updates_per_day * cfg.days as f64);
+            for _ in 0..n_updates {
+                let at = rng.gen_range(0.0..horizon_secs);
+                let track = *catalog.sample_track(&mut rng);
+                for &user in &subscribers {
+                    emit(
+                        &mut items,
+                        &mut next_id,
+                        user,
+                        None,
+                        ContentKind::PlaylistUpdate,
+                        &track,
+                        at,
+                        SocialTie::None,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+
+        items.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        activity.sort_by(|a, b| a.at.total_cmp(&b.at));
+        (Trace { items, catalog, graph, horizon_secs }, activity)
+    }
+}
+
+/// Knuth Poisson sampling (fine for the small means used here).
+fn poisson<R: Rng>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // guard against pathological means
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use richnote_core::content::Interaction;
+
+    fn generate() -> (Trace, Vec<ActivityEvent>) {
+        ActivityTraceGenerator::new(ActivityConfig::small(5)).generate()
+    }
+
+    #[test]
+    fn produces_sorted_items_within_horizon() {
+        let (trace, activity) = generate();
+        assert!(!trace.items.is_empty());
+        assert!(!activity.is_empty());
+        for w in trace.items.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        for i in &trace.items {
+            assert!((0.0..trace.horizon_secs).contains(&i.arrival));
+        }
+    }
+
+    #[test]
+    fn friend_feed_notifications_respect_the_graph() {
+        let (trace, _) = generate();
+        let mut feeds = 0;
+        for i in &trace.items {
+            if i.kind == ContentKind::FriendFeed {
+                feeds += 1;
+                let sender = i.sender.expect("friend feeds carry a sender");
+                assert!(
+                    trace.graph.follows(i.recipient, sender),
+                    "{} does not follow {}",
+                    i.recipient,
+                    sender
+                );
+            }
+        }
+        assert!(feeds > 100, "expected substantial friend-feed volume, got {feeds}");
+    }
+
+    #[test]
+    fn arrivals_are_bursty_not_poisson() {
+        // A session start fans out to all followers at the same instant,
+        // so identical arrival timestamps must be common — unlike the
+        // per-user Poisson generator.
+        let (trace, _) = generate();
+        let mut same_instant = 0usize;
+        for w in trace.items.windows(2) {
+            if (w[0].arrival - w[1].arrival).abs() < 1e-9 {
+                same_instant += 1;
+            }
+        }
+        assert!(
+            same_instant * 5 > trace.items.len(),
+            "expected ≥20% co-arrivals, got {same_instant}/{}",
+            trace.items.len()
+        );
+    }
+
+    #[test]
+    fn activity_sessions_play_consecutive_tracks() {
+        let (_, activity) = generate();
+        // Activity events from one listener within a session are spaced by
+        // track durations (tens to hundreds of seconds).
+        let listener = activity[0].listener;
+        let events: Vec<&ActivityEvent> =
+            activity.iter().filter(|e| e.listener == listener).collect();
+        assert!(!events.is_empty());
+    }
+
+    #[test]
+    fn all_three_kinds_are_generated() {
+        let (trace, _) = generate();
+        for kind in ContentKind::ALL {
+            assert!(
+                trace.items.iter().any(|i| i.kind == kind),
+                "missing kind {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_interactions_are_attached() {
+        let (trace, _) = generate();
+        let clicked = trace.items.iter().filter(|i| i.interaction.is_click()).count();
+        let hovered = trace
+            .items
+            .iter()
+            .filter(|i| matches!(i.interaction, Interaction::Hovered))
+            .count();
+        assert!(clicked > 0 && hovered > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, ea) = ActivityTraceGenerator::new(ActivityConfig::small(9)).generate();
+        let (b, eb) = ActivityTraceGenerator::new(ActivityConfig::small(9)).generate();
+        assert_eq!(a.items, b.items);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn diurnal_weight_peaks_in_the_evening() {
+        assert!(diurnal_weight(19.0) > diurnal_weight(4.0));
+        assert!(diurnal_weight(19.0) <= 1.0);
+        assert!(diurnal_weight(4.0) >= 0.0);
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_right() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 5_000;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, 4.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn trace_feeds_downstream_consumers() {
+        // The activity trace must work with the classifier extraction.
+        let (trace, _) = generate();
+        let (rows, labels) = crate::generator::classifier_rows(&trace.items);
+        assert_eq!(rows.len(), labels.len());
+        assert!(rows.len() > 100);
+    }
+}

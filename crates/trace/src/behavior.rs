@@ -1,0 +1,252 @@
+//! Ground-truth user behaviour: who clicks what, and when.
+//!
+//! The paper labels notifications "clicked" or "hovered" from mouse
+//! activity. Our synthetic users click according to a logistic function of
+//! the same feature set the classifier sees (social tie, popularity,
+//! temporal context) **plus unobserved personal taste noise** — the noise
+//! is what keeps a learned classifier in the paper's quality band
+//! (precision ≈ 0.70, accuracy ≈ 0.689) instead of being perfect.
+
+use rand::Rng;
+use richnote_core::content::{ContentFeatures, Interaction};
+use serde::{Deserialize, Serialize};
+
+/// Logistic-model weights and noise for the click ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorConfig {
+    /// Intercept (controls the base click rate).
+    pub bias: f64,
+    /// Weight on the social-tie strength.
+    pub w_tie: f64,
+    /// Weight on mean normalized popularity.
+    pub w_popularity: f64,
+    /// Weight on the weekend flag.
+    pub w_weekend: f64,
+    /// Weight on the night flag.
+    pub w_night: f64,
+    /// Standard deviation of the unobserved taste noise added to the
+    /// logit. Larger values make behaviour less predictable.
+    pub taste_noise: f64,
+    /// Probability that a *non-clicked* notification still gets hovered
+    /// (and therefore enters the training set as a negative).
+    pub hover_rate: f64,
+    /// Mean delay between delivery opportunity and the click, seconds.
+    pub mean_click_delay_secs: f64,
+}
+
+impl BehaviorConfig {
+    /// Calibrated so a Random Forest on the observable features scores near
+    /// the paper's five-fold numbers (precision 0.700, accuracy 0.689).
+    pub fn paper_calibrated() -> Self {
+        Self {
+            bias: -1.6,
+            w_tie: 2.2,
+            w_popularity: 1.6,
+            w_weekend: 0.35,
+            w_night: -0.45,
+            taste_noise: 1.35,
+            hover_rate: 0.55,
+            mean_click_delay_secs: 2.0 * 3600.0,
+        }
+    }
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+/// The behaviour model: deterministic logit plus seeded noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorModel {
+    cfg: BehaviorConfig,
+}
+
+impl BehaviorModel {
+    /// Creates a model from the configuration.
+    pub fn new(cfg: BehaviorConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BehaviorConfig {
+        &self.cfg
+    }
+
+    /// The noiseless click probability for a feature vector.
+    pub fn click_probability(&self, features: &ContentFeatures) -> f64 {
+        sigmoid(self.logit(features))
+    }
+
+    fn logit(&self, features: &ContentFeatures) -> f64 {
+        let pop = (features.track_popularity
+            + features.album_popularity
+            + features.artist_popularity)
+            / 300.0;
+        self.cfg.bias
+            + self.cfg.w_tie * features.tie.strength()
+            + self.cfg.w_popularity * pop
+            + self.cfg.w_weekend * f64::from(u8::from(features.weekend))
+            + self.cfg.w_night * f64::from(u8::from(features.night))
+    }
+
+    /// Samples the ground-truth interaction for a notification arriving at
+    /// `arrival` seconds.
+    ///
+    /// A standard-normal taste shock scaled by `taste_noise` is added to
+    /// the logit before thresholding; non-clicks become hovers with
+    /// `hover_rate` and are otherwise unobserved (`NoActivity`).
+    pub fn sample_interaction<R: Rng>(
+        &self,
+        features: &ContentFeatures,
+        arrival: f64,
+        rng: &mut R,
+    ) -> Interaction {
+        let shock = self.cfg.taste_noise * gaussian(rng);
+        let p = sigmoid(self.logit(features) + shock);
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            let delay = -self.cfg.mean_click_delay_secs * (1.0 - rng.gen_range(0.0..1.0f64)).ln();
+            Interaction::Clicked { at: arrival + delay.max(1.0) }
+        } else if rng.gen_bool(self.cfg.hover_rate) {
+            Interaction::Hovered
+        } else {
+            Interaction::NoActivity
+        }
+    }
+}
+
+impl Default for BehaviorModel {
+    fn default() -> Self {
+        Self::new(BehaviorConfig::paper_calibrated())
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Box–Muller standard normal.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use richnote_core::content::SocialTie;
+
+    fn features(tie: SocialTie, pop: f64) -> ContentFeatures {
+        ContentFeatures {
+            tie,
+            track_popularity: pop,
+            album_popularity: pop,
+            artist_popularity: pop,
+            weekend: false,
+            night: false,
+        }
+    }
+
+    #[test]
+    fn stronger_ties_click_more() {
+        let m = BehaviorModel::default();
+        let none = m.click_probability(&features(SocialTie::None, 50.0));
+        let friend = m.click_probability(&features(SocialTie::Mutual, 50.0));
+        let fav = m.click_probability(&features(SocialTie::FavoriteArtist, 50.0));
+        assert!(none < friend);
+        assert!(friend < fav);
+    }
+
+    #[test]
+    fn popularity_increases_clicks() {
+        let m = BehaviorModel::default();
+        let lo = m.click_probability(&features(SocialTie::Follows, 5.0));
+        let hi = m.click_probability(&features(SocialTie::Follows, 95.0));
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let m = BehaviorModel::default();
+        for tie in [SocialTie::None, SocialTie::Follows, SocialTie::Mutual] {
+            for pop in [1.0, 50.0, 100.0] {
+                let p = m.click_probability(&features(tie, pop));
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn click_times_are_after_arrival() {
+        let m = BehaviorModel::default();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let f = features(SocialTie::FavoriteArtist, 95.0);
+        let mut clicks = 0;
+        for _ in 0..500 {
+            if let Interaction::Clicked { at } = m.sample_interaction(&f, 1_000.0, &mut rng) {
+                assert!(at > 1_000.0);
+                clicks += 1;
+            }
+        }
+        assert!(clicks > 250, "favorite-artist hits should mostly click, got {clicks}");
+    }
+
+    #[test]
+    fn empirical_click_rate_tracks_probability() {
+        let m = BehaviorModel::new(BehaviorConfig {
+            taste_noise: 0.0,
+            ..BehaviorConfig::paper_calibrated()
+        });
+        let f = features(SocialTie::Follows, 60.0);
+        let p = m.click_probability(&f);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 20_000;
+        let clicks = (0..n)
+            .filter(|_| m.sample_interaction(&f, 0.0, &mut rng).is_click())
+            .count();
+        let rate = clicks as f64 / n as f64;
+        assert!((rate - p).abs() < 0.02, "rate {rate} vs p {p}");
+    }
+
+    #[test]
+    fn taste_noise_moves_individual_outcomes() {
+        let noisy = BehaviorModel::default();
+        let f = features(SocialTie::None, 10.0);
+        let p = noisy.click_probability(&f);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 20_000;
+        let clicks = (0..n)
+            .filter(|_| noisy.sample_interaction(&f, 0.0, &mut rng).is_click())
+            .count();
+        let rate = clicks as f64 / n as f64;
+        // With a low base probability, symmetric logit noise inflates the
+        // click rate (sigmoid is convex below 0.5) — the rate must differ
+        // noticeably from the noiseless probability.
+        assert!((rate - p).abs() > 0.01, "noise had no effect: {rate} vs {p}");
+    }
+
+    #[test]
+    fn non_clicks_split_between_hover_and_silence() {
+        let m = BehaviorModel::new(BehaviorConfig {
+            bias: -50.0, // never click
+            ..BehaviorConfig::paper_calibrated()
+        });
+        let f = features(SocialTie::None, 1.0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut hovered = 0;
+        let mut silent = 0;
+        for _ in 0..10_000 {
+            match m.sample_interaction(&f, 0.0, &mut rng) {
+                Interaction::Hovered => hovered += 1,
+                Interaction::NoActivity => silent += 1,
+                Interaction::Clicked { .. } => {}
+            }
+        }
+        let hover_share = hovered as f64 / (hovered + silent) as f64;
+        assert!((hover_share - 0.55).abs() < 0.03, "hover share {hover_share}");
+    }
+}

@@ -1,0 +1,156 @@
+//! `tracetool` — generate, inspect and persist synthetic RichNote traces.
+//!
+//! ```text
+//! tracetool generate --seed <n> --users <n> --days <n> [--out <file>]
+//! tracetool stats <file>
+//! tracetool stats --seed <n> --users <n> --days <n>
+//! ```
+
+use richnote_trace::generator::{TraceConfig, TraceGenerator};
+use richnote_trace::io::{read_items, write_items};
+use richnote_trace::stats::TraceStats;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Options {
+    command: String,
+    file: Option<String>,
+    out: Option<String>,
+    seed: u64,
+    users: usize,
+    days: u64,
+    rate: f64,
+}
+
+fn parse() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut opts = Options {
+        command,
+        file: None,
+        out: None,
+        seed: 2015,
+        users: 200,
+        days: 7,
+        rate: 40.0,
+    };
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            args.next().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--users" => {
+                opts.users = take("--users")?.parse().map_err(|e| format!("bad users: {e}"))?
+            }
+            "--days" => opts.days = take("--days")?.parse().map_err(|e| format!("bad days: {e}"))?,
+            "--rate" => opts.rate = take("--rate")?.parse().map_err(|e| format!("bad rate: {e}"))?,
+            "--out" => opts.out = Some(take("--out")?),
+            other if !other.starts_with("--") && opts.file.is_none() => {
+                opts.file = Some(other.to_string())
+            }
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() -> String {
+    "usage: tracetool <generate|stats> [<file>] [--seed N] [--users N] [--days N] \
+     [--rate notifications-per-user-day] [--out FILE]"
+        .to_string()
+}
+
+fn generate(opts: &Options) -> Result<(), String> {
+    let cfg = TraceConfig {
+        seed: opts.seed,
+        n_users: opts.users,
+        days: opts.days,
+        mean_notifications_per_user_day: opts.rate,
+        ..TraceConfig::default()
+    };
+    eprintln!("generating: {} users, {} days, seed {}...", cfg.n_users, cfg.days, cfg.seed);
+    let trace = TraceGenerator::new(cfg).generate();
+    eprintln!("{}", TraceStats::compute(&trace));
+    match &opts.out {
+        Some(path) => {
+            let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            write_items(BufWriter::new(file), &trace.items, trace.horizon_secs)
+                .map_err(|e| e.to_string())?;
+            eprintln!("wrote {} items to {path}", trace.items.len());
+        }
+        None => {
+            let stdout = std::io::stdout();
+            write_items(BufWriter::new(stdout.lock()), &trace.items, trace.horizon_secs)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn stats(opts: &Options) -> Result<(), String> {
+    match &opts.file {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let (header, items) = read_items(BufReader::new(file)).map_err(|e| e.to_string())?;
+            // Rebuild a Trace around the items for the stats computation;
+            // catalog/graph stats are not needed here, so regenerate the
+            // minimal structures from the recorded items' seed-free view.
+            println!(
+                "file: {} items over {:.1} days",
+                header.items,
+                header.horizon_secs / 86_400.0
+            );
+            let clicked = items
+                .iter()
+                .filter(|i| i.interaction.is_click())
+                .count();
+            let active = items
+                .iter()
+                .filter(|i| !matches!(i.interaction, richnote_core::content::Interaction::NoActivity))
+                .count();
+            println!(
+                "mouse activity: {:.2}, click rate among active: {:.2}",
+                active as f64 / header.items.max(1) as f64,
+                clicked as f64 / active.max(1) as f64,
+            );
+            Ok(())
+        }
+        None => {
+            let cfg = TraceConfig {
+                seed: opts.seed,
+                n_users: opts.users,
+                days: opts.days,
+                mean_notifications_per_user_day: opts.rate,
+                ..TraceConfig::default()
+            };
+            let trace = TraceGenerator::new(cfg).generate();
+            println!("{}", TraceStats::compute(&trace));
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match opts.command.as_str() {
+        "generate" => generate(&opts),
+        "stats" => stats(&opts),
+        other => Err(format!("unknown command {other}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! The music catalog: artists, albums, tracks and their popularity.
+
+use rand::Rng;
+use richnote_core::ids::{AlbumId, ArtistId, TrackId};
+use serde::{Deserialize, Serialize};
+
+/// An artist with a normalized popularity score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Artist {
+    /// Identifier.
+    pub id: ArtistId,
+    /// Popularity 1–100 (Spotify public-API convention).
+    pub popularity: f64,
+}
+
+/// An album belonging to an artist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Album {
+    /// Identifier.
+    pub id: AlbumId,
+    /// Owning artist.
+    pub artist: ArtistId,
+    /// Popularity 1–100.
+    pub popularity: f64,
+}
+
+/// A track on an album.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    /// Identifier.
+    pub id: TrackId,
+    /// Owning album.
+    pub album: AlbumId,
+    /// Owning artist.
+    pub artist: ArtistId,
+    /// Popularity 1–100.
+    pub popularity: f64,
+    /// Duration in seconds.
+    pub duration_secs: f64,
+}
+
+/// Catalog generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Number of artists.
+    pub n_artists: usize,
+    /// Albums per artist.
+    pub albums_per_artist: usize,
+    /// Tracks per album.
+    pub tracks_per_album: usize,
+    /// Zipf exponent of artist popularity by rank.
+    pub zipf_exponent: f64,
+    /// Mean track duration (seconds); the paper's survey tracks averaged
+    /// 276 s.
+    pub mean_track_secs: f64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self {
+            n_artists: 200,
+            albums_per_artist: 3,
+            tracks_per_album: 8,
+            zipf_exponent: 0.8,
+            mean_track_secs: 276.0,
+        }
+    }
+}
+
+/// A generated catalog with popularity-weighted sampling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    artists: Vec<Artist>,
+    albums: Vec<Album>,
+    tracks: Vec<Track>,
+    /// Cumulative track-popularity weights for O(log n) sampling.
+    cumulative: Vec<f64>,
+}
+
+impl Catalog {
+    /// Generates a catalog from the configuration.
+    ///
+    /// Artist popularity follows a rank-based Zipf law scaled into
+    /// `[1, 100]`; album and track popularity are the artist's popularity
+    /// modulated by multiplicative noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count in `cfg` is zero.
+    pub fn generate<R: Rng>(cfg: &CatalogConfig, rng: &mut R) -> Self {
+        assert!(cfg.n_artists > 0, "catalog needs artists");
+        assert!(cfg.albums_per_artist > 0, "catalog needs albums");
+        assert!(cfg.tracks_per_album > 0, "catalog needs tracks");
+
+        let mut artists = Vec::with_capacity(cfg.n_artists);
+        let mut albums = Vec::new();
+        let mut tracks = Vec::new();
+
+        let top = 1.0f64;
+        let bottom = (cfg.n_artists as f64).powf(-cfg.zipf_exponent);
+        for rank in 0..cfg.n_artists {
+            let raw = ((rank + 1) as f64).powf(-cfg.zipf_exponent);
+            // Scale raw ∈ [bottom, top] into [1, 100].
+            let popularity = 1.0 + 99.0 * (raw - bottom) / (top - bottom).max(1e-12);
+            let artist = Artist { id: ArtistId::new(rank as u64), popularity };
+            artists.push(artist);
+
+            for a in 0..cfg.albums_per_artist {
+                let album_id = AlbumId::new((rank * cfg.albums_per_artist + a) as u64);
+                let album_pop = modulate(popularity, 0.25, rng);
+                albums.push(Album { id: album_id, artist: artist.id, popularity: album_pop });
+
+                for t in 0..cfg.tracks_per_album {
+                    let track_idx = (rank * cfg.albums_per_artist + a) * cfg.tracks_per_album + t;
+                    let dur = (cfg.mean_track_secs * rng.gen_range(0.6..1.4)).max(30.0);
+                    tracks.push(Track {
+                        id: TrackId::new(track_idx as u64),
+                        album: album_id,
+                        artist: artist.id,
+                        popularity: modulate(album_pop, 0.25, rng),
+                        duration_secs: dur,
+                    });
+                }
+            }
+        }
+
+        let mut cumulative = Vec::with_capacity(tracks.len());
+        let mut acc = 0.0;
+        for t in &tracks {
+            acc += t.popularity;
+            cumulative.push(acc);
+        }
+
+        Self { artists, albums, tracks, cumulative }
+    }
+
+    /// All artists.
+    pub fn artists(&self) -> &[Artist] {
+        &self.artists
+    }
+
+    /// All albums.
+    pub fn albums(&self) -> &[Album] {
+        &self.albums
+    }
+
+    /// All tracks.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// The artist with the given id.
+    pub fn artist(&self, id: ArtistId) -> &Artist {
+        &self.artists[id.value() as usize]
+    }
+
+    /// The album with the given id.
+    pub fn album(&self, id: AlbumId) -> &Album {
+        &self.albums[id.value() as usize]
+    }
+
+    /// Samples a track with probability proportional to its popularity.
+    pub fn sample_track<R: Rng>(&self, rng: &mut R) -> &Track {
+        let total = *self.cumulative.last().expect("catalog is non-empty");
+        let draw = rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= draw);
+        &self.tracks[idx.min(self.tracks.len() - 1)]
+    }
+
+    /// Samples a track by a specific artist, uniformly; `None` when the
+    /// artist has no tracks in this catalog.
+    pub fn sample_track_by_artist<R: Rng>(&self, artist: ArtistId, rng: &mut R) -> Option<&Track> {
+        let candidates: Vec<usize> = self
+            .tracks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.artist == artist)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let pick = candidates[rng.gen_range(0..candidates.len())];
+        Some(&self.tracks[pick])
+    }
+}
+
+/// Multiplies `value` by `1 ± spread` noise, clamping into `[1, 100]`.
+fn modulate<R: Rng>(value: f64, spread: f64, rng: &mut R) -> f64 {
+    (value * rng.gen_range(1.0 - spread..1.0 + spread)).clamp(1.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn catalog() -> Catalog {
+        let mut rng = SmallRng::seed_from_u64(42);
+        Catalog::generate(&CatalogConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let c = catalog();
+        let cfg = CatalogConfig::default();
+        assert_eq!(c.artists().len(), cfg.n_artists);
+        assert_eq!(c.albums().len(), cfg.n_artists * cfg.albums_per_artist);
+        assert_eq!(
+            c.tracks().len(),
+            cfg.n_artists * cfg.albums_per_artist * cfg.tracks_per_album
+        );
+    }
+
+    #[test]
+    fn popularity_in_api_range() {
+        let c = catalog();
+        for a in c.artists() {
+            assert!((1.0..=100.0).contains(&a.popularity));
+        }
+        for t in c.tracks() {
+            assert!((1.0..=100.0).contains(&t.popularity));
+        }
+    }
+
+    #[test]
+    fn popularity_is_zipf_decreasing_by_rank() {
+        let c = catalog();
+        assert!(c.artists()[0].popularity > c.artists()[50].popularity);
+        assert!(c.artists()[50].popularity > c.artists()[199].popularity);
+        assert!((c.artists()[0].popularity - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_prefers_popular_tracks() {
+        let c = catalog();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut top_artist_hits = 0;
+        for _ in 0..n {
+            let t = c.sample_track(&mut rng);
+            if t.artist.value() < 20 {
+                top_artist_hits += 1;
+            }
+        }
+        // Top-10% artists should receive far more than 10% of samples.
+        assert!(
+            top_artist_hits as f64 / n as f64 > 0.2,
+            "top-20 share {}",
+            top_artist_hits as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn track_links_are_consistent() {
+        let c = catalog();
+        for t in c.tracks() {
+            let album = c.album(t.album);
+            assert_eq!(album.artist, t.artist);
+        }
+    }
+
+    #[test]
+    fn sample_by_artist_respects_artist() {
+        let c = catalog();
+        let mut rng = SmallRng::seed_from_u64(3);
+        for artist_raw in [0u64, 57, 199] {
+            let t = c.sample_track_by_artist(ArtistId::new(artist_raw), &mut rng).unwrap();
+            assert_eq!(t.artist, ArtistId::new(artist_raw));
+        }
+        assert!(c.sample_track_by_artist(ArtistId::new(9_999), &mut rng).is_none());
+    }
+
+    #[test]
+    fn durations_are_plausible() {
+        let c = catalog();
+        let mean: f64 =
+            c.tracks().iter().map(|t| t.duration_secs).sum::<f64>() / c.tracks().len() as f64;
+        assert!((200.0..350.0).contains(&mean), "mean duration {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(5);
+        let mut b = SmallRng::seed_from_u64(5);
+        let ca = Catalog::generate(&CatalogConfig::default(), &mut a);
+        let cb = Catalog::generate(&CatalogConfig::default(), &mut b);
+        assert_eq!(ca, cb);
+    }
+}

@@ -1,0 +1,422 @@
+//! End-to-end trace generation: per-user notification streams with
+//! ground-truth interactions, standing in for the one-week de-identified
+//! Spotify trace (Jan 1–7 2015) of Sec. V.
+
+use crate::behavior::{BehaviorConfig, BehaviorModel};
+use crate::catalog::{Catalog, CatalogConfig};
+use crate::graph::{GraphConfig, SocialGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use richnote_core::content::{ContentFeatures, ContentItem, ContentKind, Interaction, SocialTie};
+use richnote_core::ids::{ContentId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Trace generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Deterministic seed; everything derives from it.
+    pub seed: u64,
+    /// Number of users.
+    pub n_users: usize,
+    /// Horizon in days (the paper uses 7).
+    pub days: u64,
+    /// Mean notifications per user per day (rates are heavy-tailed around
+    /// this mean, so "top users" receive many times more).
+    pub mean_notifications_per_user_day: f64,
+    /// Catalog parameters.
+    pub catalog: CatalogConfig,
+    /// Social-graph parameters.
+    pub graph: GraphConfig,
+    /// Behaviour (click ground truth) parameters.
+    pub behavior: BehaviorConfig,
+    /// Mix of publication kinds as probabilities
+    /// `[friend-feed, album-release, playlist-update]`.
+    pub kind_mix: [f64; 3],
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20150101,
+            n_users: 500,
+            days: 7,
+            mean_notifications_per_user_day: 12.0,
+            catalog: CatalogConfig::default(),
+            graph: GraphConfig::default(),
+            behavior: BehaviorConfig::paper_calibrated(),
+            kind_mix: [0.70, 0.15, 0.15],
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A small configuration for unit tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            seed,
+            n_users: 60,
+            days: 2,
+            mean_notifications_per_user_day: 6.0,
+            graph: GraphConfig { n_users: 60, ..GraphConfig::default() },
+            catalog: CatalogConfig { n_artists: 40, ..CatalogConfig::default() },
+            ..Self::default()
+        }
+    }
+}
+
+/// A generated trace: items sorted by arrival time, plus the structures
+/// that produced them (kept for feature extraction and analysis).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// All notifications, sorted by arrival time.
+    pub items: Vec<ContentItem>,
+    /// The catalog used.
+    pub catalog: Catalog,
+    /// The social graph used.
+    pub graph: SocialGraph,
+    /// Horizon in seconds.
+    pub horizon_secs: f64,
+}
+
+impl Trace {
+    /// Notifications of one user, in arrival order.
+    pub fn items_for(&self, user: UserId) -> impl Iterator<Item = &ContentItem> {
+        self.items.iter().filter(move |i| i.recipient == user)
+    }
+
+    /// Users ranked by descending notification count — the paper simulates
+    /// the "top 10k users with maximum number of delivered notifications".
+    pub fn users_by_volume(&self) -> Vec<(UserId, usize)> {
+        let mut counts = std::collections::HashMap::new();
+        for item in &self.items {
+            *counts.entry(item.recipient).or_insert(0usize) += 1;
+        }
+        let mut v: Vec<(UserId, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The top `n` users by volume.
+    pub fn top_users(&self, n: usize) -> Vec<UserId> {
+        self.users_by_volume().into_iter().take(n).map(|(u, _)| u).collect()
+    }
+
+    /// Overall click rate among items with mouse activity.
+    pub fn click_rate(&self) -> f64 {
+        let active: Vec<&ContentItem> = self
+            .items
+            .iter()
+            .filter(|i| !matches!(i.interaction, Interaction::NoActivity))
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().filter(|i| i.interaction.is_click()).count() as f64 / active.len() as f64
+    }
+}
+
+/// Generator tying catalog, graph and behaviour together.
+///
+/// ```
+/// use richnote_trace::generator::{TraceConfig, TraceGenerator};
+///
+/// let trace = TraceGenerator::new(TraceConfig::small(1)).generate();
+/// assert!(!trace.items.is_empty());
+/// // Items arrive in time order with ground-truth interactions attached.
+/// assert!(trace.items.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    cfg: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Creates a generator; `cfg.graph.n_users` is forced to `cfg.n_users`
+    /// and `cfg.graph.n_artists` to the catalog's artist count, so the
+    /// graph always covers every recipient and every favorite artist has
+    /// tracks.
+    pub fn new(mut cfg: TraceConfig) -> Self {
+        cfg.graph.n_users = cfg.n_users;
+        cfg.graph.n_artists = cfg.catalog.n_artists;
+        Self { cfg }
+    }
+
+    /// Generates the full trace.
+    pub fn generate(&self) -> Trace {
+        let cfg = &self.cfg;
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let catalog = Catalog::generate(&cfg.catalog, &mut rng);
+        let graph = SocialGraph::generate(&cfg.graph, &mut rng);
+        let behavior = BehaviorModel::new(cfg.behavior);
+        let horizon_secs = cfg.days as f64 * 86_400.0;
+
+        let mut items = Vec::new();
+        let mut next_id = 0u64;
+
+        for u in 0..cfg.n_users {
+            let user = UserId::new(u as u64);
+            // Heavy-tailed per-user rate: lognormal-ish multiplier.
+            let mult = lognormal(&mut rng, 0.0, 0.8);
+            let rate_per_sec = cfg.mean_notifications_per_user_day * mult / 86_400.0;
+            if rate_per_sec <= 0.0 {
+                continue;
+            }
+
+            // Poisson arrivals by exponential gaps.
+            let mut t = exponential(&mut rng, rate_per_sec);
+            while t < horizon_secs {
+                let item = self.make_item(
+                    ContentId::new(next_id),
+                    user,
+                    t,
+                    &catalog,
+                    &graph,
+                    &behavior,
+                    &mut rng,
+                );
+                next_id += 1;
+                items.push(item);
+                t += exponential(&mut rng, rate_per_sec);
+            }
+        }
+
+        items.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+        Trace { items, catalog, graph, horizon_secs }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn make_item(
+        &self,
+        id: ContentId,
+        recipient: UserId,
+        arrival: f64,
+        catalog: &Catalog,
+        graph: &SocialGraph,
+        behavior: &BehaviorModel,
+        rng: &mut SmallRng,
+    ) -> ContentItem {
+        let kind = self.sample_kind(rng);
+
+        // Pick the sender/track according to the publication kind.
+        let followees: Vec<UserId> = graph.followees(recipient).collect();
+        let (sender, track, tie) = match kind {
+            ContentKind::FriendFeed if !followees.is_empty() => {
+                let sender = followees[rng.gen_range(0..followees.len())];
+                let track = *catalog.sample_track(rng);
+                (Some(sender), track, graph.tie(recipient, sender))
+            }
+            ContentKind::AlbumRelease => {
+                // Prefer favorite artists: that is why users follow them.
+                let favs = graph.favorites(recipient);
+                let track = if !favs.is_empty() && rng.gen_bool(0.5) {
+                    let artist = favs[rng.gen_range(0..favs.len())];
+                    catalog
+                        .sample_track_by_artist(artist, rng)
+                        .copied()
+                        .unwrap_or_else(|| *catalog.sample_track(rng))
+                } else {
+                    *catalog.sample_track(rng)
+                };
+                let tie = graph.artist_tie(recipient, track.artist);
+                (None, track, tie)
+            }
+            _ => {
+                // Playlist updates and friend feeds without followees:
+                // anonymous popular content.
+                let track = *catalog.sample_track(rng);
+                (None, track, SocialTie::None)
+            }
+        };
+
+        let hour_of_day = (arrival / 3_600.0) % 24.0;
+        let day_index = (arrival / 86_400.0) as u64;
+        let features = ContentFeatures {
+            tie,
+            track_popularity: track.popularity,
+            album_popularity: catalog.album(track.album).popularity,
+            artist_popularity: catalog.artist(track.artist).popularity,
+            // Trace starts on a Thursday (Jan 1 2015): days 2,3 are the
+            // weekend of week one.
+            weekend: matches!(day_index % 7, 2 | 3),
+            night: !(6.0..22.0).contains(&hour_of_day),
+        };
+        let interaction = behavior.sample_interaction(&features, arrival, rng);
+
+        ContentItem {
+            id,
+            recipient,
+            sender,
+            kind,
+            track: track.id,
+            album: track.album,
+            artist: track.artist,
+            arrival,
+            track_secs: track.duration_secs,
+            features,
+            interaction,
+        }
+    }
+
+    fn sample_kind(&self, rng: &mut SmallRng) -> ContentKind {
+        let draw: f64 = rng.gen_range(0.0..1.0);
+        let mix = self.cfg.kind_mix;
+        let total: f64 = mix.iter().sum();
+        let mut acc = 0.0;
+        for (i, &p) in mix.iter().enumerate() {
+            acc += p / total;
+            if draw < acc {
+                return ContentKind::ALL[i];
+            }
+        }
+        ContentKind::PlaylistUpdate
+    }
+}
+
+/// Extracts classifier training rows from trace items: features of every
+/// item with mouse activity, labeled clicked (`true`) vs hovered
+/// (`false`). Items without activity are filtered out, exactly as in
+/// Sec. V-A.
+pub fn classifier_rows(items: &[ContentItem]) -> (Vec<Vec<f64>>, Vec<bool>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for item in items {
+        match item.interaction {
+            Interaction::Clicked { .. } => {
+                rows.push(item.features.to_vec());
+                labels.push(true);
+            }
+            Interaction::Hovered => {
+                rows.push(item.features.to_vec());
+                labels.push(false);
+            }
+            Interaction::NoActivity => {}
+        }
+    }
+    (rows, labels)
+}
+
+fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() / rate
+}
+
+fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        TraceGenerator::new(TraceConfig::small(1)).generate()
+    }
+
+    #[test]
+    fn items_are_sorted_and_within_horizon() {
+        let t = trace();
+        assert!(!t.items.is_empty());
+        for w in t.items.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        for i in &t.items {
+            assert!(i.arrival >= 0.0 && i.arrival < t.horizon_secs);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let t = trace();
+        let mut ids: Vec<u64> = t.items.iter().map(|i| i.id.value()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), t.items.len());
+    }
+
+    #[test]
+    fn volume_is_heavy_tailed() {
+        let t = TraceGenerator::new(TraceConfig { n_users: 300, ..TraceConfig::default() })
+            .generate();
+        let by_volume = t.users_by_volume();
+        let top = by_volume[0].1 as f64;
+        let median = by_volume[by_volume.len() / 2].1 as f64;
+        assert!(top > 3.0 * median, "top {top}, median {median}");
+    }
+
+    #[test]
+    fn top_users_ordering() {
+        let t = trace();
+        let volumes = t.users_by_volume();
+        let top3 = t.top_users(3);
+        assert_eq!(top3.len(), 3);
+        assert_eq!(top3[0], volumes[0].0);
+        assert!(volumes[0].1 >= volumes[1].1);
+    }
+
+    #[test]
+    fn kinds_follow_mix() {
+        let t = TraceGenerator::new(TraceConfig { n_users: 400, ..TraceConfig::default() })
+            .generate();
+        let n = t.items.len() as f64;
+        let feed = t.items.iter().filter(|i| i.kind == ContentKind::FriendFeed).count() as f64;
+        assert!((feed / n - 0.70).abs() < 0.05, "friend-feed share {}", feed / n);
+    }
+
+    #[test]
+    fn friend_feed_items_have_senders() {
+        let t = trace();
+        for i in &t.items {
+            if i.kind == ContentKind::FriendFeed && i.sender.is_none() {
+                // Allowed only when the user follows no one.
+                assert_eq!(t.graph.followees(i.recipient).count(), 0);
+            }
+            if let Some(s) = i.sender {
+                assert_ne!(s, i.recipient, "no self-notifications");
+            }
+        }
+    }
+
+    #[test]
+    fn click_rate_is_moderate() {
+        let t = TraceGenerator::new(TraceConfig { n_users: 400, ..TraceConfig::default() })
+            .generate();
+        let rate = t.click_rate();
+        // Neither degenerate: clicks should be a substantial minority.
+        assert!((0.15..0.75).contains(&rate), "click rate {rate}");
+    }
+
+    #[test]
+    fn classifier_rows_exclude_silent_items() {
+        let t = trace();
+        let (rows, labels) = classifier_rows(&t.items);
+        assert_eq!(rows.len(), labels.len());
+        let active = t
+            .items
+            .iter()
+            .filter(|i| !matches!(i.interaction, Interaction::NoActivity))
+            .count();
+        assert_eq!(rows.len(), active);
+        assert!(rows.len() < t.items.len(), "some items must be silent");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TraceGenerator::new(TraceConfig::small(9)).generate();
+        let b = TraceGenerator::new(TraceConfig::small(9)).generate();
+        assert_eq!(a.items, b.items);
+        let c = TraceGenerator::new(TraceConfig::small(10)).generate();
+        assert_ne!(a.items, c.items);
+    }
+
+    #[test]
+    fn features_reflect_time_of_day() {
+        let t = trace();
+        for i in &t.items {
+            let hour = (i.arrival / 3600.0) % 24.0;
+            assert_eq!(i.features.night, !(6.0..22.0).contains(&hour));
+        }
+    }
+}

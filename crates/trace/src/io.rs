@@ -1,0 +1,205 @@
+//! Trace persistence: JSON-lines streaming of notification items.
+//!
+//! The paper replays fixed one-week trace files; this module lets a
+//! generated trace be saved once and replayed across experiments (and
+//! diffed across runs) without regenerating. Format: one JSON object per
+//! line — a header line with generation metadata, then one line per
+//! [`ContentItem`] in arrival order.
+
+use richnote_core::content::ContentItem;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Header line of a trace file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceHeader {
+    /// Format marker, always `"richnote-trace"`.
+    pub format: String,
+    /// Format version.
+    pub version: u32,
+    /// Number of item lines that follow.
+    pub items: usize,
+    /// Horizon in seconds.
+    pub horizon_secs: f64,
+}
+
+/// Error reading a trace stream.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// The header is missing or wrong.
+    BadHeader(String),
+    /// The item count does not match the header.
+    CountMismatch {
+        /// Items promised by the header.
+        expected: usize,
+        /// Items actually present.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "trace line {line} failed to parse: {message}")
+            }
+            TraceIoError::BadHeader(m) => write!(f, "bad trace header: {m}"),
+            TraceIoError::CountMismatch { expected, found } => {
+                write!(f, "trace header promised {expected} items, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes items as a JSONL trace stream. The writer may be anything
+/// implementing [`Write`] — pass `&mut file` to keep using the file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure.
+pub fn write_items<W: Write>(
+    mut w: W,
+    items: &[ContentItem],
+    horizon_secs: f64,
+) -> Result<(), TraceIoError> {
+    let header = TraceHeader {
+        format: "richnote-trace".to_string(),
+        version: 1,
+        items: items.len(),
+        horizon_secs,
+    };
+    serde_json::to_writer(&mut w, &header)
+        .map_err(|e| TraceIoError::Parse { line: 1, message: e.to_string() })?;
+    w.write_all(b"\n")?;
+    for item in items {
+        serde_json::to_writer(&mut w, item)
+            .map_err(|e| TraceIoError::Parse { line: 0, message: e.to_string() })?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a JSONL trace stream back into items plus its header.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure, parse failure, a bad header or
+/// an item-count mismatch.
+pub fn read_items<R: BufRead>(r: R) -> Result<(TraceHeader, Vec<ContentItem>), TraceIoError> {
+    let mut lines = r.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| TraceIoError::BadHeader("empty stream".to_string()))??;
+    let header: TraceHeader = serde_json::from_str(&header_line)
+        .map_err(|e| TraceIoError::BadHeader(e.to_string()))?;
+    if header.format != "richnote-trace" {
+        return Err(TraceIoError::BadHeader(format!("unknown format {:?}", header.format)));
+    }
+
+    let mut items = Vec::with_capacity(header.items);
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let item: ContentItem = serde_json::from_str(&line)
+            .map_err(|e| TraceIoError::Parse { line: idx + 2, message: e.to_string() })?;
+        items.push(item);
+    }
+    if items.len() != header.items {
+        return Err(TraceIoError::CountMismatch { expected: header.items, found: items.len() });
+    }
+    Ok((header, items))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    #[test]
+    fn round_trips_through_jsonl() {
+        let trace = TraceGenerator::new(TraceConfig::small(4)).generate();
+        let mut buf = Vec::new();
+        write_items(&mut buf, &trace.items, trace.horizon_secs).unwrap();
+        let (header, items) = read_items(&buf[..]).unwrap();
+        assert_eq!(header.items, trace.items.len());
+        assert_eq!(header.horizon_secs, trace.horizon_secs);
+        assert_eq!(items.len(), trace.items.len());
+        for (a, b) in trace.items.iter().zip(&items) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.recipient, b.recipient);
+            assert_eq!(a.kind, b.kind);
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_a_bad_header() {
+        let err = read_items(&b""[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_format_is_rejected() {
+        let err = read_items(&br#"{"format":"nope","version":1,"items":0,"horizon_secs":0.0}"#[..])
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown format"));
+    }
+
+    #[test]
+    fn garbage_line_reports_its_number() {
+        let mut buf = Vec::new();
+        write_items(&mut buf, &[], 0.0).unwrap();
+        buf.extend_from_slice(b"not json\n");
+        let err = read_items(&buf[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn count_mismatch_is_detected() {
+        let trace = TraceGenerator::new(TraceConfig::small(4)).generate();
+        let mut buf = Vec::new();
+        write_items(&mut buf, &trace.items, trace.horizon_secs).unwrap();
+        // Drop the last line.
+        let cut = buf.iter().rposition(|&b| b == b'\n').unwrap();
+        let cut2 = buf[..cut].iter().rposition(|&b| b == b'\n').unwrap();
+        let err = read_items(&buf[..=cut2]).unwrap_err();
+        assert!(matches!(err, TraceIoError::CountMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_items(&mut buf, &[], 42.0).unwrap();
+        let (header, items) = read_items(&buf[..]).unwrap();
+        assert_eq!(header.items, 0);
+        assert!(items.is_empty());
+    }
+}

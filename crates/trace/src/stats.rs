@@ -1,0 +1,219 @@
+//! Descriptive statistics of a generated trace — the numbers one checks
+//! before trusting a workload (volume distribution, kind mix, click rates
+//! by tie strength, inter-arrival behaviour).
+
+use crate::generator::Trace;
+use richnote_core::content::{ContentKind, Interaction, SocialTie};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total notifications.
+    pub items: usize,
+    /// Distinct recipients.
+    pub recipients: usize,
+    /// Items per user: (min, median, p90, max).
+    pub volume_quantiles: (usize, usize, usize, usize),
+    /// Share of each kind `[friend-feed, album-release, playlist-update]`.
+    pub kind_shares: [f64; 3],
+    /// Share of items with any mouse activity.
+    pub active_share: f64,
+    /// Click rate among active items.
+    pub click_rate: f64,
+    /// Click rate among active items per tie
+    /// `[none, follows, mutual, favorite-artist]`.
+    pub click_rate_by_tie: [f64; 4],
+    /// Mean inter-arrival gap for the busiest user, seconds.
+    pub top_user_mean_gap_secs: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace has no items.
+    pub fn compute(trace: &Trace) -> Self {
+        assert!(!trace.items.is_empty(), "cannot summarize an empty trace");
+        let items = trace.items.len();
+
+        let volumes = trace.users_by_volume();
+        let recipients = volumes.len();
+        let mut counts: Vec<usize> = volumes.iter().map(|&(_, n)| n).collect();
+        counts.sort_unstable();
+        let q = |f: f64| counts[((counts.len() - 1) as f64 * f) as usize];
+        let volume_quantiles = (counts[0], q(0.5), q(0.9), *counts.last().unwrap());
+
+        let mut kind_counts = [0usize; 3];
+        let mut active = 0usize;
+        let mut clicks = 0usize;
+        let mut tie_active = [0usize; 4];
+        let mut tie_clicks = [0usize; 4];
+        for item in &trace.items {
+            let k = match item.kind {
+                ContentKind::FriendFeed => 0,
+                ContentKind::AlbumRelease => 1,
+                ContentKind::PlaylistUpdate => 2,
+            };
+            kind_counts[k] += 1;
+            if !matches!(item.interaction, Interaction::NoActivity) {
+                active += 1;
+                let t = match item.features.tie {
+                    SocialTie::None => 0,
+                    SocialTie::Follows => 1,
+                    SocialTie::Mutual => 2,
+                    SocialTie::FavoriteArtist => 3,
+                };
+                tie_active[t] += 1;
+                if item.interaction.is_click() {
+                    clicks += 1;
+                    tie_clicks[t] += 1;
+                }
+            }
+        }
+
+        let share = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+        let click_rate_by_tie = [
+            share(tie_clicks[0], tie_active[0]),
+            share(tie_clicks[1], tie_active[1]),
+            share(tie_clicks[2], tie_active[2]),
+            share(tie_clicks[3], tie_active[3]),
+        ];
+
+        let top_user = volumes[0].0;
+        let arrivals: Vec<f64> = trace.items_for(top_user).map(|i| i.arrival).collect();
+        let top_user_mean_gap_secs = if arrivals.len() < 2 {
+            trace.horizon_secs
+        } else {
+            (arrivals.last().unwrap() - arrivals.first().unwrap()) / (arrivals.len() - 1) as f64
+        };
+
+        Self {
+            items,
+            recipients,
+            volume_quantiles,
+            kind_shares: [
+                share(kind_counts[0], items),
+                share(kind_counts[1], items),
+                share(kind_counts[2], items),
+            ],
+            active_share: share(active, items),
+            click_rate: share(clicks, active),
+            click_rate_by_tie,
+            top_user_mean_gap_secs,
+        }
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "items: {} across {} users", self.items, self.recipients)?;
+        writeln!(
+            f,
+            "volume/user: min {} median {} p90 {} max {}",
+            self.volume_quantiles.0,
+            self.volume_quantiles.1,
+            self.volume_quantiles.2,
+            self.volume_quantiles.3
+        )?;
+        writeln!(
+            f,
+            "kinds: feed {:.2} album {:.2} playlist {:.2}",
+            self.kind_shares[0], self.kind_shares[1], self.kind_shares[2]
+        )?;
+        writeln!(
+            f,
+            "mouse activity: {:.2}, click rate {:.2} (tie none {:.2} / follows {:.2} / mutual {:.2} / favorite {:.2})",
+            self.active_share,
+            self.click_rate,
+            self.click_rate_by_tie[0],
+            self.click_rate_by_tie[1],
+            self.click_rate_by_tie[2],
+            self.click_rate_by_tie[3]
+        )?;
+        write!(f, "busiest user mean gap: {:.0} s", self.top_user_mean_gap_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    fn stats() -> TraceStats {
+        let trace = TraceGenerator::new(TraceConfig {
+            n_users: 200,
+            ..TraceConfig::default()
+        })
+        .generate();
+        TraceStats::compute(&trace)
+    }
+
+    #[test]
+    fn shares_are_probabilities_summing_to_one() {
+        let s = stats();
+        let kind_sum: f64 = s.kind_shares.iter().sum();
+        assert!((kind_sum - 1.0).abs() < 1e-9);
+        assert!((0.0..=1.0).contains(&s.active_share));
+        assert!((0.0..=1.0).contains(&s.click_rate));
+    }
+
+    #[test]
+    fn click_rate_increases_with_tie_strength() {
+        let s = stats();
+        // The ground-truth behaviour model weights ties positively; the
+        // empirical rates must reflect it.
+        assert!(
+            s.click_rate_by_tie[3] > s.click_rate_by_tie[0],
+            "favorite {} vs none {}",
+            s.click_rate_by_tie[3],
+            s.click_rate_by_tie[0]
+        );
+        assert!(s.click_rate_by_tie[1] > s.click_rate_by_tie[0]);
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let s = stats();
+        let (min, med, p90, max) = s.volume_quantiles;
+        assert!(min <= med && med <= p90 && p90 <= max);
+        assert!(max > 0);
+    }
+
+    #[test]
+    fn busiest_user_has_small_gaps() {
+        let s = stats();
+        // 40 notifications/day for the mean user → the top user's mean gap
+        // is well under 2 hours.
+        assert!(s.top_user_mean_gap_secs < 7_200.0, "{}", s.top_user_mean_gap_secs);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = stats().to_string();
+        assert!(text.contains("items:"));
+        assert!(text.contains("click rate"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let trace = Trace {
+            items: vec![],
+            catalog: crate::catalog::Catalog::generate(
+                &crate::catalog::CatalogConfig::default(),
+                &mut rng,
+            ),
+            graph: crate::graph::SocialGraph::generate(
+                &crate::graph::GraphConfig::default(),
+                &mut rng,
+            ),
+            horizon_secs: 0.0,
+        };
+        let _ = TraceStats::compute(&trace);
+    }
+}

@@ -1,0 +1,40 @@
+//! Presentation adaptation (Fig. 5(b) in miniature): sweep the weekly data
+//! budget and watch RichNote shift its presentation mix from metadata-only
+//! to full 40-second previews.
+//!
+//! Run with: `cargo run --release --example budget_adaptation`
+
+use richnote::sim::experiments::{EnvConfig, ExperimentEnv};
+use richnote::sim::simulator::{PolicyKind, PopulationSim, SimulationConfig};
+
+fn main() {
+    let env = ExperimentEnv::build(EnvConfig {
+        seed: 11,
+        n_users: 120,
+        top_users: 50,
+        mean_notifications_per_user_day: 40.0,
+        days: 7,
+    });
+
+    println!("RichNote presentation mix vs weekly budget (fractions of arrived items)\n");
+    println!(
+        "{:>9}  {:>11} {:>9} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "budget_mb", "undelivered", "metadata", "5s", "10s", "20s", "30s", "40s"
+    );
+    for budget_mb in [1u64, 3, 5, 10, 20, 50, 100] {
+        let cfg = SimulationConfig::weekly(PolicyKind::richnote_default(), budget_mb);
+        let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
+        let (agg, _) = sim.run(&env.users);
+        let mix = agg.level_mix();
+        println!(
+            "{:>9}  {:>11.3} {:>9.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3}",
+            budget_mb, mix[0], mix[1], mix[2], mix[3], mix[4], mix[5], mix[6]
+        );
+    }
+
+    println!(
+        "\nAs in the paper: with ~3 MB/week only a small fraction carries audio\n\
+         previews; as the budget grows the mass shifts toward 30-40 s previews\n\
+         while delivery stays complete."
+    );
+}

@@ -1,0 +1,54 @@
+//! Battery-driven adaptation: the Lyapunov virtual energy queue in action.
+//!
+//! The same population is simulated with progressively starved energy
+//! replenishment `e(t)` (a weak or heavily used battery). RichNote keeps
+//! delivering every notification but retreats to cheaper presentations as
+//! the `(P(t) − κ)·ρ(i,j)` penalty grows — the "adapts to change in
+//! battery status" behaviour of Sec. I.
+//!
+//! Run with: `cargo run --release --example energy_adaptation`
+
+use richnote::sim::experiments::{EnvConfig, ExperimentEnv};
+use richnote::sim::simulator::{PolicyKind, PopulationSim, SimulationConfig};
+
+fn main() {
+    let env = ExperimentEnv::build(EnvConfig {
+        seed: 5,
+        n_users: 120,
+        top_users: 50,
+        mean_notifications_per_user_day: 40.0,
+        days: 7,
+    });
+
+    println!("RichNote under starved energy grants (20 MB/week data budget)\n");
+    println!(
+        "{:>14}  {:>9} {:>10} {:>9} {:>8} {:>8}",
+        "e(t) ceiling", "delivery", "energy_kJ", "data_MB", "preview%", "utility"
+    );
+    for grant in [3_000.0f64, 300.0, 100.0, 30.0, 10.0] {
+        let cfg = SimulationConfig {
+            kappa: grant, // scales the per-round battery-driven grant e(t)
+            ..SimulationConfig::weekly(PolicyKind::richnote_default(), 20)
+        };
+        let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
+        let (agg, _) = sim.run(&env.users);
+        let mix = agg.level_mix();
+        let preview: f64 = mix[2..].iter().sum();
+        println!(
+            "{:>12} J  {:>9.3} {:>10.1} {:>9.1} {:>8.3} {:>8.1}",
+            grant,
+            agg.delivery_ratio(),
+            agg.energy_joules / 1000.0,
+            agg.bytes_delivered as f64 / 1e6,
+            preview,
+            agg.total_utility,
+        );
+    }
+
+    println!(
+        "\nAs e(t) shrinks, the virtual queue P(t) drains below kappa and the\n\
+         scheduler prices energy into every presentation choice: delivery stays\n\
+         at 100% (metadata is nearly free) while preview depth, bytes and energy\n\
+         consumption collapse gracefully."
+    );
+}

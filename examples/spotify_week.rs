@@ -1,0 +1,60 @@
+//! End-to-end reproduction of the paper's core experiment at example scale:
+//! generate a Spotify-like week, train the content-utility classifier,
+//! simulate RichNote and both baselines for the top users, and print the
+//! headline metrics (Figs. 3 and 4 in miniature).
+//!
+//! Run with: `cargo run --release --example spotify_week`
+
+use richnote::sim::experiments::{EnvConfig, ExperimentEnv};
+use richnote::sim::simulator::{PolicyKind, PopulationSim, SimulationConfig};
+
+fn main() {
+    let scale = EnvConfig {
+        seed: 2015,
+        n_users: 150,
+        top_users: 60,
+        mean_notifications_per_user_day: 40.0,
+        days: 7,
+    };
+    eprintln!(
+        "generating traces and training the classifier ({} users, {} days)...",
+        scale.n_users, scale.days
+    );
+    let env = ExperimentEnv::build(scale);
+    println!(
+        "evaluation trace: {} notifications, top user receives {}",
+        env.trace.items.len(),
+        env.trace.users_by_volume().first().map(|&(_, n)| n).unwrap_or(0)
+    );
+
+    let budget_mb = 10;
+    println!("\nweekly budget: {budget_mb} MB/user, 168 hourly rounds\n");
+    println!(
+        "{:>10}  {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "policy", "delivery", "precision", "recall", "utility", "delay_h"
+    );
+    for policy in [
+        PolicyKind::richnote_default(),
+        PolicyKind::Fifo { level: 3 },
+        PolicyKind::Util { level: 3 },
+    ] {
+        let cfg = SimulationConfig::weekly(policy, budget_mb);
+        let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
+        let (agg, _) = sim.run(&env.users);
+        println!(
+            "{:>10}  {:>9.3} {:>9.3} {:>9.3} {:>9.1} {:>9.2}",
+            policy.name(),
+            agg.delivery_ratio(),
+            agg.precision(),
+            agg.recall(),
+            agg.total_utility,
+            agg.mean_delay_secs() / 3600.0,
+        );
+    }
+
+    println!(
+        "\nExpected shape (paper Figs. 3-4): RichNote delivers ~100% of\n\
+         notifications with the highest utility and lowest queuing delay;\n\
+         the fixed-level baselines are budget-bound."
+    );
+}

@@ -1,0 +1,222 @@
+//! Cross-crate property-based tests (proptest) on the core invariants:
+//! MCKP budget safety and near-optimality, ladder monotonicity after
+//! Pareto pruning, Lyapunov queue boundedness, energy monotonicity and
+//! Markov row-stochasticity.
+
+use proptest::prelude::*;
+use richnote::core::ids::ContentId;
+use richnote::core::lyapunov::{LyapunovConfig, LyapunovState};
+use richnote::core::mckp::{select_exact, select_fractional, select_greedy_with, GreedyOptions, MckpItem};
+use richnote::core::mckp2::{select_greedy2, EnergyProfile};
+use richnote::core::presentation::{pareto_frontier, CandidatePresentation, PresentationLadder};
+use richnote::core::transport::DeliveryQueue;
+use richnote::energy::model::NetworkEnergyModel;
+use richnote::net::markov::{MarkovConnectivity, NetworkState};
+
+/// Strategy: a small MCKP item with strictly increasing sizes and
+/// monotone concave-ish utilities.
+fn mckp_item(id: usize) -> impl Strategy<Value = MckpItem> {
+    (1usize..=4, 1u64..20, 0.01f64..1.0).prop_map(move |(levels, step, base)| {
+        let mut size = 0u64;
+        let mut util = 0.0f64;
+        let pairs: Vec<(u64, f64)> = (0..levels)
+            .map(|l| {
+                size += step + l as u64;
+                util += base / (l + 1) as f64;
+                (size, util)
+            })
+            .collect();
+        MckpItem::new(id, pairs)
+    })
+}
+
+fn mckp_items() -> impl Strategy<Value = Vec<MckpItem>> {
+    prop::collection::vec(0usize..1, 1..6).prop_flat_map(|slots| {
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| mckp_item(i))
+            .collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn greedy_never_exceeds_budget(items in mckp_items(), budget in 0u64..200) {
+        for stop in [true, false] {
+            let sel = select_greedy_with(
+                &items,
+                budget,
+                GreedyOptions { stop_at_first_overflow: stop, ..Default::default() },
+            );
+            prop_assert!(sel.total_size <= budget);
+            prop_assert!(sel.total_utility >= 0.0);
+        }
+    }
+
+    #[test]
+    fn greedy_matches_exact_within_one_upgrade(items in mckp_items(), budget in 0u64..120) {
+        let greedy = select_greedy_with(
+            &items,
+            budget,
+            GreedyOptions { stop_at_first_overflow: false, ..Default::default() },
+        );
+        let exact = select_exact(&items, budget);
+        let frac = select_fractional(&items, budget);
+        // Exact dominates greedy; the fractional bound dominates exact.
+        prop_assert!(exact.total_utility + 1e-9 >= greedy.total_utility);
+        prop_assert!(frac.utility_upper_bound() + 1e-9 >= exact.total_utility);
+        // Greedy is within the last fractional upgrade of optimal
+        // (Sec. IV's argument) for these monotone-concave instances.
+        let gap_bound = frac.fractional.map_or(0.0, |f| f.utility / f.fraction.max(1e-12));
+        prop_assert!(
+            greedy.total_utility + gap_bound + 1e-6 >= exact.total_utility,
+            "greedy {} + bound {} < exact {}", greedy.total_utility, gap_bound, exact.total_utility
+        );
+    }
+
+    #[test]
+    fn greedy_is_monotone_in_budget(items in mckp_items(), budget in 0u64..150) {
+        let opts = GreedyOptions { stop_at_first_overflow: false, ..Default::default() };
+        let a = select_greedy_with(&items, budget, opts);
+        let b = select_greedy_with(&items, budget + 10, opts);
+        prop_assert!(b.total_utility + 1e-12 >= a.total_utility);
+    }
+
+    #[test]
+    fn pareto_frontier_is_strictly_monotone(
+        raw in prop::collection::vec((1u64..10_000, 0.0f64..5.0), 0..40)
+    ) {
+        let cands: Vec<CandidatePresentation> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(size, utility))| CandidatePresentation { size, utility, label_id: i })
+            .collect();
+        let frontier = pareto_frontier(&cands);
+        for w in frontier.windows(2) {
+            prop_assert!(w[1].size > w[0].size);
+            prop_assert!(w[1].utility > w[0].utility);
+        }
+        // No survivor is dominated by any original candidate.
+        for f in &frontier {
+            for c in &cands {
+                let dominates = (c.size < f.size && c.utility >= f.utility)
+                    || (c.size <= f.size && c.utility > f.utility);
+                prop_assert!(!dominates, "{c:?} dominates {f:?}");
+            }
+        }
+        // A frontier with >= 1 entry forms a valid ladder.
+        if !frontier.is_empty() {
+            let ladder = PresentationLadder::new(
+                frontier.iter().map(|c| (c.size, c.utility.max(1e-9))).collect(),
+            );
+            prop_assert!(ladder.is_ok(), "{ladder:?}");
+        }
+    }
+
+    #[test]
+    fn lyapunov_queue_is_bounded_under_bounded_arrivals(
+        arrivals in prop::collection::vec(0u64..5_000, 1..200),
+        theta in 10_000u64..50_000,
+    ) {
+        // Each round: bounded arrivals, then a drain of up to θ bytes —
+        // mimicking the scheduler delivering within its grant. Q must stay
+        // below (max arrival burst + θ) once arrivals ≤ drain capacity.
+        let mut state = LyapunovState::new(LyapunovConfig::paper_default());
+        let max_burst = *arrivals.iter().max().unwrap_or(&0);
+        for &nu in &arrivals {
+            state.begin_round(theta, 3_000.0);
+            state.on_enqueue(nu);
+            // Drain up to θ bytes of backlog.
+            let drain = (state.q() as u64).min(theta);
+            state.on_deliver(drain, drain, 1.0);
+        }
+        prop_assert!(state.q() <= (max_burst.max(theta)) as f64 + 5_000.0);
+        prop_assert!(state.p() >= 0.0);
+    }
+
+    #[test]
+    fn two_constraint_greedy_respects_both_budgets(
+        items in mckp_items(),
+        data_budget in 0u64..150,
+        energy_budget in 0.0f64..50.0,
+        per_byte in 0.01f64..2.0,
+    ) {
+        let energy: Vec<EnergyProfile> = items
+            .iter()
+            .map(|it| EnergyProfile::from_item(it, |s| s as f64 * per_byte))
+            .collect();
+        let sel = select_greedy2(&items, &energy, data_budget, energy_budget);
+        prop_assert!(sel.total_size <= data_budget);
+        prop_assert!(sel.total_energy <= energy_budget + 1e-9);
+        // Relaxing the energy budget never hurts utility.
+        let relaxed = select_greedy2(&items, &energy, data_budget, energy_budget + 100.0);
+        prop_assert!(relaxed.total_utility + 1e-12 >= sel.total_utility);
+    }
+
+    #[test]
+    fn transport_conserves_bytes_and_items(
+        sizes in prop::collection::vec(0u64..100_000, 1..20),
+        windows in prop::collection::vec((0.1f64..50.0, 0.0f64..10_000.0), 1..30),
+    ) {
+        let mut q = DeliveryQueue::new();
+        let total_bytes: u64 = sizes.iter().sum();
+        for (i, &s) in sizes.iter().enumerate() {
+            q.push(ContentId::new(i as u64), s, 0.0);
+        }
+        let mut completed = Vec::new();
+        let mut clock = 0.0;
+        for (secs, rate) in windows {
+            let done = q.advance(clock, secs, rate);
+            for d in &done {
+                // Completion times are within the window and ordered.
+                prop_assert!(d.completed_at >= clock);
+                prop_assert!(d.completed_at <= clock + secs + 1e-6);
+            }
+            completed.extend(done);
+            clock += secs;
+        }
+        // Conservation: every byte is delivered, still pending, or in
+        // flight as partial progress of a pending download.
+        let delivered_bytes: u64 = completed.iter().map(|d| d.size).sum();
+        prop_assert_eq!(
+            delivered_bytes + q.pending_bytes() + q.in_flight_bytes(),
+            total_bytes
+        );
+        prop_assert_eq!(completed.len() + q.len(), sizes.len());
+        // FIFO: completions happen in enqueue order.
+        for w in completed.windows(2) {
+            prop_assert!(w[0].content.value() < w[1].content.value());
+        }
+    }
+
+    #[test]
+    fn energy_model_is_monotone_and_positive(bytes in 1u64..100_000_000) {
+        for model in [NetworkEnergyModel::cellular(), NetworkEnergyModel::wifi()] {
+            let e = model.transfer_energy(bytes);
+            let e2 = model.transfer_energy(bytes + 1_000);
+            prop_assert!(e > 0.0);
+            prop_assert!(e2 > e);
+        }
+    }
+
+    #[test]
+    fn markov_occupancy_matches_state_space(seed in 0u64..500, steps in 1usize..300) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut chain = MarkovConnectivity::paper_default(NetworkState::Off);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..steps {
+            let s = chain.step(&mut rng);
+            prop_assert!(matches!(
+                s,
+                NetworkState::Wifi | NetworkState::Cell | NetworkState::Off
+            ));
+        }
+        let pi = chain.stationary();
+        let sum: f64 = pi.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+    }
+}
