@@ -1,0 +1,278 @@
+//! In-repo stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the benchmark API surface the workspace uses — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`]/[`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — backed by a simple wall-clock harness.
+//!
+//! Compared to real criterion there is no statistical analysis, no
+//! outlier rejection and no HTML report: each benchmark is warmed up,
+//! then timed over a fixed number of samples, and the median ns/iter is
+//! printed. That is enough to compare orders of magnitude and catch
+//! regressions by eye, which is all the workspace's benches promise.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring one benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Target wall-clock time spent warming one benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+
+/// How setup cost is amortised in [`Bencher::iter_batched`]. Only the
+/// variants the workspace uses are provided, and the stand-in times each
+/// routine invocation individually regardless of variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is cheap to set up relative to the routine.
+    SmallInput,
+    /// Routine input is expensive to set up relative to the routine.
+    LargeInput,
+}
+
+/// Identifies one benchmark within a group, e.g. a parameter point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter, rendered
+    /// `"name/param"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by the timing loops.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly in timed batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the per-call cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(routine());
+            warm_iters += 1;
+            // An extremely slow routine should not hold warmup hostage.
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size batches so each sample takes roughly 1/20 of the target.
+        let samples = 20usize;
+        let batch = ((MEASURE_TARGET.as_secs_f64() / samples as f64 / per_iter).ceil() as u64)
+            .clamp(1, 10_000_000);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            times.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        self.result_ns = median(&mut times) * 1e9;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        // Warm up once to estimate cost.
+        let input = setup();
+        let warm = Instant::now();
+        black_box(routine(input));
+        let per_iter = warm.elapsed().as_secs_f64().max(1e-9);
+
+        let budget = MEASURE_TARGET.as_secs_f64();
+        let samples = ((budget / per_iter).ceil() as usize).clamp(5, 200);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            times.push(t.elapsed().as_secs_f64());
+        }
+        self.result_ns = median(&mut times) * 1e9;
+    }
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn run_one(full_name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { result_ns: 0.0 };
+    f(&mut b);
+    let ns = b.result_ns;
+    if ns >= 1e9 {
+        println!("{full_name:<50} {:>12.3} s/iter", ns / 1e9);
+    } else if ns >= 1e6 {
+        println!("{full_name:<50} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{full_name:<50} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{full_name:<50} {:>12.1} ns/iter", ns);
+    }
+}
+
+/// A named set of related benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    filter: &'a Option<String>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's sample count is
+    /// fixed by its time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in uses a fixed budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if matches_filter(&full, self.filter) {
+            run_one(&full, f);
+        }
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group. No-op in the stand-in.
+    pub fn finish(self) {}
+}
+
+fn matches_filter(name: &str, filter: &Option<String>) -> bool {
+    filter.as_ref().is_none_or(|f| name.contains(f.as_str()))
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards trailing CLI args; honour a substring
+        // filter like the real harness, ignore harness flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        if matches_filter(name, &self.filter) {
+            run_one(name, f);
+        }
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), filter: &self.filter }
+    }
+
+    /// Final flush. No-op in the stand-in.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($group, $($target),+);
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("solve", 128).id, "solve/128");
+        assert_eq!(BenchmarkId::from_parameter("fast").id, "fast");
+        assert_eq!(BenchmarkId::from(String::from("x")).id, "x");
+    }
+
+    #[test]
+    fn median_is_middle() {
+        let mut v = [3.0, 1.0, 2.0];
+        assert!((median(&mut v) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_matching() {
+        assert!(matches_filter("group/case", &None));
+        assert!(matches_filter("group/case", &Some("case".into())));
+        assert!(!matches_filter("group/case", &Some("other".into())));
+    }
+}

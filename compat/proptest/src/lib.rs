@@ -1,0 +1,406 @@
+//! In-repo stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, `prop::collection::vec`, `any::<T>()`, the [`proptest!`]
+//! macro with `#![proptest_config(...)]`, and `prop_assert!`/
+//! `prop_assert_eq!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the assert
+//!   message but is not minimized;
+//! * **deterministic seeding** — each test's RNG is seeded from a hash of
+//!   its module path and name, so failures reproduce across runs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Cases per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the deterministic per-test RNG. Public for the [`proptest!`]
+/// macro; not part of the supported API.
+#[doc(hidden)]
+pub fn __rng_for(test_name: &str) -> SmallRng {
+    // FNV-1a over the fully qualified test name.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f`, which returns a new strategy to
+    /// sample from.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Boxes the strategy (API compatibility helper).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut SmallRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<T>>);
+
+trait ErasedStrategy<T> {
+    fn sample_erased(&self, rng: &mut SmallRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn sample_erased(&self, rng: &mut SmallRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        self.0.sample_erased(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+);
+
+/// A `Vec` of strategies samples each element (used by
+/// `prop_flat_map` patterns that build per-slot strategies).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.sample(rng)).collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen_range(-1e9..1e9)
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`, e.g. `any::<bool>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A size specification: fixed or ranged.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            min: usize,
+            /// Inclusive upper bound.
+            max: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max: n }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                SizeRange { min: r.start, max: r.end - 1 }
+            }
+        }
+
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                SizeRange { min: *r.start(), max: *r.end() }
+            }
+        }
+
+        /// Strategy for vectors of `elem` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.min..=self.size.max);
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs in scope.
+
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts inside a property test. Without shrinking, this is `assert!`
+/// with the same message behaviour.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::__rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let _ = __case;
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample() {
+        let mut rng = crate::__rng_for("t1");
+        let s = (1usize..=4, 0.5f64..2.0);
+        for _ in 0..100 {
+            let (a, b) = s.sample(&mut rng);
+            assert!((1..=4).contains(&a));
+            assert!((0.5..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::__rng_for("t2");
+        let s = prop::collection::vec(0u64..10, 2..5);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn flat_map_chains() {
+        let mut rng = crate::__rng_for("t3");
+        let s = (1usize..4).prop_flat_map(|n| prop::collection::vec(0u64..5, n..n + 1));
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_form_works(x in 0u64..100, v in prop::collection::vec(0.0f64..1.0, 0..8)) {
+            prop_assert!(x < 100);
+            for e in &v {
+                prop_assert!((0.0..1.0).contains(e));
+            }
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-repo serde
+//! stand-in.
+//!
+//! The build environment has no crates.io access, so this macro parses the
+//! derive input token stream by hand instead of using `syn`/`quote`. It
+//! supports the shapes the workspace uses:
+//!
+//! * structs with named fields (including generic type parameters),
+//! * tuple structs (newtypes serialize transparently, matching serde's
+//!   default and `#[serde(transparent)]`),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged).
+//!
+//! Unsupported serde attributes are rejected at compile time rather than
+//! silently ignored, except `#[serde(transparent)]` on newtype structs
+//! (where transparent *is* the default behaviour here).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => {
+            let msg = e.replace('"', "\\\"");
+            return format!("compile_error!(\"serde derive: {msg}\");").parse().unwrap();
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().unwrap_or_else(|e| {
+        panic!("serde derive produced invalid Rust for {}: {e}\n{code}", parsed.name)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = Vec<TokenTree>;
+
+/// Consumes leading outer attributes `#[...]`, returning their rendered
+/// contents (for `#[serde(...)]` detection).
+fn skip_attributes(toks: &Tokens, mut i: usize) -> (usize, Vec<String>) {
+    let mut attrs = Vec::new();
+    while i + 1 < toks.len() {
+        match (&toks[i], &toks[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                attrs.push(g.stream().to_string());
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, attrs)
+}
+
+/// Consumes an optional visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(toks: &Tokens, mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+/// Parses `<A, B: Bound, 'a>` into the list of *type* parameter names.
+/// Returns the index just past the closing `>`.
+fn parse_generics(toks: &Tokens, mut i: usize) -> Result<(usize, Vec<String>), String> {
+    let mut params = Vec::new();
+    if !is_punct(toks.get(i), '<') {
+        return Ok((i, params));
+    }
+    i += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((i + 1, params));
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime parameter: consume the following ident, don't
+                // record it as a type parameter.
+                expecting_param = false;
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => expecting_param = false,
+            TokenTree::Ident(id) if expecting_param && depth == 1 => {
+                if id.to_string() == "const" {
+                    return Err("const generics are not supported".into());
+                }
+                params.push(id.to_string());
+                expecting_param = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err("unterminated generic parameter list".into())
+}
+
+/// Skips a type expression until a top-level `,` (or end of tokens),
+/// tracking `<`/`>` nesting. Returns the index of the `,` or `toks.len()`.
+fn skip_type(toks: &Tokens, mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses the fields of a brace-delimited (named-field) body.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let toks: Tokens = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let (j, attrs) = skip_attributes(&toks, i);
+        i = skip_visibility(&toks, j);
+        for a in &attrs {
+            check_field_attr(a)?;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        if !is_punct(toks.get(i), ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i = skip_type(&toks, i + 1);
+        i += 1; // past the `,` (or end)
+        fields.push(Field { name });
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a parenthesized (tuple) body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let toks: Tokens = group.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let (j, _) = skip_attributes(&toks, i);
+        i = skip_visibility(&toks, j);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_type(&toks, i);
+        i += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Tokens = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let (j, attrs) = skip_attributes(&toks, i);
+        i = j;
+        for a in &attrs {
+            check_field_attr(a)?;
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        if is_punct(toks.get(i), '=') {
+            return Err(format!("explicit discriminant on variant `{name}` is not supported"));
+        }
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+/// Rejects serde attributes this stand-in cannot honour. `transparent` is
+/// tolerated (newtypes are transparent by default here); everything else
+/// would silently change the wire format.
+fn check_container_attr(rendered: &str) -> Result<(), String> {
+    if let Some(args) = rendered.strip_prefix("serde") {
+        let args = args.trim();
+        if args.trim_start_matches('(').trim_end_matches(')').trim() != "transparent" {
+            return Err(format!("unsupported serde attribute `{rendered}`"));
+        }
+    }
+    Ok(())
+}
+
+fn check_field_attr(rendered: &str) -> Result<(), String> {
+    if rendered.starts_with("serde") {
+        return Err(format!("unsupported serde field/variant attribute `{rendered}`"));
+    }
+    Ok(())
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let toks: Tokens = input.into_iter().collect();
+    let (mut i, attrs) = skip_attributes(&toks, 0);
+    for a in &attrs {
+        check_container_attr(a)?;
+    }
+    i = skip_visibility(&toks, i);
+
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    let (i, generics) = parse_generics(&toks, i)?;
+
+    if let Some(TokenTree::Ident(id)) = toks.get(i) {
+        if id.to_string() == "where" {
+            return Err("`where` clauses are not supported".into());
+        }
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => return Err(format!("unsupported struct body `{other:?}`")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found `{other:?}`")),
+        },
+        other => return Err(format!("cannot derive for `{other}`")),
+    };
+    let _ = i;
+    Ok(Input { name, generics, body })
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Renders `impl<P: serde::Serialize> serde::Serialize for Name<P>` header
+/// pieces: (impl generics, type generics).
+fn generics_for(input: &Input, bound: &str) -> (String, String) {
+    if input.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_generics = format!(
+        "<{}>",
+        input.generics.iter().map(|g| format!("{g}: {bound}")).collect::<Vec<_>>().join(", ")
+    );
+    let ty_generics = format!("<{}>", input.generics.join(", "));
+    (impl_generics, ty_generics)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_g, ty_g) = generics_for(input, "serde::Serialize");
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push(({n:?}.to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: Vec<(String, serde::Value)> = Vec::with_capacity({});\n{pushes}serde::Value::Object(__obj)",
+                fields.len()
+            )
+        }
+        Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => serde::Value::String({vn:?}.to_string()),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => serde::Value::Object(vec![({vn:?}.to_string(), serde::Serialize::to_value(__f0))]),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => serde::Value::Object(vec![({vn:?}.to_string(), serde::Value::Array(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({n:?}.to_string(), serde::Serialize::to_value({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => serde::Value::Object(vec![({vn:?}.to_string(), serde::Value::Object(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl{impl_g} serde::Serialize for {name}{ty_g} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let (impl_g, ty_g) = generics_for(input, "serde::Deserialize");
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{n}: serde::field(__v, {n:?})?", n = f.name))
+                .collect();
+            format!("Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Body::TupleStruct(1) => "Ok(Self(serde::Deserialize::from_value(__v)?))".to_string(),
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> =
+                (0..*n).map(|i| format!("serde::element(__v, {i})?")).collect();
+            format!("Ok(Self({}))", inits.join(", "))
+        }
+        Body::UnitStruct => "Ok(Self)".to_string(),
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{vn:?} => Ok({name}::{vn}),\n", vn = v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{vn:?} => Ok({name}::{vn}),\n")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(__payload)?)),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::element(__payload, {i})?"))
+                                .collect();
+                            format!("{vn:?} => Ok({name}::{vn}({})),\n", inits.join(", "))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("{n}: serde::field(__payload, {n:?})?", n = f.name)
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => Ok({name}::{vn} {{ {} }}),\n",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(serde::DeError(format!(\"unknown variant {{__other:?}} of {name}\"))),\n}},\n\
+                 serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => Err(serde::DeError(format!(\"unknown variant {{__other:?}} of {name}\"))),\n}}\n}},\n\
+                 __other => Err(serde::DeError(format!(\"expected {name} variant, found {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl{impl_g} serde::Deserialize for {name}{ty_g} {{\n\
+         fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

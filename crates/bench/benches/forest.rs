@@ -6,12 +6,9 @@ use richnote_forest::forest::{RandomForest, RandomForestConfig};
 use richnote_trace::generator::{classifier_rows, TraceConfig, TraceGenerator};
 
 fn training_data() -> Dataset {
-    let trace = TraceGenerator::new(TraceConfig {
-        n_users: 150,
-        days: 3,
-        ..TraceConfig::default()
-    })
-    .generate();
+    let trace =
+        TraceGenerator::new(TraceConfig { n_users: 150, days: 3, ..TraceConfig::default() })
+            .generate();
     let (rows, labels) = classifier_rows(&trace.items);
     Dataset::new(rows, labels).expect("trace produces rows")
 }
@@ -28,9 +25,7 @@ fn bench_predict(c: &mut Criterion) {
     let data = training_data();
     let forest = RandomForest::fit(&data, &RandomForestConfig::default(), 7);
     let row: Vec<f64> = data.row(0).to_vec();
-    c.bench_function("forest_predict_proba", |b| {
-        b.iter(|| forest.predict_proba(black_box(&row)))
-    });
+    c.bench_function("forest_predict_proba", |b| b.iter(|| forest.predict_proba(black_box(&row))));
 }
 
 criterion_group!(benches, bench_fit, bench_predict);

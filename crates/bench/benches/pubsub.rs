@@ -23,24 +23,20 @@ fn subscribed_broker(subscribers: usize, realtime: bool) -> Broker<u64> {
 fn bench_publish(c: &mut Criterion) {
     let mut group = c.benchmark_group("pubsub_publish");
     for subs in [10usize, 100, 1_000] {
-        group.bench_with_input(
-            BenchmarkId::new("realtime", subs),
-            &subs,
-            |bench, &subs| {
-                let broker = subscribed_broker(subs, true);
-                bench.iter_batched(
-                    || broker.clone(),
-                    |mut b| {
-                        black_box(b.publish(Publication::new(
-                            Topic::FriendFeed(UserId::new(0)),
-                            7,
-                            0.0,
-                        )))
-                    },
-                    criterion::BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("realtime", subs), &subs, |bench, &subs| {
+            let broker = subscribed_broker(subs, true);
+            bench.iter_batched(
+                || broker.clone(),
+                |mut b| {
+                    black_box(b.publish(Publication::new(
+                        Topic::FriendFeed(UserId::new(0)),
+                        7,
+                        0.0,
+                    )))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }
@@ -51,11 +47,7 @@ fn bench_flush(c: &mut Criterion) {
             || {
                 let mut broker = subscribed_broker(100, false);
                 for i in 0..10 {
-                    broker.publish(Publication::new(
-                        Topic::FriendFeed(UserId::new(0)),
-                        i,
-                        0.0,
-                    ));
+                    broker.publish(Publication::new(Topic::FriendFeed(UserId::new(0)), i, 0.0));
                 }
                 broker
             },

@@ -26,8 +26,7 @@
 
 use richnote_core::paper;
 use richnote_sim::experiments::{
-    ablation, classifier, fig2, fig5, lyapunov, network, stability, sweep, EnvConfig,
-    ExperimentEnv,
+    ablation, classifier, fig2, fig5, lyapunov, network, stability, sweep, EnvConfig, ExperimentEnv,
 };
 use richnote_sim::report::{to_json, Table};
 use richnote_sim::simulator::{NetworkKind, SimulationConfig};
@@ -106,10 +105,7 @@ impl Harness {
     }
 
     fn base(&self) -> SimulationConfig {
-        SimulationConfig {
-            rounds: self.args.scale.days * 24,
-            ..SimulationConfig::default()
-        }
+        SimulationConfig { rounds: self.args.scale.days * 24, ..SimulationConfig::default() }
     }
 
     fn run(&mut self, name: &str) -> Result<(), String> {
@@ -120,7 +116,10 @@ impl Harness {
                     seed: self.args.scale.seed,
                     n_users: self.args.scale.n_users,
                     days: self.args.scale.days,
-                    mean_notifications_per_user_day: self.args.scale.mean_notifications_per_user_day,
+                    mean_notifications_per_user_day: self
+                        .args
+                        .scale
+                        .mean_notifications_per_user_day,
                     ..TraceConfig::default()
                 };
                 let report = classifier::run(&cfg, 5);

@@ -23,11 +23,8 @@ pub enum ContentKind {
 
 impl ContentKind {
     /// All kinds, in a stable order.
-    pub const ALL: [ContentKind; 3] = [
-        ContentKind::FriendFeed,
-        ContentKind::AlbumRelease,
-        ContentKind::PlaylistUpdate,
-    ];
+    pub const ALL: [ContentKind; 3] =
+        [ContentKind::FriendFeed, ContentKind::AlbumRelease, ContentKind::PlaylistUpdate];
 
     /// Whether Spotify delivers this kind in real-time mode (friend feeds)
     /// rather than batch mode.

@@ -117,10 +117,7 @@ pub fn collect_responses<R: Rng>(
 ///
 /// Panics if `trim_fraction` is not within `[0, 0.5)`.
 pub fn trim_responses(mut responses: Vec<StopResponse>, trim_fraction: f64) -> Vec<StopResponse> {
-    assert!(
-        (0.0..0.5).contains(&trim_fraction),
-        "trim fraction must be in [0, 0.5)"
-    );
+    assert!((0.0..0.5).contains(&trim_fraction), "trim fraction must be in [0, 0.5)");
     responses.sort_by(|x, y| x.stop_secs.total_cmp(&y.stop_secs));
     let n = responses.len();
     let cut = (n as f64 * trim_fraction) as usize;
@@ -162,10 +159,9 @@ pub fn crowd_size_study<R: Rng>(
         let points = empirical_utility(&responses, &grid);
         let fitted = fit_logarithmic(&points)?;
         let (err_a, err_b) = match fitted {
-            DurationUtility::Logarithmic { a, b } => (
-                (a - paper::LOG_UTILITY_A).abs(),
-                (b - paper::LOG_UTILITY_B).abs(),
-            ),
+            DurationUtility::Logarithmic { a, b } => {
+                ((a - paper::LOG_UTILITY_A).abs(), (b - paper::LOG_UTILITY_B).abs())
+            }
             _ => unreachable!("fit_logarithmic returns the logarithmic variant"),
         };
         out.push(CrowdSizePoint { raters: n, responses: responses.len(), err_a, err_b });
@@ -195,9 +191,8 @@ mod tests {
 
     #[test]
     fn trimming_removes_extremes() {
-        let responses: Vec<StopResponse> = (1..=100)
-            .map(|i| StopResponse { stop_secs: i as f64 })
-            .collect();
+        let responses: Vec<StopResponse> =
+            (1..=100).map(|i| StopResponse { stop_secs: i as f64 }).collect();
         let trimmed = trim_responses(responses, 0.1);
         assert_eq!(trimmed.len(), 80);
         assert!(trimmed.first().unwrap().stop_secs >= 11.0);

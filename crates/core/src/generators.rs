@@ -188,7 +188,8 @@ impl PresentationGenerator for ImagePresentationSpec {
             let px = u64::from(edge) * u64::from(edge);
             let size = self.metadata_bytes + (px as f64 * self.bytes_per_pixel) as u64;
             // Perceptual quality scales roughly with log resolution.
-            let quality = (1.0 + px as f64).ln() / (1.0 + f64::from(max_px) * f64::from(max_px)).ln();
+            let quality =
+                (1.0 + px as f64).ln() / (1.0 + f64::from(max_px) * f64::from(max_px)).ln();
             levels.push((size, meta_u + (1.0 - meta_u) * quality));
         }
         let cands: Vec<CandidatePresentation> = levels
@@ -223,7 +224,7 @@ mod tests {
         // A 12-second jingle: only the 5 and 10-second previews survive.
         let ladder = spec.generate(12.0).unwrap();
         assert_eq!(ladder.max_level(), 3); // metadata + 5s + 10s
-        // A 3-second sting: metadata only.
+                                           // A 3-second sting: metadata only.
         let tiny = spec.generate(3.0).unwrap();
         assert_eq!(tiny.max_level(), 1);
     }

@@ -76,12 +76,7 @@ pub struct LyapunovState {
 impl LyapunovState {
     /// Creates fresh state with empty queues and zero data budget.
     pub fn new(cfg: LyapunovConfig) -> Self {
-        Self {
-            q: 0.0,
-            p: cfg.initial_energy,
-            data_budget: 0.0,
-            cfg,
-        }
+        Self { q: 0.0, p: cfg.initial_energy, data_budget: 0.0, cfg }
     }
 
     /// Current scheduling-queue backlog `Q(t)` (bytes).
@@ -278,8 +273,10 @@ mod tests {
 
     #[test]
     fn larger_v_weights_utility_more() {
-        let mut hi = LyapunovState::new(LyapunovConfig { v: 10_000.0, ..LyapunovConfig::paper_default() });
-        let mut lo = LyapunovState::new(LyapunovConfig { v: 10.0, ..LyapunovConfig::paper_default() });
+        let mut hi =
+            LyapunovState::new(LyapunovConfig { v: 10_000.0, ..LyapunovConfig::paper_default() });
+        let mut lo =
+            LyapunovState::new(LyapunovConfig { v: 10.0, ..LyapunovConfig::paper_default() });
         hi.on_enqueue(100);
         lo.on_enqueue(100);
         let d_hi = hi.adjusted_utility(100, 0.0, 1.0) - hi.adjusted_utility(100, 0.0, 0.0);

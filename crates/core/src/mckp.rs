@@ -17,6 +17,18 @@
 //!   upper bound used in tests/benches to measure the greedy gap.
 //! * [`select_exact`] — textbook dynamic program, exponential-free but
 //!   `O(n · budget)`; intended for small instances (tests, ablations).
+//!
+//! # This module vs [`crate::mckp2`]
+//!
+//! **Use this module on the production path.** The scheduler folds the
+//! energy constraint into the objective via the Lyapunov virtual queue
+//! (Sec. IV), leaving a single data constraint — exactly this problem.
+//! Use [`crate::mckp2`] only when you need the *hard* two-constraint
+//! formulation of Eq. 2 (energy ablations, relaxation-gap measurement).
+//! With a slack energy budget the two greedy solvers provably coincide —
+//! `tests/mckp_differential.rs` asserts selection-for-selection equality —
+//! so there is never a correctness reason to pay mckp2's extra bookkeeping
+//! when energy cannot bind.
 
 use crate::presentation::PresentationLadder;
 use crate::utility::combined_utility;
@@ -49,11 +61,7 @@ impl MckpItem {
         all.push((0u64, 0.0f64));
         all.extend(levels);
         for w in all.windows(2) {
-            assert!(
-                w[1].0 > w[0].0,
-                "presentation sizes must be strictly increasing: {:?}",
-                all
-            );
+            assert!(w[1].0 > w[0].0, "presentation sizes must be strictly increasing: {:?}", all);
         }
         Self { id, levels: all }
     }
@@ -128,11 +136,7 @@ impl Selection {
 
     /// Indices of items selected at level ≥ 1 (i.e. actually delivered).
     pub fn delivered(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
-        self.levels
-            .iter()
-            .enumerate()
-            .filter(|(_, &l)| l > 0)
-            .map(|(i, &l)| (i, l))
+        self.levels.iter().enumerate().filter(|(_, &l)| l > 0).map(|(i, &l)| (i, l))
     }
 }
 
@@ -152,10 +156,7 @@ pub struct GreedyOptions {
 
 impl Default for GreedyOptions {
     fn default() -> Self {
-        Self {
-            stop_at_first_overflow: true,
-            allow_nonpositive_gradients: false,
-        }
+        Self { stop_at_first_overflow: true, allow_nonpositive_gradients: false }
     }
 }
 
@@ -319,10 +320,7 @@ pub fn select_fractional(items: &[MckpItem], budget: u64) -> FractionalSelection
         }
     }
 
-    FractionalSelection {
-        integral: Selection::from_levels(items, levels),
-        fractional,
-    }
+    FractionalSelection { integral: Selection::from_levels(items, levels), fractional }
 }
 
 /// Exact MCKP solver by dynamic programming over the budget.
@@ -505,10 +503,7 @@ mod tests {
 
         // Now make the overflow pop *before* a viable cheap upgrade: item0's
         // first upgrade has the best gradient but does not fit.
-        let items2 = vec![
-            MckpItem::new(0, vec![(100, 100.0)]),
-            MckpItem::new(1, vec![(10, 0.5)]),
-        ];
+        let items2 = vec![MckpItem::new(0, vec![(100, 100.0)]), MckpItem::new(1, vec![(10, 0.5)])];
         let stop2 = select_greedy(&items2, 50);
         assert_eq!(stop2.levels, vec![0, 0], "paper variant stops at first overflow");
         let cont2 = select_greedy_with(

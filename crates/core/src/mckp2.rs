@@ -12,6 +12,18 @@
 //!   combined resource, with both budgets enforced exactly;
 //! * [`select_exact2`] — two-dimensional dynamic program, exponential-free
 //!   but `O(n·B·E)`; for small instances (tests, gap measurement).
+//!
+//! # This module vs [`crate::mckp`]
+//!
+//! **Reach for this module only when the energy constraint must be hard**:
+//! ablations comparing the Lyapunov relaxation against Eq. 2, or offline
+//! analysis where exceeding an energy cap invalidates the result. The
+//! per-round production path should use [`crate::mckp`] — it is the
+//! post-relaxation problem, does strictly less work per upgrade, and when
+//! the energy budget is slack [`select_greedy2`] reduces to it exactly
+//! (`ΔU/(Δs/B + Δρ/E) → B·ΔU/Δs` as `E → ∞`; both solvers tie-break on
+//! item index, so selections match level-for-level — see
+//! `tests/mckp_differential.rs`).
 
 use crate::mckp::{MckpItem, Selection};
 use serde::{Deserialize, Serialize};
@@ -120,9 +132,7 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.gradient
-            .total_cmp(&other.gradient)
-            .then_with(|| other.item.cmp(&self.item))
+        self.gradient.total_cmp(&other.gradient).then_with(|| other.item.cmp(&self.item))
     }
 }
 
@@ -219,7 +229,11 @@ pub fn select_exact2(
     let h = energy_steps + 1;
     let bucket = |joules: f64| -> usize {
         if energy_budget <= 0.0 {
-            if joules > 0.0 { h } else { 0 }
+            if joules > 0.0 {
+                h
+            } else {
+                0
+            }
         } else {
             (joules / energy_budget * energy_steps as f64).ceil() as usize
         }
@@ -281,8 +295,7 @@ mod tests {
             item(1, vec![(10, 0.9), (30, 1.6)]),
             item(2, vec![(10, 0.8)]),
         ];
-        let energy: Vec<EnergyProfile> =
-            items.iter().map(|it| linear_energy(it, 0.5)).collect();
+        let energy: Vec<EnergyProfile> = items.iter().map(|it| linear_energy(it, 0.5)).collect();
         for (db, eb) in [(15u64, 100.0), (100, 6.0), (100, 100.0), (0, 0.0)] {
             let sel = select_greedy2(&items, &energy, db, eb);
             assert!(sel.total_size <= db, "size {} > {db}", sel.total_size);
@@ -310,8 +323,7 @@ mod tests {
             item(1, vec![(3, 0.6), (7, 1.0)]),
             item(2, vec![(1, 0.2), (4, 0.55)]),
         ];
-        let energy: Vec<EnergyProfile> =
-            items.iter().map(|it| linear_energy(it, 1.0)).collect();
+        let energy: Vec<EnergyProfile> = items.iter().map(|it| linear_energy(it, 1.0)).collect();
         for db in [0u64, 3, 6, 9, 12, 16] {
             for eb in [0.0f64, 4.0, 8.0, 16.0] {
                 let g = select_greedy2(&items, &energy, db, eb);
@@ -336,14 +348,9 @@ mod tests {
     #[test]
     fn skipping_oversized_upgrades_keeps_packing() {
         // Item 0's upgrade violates the energy budget; item 1's still fits.
-        let items = vec![
-            item(0, vec![(10, 5.0)]),
-            item(1, vec![(10, 0.5)]),
-        ];
-        let energy = vec![
-            EnergyProfile::new(vec![0.0, 1_000.0]),
-            EnergyProfile::new(vec![0.0, 1.0]),
-        ];
+        let items = vec![item(0, vec![(10, 5.0)]), item(1, vec![(10, 0.5)])];
+        let energy =
+            vec![EnergyProfile::new(vec![0.0, 1_000.0]), EnergyProfile::new(vec![0.0, 1.0])];
         let sel = select_greedy2(&items, &energy, 100, 10.0);
         assert_eq!(sel.levels, vec![0, 1]);
     }

@@ -61,21 +61,13 @@ impl PresentationLadder {
             return Err(LadderError::Empty);
         }
         let mut levels = Vec::with_capacity(deliverable.len() + 1);
-        levels.push(Presentation {
-            level: 0,
-            size: 0,
-            utility: 0.0,
-        });
+        levels.push(Presentation { level: 0, size: 0, utility: 0.0 });
         for (idx, (size, utility)) in deliverable.into_iter().enumerate() {
             let level = (idx + 1) as u8;
             if !utility.is_finite() {
                 return Err(LadderError::NonFiniteUtility { level });
             }
-            levels.push(Presentation {
-                level,
-                size,
-                utility,
-            });
+            levels.push(Presentation { level, size, utility });
         }
         Self::validate(&levels)?;
         Ok(Self { levels })
@@ -190,8 +182,7 @@ impl AudioPresentationSpec {
     /// Panics if the spec produces a non-monotone ladder (cannot happen for
     /// positive durations with a monotone duration-utility model).
     pub fn ladder(&self) -> PresentationLadder {
-        self.try_ladder()
-            .expect("audio presentation spec must produce a monotone ladder")
+        self.try_ladder().expect("audio presentation spec must produce a monotone ladder")
     }
 
     /// Fallible variant of [`Self::ladder`].
@@ -206,8 +197,8 @@ impl AudioPresentationSpec {
         for &d in &self.preview_secs {
             let size = self.metadata_bytes + (d * self.bytes_per_sec as f64).round() as u64;
             let audio_utility = self.duration_utility.eval(d).max(0.0);
-            let utility =
-                self.metadata_utility_fraction + (1.0 - self.metadata_utility_fraction) * audio_utility;
+            let utility = self.metadata_utility_fraction
+                + (1.0 - self.metadata_utility_fraction) * audio_utility;
             levels.push((size, utility));
         }
         PresentationLadder::new(levels)
@@ -352,11 +343,11 @@ mod tests {
         // Mirror of Fig. 2(a): B is useless given A (same utility, larger),
         // C is useless given D (same size, lower utility).
         let cands = vec![
-            CandidatePresentation { size: 10, utility: 1.0, label_id: 0 },  // A
-            CandidatePresentation { size: 20, utility: 1.0, label_id: 1 },  // B
-            CandidatePresentation { size: 30, utility: 1.5, label_id: 2 },  // C
-            CandidatePresentation { size: 30, utility: 2.0, label_id: 3 },  // D
-            CandidatePresentation { size: 40, utility: 3.0, label_id: 4 },  // E
+            CandidatePresentation { size: 10, utility: 1.0, label_id: 0 }, // A
+            CandidatePresentation { size: 20, utility: 1.0, label_id: 1 }, // B
+            CandidatePresentation { size: 30, utility: 1.5, label_id: 2 }, // C
+            CandidatePresentation { size: 30, utility: 2.0, label_id: 3 }, // D
+            CandidatePresentation { size: 40, utility: 3.0, label_id: 4 }, // E
         ];
         let f = pareto_frontier(&cands);
         let ids: Vec<usize> = f.iter().map(|c| c.label_id).collect();

@@ -213,12 +213,7 @@ pub struct RichNoteScheduler {
 impl RichNoteScheduler {
     /// Creates a scheduler with the given configuration.
     pub fn new(cfg: RichNoteConfig) -> Self {
-        Self {
-            lyap: LyapunovState::new(cfg.lyapunov),
-            cfg,
-            queue: Vec::new(),
-            expired: 0,
-        }
+        Self { lyap: LyapunovState::new(cfg.lyapunov), cfg, queue: Vec::new(), expired: 0 }
     }
 
     /// Creates a scheduler with the paper's default parameters.
@@ -356,11 +351,7 @@ struct FixedLevelState {
 
 impl FixedLevelState {
     fn new(fixed_level: u8) -> Self {
-        Self {
-            fixed_level,
-            data_budget: 0.0,
-            queue: VecDeque::new(),
-        }
+        Self { fixed_level, data_budget: 0.0, queue: VecDeque::new() }
     }
 
     /// Delivers queued items in the queue's current order at the fixed
@@ -416,9 +407,7 @@ impl FifoScheduler {
     /// Creates a FIFO scheduler delivering at `fixed_level` (clamped to
     /// each item's ladder depth).
     pub fn new(fixed_level: u8) -> Self {
-        Self {
-            state: FixedLevelState::new(fixed_level),
-        }
+        Self { state: FixedLevelState::new(fixed_level) }
     }
 
     /// The configured fixed level.
@@ -459,9 +448,7 @@ pub struct UtilScheduler {
 impl UtilScheduler {
     /// Creates a UTIL scheduler delivering at `fixed_level`.
     pub fn new(fixed_level: u8) -> Self {
-        Self {
-            state: FixedLevelState::new(fixed_level),
-        }
+        Self { state: FixedLevelState::new(fixed_level) }
     }
 
     /// The configured fixed level.
@@ -471,14 +458,11 @@ impl UtilScheduler {
 
     fn resort(&mut self) {
         let level = self.state.fixed_level;
-        self.state
-            .queue
-            .make_contiguous()
-            .sort_by(|a, b| {
-                let ua = a.utility_at(a.ladder.clamp_level(level));
-                let ub = b.utility_at(b.ladder.clamp_level(level));
-                ub.total_cmp(&ua)
-            });
+        self.state.queue.make_contiguous().sort_by(|a, b| {
+            let ua = a.utility_at(a.ladder.clamp_level(level));
+            let ub = b.utility_at(b.ladder.clamp_level(level));
+            ub.total_cmp(&ua)
+        });
     }
 }
 
@@ -699,10 +683,7 @@ mod tests {
 
     #[test]
     fn expiry_drops_stale_items_and_shrinks_q() {
-        let cfg = RichNoteConfig {
-            max_age_secs: Some(2.0 * 3600.0),
-            ..RichNoteConfig::default()
-        };
+        let cfg = RichNoteConfig { max_age_secs: Some(2.0 * 3600.0), ..RichNoteConfig::default() };
         let mut s = RichNoteScheduler::new(cfg);
         s.enqueue(notification(1, 0.9, 0.0));
         s.enqueue(notification(2, 0.9, 9_000.0));

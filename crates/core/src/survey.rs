@@ -60,11 +60,7 @@ impl GridCell {
     /// Converts the cell into a [`CandidatePresentation`] for Pareto
     /// pruning; `label_id` encodes `rate_index * 5 + duration_index`.
     pub fn to_candidate(&self, label_id: usize) -> CandidatePresentation {
-        CandidatePresentation {
-            size: self.size,
-            utility: self.score,
-            label_id,
-        }
+        CandidatePresentation { size: self.size, utility: self.score, label_id }
     }
 }
 
@@ -113,9 +109,7 @@ pub fn synthesize_stop_survey<R: Rng>(rng: &mut R, n: usize, noise: f64) -> Vec<
             let u: f64 = rng.gen_range(0.0..1.0);
             let d = ((u - a) / b).exp() - 1.0;
             let jitter = 1.0 + noise * rng.gen_range(-1.0..1.0);
-            StopResponse {
-                stop_secs: (d * jitter).clamp(0.5, paper::SURVEY_MEAN_TRACK_SECS),
-            }
+            StopResponse { stop_secs: (d * jitter).clamp(0.5, paper::SURVEY_MEAN_TRACK_SECS) }
         })
         .collect()
 }
@@ -156,7 +150,10 @@ pub fn fit_logarithmic(points: &[(f64, f64)]) -> Result<DurationUtility, SurveyF
 ///
 /// Returns [`SurveyFitError`] on out-of-domain durations or when fewer than
 /// two usable points remain.
-pub fn fit_polynomial(points: &[(f64, f64)], d_max: f64) -> Result<DurationUtility, SurveyFitError> {
+pub fn fit_polynomial(
+    points: &[(f64, f64)],
+    d_max: f64,
+) -> Result<DurationUtility, SurveyFitError> {
     let mut xy = Vec::with_capacity(points.len());
     for &(d, u) in points {
         if d >= d_max {
@@ -167,11 +164,7 @@ pub fn fit_polynomial(points: &[(f64, f64)], d_max: f64) -> Result<DurationUtili
         }
     }
     let (ln_a, b) = least_squares(&xy)?;
-    Ok(DurationUtility::Polynomial {
-        a: ln_a.exp(),
-        b,
-        d_max,
-    })
+    Ok(DurationUtility::Polynomial { a: ln_a.exp(), b, d_max })
 }
 
 /// Ordinary least squares for `y = a + b·x`; returns `(a, b)`.
@@ -251,11 +244,7 @@ mod tests {
     fn grid_prunes_to_six_useful_presentations() {
         // Matches the paper: "resulted in only six useful presentations".
         let grid = survey_grid();
-        let cands: Vec<_> = grid
-            .iter()
-            .enumerate()
-            .map(|(i, c)| c.to_candidate(i))
-            .collect();
+        let cands: Vec<_> = grid.iter().enumerate().map(|(i, c)| c.to_candidate(i)).collect();
         let frontier = pareto_frontier(&cands);
         assert_eq!(frontier.len(), 6, "{frontier:?}");
     }
@@ -263,10 +252,7 @@ mod tests {
     #[test]
     fn grid_sizes_follow_pcm_arithmetic() {
         let grid = survey_grid();
-        let cell = grid
-            .iter()
-            .find(|c| c.rate_khz == 16 && c.duration_secs == 10.0)
-            .unwrap();
+        let cell = grid.iter().find(|c| c.rate_khz == 16 && c.duration_secs == 10.0).unwrap();
         assert_eq!(cell.size, 320_000);
     }
 
@@ -298,10 +284,8 @@ mod tests {
 
     #[test]
     fn empirical_utility_is_a_cdf() {
-        let responses: Vec<StopResponse> = [2.0, 4.0, 8.0, 16.0]
-            .iter()
-            .map(|&d| StopResponse { stop_secs: d })
-            .collect();
+        let responses: Vec<StopResponse> =
+            [2.0, 4.0, 8.0, 16.0].iter().map(|&d| StopResponse { stop_secs: d }).collect();
         let points = empirical_utility(&responses, &[1.0, 4.0, 20.0]);
         assert_eq!(points[0].1, 0.0);
         assert_eq!(points[1].1, 0.5);
@@ -325,10 +309,7 @@ mod tests {
     #[test]
     fn poly_fit_rejects_out_of_domain() {
         let pts = [(5.0, 0.2), (45.0, 0.9)];
-        assert!(matches!(
-            fit_polynomial(&pts, 40.0),
-            Err(SurveyFitError::OutOfDomain { .. })
-        ));
+        assert!(matches!(fit_polynomial(&pts, 40.0), Err(SurveyFitError::OutOfDomain { .. })));
     }
 
     #[test]

@@ -78,12 +78,7 @@ impl DeliveryQueue {
 
     /// Enqueues a download of `size` bytes at time `enqueued_at`.
     pub fn push(&mut self, content: ContentId, size: u64, enqueued_at: f64) {
-        self.pending.push_back(PendingDownload {
-            content,
-            size,
-            transferred: 0,
-            enqueued_at,
-        });
+        self.pending.push_back(PendingDownload { content, size, transferred: 0, enqueued_at });
     }
 
     /// Advances the transport by `secs` seconds starting at `now`, moving

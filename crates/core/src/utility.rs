@@ -100,10 +100,7 @@ impl DurationUtility {
     /// The paper's fitted logarithmic model (Eq. 8):
     /// `util(d) = −0.397 + 0.352·ln(1 + d)`.
     pub fn paper_logarithmic() -> Self {
-        DurationUtility::Logarithmic {
-            a: paper::LOG_UTILITY_A,
-            b: paper::LOG_UTILITY_B,
-        }
+        DurationUtility::Logarithmic { a: paper::LOG_UTILITY_A, b: paper::LOG_UTILITY_B }
     }
 
     /// The paper's fitted polynomial model (Eq. 9):
@@ -254,10 +251,7 @@ mod tests {
 
     #[test]
     fn oracle_reads_ground_truth() {
-        assert_eq!(
-            OracleUtility.content_utility(&item(Interaction::Clicked { at: 1.0 })),
-            1.0
-        );
+        assert_eq!(OracleUtility.content_utility(&item(Interaction::Clicked { at: 1.0 })), 1.0);
         assert_eq!(OracleUtility.content_utility(&item(Interaction::Hovered)), 0.0);
     }
 

@@ -133,9 +133,7 @@ impl BatteryTrace {
 
     /// Builds a trace from explicit fractions (e.g. replayed real data).
     pub fn from_fractions(fractions: Vec<f64>) -> Self {
-        Self {
-            fractions: fractions.into_iter().map(|f| f.clamp(0.0, 1.0)).collect(),
-        }
+        Self { fractions: fractions.into_iter().map(|f| f.clamp(0.0, 1.0)).collect() }
     }
 
     /// Battery fraction at `round`, clamping past the end.

@@ -40,23 +40,13 @@ impl NetworkEnergyModel {
     /// 3G cellular preset (IMC'09: ≈0.025 J/KB transfer, ≈3.5 J ramp,
     /// ≈0.62 W tail power held for ≈12.5 s).
     pub fn cellular() -> Self {
-        Self {
-            setup: 3.5,
-            per_kb: 0.025,
-            tail_power: 0.62,
-            tail_secs: 12.5,
-        }
+        Self { setup: 3.5, per_kb: 0.025, tail_power: 0.62, tail_secs: 12.5 }
     }
 
     /// WiFi preset (IMC'09: ≈0.007 J/KB, ≈5.9 J association/scan overhead,
     /// negligible tail).
     pub fn wifi() -> Self {
-        Self {
-            setup: 5.9,
-            per_kb: 0.007,
-            tail_power: 0.0,
-            tail_secs: 0.0,
-        }
+        Self { setup: 5.9, per_kb: 0.007, tail_power: 0.0, tail_secs: 0.0 }
     }
 
     /// Tail energy per session, J.

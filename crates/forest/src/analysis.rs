@@ -102,9 +102,8 @@ impl FeatureImportance {
 /// alignment for any non-constant column).
 pub fn permutation_importance(forest: &RandomForest, data: &Dataset) -> FeatureImportance {
     let accuracy = |rows: &dyn Fn(usize) -> Vec<f64>| -> f64 {
-        let correct = (0..data.len())
-            .filter(|&i| forest.predict(&rows(i)) == data.label(i))
-            .count();
+        let correct =
+            (0..data.len()).filter(|&i| forest.predict(&rows(i)) == data.label(i)).count();
         correct as f64 / data.len() as f64
     };
 
@@ -131,9 +130,8 @@ mod tests {
 
     fn two_feature_data(n: usize) -> Dataset {
         // Feature 0 decides the label; feature 1 is pure noise.
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![(i as f64) / n as f64, ((i * 31) % 17) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i as f64) / n as f64, ((i * 31) % 17) as f64]).collect();
         let labels: Vec<bool> = (0..n).map(|i| (i as f64) / n as f64 > 0.5).collect();
         Dataset::new(rows, labels).unwrap()
     }

@@ -87,7 +87,11 @@ pub fn calibration(scores: &[f64], labels: &[bool], n_bins: usize) -> Calibratio
 }
 
 /// Calibration of a trained forest over a dataset.
-pub fn forest_calibration(forest: &RandomForest, data: &Dataset, n_bins: usize) -> CalibrationReport {
+pub fn forest_calibration(
+    forest: &RandomForest,
+    data: &Dataset,
+    n_bins: usize,
+) -> CalibrationReport {
     let scores: Vec<f64> = (0..data.len()).map(|i| forest.predict_proba(data.row(i))).collect();
     calibration(&scores, data.labels(), n_bins)
 }

@@ -70,12 +70,7 @@ pub fn cross_validate(
     let mut pooled_matrix = ConfusionMatrix::new();
 
     for fold in 0..k {
-        let test_idx: Vec<usize> = order
-            .iter()
-            .copied()
-            .skip(fold)
-            .step_by(k)
-            .collect();
+        let test_idx: Vec<usize> = order.iter().copied().skip(fold).step_by(k).collect();
         let train_idx: Vec<usize> = order
             .iter()
             .copied()
@@ -95,10 +90,7 @@ pub fn cross_validate(
         folds.push(ClassificationReport::from(matrix));
     }
 
-    CrossValidation {
-        folds,
-        pooled: ClassificationReport::from(pooled_matrix),
-    }
+    CrossValidation { folds, pooled: ClassificationReport::from(pooled_matrix) }
 }
 
 #[cfg(test)]
@@ -106,9 +98,8 @@ mod tests {
     use super::*;
 
     fn separable(n: usize) -> Dataset {
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![(i as f64) / (n as f64), ((i * 7) % 13) as f64])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i as f64) / (n as f64), ((i * 7) % 13) as f64]).collect();
         let labels: Vec<bool> = (0..n).map(|i| (i as f64) / (n as f64) > 0.5).collect();
         Dataset::new(rows, labels).unwrap()
     }

@@ -150,11 +150,8 @@ mod tests {
     use super::*;
 
     fn small() -> Dataset {
-        Dataset::new(
-            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
-            vec![true, false, true],
-        )
-        .unwrap()
+        Dataset::new(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]], vec![true, false, true])
+            .unwrap()
     }
 
     #[test]

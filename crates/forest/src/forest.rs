@@ -19,11 +19,7 @@ pub struct RandomForestConfig {
 
 impl Default for RandomForestConfig {
     fn default() -> Self {
-        Self {
-            n_trees: 40,
-            tree: TreeConfig::default(),
-            bootstrap_fraction: 1.0,
-        }
+        Self { n_trees: 40, tree: TreeConfig::default(), bootstrap_fraction: 1.0 }
     }
 }
 

@@ -108,18 +108,12 @@ impl<R: Rng> Grower<'_, R> {
             Some((feature, threshold, split_at)) => {
                 // Partition indices in place: left = rows <= threshold.
                 indices.sort_unstable_by(|&a, &b| {
-                    self.data.row(a)[feature]
-                        .total_cmp(&self.data.row(b)[feature])
+                    self.data.row(a)[feature].total_cmp(&self.data.row(b)[feature])
                 });
                 let (left_idx, right_idx) = indices.split_at_mut(split_at);
                 let left = self.grow(left_idx, depth + 1);
                 let right = self.grow(right_idx, depth + 1);
-                Node::Split {
-                    feature,
-                    threshold,
-                    left: Box::new(left),
-                    right: Box::new(right),
-                }
+                Node::Split { feature, threshold, left: Box::new(left), right: Box::new(right) }
             }
             None => Node::Leaf { prob },
         }
@@ -130,11 +124,8 @@ impl<R: Rng> Grower<'_, R> {
     /// split improves on the parent.
     fn best_split(&mut self, indices: &[usize]) -> Option<(usize, f64, usize)> {
         let n = indices.len();
-        let total_pos_w: f64 = indices
-            .iter()
-            .filter(|&&i| self.data.label(i))
-            .map(|&i| self.weight(i))
-            .sum();
+        let total_pos_w: f64 =
+            indices.iter().filter(|&&i| self.data.label(i)).map(|&i| self.weight(i)).sum();
         let total_w: f64 = indices.iter().map(|&i| self.weight(i)).sum();
         let parent = gini(total_pos_w, total_w);
 
@@ -168,9 +159,7 @@ impl<R: Rng> Grower<'_, R> {
                 let weighted = (left_w * gini(left_pos_w, left_w)
                     + right_w * gini(right_pos_w, right_w))
                     / total_w;
-                if weighted + 1e-12 < parent
-                    && best.is_none_or(|(b, ..)| weighted < b)
-                {
+                if weighted + 1e-12 < parent && best.is_none_or(|(b, ..)| weighted < b) {
                     let threshold = 0.5 * (prev_v + cur_v);
                     best = Some((weighted, f, threshold, k));
                 }
@@ -191,10 +180,8 @@ impl DecisionTree {
     pub fn fit<R: Rng>(data: &Dataset, cfg: &TreeConfig, rng: &mut R) -> Self {
         assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
         let d = data.n_features();
-        let candidates = cfg
-            .max_features
-            .unwrap_or_else(|| (d as f64).sqrt().ceil() as usize)
-            .clamp(1, d);
+        let candidates =
+            cfg.max_features.unwrap_or_else(|| (d as f64).sqrt().ceil() as usize).clamp(1, d);
         let mut indices: Vec<usize> = (0..data.len()).collect();
         let mut grower = Grower { data, cfg, rng, n_feature_candidates: candidates };
         let root = grower.grow(&mut indices, 0);
@@ -207,11 +194,7 @@ impl DecisionTree {
     ///
     /// Panics if `features.len()` differs from the training feature count.
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
-        assert_eq!(
-            features.len(),
-            self.n_features,
-            "feature vector length mismatch"
-        );
+        assert_eq!(features.len(), self.n_features, "feature vector length mismatch");
         let mut node = &self.root;
         loop {
             match node {
@@ -292,9 +275,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let cfg = TreeConfig { max_features: Some(2), ..TreeConfig::default() };
         let tree = DecisionTree::fit(&data, &cfg, &mut rng);
-        let correct = (0..data.len())
-            .filter(|&i| tree.predict(data.row(i)) == data.label(i))
-            .count();
+        let correct =
+            (0..data.len()).filter(|&i| tree.predict(data.row(i)) == data.label(i)).count();
         assert!(correct as f64 / data.len() as f64 > 0.95);
         assert!(tree.depth() >= 2);
     }
@@ -312,8 +294,8 @@ mod tests {
 
     #[test]
     fn pure_node_stops_early() {
-        let data = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![true, true, true])
-            .unwrap();
+        let data =
+            Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![true, true, true]).unwrap();
         let mut rng = SmallRng::seed_from_u64(4);
         let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng);
         assert_eq!(tree.n_leaves(), 1);
@@ -326,11 +308,8 @@ mod tests {
         let labels: Vec<bool> = (0..10).map(|i| i >= 9).collect(); // 1 positive
         let data = Dataset::new(rows, labels).unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
-        let cfg = TreeConfig {
-            min_samples_leaf: 3,
-            max_features: Some(1),
-            ..TreeConfig::default()
-        };
+        let cfg =
+            TreeConfig { min_samples_leaf: 3, max_features: Some(1), ..TreeConfig::default() };
         let tree = DecisionTree::fit(&data, &cfg, &mut rng);
         // The only impurity-reducing split (9 | 1) has a 1-row leaf, so the
         // admissible splits cannot isolate the positive: allowed but each
@@ -363,23 +342,17 @@ mod tests {
         // 10% positives, weakly separated: the unweighted tree mostly says
         // "no"; an upweighted tree recovers more positives.
         let n = 400;
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![(i % 10) as f64 + ((i * 13) % 7) as f64 * 0.1])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![(i % 10) as f64 + ((i * 13) % 7) as f64 * 0.1]).collect();
         let labels: Vec<bool> = (0..n).map(|i| i % 10 == 0 && (i * 13) % 7 < 5).collect();
         let data = Dataset::new(rows, labels).unwrap();
 
         let recall = |w: f64| {
             let mut rng = SmallRng::seed_from_u64(9);
-            let cfg = TreeConfig {
-                positive_weight: w,
-                max_features: Some(1),
-                ..TreeConfig::default()
-            };
+            let cfg =
+                TreeConfig { positive_weight: w, max_features: Some(1), ..TreeConfig::default() };
             let tree = DecisionTree::fit(&data, &cfg, &mut rng);
-            let tp = (0..n)
-                .filter(|&i| data.label(i) && tree.predict(data.row(i)))
-                .count();
+            let tp = (0..n).filter(|&i| data.label(i) && tree.predict(data.row(i))).count();
             let pos = (0..n).filter(|&i| data.label(i)).count();
             tp as f64 / pos as f64
         };

@@ -17,10 +17,7 @@ pub struct LinkProfile {
 impl LinkProfile {
     /// Era-appropriate defaults: ≈8 Mbps WiFi, ≈2 Mbps 3G cellular.
     pub fn paper_default() -> Self {
-        Self {
-            wifi_bytes_per_sec: 1_000_000,
-            cell_bytes_per_sec: 250_000,
-        }
+        Self { wifi_bytes_per_sec: 1_000_000, cell_bytes_per_sec: 250_000 }
     }
 
     /// Bytes the link can carry in `secs` seconds under `state`.
@@ -69,10 +66,7 @@ impl CellOnly {
     ///
     /// Panics if `availability` is outside `[0, 1]`.
     pub fn sporadic(availability: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&availability),
-            "availability must be a probability"
-        );
+        assert!((0.0..=1.0).contains(&availability), "availability must be a probability");
         Self { availability }
     }
 }
@@ -131,10 +125,7 @@ impl ScheduleFromTrace {
 
 impl ConnectivitySchedule for ScheduleFromTrace {
     fn state_for_round<R: Rng>(&mut self, round: u64, _rng: &mut R) -> NetworkState {
-        self.states
-            .get(round as usize)
-            .copied()
-            .unwrap_or(self.fallback)
+        self.states.get(round as usize).copied().unwrap_or(self.fallback)
     }
 }
 

@@ -1,11 +1,11 @@
 //! The topic-based broker with real-time, batch and round delivery modes.
 
 use crate::topic::{Publication, Topic};
-use parking_lot::Mutex;
 use richnote_core::ids::UserId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// How matched publications reach a subscriber.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -179,11 +179,7 @@ impl<P: Clone> Broker<P> {
         let keys: Vec<(u64, Topic)> = self.buffers.keys().copied().collect();
         for (raw, topic) in keys {
             let user = UserId::new(raw);
-            let period = self
-                .modes
-                .get(&(user, topic))
-                .and_then(|m| m.period())
-                .unwrap_or(0.0);
+            let period = self.modes.get(&(user, topic)).and_then(|m| m.period()).unwrap_or(0.0);
             let last = self.last_flush.get(&(user, topic)).copied().unwrap_or(0.0);
             if now - last >= period {
                 if let Some(mut buf) = self.buffers.remove(&(raw, topic)) {
@@ -236,22 +232,22 @@ impl<P: Clone> SharedBroker<P> {
 
     /// Thread-safe publish.
     pub fn publish(&self, publication: Publication<P>) -> Vec<Delivery<P>> {
-        self.inner.lock().publish(publication)
+        self.inner.lock().unwrap().publish(publication)
     }
 
     /// Thread-safe subscribe.
     pub fn subscribe(&self, user: UserId, topic: Topic) {
-        self.inner.lock().subscribe(user, topic);
+        self.inner.lock().unwrap().subscribe(user, topic);
     }
 
     /// Thread-safe flush.
     pub fn flush(&self, now: f64) -> Vec<Delivery<P>> {
-        self.inner.lock().flush(now)
+        self.inner.lock().unwrap().flush(now)
     }
 
     /// Runs a closure with exclusive access to the broker.
     pub fn with<T>(&self, f: impl FnOnce(&mut Broker<P>) -> T) -> T {
-        f(&mut self.inner.lock())
+        f(&mut self.inner.lock().unwrap())
     }
 }
 
@@ -367,9 +363,8 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut delivered = 0usize;
                     for i in 0..100 {
-                        delivered += s
-                            .publish(Publication::new(feed(99), t * 1000 + i, i as f64))
-                            .len();
+                        delivered +=
+                            s.publish(Publication::new(feed(99), t * 1000 + i, i as f64)).len();
                     }
                     delivered
                 })

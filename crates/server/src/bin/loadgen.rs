@@ -1,0 +1,280 @@
+//! Load generator: replays a `richnote-trace` workload against a running
+//! `richnote-server` and reports sustained throughput plus ingest-to-
+//! selection latency percentiles.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S]
+//!         [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS]
+//!         [--repeat K] [--shutdown]
+//! ```
+//!
+//! The trace's friend-feed structure is flattened to one feed per user:
+//! every user subscribes to their own feed and each item is published to
+//! its recipient's feed, so broker matching is exercised on every
+//! publication without needing the social graph on the client.
+
+use richnote_core::UserId;
+use richnote_pubsub::Topic;
+use richnote_server::Client;
+use richnote_trace::{TraceConfig, TraceGenerator};
+use std::io;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    users: usize,
+    days: u64,
+    seed: u64,
+    connections: usize,
+    /// Target publish rate across all connections; 0 = unthrottled.
+    rate: f64,
+    tick_ms: u64,
+    /// Publish the trace this many times (scales offered load without
+    /// scaling trace generation time).
+    repeat: usize,
+    shutdown: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            addr: "127.0.0.1:7464".to_string(),
+            users: 2_000,
+            days: 2,
+            seed: 42,
+            connections: 4,
+            rate: 0.0,
+            tick_ms: 50,
+            repeat: 1,
+            shutdown: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S] \
+         [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS] [--repeat K] [--shutdown]"
+    );
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => a.addr = value("--addr"),
+            "--users" => a.users = parse(&value("--users"), "--users"),
+            "--days" => a.days = parse(&value("--days"), "--days"),
+            "--seed" => a.seed = parse(&value("--seed"), "--seed"),
+            "--connections" => a.connections = parse(&value("--connections"), "--connections"),
+            "--rate" => a.rate = parse(&value("--rate"), "--rate"),
+            "--tick-ms" => a.tick_ms = parse(&value("--tick-ms"), "--tick-ms"),
+            "--repeat" => a.repeat = parse(&value("--repeat"), "--repeat"),
+            "--shutdown" => a.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if a.connections == 0 || a.repeat == 0 {
+        eprintln!("--connections and --repeat must be at least 1");
+        usage()
+    }
+    a
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn run(a: &Args) -> io::Result<()> {
+    let mut control = Client::connect(&a.addr)?;
+    let shards = control.hello()?;
+
+    let mut cfg =
+        TraceConfig { seed: a.seed, n_users: a.users, days: a.days, ..TraceConfig::default() };
+    cfg.graph.n_users = a.users;
+    let trace = TraceGenerator::new(cfg).generate();
+    let total_pubs = trace.items.len() * a.repeat;
+    eprintln!(
+        "loadgen: {} users, {} shards, {} connections, {} publications ({}x trace of {})",
+        a.users,
+        shards,
+        a.connections,
+        total_pubs,
+        a.repeat,
+        trace.items.len()
+    );
+
+    // Subscriptions are acknowledged, so the publish phase cannot race
+    // ahead of registration.
+    for uid in 0..a.users as u64 {
+        let user = UserId::new(uid);
+        control.subscribe(user, Topic::FriendFeed(user))?;
+    }
+
+    // Ticker thread: drives rounds while load is offered, so the latency
+    // histogram reflects steady-state ingest-to-selection time.
+    let publishing = Arc::new(AtomicBool::new(true));
+    let ticker = {
+        let publishing = Arc::clone(&publishing);
+        let addr = a.addr.clone();
+        let tick_ms = a.tick_ms;
+        std::thread::spawn(move || -> io::Result<()> {
+            let mut c = Client::connect(&addr)?;
+            while publishing.load(Ordering::Relaxed) {
+                c.tick(1)?;
+                std::thread::sleep(Duration::from_millis(tick_ms));
+            }
+            Ok(())
+        })
+    };
+
+    // Publish phase: the trace is striped across connections, each paced
+    // to its share of the target rate.
+    let started = Instant::now();
+    let per_conn_rate = a.rate / a.connections as f64;
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut handles = Vec::new();
+        for conn in 0..a.connections {
+            let items = &trace.items;
+            let addr = &a.addr;
+            let repeat = a.repeat;
+            let connections = a.connections;
+            handles.push(scope.spawn(move || -> io::Result<usize> {
+                let mut c = Client::connect(addr)?;
+                let t0 = Instant::now();
+                let mut sent = 0usize;
+                for rep in 0..repeat {
+                    for item in items.iter().skip(conn).step_by(connections) {
+                        let mut item = item.clone();
+                        // Distinct ids per repeat keep latency tracking 1:1.
+                        item.id =
+                            richnote_core::ContentId::new(((rep as u64) << 40) | item.id.value());
+                        c.publish(Topic::FriendFeed(item.recipient), item)?;
+                        sent += 1;
+                        if per_conn_rate > 0.0 {
+                            let due = t0 + Duration::from_secs_f64(sent as f64 / per_conn_rate);
+                            let now = Instant::now();
+                            if due > now {
+                                c.flush()?;
+                                std::thread::sleep(due - now);
+                            }
+                        } else if sent % 256 == 0 {
+                            c.flush()?;
+                        }
+                    }
+                }
+                c.flush()?;
+                // Barrier: requests are acked in order on a connection, so
+                // once this returns every publish above has been routed to
+                // its shard queue — without it the drain loop below races
+                // frames still sitting in socket buffers.
+                c.hello()?;
+                Ok(sent)
+            }));
+        }
+        let mut sent = 0usize;
+        for h in handles {
+            sent += h.join().expect("publisher thread panicked")?;
+        }
+        assert_eq!(sent, total_pubs);
+        Ok(())
+    })?;
+    let publish_secs = started.elapsed().as_secs_f64();
+    publishing.store(false, Ordering::Relaxed);
+    ticker.join().expect("ticker thread panicked")?;
+
+    // Drain phase: keep ticking until every queue is empty so the final
+    // histogram covers all publications that were actually ingested.
+    let mut drain_rounds = 0u32;
+    loop {
+        let snap = control.metrics()?;
+        if snap.backlog() == 0 || drain_rounds >= 1_000 {
+            break;
+        }
+        control.tick(8)?;
+        drain_rounds += 8;
+    }
+
+    let snap = control.metrics()?;
+    let lat = snap.selection_latency();
+    let rounds = snap.shards.iter().map(|s| s.rounds).max().unwrap_or(0);
+    println!(
+        "published {} publications in {:.2}s: {:.0} pubs/sec sustained",
+        total_pubs,
+        publish_secs,
+        total_pubs as f64 / publish_secs
+    );
+    println!(
+        "ingested {} ({} dropped by backpressure), selected {} over {} rounds, backlog {}",
+        snap.ingested(),
+        snap.dropped(),
+        snap.selected(),
+        rounds,
+        snap.backlog()
+    );
+    println!(
+        "ingest-to-selection latency: p50 {} p95 {} p99 {} mean {} max {} ({} samples)",
+        fmt_us(lat.quantile_us(0.50)),
+        fmt_us(lat.quantile_us(0.95)),
+        fmt_us(lat.quantile_us(0.99)),
+        fmt_us(lat.mean_us() as u64),
+        fmt_us(lat.max_us()),
+        lat.count()
+    );
+    for s in &snap.shards {
+        println!(
+            "  shard {}: {} users, {} ingested, {} selected, {} rounds, {:.1} MB budgeted, {:.1} MB spent",
+            s.shard,
+            s.users,
+            s.ingested,
+            s.selected,
+            s.rounds,
+            s.bytes_budgeted as f64 / 1e6,
+            s.bytes_spent as f64 / 1e6
+        );
+    }
+
+    if a.shutdown {
+        control.shutdown()?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The `richnote-server` daemon binary.
+//!
+//! ```text
+//! richnote-server [--addr HOST:PORT] [--shards N] [--queue-capacity N]
+//!                 [--round-secs S] [--data-grant BYTES]
+//! ```
+
+use richnote_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: richnote-server [--addr HOST:PORT] [--shards N] \
+         [--queue-capacity N] [--round-secs S] [--data-grant BYTES]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServerConfig {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7464".to_string(), ..ServerConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--shards" => cfg.shards = parse(&value("--shards"), "--shards"),
+            "--queue-capacity" => {
+                cfg.queue_capacity = parse(&value("--queue-capacity"), "--queue-capacity");
+            }
+            "--round-secs" => cfg.round_secs = parse(&value("--round-secs"), "--round-secs"),
+            "--data-grant" => cfg.data_grant = parse(&value("--data-grant"), "--data-grant"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    cfg
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("bad value {s:?} for {flag}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let cfg = parse_args();
+    let server = match Server::bind(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("richnote-server: bind {}: {e}", cfg.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "richnote-server: listening on {} with {} shards (round = {}s, grant = {} B)",
+        server.local_addr(),
+        cfg.shards,
+        cfg.round_secs,
+        cfg.data_grant
+    );
+    match server.run() {
+        Ok(()) => {
+            eprintln!("richnote-server: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("richnote-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! A blocking client for the wire protocol, used by `loadgen` and tests.
+
+use crate::metrics::MetricsSnapshot;
+use crate::wire::{read_frame, write_frame, write_frame_unflushed, Request, Response};
+use richnote_core::{ContentItem, UserId};
+use richnote_pubsub::Topic;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a `richnote-server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn unexpected(what: &str, got: &Response) -> io::Error {
+    io::Error::other(format!("expected {what}, got {got:?}"))
+}
+
+impl Client {
+    /// Connects and disables Nagle (the protocol is request/response with
+    /// small frames; coalescing delay would dominate latency).
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    fn request(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, req)?;
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| io::Error::other("server closed the connection"))
+    }
+
+    /// Handshake; returns the server's shard count.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn hello(&mut self) -> io::Result<usize> {
+        match self.request(&Request::Hello)? {
+            Response::Hello { shards } => Ok(shards),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// Subscribes `user` to `topic` (acknowledged).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn subscribe(&mut self, user: UserId, topic: Topic) -> io::Result<()> {
+        match self.request(&Request::Subscribe { user, topic })? {
+            Response::Subscribed => Ok(()),
+            other => Err(unexpected("Subscribed", &other)),
+        }
+    }
+
+    /// Queues one publication without flushing; call [`Client::flush`]
+    /// after a batch. Fire-and-forget: no response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors.
+    pub fn publish(&mut self, topic: Topic, item: ContentItem) -> io::Result<()> {
+        write_frame_unflushed(&mut self.writer, &Request::Publish { topic, item })
+    }
+
+    /// Flushes pipelined publications to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Advances all shards by `rounds`; returns (rounds completed,
+    /// notifications selected during this tick).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn tick(&mut self, rounds: u32) -> io::Result<(u64, u64)> {
+        match self.request(&Request::Tick { rounds })? {
+            Response::Ticked { rounds, selected } => Ok((rounds, selected)),
+            other => Err(unexpected("Ticked", &other)),
+        }
+    }
+
+    /// Fetches the metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn metrics(&mut self) -> io::Result<MetricsSnapshot> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or protocol errors.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+}

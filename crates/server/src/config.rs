@@ -1,0 +1,92 @@
+//! Daemon configuration.
+
+use richnote_core::scheduler::LinearCost;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of one `richnote-server` instance.
+///
+/// Per-round budget fields mirror [`richnote_core::scheduler::RoundContext`]:
+/// every user on every shard receives the same grants each round, which
+/// matches the paper's per-device round loop (budgets are per user, not per
+/// shard).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `"127.0.0.1:7464"`. Port 0 picks a free port.
+    pub addr: String,
+    /// Number of shard workers. Users hash onto shards by
+    /// [`crate::router::shard_of`].
+    pub shards: usize,
+    /// Capacity of each shard's ingest queue; overflow drops the oldest
+    /// queued publication (freshest-first backpressure).
+    pub queue_capacity: usize,
+    /// Round length in seconds of virtual time.
+    pub round_secs: f64,
+    /// Per-user data budget per round (bytes), `θ` in the paper.
+    pub data_grant: u64,
+    /// Per-user link capacity per round (bytes).
+    pub link_capacity: u64,
+    /// Per-user energy replenishment per round (J).
+    pub energy_grant: f64,
+    /// Energy model applied to every user's downloads.
+    pub cost: LinearCost,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            queue_capacity: 65_536,
+            round_secs: 3_600.0,
+            // Roomy defaults: one full audio preview plus change per round.
+            data_grant: 400_000,
+            link_capacity: 10_000_000,
+            energy_grant: 3_000.0,
+            cost: LinearCost { fixed: 1.0, per_byte: 1e-4 },
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Ensures the config can actually run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue_capacity must be at least 1".into());
+        }
+        if self.round_secs <= 0.0 || self.round_secs.is_nan() {
+            return Err("round_secs must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert_eq!(ServerConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let cfg = ServerConfig { shards: 0, ..ServerConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let cfg = ServerConfig::default();
+        let s = serde_json::to_string(&cfg).unwrap();
+        let back: ServerConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

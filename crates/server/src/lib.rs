@@ -1,0 +1,47 @@
+//! The RichNote delivery service: a sharded daemon that accepts
+//! publications over TCP, matches them through the pub/sub broker and
+//! drives the paper's round-based selection loop per user.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──TCP──▶ connection threads ──▶ broker match ──▶ shard queues
+//!                                                             │ (bounded,
+//!                                                             │  drop-oldest)
+//!                                            shard workers ◀──┘
+//!                                            one thread per shard, each
+//!                                            owning its users' RichNote
+//!                                            schedulers and running the
+//!                                            round loop on Tick
+//! ```
+//!
+//! Users are partitioned across shards by a multiplicative hash of their
+//! [`richnote_core::UserId`]; a user's scheduler state lives on exactly one
+//! shard, so rounds need no cross-shard coordination. Rounds advance on
+//! explicit [`wire::Request::Tick`] messages rather than wall-clock timers,
+//! which keeps selection deterministic: the same publications plus the same
+//! tick sequence yield the same selections as a single-threaded
+//! [`richnote_core::scheduler::RichNoteScheduler`] per user.
+//!
+//! The daemon uses blocking I/O with a thread per connection plus a thread
+//! per shard. The paper targets mobile clients with hour-scale rounds, so
+//! the concurrency bottleneck is shard CPU (MCKP selection), not socket
+//! count; an async reactor would add a dependency without moving the
+//! benchmark numbers.
+
+pub mod client;
+pub mod config;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod server;
+pub mod shard;
+pub mod wire;
+
+pub use client::Client;
+pub use config::ServerConfig;
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardSnapshot};
+pub use queue::BoundedQueue;
+pub use router::shard_of;
+pub use server::Server;
+pub use shard::ShardState;

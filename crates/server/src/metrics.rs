@@ -1,0 +1,220 @@
+//! Shard metrics: counters plus a log-bucketed latency histogram.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two latency buckets; bucket `i` covers
+/// `[2^(i-1), 2^i)` µs (bucket 0 is `[0, 1)` µs), topping out above an hour.
+const BUCKETS: usize = 40;
+
+/// A histogram of microsecond latencies with power-of-two buckets.
+///
+/// Log bucketing gives ~2× relative resolution across nine orders of
+/// magnitude in constant space, which is plenty for p50/p95/p99 reporting;
+/// recording is a single increment on the hot path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Records one latency in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds, or 0 with no samples.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The latency (µs) at quantile `q` in `[0, 1]`, estimated as the
+    /// geometric midpoint of the containing bucket. Returns 0 with no
+    /// samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if i == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (i - 1);
+                let hi = 1u64 << i;
+                // Geometric midpoint ≈ lo·√2, clamped to the observed max.
+                let mid = ((lo as f64) * std::f64::consts::SQRT_2) as u64;
+                return mid.min(hi - 1).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// One shard's view of the world at snapshot time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Users with scheduler state on this shard.
+    pub users: usize,
+    /// Publications ingested (accepted into a scheduler queue).
+    pub ingested: u64,
+    /// Publications shed by queue backpressure.
+    pub dropped: u64,
+    /// Notifications currently queued across this shard's schedulers.
+    pub backlog: usize,
+    /// Rounds completed.
+    pub rounds: u64,
+    /// Notifications selected for delivery.
+    pub selected: u64,
+    /// Sum of per-user data grants over completed rounds (bytes budgeted).
+    pub bytes_budgeted: u64,
+    /// Bytes of selected presentations (bytes spent).
+    pub bytes_spent: u64,
+    /// Ingest-to-selection latency, wall clock.
+    pub selection_latency: LatencyHistogram,
+}
+
+/// Aggregated metrics returned by [`crate::wire::Response::Metrics`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total ingested publications across shards.
+    pub fn ingested(&self) -> u64 {
+        self.shards.iter().map(|s| s.ingested).sum()
+    }
+
+    /// Total selected notifications across shards.
+    pub fn selected(&self) -> u64 {
+        self.shards.iter().map(|s| s.selected).sum()
+    }
+
+    /// Total publications shed by backpressure.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Total backlog across shards.
+    pub fn backlog(&self) -> usize {
+        self.shards.iter().map(|s| s.backlog).sum()
+    }
+
+    /// All shards' selection-latency histograms merged.
+    pub fn selection_latency(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for s in &self.shards {
+            h.merge(&s.selection_latency);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 1_000, 2_000, 100_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 8);
+        let p50 = h.quantile_us(0.5);
+        assert!((16..=64).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((65_536..=100_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.max_us(), 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        a.record_us(5);
+        let mut b = LatencyHistogram::new();
+        b.record_us(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_us(), 500);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let snap = MetricsSnapshot {
+            shards: vec![ShardSnapshot {
+                shard: 0,
+                users: 3,
+                ingested: 10,
+                dropped: 1,
+                backlog: 2,
+                rounds: 4,
+                selected: 8,
+                bytes_budgeted: 1_000,
+                bytes_spent: 900,
+                selection_latency: LatencyHistogram::new(),
+            }],
+        };
+        let s = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&s).unwrap();
+        assert_eq!(snap, back);
+    }
+}

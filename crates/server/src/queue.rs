@@ -1,0 +1,173 @@
+//! A bounded MPSC queue with an explicit drop-oldest overflow policy.
+//!
+//! Connection threads push, the owning shard worker pops. When the queue is
+//! full, the *oldest droppable* entry is discarded to admit the new one:
+//! under sustained overload a notification queue should shed stale items
+//! first, because the paper's utility model values freshness (an old friend
+//! activity is worth little by the time budgets free up). Control messages
+//! (ticks, snapshots, shutdown) are never droppable — shedding them would
+//! wedge the caller waiting on a reply.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of a [`BoundedQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Accepted without shedding anything.
+    Accepted,
+    /// Accepted after dropping the oldest droppable entry.
+    DroppedOldest,
+    /// The queue is closed; the value was discarded.
+    Closed,
+}
+
+struct Inner<T> {
+    deque: VecDeque<T>,
+    dropped: u64,
+    closed: bool,
+}
+
+/// See the module docs.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+    droppable: fn(&T) -> bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` entries, where `droppable`
+    /// marks the entries overflow may shed.
+    pub fn new(capacity: usize, droppable: fn(&T) -> bool) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner { deque: VecDeque::new(), dropped: 0, closed: false }),
+            not_empty: Condvar::new(),
+            capacity,
+            droppable,
+        }
+    }
+
+    /// Pushes `value`, shedding the oldest droppable entry when full.
+    ///
+    /// Never blocks. A full queue containing only non-droppable entries
+    /// still admits `value` (capacity is a soft bound for control traffic,
+    /// which is rare and drains fast).
+    pub fn push(&self, value: T) -> PushOutcome {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return PushOutcome::Closed;
+        }
+        let mut outcome = PushOutcome::Accepted;
+        if inner.deque.len() >= self.capacity {
+            if let Some(pos) = inner.deque.iter().position(self.droppable) {
+                inner.deque.remove(pos);
+                inner.dropped += 1;
+                outcome = PushOutcome::DroppedOldest;
+            }
+        }
+        inner.deque.push_back(value);
+        drop(inner);
+        self.not_empty.notify_one();
+        outcome
+    }
+
+    /// Pops the oldest entry, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.deque.pop_front() {
+                return Some(v);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: pushes are refused, pops drain what remains.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().deque.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries shed by the overflow policy so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = BoundedQueue::new(8, |_: &u32| true);
+        for i in 0..5 {
+            assert_eq!(q.push(i), PushOutcome::Accepted);
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_droppable() {
+        // Odd values are protected, even values droppable.
+        let q = BoundedQueue::new(3, |v: &u32| v % 2 == 0);
+        q.push(1);
+        q.push(2);
+        q.push(4);
+        assert_eq!(q.push(6), PushOutcome::DroppedOldest); // sheds 2
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.pop(), Some(1)); // protected entry survived
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), Some(6));
+    }
+
+    #[test]
+    fn soft_bound_when_nothing_droppable() {
+        let q = BoundedQueue::new(2, |_: &u32| false);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.push(3), PushOutcome::Accepted);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dropped(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4, |_: &u32| true);
+        q.push(1);
+        q.close();
+        assert_eq!(q.push(9), PushOutcome::Closed);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let q = Arc::new(BoundedQueue::new(4, |_: &u32| true));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42);
+        assert_eq!(handle.join().unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,104 @@
+//! Publication routing: broker matching plus user-to-shard placement.
+
+use crate::shard::ShardMsg;
+use richnote_core::{ContentItem, UserId};
+use richnote_pubsub::{Broker, DeliveryMode, Publication, Topic};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Maps a user to its owning shard with a multiplicative (Fibonacci) hash.
+///
+/// Trace generators hand out dense sequential user ids; taking `id % n`
+/// would stripe consecutive users across shards, which is fine, but any
+/// structured id scheme (e.g. region prefixes) would skew it. Multiplying
+/// by 2^64/φ first whitens the id so every shard count sees a near-uniform
+/// split regardless of id structure.
+pub fn shard_of(user: UserId, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be positive");
+    let h = user.value().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // Use the high bits: the low bits of a multiplicative hash are weak.
+    ((h >> 32) % shards as u64) as usize
+}
+
+/// The connection-thread side of routing: a shared broker plus the shard
+/// ingest queues.
+pub struct Router {
+    broker: Mutex<Broker<ContentItem>>,
+    queues: Vec<Arc<crate::queue::BoundedQueue<ShardMsg>>>,
+}
+
+impl Router {
+    /// A router over the given shard queues.
+    pub fn new(queues: Vec<Arc<crate::queue::BoundedQueue<ShardMsg>>>) -> Self {
+        assert!(!queues.is_empty());
+        Router { broker: Mutex::new(Broker::new()), queues }
+    }
+
+    /// Number of shards routed to.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The ingest queue of shard `shard`.
+    pub fn queue(&self, shard: usize) -> &Arc<crate::queue::BoundedQueue<ShardMsg>> {
+        &self.queues[shard]
+    }
+
+    /// Registers a real-time subscription.
+    ///
+    /// The daemon always subscribes in [`DeliveryMode::Realtime`]: round
+    /// pacing happens in the shard schedulers, so buffering again in the
+    /// broker would double-delay every notification.
+    pub fn subscribe(&self, user: UserId, topic: Topic) {
+        self.broker.lock().unwrap().subscribe_with_mode(user, topic, DeliveryMode::Realtime);
+    }
+
+    /// Matches one publication and forwards each delivery to its
+    /// subscriber's shard. Returns the number of matched subscribers.
+    pub fn publish(&self, topic: Topic, item: ContentItem, received: Instant) -> usize {
+        let published_at = item.arrival;
+        let deliveries =
+            self.broker.lock().unwrap().publish(Publication::new(topic, item, published_at));
+        let matched = deliveries.len();
+        for d in deliveries {
+            let shard = shard_of(d.subscriber, self.queues.len());
+            self.queues[shard].push(ShardMsg::Ingest {
+                user: d.subscriber,
+                item: d.payload,
+                received,
+            });
+        }
+        matched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for uid in 0..1_000u64 {
+            let s = shard_of(UserId::new(uid), 7);
+            assert!(s < 7);
+            assert_eq!(s, shard_of(UserId::new(uid), 7));
+        }
+    }
+
+    #[test]
+    fn shard_of_balances_sequential_ids() {
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for uid in 0..8_000u64 {
+            counts[shard_of(UserId::new(uid), shards)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // Near-uniform: no shard more than 30% off the mean of 1000.
+        assert!(*min > 700 && *max < 1300, "counts {counts:?}");
+    }
+
+    #[test]
+    fn single_shard_always_zero() {
+        assert_eq!(shard_of(UserId::new(u64::MAX), 1), 0);
+    }
+}

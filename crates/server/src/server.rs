@@ -1,0 +1,152 @@
+//! The TCP daemon: accept loop, connection threads, shard lifecycle.
+
+use crate::config::ServerConfig;
+use crate::metrics::MetricsSnapshot;
+use crate::router::Router;
+use crate::shard::{ShardMsg, ShardWorker};
+use crate::wire::{read_frame, write_frame, Request, Response};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// A bound, not-yet-running daemon. Call [`Server::run`] to serve.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    workers: Vec<ShardWorker>,
+    router: Arc<Router>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the config is invalid or the address cannot
+    /// be bound.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        cfg.validate().map_err(io::Error::other)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let workers: Vec<ShardWorker> =
+            (0..cfg.shards).map(|s| ShardWorker::spawn(s, cfg.clone())).collect();
+        let queues = workers.iter().map(|w| Arc::clone(&w.queue)).collect();
+        Ok(Server {
+            listener,
+            local_addr,
+            workers,
+            router: Arc::new(Router::new(queues)),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves connections until a client sends [`Request::Shutdown`],
+    /// then joins every shard worker and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only if the accept loop itself fails; per-
+    /// connection errors close that connection and are otherwise ignored.
+    pub fn run(self) -> io::Result<()> {
+        let mut conn_threads = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let router = Arc::clone(&self.router);
+            let stop = Arc::clone(&self.stop);
+            let addr = self.local_addr;
+            conn_threads.push(std::thread::spawn(move || {
+                let _ = handle_connection(stream, &router, &stop, addr);
+            }));
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        for w in self.workers {
+            w.join();
+        }
+        Ok(())
+    }
+
+    /// Convenience for tests: runs the server on a background thread and
+    /// returns its address plus the join handle.
+    pub fn spawn(cfg: ServerConfig) -> io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+        let server = Server::bind(cfg)?;
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        Ok((addr, handle))
+    }
+}
+
+/// Broadcasts a message builder to every shard and collects the replies.
+fn broadcast<T, F: Fn(mpsc::Sender<T>) -> ShardMsg>(router: &Router, make: F) -> Vec<T> {
+    // One channel per shard keeps replies ordered by shard index.
+    let receivers: Vec<mpsc::Receiver<T>> = (0..router.shards())
+        .map(|s| {
+            let (tx, rx) = mpsc::channel();
+            router.queue(s).push(make(tx));
+            rx
+        })
+        .collect();
+    receivers.into_iter().filter_map(|rx| rx.recv().ok()).collect()
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    router: &Router,
+    stop: &AtomicBool,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(req) = read_frame::<_, Request>(&mut reader)? {
+        match req {
+            Request::Hello => {
+                write_frame(&mut writer, &Response::Hello { shards: router.shards() })?;
+            }
+            Request::Subscribe { user, topic } => {
+                router.subscribe(user, topic);
+                write_frame(&mut writer, &Response::Subscribed)?;
+            }
+            Request::Publish { topic, item } => {
+                // Fire-and-forget: matching failures are invisible here by
+                // design; the loadgen compares ingested counters instead.
+                router.publish(topic, item, Instant::now());
+            }
+            Request::Tick { rounds } => {
+                let replies = broadcast(router, |reply| ShardMsg::Tick { rounds, reply });
+                let rounds_done = replies.iter().map(|&(r, _)| r).max().unwrap_or(0);
+                let selected = replies.iter().map(|&(_, s)| s).sum();
+                write_frame(&mut writer, &Response::Ticked { rounds: rounds_done, selected })?;
+            }
+            Request::Metrics => {
+                let shards = broadcast(router, |reply| ShardMsg::Snapshot { reply });
+                write_frame(&mut writer, &Response::Metrics(MetricsSnapshot { shards }))?;
+            }
+            Request::Shutdown => {
+                stop.store(true, Ordering::SeqCst);
+                write_frame(&mut writer, &Response::ShuttingDown)?;
+                // Wake the accept loop so it observes the stop flag.
+                let _ = TcpStream::connect(addr);
+                break;
+            }
+        }
+    }
+    Ok(())
+}

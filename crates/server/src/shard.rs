@@ -1,0 +1,316 @@
+//! Shard state and the shard worker loop.
+//!
+//! Each shard owns the scheduler state of the users hashed onto it and
+//! advances them in lockstep rounds. Scheduling uses *virtual time* —
+//! round `t` runs at `now = t × round_secs` — so selections depend only on
+//! the publication stream and the tick sequence, never on wall-clock
+//! jitter. Wall-clock [`Instant`]s are kept separately, purely to measure
+//! ingest-to-selection latency.
+
+use crate::config::ServerConfig;
+use crate::metrics::{LatencyHistogram, ShardSnapshot};
+use crate::queue::BoundedQueue;
+use richnote_core::presentation::AudioPresentationSpec;
+use richnote_core::scheduler::{
+    NotificationScheduler, QueuedNotification, RichNoteScheduler, RoundContext,
+};
+use richnote_core::{ContentId, ContentItem, PresentationLadder, UserId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Content utility `Uc(i)` used by the daemon: a deterministic popularity
+/// blend standing in for the paper's trained random-forest model (the
+/// daemon ships no training data; weights follow the feature importance
+/// ordering reported in the paper's Table III).
+pub fn content_utility(item: &ContentItem) -> f64 {
+    let f = &item.features;
+    (0.5 * f.track_popularity + 0.3 * f.artist_popularity + 0.2 * f.album_popularity)
+        .clamp(0.0, 1.0)
+}
+
+/// Result of one [`ShardState::run_round`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Notifications selected this round, in delivery order per user.
+    pub selected: Vec<(UserId, ContentId, u8)>,
+    /// Bytes of selected presentations.
+    pub bytes: u64,
+}
+
+/// The per-shard scheduler map plus its counters.
+///
+/// Users are kept in a [`BTreeMap`] so rounds visit them in ascending id
+/// order — determinism requires a stable iteration order, and hash-map
+/// order varies per process.
+pub struct ShardState {
+    shard: usize,
+    cfg: ServerConfig,
+    ladder: PresentationLadder,
+    schedulers: BTreeMap<UserId, RichNoteScheduler>,
+    /// Wall-clock ingest instants for latency measurement only.
+    ingest_at: HashMap<ContentId, Instant>,
+    round: u64,
+    ingested: u64,
+    selected: u64,
+    bytes_budgeted: u64,
+    bytes_spent: u64,
+    latency: LatencyHistogram,
+}
+
+impl ShardState {
+    /// An empty shard.
+    pub fn new(shard: usize, cfg: ServerConfig) -> Self {
+        ShardState {
+            shard,
+            cfg,
+            ladder: AudioPresentationSpec::paper_default().ladder(),
+            schedulers: BTreeMap::new(),
+            ingest_at: HashMap::new(),
+            round: 0,
+            ingested: 0,
+            selected: 0,
+            bytes_budgeted: 0,
+            bytes_spent: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Enqueues `item` on `user`'s scheduler, creating it on first sight.
+    ///
+    /// `received` is the wall-clock instant ingest began (at the socket),
+    /// so the latency histogram includes queueing ahead of the shard.
+    pub fn ingest(&mut self, user: UserId, item: ContentItem, received: Instant) {
+        let scheduler =
+            self.schedulers.entry(user).or_insert_with(RichNoteScheduler::with_defaults);
+        let uc = content_utility(&item);
+        self.ingest_at.insert(item.id, received);
+        // Virtual enqueue time: the start of the round the item lands in.
+        scheduler.enqueue(QueuedNotification {
+            enqueued_at: self.round as f64 * self.cfg.round_secs,
+            ladder: self.ladder.clone(),
+            content_utility: uc,
+            item,
+        });
+        self.ingested += 1;
+    }
+
+    /// Runs one round over every user on this shard.
+    pub fn run_round(&mut self) -> RoundOutcome {
+        let now = self.round as f64 * self.cfg.round_secs;
+        let ctx = RoundContext {
+            round: self.round,
+            now,
+            round_secs: self.cfg.round_secs,
+            online: true,
+            link_capacity: self.cfg.link_capacity,
+            data_grant: self.cfg.data_grant,
+            energy_grant: self.cfg.energy_grant,
+            cost: &self.cfg.cost,
+        };
+        let mut outcome = RoundOutcome { selected: Vec::new(), bytes: 0 };
+        for (&user, scheduler) in &mut self.schedulers {
+            self.bytes_budgeted += self.cfg.data_grant;
+            for d in scheduler.run_round(&ctx) {
+                if let Some(received) = self.ingest_at.remove(&d.content) {
+                    let us = received.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                    self.latency.record_us(us);
+                }
+                self.bytes_spent += d.size;
+                outcome.bytes += d.size;
+                outcome.selected.push((user, d.content, d.level));
+            }
+        }
+        self.selected += outcome.selected.len() as u64;
+        self.round += 1;
+        outcome
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Notifications still queued across this shard's schedulers.
+    pub fn backlog(&self) -> usize {
+        self.schedulers.values().map(|s| s.backlog()).sum()
+    }
+
+    /// Snapshot for metrics reporting; `dropped` comes from the ingest
+    /// queue, which the shard state does not own.
+    pub fn snapshot(&self, dropped: u64) -> ShardSnapshot {
+        ShardSnapshot {
+            shard: self.shard,
+            users: self.schedulers.len(),
+            ingested: self.ingested,
+            dropped,
+            backlog: self.backlog(),
+            rounds: self.round,
+            selected: self.selected,
+            bytes_budgeted: self.bytes_budgeted,
+            bytes_spent: self.bytes_spent,
+            selection_latency: self.latency.clone(),
+        }
+    }
+}
+
+/// Messages a shard worker consumes from its ingest queue.
+pub enum ShardMsg {
+    /// A matched publication for one of this shard's users.
+    Ingest {
+        /// Receiving user.
+        user: UserId,
+        /// Payload.
+        item: ContentItem,
+        /// Wall-clock instant the publication was read off the socket.
+        received: Instant,
+    },
+    /// Run `rounds` rounds, then report how many items were selected.
+    Tick {
+        /// Rounds to run.
+        rounds: u32,
+        /// Reply channel: (rounds completed so far, items selected now).
+        reply: mpsc::Sender<(u64, u64)>,
+    },
+    /// Report a metrics snapshot.
+    Snapshot {
+        /// Reply channel.
+        reply: mpsc::Sender<ShardSnapshot>,
+    },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+impl ShardMsg {
+    /// Whether backpressure may shed this message (only raw ingests).
+    pub fn droppable(msg: &ShardMsg) -> bool {
+        matches!(msg, ShardMsg::Ingest { .. })
+    }
+}
+
+/// A running shard worker: its ingest queue plus the thread driving it.
+pub struct ShardWorker {
+    /// Bounded ingest queue, shared with connection threads.
+    pub queue: Arc<BoundedQueue<ShardMsg>>,
+    handle: JoinHandle<()>,
+}
+
+impl ShardWorker {
+    /// Spawns the worker thread for shard `shard`.
+    pub fn spawn(shard: usize, cfg: ServerConfig) -> Self {
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity, ShardMsg::droppable));
+        let q = Arc::clone(&queue);
+        let handle = std::thread::Builder::new()
+            .name(format!("richnote-shard-{shard}"))
+            .spawn(move || {
+                let mut state = ShardState::new(shard, cfg);
+                while let Some(msg) = q.pop() {
+                    match msg {
+                        ShardMsg::Ingest { user, item, received } => {
+                            state.ingest(user, item, received);
+                        }
+                        ShardMsg::Tick { rounds, reply } => {
+                            let mut selected = 0u64;
+                            for _ in 0..rounds {
+                                selected += state.run_round().selected.len() as u64;
+                            }
+                            // The requester may have hung up; that's fine.
+                            let _ = reply.send((state.rounds(), selected));
+                        }
+                        ShardMsg::Snapshot { reply } => {
+                            let _ = reply.send(state.snapshot(q.dropped()));
+                        }
+                        ShardMsg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn shard worker");
+        ShardWorker { queue, handle }
+    }
+
+    /// Closes the queue and joins the worker thread.
+    pub fn join(self) {
+        self.queue.push(ShardMsg::Shutdown);
+        self.queue.close();
+        let _ = self.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use richnote_core::content::{ContentFeatures, ContentKind, Interaction, SocialTie};
+
+    fn item(id: u64, recipient: u64, arrival: f64) -> ContentItem {
+        ContentItem {
+            id: ContentId::new(id),
+            recipient: UserId::new(recipient),
+            sender: None,
+            kind: ContentKind::FriendFeed,
+            track: richnote_core::TrackId::new(id),
+            album: richnote_core::AlbumId::new(1),
+            artist: richnote_core::ArtistId::new(1),
+            arrival,
+            track_secs: 180.0,
+            features: ContentFeatures {
+                tie: SocialTie::Mutual,
+                track_popularity: 0.9,
+                album_popularity: 0.5,
+                artist_popularity: 0.7,
+                weekend: false,
+                night: false,
+            },
+            interaction: Interaction::NoActivity,
+        }
+    }
+
+    #[test]
+    fn ingest_then_round_selects() {
+        let mut shard = ShardState::new(0, ServerConfig::default());
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now());
+        shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now());
+        let out = shard.run_round();
+        assert!(!out.selected.is_empty());
+        assert!(out.bytes > 0);
+        let snap = shard.snapshot(0);
+        assert_eq!(snap.users, 2);
+        assert_eq!(snap.ingested, 2);
+        assert_eq!(snap.rounds, 1);
+        assert_eq!(snap.selection_latency.count(), out.selected.len() as u64);
+    }
+
+    #[test]
+    fn rounds_visit_users_in_id_order() {
+        let mut shard = ShardState::new(0, ServerConfig::default());
+        for uid in [5u64, 1, 3] {
+            shard.ingest(UserId::new(uid), item(uid, uid, 0.0), Instant::now());
+        }
+        let out = shard.run_round();
+        let users: Vec<u64> = out.selected.iter().map(|(u, _, _)| u.value()).collect();
+        let mut sorted = users.clone();
+        sorted.sort_unstable();
+        assert_eq!(users, sorted);
+    }
+
+    #[test]
+    fn worker_round_trip() {
+        let worker = ShardWorker::spawn(0, ServerConfig::default());
+        worker.queue.push(ShardMsg::Ingest {
+            user: UserId::new(1),
+            item: item(1, 1, 0.0),
+            received: Instant::now(),
+        });
+        let (tx, rx) = mpsc::channel();
+        worker.queue.push(ShardMsg::Tick { rounds: 1, reply: tx });
+        let (rounds, selected) = rx.recv().unwrap();
+        assert_eq!(rounds, 1);
+        assert!(selected > 0);
+        let (tx, rx) = mpsc::channel();
+        worker.queue.push(ShardMsg::Snapshot { reply: tx });
+        let snap = rx.recv().unwrap();
+        assert_eq!(snap.ingested, 1);
+        worker.join();
+    }
+}

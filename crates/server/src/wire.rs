@@ -1,0 +1,173 @@
+//! The wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is one frame: a 4-byte little-endian payload length
+//! followed by that many bytes of JSON. Framing keeps the stream
+//! self-synchronising without scanning for delimiters, and JSON keeps the
+//! protocol debuggable with a five-line client in any language.
+//!
+//! Request/response pairing is per message type: every request gets exactly
+//! one response **except** [`Request::Publish`], which is fire-and-forget so
+//! a load generator can pipeline publications without a round trip per
+//! item. Publish errors surface in the shard drop counters instead.
+
+use crate::metrics::MetricsSnapshot;
+use richnote_core::{ContentItem, UserId};
+use richnote_pubsub::Topic;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload; anything larger is a protocol error.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Client-to-server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Handshake; the server answers with its shard count.
+    Hello,
+    /// Registers `user` for `topic` in real-time mode. Acknowledged.
+    Subscribe {
+        /// Subscriber.
+        user: UserId,
+        /// Topic to follow.
+        topic: Topic,
+    },
+    /// Publishes `item` on `topic`. Fire-and-forget: no response.
+    Publish {
+        /// Topic published to.
+        topic: Topic,
+        /// Payload routed to every matching subscriber's shard.
+        item: ContentItem,
+    },
+    /// Advances every shard by `rounds` rounds of the selection loop.
+    Tick {
+        /// Rounds to run.
+        rounds: u32,
+    },
+    /// Requests a metrics snapshot across all shards.
+    Metrics,
+    /// Stops the daemon after draining shard queues.
+    Shutdown,
+}
+
+/// Server-to-client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake answer.
+    Hello {
+        /// Number of shard workers.
+        shards: usize,
+    },
+    /// Subscription acknowledged.
+    Subscribed,
+    /// Tick completed on every shard.
+    Ticked {
+        /// Total rounds completed per shard after this tick.
+        rounds: u64,
+        /// Notifications selected across all shards during this tick.
+        selected: u64,
+    },
+    /// Metrics snapshot.
+    Metrics(MetricsSnapshot),
+    /// Shutdown acknowledged; the connection closes after this frame.
+    ShuttingDown,
+    /// The request could not be served.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error; the message itself cannot fail to
+/// serialize.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    write_frame_unflushed(w, msg)?;
+    w.flush()
+}
+
+/// Writes one frame without flushing, so callers can pipeline many frames
+/// (the loadgen's publish path) and flush once.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_frame_unflushed<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let payload = serde_json::to_string(msg).map_err(io::Error::other)?;
+    let bytes = payload.as_bytes();
+    if bytes.len() as u64 > u64::from(MAX_FRAME_BYTES) {
+        return Err(io::Error::other("frame exceeds MAX_FRAME_BYTES"));
+    }
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns an error for truncated frames, oversized lengths, or payloads
+/// that are not valid JSON for `T`.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> io::Result<Option<T>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::other(format!("frame length {len} exceeds limit")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| io::Error::other(format!("frame is not UTF-8: {e}")))?;
+    let msg = serde_json::from_str(text)
+        .map_err(|e| io::Error::other(format!("bad frame payload: {e}")))?;
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let reqs = vec![
+            Request::Hello,
+            Request::Subscribe { user: UserId::new(7), topic: Topic::FriendFeed(UserId::new(7)) },
+            Request::Tick { rounds: 3 },
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for r in &reqs {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for want in &reqs {
+            let got: Request = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+        assert_eq!(read_frame::<_, Request>(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Hello).unwrap();
+        buf.pop();
+        let mut cursor = &buf[..];
+        assert!(read_frame::<_, Request>(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let buf = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
+        let mut cursor = &buf[..];
+        assert!(read_frame::<_, Request>(&mut cursor).is_err());
+    }
+}

@@ -62,7 +62,9 @@ fn parse() -> Result<Options, String> {
         };
         match arg.as_str() {
             "--policy" => opts.policy = take("--policy")?,
-            "--level" => opts.level = take("--level")?.parse().map_err(|e| format!("bad level: {e}"))?,
+            "--level" => {
+                opts.level = take("--level")?.parse().map_err(|e| format!("bad level: {e}"))?
+            }
             "--budget-mb" => {
                 opts.budget_mb =
                     take("--budget-mb")?.parse().map_err(|e| format!("bad budget: {e}"))?
@@ -82,12 +84,22 @@ fn parse() -> Result<Options, String> {
                     other => return Err(format!("unknown network {other}")),
                 };
             }
-            "--users" => opts.users = take("--users")?.parse().map_err(|e| format!("bad users: {e}"))?,
-            "--days" => opts.days = take("--days")?.parse().map_err(|e| format!("bad days: {e}"))?,
-            "--rate" => opts.rate = take("--rate")?.parse().map_err(|e| format!("bad rate: {e}"))?,
-            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--users" => {
+                opts.users = take("--users")?.parse().map_err(|e| format!("bad users: {e}"))?
+            }
+            "--days" => {
+                opts.days = take("--days")?.parse().map_err(|e| format!("bad days: {e}"))?
+            }
+            "--rate" => {
+                opts.rate = take("--rate")?.parse().map_err(|e| format!("bad rate: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = take("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?
+            }
             "--v" => opts.v = take("--v")?.parse().map_err(|e| format!("bad v: {e}"))?,
-            "--kappa" => opts.kappa = take("--kappa")?.parse().map_err(|e| format!("bad kappa: {e}"))?,
+            "--kappa" => {
+                opts.kappa = take("--kappa")?.parse().map_err(|e| format!("bad kappa: {e}"))?
+            }
             "--json" => opts.json = true,
             other => return Err(format!("unknown argument {other}")),
         }

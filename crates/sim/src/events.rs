@@ -29,10 +29,7 @@ impl<E: PartialEq> PartialOrd for Scheduled<E> {
 
 impl<E: PartialEq> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 

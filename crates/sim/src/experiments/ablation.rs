@@ -120,10 +120,8 @@ pub fn utility_function(
         // 40-second ceiling as the log curve) stands in.
         ("polynomial (Eq. 9, rising)", DurationUtility::paper_rising_polynomial()),
     ] {
-        let presentation = AudioPresentationSpec {
-            duration_utility: f,
-            ..AudioPresentationSpec::paper_default()
-        };
+        let presentation =
+            AudioPresentationSpec { duration_utility: f, ..AudioPresentationSpec::paper_default() };
         for &budget in budgets_mb {
             let cfg = SimulationConfig {
                 policy: PolicyKind::richnote_default(),
@@ -259,11 +257,8 @@ pub fn workload_model(seed: u64, budget_mb: u64, rounds: u64) -> AblationReport 
                 theta_bytes: paper::theta_bytes_per_round(budget_mb),
                 ..SimulationConfig::default()
             };
-            let sim = PopulationSim::new(
-                trace.clone(),
-                crate::simulator::constant_utility(0.5),
-                cfg,
-            );
+            let sim =
+                PopulationSim::new(trace.clone(), crate::simulator::constant_utility(0.5), cfg);
             let (agg, _) = sim.run(&users);
             points.push(AblationPoint {
                 variant: format!("{label} / {}", policy.name()),
@@ -295,10 +290,7 @@ mod tests {
         for &b in &[3u64, 20] {
             let stop = r.get("stop (paper)", b).unwrap().total_utility;
             let cont = r.get("continue", b).unwrap().total_utility;
-            assert!(
-                cont >= stop * 0.999,
-                "continue {cont} must not lose to stop {stop} at {b} MB"
-            );
+            assert!(cont >= stop * 0.999, "continue {cont} must not lose to stop {stop} at {b} MB");
         }
         assert_eq!(r.table().n_rows(), 4);
     }
@@ -307,20 +299,10 @@ mod tests {
     fn round_length_trades_delay_for_batching() {
         let env = env();
         let r = round_length(&env, 10, &base());
-        let quick = r
-            .points
-            .iter()
-            .find(|p| p.variant == "15 min")
-            .unwrap()
-            .metrics
-            .mean_delay_secs();
-        let slow = r
-            .points
-            .iter()
-            .find(|p| p.variant == "24 hours")
-            .unwrap()
-            .metrics
-            .mean_delay_secs();
+        let quick =
+            r.points.iter().find(|p| p.variant == "15 min").unwrap().metrics.mean_delay_secs();
+        let slow =
+            r.points.iter().find(|p| p.variant == "24 hours").unwrap().metrics.mean_delay_secs();
         assert!(quick < slow, "shorter rounds must deliver sooner: {quick} vs {slow}");
     }
 
@@ -361,7 +343,12 @@ mod tests {
         let r = utility_function(&env, &[10], &base());
         assert_eq!(r.points.len(), 2);
         for p in &r.points {
-            assert!(p.metrics.delivery_ratio() > 0.9, "{}: {}", p.variant, p.metrics.delivery_ratio());
+            assert!(
+                p.metrics.delivery_ratio() > 0.9,
+                "{}: {}",
+                p.variant,
+                p.metrics.delivery_ratio()
+            );
             assert!(p.metrics.total_utility > 0.0);
         }
     }

@@ -68,11 +68,7 @@ impl ClassifierReport {
         summary.push_row(vec!["auc (held-out)".into(), f3(self.auc), "-".into()]);
         summary.push_row(vec!["brier (held-out)".into(), f3(self.calibration.brier), "-".into()]);
         summary.push_row(vec!["ece (held-out)".into(), f3(self.calibration.ece), "-".into()]);
-        summary.push_row(vec![
-            "rows".into(),
-            format!("{}", self.n_rows),
-            "-".into(),
-        ]);
+        summary.push_row(vec!["rows".into(), format!("{}", self.n_rows), "-".into()]);
 
         let mut importance = Table::new(
             "Permutation feature importance (accuracy drop, held-out half)",
@@ -128,23 +124,13 @@ mod tests {
     fn classifier_lands_in_paper_band() {
         // The calibration target: precision and accuracy within ±0.08 of
         // the paper's numbers on a reasonably sized trace.
-        let cfg = TraceConfig {
-            n_users: 250,
-            days: 7,
-            ..TraceConfig::default()
-        };
+        let cfg = TraceConfig { n_users: 250, days: 7, ..TraceConfig::default() };
         let report = run(&cfg, 5);
         assert!(report.n_rows > 3_000, "rows {}", report.n_rows);
         let p = report.cv.pooled.precision;
         let a = report.cv.pooled.accuracy;
-        assert!(
-            (p - 0.700).abs() < 0.08,
-            "precision {p} not within band of 0.700"
-        );
-        assert!(
-            (a - 0.689).abs() < 0.08,
-            "accuracy {a} not within band of 0.689"
-        );
+        assert!((p - 0.700).abs() < 0.08, "precision {p} not within band of 0.700");
+        assert!((a - 0.689).abs() < 0.08, "accuracy {a} not within band of 0.689");
     }
 
     #[test]
@@ -169,9 +155,6 @@ mod tests {
         // the behaviour model prescribes.
         let names = ContentFeatures::feature_names();
         let top = names[report.importance.ranking()[0]];
-        assert!(
-            top == "social_tie" || top.contains("popularity"),
-            "top feature {top}"
-        );
+        assert!(top == "social_tie" || top.contains("popularity"), "top feature {top}");
     }
 }

@@ -47,11 +47,8 @@ impl Fig2aReport {
 /// Runs the Fig. 2(a) pruning.
 pub fn run_fig2a() -> Fig2aReport {
     let cells = survey_grid();
-    let cands: Vec<CandidatePresentation> = cells
-        .iter()
-        .enumerate()
-        .map(|(i, c)| c.to_candidate(i))
-        .collect();
+    let cands: Vec<CandidatePresentation> =
+        cells.iter().enumerate().map(|(i, c)| c.to_candidate(i)).collect();
     let useful = pareto_frontier(&cands).iter().map(|c| c.label_id).collect();
     Fig2aReport { cells, useful }
 }
@@ -114,11 +111,7 @@ pub fn run_fig2b(seed: u64, participants: usize) -> Fig2bReport {
     let grid: Vec<f64> = (1..=8).map(|i| i as f64 * 5.0).collect();
     let points = empirical_utility(&responses, &grid);
     let fits = FitComparison::fit(&points, 60.0).expect("survey fit succeeds");
-    Fig2bReport {
-        points,
-        fits,
-        paper_log: DurationUtility::paper_logarithmic(),
-    }
+    Fig2bReport { points, fits, paper_log: DurationUtility::paper_logarithmic() }
 }
 
 #[cfg(test)]

@@ -31,10 +31,8 @@ impl Fig5aReport {
         let mut header: Vec<String> = vec!["budget_mb".into()];
         header.extend(self.series.iter().cloned());
         let refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        let mut t = Table::new(
-            "Fig. 5(a): utility of RichNote vs fixed presentation levels",
-            &refs,
-        );
+        let mut t =
+            Table::new("Fig. 5(a): utility of RichNote vs fixed presentation levels", &refs);
         for (bi, &b) in self.budgets_mb.iter().enumerate() {
             let mut row = vec![format!("{b}")];
             for s in 0..self.series.len() {
@@ -76,11 +74,7 @@ pub fn run_fig5a(env: &ExperimentEnv, budgets_mb: &[u64], base: &SimulationConfi
             utility[si][bi] = agg.total_utility;
         }
     }
-    Fig5aReport {
-        budgets_mb: budgets_mb.to_vec(),
-        series,
-        utility,
-    }
+    Fig5aReport { budgets_mb: budgets_mb.to_vec(), series, utility }
 }
 
 /// Fig. 5(b)/(c): presentation-level mix per budget.
@@ -100,16 +94,7 @@ impl LevelMixReport {
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             format!("{}: presentation mix by budget (fractions of arrived items)", self.figure),
-            &[
-                "budget_mb",
-                "undelivered",
-                "metadata",
-                "5s",
-                "10s",
-                "20s",
-                "30s",
-                "40s",
-            ],
+            &["budget_mb", "undelivered", "metadata", "5s", "10s", "20s", "30s", "40s"],
         );
         for (bi, &b) in self.budgets_mb.iter().enumerate() {
             let m = &self.mix[bi];
@@ -148,11 +133,7 @@ pub fn run_level_mix(
         let (agg, _) = sim.run(&env.users);
         mix.push(agg.level_mix());
     }
-    LevelMixReport {
-        figure: figure.to_string(),
-        budgets_mb: budgets_mb.to_vec(),
-        mix,
-    }
+    LevelMixReport { figure: figure.to_string(), budgets_mb: budgets_mb.to_vec(), mix }
 }
 
 /// Fig. 5(d): per-user utility by user-volume category.
@@ -206,11 +187,8 @@ pub fn run_fig5d(env: &ExperimentEnv, budget_mb: u64, base: &SimulationConfig) -
     let mut categories = Vec::new();
     let mut lo = 0usize;
     for (i, bucket) in buckets.iter().enumerate() {
-        let label = if i < bounds.len() {
-            format!("{}-{}", lo, bounds[i] - 1)
-        } else {
-            format!("{lo}+")
-        };
+        let label =
+            if i < bounds.len() { format!("{}-{}", lo, bounds[i] - 1) } else { format!("{lo}+") };
         if i < bounds.len() {
             lo = bounds[i];
         }
@@ -299,10 +277,6 @@ mod tests {
             r.categories.iter().filter(|c| c.1 > 0).collect();
         assert!(nonempty.len() >= 2, "need at least two populated categories");
         // Mean utility grows with category volume.
-        assert!(
-            nonempty.last().unwrap().2 > nonempty.first().unwrap().2,
-            "{:?}",
-            r.categories
-        );
+        assert!(nonempty.last().unwrap().2 > nonempty.first().unwrap().2, "{:?}", r.categories);
     }
 }

@@ -56,9 +56,7 @@ impl LyapunovReport {
     /// Whether every V setting beats the UTIL baseline on utility — the
     /// paper's "uniformly better" claim.
     pub fn uniformly_better(&self) -> bool {
-        self.points
-            .iter()
-            .all(|p| p.metrics.total_utility >= self.util_baseline_utility)
+        self.points.iter().all(|p| p.metrics.total_utility >= self.util_baseline_utility)
     }
 }
 
@@ -90,11 +88,7 @@ pub fn run(
     let sim = PopulationSim::new(env.trace.clone(), env.utility(), util_cfg);
     let (util_agg, _) = sim.run(&env.users);
 
-    LyapunovReport {
-        budget_mb,
-        points,
-        util_baseline_utility: util_agg.total_utility,
-    }
+    LyapunovReport { budget_mb, points, util_baseline_utility: util_agg.total_utility }
 }
 
 #[cfg(test)]
@@ -111,7 +105,12 @@ mod tests {
         assert_eq!(report.table().n_rows(), 3);
         // Every setting keeps the queue drained at this budget.
         for p in &report.points {
-            assert!(p.metrics.delivery_ratio() > 0.9, "V={} ratio {}", p.v, p.metrics.delivery_ratio());
+            assert!(
+                p.metrics.delivery_ratio() > 0.9,
+                "V={} ratio {}",
+                p.v,
+                p.metrics.delivery_ratio()
+            );
         }
     }
 }

@@ -23,9 +23,9 @@ pub mod sweep;
 
 use crate::simulator::{forest_utility, UtilityFn};
 use richnote_core::ids::UserId;
+use richnote_forest::dataset::Dataset;
 use richnote_forest::forest::{RandomForest, RandomForestConfig};
 use richnote_trace::generator::{classifier_rows, Trace, TraceConfig, TraceGenerator};
-use richnote_forest::dataset::Dataset;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -65,12 +65,19 @@ impl EnvConfig {
     }
 
     /// A tiny scale for unit tests (same volume regime, fewer users/days).
+    ///
+    /// The per-user rate is set high enough that the 1–10 MB/week budgets
+    /// used by the experiment tests stay *binding* for the top users —
+    /// the paper's dominance results (RichNote over FIFO/UTIL) only hold
+    /// when the data budget actually constrains selection; with slack
+    /// budgets every policy delivers everything and fixed-level baselines
+    /// can tie or edge ahead on utility.
     pub fn test_small() -> Self {
         Self {
             seed: 42,
             n_users: 80,
             top_users: 30,
-            mean_notifications_per_user_day: 30.0,
+            mean_notifications_per_user_day: 60.0,
             days: 3,
         }
     }
@@ -122,12 +129,7 @@ impl ExperimentEnv {
         let trace = TraceGenerator::new(cfg.trace_config(cfg.seed)).generate();
         let users = trace.top_users(cfg.top_users);
 
-        Self {
-            trace: Arc::new(trace),
-            forest: Arc::new(forest),
-            users,
-            cfg,
-        }
+        Self { trace: Arc::new(trace), forest: Arc::new(forest), users, cfg }
     }
 
     /// The content-utility function backed by the trained forest.

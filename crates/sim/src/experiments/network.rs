@@ -79,11 +79,7 @@ pub fn availability_sweep(
             };
             let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
             let (agg, _) = sim.run(&env.users);
-            points.push(AvailabilityPoint {
-                policy: policy.name(),
-                availability: a,
-                metrics: agg,
-            });
+            points.push(AvailabilityPoint { policy: policy.name(), availability: a, metrics: agg });
         }
     }
     AvailabilityReport { budget_mb, points }
@@ -219,7 +215,11 @@ impl ModelValueReport {
 
 /// Compares constant, learned and oracle content utility under a tight
 /// budget where *selection* matters most.
-pub fn model_value(env: &ExperimentEnv, budget_mb: u64, base: &SimulationConfig) -> ModelValueReport {
+pub fn model_value(
+    env: &ExperimentEnv,
+    budget_mb: u64,
+    base: &SimulationConfig,
+) -> ModelValueReport {
     let models: Vec<(&str, UtilityFn)> = vec![
         ("constant", constant_utility(0.5)),
         ("forest", env.utility()),

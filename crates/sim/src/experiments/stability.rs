@@ -59,9 +59,7 @@ impl StabilityReport {
     /// Renders sampled backlog values plus the late-horizon growth slope.
     pub fn table(&self) -> Table {
         let rounds = self.series.first().map(|s| s.mean_backlog.len()).unwrap_or(0);
-        let samples: Vec<usize> = (0..5)
-            .map(|i| (rounds.saturating_sub(1)) * i / 4)
-            .collect();
+        let samples: Vec<usize> = (0..5).map(|i| (rounds.saturating_sub(1)) * i / 4).collect();
         let mut header: Vec<String> = vec!["policy".into()];
         header.extend(samples.iter().map(|r| format!("r{r}")));
         header.push("slope/round".into());

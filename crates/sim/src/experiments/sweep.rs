@@ -38,11 +38,7 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    fn metric_table(
-        &self,
-        title: &str,
-        value: impl Fn(&AggregateMetrics) -> String,
-    ) -> Table {
+    fn metric_table(&self, title: &str, value: impl Fn(&AggregateMetrics) -> String) -> Table {
         let mut header: Vec<String> = vec!["budget_mb".into()];
         header.extend(self.policies.iter().cloned());
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
@@ -64,9 +60,7 @@ impl SweepReport {
 
     /// Fig. 3(a): delivery ratio vs budget.
     pub fn fig3a(&self) -> Table {
-        self.metric_table("Fig. 3(a): delivery ratio vs weekly budget", |m| {
-            f3(m.delivery_ratio())
-        })
+        self.metric_table("Fig. 3(a): delivery ratio vs weekly budget", |m| f3(m.delivery_ratio()))
     }
 
     /// Fig. 3(b): total data delivered (MB) vs budget.
@@ -88,9 +82,7 @@ impl SweepReport {
 
     /// Fig. 4(a): total utility of delivered notifications vs budget.
     pub fn fig4a(&self) -> Table {
-        self.metric_table("Fig. 4(a): total utility vs weekly budget", |m| {
-            f1(m.total_utility)
-        })
+        self.metric_table("Fig. 4(a): total utility vs weekly budget", |m| f1(m.total_utility))
     }
 
     /// Fig. 4(b): utility among ground-truth-clicked items vs budget.
@@ -157,11 +149,7 @@ pub fn run(
             };
             let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
             let (agg, _) = sim.run(&env.users);
-            points.push(SweepPoint {
-                policy: policy.name(),
-                budget_mb: budget,
-                metrics: agg,
-            });
+            points.push(SweepPoint { policy: policy.name(), budget_mb: budget, metrics: agg });
         }
     }
     SweepReport {
@@ -193,10 +181,7 @@ mod tests {
 
     fn small_sweep() -> SweepReport {
         let env = ExperimentEnv::build(EnvConfig::test_small());
-        let base = SimulationConfig {
-            rounds: 72,
-            ..SimulationConfig::default()
-        };
+        let base = SimulationConfig { rounds: 72, ..SimulationConfig::default() };
         run(
             &env,
             &[

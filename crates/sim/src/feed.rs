@@ -31,7 +31,11 @@ impl FeedRouter {
         for u in 0..graph.n_users() {
             let user = UserId::new(u as u64);
             for followee in graph.followees(user) {
-                broker.subscribe_with_mode(user, Topic::FriendFeed(followee), DeliveryMode::Realtime);
+                broker.subscribe_with_mode(
+                    user,
+                    Topic::FriendFeed(followee),
+                    DeliveryMode::Realtime,
+                );
             }
             for &artist in graph.favorites(user) {
                 broker.subscribe_with_mode(
@@ -65,11 +69,7 @@ impl FeedRouter {
 
     /// Matching statistics: `(publications, matches, buffered)`.
     pub fn stats(&self) -> (u64, u64, usize) {
-        (
-            self.broker.published_count(),
-            self.broker.matched_count(),
-            self.broker.buffered_count(),
-        )
+        (self.broker.published_count(), self.broker.matched_count(), self.broker.buffered_count())
     }
 }
 
@@ -102,12 +102,8 @@ mod tests {
     fn album_releases_buffer_until_round_flush() {
         let trace = TraceGenerator::new(TraceConfig::small(6)).generate();
         let mut router = FeedRouter::from_graph(&trace.graph, 3_600.0);
-        let album_items: Vec<_> = trace
-            .items
-            .iter()
-            .filter(|i| i.kind == ContentKind::AlbumRelease)
-            .take(20)
-            .collect();
+        let album_items: Vec<_> =
+            trace.items.iter().filter(|i| i.kind == ContentKind::AlbumRelease).take(20).collect();
         assert!(!album_items.is_empty());
         for item in &album_items {
             let immediate = router.route(item);

@@ -233,19 +233,12 @@ mod tests {
         let sim = PopulationSim::new(
             trace.clone(),
             constant_utility(0.7),
-            SimulationConfig {
-                rounds: 48,
-                theta_bytes: 1_000_000,
-                ..SimulationConfig::default()
-            },
+            SimulationConfig { rounds: 48, theta_bytes: 1_000_000, ..SimulationConfig::default() },
         );
         let (agg, per_user) = sim.run(&users);
         assert_eq!(per_user.len(), 10);
         assert_eq!(agg.users, 10);
-        let arrived: usize = users
-            .iter()
-            .map(|&u| trace.items_for(u).count())
-            .sum();
+        let arrived: usize = users.iter().map(|&u| trace.items_for(u).count()).sum();
         assert_eq!(agg.arrived, arrived);
         assert!(agg.delivered > 0);
     }
@@ -296,10 +289,7 @@ mod tests {
             let sim = PopulationSim::new(
                 trace.clone(),
                 constant_utility(0.6),
-                SimulationConfig {
-                    rounds: 48,
-                    ..SimulationConfig::weekly(policy, budget_mb)
-                },
+                SimulationConfig { rounds: 48, ..SimulationConfig::weekly(policy, budget_mb) },
             );
             let (agg, _) = sim.run(&users);
             utilities.push(agg.total_utility);

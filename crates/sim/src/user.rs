@@ -13,12 +13,12 @@ use richnote_core::scheduler::{
     FifoScheduler, NotificationScheduler, QueuedNotification, RichNoteScheduler, RoundContext,
     UtilScheduler,
 };
+use richnote_core::utility::DurationUtility;
 use richnote_energy::battery::{energy_grant, BatteryTrace, BatteryTraceConfig};
 use richnote_energy::model::NetworkEnergyModel;
 use richnote_net::connectivity::{CellOnly, ConnectivitySchedule};
 use richnote_net::diurnal::DiurnalConfig;
 use richnote_net::markov::{MarkovConnectivity, NetworkState};
-use richnote_core::utility::DurationUtility;
 use std::collections::HashMap;
 
 /// Events of the per-user simulation.
@@ -80,10 +80,7 @@ pub fn simulate_user(
     };
 
     let battery = BatteryTrace::synthesize(
-        &BatteryTraceConfig {
-            phase_hours: (user.value() % 24) as f64,
-            ..cfg.battery
-        },
+        &BatteryTraceConfig { phase_hours: (user.value() % 24) as f64, ..cfg.battery },
         cfg.rounds,
     );
     let mut cell_only = CellOnly::sporadic(match cfg.network {
@@ -91,16 +88,12 @@ pub fn simulate_user(
         _ => 1.0,
     });
     let mut markov = MarkovConnectivity::paper_default(NetworkState::Cell);
-    let mut diurnal = DiurnalConfig {
-        phase_hours: (user.value() % 5) as f64 - 2.0,
-        ..DiurnalConfig::default()
-    }
-    .synthesize(&mut rng, cfg.rounds);
+    let mut diurnal =
+        DiurnalConfig { phase_hours: (user.value() % 5) as f64 - 2.0, ..DiurnalConfig::default() }
+            .synthesize(&mut rng, cfg.rounds);
 
-    let click_time: HashMap<ContentId, f64> = items
-        .iter()
-        .filter_map(|i| i.interaction.click_time().map(|t| (i.id, t)))
-        .collect();
+    let click_time: HashMap<ContentId, f64> =
+        items.iter().filter_map(|i| i.interaction.click_time().map(|t| (i.id, t))).collect();
 
     // Build the event timeline: arrivals interleaved with round ticks.
     let mut queue: EventQueue<UserEvent> = EventQueue::new();
@@ -235,11 +228,7 @@ mod tests {
     fn zero_budget_delivers_nothing() {
         let items: Vec<ContentItem> = (0..5).map(|i| item(i, 100.0, false)).collect();
         let refs: Vec<&ContentItem> = items.iter().collect();
-        let cfg = SimulationConfig {
-            theta_bytes: 0,
-            rounds: 24,
-            ..SimulationConfig::default()
-        };
+        let cfg = SimulationConfig { theta_bytes: 0, rounds: 24, ..SimulationConfig::default() };
         let uc = |_: &ContentItem| 0.8;
         let m = simulate_user(UserId::new(1), &refs, &uc, &cfg);
         assert_eq!(m.delivered, 0);

@@ -137,14 +137,14 @@ impl ActivityTraceGenerator {
         let mut next_id = 0u64;
 
         let emit = |items: &mut Vec<ContentItem>,
-                        next_id: &mut u64,
-                        recipient: UserId,
-                        sender: Option<UserId>,
-                        kind: ContentKind,
-                        track: &Track,
-                        at: f64,
-                        tie: SocialTie,
-                        rng: &mut SmallRng| {
+                    next_id: &mut u64,
+                    recipient: UserId,
+                    sender: Option<UserId>,
+                    kind: ContentKind,
+                    track: &Track,
+                    at: f64,
+                    tie: SocialTie,
+                    rng: &mut SmallRng| {
             let hour = (at / 3_600.0) % 24.0;
             let day = (at / 86_400.0) as u64;
             let features = ContentFeatures {
@@ -179,8 +179,7 @@ impl ActivityTraceGenerator {
                 .map(|v| UserId::new(v as u64))
                 .filter(|&v| v != listener && graph.follows(v, listener))
                 .collect();
-            let n_sessions =
-                poisson(&mut rng, cfg.sessions_per_user_day * cfg.days as f64);
+            let n_sessions = poisson(&mut rng, cfg.sessions_per_user_day * cfg.days as f64);
             for _ in 0..n_sessions {
                 // Diurnal rejection sampling of the session start.
                 let start = loop {
@@ -377,10 +376,7 @@ mod tests {
     fn all_three_kinds_are_generated() {
         let (trace, _) = generate();
         for kind in ContentKind::ALL {
-            assert!(
-                trace.items.iter().any(|i| i.kind == kind),
-                "missing kind {kind}"
-            );
+            assert!(trace.items.iter().any(|i| i.kind == kind), "missing kind {kind}");
         }
     }
 
@@ -388,11 +384,8 @@ mod tests {
     fn ground_truth_interactions_are_attached() {
         let (trace, _) = generate();
         let clicked = trace.items.iter().filter(|i| i.interaction.is_click()).count();
-        let hovered = trace
-            .items
-            .iter()
-            .filter(|i| matches!(i.interaction, Interaction::Hovered))
-            .count();
+        let hovered =
+            trace.items.iter().filter(|i| matches!(i.interaction, Interaction::Hovered)).count();
         assert!(clicked > 0 && hovered > 0);
     }
 

@@ -80,10 +80,9 @@ impl BehaviorModel {
     }
 
     fn logit(&self, features: &ContentFeatures) -> f64 {
-        let pop = (features.track_popularity
-            + features.album_popularity
-            + features.artist_popularity)
-            / 300.0;
+        let pop =
+            (features.track_popularity + features.album_popularity + features.artist_popularity)
+                / 300.0;
         self.cfg.bias
             + self.cfg.w_tie * features.tie.strength()
             + self.cfg.w_popularity * pop
@@ -205,9 +204,7 @@ mod tests {
         let p = m.click_probability(&f);
         let mut rng = SmallRng::seed_from_u64(2);
         let n = 20_000;
-        let clicks = (0..n)
-            .filter(|_| m.sample_interaction(&f, 0.0, &mut rng).is_click())
-            .count();
+        let clicks = (0..n).filter(|_| m.sample_interaction(&f, 0.0, &mut rng).is_click()).count();
         let rate = clicks as f64 / n as f64;
         assert!((rate - p).abs() < 0.02, "rate {rate} vs p {p}");
     }
@@ -219,9 +216,8 @@ mod tests {
         let p = noisy.click_probability(&f);
         let mut rng = SmallRng::seed_from_u64(3);
         let n = 20_000;
-        let clicks = (0..n)
-            .filter(|_| noisy.sample_interaction(&f, 0.0, &mut rng).is_click())
-            .count();
+        let clicks =
+            (0..n).filter(|_| noisy.sample_interaction(&f, 0.0, &mut rng).is_click()).count();
         let rate = clicks as f64 / n as f64;
         // With a low base probability, symmetric logit noise inflates the
         // click rate (sigmoid is convex below 0.5) — the rate must differ

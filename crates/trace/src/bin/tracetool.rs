@@ -27,26 +27,25 @@ struct Options {
 fn parse() -> Result<Options, String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().ok_or_else(usage)?;
-    let mut opts = Options {
-        command,
-        file: None,
-        out: None,
-        seed: 2015,
-        users: 200,
-        days: 7,
-        rate: 40.0,
-    };
+    let mut opts =
+        Options { command, file: None, out: None, seed: 2015, users: 200, days: 7, rate: 40.0 };
     while let Some(arg) = args.next() {
         let mut take = |name: &str| -> Result<String, String> {
             args.next().ok_or(format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--seed" => opts.seed = take("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--seed" => {
+                opts.seed = take("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?
+            }
             "--users" => {
                 opts.users = take("--users")?.parse().map_err(|e| format!("bad users: {e}"))?
             }
-            "--days" => opts.days = take("--days")?.parse().map_err(|e| format!("bad days: {e}"))?,
-            "--rate" => opts.rate = take("--rate")?.parse().map_err(|e| format!("bad rate: {e}"))?,
+            "--days" => {
+                opts.days = take("--days")?.parse().map_err(|e| format!("bad days: {e}"))?
+            }
+            "--rate" => {
+                opts.rate = take("--rate")?.parse().map_err(|e| format!("bad rate: {e}"))?
+            }
             "--out" => opts.out = Some(take("--out")?),
             other if !other.starts_with("--") && opts.file.is_none() => {
                 opts.file = Some(other.to_string())
@@ -103,13 +102,12 @@ fn stats(opts: &Options) -> Result<(), String> {
                 header.items,
                 header.horizon_secs / 86_400.0
             );
-            let clicked = items
-                .iter()
-                .filter(|i| i.interaction.is_click())
-                .count();
+            let clicked = items.iter().filter(|i| i.interaction.is_click()).count();
             let active = items
                 .iter()
-                .filter(|i| !matches!(i.interaction, richnote_core::content::Interaction::NoActivity))
+                .filter(|i| {
+                    !matches!(i.interaction, richnote_core::content::Interaction::NoActivity)
+                })
                 .count();
             println!(
                 "mouse activity: {:.2}, click rate among active: {:.2}",

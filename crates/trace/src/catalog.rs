@@ -207,10 +207,7 @@ mod tests {
         let cfg = CatalogConfig::default();
         assert_eq!(c.artists().len(), cfg.n_artists);
         assert_eq!(c.albums().len(), cfg.n_artists * cfg.albums_per_artist);
-        assert_eq!(
-            c.tracks().len(),
-            cfg.n_artists * cfg.albums_per_artist * cfg.tracks_per_album
-        );
+        assert_eq!(c.tracks().len(), cfg.n_artists * cfg.albums_per_artist * cfg.tracks_per_album);
     }
 
     #[test]

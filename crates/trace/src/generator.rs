@@ -338,8 +338,8 @@ mod tests {
 
     #[test]
     fn volume_is_heavy_tailed() {
-        let t = TraceGenerator::new(TraceConfig { n_users: 300, ..TraceConfig::default() })
-            .generate();
+        let t =
+            TraceGenerator::new(TraceConfig { n_users: 300, ..TraceConfig::default() }).generate();
         let by_volume = t.users_by_volume();
         let top = by_volume[0].1 as f64;
         let median = by_volume[by_volume.len() / 2].1 as f64;
@@ -358,8 +358,8 @@ mod tests {
 
     #[test]
     fn kinds_follow_mix() {
-        let t = TraceGenerator::new(TraceConfig { n_users: 400, ..TraceConfig::default() })
-            .generate();
+        let t =
+            TraceGenerator::new(TraceConfig { n_users: 400, ..TraceConfig::default() }).generate();
         let n = t.items.len() as f64;
         let feed = t.items.iter().filter(|i| i.kind == ContentKind::FriendFeed).count() as f64;
         assert!((feed / n - 0.70).abs() < 0.05, "friend-feed share {}", feed / n);
@@ -381,8 +381,8 @@ mod tests {
 
     #[test]
     fn click_rate_is_moderate() {
-        let t = TraceGenerator::new(TraceConfig { n_users: 400, ..TraceConfig::default() })
-            .generate();
+        let t =
+            TraceGenerator::new(TraceConfig { n_users: 400, ..TraceConfig::default() }).generate();
         let rate = t.click_rate();
         // Neither degenerate: clicks should be a substantial minority.
         assert!((0.15..0.75).contains(&rate), "click rate {rate}");
@@ -393,11 +393,8 @@ mod tests {
         let t = trace();
         let (rows, labels) = classifier_rows(&t.items);
         assert_eq!(rows.len(), labels.len());
-        let active = t
-            .items
-            .iter()
-            .filter(|i| !matches!(i.interaction, Interaction::NoActivity))
-            .count();
+        let active =
+            t.items.iter().filter(|i| !matches!(i.interaction, Interaction::NoActivity)).count();
         assert_eq!(rows.len(), active);
         assert!(rows.len() < t.items.len(), "some items must be silent");
     }

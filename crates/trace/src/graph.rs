@@ -182,10 +182,7 @@ mod tests {
     fn every_late_user_follows_someone() {
         let g = graph();
         for u in 1..g.n_users() {
-            assert!(
-                g.followees(UserId::new(u as u64)).count() > 0,
-                "user {u} follows no one"
-            );
+            assert!(g.followees(UserId::new(u as u64)).count() > 0, "user {u} follows no one");
         }
     }
 

@@ -114,11 +114,10 @@ pub fn write_items<W: Write>(
 /// an item-count mismatch.
 pub fn read_items<R: BufRead>(r: R) -> Result<(TraceHeader, Vec<ContentItem>), TraceIoError> {
     let mut lines = r.lines();
-    let header_line = lines
-        .next()
-        .ok_or_else(|| TraceIoError::BadHeader("empty stream".to_string()))??;
-    let header: TraceHeader = serde_json::from_str(&header_line)
-        .map_err(|e| TraceIoError::BadHeader(e.to_string()))?;
+    let header_line =
+        lines.next().ok_or_else(|| TraceIoError::BadHeader("empty stream".to_string()))??;
+    let header: TraceHeader =
+        serde_json::from_str(&header_line).map_err(|e| TraceIoError::BadHeader(e.to_string()))?;
     if header.format != "richnote-trace" {
         return Err(TraceIoError::BadHeader(format!("unknown format {:?}", header.format)));
     }

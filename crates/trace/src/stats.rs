@@ -142,11 +142,8 @@ mod tests {
     use crate::generator::{TraceConfig, TraceGenerator};
 
     fn stats() -> TraceStats {
-        let trace = TraceGenerator::new(TraceConfig {
-            n_users: 200,
-            ..TraceConfig::default()
-        })
-        .generate();
+        let trace =
+            TraceGenerator::new(TraceConfig { n_users: 200, ..TraceConfig::default() }).generate();
         TraceStats::compute(&trace)
     }
 

@@ -72,10 +72,7 @@ fn main() {
 
     println!("\none round under a 1.2 MB budget:");
     for d in &delivered {
-        println!(
-            "  {} -> level {} ({} bytes, U = {:.3})",
-            d.content, d.level, d.size, d.utility
-        );
+        println!("  {} -> level {} ({} bytes, U = {:.3})", d.content, d.level, d.size, d.utility);
     }
     let total: u64 = delivered.iter().map(|d| d.size).sum();
     println!(

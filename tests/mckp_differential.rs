@@ -1,0 +1,85 @@
+//! Differential property test between the two greedy MCKP solvers.
+//!
+//! `mckp::select_greedy_with` (single data constraint, the production path
+//! after the Lyapunov relaxation moves energy into the objective) and
+//! `mckp2::select_greedy2` (hard two-constraint formulation of Eq. 2) must
+//! coincide when the energy budget is slack: with `E → ∞` the composite
+//! gradient `ΔU / (Δs/B + Δρ/E)` degenerates to `B·ΔU/Δs`, a positive
+//! rescaling of the single-constraint gradient, and both solvers break
+//! gradient ties on item index — so the *selections themselves* must
+//! match, not just the objective values.
+
+use proptest::prelude::*;
+use richnote::core::mckp::{select_greedy_with, GreedyOptions, MckpItem};
+use richnote::core::mckp2::{select_greedy2, EnergyProfile};
+
+/// Strategy: a small MCKP item with strictly increasing sizes and
+/// monotone utilities.
+fn mckp_item(id: usize) -> impl Strategy<Value = MckpItem> {
+    (1usize..=4, 1u64..25, 0.01f64..1.0).prop_map(move |(levels, step, base)| {
+        let mut size = 0u64;
+        let mut util = 0.0f64;
+        let pairs: Vec<(u64, f64)> = (0..levels)
+            .map(|l| {
+                size += step + l as u64;
+                util += base / (l + 1) as f64;
+                (size, util)
+            })
+            .collect();
+        MckpItem::new(id, pairs)
+    })
+}
+
+fn mckp_items() -> impl Strategy<Value = Vec<MckpItem>> {
+    prop::collection::vec(0usize..1, 1..8).prop_flat_map(|slots| {
+        slots.into_iter().enumerate().map(|(i, _)| mckp_item(i)).collect::<Vec<_>>()
+    })
+}
+
+/// A linear energy profile aligned with an item's levels.
+fn energy_profile(item: &MckpItem, joules_per_byte: f64) -> EnergyProfile {
+    EnergyProfile::new(item.levels().iter().map(|&(s, _)| s as f64 * joules_per_byte).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn two_constraint_greedy_degenerates_to_single_constraint(
+        items in mckp_items(),
+        budget in 0u64..250,
+    ) {
+        // Slack energy: orders of magnitude above what any selection can
+        // possibly spend, so only the data budget can bind.
+        let energy: Vec<EnergyProfile> =
+            items.iter().map(|it| energy_profile(it, 1e-3)).collect();
+        let one = select_greedy_with(
+            &items,
+            budget,
+            GreedyOptions { stop_at_first_overflow: false, ..Default::default() },
+        );
+        let two = select_greedy2(&items, &energy, budget, 1e12);
+
+        prop_assert_eq!(&two.levels, &one.levels);
+        prop_assert_eq!(two.total_size, one.total_size);
+        prop_assert!((two.total_utility - one.total_utility).abs() <= 1e-9);
+        prop_assert!(two.total_size <= budget);
+    }
+
+    #[test]
+    fn tight_energy_budget_only_shrinks_the_selection(
+        items in mckp_items(),
+        budget in 0u64..250,
+        energy_budget in 0.0f64..0.5,
+    ) {
+        let energy: Vec<EnergyProfile> =
+            items.iter().map(|it| energy_profile(it, 1e-2)).collect();
+        let slack = select_greedy2(&items, &energy, budget, 1e12);
+        let tight = select_greedy2(&items, &energy, budget, energy_budget);
+
+        // The hard energy constraint can only remove value, never add it.
+        prop_assert!(tight.total_utility <= slack.total_utility + 1e-9);
+        prop_assert!(tight.total_energy <= energy_budget + 1e-9);
+        prop_assert!(tight.total_size <= budget);
+    }
+}

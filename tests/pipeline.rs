@@ -5,9 +5,7 @@ use richnote::forest::cv::cross_validate;
 use richnote::forest::dataset::Dataset;
 use richnote::forest::forest::{RandomForest, RandomForestConfig};
 use richnote::sim::experiments::{EnvConfig, ExperimentEnv};
-use richnote::sim::simulator::{
-    forest_utility, PolicyKind, PopulationSim, SimulationConfig,
-};
+use richnote::sim::simulator::{forest_utility, PolicyKind, PopulationSim, SimulationConfig};
 use richnote::trace::generator::{classifier_rows, TraceConfig, TraceGenerator};
 use std::sync::Arc;
 
@@ -144,10 +142,7 @@ fn delivered_bytes_never_exceed_budget() {
             let sim = PopulationSim::new(
                 env.trace.clone(),
                 env.utility(),
-                SimulationConfig {
-                    rounds,
-                    ..SimulationConfig::weekly(policy, budget_mb)
-                },
+                SimulationConfig { rounds, ..SimulationConfig::weekly(policy, budget_mb) },
             );
             let (_, per_user) = sim.run(&env.users);
             let theta = richnote::core::paper::theta_bytes_per_round(budget_mb);
@@ -188,7 +183,11 @@ fn oracle_utility_concentrates_deliveries_on_clicked_items() {
     // is 100%; the learned model must sit strictly between that ceiling and
     // random selection.
     let share = |m: &richnote::sim::metrics::AggregateMetrics| {
-        if m.total_utility == 0.0 { 0.0 } else { m.clicked_utility / m.total_utility }
+        if m.total_utility == 0.0 {
+            0.0
+        } else {
+            m.clicked_utility / m.total_utility
+        }
     };
     assert!((share(&oracle) - 1.0).abs() < 1e-9, "oracle share {}", share(&oracle));
     assert!(

@@ -6,7 +6,9 @@
 use proptest::prelude::*;
 use richnote::core::ids::ContentId;
 use richnote::core::lyapunov::{LyapunovConfig, LyapunovState};
-use richnote::core::mckp::{select_exact, select_fractional, select_greedy_with, GreedyOptions, MckpItem};
+use richnote::core::mckp::{
+    select_exact, select_fractional, select_greedy_with, GreedyOptions, MckpItem,
+};
 use richnote::core::mckp2::{select_greedy2, EnergyProfile};
 use richnote::core::presentation::{pareto_frontier, CandidatePresentation, PresentationLadder};
 use richnote::core::transport::DeliveryQueue;
@@ -32,11 +34,7 @@ fn mckp_item(id: usize) -> impl Strategy<Value = MckpItem> {
 
 fn mckp_items() -> impl Strategy<Value = Vec<MckpItem>> {
     prop::collection::vec(0usize..1, 1..6).prop_flat_map(|slots| {
-        slots
-            .into_iter()
-            .enumerate()
-            .map(|(i, _)| mckp_item(i))
-            .collect::<Vec<_>>()
+        slots.into_iter().enumerate().map(|(i, _)| mckp_item(i)).collect::<Vec<_>>()
     })
 }
 

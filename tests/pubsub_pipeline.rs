@@ -70,10 +70,8 @@ fn round_mode_artist_pages_batch_into_the_next_flush() {
     let mut router = FeedRouter::from_graph(&trace.graph, 3_600.0);
 
     let mut published = 0usize;
-    for item in trace
-        .items
-        .iter()
-        .filter(|i| i.kind == ContentKind::AlbumRelease && i.arrival < 3_600.0)
+    for item in
+        trace.items.iter().filter(|i| i.kind == ContentKind::AlbumRelease && i.arrival < 3_600.0)
     {
         assert!(router.route(item).is_empty(), "album releases buffer");
         published += 1;

@@ -57,11 +57,7 @@ fn full_stack_scenario_preserves_the_headline_claims() {
 
     // Headline claims survive the realistic stack:
     // 1. near-complete delivery despite overnight gaps;
-    assert!(
-        richnote.delivery_ratio() > 0.9,
-        "RichNote delivery {}",
-        richnote.delivery_ratio()
-    );
+    assert!(richnote.delivery_ratio() > 0.9, "RichNote delivery {}", richnote.delivery_ratio());
     // 2. more utility than the fixed-level baseline;
     assert!(
         richnote.total_utility > util.total_utility,
@@ -77,12 +73,7 @@ fn full_stack_scenario_preserves_the_headline_claims() {
         util.mean_delay_secs()
     );
     // 4. higher recall.
-    assert!(
-        richnote.recall() > util.recall(),
-        "recall {} vs {}",
-        richnote.recall(),
-        util.recall()
-    );
+    assert!(richnote.recall() > util.recall(), "recall {} vs {}", richnote.recall(), util.recall());
 }
 
 #[test]
@@ -102,11 +93,8 @@ fn personalization_changes_outcomes_only_in_aggregate_utility_scale() {
             taste_spread: spread,
             ..SimulationConfig::weekly(PolicyKind::richnote_default(), 20)
         };
-        let sim = PopulationSim::new(
-            trace.clone(),
-            richnote::sim::simulator::constant_utility(0.6),
-            cfg,
-        );
+        let sim =
+            PopulationSim::new(trace.clone(), richnote::sim::simulator::constant_utility(0.6), cfg);
         sim.run(&users).0
     };
     let uniform = run(0.0);

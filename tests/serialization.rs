@@ -39,7 +39,11 @@ fn trace_round_trips() {
     // After one (possibly ULP-lossy) parse, further cycles are a fixpoint.
     let json2 = serde_json::to_string(&back).unwrap();
     let back2: richnote::trace::generator::Trace = serde_json::from_str(&json2).unwrap();
-    assert_eq!(json2, serde_json::to_string(&back2).unwrap(), "parse/serialize must reach a fixpoint");
+    assert_eq!(
+        json2,
+        serde_json::to_string(&back2).unwrap(),
+        "parse/serialize must reach a fixpoint"
+    );
 
     assert_eq!(back.items.len(), trace.items.len());
     assert_eq!(back.graph, trace.graph);
@@ -79,8 +83,7 @@ fn metrics_round_trip() {
     m.level_histogram[2] = 3;
     let agg = AggregateMetrics::from_users(&[m.clone()]);
 
-    let back_user: UserMetrics =
-        serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+    let back_user: UserMetrics = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
     assert_eq!(back_user, m);
     let back_agg: AggregateMetrics =
         serde_json::from_str(&serde_json::to_string(&agg).unwrap()).unwrap();
