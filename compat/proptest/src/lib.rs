@@ -279,7 +279,7 @@ pub mod prop {
             VecStrategy { elem, size: size.into() }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         pub struct VecStrategy<S> {
             elem: S,
             size: SizeRange,

@@ -5,21 +5,28 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S]
 //!         [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS]
-//!         [--repeat K] [--shutdown]
+//!         [--repeat K] [--faults drop=P,seed=S] [--drain] [--shutdown]
 //! ```
 //!
 //! The trace's friend-feed structure is flattened to one feed per user:
 //! every user subscribes to their own feed and each item is published to
 //! its recipient's feed, so broker matching is exercised on every
 //! publication without needing the social graph on the client.
+//!
+//! With `--faults drop=P`, each publisher connection is torn down with
+//! probability `P` before every publish (deterministic per `seed`),
+//! exercising the client's reconnect-and-republish path. The run still
+//! asserts the zero-acked-loss invariant: once every connection has
+//! synced, `ingested + dropped-by-backpressure + dropped-on-drain` must
+//! equal the number of publications offered, and the process exits
+//! nonzero otherwise.
 
 use richnote_core::UserId;
 use richnote_pubsub::Topic;
-use richnote_server::Client;
+use richnote_server::{Client, FaultRng, ServerError, ServerResult};
 use richnote_trace::{TraceConfig, TraceGenerator};
-use std::io;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,6 +42,10 @@ struct Args {
     /// Publish the trace this many times (scales offered load without
     /// scaling trace generation time).
     repeat: usize,
+    /// Per-publish probability of injecting a connection reset.
+    fault_drop: f64,
+    fault_seed: u64,
+    drain: bool,
     shutdown: bool,
 }
 
@@ -49,6 +60,9 @@ impl Default for Args {
             rate: 0.0,
             tick_ms: 50,
             repeat: 1,
+            fault_drop: 0.0,
+            fault_seed: 1,
+            drain: false,
             shutdown: false,
         }
     }
@@ -57,7 +71,8 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S] \
-         [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS] [--repeat K] [--shutdown]"
+         [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS] [--repeat K] \
+         [--faults drop=P,seed=S] [--drain] [--shutdown]"
     );
     std::process::exit(2)
 }
@@ -67,6 +82,31 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
         eprintln!("bad value {s:?} for {flag}");
         usage()
     })
+}
+
+/// Parses the client-side fault spec: `drop=P[,seed=S]`.
+fn parse_faults(spec: &str, a: &mut Args) {
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, val) = match part.split_once('=') {
+            Some(kv) => kv,
+            None => {
+                eprintln!("bad --faults entry {part:?} (expected key=value)");
+                usage()
+            }
+        };
+        match key {
+            "drop" => a.fault_drop = parse(val, "--faults drop"),
+            "seed" => a.fault_seed = parse(val, "--faults seed"),
+            other => {
+                eprintln!("unknown --faults key {other:?} (expected drop, seed)");
+                usage()
+            }
+        }
+    }
+    if !(0.0..=1.0).contains(&a.fault_drop) {
+        eprintln!("--faults drop must be a probability in [0, 1]");
+        usage()
+    }
 }
 
 fn parse_args() -> Args {
@@ -88,6 +128,11 @@ fn parse_args() -> Args {
             "--rate" => a.rate = parse(&value("--rate"), "--rate"),
             "--tick-ms" => a.tick_ms = parse(&value("--tick-ms"), "--tick-ms"),
             "--repeat" => a.repeat = parse(&value("--repeat"), "--repeat"),
+            "--faults" => {
+                let spec = value("--faults");
+                parse_faults(&spec, &mut a);
+            }
+            "--drain" => a.drain = true,
             "--shutdown" => a.shutdown = true,
             "--help" | "-h" => usage(),
             other => {
@@ -113,9 +158,9 @@ fn fmt_us(us: u64) -> String {
     }
 }
 
-fn run(a: &Args) -> io::Result<()> {
+fn run(a: &Args) -> ServerResult<()> {
     let mut control = Client::connect(&a.addr)?;
-    let shards = control.hello()?;
+    let shards = control.shards();
 
     let mut cfg =
         TraceConfig { seed: a.seed, n_users: a.users, days: a.days, ..TraceConfig::default() };
@@ -131,6 +176,12 @@ fn run(a: &Args) -> io::Result<()> {
         a.repeat,
         trace.items.len()
     );
+    if a.fault_drop > 0.0 {
+        eprintln!(
+            "loadgen: injecting connection drops at p={} (seed {})",
+            a.fault_drop, a.fault_seed
+        );
+    }
 
     // Subscriptions are acknowledged, so the publish phase cannot race
     // ahead of registration.
@@ -146,7 +197,7 @@ fn run(a: &Args) -> io::Result<()> {
         let publishing = Arc::clone(&publishing);
         let addr = a.addr.clone();
         let tick_ms = a.tick_ms;
-        std::thread::spawn(move || -> io::Result<()> {
+        std::thread::spawn(move || -> ServerResult<()> {
             let mut c = Client::connect(&addr)?;
             while publishing.load(Ordering::Relaxed) {
                 c.tick(1)?;
@@ -157,22 +208,36 @@ fn run(a: &Args) -> io::Result<()> {
     };
 
     // Publish phase: the trace is striped across connections, each paced
-    // to its share of the target rate.
+    // to its share of the target rate. Totals for the retry machinery are
+    // aggregated across publishers for the final report.
+    let retries = AtomicU64::new(0);
+    let reconnects = AtomicU64::new(0);
+    let injected = AtomicU64::new(0);
     let started = Instant::now();
     let per_conn_rate = a.rate / a.connections as f64;
-    std::thread::scope(|scope| -> io::Result<()> {
+    std::thread::scope(|scope| -> ServerResult<()> {
         let mut handles = Vec::new();
         for conn in 0..a.connections {
             let items = &trace.items;
             let addr = &a.addr;
             let repeat = a.repeat;
             let connections = a.connections;
-            handles.push(scope.spawn(move || -> io::Result<usize> {
+            let fault_drop = a.fault_drop;
+            let retries = &retries;
+            let reconnects = &reconnects;
+            let injected = &injected;
+            let mut chaos =
+                FaultRng::new(a.fault_seed ^ (conn as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+            handles.push(scope.spawn(move || -> ServerResult<usize> {
                 let mut c = Client::connect(addr)?;
                 let t0 = Instant::now();
                 let mut sent = 0usize;
                 for rep in 0..repeat {
                     for item in items.iter().skip(conn).step_by(connections) {
+                        if fault_drop > 0.0 && chaos.next_f64() < fault_drop {
+                            c.inject_connection_reset();
+                            injected.fetch_add(1, Ordering::Relaxed);
+                        }
                         let mut item = item.clone();
                         // Distinct ids per repeat keep latency tracking 1:1.
                         item.id =
@@ -183,20 +248,19 @@ fn run(a: &Args) -> io::Result<()> {
                             let due = t0 + Duration::from_secs_f64(sent as f64 / per_conn_rate);
                             let now = Instant::now();
                             if due > now {
-                                c.flush()?;
+                                c.sync()?;
                                 std::thread::sleep(due - now);
                             }
-                        } else if sent % 256 == 0 {
-                            c.flush()?;
                         }
                     }
                 }
-                c.flush()?;
-                // Barrier: requests are acked in order on a connection, so
-                // once this returns every publish above has been routed to
-                // its shard queue — without it the drain loop below races
-                // frames still sitting in socket buffers.
-                c.hello()?;
+                // Durability barrier: once sync returns, every publish
+                // above is covered by a cumulative ack — without it the
+                // drain loop below races frames still sitting in socket
+                // buffers (or in the client's pending window).
+                c.sync()?;
+                retries.fetch_add(c.retries(), Ordering::Relaxed);
+                reconnects.fetch_add(c.reconnects(), Ordering::Relaxed);
                 Ok(sent)
             }));
         }
@@ -233,13 +297,23 @@ fn run(a: &Args) -> io::Result<()> {
         total_pubs as f64 / publish_secs
     );
     println!(
-        "ingested {} ({} dropped by backpressure), selected {} over {} rounds, backlog {}",
+        "ingested {} ({} dropped by backpressure, {} dropped on drain), \
+         selected {} over {} rounds, backlog {}",
         snap.ingested(),
         snap.dropped(),
+        snap.dropped_on_drain,
         snap.selected(),
         rounds,
         snap.backlog()
     );
+    if a.fault_drop > 0.0 || retries.load(Ordering::Relaxed) > 0 {
+        println!(
+            "faults: {} connection resets injected, {} retries, {} reconnects",
+            injected.load(Ordering::Relaxed),
+            retries.load(Ordering::Relaxed),
+            reconnects.load(Ordering::Relaxed)
+        );
+    }
     println!(
         "ingest-to-selection latency: p50 {} p95 {} p99 {} mean {} max {} ({} samples)",
         fmt_us(lat.quantile_us(0.50)),
@@ -262,7 +336,34 @@ fn run(a: &Args) -> io::Result<()> {
         );
     }
 
-    if a.shutdown {
+    // Zero-acked-loss invariant: every publication was acked (sync above
+    // succeeded on every connection), so each must be accounted for as
+    // ingested, dropped by backpressure, or refused during a drain.
+    let accounted =
+        snap.ingested() + snap.dropped() + snap.dropped_on_drain + snap.backlog() as u64;
+    if accounted != total_pubs as u64 {
+        return Err(ServerError::Frame(format!(
+            "acked-publication loss: {total_pubs} acked but only {accounted} accounted for \
+             (ingested {} + dropped {} + dropped-on-drain {} + backlog {})",
+            snap.ingested(),
+            snap.dropped(),
+            snap.dropped_on_drain,
+            snap.backlog()
+        )));
+    }
+    println!("acked-publication accounting: {accounted}/{total_pubs} — zero loss");
+
+    if a.drain {
+        let t0 = Instant::now();
+        let (rounds, users, checkpointed) = control.drain()?;
+        println!(
+            "drained in {:.1}ms: {} rounds, {} users, checkpointed: {}",
+            t0.elapsed().as_secs_f64() * 1e3,
+            rounds,
+            users,
+            checkpointed
+        );
+    } else if a.shutdown {
         control.shutdown()?;
     }
     Ok(())

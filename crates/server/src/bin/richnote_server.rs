@@ -3,21 +3,32 @@
 //! ```text
 //! richnote-server [--addr HOST:PORT] [--shards N] [--queue-capacity N]
 //!                 [--round-secs S] [--data-grant BYTES]
+//!                 [--checkpoint-dir DIR] [--checkpoint-every ROUNDS]
+//!                 [--faults SPEC]
 //! ```
+//!
+//! With `--checkpoint-dir`, the daemon restores the newest checkpoint on
+//! startup (if one exists) and checkpoints on every `Drain`; add
+//! `--checkpoint-every N` for periodic checkpoints at tick boundaries.
+//! `--faults` takes the spec grammar of
+//! [`richnote_server::FaultPlan::parse`], e.g.
+//! `reset=0.02,short-read=7,panic=1@3,ckfail=2,seed=9` (testing only).
 
-use richnote_server::{Server, ServerConfig};
+use richnote_server::{FaultPlan, Server, ServerConfig, ServerConfigBuilder};
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: richnote-server [--addr HOST:PORT] [--shards N] \
-         [--queue-capacity N] [--round-secs S] [--data-grant BYTES]"
+         [--queue-capacity N] [--round-secs S] [--data-grant BYTES] \
+         [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] [--faults SPEC]"
     );
     std::process::exit(2)
 }
 
-fn parse_args() -> ServerConfig {
-    let mut cfg = ServerConfig { addr: "127.0.0.1:7464".to_string(), ..ServerConfig::default() };
+fn parse_args() -> ServerConfigBuilder {
+    let mut builder = ServerConfig::builder().addr("127.0.0.1:7464");
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -26,22 +37,35 @@ fn parse_args() -> ServerConfig {
                 usage()
             })
         };
-        match flag.as_str() {
-            "--addr" => cfg.addr = value("--addr"),
-            "--shards" => cfg.shards = parse(&value("--shards"), "--shards"),
+        builder = match flag.as_str() {
+            "--addr" => builder.addr(value("--addr")),
+            "--shards" => builder.shards(parse(&value("--shards"), "--shards")),
             "--queue-capacity" => {
-                cfg.queue_capacity = parse(&value("--queue-capacity"), "--queue-capacity");
+                builder.queue_capacity(parse(&value("--queue-capacity"), "--queue-capacity"))
             }
-            "--round-secs" => cfg.round_secs = parse(&value("--round-secs"), "--round-secs"),
-            "--data-grant" => cfg.data_grant = parse(&value("--data-grant"), "--data-grant"),
+            "--round-secs" => builder.round_secs(parse(&value("--round-secs"), "--round-secs")),
+            "--data-grant" => builder.data_grant(parse(&value("--data-grant"), "--data-grant")),
+            "--checkpoint-dir" => builder.checkpoint_dir(value("--checkpoint-dir")),
+            "--checkpoint-every" => builder
+                .checkpoint_every_rounds(parse(&value("--checkpoint-every"), "--checkpoint-every")),
+            "--faults" => {
+                let spec = value("--faults");
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => builder.faults(plan),
+                    Err(e) => {
+                        eprintln!("bad --faults spec: {e}");
+                        usage()
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
                 usage()
             }
-        }
+        };
     }
-    cfg
+    builder
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
@@ -52,7 +76,14 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
 }
 
 fn main() -> ExitCode {
-    let cfg = parse_args();
+    let cfg = match parse_args().build() {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("richnote-server: invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bind_started = Instant::now();
     let server = match Server::bind(cfg.clone()) {
         Ok(s) => s,
         Err(e) => {
@@ -67,6 +98,15 @@ fn main() -> ExitCode {
         cfg.round_secs,
         cfg.data_grant
     );
+    if let Some(restore) = server.restored() {
+        eprintln!(
+            "richnote-server: restored {} users at round {} from {} in {:.1}ms",
+            restore.users,
+            restore.round,
+            cfg.checkpoint_dir.as_deref().unwrap_or("?"),
+            bind_started.elapsed().as_secs_f64() * 1e3
+        );
+    }
     match server.run() {
         Ok(()) => {
             eprintln!("richnote-server: shut down");

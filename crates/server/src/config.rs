@@ -1,5 +1,7 @@
-//! Daemon configuration.
+//! Daemon configuration and its validating builder.
 
+use crate::error::ConfigError;
+use crate::fault::FaultPlan;
 use richnote_core::scheduler::LinearCost;
 use serde::{Deserialize, Serialize};
 
@@ -9,6 +11,10 @@ use serde::{Deserialize, Serialize};
 /// every user on every shard receives the same grants each round, which
 /// matches the paper's per-device round loop (budgets are per user, not per
 /// shard).
+///
+/// Construct via [`ServerConfig::builder`], which validates at build time;
+/// direct field-struct construction is possible but skips validation (the
+/// server re-validates at bind).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
     /// Address to bind, e.g. `"127.0.0.1:7464"`. Port 0 picks a free port.
@@ -29,6 +35,15 @@ pub struct ServerConfig {
     pub energy_grant: f64,
     /// Energy model applied to every user's downloads.
     pub cost: LinearCost,
+    /// Directory for checkpoint files. `None` disables checkpointing
+    /// entirely (requests for one return an error).
+    pub checkpoint_dir: Option<String>,
+    /// Write a coordinated checkpoint every this many completed rounds;
+    /// `0` disables periodic checkpoints (explicit `Checkpoint` requests
+    /// and drain-time checkpoints still work).
+    pub checkpoint_every_rounds: u64,
+    /// Deterministic fault injection; inert by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -43,27 +58,138 @@ impl Default for ServerConfig {
             link_capacity: 10_000_000,
             energy_grant: 3_000.0,
             cost: LinearCost { fixed: 1.0, per_byte: 1e-4 },
+            checkpoint_dir: None,
+            checkpoint_every_rounds: 0,
+            faults: FaultPlan::none(),
         }
     }
 }
 
 impl ServerConfig {
+    /// A builder seeded with [`ServerConfig::default`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder { cfg: ServerConfig::default() }
+    }
+
     /// Ensures the config can actually run.
     ///
     /// # Errors
     ///
-    /// Returns a description of the first invalid field.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first invalid field as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.shards == 0 {
-            return Err("shards must be at least 1".into());
+            return Err(ConfigError::ZeroShards);
         }
         if self.queue_capacity == 0 {
-            return Err("queue_capacity must be at least 1".into());
+            return Err(ConfigError::ZeroQueueCapacity);
         }
         if self.round_secs <= 0.0 || self.round_secs.is_nan() {
-            return Err("round_secs must be positive".into());
+            return Err(ConfigError::BadRoundSecs);
+        }
+        if self.checkpoint_every_rounds > 0 && self.checkpoint_dir.is_none() {
+            return Err(ConfigError::CheckpointIntervalWithoutDir);
+        }
+        if !self.faults.is_valid() {
+            return Err(ConfigError::BadFaultRate);
         }
         Ok(())
+    }
+}
+
+/// Validating builder for [`ServerConfig`]; every setter is chainable and
+/// invalid combinations surface once, at [`ServerConfigBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Address to bind (port 0 picks a free port).
+    #[must_use]
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Number of shard workers (must be ≥ 1).
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Per-shard ingest queue capacity (must be ≥ 1).
+    #[must_use]
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.queue_capacity = capacity;
+        self
+    }
+
+    /// Round length in seconds of virtual time (must be positive).
+    #[must_use]
+    pub fn round_secs(mut self, secs: f64) -> Self {
+        self.cfg.round_secs = secs;
+        self
+    }
+
+    /// Per-user data budget per round (bytes).
+    #[must_use]
+    pub fn data_grant(mut self, bytes: u64) -> Self {
+        self.cfg.data_grant = bytes;
+        self
+    }
+
+    /// Per-user link capacity per round (bytes).
+    #[must_use]
+    pub fn link_capacity(mut self, bytes: u64) -> Self {
+        self.cfg.link_capacity = bytes;
+        self
+    }
+
+    /// Per-user energy replenishment per round (J).
+    #[must_use]
+    pub fn energy_grant(mut self, joules: f64) -> Self {
+        self.cfg.energy_grant = joules;
+        self
+    }
+
+    /// Energy model applied to every user's downloads.
+    #[must_use]
+    pub fn cost(mut self, cost: LinearCost) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Directory for checkpoint files; enables checkpoint/restore.
+    #[must_use]
+    pub fn checkpoint_dir(mut self, dir: impl Into<String>) -> Self {
+        self.cfg.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Checkpoint every `rounds` completed rounds (requires a checkpoint
+    /// directory; 0 disables periodic checkpoints).
+    #[must_use]
+    pub fn checkpoint_every_rounds(mut self, rounds: u64) -> Self {
+        self.cfg.checkpoint_every_rounds = rounds;
+        self
+    }
+
+    /// Fault-injection plan (testing only).
+    #[must_use]
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Validates and returns the finished config.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid field as a [`ConfigError`].
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -77,9 +203,49 @@ mod tests {
     }
 
     #[test]
-    fn zero_shards_rejected() {
-        let cfg = ServerConfig { shards: 0, ..ServerConfig::default() };
-        assert!(cfg.validate().is_err());
+    fn builder_builds_and_validates() {
+        let cfg = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .shards(2)
+            .queue_capacity(128)
+            .round_secs(60.0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.shards, 2);
+        assert_eq!(cfg.queue_capacity, 128);
+        assert_eq!(cfg.round_secs, 60.0);
+
+        assert_eq!(ServerConfig::builder().shards(0).build(), Err(ConfigError::ZeroShards));
+        assert_eq!(
+            ServerConfig::builder().queue_capacity(0).build(),
+            Err(ConfigError::ZeroQueueCapacity)
+        );
+        assert_eq!(ServerConfig::builder().round_secs(0.0).build(), Err(ConfigError::BadRoundSecs));
+        assert_eq!(
+            ServerConfig::builder().round_secs(f64::NAN).build(),
+            Err(ConfigError::BadRoundSecs)
+        );
+    }
+
+    #[test]
+    fn checkpoint_interval_requires_dir() {
+        assert_eq!(
+            ServerConfig::builder().checkpoint_every_rounds(5).build(),
+            Err(ConfigError::CheckpointIntervalWithoutDir)
+        );
+        let cfg = ServerConfig::builder()
+            .checkpoint_dir("/tmp/ck")
+            .checkpoint_every_rounds(5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.checkpoint_every_rounds, 5);
+    }
+
+    #[test]
+    fn bad_fault_rate_rejected() {
+        let mut plan = FaultPlan::none();
+        plan.conn_reset_per_frame = 1.5;
+        assert_eq!(ServerConfig::builder().faults(plan).build(), Err(ConfigError::BadFaultRate));
     }
 
     #[test]

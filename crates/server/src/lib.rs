@@ -28,9 +28,30 @@
 //! the concurrency bottleneck is shard CPU (MCKP selection), not socket
 //! count; an async reactor would add a dependency without moving the
 //! benchmark numbers.
+//!
+//! # Fault tolerance
+//!
+//! The daemon is built for intermittently connected clients and imperfect
+//! hosts:
+//!
+//! - **Checkpoint/restore** ([`checkpoint`]): coordinated snapshots of
+//!   every shard's scheduler state, the session ack table, and the
+//!   subscription table, written atomically at tick boundaries; a restarted
+//!   server resumes rounds byte-identically.
+//! - **Client retry** ([`client`]): jittered exponential backoff,
+//!   reconnection, and idempotent republish via per-session sequence
+//!   numbers — no acked publication is ever lost or double-routed.
+//! - **Drain** ([`wire::Request::Drain`]): stop ingest, flush queues
+//!   through one final round, checkpoint, exit.
+//! - **Fault injection** ([`fault`]): deterministic connection resets,
+//!   short reads, shard-worker panics, and checkpoint-write failures for
+//!   the integration tests.
 
+pub mod checkpoint;
 pub mod client;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod queue;
 pub mod router;
@@ -38,10 +59,14 @@ pub mod server;
 pub mod shard;
 pub mod wire;
 
-pub use client::Client;
-pub use config::ServerConfig;
+pub use checkpoint::{CheckpointStore, ServerCheckpoint, ShardCheckpoint};
+pub use client::{Client, RetryPolicy};
+pub use config::{ServerConfig, ServerConfigBuilder};
+pub use error::{ConfigError, ServerError, ServerResult};
+pub use fault::{FaultPlan, FaultRng, ShardPanicFault};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardSnapshot};
 pub use queue::BoundedQueue;
 pub use router::shard_of;
-pub use server::Server;
+pub use server::{RestoreSummary, Server};
 pub use shard::ShardState;
+pub use wire::{ErrorCode, PROTO_VERSION};

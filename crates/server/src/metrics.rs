@@ -119,6 +119,9 @@ pub struct ShardSnapshot {
     pub bytes_budgeted: u64,
     /// Bytes of selected presentations (bytes spent).
     pub bytes_spent: u64,
+    /// Users whose scheduler state was restored from a checkpoint when
+    /// this server instance started.
+    pub restored_users: u64,
     /// Ingest-to-selection latency, wall clock.
     pub selection_latency: LatencyHistogram,
 }
@@ -128,6 +131,8 @@ pub struct ShardSnapshot {
 pub struct MetricsSnapshot {
     /// Per-shard snapshots, indexed by shard.
     pub shards: Vec<ShardSnapshot>,
+    /// Publications refused at the door because the daemon was draining.
+    pub dropped_on_drain: u64,
 }
 
 impl MetricsSnapshot {
@@ -149,6 +154,11 @@ impl MetricsSnapshot {
     /// Total backlog across shards.
     pub fn backlog(&self) -> usize {
         self.shards.iter().map(|s| s.backlog).sum()
+    }
+
+    /// Total users restored from checkpoint across shards.
+    pub fn restored_users(&self) -> u64 {
+        self.shards.iter().map(|s| s.restored_users).sum()
     }
 
     /// All shards' selection-latency histograms merged.
@@ -210,8 +220,10 @@ mod tests {
                 selected: 8,
                 bytes_budgeted: 1_000,
                 bytes_spent: 900,
+                restored_users: 0,
                 selection_latency: LatencyHistogram::new(),
             }],
+            dropped_on_drain: 0,
         };
         let s = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&s).unwrap();

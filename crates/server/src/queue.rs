@@ -18,6 +18,8 @@ pub enum PushOutcome {
     Accepted,
     /// Accepted after dropping the oldest droppable entry.
     DroppedOldest,
+    /// The queue is draining and refuses droppable entries.
+    Refused,
     /// The queue is closed; the value was discarded.
     Closed,
 }
@@ -25,7 +27,9 @@ pub enum PushOutcome {
 struct Inner<T> {
     deque: VecDeque<T>,
     dropped: u64,
+    refused: u64,
     closed: bool,
+    draining: bool,
 }
 
 /// See the module docs.
@@ -42,7 +46,13 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize, droppable: fn(&T) -> bool) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         BoundedQueue {
-            inner: Mutex::new(Inner { deque: VecDeque::new(), dropped: 0, closed: false }),
+            inner: Mutex::new(Inner {
+                deque: VecDeque::new(),
+                dropped: 0,
+                refused: 0,
+                closed: false,
+                draining: false,
+            }),
             not_empty: Condvar::new(),
             capacity,
             droppable,
@@ -58,6 +68,10 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
             return PushOutcome::Closed;
+        }
+        if inner.draining && (self.droppable)(&value) {
+            inner.refused += 1;
+            return PushOutcome::Refused;
         }
         let mut outcome = PushOutcome::Accepted;
         if inner.deque.len() >= self.capacity {
@@ -107,6 +121,18 @@ impl<T> BoundedQueue<T> {
     /// Total entries shed by the overflow policy so far.
     pub fn dropped(&self) -> u64 {
         self.inner.lock().unwrap().dropped
+    }
+
+    /// Switches draining mode: while on, droppable entries are refused at
+    /// the door (control messages still pass, so the final drain round and
+    /// checkpoint can run).
+    pub fn set_draining(&self, draining: bool) {
+        self.inner.lock().unwrap().draining = draining;
+    }
+
+    /// Total droppable entries refused while draining.
+    pub fn refused(&self) -> u64 {
+        self.inner.lock().unwrap().refused
     }
 }
 
@@ -159,6 +185,19 @@ mod tests {
         assert_eq!(q.push(9), PushOutcome::Closed);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn draining_refuses_droppable_only() {
+        // Odd values are protected, even values droppable.
+        let q = BoundedQueue::new(4, |v: &u32| v % 2 == 0);
+        q.set_draining(true);
+        assert_eq!(q.push(2), PushOutcome::Refused);
+        assert_eq!(q.push(1), PushOutcome::Accepted);
+        assert_eq!(q.refused(), 1);
+        assert_eq!(q.len(), 1);
+        q.set_draining(false);
+        assert_eq!(q.push(2), PushOutcome::Accepted);
     }
 
     #[test]

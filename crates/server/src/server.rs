@@ -1,14 +1,18 @@
-//! The TCP daemon: accept loop, connection threads, shard lifecycle.
+//! The TCP daemon: accept loop, connection threads, shard lifecycle,
+//! coordinated checkpoints, and drain.
 
+use crate::checkpoint::{CheckpointStore, ServerCheckpoint, CKPT_FORMAT};
 use crate::config::ServerConfig;
+use crate::error::{ServerError, ServerResult};
+use crate::fault::ShortReader;
 use crate::metrics::MetricsSnapshot;
-use crate::router::Router;
+use crate::router::{PublishOutcome, Router};
 use crate::shard::{ShardMsg, ShardWorker};
-use crate::wire::{read_frame, write_frame, Request, Response};
-use std::io::{self, BufReader, BufWriter};
+use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, PROTO_VERSION};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// A bound, not-yet-running daemon. Call [`Server::run`] to serve.
@@ -16,30 +20,115 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     workers: Vec<ShardWorker>,
+    ctx: Arc<ConnCtx>,
+    restored: Option<RestoreSummary>,
+}
+
+/// What [`Server::bind`] restored from the latest checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreSummary {
+    /// Round the restored cut was consistent at.
+    pub round: u64,
+    /// Users whose scheduler state was restored.
+    pub users: u64,
+}
+
+/// State shared by every connection thread.
+struct ConnCtx {
     router: Arc<Router>,
-    stop: Arc<AtomicBool>,
+    stop: AtomicBool,
+    store: Option<CheckpointStore>,
+    cfg: ServerConfig,
+    addr: SocketAddr,
+    conn_counter: AtomicU64,
+    /// Serializes coordinated checkpoint writes across connections.
+    ckpt_lock: Mutex<()>,
 }
 
 impl Server {
-    /// Binds the listener and spawns the shard workers.
+    /// Binds the listener, restores the latest checkpoint (when a
+    /// checkpoint directory is configured and holds one), and spawns the
+    /// shard workers.
     ///
     /// # Errors
     ///
-    /// Returns an error when the config is invalid or the address cannot
-    /// be bound.
-    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
-        cfg.validate().map_err(io::Error::other)?;
+    /// Returns [`ServerError::Config`] for an invalid config, I/O errors
+    /// from binding, and [`ServerError::Checkpoint`] when the newest
+    /// checkpoint is corrupt or was written under an incompatible config
+    /// (different shard count or round length) — restoring across a
+    /// reshard would silently re-route users, so it fails loudly instead.
+    pub fn bind(cfg: ServerConfig) -> ServerResult<Server> {
+        cfg.validate()?;
+        let store = match &cfg.checkpoint_dir {
+            Some(dir) => Some(CheckpointStore::open(dir, cfg.faults.checkpoint_fail_every)?),
+            None => None,
+        };
+        let checkpoint = match &store {
+            Some(s) => s.load_latest()?,
+            None => None,
+        };
+        if let Some(ck) = &checkpoint {
+            if ck.shards.len() != cfg.shards {
+                return Err(ServerError::Checkpoint {
+                    path: cfg.checkpoint_dir.clone().unwrap_or_default(),
+                    detail: format!(
+                        "checkpoint has {} shards but config wants {}; resharding a \
+                         checkpoint is not supported",
+                        ck.shards.len(),
+                        cfg.shards
+                    ),
+                });
+            }
+            if ck.round_secs != cfg.round_secs {
+                return Err(ServerError::Checkpoint {
+                    path: cfg.checkpoint_dir.clone().unwrap_or_default(),
+                    detail: format!(
+                        "checkpoint was taken with round_secs={} but config says {}; \
+                         restoring would shift virtual time",
+                        ck.round_secs, cfg.round_secs
+                    ),
+                });
+            }
+        }
+        let restored =
+            checkpoint.as_ref().map(|ck| RestoreSummary { round: ck.round, users: ck.users() });
+
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let workers: Vec<ShardWorker> =
-            (0..cfg.shards).map(|s| ShardWorker::spawn(s, cfg.clone())).collect();
+        let mut shard_cks: Vec<Option<crate::checkpoint::ShardCheckpoint>> =
+            (0..cfg.shards).map(|_| None).collect();
+        let (sessions, subscriptions) = match checkpoint {
+            Some(ServerCheckpoint { shards, sessions, subscriptions, .. }) => {
+                for shard_ck in shards {
+                    let idx = shard_ck.shard;
+                    shard_cks[idx] = Some(shard_ck);
+                }
+                (sessions, subscriptions)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let workers: Vec<ShardWorker> = shard_cks
+            .into_iter()
+            .enumerate()
+            .map(|(s, ck)| ShardWorker::spawn(s, cfg.clone(), ck))
+            .collect();
         let queues = workers.iter().map(|w| Arc::clone(&w.queue)).collect();
+        let router = Arc::new(Router::new(queues));
+        router.restore(&sessions, &subscriptions);
         Ok(Server {
             listener,
             local_addr,
             workers,
-            router: Arc::new(Router::new(queues)),
-            stop: Arc::new(AtomicBool::new(false)),
+            ctx: Arc::new(ConnCtx {
+                router,
+                stop: AtomicBool::new(false),
+                store,
+                cfg,
+                addr: local_addr,
+                conn_counter: AtomicU64::new(0),
+                ckpt_lock: Mutex::new(()),
+            }),
+            restored,
         })
     }
 
@@ -48,28 +137,31 @@ impl Server {
         self.local_addr
     }
 
-    /// Serves connections until a client sends [`Request::Shutdown`],
-    /// then joins every shard worker and returns.
+    /// What [`Server::bind`] restored, if anything.
+    pub fn restored(&self) -> Option<RestoreSummary> {
+        self.restored
+    }
+
+    /// Serves connections until a client sends [`Request::Shutdown`] or
+    /// [`Request::Drain`], then joins every shard worker and returns.
     ///
     /// # Errors
     ///
     /// Returns an error only if the accept loop itself fails; per-
     /// connection errors close that connection and are otherwise ignored.
-    pub fn run(self) -> io::Result<()> {
+    pub fn run(self) -> ServerResult<()> {
         let mut conn_threads = Vec::new();
         for stream in self.listener.incoming() {
-            if self.stop.load(Ordering::SeqCst) {
+            if self.ctx.stop.load(Ordering::SeqCst) {
                 break;
             }
             let stream = match stream {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            let router = Arc::clone(&self.router);
-            let stop = Arc::clone(&self.stop);
-            let addr = self.local_addr;
+            let ctx = Arc::clone(&self.ctx);
             conn_threads.push(std::thread::spawn(move || {
-                let _ = handle_connection(stream, &router, &stop, addr);
+                let _ = handle_connection(stream, &ctx);
             }));
         }
         for t in conn_threads {
@@ -83,7 +175,7 @@ impl Server {
 
     /// Convenience for tests: runs the server on a background thread and
     /// returns its address plus the join handle.
-    pub fn spawn(cfg: ServerConfig) -> io::Result<(SocketAddr, std::thread::JoinHandle<()>)> {
+    pub fn spawn(cfg: ServerConfig) -> ServerResult<(SocketAddr, std::thread::JoinHandle<()>)> {
         let server = Server::bind(cfg)?;
         let addr = server.local_addr();
         let handle = std::thread::spawn(move || {
@@ -94,6 +186,8 @@ impl Server {
 }
 
 /// Broadcasts a message builder to every shard and collects the replies.
+/// A dead shard contributes no reply (its queue is closed and drained, so
+/// the sender is dropped and `recv` fails fast instead of blocking).
 fn broadcast<T, F: Fn(mpsc::Sender<T>) -> ShardMsg>(router: &Router, make: F) -> Vec<T> {
     // One channel per shard keeps replies ordered by shard index.
     let receivers: Vec<mpsc::Receiver<T>> = (0..router.shards())
@@ -106,44 +200,285 @@ fn broadcast<T, F: Fn(mpsc::Sender<T>) -> ShardMsg>(router: &Router, make: F) ->
     receivers.into_iter().filter_map(|rx| rx.recv().ok()).collect()
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    router: &Router,
-    stop: &AtomicBool,
-    addr: SocketAddr,
-) -> io::Result<()> {
+/// Collects a coordinated checkpoint from every shard and writes it.
+///
+/// `collector` lets drain reuse this with `ShardMsg::Drain` (final round +
+/// checkpoint) while ticks use plain `ShardMsg::Checkpoint`.
+fn collect_and_save(
+    ctx: &ConnCtx,
+    store: &CheckpointStore,
+    collector: fn(mpsc::Sender<crate::checkpoint::ShardCheckpoint>) -> ShardMsg,
+) -> ServerResult<ServerCheckpoint> {
+    let _guard = ctx.ckpt_lock.lock().unwrap();
+    let mut shards = broadcast(&ctx.router, collector);
+    if shards.len() != ctx.router.shards() {
+        return Err(ServerError::Checkpoint {
+            path: store.dir().display().to_string(),
+            detail: format!(
+                "only {}/{} shards replied (a worker died); refusing to write a partial \
+                 checkpoint",
+                shards.len(),
+                ctx.router.shards()
+            ),
+        });
+    }
+    shards.sort_unstable_by_key(|s| s.shard);
+    let round = shards.iter().map(|s| s.round).max().unwrap_or(0);
+    let ck = ServerCheckpoint {
+        format: CKPT_FORMAT,
+        round,
+        round_secs: ctx.cfg.round_secs,
+        sessions: ctx.router.session_entries(),
+        subscriptions: ctx.router.subscription_entries(),
+        shards,
+    };
+    store.save(&ck)?;
+    Ok(ck)
+}
+
+/// Flushes the pending cumulative publish ack, if any.
+fn settle_ack<W: Write>(writer: &mut W, pending: &mut Option<u64>) -> ServerResult<()> {
+    if let Some(seq) = pending.take() {
+        write_frame(writer, &Response::PubAck { seq })?;
+    }
+    Ok(())
+}
+
+fn error_frame<W: Write>(writer: &mut W, code: ErrorCode, message: String) -> ServerResult<()> {
+    write_frame(writer, &Response::Error { code, message })
+}
+
+fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
     stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
+    let conn = ctx.conn_counter.fetch_add(1, Ordering::Relaxed);
+    let mut faults = ctx.cfg.faults.connection_faults(conn);
+    let read_half: Box<dyn Read + Send> = if ctx.cfg.faults.short_read_limit > 0 {
+        Box::new(ShortReader::new(stream.try_clone()?, ctx.cfg.faults.short_read_limit))
+    } else {
+        Box::new(stream.try_clone()?)
+    };
+    let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
-    while let Some(req) = read_frame::<_, Request>(&mut reader)? {
+
+    // `None` until a successful Hello; `Some(session)` afterwards.
+    let mut session: Option<u64> = None;
+    // Highest publish seq applied but not yet acked on this connection.
+    let mut pending_ack: Option<u64> = None;
+
+    loop {
+        // Cumulative ack point: the client has no more pipelined frames in
+        // our buffer, so flush the ack before blocking on the socket —
+        // this batches acks under pipelining without ever deadlocking a
+        // client that waits for one.
+        if reader.buffer().is_empty() {
+            settle_ack(&mut writer, &mut pending_ack)?;
+        }
+        let req = match read_frame::<_, Request>(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => break,
+            Err(ServerError::ProtoMismatch { ours, theirs }) => {
+                // Typed rejection instead of a silent drop; the stream is
+                // unsynchronized after a bad version byte, so close after.
+                let _ = error_frame(
+                    &mut writer,
+                    ErrorCode::ProtoMismatch,
+                    format!("server speaks protocol v{ours}, frame was v{theirs}"),
+                );
+                break;
+            }
+            Err(ServerError::Frame(detail)) => {
+                let _ = error_frame(&mut writer, ErrorCode::BadFrame, detail);
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        // Injected connection reset: drop the socket on the floor without
+        // processing the frame, like a mobile link dying mid-request.
+        if faults.reset_now() {
+            return Ok(());
+        }
+        let collect_deliveries = matches!(&req, Request::TickReport { .. });
         match req {
-            Request::Hello => {
-                write_frame(&mut writer, &Response::Hello { shards: router.shards() })?;
+            Request::Hello { proto, session: wanted } => {
+                if proto != PROTO_VERSION {
+                    error_frame(
+                        &mut writer,
+                        ErrorCode::ProtoMismatch,
+                        format!("server speaks protocol v{PROTO_VERSION}, client sent v{proto}"),
+                    )?;
+                    continue;
+                }
+                let resume_seq = ctx.router.begin_session(wanted);
+                session = Some(wanted);
+                write_frame(
+                    &mut writer,
+                    &Response::Hello {
+                        proto: PROTO_VERSION,
+                        shards: ctx.router.shards(),
+                        resume_seq,
+                    },
+                )?;
+            }
+            _ if session.is_none() => {
+                error_frame(
+                    &mut writer,
+                    ErrorCode::HandshakeRequired,
+                    "send Hello before any other request".to_string(),
+                )?;
             }
             Request::Subscribe { user, topic } => {
-                router.subscribe(user, topic);
+                settle_ack(&mut writer, &mut pending_ack)?;
+                ctx.router.subscribe(user, topic);
                 write_frame(&mut writer, &Response::Subscribed)?;
             }
-            Request::Publish { topic, item } => {
-                // Fire-and-forget: matching failures are invisible here by
-                // design; the loadgen compares ingested counters instead.
-                router.publish(topic, item, Instant::now());
+            Request::Publish { seq, topic, item } => {
+                match ctx.router.apply_publish(
+                    session.unwrap_or(0),
+                    seq,
+                    topic,
+                    item,
+                    Instant::now(),
+                ) {
+                    PublishOutcome::Routed { .. } | PublishOutcome::Duplicate => {
+                        pending_ack = Some(pending_ack.map_or(seq, |p| p.max(seq)));
+                    }
+                    PublishOutcome::Draining => {
+                        settle_ack(&mut writer, &mut pending_ack)?;
+                        error_frame(
+                            &mut writer,
+                            ErrorCode::Draining,
+                            "daemon is draining; publication refused".to_string(),
+                        )?;
+                    }
+                }
             }
-            Request::Tick { rounds } => {
-                let replies = broadcast(router, |reply| ShardMsg::Tick { rounds, reply });
-                let rounds_done = replies.iter().map(|&(r, _)| r).max().unwrap_or(0);
-                let selected = replies.iter().map(|&(_, s)| s).sum();
-                write_frame(&mut writer, &Response::Ticked { rounds: rounds_done, selected })?;
+            Request::Tick { rounds } | Request::TickReport { rounds } => {
+                settle_ack(&mut writer, &mut pending_ack)?;
+                let collect = collect_deliveries;
+                let replies =
+                    broadcast(&ctx.router, |reply| ShardMsg::Tick { rounds, collect, reply });
+                if replies.len() != ctx.router.shards() {
+                    error_frame(
+                        &mut writer,
+                        ErrorCode::Internal,
+                        format!(
+                            "only {}/{} shards completed the tick (a worker died)",
+                            replies.len(),
+                            ctx.router.shards()
+                        ),
+                    )?;
+                    continue;
+                }
+                let rounds_done = replies.iter().map(|r| r.rounds).max().unwrap_or(0);
+                let selected = replies.iter().map(|r| r.selected).sum();
+                // Periodic coordinated checkpoint at the tick boundary,
+                // before the response: once the client sees Ticked, the
+                // due checkpoint exists (or the failure is logged).
+                if let Some(store) = &ctx.store {
+                    let every = ctx.cfg.checkpoint_every_rounds;
+                    if every > 0 && rounds_done % every == 0 {
+                        if let Err(e) =
+                            collect_and_save(ctx, store, |reply| ShardMsg::Checkpoint { reply })
+                        {
+                            eprintln!("richnote-server: periodic checkpoint failed: {e}");
+                        }
+                    }
+                }
+                if collect {
+                    let mut deliveries: Vec<_> =
+                        replies.into_iter().flat_map(|r| r.deliveries).collect();
+                    deliveries.sort_by_key(|d| (d.round, d.user.value()));
+                    write_frame(
+                        &mut writer,
+                        &Response::TickReport { rounds: rounds_done, deliveries },
+                    )?;
+                } else {
+                    write_frame(&mut writer, &Response::Ticked { rounds: rounds_done, selected })?;
+                }
             }
             Request::Metrics => {
-                let shards = broadcast(router, |reply| ShardMsg::Snapshot { reply });
-                write_frame(&mut writer, &Response::Metrics(MetricsSnapshot { shards }))?;
+                settle_ack(&mut writer, &mut pending_ack)?;
+                let shards = broadcast(&ctx.router, |reply| ShardMsg::Snapshot { reply });
+                let snapshot =
+                    MetricsSnapshot { shards, dropped_on_drain: ctx.router.dropped_on_drain() };
+                write_frame(&mut writer, &Response::Metrics(snapshot))?;
+            }
+            Request::Checkpoint => {
+                settle_ack(&mut writer, &mut pending_ack)?;
+                let Some(store) = &ctx.store else {
+                    error_frame(
+                        &mut writer,
+                        ErrorCode::CheckpointFailed,
+                        "no checkpoint directory configured".to_string(),
+                    )?;
+                    continue;
+                };
+                match collect_and_save(ctx, store, |reply| ShardMsg::Checkpoint { reply }) {
+                    Ok(ck) => write_frame(
+                        &mut writer,
+                        &Response::Checkpointed { users: ck.users(), round: ck.round },
+                    )?,
+                    Err(e) => {
+                        error_frame(&mut writer, ErrorCode::CheckpointFailed, e.to_string())?;
+                    }
+                }
+            }
+            Request::Drain => {
+                settle_ack(&mut writer, &mut pending_ack)?;
+                ctx.router.set_draining(true);
+                // One final round flushes whatever each shard already
+                // queued; the drain reply carries the post-flush state.
+                let replies = broadcast(&ctx.router, |reply| ShardMsg::Drain { reply });
+                if replies.len() != ctx.router.shards() {
+                    ctx.router.set_draining(false);
+                    error_frame(
+                        &mut writer,
+                        ErrorCode::Internal,
+                        format!(
+                            "only {}/{} shards completed the drain round (a worker died)",
+                            replies.len(),
+                            ctx.router.shards()
+                        ),
+                    )?;
+                    continue;
+                }
+                let rounds = replies.iter().map(|s| s.round).max().unwrap_or(0);
+                let users: u64 = replies.iter().map(|s| s.users.len() as u64).sum();
+                let mut shards = replies;
+                shards.sort_unstable_by_key(|s| s.shard);
+                let mut checkpointed = false;
+                if let Some(store) = &ctx.store {
+                    let ck = ServerCheckpoint {
+                        format: CKPT_FORMAT,
+                        round: rounds,
+                        round_secs: ctx.cfg.round_secs,
+                        sessions: ctx.router.session_entries(),
+                        subscriptions: ctx.router.subscription_entries(),
+                        shards,
+                    };
+                    let _guard = ctx.ckpt_lock.lock().unwrap();
+                    if let Err(e) = store.save(&ck) {
+                        // A drain that cannot persist must not pretend it
+                        // did: report, reopen ingest, keep running.
+                        drop(_guard);
+                        ctx.router.set_draining(false);
+                        error_frame(&mut writer, ErrorCode::CheckpointFailed, e.to_string())?;
+                        continue;
+                    }
+                    checkpointed = true;
+                }
+                write_frame(&mut writer, &Response::Drained { rounds, users, checkpointed })?;
+                ctx.stop.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(ctx.addr);
+                break;
             }
             Request::Shutdown => {
-                stop.store(true, Ordering::SeqCst);
+                // Crash semantics on purpose: no checkpoint, no drain —
+                // the kill-and-restart tests use this as the "kill".
+                ctx.stop.store(true, Ordering::SeqCst);
                 write_frame(&mut writer, &Response::ShuttingDown)?;
                 // Wake the accept loop so it observes the stop flag.
-                let _ = TcpStream::connect(addr);
+                let _ = TcpStream::connect(ctx.addr);
                 break;
             }
         }

@@ -6,16 +6,28 @@
 //! the publication stream and the tick sequence, never on wall-clock
 //! jitter. Wall-clock [`Instant`]s are kept separately, purely to measure
 //! ingest-to-selection latency.
+//!
+//! # Failure containment
+//!
+//! The worker wraps every message in `catch_unwind`: a panic (organic or
+//! injected via [`crate::FaultPlan::shard_panic`]) kills only that shard.
+//! The dying worker closes and drains its queue first, so a requester
+//! blocked on a reply channel sees a disconnect immediately instead of
+//! deadlocking, and the server surfaces the failure as a typed error.
 
+use crate::checkpoint::{ShardCheckpoint, UserCheckpoint};
 use crate::config::ServerConfig;
+use crate::error::{ServerError, ServerResult};
 use crate::metrics::{LatencyHistogram, ShardSnapshot};
 use crate::queue::BoundedQueue;
+use crate::wire::Delivery;
 use richnote_core::presentation::AudioPresentationSpec;
 use richnote_core::scheduler::{
     NotificationScheduler, QueuedNotification, RichNoteScheduler, RoundContext,
 };
 use richnote_core::{ContentId, ContentItem, PresentationLadder, UserId};
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -34,6 +46,8 @@ pub fn content_utility(item: &ContentItem) -> f64 {
 /// Result of one [`ShardState::run_round`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundOutcome {
+    /// Round index that just ran.
+    pub round: u64,
     /// Notifications selected this round, in delivery order per user.
     pub selected: Vec<(UserId, ContentId, u8)>,
     /// Bytes of selected presentations.
@@ -50,13 +64,15 @@ pub struct ShardState {
     cfg: ServerConfig,
     ladder: PresentationLadder,
     schedulers: BTreeMap<UserId, RichNoteScheduler>,
-    /// Wall-clock ingest instants for latency measurement only.
+    /// Wall-clock ingest instants for latency measurement only; not
+    /// checkpointed (a restored process has fresh wall clocks anyway).
     ingest_at: HashMap<ContentId, Instant>,
     round: u64,
     ingested: u64,
     selected: u64,
     bytes_budgeted: u64,
     bytes_spent: u64,
+    restored_users: u64,
     latency: LatencyHistogram,
 }
 
@@ -74,7 +90,54 @@ impl ShardState {
             selected: 0,
             bytes_budgeted: 0,
             bytes_spent: 0,
+            restored_users: 0,
             latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Rebuilds a shard from its checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError::Checkpoint`] when the checkpoint belongs to
+    /// a different shard index.
+    pub fn restore(shard: usize, cfg: ServerConfig, ck: ShardCheckpoint) -> ServerResult<Self> {
+        if ck.shard != shard {
+            return Err(ServerError::Checkpoint {
+                path: String::new(),
+                detail: format!("shard checkpoint index {} restored onto shard {shard}", ck.shard),
+            });
+        }
+        let mut state = ShardState::new(shard, cfg);
+        state.round = ck.round;
+        state.ingested = ck.ingested;
+        state.selected = ck.selected;
+        state.bytes_budgeted = ck.bytes_budgeted;
+        state.bytes_spent = ck.bytes_spent;
+        state.latency = ck.latency;
+        state.restored_users = ck.users.len() as u64;
+        for u in ck.users {
+            state.schedulers.insert(u.user, RichNoteScheduler::from_checkpoint(u.scheduler));
+        }
+        Ok(state)
+    }
+
+    /// Serializes this shard's full scheduling state at the current round
+    /// boundary.
+    pub fn checkpoint(&self) -> ShardCheckpoint {
+        ShardCheckpoint {
+            shard: self.shard,
+            round: self.round,
+            ingested: self.ingested,
+            selected: self.selected,
+            bytes_budgeted: self.bytes_budgeted,
+            bytes_spent: self.bytes_spent,
+            latency: self.latency.clone(),
+            users: self
+                .schedulers
+                .iter()
+                .map(|(&user, s)| UserCheckpoint { user, scheduler: s.checkpoint() })
+                .collect(),
         }
     }
 
@@ -110,7 +173,7 @@ impl ShardState {
             energy_grant: self.cfg.energy_grant,
             cost: &self.cfg.cost,
         };
-        let mut outcome = RoundOutcome { selected: Vec::new(), bytes: 0 };
+        let mut outcome = RoundOutcome { round: self.round, selected: Vec::new(), bytes: 0 };
         for (&user, scheduler) in &mut self.schedulers {
             self.bytes_budgeted += self.cfg.data_grant;
             for d in scheduler.run_round(&ctx) {
@@ -151,9 +214,21 @@ impl ShardState {
             selected: self.selected,
             bytes_budgeted: self.bytes_budgeted,
             bytes_spent: self.bytes_spent,
+            restored_users: self.restored_users,
             selection_latency: self.latency.clone(),
         }
     }
+}
+
+/// What a shard reports back after a tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickDone {
+    /// Rounds completed so far on this shard.
+    pub rounds: u64,
+    /// Items selected during this tick.
+    pub selected: u64,
+    /// Per-delivery log of the tick; empty unless `collect` was requested.
+    pub deliveries: Vec<Delivery>,
 }
 
 /// Messages a shard worker consumes from its ingest queue.
@@ -167,17 +242,31 @@ pub enum ShardMsg {
         /// Wall-clock instant the publication was read off the socket.
         received: Instant,
     },
-    /// Run `rounds` rounds, then report how many items were selected.
+    /// Run `rounds` rounds, then report the tick outcome.
     Tick {
         /// Rounds to run.
         rounds: u32,
-        /// Reply channel: (rounds completed so far, items selected now).
-        reply: mpsc::Sender<(u64, u64)>,
+        /// Whether to collect the per-delivery log (costly at scale).
+        collect: bool,
+        /// Reply channel.
+        reply: mpsc::Sender<TickDone>,
     },
     /// Report a metrics snapshot.
     Snapshot {
         /// Reply channel.
         reply: mpsc::Sender<ShardSnapshot>,
+    },
+    /// Report this shard's checkpoint at the current round boundary.
+    Checkpoint {
+        /// Reply channel.
+        reply: mpsc::Sender<ShardCheckpoint>,
+    },
+    /// Drain: run one final round over whatever is queued, then report the
+    /// post-drain checkpoint. The worker keeps running (the server stops
+    /// it explicitly once the drain checkpoint is written).
+    Drain {
+        /// Reply channel.
+        reply: mpsc::Sender<ShardCheckpoint>,
     },
     /// Exit the worker loop.
     Shutdown,
@@ -197,37 +286,103 @@ pub struct ShardWorker {
     handle: JoinHandle<()>,
 }
 
+/// One message's verdict in the worker loop.
+enum Flow {
+    Continue,
+    Stop,
+}
+
+fn handle_msg(state: &mut ShardState, msg: ShardMsg) -> Flow {
+    let faults = state.cfg.faults.clone();
+    match msg {
+        ShardMsg::Ingest { user, item, received } => {
+            state.ingest(user, item, received);
+        }
+        ShardMsg::Tick { rounds, collect, reply } => {
+            let mut done = TickDone { rounds: 0, selected: 0, deliveries: Vec::new() };
+            for _ in 0..rounds {
+                if faults.should_panic(state.shard, state.rounds()) {
+                    panic!(
+                        "injected shard panic: shard {} at round {}",
+                        state.shard,
+                        state.rounds()
+                    );
+                }
+                let out = state.run_round();
+                done.selected += out.selected.len() as u64;
+                if collect {
+                    done.deliveries.extend(out.selected.iter().map(|&(user, content, level)| {
+                        Delivery { round: out.round, user, content, level }
+                    }));
+                }
+            }
+            done.rounds = state.rounds();
+            // The requester may have hung up; that's fine.
+            let _ = reply.send(done);
+        }
+        ShardMsg::Snapshot { reply } => {
+            let _ = reply.send(state.snapshot(0));
+        }
+        ShardMsg::Checkpoint { reply } => {
+            let _ = reply.send(state.checkpoint());
+        }
+        ShardMsg::Drain { reply } => {
+            state.run_round();
+            let _ = reply.send(state.checkpoint());
+        }
+        ShardMsg::Shutdown => return Flow::Stop,
+    }
+    Flow::Continue
+}
+
 impl ShardWorker {
-    /// Spawns the worker thread for shard `shard`.
-    pub fn spawn(shard: usize, cfg: ServerConfig) -> Self {
+    /// Spawns the worker thread for shard `shard`, optionally seeded with
+    /// restored state.
+    pub fn spawn(shard: usize, cfg: ServerConfig, restored: Option<ShardCheckpoint>) -> Self {
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity, ShardMsg::droppable));
         let q = Arc::clone(&queue);
         let handle = std::thread::Builder::new()
             .name(format!("richnote-shard-{shard}"))
             .spawn(move || {
-                let mut state = ShardState::new(shard, cfg);
+                let mut state = match restored {
+                    Some(ck) => {
+                        ShardState::restore(shard, cfg, ck).expect("shard checkpoint mismatch")
+                    }
+                    None => ShardState::new(shard, cfg),
+                };
                 while let Some(msg) = q.pop() {
-                    match msg {
-                        ShardMsg::Ingest { user, item, received } => {
-                            state.ingest(user, item, received);
-                        }
-                        ShardMsg::Tick { rounds, reply } => {
-                            let mut selected = 0u64;
-                            for _ in 0..rounds {
-                                selected += state.run_round().selected.len() as u64;
-                            }
-                            // The requester may have hung up; that's fine.
-                            let _ = reply.send((state.rounds(), selected));
-                        }
+                    // Snapshot replies need the queue's drop counter, which
+                    // handle_msg cannot see; patch it in here.
+                    let msg = match msg {
                         ShardMsg::Snapshot { reply } => {
                             let _ = reply.send(state.snapshot(q.dropped()));
+                            continue;
                         }
-                        ShardMsg::Shutdown => break,
+                        other => other,
+                    };
+                    match catch_unwind(AssertUnwindSafe(|| handle_msg(&mut state, msg))) {
+                        Ok(Flow::Continue) => {}
+                        Ok(Flow::Stop) => break,
+                        Err(_) => {
+                            // Contain the panic to this shard: close the
+                            // queue and drop everything still queued, so
+                            // requesters blocked on reply channels see a
+                            // disconnect instead of deadlocking.
+                            q.close();
+                            while q.pop().is_some() {}
+                            break;
+                        }
                     }
                 }
             })
             .expect("spawn shard worker");
         ShardWorker { queue, handle }
+    }
+
+    /// Whether the worker thread has exited (e.g. died to a contained
+    /// panic).
+    pub fn is_dead(&self) -> bool {
+        self.handle.is_finished()
     }
 
     /// Closes the queue and joins the worker thread.
@@ -241,6 +396,7 @@ impl ShardWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, ShardPanicFault};
     use richnote_core::content::{ContentFeatures, ContentKind, Interaction, SocialTie};
 
     fn item(id: u64, recipient: u64, arrival: f64) -> ContentItem {
@@ -266,12 +422,19 @@ mod tests {
         }
     }
 
+    fn tick(worker: &ShardWorker, rounds: u32) -> TickDone {
+        let (tx, rx) = mpsc::channel();
+        worker.queue.push(ShardMsg::Tick { rounds, collect: false, reply: tx });
+        rx.recv().unwrap()
+    }
+
     #[test]
     fn ingest_then_round_selects() {
         let mut shard = ShardState::new(0, ServerConfig::default());
         shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now());
         shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now());
         let out = shard.run_round();
+        assert_eq!(out.round, 0);
         assert!(!out.selected.is_empty());
         assert!(out.bytes > 0);
         let snap = shard.snapshot(0);
@@ -296,21 +459,95 @@ mod tests {
 
     #[test]
     fn worker_round_trip() {
-        let worker = ShardWorker::spawn(0, ServerConfig::default());
+        let worker = ShardWorker::spawn(0, ServerConfig::default(), None);
+        worker.queue.push(ShardMsg::Ingest {
+            user: UserId::new(1),
+            item: item(1, 1, 0.0),
+            received: Instant::now(),
+        });
+        let done = tick(&worker, 1);
+        assert_eq!(done.rounds, 1);
+        assert!(done.selected > 0);
+        let (tx, rx) = mpsc::channel();
+        worker.queue.push(ShardMsg::Snapshot { reply: tx });
+        let snap = rx.recv().unwrap();
+        assert_eq!(snap.ingested, 1);
+        worker.join();
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_identically() {
+        let cfg = ServerConfig::default();
+        let mut reference = ShardState::new(0, cfg.clone());
+        let mut victim = ShardState::new(0, cfg.clone());
+        for uid in 1..=4u64 {
+            for (s, now) in [(&mut reference, Instant::now()), (&mut victim, Instant::now())] {
+                for k in 0..3u64 {
+                    s.ingest(UserId::new(uid), item(uid * 10 + k, uid, 0.0), now);
+                }
+            }
+        }
+        assert_eq!(reference.run_round(), victim.run_round());
+
+        let ck = victim.checkpoint();
+        let json = serde_json::to_string(&ck).unwrap();
+        let back: ShardCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(ck, back, "shard checkpoint must JSON-roundtrip exactly");
+        let mut restored = ShardState::restore(0, cfg, back).unwrap();
+        assert_eq!(restored.restored_users, 4);
+
+        for _ in 0..4 {
+            assert_eq!(reference.run_round(), restored.run_round());
+        }
+        assert_eq!(reference.backlog(), restored.backlog());
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shard_index() {
+        let cfg = ServerConfig::default();
+        let shard = ShardState::new(2, cfg.clone());
+        let ck = shard.checkpoint();
+        assert!(ShardState::restore(1, cfg, ck).is_err());
+    }
+
+    #[test]
+    fn tick_report_collects_delivery_log() {
+        let worker = ShardWorker::spawn(0, ServerConfig::default(), None);
         worker.queue.push(ShardMsg::Ingest {
             user: UserId::new(1),
             item: item(1, 1, 0.0),
             received: Instant::now(),
         });
         let (tx, rx) = mpsc::channel();
-        worker.queue.push(ShardMsg::Tick { rounds: 1, reply: tx });
-        let (rounds, selected) = rx.recv().unwrap();
-        assert_eq!(rounds, 1);
-        assert!(selected > 0);
-        let (tx, rx) = mpsc::channel();
-        worker.queue.push(ShardMsg::Snapshot { reply: tx });
-        let snap = rx.recv().unwrap();
-        assert_eq!(snap.ingested, 1);
+        worker.queue.push(ShardMsg::Tick { rounds: 1, collect: true, reply: tx });
+        let done = rx.recv().unwrap();
+        assert_eq!(done.deliveries.len() as u64, done.selected);
+        assert!(done.deliveries.iter().all(|d| d.round == 0));
         worker.join();
+    }
+
+    #[test]
+    fn injected_panic_is_contained() {
+        let cfg = ServerConfig {
+            faults: FaultPlan {
+                shard_panic: Some(ShardPanicFault { shard: 0, round: 0 }),
+                ..FaultPlan::none()
+            },
+            ..ServerConfig::default()
+        };
+        let worker = ShardWorker::spawn(0, cfg, None);
+        let (tx, rx) = mpsc::channel();
+        worker.queue.push(ShardMsg::Tick { rounds: 1, collect: false, reply: tx });
+        // The worker dies before replying; the sender is dropped, so recv
+        // errors out instead of hanging.
+        assert!(rx.recv().is_err());
+        // Give the thread a moment to finish unwinding.
+        for _ in 0..100 {
+            if worker.is_dead() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(worker.is_dead());
     }
 }

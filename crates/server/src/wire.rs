@@ -1,29 +1,101 @@
-//! The wire protocol: length-prefixed JSON frames over TCP.
+//! The wire protocol: versioned, length-prefixed JSON frames over TCP.
 //!
-//! Every message is one frame: a 4-byte little-endian payload length
-//! followed by that many bytes of JSON. Framing keeps the stream
-//! self-synchronising without scanning for delimiters, and JSON keeps the
-//! protocol debuggable with a five-line client in any language.
+//! # Frame layout (protocol v2)
 //!
-//! Request/response pairing is per message type: every request gets exactly
-//! one response **except** [`Request::Publish`], which is fire-and-forget so
-//! a load generator can pipeline publications without a round trip per
-//! item. Publish errors surface in the shard drop counters instead.
+//! ```text
+//! +-------------------+-----------+----------------------+
+//! | len: u32 LE       | proto: u8 | payload: len bytes   |
+//! +-------------------+-----------+----------------------+
+//! ```
+//!
+//! `len` counts only the JSON payload (not the version byte). `proto` is
+//! the low byte of [`PROTO_VERSION`] and is checked on every frame, so a
+//! v1 peer (whose first payload byte would be `{` = 0x7B) fails fast with
+//! [`ServerError::ProtoMismatch`] instead of a confusing JSON parse error.
+//! Framing keeps the stream self-synchronising without scanning for
+//! delimiters, and JSON keeps the protocol debuggable with a five-line
+//! client in any language.
+//!
+//! # Session lifecycle
+//!
+//! 1. **Handshake.** The client sends [`Request::Hello`] carrying the
+//!    protocol version it speaks and a client-chosen *session id* (nonzero
+//!    to opt into publish deduplication, `0` to opt out). The server
+//!    answers [`Response::Hello`] with its shard count and `resume_seq`:
+//!    the highest publish sequence number it has already applied for this
+//!    session (`0` for a fresh session). A reconnecting client drops every
+//!    buffered publication with `seq <= resume_seq` and republishes the
+//!    rest; the server treats republished duplicates as already applied.
+//!    Any non-`Hello` request before the handshake is rejected with
+//!    [`ErrorCode::HandshakeRequired`].
+//! 2. **Publish + cumulative acks.** [`Request::Publish`] carries a
+//!    per-session sequence number. The server does not answer each publish
+//!    individually; instead it sends a cumulative [`Response::PubAck`]
+//!    whenever its read buffer drains (i.e. before it would block waiting
+//!    for the next frame) and always before answering any other request.
+//!    `PubAck { seq }` acknowledges *every* publication with sequence
+//!    number `<= seq`: once acked, a publication survives connection drops
+//!    (it is routed, and on checkpoint-enabled servers persisted at the
+//!    next checkpoint).
+//! 3. **Other requests** are strict request/response: `Subscribe` →
+//!    `Subscribed`, `Tick` → `Ticked`, `TickReport` → `TickReport`,
+//!    `Metrics` → `Metrics`, `Checkpoint` → `Checkpointed`, `Drain` →
+//!    `Drained`, `Shutdown` → `ShuttingDown`. A client must therefore be
+//!    prepared to consume interleaved `PubAck` frames while waiting for
+//!    any response.
+//! 4. **Errors.** Failures are typed: [`Response::Error`] carries an
+//!    [`ErrorCode`] plus a human-readable message, and (except for
+//!    unrecoverable framing errors) the connection stays open.
+//!
+//! # Compatibility
+//!
+//! v1 (PR 1) had no version byte, no handshake payload, fire-and-forget
+//! publishes and stringly errors. v2 is intentionally *not* backward
+//! compatible on the wire — the version byte exists precisely so that v3
+//! can be, via version negotiation in `Hello`.
 
+use crate::error::{ServerError, ServerResult};
 use crate::metrics::MetricsSnapshot;
-use richnote_core::{ContentItem, UserId};
+use richnote_core::{ContentId, ContentItem, UserId};
 use richnote_pubsub::Topic;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
 
+/// The protocol version this build speaks. Sent in every frame header and
+/// in the [`Request::Hello`] handshake.
+pub const PROTO_VERSION: u32 = 2;
+
 /// Upper bound on a frame payload; anything larger is a protocol error.
 pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Machine-readable failure classes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The `Hello` carried an unsupported protocol version.
+    ProtoMismatch,
+    /// The server is draining and refuses new ingest.
+    Draining,
+    /// The request frame was structurally invalid.
+    BadFrame,
+    /// A non-`Hello` request arrived before the handshake.
+    HandshakeRequired,
+    /// A requested checkpoint could not be written.
+    CheckpointFailed,
+    /// Any other server-side failure.
+    Internal,
+}
 
 /// Client-to-server messages.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
-    /// Handshake; the server answers with its shard count.
-    Hello,
+    /// Handshake; must be the first request on a connection.
+    Hello {
+        /// Protocol version the client speaks ([`PROTO_VERSION`]).
+        proto: u32,
+        /// Client-chosen session id for idempotent republish; `0` opts out
+        /// of deduplication.
+        session: u64,
+    },
     /// Registers `user` for `topic` in real-time mode. Acknowledged.
     Subscribe {
         /// Subscriber.
@@ -31,8 +103,11 @@ pub enum Request {
         /// Topic to follow.
         topic: Topic,
     },
-    /// Publishes `item` on `topic`. Fire-and-forget: no response.
+    /// Publishes `item` on `topic`. Acknowledged cumulatively via
+    /// [`Response::PubAck`]; see the module docs.
     Publish {
+        /// Per-session sequence number, strictly increasing from 1.
+        seq: u64,
         /// Topic published to.
         topic: Topic,
         /// Payload routed to every matching subscriber's shard.
@@ -43,10 +118,37 @@ pub enum Request {
         /// Rounds to run.
         rounds: u32,
     },
+    /// Like `Tick`, but the response also carries the full per-user
+    /// delivery log of the ticked rounds (for determinism audits; costly
+    /// at scale).
+    TickReport {
+        /// Rounds to run.
+        rounds: u32,
+    },
     /// Requests a metrics snapshot across all shards.
     Metrics,
-    /// Stops the daemon after draining shard queues.
+    /// Forces a coordinated checkpoint now (requires a configured
+    /// checkpoint directory).
+    Checkpoint,
+    /// Graceful shutdown: stop ingest, flush queues through one final
+    /// round, checkpoint, exit.
+    Drain,
+    /// Immediate shutdown *without* checkpointing — crash semantics, used
+    /// by the kill-and-restart tests.
     Shutdown,
+}
+
+/// One delivered notification, as reported by [`Response::TickReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Round index the delivery happened in.
+    pub round: u64,
+    /// Receiving user.
+    pub user: UserId,
+    /// Delivered content.
+    pub content: ContentId,
+    /// Presentation level index chosen by the MCKP selector.
+    pub level: u8,
 }
 
 /// Server-to-client messages.
@@ -54,11 +156,22 @@ pub enum Request {
 pub enum Response {
     /// Handshake answer.
     Hello {
+        /// Protocol version the server speaks.
+        proto: u32,
         /// Number of shard workers.
         shards: usize,
+        /// Highest publish sequence number already applied for this
+        /// session (`0` for a fresh session).
+        resume_seq: u64,
     },
     /// Subscription acknowledged.
     Subscribed,
+    /// Cumulative publish acknowledgement: every publication with
+    /// sequence number `<= seq` is durable against connection loss.
+    PubAck {
+        /// Highest contiguously applied sequence number.
+        seq: u64,
+    },
     /// Tick completed on every shard.
     Ticked {
         /// Total rounds completed per shard after this tick.
@@ -66,12 +179,40 @@ pub enum Response {
         /// Notifications selected across all shards during this tick.
         selected: u64,
     },
+    /// Tick completed; full delivery log attached.
+    TickReport {
+        /// Total rounds completed per shard after this tick.
+        rounds: u64,
+        /// Every delivery of the ticked rounds, ordered by round then by
+        /// user id (deterministic).
+        deliveries: Vec<Delivery>,
+    },
     /// Metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// Coordinated checkpoint written.
+    Checkpointed {
+        /// Users captured in the checkpoint.
+        users: u64,
+        /// Round the checkpoint is consistent at.
+        round: u64,
+    },
+    /// Drain finished: queues flushed, final round run, state checkpointed
+    /// (when a checkpoint directory is configured). The daemon exits after
+    /// this frame.
+    Drained {
+        /// Total rounds completed per shard.
+        rounds: u64,
+        /// Users captured in the final checkpoint (0 if none written).
+        users: u64,
+        /// Whether a final checkpoint was written.
+        checkpointed: bool,
+    },
     /// Shutdown acknowledged; the connection closes after this frame.
     ShuttingDown,
     /// The request could not be served.
     Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
         /// Human-readable cause.
         message: String,
     },
@@ -83,9 +224,10 @@ pub enum Response {
 ///
 /// Returns any underlying I/O error; the message itself cannot fail to
 /// serialize.
-pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<()> {
     write_frame_unflushed(w, msg)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Writes one frame without flushing, so callers can pipeline many frames
@@ -93,54 +235,90 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()>
 ///
 /// # Errors
 ///
-/// Returns any underlying I/O error.
-pub fn write_frame_unflushed<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
-    let payload = serde_json::to_string(msg).map_err(io::Error::other)?;
+/// Returns any underlying I/O error, or [`ServerError::Frame`] for an
+/// oversized payload.
+pub fn write_frame_unflushed<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<()> {
+    let payload = serde_json::to_string(msg).map_err(|e| ServerError::Frame(e.to_string()))?;
     let bytes = payload.as_bytes();
     if bytes.len() as u64 > u64::from(MAX_FRAME_BYTES) {
-        return Err(io::Error::other("frame exceeds MAX_FRAME_BYTES"));
+        return Err(ServerError::Frame(format!(
+            "frame of {} bytes exceeds MAX_FRAME_BYTES",
+            bytes.len()
+        )));
     }
     w.write_all(&(bytes.len() as u32).to_le_bytes())?;
-    w.write_all(bytes)
+    w.write_all(&[(PROTO_VERSION & 0xFF) as u8])?;
+    w.write_all(bytes)?;
+    Ok(())
 }
 
 /// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary.
 ///
 /// # Errors
 ///
-/// Returns an error for truncated frames, oversized lengths, or payloads
-/// that are not valid JSON for `T`.
-pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> io::Result<Option<T>> {
+/// Returns [`ServerError::ProtoMismatch`] when the version byte is not
+/// ours, and [`ServerError::Frame`] for truncated frames, oversized
+/// lengths, or payloads that are not valid JSON for `T`.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> ServerResult<Option<T>> {
     let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
+    match read_exact_retry(r, &mut len_buf) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+        Err(e) => return Err(e.into()),
     }
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME_BYTES {
-        return Err(io::Error::other(format!("frame length {len} exceeds limit")));
+        return Err(ServerError::Frame(format!("frame length {len} exceeds limit")));
+    }
+    let mut proto = [0u8; 1];
+    read_exact_retry(r, &mut proto)
+        .map_err(|e| ServerError::Frame(format!("truncated frame header: {e}")))?;
+    if u32::from(proto[0]) != PROTO_VERSION & 0xFF {
+        return Err(ServerError::ProtoMismatch {
+            ours: PROTO_VERSION,
+            theirs: u32::from(proto[0]),
+        });
     }
     let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    read_exact_retry(r, &mut payload)
+        .map_err(|e| ServerError::Frame(format!("truncated frame payload: {e}")))?;
     let text = std::str::from_utf8(&payload)
-        .map_err(|e| io::Error::other(format!("frame is not UTF-8: {e}")))?;
+        .map_err(|e| ServerError::Frame(format!("frame is not UTF-8: {e}")))?;
     let msg = serde_json::from_str(text)
-        .map_err(|e| io::Error::other(format!("bad frame payload: {e}")))?;
+        .map_err(|e| ServerError::Frame(format!("bad frame payload: {e}")))?;
     Ok(Some(msg))
+}
+
+/// `read_exact` that retries `Interrupted`, so injected short reads (and
+/// signal-interrupted sockets) reassemble partial frames correctly.
+fn read_exact_retry<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::ShortReader;
 
     #[test]
     fn frames_roundtrip() {
         let reqs = vec![
-            Request::Hello,
+            Request::Hello { proto: PROTO_VERSION, session: 99 },
             Request::Subscribe { user: UserId::new(7), topic: Topic::FriendFeed(UserId::new(7)) },
             Request::Tick { rounds: 3 },
+            Request::TickReport { rounds: 1 },
             Request::Metrics,
+            Request::Checkpoint,
+            Request::Drain,
             Request::Shutdown,
         ];
         let mut buf = Vec::new();
@@ -152,22 +330,61 @@ mod tests {
             let got: Request = read_frame(&mut cursor).unwrap().unwrap();
             assert_eq!(&got, want);
         }
-        assert_eq!(read_frame::<_, Request>(&mut cursor).unwrap(), None);
+        assert!(read_frame::<_, Request>(&mut cursor).unwrap().is_none());
     }
 
     #[test]
     fn truncated_frame_is_an_error() {
         let mut buf = Vec::new();
-        write_frame(&mut buf, &Request::Hello).unwrap();
+        write_frame(&mut buf, &Request::Metrics).unwrap();
         buf.pop();
         let mut cursor = &buf[..];
-        assert!(read_frame::<_, Request>(&mut cursor).is_err());
+        assert!(matches!(read_frame::<_, Request>(&mut cursor), Err(ServerError::Frame(_))));
     }
 
     #[test]
     fn oversized_length_is_rejected() {
         let buf = (MAX_FRAME_BYTES + 1).to_le_bytes().to_vec();
         let mut cursor = &buf[..];
-        assert!(read_frame::<_, Request>(&mut cursor).is_err());
+        assert!(matches!(read_frame::<_, Request>(&mut cursor), Err(ServerError::Frame(_))));
+    }
+
+    #[test]
+    fn version_byte_mismatch_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Metrics).unwrap();
+        buf[4] = 1; // forge a v1 version byte
+        let mut cursor = &buf[..];
+        match read_frame::<_, Request>(&mut cursor) {
+            Err(ServerError::ProtoMismatch { ours, theirs }) => {
+                assert_eq!(ours, PROTO_VERSION);
+                assert_eq!(theirs, 1);
+            }
+            other => panic!("expected ProtoMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_survive_short_reads() {
+        let mut buf = Vec::new();
+        for i in 0..5u32 {
+            write_frame(&mut buf, &Request::Tick { rounds: i }).unwrap();
+        }
+        let mut r = ShortReader::new(&buf[..], 3);
+        for i in 0..5u32 {
+            let got: Request = read_frame(&mut r).unwrap().unwrap();
+            assert_eq!(got, Request::Tick { rounds: i });
+        }
+        assert!(read_frame::<_, Request>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        let resp =
+            Response::Error { code: ErrorCode::Draining, message: "drain in progress".into() };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let got: Response = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, resp);
     }
 }

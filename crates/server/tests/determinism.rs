@@ -122,7 +122,7 @@ fn end_to_end_over_tcp() {
     let (addr, handle) = Server::spawn(cfg).expect("spawn server");
 
     let mut client = Client::connect(addr).expect("connect");
-    assert_eq!(client.hello().unwrap(), 2);
+    assert_eq!(client.shards(), 2);
 
     let items = trace_items();
     let users: std::collections::BTreeSet<UserId> = items.iter().map(|i| i.recipient).collect();
@@ -132,11 +132,11 @@ fn end_to_end_over_tcp() {
     for item in &items {
         client.publish(Topic::FriendFeed(item.recipient), item.clone()).unwrap();
     }
-    client.flush().unwrap();
+    client.sync().unwrap();
 
-    // Publishes are fire-and-forget; an acknowledged request fences them
-    // (same connection ⇒ ordered) but shard queues may still be draining,
-    // so tick until everything ingested has been considered.
+    // sync() fences the publishes (every one is acked, hence routed), but
+    // shard queues may still be draining, so tick until everything
+    // ingested has been considered.
     let mut selected_total = 0u64;
     for _ in 0..200 {
         let (_, selected) = client.tick(1).unwrap();
@@ -167,15 +167,17 @@ fn end_to_end_over_tcp() {
 
 #[test]
 fn wire_protocol_survives_a_full_conversation() {
-    use richnote_server::wire::{read_frame, write_frame, Request, Response};
+    use richnote_server::wire::{read_frame, write_frame, ErrorCode, Request, Response};
+    use richnote_server::PROTO_VERSION;
 
     let item = trace_items().remove(0);
     let reqs = vec![
-        Request::Hello,
+        Request::Hello { proto: PROTO_VERSION, session: 77 },
         Request::Subscribe { user: item.recipient, topic: Topic::FriendFeed(item.recipient) },
-        Request::Publish { topic: Topic::FriendFeed(item.recipient), item },
+        Request::Publish { seq: 1, topic: Topic::FriendFeed(item.recipient), item },
         Request::Tick { rounds: 2 },
         Request::Metrics,
+        Request::Drain,
         Request::Shutdown,
     ];
     let mut buf = Vec::new();
@@ -189,7 +191,7 @@ fn wire_protocol_survives_a_full_conversation() {
     }
     assert_eq!(back, reqs);
 
-    let resp = Response::Error { message: "nope".into() };
+    let resp = Response::Error { code: ErrorCode::Draining, message: "nope".into() };
     let mut buf = Vec::new();
     write_frame(&mut buf, &resp).unwrap();
     let mut cursor = &buf[..];

@@ -14,6 +14,8 @@
 //! * [`trace`] — the synthetic Spotify-like trace generator.
 //! * [`pubsub`] — the topic-based pub/sub substrate.
 //! * [`sim`] — the discrete-event simulator and experiment harness.
+//! * [`server`] — the sharded TCP delivery daemon, its fault-tolerant
+//!   [`Client`], checkpoint/restore, and the fault-injection harness.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and
 //! `crates/bench` for the harness that regenerates every figure and table
@@ -44,5 +46,12 @@ pub use richnote_energy as energy;
 pub use richnote_forest as forest;
 pub use richnote_net as net;
 pub use richnote_pubsub as pubsub;
+pub use richnote_server as server;
 pub use richnote_sim as sim;
 pub use richnote_trace as trace;
+
+// The daemon-facing types most downstream users touch, lifted to the root
+// so `richnote::Client` works without spelling out the module path.
+pub use richnote_server::{
+    Client, RetryPolicy, Server, ServerConfig, ServerConfigBuilder, ServerError, ServerResult,
+};
