@@ -37,7 +37,7 @@ fn bench_round(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(backlog), &backlog, |b, &n| {
             b.iter_batched(
                 || {
-                    let mut s = RichNoteScheduler::with_defaults();
+                    let mut s = RichNoteScheduler::builder().build();
                     for i in 0..n as u64 {
                         s.enqueue(notification(i));
                     }

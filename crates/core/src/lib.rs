@@ -23,7 +23,8 @@
 //!   adjusted utility `Ua(i,j) = Q(t)·s(i) + (P(t)−κ)·ρ(i,j) + V·U(i,j)`
 //!   ([`lyapunov`]);
 //! * the round-based **scheduling policies**: `RichNote` and the two
-//!   industry baselines, `FIFO` and `UTIL` ([`scheduler`]).
+//!   industry baselines, `FIFO` and `UTIL` ([`scheduler`]), unified under
+//!   the checkpointable, observable [`Policy`] trait ([`policy`]).
 //!
 //! # Quick example
 //!
@@ -51,6 +52,7 @@ pub mod lyapunov;
 pub mod mckp;
 pub mod mckp2;
 pub mod paper;
+pub mod policy;
 pub mod presentation;
 pub mod scheduler;
 pub mod survey;
@@ -62,6 +64,9 @@ pub use error::{LadderError, SurveyFitError};
 pub use ids::{AlbumId, ArtistId, ContentId, PlaylistId, TopicId, TrackId, UserId};
 pub use lyapunov::{LyapunovConfig, LyapunovState};
 pub use mckp::{select_exact, select_fractional, select_greedy, MckpItem, Selection};
+pub use policy::{
+    FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectionObserver, WrongPolicy,
+};
 pub use presentation::{AudioPresentationSpec, Presentation, PresentationLadder};
 pub use scheduler::{
     DeliveredNotification, FifoScheduler, NotificationScheduler, QueuedNotification,

@@ -1,0 +1,207 @@
+//! The [`Policy`] trait: one interface for every scheduling policy.
+//!
+//! [`super::scheduler::NotificationScheduler`] (PR 1) is the minimal
+//! simulation-facing interface; it has no checkpoint story and no way to
+//! watch *why* a policy picked a level. `Policy` is the daemon-facing
+//! superset: the same round loop, plus
+//!
+//! * [`Policy::checkpoint`] / [`Policy::restore`] — every policy can be
+//!   captured into a serializable [`PolicyCheckpoint`] and rebuilt, so the
+//!   server's checkpoint machinery no longer hard-codes one scheduler;
+//! * [`SelectionObserver`] — a per-round hook through which the policy
+//!   reports each selection (chosen level, realized utility, and the MCKP
+//!   gradient that won the knapsack slot), feeding the observability
+//!   layer without the policy knowing about registries or trace rings.
+//!
+//! The simulator and the server shard are generic over `P: Policy`;
+//! `Box<dyn Policy>` also implements `Policy` (restore dispatches on the
+//! checkpoint variant), so call sites that pick a policy at runtime stay
+//! dynamic with no second code path.
+
+use crate::ids::ContentId;
+use crate::scheduler::{
+    DeliveredNotification, NotificationScheduler, QueuedNotification, RoundContext,
+    SchedulerCheckpoint,
+};
+use serde::{Deserialize, Serialize};
+
+/// Receives per-selection telemetry during [`Policy::select_round`].
+///
+/// Implementations must be cheap: the RichNote scheduler calls
+/// [`SelectionObserver::on_select`] once per delivered notification inside
+/// the round loop.
+pub trait SelectionObserver {
+    /// One notification was chosen for delivery.
+    ///
+    /// `gradient` is the utility-per-byte slope of the final upgrade into
+    /// `level` in the MCKP instance (0 for policies that do not solve a
+    /// knapsack).
+    #[allow(clippy::too_many_arguments)]
+    fn on_select(
+        &mut self,
+        round: u64,
+        content: ContentId,
+        level: u8,
+        size: u64,
+        utility: f64,
+        gradient: f64,
+    );
+}
+
+/// An observer that ignores everything (the default for plain
+/// `NotificationScheduler` runs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SelectionObserver for NoopObserver {
+    fn on_select(&mut self, _: u64, _: ContentId, _: u8, _: u64, _: f64, _: f64) {}
+}
+
+/// Serializable state of one fixed-level baseline scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedLevelCheckpoint {
+    /// The configured presentation level.
+    pub fixed_level: u8,
+    /// Rolled-over data budget (bytes, fractional).
+    pub data_budget: f64,
+    /// The queue in its exact in-memory order.
+    pub queue: Vec<QueuedNotification>,
+}
+
+/// A policy-tagged checkpoint: which policy wrote it, plus its state.
+///
+/// The tag is what lets a restarted daemon rebuild the *same* policy the
+/// checkpoint came from — restoring a `Fifo` checkpoint into a RichNote
+/// shard fails loudly with [`WrongPolicy`] instead of silently changing
+/// scheduling behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyCheckpoint {
+    /// [`crate::scheduler::RichNoteScheduler`] state.
+    RichNote(SchedulerCheckpoint),
+    /// [`crate::scheduler::FifoScheduler`] state.
+    Fifo(FixedLevelCheckpoint),
+    /// [`crate::scheduler::UtilScheduler`] state.
+    Util(FixedLevelCheckpoint),
+}
+
+impl PolicyCheckpoint {
+    /// The policy name the checkpoint belongs to.
+    pub fn policy_name(&self) -> &'static str {
+        match self {
+            PolicyCheckpoint::RichNote(_) => "RichNote",
+            PolicyCheckpoint::Fifo(_) => "FIFO",
+            PolicyCheckpoint::Util(_) => "UTIL",
+        }
+    }
+}
+
+/// Restore was handed a checkpoint written by a different policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrongPolicy {
+    /// The policy asked to restore.
+    pub expected: &'static str,
+    /// The policy that wrote the checkpoint.
+    pub found: &'static str,
+}
+
+impl std::fmt::Display for WrongPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot restore a {} checkpoint into a {} policy", self.found, self.expected)
+    }
+}
+
+impl std::error::Error for WrongPolicy {}
+
+/// The unified scheduling-policy interface.
+///
+/// A supertrait of [`NotificationScheduler`], so every policy keeps the
+/// simulation-facing `name`/`enqueue`/`run_round`/`backlog` surface and
+/// adds checkpointing plus observable rounds on top. Semantically
+/// [`Policy::select_round`] is
+/// [`NotificationScheduler::run_round`] with telemetry: the two entry
+/// points deliver identical notifications for the same inputs.
+pub trait Policy: NotificationScheduler {
+    /// Admits newly arrived notifications into the scheduling queue.
+    fn observe_arrivals(&mut self, arrivals: Vec<QueuedNotification>) {
+        for n in arrivals {
+            self.enqueue(n);
+        }
+    }
+
+    /// Runs one round, reporting each selection through `obs` and
+    /// returning the deliveries in delivery order.
+    fn select_round(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        obs: &mut dyn SelectionObserver,
+    ) -> Vec<DeliveredNotification>;
+
+    /// Captures the policy's complete mutable state.
+    fn checkpoint(&self) -> PolicyCheckpoint;
+
+    /// Rebuilds a policy from a checkpoint written by the same policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WrongPolicy`] when `ck` was written by a different
+    /// policy.
+    fn restore(ck: PolicyCheckpoint) -> Result<Self, WrongPolicy>
+    where
+        Self: Sized;
+}
+
+impl NotificationScheduler for Box<dyn Policy + Send> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn enqueue(&mut self, notification: QueuedNotification) {
+        (**self).enqueue(notification);
+    }
+
+    fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
+        (**self).run_round(ctx)
+    }
+
+    fn backlog(&self) -> usize {
+        (**self).backlog()
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        (**self).backlog_bytes()
+    }
+}
+
+impl Policy for Box<dyn Policy + Send> {
+    fn observe_arrivals(&mut self, arrivals: Vec<QueuedNotification>) {
+        (**self).observe_arrivals(arrivals);
+    }
+
+    fn select_round(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        obs: &mut dyn SelectionObserver,
+    ) -> Vec<DeliveredNotification> {
+        (**self).select_round(ctx, obs)
+    }
+
+    fn checkpoint(&self) -> PolicyCheckpoint {
+        (**self).checkpoint()
+    }
+
+    /// Rebuilds whichever concrete policy the checkpoint was written by.
+    fn restore(ck: PolicyCheckpoint) -> Result<Self, WrongPolicy> {
+        use crate::scheduler::{FifoScheduler, RichNoteScheduler, UtilScheduler};
+        Ok(match ck {
+            PolicyCheckpoint::RichNote(_) => {
+                Box::new(RichNoteScheduler::restore(ck).expect("variant matched"))
+            }
+            PolicyCheckpoint::Fifo(_) => {
+                Box::new(FifoScheduler::restore(ck).expect("variant matched"))
+            }
+            PolicyCheckpoint::Util(_) => {
+                Box::new(UtilScheduler::restore(ck).expect("variant matched"))
+            }
+        })
+    }
+}

@@ -18,6 +18,9 @@ use crate::content::ContentItem;
 use crate::ids::ContentId;
 use crate::lyapunov::{LyapunovConfig, LyapunovState};
 use crate::mckp::{select_greedy_with, GreedyOptions, MckpItem};
+use crate::policy::{
+    FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectionObserver, WrongPolicy,
+};
 use crate::presentation::PresentationLadder;
 use crate::utility::combined_utility;
 use serde::{Deserialize, Serialize};
@@ -211,7 +214,7 @@ pub struct SchedulerCheckpoint {
 ///     LinearCost, NotificationScheduler, RichNoteScheduler, RoundContext,
 /// };
 ///
-/// let mut sched = RichNoteScheduler::with_defaults();
+/// let mut sched = RichNoteScheduler::builder().build();
 /// let cost = LinearCost { fixed: 1.0, per_byte: 1e-4 };
 /// let ctx = RoundContext {
 ///     round: 0, now: 0.0, round_secs: 3_600.0, online: true,
@@ -229,15 +232,67 @@ pub struct RichNoteScheduler {
     expired: u64,
 }
 
+/// Builder for [`RichNoteScheduler`], mirroring the server's
+/// `ServerConfig::builder()` style. `RichNoteScheduler::builder().build()`
+/// yields the paper's default parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RichNoteSchedulerBuilder {
+    cfg: RichNoteConfig,
+}
+
+impl RichNoteSchedulerBuilder {
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, cfg: RichNoteConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the Lyapunov controller parameters.
+    pub fn lyapunov(mut self, lyapunov: LyapunovConfig) -> Self {
+        self.cfg.lyapunov = lyapunov;
+        self
+    }
+
+    /// Sets the MCKP greedy options.
+    pub fn greedy(mut self, greedy: GreedyOptions) -> Self {
+        self.cfg.greedy = greedy;
+        self
+    }
+
+    /// Drops queue entries older than `secs` seconds.
+    pub fn max_age_secs(mut self, secs: f64) -> Self {
+        self.cfg.max_age_secs = Some(secs);
+        self
+    }
+
+    /// Builds the scheduler.
+    pub fn build(self) -> RichNoteScheduler {
+        let cfg = self.cfg;
+        RichNoteScheduler {
+            lyap: LyapunovState::new(cfg.lyapunov),
+            cfg,
+            queue: Vec::new(),
+            expired: 0,
+        }
+    }
+}
+
 impl RichNoteScheduler {
+    /// A builder starting from the paper's default parameters.
+    pub fn builder() -> RichNoteSchedulerBuilder {
+        RichNoteSchedulerBuilder::default()
+    }
+
     /// Creates a scheduler with the given configuration.
+    #[deprecated(since = "0.1.0", note = "use RichNoteScheduler::builder().config(cfg).build()")]
     pub fn new(cfg: RichNoteConfig) -> Self {
-        Self { lyap: LyapunovState::new(cfg.lyapunov), cfg, queue: Vec::new(), expired: 0 }
+        Self::builder().config(cfg).build()
     }
 
     /// Creates a scheduler with the paper's default parameters.
+    #[deprecated(since = "0.1.0", note = "use RichNoteScheduler::builder().build()")]
     pub fn with_defaults() -> Self {
-        Self::new(RichNoteConfig::default())
+        Self::builder().build()
     }
 
     /// Read-only view of the Lyapunov state (for telemetry).
@@ -266,36 +321,13 @@ impl RichNoteScheduler {
         Self { cfg: ck.config, lyap: ck.lyapunov, queue: ck.queue, expired: ck.expired }
     }
 
-    /// Drops queue entries older than the configured `max_age_secs`.
-    fn expire(&mut self, now: f64) {
-        let Some(max_age) = self.cfg.max_age_secs else {
-            return;
-        };
-        let lyap = &mut self.lyap;
-        let expired = &mut self.expired;
-        self.queue.retain(|n| {
-            if now - n.enqueued_at > max_age {
-                lyap.on_drop(n.ladder.total_size());
-                *expired += 1;
-                false
-            } else {
-                true
-            }
-        });
-    }
-}
-
-impl NotificationScheduler for RichNoteScheduler {
-    fn name(&self) -> &str {
-        "RichNote"
-    }
-
-    fn enqueue(&mut self, notification: QueuedNotification) {
-        self.lyap.on_enqueue(notification.ladder.total_size());
-        self.queue.push(notification);
-    }
-
-    fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
+    /// The round body shared by [`NotificationScheduler::run_round`] (noop
+    /// observer) and [`Policy::select_round`] (live observer).
+    fn round_impl(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        obs: &mut dyn SelectionObserver,
+    ) -> Vec<DeliveredNotification> {
         self.lyap.begin_round(ctx.data_grant, ctx.energy_grant);
         self.expire(ctx.now);
         if !ctx.online || self.queue.is_empty() {
@@ -345,11 +377,20 @@ impl NotificationScheduler for RichNoteScheduler {
             self.lyap.on_deliver(n.ladder.total_size(), pres.size, energy);
             let delivered_at = ctx.finish_time(bytes_before, pres.size);
             bytes_before += pres.size;
+            let utility = n.utility_at(level);
+            obs.on_select(
+                ctx.round,
+                n.item.id,
+                level,
+                pres.size,
+                utility,
+                items[idx].gradient(level - 1),
+            );
             delivered.push(DeliveredNotification {
                 content: n.item.id,
                 level,
                 size: pres.size,
-                utility: n.utility_at(level),
+                utility,
                 energy,
                 enqueued_at: n.enqueued_at,
                 delivered_at,
@@ -367,12 +408,66 @@ impl NotificationScheduler for RichNoteScheduler {
         delivered
     }
 
+    /// Drops queue entries older than the configured `max_age_secs`.
+    fn expire(&mut self, now: f64) {
+        let Some(max_age) = self.cfg.max_age_secs else {
+            return;
+        };
+        let lyap = &mut self.lyap;
+        let expired = &mut self.expired;
+        self.queue.retain(|n| {
+            if now - n.enqueued_at > max_age {
+                lyap.on_drop(n.ladder.total_size());
+                *expired += 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+impl NotificationScheduler for RichNoteScheduler {
+    fn name(&self) -> &str {
+        "RichNote"
+    }
+
+    fn enqueue(&mut self, notification: QueuedNotification) {
+        self.lyap.on_enqueue(notification.ladder.total_size());
+        self.queue.push(notification);
+    }
+
+    fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
+        self.round_impl(ctx, &mut NoopObserver)
+    }
+
     fn backlog(&self) -> usize {
         self.queue.len()
     }
 
     fn backlog_bytes(&self) -> u64 {
         self.queue.iter().map(|n| n.ladder.total_size()).sum()
+    }
+}
+
+impl Policy for RichNoteScheduler {
+    fn select_round(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        obs: &mut dyn SelectionObserver,
+    ) -> Vec<DeliveredNotification> {
+        self.round_impl(ctx, obs)
+    }
+
+    fn checkpoint(&self) -> PolicyCheckpoint {
+        PolicyCheckpoint::RichNote(RichNoteScheduler::checkpoint(self))
+    }
+
+    fn restore(ck: PolicyCheckpoint) -> Result<Self, WrongPolicy> {
+        match ck {
+            PolicyCheckpoint::RichNote(c) => Ok(RichNoteScheduler::from_checkpoint(c)),
+            other => Err(WrongPolicy { expected: "RichNote", found: other.policy_name() }),
+        }
     }
 }
 
@@ -392,8 +487,13 @@ impl FixedLevelState {
     /// Delivers queued items in the queue's current order at the fixed
     /// level until the budget or capacity is exhausted. Stops at the first
     /// item that does not fit (head-of-line blocking, as deployed systems
-    /// that preserve ordering do).
-    fn drain(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
+    /// that preserve ordering do). Selections are reported through `obs`
+    /// with gradient 0 (no knapsack is solved).
+    fn drain(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        obs: &mut dyn SelectionObserver,
+    ) -> Vec<DeliveredNotification> {
         self.data_budget += ctx.data_grant as f64;
         if !ctx.online {
             return Vec::new();
@@ -413,11 +513,13 @@ impl FixedLevelState {
             capacity -= pres.size;
             let delivered_at = ctx.finish_time(bytes_before, pres.size);
             bytes_before += pres.size;
+            let utility = n.utility_at(level);
+            obs.on_select(ctx.round, n.item.id, level, pres.size, utility, 0.0);
             delivered.push(DeliveredNotification {
                 content: n.item.id,
                 level,
                 size: pres.size,
-                utility: n.utility_at(level),
+                utility,
                 energy,
                 enqueued_at: n.enqueued_at,
                 delivered_at,
@@ -426,8 +528,57 @@ impl FixedLevelState {
         delivered
     }
 
+    fn checkpoint(&self) -> FixedLevelCheckpoint {
+        FixedLevelCheckpoint {
+            fixed_level: self.fixed_level,
+            data_budget: self.data_budget,
+            queue: self.queue.iter().cloned().collect(),
+        }
+    }
+
+    fn from_checkpoint(ck: FixedLevelCheckpoint) -> Self {
+        Self { fixed_level: ck.fixed_level, data_budget: ck.data_budget, queue: ck.queue.into() }
+    }
+
     fn backlog_bytes(&self) -> u64 {
         self.queue.iter().map(|n| n.ladder.total_size()).sum()
+    }
+}
+
+/// Builder for the fixed-level baselines ([`FifoScheduler`],
+/// [`UtilScheduler`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedLevelBuilder<T> {
+    fixed_level: u8,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Default for FixedLevelBuilder<T> {
+    fn default() -> Self {
+        Self { fixed_level: 1, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T> FixedLevelBuilder<T> {
+    /// Sets the presentation level delivered at (clamped per item to its
+    /// ladder depth). Defaults to 1 (metadata only).
+    pub fn fixed_level(mut self, level: u8) -> Self {
+        self.fixed_level = level;
+        self
+    }
+}
+
+impl FixedLevelBuilder<FifoScheduler> {
+    /// Builds the scheduler.
+    pub fn build(self) -> FifoScheduler {
+        FifoScheduler { state: FixedLevelState::new(self.fixed_level) }
+    }
+}
+
+impl FixedLevelBuilder<UtilScheduler> {
+    /// Builds the scheduler.
+    pub fn build(self) -> UtilScheduler {
+        UtilScheduler { state: FixedLevelState::new(self.fixed_level) }
     }
 }
 
@@ -439,10 +590,16 @@ pub struct FifoScheduler {
 }
 
 impl FifoScheduler {
+    /// A builder; `FifoScheduler::builder().fixed_level(n).build()`.
+    pub fn builder() -> FixedLevelBuilder<FifoScheduler> {
+        FixedLevelBuilder::default()
+    }
+
     /// Creates a FIFO scheduler delivering at `fixed_level` (clamped to
     /// each item's ladder depth).
+    #[deprecated(since = "0.1.0", note = "use FifoScheduler::builder().fixed_level(n).build()")]
     pub fn new(fixed_level: u8) -> Self {
-        Self { state: FixedLevelState::new(fixed_level) }
+        Self::builder().fixed_level(fixed_level).build()
     }
 
     /// The configured fixed level.
@@ -461,7 +618,7 @@ impl NotificationScheduler for FifoScheduler {
     }
 
     fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
-        self.state.drain(ctx)
+        self.state.drain(ctx, &mut NoopObserver)
     }
 
     fn backlog(&self) -> usize {
@@ -473,6 +630,31 @@ impl NotificationScheduler for FifoScheduler {
     }
 }
 
+impl Policy for FifoScheduler {
+    fn observe_arrivals(&mut self, arrivals: Vec<QueuedNotification>) {
+        self.state.queue.extend(arrivals);
+    }
+
+    fn select_round(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        obs: &mut dyn SelectionObserver,
+    ) -> Vec<DeliveredNotification> {
+        self.state.drain(ctx, obs)
+    }
+
+    fn checkpoint(&self) -> PolicyCheckpoint {
+        PolicyCheckpoint::Fifo(self.state.checkpoint())
+    }
+
+    fn restore(ck: PolicyCheckpoint) -> Result<Self, WrongPolicy> {
+        match ck {
+            PolicyCheckpoint::Fifo(c) => Ok(Self { state: FixedLevelState::from_checkpoint(c) }),
+            other => Err(WrongPolicy { expected: "FIFO", found: other.policy_name() }),
+        }
+    }
+}
+
 /// UTIL baseline: notifications delivered in descending utility order at a
 /// fixed presentation level (Spotify batch mode behaviour).
 #[derive(Debug)]
@@ -481,9 +663,15 @@ pub struct UtilScheduler {
 }
 
 impl UtilScheduler {
+    /// A builder; `UtilScheduler::builder().fixed_level(n).build()`.
+    pub fn builder() -> FixedLevelBuilder<UtilScheduler> {
+        FixedLevelBuilder::default()
+    }
+
     /// Creates a UTIL scheduler delivering at `fixed_level`.
+    #[deprecated(since = "0.1.0", note = "use UtilScheduler::builder().fixed_level(n).build()")]
     pub fn new(fixed_level: u8) -> Self {
-        Self { state: FixedLevelState::new(fixed_level) }
+        Self::builder().fixed_level(fixed_level).build()
     }
 
     /// The configured fixed level.
@@ -512,7 +700,7 @@ impl NotificationScheduler for UtilScheduler {
 
     fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
         self.resort();
-        self.state.drain(ctx)
+        self.state.drain(ctx, &mut NoopObserver)
     }
 
     fn backlog(&self) -> usize {
@@ -521,6 +709,32 @@ impl NotificationScheduler for UtilScheduler {
 
     fn backlog_bytes(&self) -> u64 {
         self.state.backlog_bytes()
+    }
+}
+
+impl Policy for UtilScheduler {
+    fn observe_arrivals(&mut self, arrivals: Vec<QueuedNotification>) {
+        self.state.queue.extend(arrivals);
+    }
+
+    fn select_round(
+        &mut self,
+        ctx: &RoundContext<'_>,
+        obs: &mut dyn SelectionObserver,
+    ) -> Vec<DeliveredNotification> {
+        self.resort();
+        self.state.drain(ctx, obs)
+    }
+
+    fn checkpoint(&self) -> PolicyCheckpoint {
+        PolicyCheckpoint::Util(self.state.checkpoint())
+    }
+
+    fn restore(ck: PolicyCheckpoint) -> Result<Self, WrongPolicy> {
+        match ck {
+            PolicyCheckpoint::Util(c) => Ok(Self { state: FixedLevelState::from_checkpoint(c) }),
+            other => Err(WrongPolicy { expected: "UTIL", found: other.policy_name() }),
+        }
     }
 }
 
@@ -569,7 +783,7 @@ mod tests {
 
     #[test]
     fn richnote_delivers_nothing_when_offline() {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         s.enqueue(notification(1, 0.9, 0.0));
         let ctx = RoundContext { online: false, ..online_ctx(0, 1_000_000) };
         assert!(s.run_round(&ctx).is_empty());
@@ -580,8 +794,8 @@ mod tests {
     #[test]
     fn richnote_adapts_level_to_budget() {
         // Tiny budget → metadata only; huge budget → full previews.
-        let mut small = RichNoteScheduler::with_defaults();
-        let mut large = RichNoteScheduler::with_defaults();
+        let mut small = RichNoteScheduler::builder().build();
+        let mut large = RichNoteScheduler::builder().build();
         for i in 0..5 {
             small.enqueue(notification(i, 0.8, 0.0));
             large.enqueue(notification(i, 0.8, 0.0));
@@ -596,7 +810,7 @@ mod tests {
 
     #[test]
     fn richnote_delivery_sorted_by_utility() {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         s.enqueue(notification(1, 0.2, 0.0));
         s.enqueue(notification(2, 0.9, 0.0));
         s.enqueue(notification(3, 0.5, 0.0));
@@ -610,7 +824,7 @@ mod tests {
 
     #[test]
     fn richnote_queue_drains_and_backlog_tracks() {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         for i in 0..10 {
             s.enqueue(notification(i, 0.5, 0.0));
         }
@@ -626,7 +840,7 @@ mod tests {
 
     #[test]
     fn richnote_budget_rolls_over_when_offline() {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         s.enqueue(notification(1, 0.9, 0.0));
         // Three offline rounds bank 3θ...
         for r in 0..3 {
@@ -642,7 +856,7 @@ mod tests {
 
     #[test]
     fn fifo_preserves_arrival_order() {
-        let mut s = FifoScheduler::new(1);
+        let mut s = FifoScheduler::builder().fixed_level(1).build();
         s.enqueue(notification(1, 0.1, 0.0));
         s.enqueue(notification(2, 0.9, 10.0));
         let delivered = s.run_round(&online_ctx(0, 1_000_000));
@@ -652,7 +866,7 @@ mod tests {
 
     #[test]
     fn util_orders_by_utility() {
-        let mut s = UtilScheduler::new(1);
+        let mut s = UtilScheduler::builder().fixed_level(1).build();
         s.enqueue(notification(1, 0.1, 0.0));
         s.enqueue(notification(2, 0.9, 10.0));
         s.enqueue(notification(3, 0.5, 20.0));
@@ -664,7 +878,7 @@ mod tests {
     #[test]
     fn baselines_block_on_fixed_level_size() {
         // Level 3 = metadata + 10s preview = 200_200 bytes. Budget for one.
-        let mut fifo = FifoScheduler::new(3);
+        let mut fifo = FifoScheduler::builder().fixed_level(3).build();
         fifo.enqueue(notification(1, 0.9, 0.0));
         fifo.enqueue(notification(2, 0.9, 0.0));
         let delivered = fifo.run_round(&online_ctx(0, 250_000));
@@ -675,7 +889,7 @@ mod tests {
 
     #[test]
     fn baseline_budget_rolls_over() {
-        let mut fifo = FifoScheduler::new(3);
+        let mut fifo = FifoScheduler::builder().fixed_level(3).build();
         fifo.enqueue(notification(1, 0.9, 0.0));
         // One round with half the needed budget: nothing delivered.
         assert!(fifo.run_round(&online_ctx(0, 110_000)).is_empty());
@@ -688,7 +902,7 @@ mod tests {
         let ladder = crate::presentation::PresentationLadder::new(vec![(200, 0.01)]).unwrap();
         let mut n = notification(1, 0.9, 0.0);
         n.ladder = ladder;
-        let mut fifo = FifoScheduler::new(6);
+        let mut fifo = FifoScheduler::builder().fixed_level(6).build();
         fifo.enqueue(n);
         let delivered = fifo.run_round(&online_ctx(0, 1_000));
         assert_eq!(delivered.len(), 1);
@@ -697,7 +911,7 @@ mod tests {
 
     #[test]
     fn link_capacity_caps_deliveries() {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         for i in 0..4 {
             s.enqueue(notification(i, 0.9, 0.0));
         }
@@ -709,7 +923,7 @@ mod tests {
 
     #[test]
     fn queuing_delay_is_measured() {
-        let mut s = FifoScheduler::new(1);
+        let mut s = FifoScheduler::builder().fixed_level(1).build();
         s.enqueue(notification(1, 0.9, 100.0));
         let ctx = online_ctx(2, 1_000_000); // now = 7200
         let delivered = s.run_round(&ctx);
@@ -719,7 +933,7 @@ mod tests {
     #[test]
     fn expiry_drops_stale_items_and_shrinks_q() {
         let cfg = RichNoteConfig { max_age_secs: Some(2.0 * 3600.0), ..RichNoteConfig::default() };
-        let mut s = RichNoteScheduler::new(cfg);
+        let mut s = RichNoteScheduler::builder().config(cfg).build();
         s.enqueue(notification(1, 0.9, 0.0));
         s.enqueue(notification(2, 0.9, 9_000.0));
         assert_eq!(s.backlog(), 2);
@@ -734,7 +948,7 @@ mod tests {
 
     #[test]
     fn expiry_disabled_by_default() {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         s.enqueue(notification(1, 0.9, 0.0));
         let ctx = RoundContext { online: false, now: 1e9, ..online_ctx(0, 0) };
         assert!(s.run_round(&ctx).is_empty());
@@ -747,8 +961,8 @@ mod tests {
         // Two schedulers fed identical streams; one is checkpointed and
         // restored mid-run. Subsequent rounds must be identical, and the
         // snapshot itself must survive a JSON round trip unchanged.
-        let mut reference = RichNoteScheduler::with_defaults();
-        let mut victim = RichNoteScheduler::with_defaults();
+        let mut reference = RichNoteScheduler::builder().build();
+        let mut victim = RichNoteScheduler::builder().build();
         for i in 0..6 {
             reference.enqueue(notification(i, 0.3 + 0.1 * i as f64, 0.0));
             victim.enqueue(notification(i, 0.3 + 0.1 * i as f64, 0.0));
@@ -787,8 +1001,8 @@ mod tests {
             lyapunov: LyapunovConfig { v: 1_000.0, kappa: 3_000.0, initial_energy: 0.0 },
             ..RichNoteConfig::default()
         };
-        let mut poor = RichNoteScheduler::new(cfg);
-        let mut rich = RichNoteScheduler::with_defaults();
+        let mut poor = RichNoteScheduler::builder().config(cfg).build();
+        let mut rich = RichNoteScheduler::builder().build();
         for i in 0..3 {
             poor.enqueue(notification(i, 0.9, 0.0));
             rich.enqueue(notification(i, 0.9, 0.0));
@@ -814,5 +1028,105 @@ mod tests {
             max_poor <= max_rich,
             "energy-poor scheduler must not pick richer levels ({max_poor} vs {max_rich})"
         );
+    }
+
+    /// Records every on_select call for assertions.
+    #[derive(Default)]
+    struct RecordingObserver {
+        selects: Vec<(u64, ContentId, u8, u64, f64, f64)>,
+    }
+
+    impl SelectionObserver for RecordingObserver {
+        fn on_select(
+            &mut self,
+            round: u64,
+            content: ContentId,
+            level: u8,
+            size: u64,
+            utility: f64,
+            gradient: f64,
+        ) {
+            self.selects.push((round, content, level, size, utility, gradient));
+        }
+    }
+
+    #[test]
+    fn select_round_matches_run_round() {
+        let mut via_trait = RichNoteScheduler::builder().build();
+        let mut via_policy = RichNoteScheduler::builder().build();
+        for i in 0..8 {
+            via_trait.enqueue(notification(i, 0.2 + 0.1 * i as f64, 0.0));
+        }
+        via_policy
+            .observe_arrivals((0..8).map(|i| notification(i, 0.2 + 0.1 * i as f64, 0.0)).collect());
+        let mut obs = RecordingObserver::default();
+        let a = via_trait.run_round(&online_ctx(0, 400_000));
+        let b = via_policy.select_round(&online_ctx(0, 400_000), &mut obs);
+        assert_eq!(a, b, "select_round must deliver exactly what run_round does");
+        assert_eq!(obs.selects.len(), b.len(), "one on_select per delivery");
+        for (ev, d) in obs.selects.iter().zip(&b) {
+            assert_eq!(ev.1, d.content);
+            assert_eq!(ev.2, d.level);
+            assert_eq!(ev.3, d.size);
+            assert!(ev.5.is_finite(), "gradient must be a real slope: {ev:?}");
+        }
+    }
+
+    #[test]
+    fn baseline_observer_reports_zero_gradient() {
+        let mut fifo = FifoScheduler::builder().fixed_level(1).build();
+        Policy::observe_arrivals(&mut fifo, vec![notification(1, 0.9, 0.0)]);
+        let mut obs = RecordingObserver::default();
+        let d = fifo.select_round(&online_ctx(0, 1_000_000), &mut obs);
+        assert_eq!(d.len(), 1);
+        assert_eq!(obs.selects.len(), 1);
+        assert_eq!(obs.selects[0].5, 0.0);
+    }
+
+    #[test]
+    fn policy_checkpoints_roundtrip_for_all_policies() {
+        let mut rn = RichNoteScheduler::builder().build();
+        let mut fifo = FifoScheduler::builder().fixed_level(3).build();
+        let mut util = UtilScheduler::builder().fixed_level(2).build();
+        for i in 0..4 {
+            rn.enqueue(notification(i, 0.5, 0.0));
+            fifo.enqueue(notification(i, 0.5, 0.0));
+            util.enqueue(notification(i, 0.5, 0.0));
+        }
+        // Advance the baselines so rolled-over budget state is nontrivial.
+        fifo.run_round(&online_ctx(0, 110_000));
+        util.run_round(&online_ctx(0, 110_000));
+
+        for (ck, name) in [
+            (Policy::checkpoint(&rn), "RichNote"),
+            (Policy::checkpoint(&fifo), "FIFO"),
+            (Policy::checkpoint(&util), "UTIL"),
+        ] {
+            assert_eq!(ck.policy_name(), name);
+            let json = serde_json::to_string(&ck).unwrap();
+            let back: PolicyCheckpoint = serde_json::from_str(&json).unwrap();
+            assert_eq!(ck, back, "{name} checkpoint must survive a JSON round trip");
+            let restored: Box<dyn Policy + Send> = Policy::restore(back).unwrap();
+            assert_eq!(restored.name(), name);
+        }
+
+        // Restored baselines resume with identical budgets and queues.
+        let mut fifo2 = FifoScheduler::restore(Policy::checkpoint(&fifo)).unwrap();
+        assert_eq!(fifo2.backlog(), fifo.backlog());
+        assert_eq!(fifo2.fixed_level(), 3);
+        assert_eq!(
+            fifo2.run_round(&online_ctx(1, 110_000)),
+            fifo.run_round(&online_ctx(1, 110_000))
+        );
+    }
+
+    #[test]
+    fn restoring_into_the_wrong_policy_fails_loudly() {
+        let fifo = FifoScheduler::builder().fixed_level(1).build();
+        let err = RichNoteScheduler::restore(Policy::checkpoint(&fifo)).unwrap_err();
+        assert_eq!(err, WrongPolicy { expected: "RichNote", found: "FIFO" });
+        assert!(err.to_string().contains("FIFO"), "{err}");
+        let rn = RichNoteScheduler::builder().build();
+        assert!(UtilScheduler::restore(Policy::checkpoint(&rn)).is_err());
     }
 }

@@ -1,0 +1,230 @@
+//! Structured trace events and the bounded per-shard ring that holds them.
+//!
+//! Events carry only *logical* fields — round indices, virtual-time
+//! seconds, ids, levels, gradients — never wall-clock timestamps, so a
+//! seeded deterministic run produces an identical event stream across
+//! machines and restarts. Wall-clock durations belong in histograms, not
+//! traces.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A shard began a selection round.
+    RoundStart {
+        /// Shard index.
+        shard: usize,
+        /// Round index.
+        round: u64,
+        /// Virtual time at round start (seconds).
+        now_secs: f64,
+        /// Notifications queued across the shard's schedulers at start.
+        backlog: usize,
+    },
+    /// A shard finished a selection round.
+    RoundEnd {
+        /// Shard index.
+        shard: usize,
+        /// Round index.
+        round: u64,
+        /// Notifications selected for delivery this round.
+        selected: u64,
+        /// Bytes of selected presentations this round.
+        bytes_spent: u64,
+    },
+    /// The broker matched a publication to subscribers.
+    BrokerMatch {
+        /// Publishing session id (0 = dedup opted out).
+        session: u64,
+        /// Per-session publish sequence number.
+        seq: u64,
+        /// Number of matched subscribers.
+        matched: usize,
+    },
+    /// A shard ingest queue shed messages under backpressure since the
+    /// previous round (reported at round granularity).
+    QueueDrop {
+        /// Shard index.
+        shard: usize,
+        /// Round index at which the drops were observed.
+        round: u64,
+        /// Messages shed since the last report.
+        dropped: u64,
+    },
+    /// The MCKP selector chose a notification for delivery.
+    Select {
+        /// Shard index (0 in single-process simulation).
+        shard: usize,
+        /// Round index.
+        round: u64,
+        /// Receiving user.
+        user: u64,
+        /// Delivered content id.
+        content: u64,
+        /// Presentation level chosen.
+        level: u8,
+        /// Combined utility realized at the chosen level.
+        utility: f64,
+        /// Greedy gradient of the final upgrade into the chosen level
+        /// (the adjusted-utility-per-byte slope that won the knapsack
+        /// slot; 0 for level-1 base selections).
+        gradient: f64,
+    },
+    /// A coordinated checkpoint was written (or failed).
+    CheckpointWrite {
+        /// Round the checkpoint is consistent at.
+        round: u64,
+        /// Users captured.
+        users: u64,
+        /// Whether the write succeeded.
+        ok: bool,
+    },
+    /// An injected fault fired.
+    FaultInjected {
+        /// Fault kind (e.g. `conn_reset`, `shard_panic`, `ckpt_fail`).
+        kind: String,
+        /// Free-form detail.
+        detail: String,
+    },
+}
+
+/// A bounded ring buffer of trace events with drop accounting.
+///
+/// Capacity 0 disables tracing entirely: pushes are no-ops and cost one
+/// branch, which is what lets the daemon keep `trace_capacity = 0` as the
+/// default with no measurable overhead.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `cap` events (0 = tracing disabled).
+    pub fn new(cap: usize) -> Self {
+        TraceRing { buf: VecDeque::with_capacity(cap.min(4096)), cap, dropped: 0 }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted (oldest-first) since the last [`TraceRing::drain`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+
+    /// Takes every buffered event (oldest first) plus the evicted-count,
+    /// resetting both.
+    pub fn drain(&mut self) -> (Vec<TraceEvent>, u64) {
+        let dropped = std::mem::take(&mut self.dropped);
+        (self.buf.drain(..).collect(), dropped)
+    }
+
+    /// Renders events as JSON lines (one event per line).
+    pub fn to_json_lines(events: &[TraceEvent]) -> String {
+        let mut out = String::new();
+        for ev in events {
+            if let Ok(line) = serde_json::to_string(ev) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: u64) -> TraceEvent {
+        TraceEvent::RoundStart { shard: 0, round, now_secs: round as f64, backlog: 0 }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let (events, dropped) = r.drain();
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            events
+                .iter()
+                .map(|e| match e {
+                    TraceEvent::RoundStart { round, .. } => *round,
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut r = TraceRing::new(0);
+        assert!(!r.is_enabled());
+        r.push(ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn events_roundtrip_and_render_as_json_lines() {
+        let events = vec![
+            TraceEvent::Select {
+                shard: 1,
+                round: 4,
+                user: 9,
+                content: 77,
+                level: 3,
+                utility: 0.8,
+                gradient: 1.25e-5,
+            },
+            TraceEvent::CheckpointWrite { round: 4, users: 100, ok: true },
+            TraceEvent::FaultInjected { kind: "conn_reset".into(), detail: "p=0.02".into() },
+        ];
+        for e in &events {
+            let s = serde_json::to_string(e).unwrap();
+            let back: TraceEvent = serde_json::from_str(&s).unwrap();
+            assert_eq!(&back, e);
+        }
+        let lines = TraceRing::to_json_lines(&events);
+        assert_eq!(lines.lines().count(), 3);
+        for line in lines.lines() {
+            assert!(serde_json::from_str::<TraceEvent>(line).is_ok(), "{line}");
+        }
+    }
+}

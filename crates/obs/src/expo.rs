@@ -1,0 +1,165 @@
+//! Prometheus-style text exposition of a [`RegistrySnapshot`].
+//!
+//! The format follows the Prometheus text exposition conventions: a
+//! `# HELP` and `# TYPE` line per family, then one sample line per
+//! series. Histograms expose cumulative `_bucket{le="..."}` lines (one
+//! per non-empty bucket plus the mandatory `le="+Inf"`), `_sum` and
+//! `_count`. Only families and label values produced by this workspace
+//! are expected, but label values are escaped defensively anyway.
+
+use crate::hist::{Log2Histogram, BUCKETS};
+use crate::registry::{MetricKind, MetricValue, RegistrySnapshot};
+use std::fmt::Write;
+
+/// Escapes a label value per the exposition rules (backslash, quote,
+/// newline).
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Renders `{k="v",...}` for a label set (empty string for no labels).
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Formats a gauge value: integral gauges print without a fraction.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Log2Histogram) {
+    let mut cum = 0u64;
+    for (i, &c) in h.bucket_counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let le = if i >= BUCKETS - 1 {
+            "+Inf".to_string()
+        } else {
+            format!("{}", Log2Histogram::bucket_upper_bound(i))
+        };
+        if le != "+Inf" {
+            let block = label_block(labels, Some(("le", &le)));
+            let _ = writeln!(out, "{name}_bucket{block} {cum}");
+        }
+    }
+    let block = label_block(labels, Some(("le", "+Inf")));
+    let _ = writeln!(out, "{name}_bucket{block} {}", h.count());
+    let block = label_block(labels, None);
+    let _ = writeln!(out, "{name}_sum{block} {}", h.sum_us());
+    let _ = writeln!(out, "{name}_count{block} {}", h.count());
+}
+
+/// Encodes a snapshot in the Prometheus text exposition format.
+pub fn encode_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for f in &snap.families {
+        let kind = match f.kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        };
+        let _ = writeln!(out, "# HELP {} {}", f.name, f.help);
+        let _ = writeln!(out, "# TYPE {} {kind}", f.name);
+        for s in &f.series {
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    let block = label_block(&s.labels, None);
+                    let _ = writeln!(out, "{}{block} {v}", f.name);
+                }
+                MetricValue::Gauge(v) => {
+                    let block = label_block(&s.labels, None);
+                    let _ = writeln!(out, "{}{block} {}", f.name, fmt_f64(*v));
+                }
+                MetricValue::Histogram(h) => write_histogram(&mut out, &f.name, &s.labels, h),
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn counters_and_gauges_encode() {
+        let mut r = Registry::new();
+        let c = r.counter("richnote_pubs_total", "Publications ingested.", &[("shard", "0")]);
+        let g = r.gauge("richnote_backlog", "Queued notifications.", &[]);
+        r.inc(c, 42);
+        r.set_gauge(g, 7.0);
+        let text = encode_text(&r.snapshot());
+        assert!(text.contains("# HELP richnote_pubs_total Publications ingested.\n"), "{text}");
+        assert!(text.contains("# TYPE richnote_pubs_total counter\n"), "{text}");
+        assert!(text.contains("richnote_pubs_total{shard=\"0\"} 42\n"), "{text}");
+        assert!(text.contains("# TYPE richnote_backlog gauge\n"), "{text}");
+        assert!(text.contains("richnote_backlog 7\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let mut r = Registry::new();
+        let h = r.histogram("richnote_round_duration_us", "Round wall time.", &[]);
+        r.observe_us(h, 1); // bucket 1 (le=1)
+        r.observe_us(h, 3); // bucket 2 (le=3)
+        r.observe_us(h, 3);
+        let text = encode_text(&r.snapshot());
+        assert!(text.contains("richnote_round_duration_us_bucket{le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("richnote_round_duration_us_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("richnote_round_duration_us_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("richnote_round_duration_us_sum 7\n"), "{text}");
+        assert!(text.contains("richnote_round_duration_us_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn every_line_is_well_formed() {
+        let mut r = Registry::new();
+        let c = r.counter("a_total", "a.", &[("shard", "1")]);
+        let h = r.histogram("b_us", "b.", &[("stage", "select")]);
+        r.inc(c, 1);
+        r.observe_us(h, 1000);
+        let text = encode_text(&r.snapshot());
+        for line in text.lines() {
+            let ok_comment = line.starts_with("# HELP ") || line.starts_with("# TYPE ");
+            // name{labels} value | name value
+            let ok_sample = {
+                let mut parts = line.rsplitn(2, ' ');
+                let value = parts.next().unwrap_or("");
+                let series = parts.next().unwrap_or("");
+                !series.is_empty()
+                    && value.parse::<f64>().is_ok()
+                    && series
+                        .chars()
+                        .next()
+                        .map(|c| c.is_ascii_lowercase() || c == '_')
+                        .unwrap_or(false)
+            };
+            assert!(ok_comment || ok_sample, "malformed exposition line: {line:?}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut r = Registry::new();
+        let c = r.counter("x_total", "x.", &[("k", "a\"b\\c\nd")]);
+        r.inc(c, 1);
+        let text = encode_text(&r.snapshot());
+        assert!(text.contains("x_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"), "{text}");
+    }
+}

@@ -1,0 +1,280 @@
+//! Power-of-two-bucketed histograms of microsecond values.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets; bucket `i` covers `[2^(i-1), 2^i)` µs
+/// for `i ≥ 1`, bucket 0 covers exactly `[0, 1)` (i.e. the value 0), and
+/// the last bucket is open-ended, topping out above an hour.
+pub const BUCKETS: usize = 40;
+
+/// A histogram of microsecond values with power-of-two buckets.
+///
+/// Log bucketing gives ~2× relative resolution across nine orders of
+/// magnitude in constant space, which is plenty for p50/p95/p99 reporting;
+/// recording is a single increment on the hot path.
+///
+/// The serde field layout (`counts`/`count`/`sum_us`/`max_us`) is identical
+/// to the server's former `LatencyHistogram`, which this type replaces —
+/// checkpoints and wire snapshots deserialize unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Log2Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram { counts: vec![0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+    }
+
+    /// The bucket index holding `us`.
+    ///
+    /// Zero is handled explicitly: it belongs to bucket 0 by the bucket
+    /// definition (`[0, 1)`), not by the accident that
+    /// `64 - 0u64.leading_zeros() == 0`.
+    pub fn bucket_of(us: u64) -> usize {
+        if us == 0 {
+            return 0;
+        }
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// The largest value bucket `i` can hold — the inclusive upper bound
+    /// `2^i - 1` — saturating at `u64::MAX` for the open-ended last bucket.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        debug_assert!(i < BUCKETS);
+        if i == 0 {
+            0
+        } else if i >= BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one value in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.counts[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (µs), saturating.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us
+    }
+
+    /// Per-bucket sample counts (length [`BUCKETS`]).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Mean value in microseconds, or 0 with no samples.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The index of the bucket containing quantile `q` in `[0, 1]`, or
+    /// `None` with no samples.
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(i);
+            }
+        }
+        Some(BUCKETS - 1)
+    }
+
+    /// The value (µs) at quantile `q` in `[0, 1]`, reported as the
+    /// *inclusive upper bound* of the containing bucket — a conservative
+    /// estimate that never understates the quantile. The open-ended last
+    /// bucket reports the observed maximum instead of `u64::MAX`. Returns
+    /// 0 with no samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let Some(i) = self.quantile_bucket(q) else {
+            return 0;
+        };
+        if i >= BUCKETS - 1 {
+            return self.max_us;
+        }
+        Self::bucket_upper_bound(i).min(self.max_us)
+    }
+
+    /// The value (µs) at quantile `q` in `[0, 1]`, estimated as the
+    /// geometric midpoint of the containing bucket (a lower-variance point
+    /// estimate than [`Log2Histogram::quantile`]). Returns 0 with no
+    /// samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let Some(i) = self.quantile_bucket(q) else {
+            return 0;
+        };
+        if i == 0 {
+            return 0;
+        }
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 63 { u64::MAX } else { 1u64 << i };
+        // Geometric midpoint ≈ lo·√2, clamped to the observed max.
+        let mid = ((lo as f64) * std::f64::consts::SQRT_2) as u64;
+        mid.min(hi - 1).min(self.max_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_zero_is_explicit() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        let mut h = Log2Histogram::new();
+        h.record_us(0);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.quantile(1.0), 0, "bucket 0 upper bound is 0");
+        assert_eq!(h.quantile_us(1.0), 0);
+    }
+
+    #[test]
+    fn bucket_of_one() {
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        let mut h = Log2Histogram::new();
+        h.record_us(1);
+        assert_eq!(h.bucket_counts()[1], 1);
+        // Bucket 1 covers [1, 2); its inclusive upper bound is 1.
+        assert_eq!(h.quantile(0.5), 1);
+    }
+
+    #[test]
+    fn bucket_of_u64_max_lands_in_last_bucket() {
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        let mut h = Log2Histogram::new();
+        h.record_us(u64::MAX);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 1);
+        // The open-ended bucket reports the observed max, not u64::MAX's
+        // nominal bound.
+        assert_eq!(h.quantile(0.99), u64::MAX);
+        assert_eq!(h.max_us(), u64::MAX);
+        assert_eq!(h.sum_us(), u64::MAX, "sum saturates");
+        h.record_us(u64::MAX);
+        assert_eq!(h.sum_us(), u64::MAX, "sum saturates");
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        // 2^k goes to bucket k+1 (range [2^k, 2^(k+1))); 2^k - 1 to bucket k.
+        for k in 1..20 {
+            assert_eq!(Log2Histogram::bucket_of(1u64 << k), k + 1, "2^{k}");
+            assert_eq!(Log2Histogram::bucket_of((1u64 << k) - 1), k, "2^{k}-1");
+        }
+        assert_eq!(Log2Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Log2Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Log2Histogram::bucket_upper_bound(5), 31);
+        assert_eq!(Log2Histogram::bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_upper_bound_never_understates() {
+        let mut h = Log2Histogram::new();
+        let samples = [3u64, 17, 120, 950, 6_000, 44_000];
+        for &us in &samples {
+            h.record_us(us);
+        }
+        // For each sample rank, quantile() must be >= the true value.
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for (i, &v) in sorted.iter().enumerate() {
+            let q = (i as f64 + 1.0) / sorted.len() as f64;
+            assert!(h.quantile(q) >= v, "q={q} -> {} < {v}", h.quantile(q));
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_samples() {
+        let mut h = Log2Histogram::new();
+        for us in [10u64, 20, 30, 40, 50, 1_000, 2_000, 100_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 8);
+        let p50 = h.quantile_us(0.5);
+        assert!((16..=64).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((65_536..=100_000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.max_us(), 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert_eq!(h.quantile_bucket(0.5), None);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Log2Histogram::new();
+        a.record_us(5);
+        let mut b = Log2Histogram::new();
+        b.record_us(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_us(), 500);
+        assert_eq!(a.sum_us(), 505);
+    }
+
+    #[test]
+    fn serde_field_layout_is_stable() {
+        // Checkpoints written by the pre-obs LatencyHistogram must load.
+        let legacy = format!("{{\"counts\":{:?},\"count\":1,\"sum_us\":7,\"max_us\":7}}", {
+            let mut v = vec![0u64; BUCKETS];
+            v[3] = 1;
+            v
+        });
+        let h: Log2Histogram = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_us(), 7);
+        let back = serde_json::to_string(&h).unwrap();
+        let h2: Log2Histogram = serde_json::from_str(&back).unwrap();
+        assert_eq!(h, h2);
+    }
+}

@@ -1,0 +1,39 @@
+//! Observability layer for the RichNote stack.
+//!
+//! One vocabulary for the whole workspace: the delivery daemon, the
+//! population simulator and the load generator all record into the same
+//! three metric kinds and drain the same structured trace events, so a
+//! number measured client-side can be compared bucket-for-bucket with the
+//! same number measured server-side.
+//!
+//! * [`Log2Histogram`] — power-of-two-bucketed latency histogram
+//!   (generalizing the server's former `LatencyHistogram`); constant
+//!   space, one increment per sample.
+//! * [`Registry`] — a registry of counters, gauges and histograms with
+//!   labeled families. Recording goes through pre-registered integer
+//!   handles ([`CounterHandle`], [`GaugeHandle`], [`HistogramHandle`]),
+//!   so the hot path is a bounds-checked vector index plus an integer
+//!   add — no hashing, no string comparison, no locking when the owner
+//!   thread holds `&mut Registry` (shard workers own theirs outright).
+//! * [`RegistrySnapshot`] — a serializable, mergeable cut of a registry;
+//!   per-shard snapshots merge associatively into the daemon-wide view
+//!   served over the wire and scraped as text.
+//! * [`encode_text`] — Prometheus-style text exposition of a snapshot.
+//! * [`TraceEvent`] / [`TraceRing`] — bounded per-shard ring buffer of
+//!   structured events (round start/end, broker match, queue drop, MCKP
+//!   selection with chosen level and gradient, checkpoint write, fault
+//!   injection), drainable as JSON lines. Events carry only virtual-time
+//!   and logical fields, so a seeded run produces an identical trace.
+
+pub mod event;
+pub mod expo;
+pub mod hist;
+pub mod registry;
+
+pub use event::{TraceEvent, TraceRing};
+pub use expo::encode_text;
+pub use hist::{Log2Histogram, BUCKETS};
+pub use registry::{
+    CounterHandle, FamilySnapshot, GaugeHandle, HistogramHandle, MetricKind, MetricValue, Registry,
+    RegistrySnapshot, SeriesSnapshot,
+};

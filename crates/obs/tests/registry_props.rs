@@ -1,0 +1,102 @@
+//! Property tests for the registry's merge semantics: recording into N
+//! per-shard registries and merging the snapshots must be observationally
+//! identical to recording everything into one registry — this is the
+//! invariant the daemon's `Stats` request relies on when it merges shard
+//! snapshots into one exposition.
+
+use proptest::prelude::*;
+use richnote_obs::{CounterHandle, GaugeHandle, HistogramHandle, Registry};
+
+const SHARDS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Inc { shard: usize, by: u64 },
+    SetGauge { shard: usize, value: i32 },
+    Observe { shard: usize, us: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..SHARDS, 0u8..3, 0u64..10_000_000).prop_map(|(shard, kind, value)| match kind {
+        0 => Op::Inc { shard, by: value % 1_000 },
+        1 => Op::SetGauge { shard, value: (value % 200) as i32 - 100 },
+        _ => Op::Observe { shard, us: value },
+    })
+}
+
+/// Registers the standard per-shard vocabulary in `r` and returns the
+/// handles for `shard`.
+fn register(r: &mut Registry, shard: usize) -> (CounterHandle, GaugeHandle, HistogramHandle) {
+    let s = shard.to_string();
+    let labels = [("shard", s.as_str())];
+    (
+        r.counter("richnote_pubs_total", "pubs", &labels),
+        r.gauge("richnote_backlog", "backlog", &labels),
+        r.histogram("richnote_round_duration_us", "round time", &labels),
+    )
+}
+
+proptest! {
+    /// For any op trace, merging per-shard snapshots (in shard order)
+    /// equals one registry that recorded the whole trace.
+    #[test]
+    fn merged_shard_registries_equal_a_single_registry(
+        ops in prop::collection::vec(op_strategy(), 0..200),
+    ) {
+        let mut shards: Vec<Registry> = (0..SHARDS).map(|_| Registry::new()).collect();
+        let shard_handles: Vec<_> =
+            (0..SHARDS).map(|s| register(&mut shards[s], s)).collect();
+
+        let mut single = Registry::new();
+        let single_handles: Vec<_> = (0..SHARDS).map(|s| register(&mut single, s)).collect();
+
+        for op in &ops {
+            match *op {
+                Op::Inc { shard, by } => {
+                    shards[shard].inc(shard_handles[shard].0, by);
+                    single.inc(single_handles[shard].0, by);
+                }
+                Op::SetGauge { shard, value } => {
+                    shards[shard].set_gauge(shard_handles[shard].1, f64::from(value));
+                    single.set_gauge(single_handles[shard].1, f64::from(value));
+                }
+                Op::Observe { shard, us } => {
+                    shards[shard].observe_us(shard_handles[shard].2, us);
+                    single.observe_us(single_handles[shard].2, us);
+                }
+            }
+        }
+
+        let mut merged = shards[0].snapshot();
+        for shard in &shards[1..] {
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, single.snapshot());
+    }
+
+    /// Merge order does not matter, even with overlapping label sets.
+    #[test]
+    fn merge_order_is_irrelevant(
+        ops in prop::collection::vec(op_strategy(), 0..120),
+        order in Just([2usize, 0, 1]),
+    ) {
+        let mut shards: Vec<Registry> = (0..SHARDS).map(|_| Registry::new()).collect();
+        let handles: Vec<_> = (0..SHARDS).map(|s| register(&mut shards[s], s)).collect();
+        for op in &ops {
+            match *op {
+                Op::Inc { shard, by } => shards[shard].inc(handles[shard].0, by),
+                Op::SetGauge { shard, value } => {
+                    shards[shard].set_gauge(handles[shard].1, f64::from(value));
+                }
+                Op::Observe { shard, us } => shards[shard].observe_us(handles[shard].2, us),
+            }
+        }
+        let mut forward = shards[0].snapshot();
+        forward.merge(&shards[1].snapshot());
+        forward.merge(&shards[2].snapshot());
+        let mut shuffled = shards[order[0]].snapshot();
+        shuffled.merge(&shards[order[1]].snapshot());
+        shuffled.merge(&shards[order[2]].snapshot());
+        prop_assert_eq!(forward, shuffled);
+    }
+}

@@ -5,13 +5,21 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S]
 //!         [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS]
-//!         [--repeat K] [--faults drop=P,seed=S] [--drain] [--shutdown]
+//!         [--repeat K] [--stats-every TICKS]
+//!         [--faults drop=P,seed=S] [--drain] [--shutdown]
 //! ```
 //!
 //! The trace's friend-feed structure is flattened to one feed per user:
 //! every user subscribes to their own feed and each item is published to
 //! its recipient's feed, so broker matching is exercised on every
 //! publication without needing the social graph on the client.
+//!
+//! With `--stats-every N`, the ticker polls the server's wire-level
+//! `Stats` registry every N ticks and prints the server-side selection
+//! latency next to the client-observed one (publish to tick-report
+//! delivery). Both sides are dominated by the wait for the next tick, so
+//! steady-state percentiles should agree within one log2 bucket; the run
+//! prints whether they do.
 //!
 //! With `--faults drop=P`, each publisher connection is torn down with
 //! probability `P` before every publish (deterministic per `seed`),
@@ -23,11 +31,13 @@
 
 use richnote_core::UserId;
 use richnote_pubsub::Topic;
-use richnote_server::{Client, FaultRng, ServerError, ServerResult};
+use richnote_server::wire::Delivery;
+use richnote_server::{Client, FaultRng, Log2Histogram, ServerError, ServerResult};
 use richnote_trace::{TraceConfig, TraceGenerator};
+use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -42,6 +52,9 @@ struct Args {
     /// Publish the trace this many times (scales offered load without
     /// scaling trace generation time).
     repeat: usize,
+    /// Print server-vs-client latency percentiles every this many ticks;
+    /// 0 disables the comparison entirely.
+    stats_every: u64,
     /// Per-publish probability of injecting a connection reset.
     fault_drop: f64,
     fault_seed: u64,
@@ -60,6 +73,7 @@ impl Default for Args {
             rate: 0.0,
             tick_ms: 50,
             repeat: 1,
+            stats_every: 0,
             fault_drop: 0.0,
             fault_seed: 1,
             drain: false,
@@ -72,7 +86,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S] \
          [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS] [--repeat K] \
-         [--faults drop=P,seed=S] [--drain] [--shutdown]"
+         [--stats-every TICKS] [--faults drop=P,seed=S] [--drain] [--shutdown]"
     );
     std::process::exit(2)
 }
@@ -128,6 +142,7 @@ fn parse_args() -> Args {
             "--rate" => a.rate = parse(&value("--rate"), "--rate"),
             "--tick-ms" => a.tick_ms = parse(&value("--tick-ms"), "--tick-ms"),
             "--repeat" => a.repeat = parse(&value("--repeat"), "--repeat"),
+            "--stats-every" => a.stats_every = parse(&value("--stats-every"), "--stats-every"),
             "--faults" => {
                 let spec = value("--faults");
                 parse_faults(&spec, &mut a);
@@ -156,6 +171,39 @@ fn fmt_us(us: u64) -> String {
     } else {
         format!("{us}µs")
     }
+}
+
+/// Folds tick-report deliveries into the client-side latency histogram,
+/// matching each delivery back to its publish instant.
+fn absorb_deliveries(
+    deliveries: &[Delivery],
+    publish_at: &Mutex<HashMap<u64, Instant>>,
+    client_lat: &Mutex<Log2Histogram>,
+) {
+    let mut at = publish_at.lock().unwrap();
+    let mut lat = client_lat.lock().unwrap();
+    for d in deliveries {
+        if let Some(t0) = at.remove(&d.content.value()) {
+            lat.record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+}
+
+/// Renders server-side and client-observed latency percentiles side by
+/// side.
+fn side_by_side(server: &Log2Histogram, client: &Log2Histogram) -> String {
+    format!(
+        "selection latency server vs client: p50 {} / {}, p95 {} / {}, p99 {} / {} \
+         ({} / {} samples)",
+        fmt_us(server.quantile_us(0.50)),
+        fmt_us(client.quantile_us(0.50)),
+        fmt_us(server.quantile_us(0.95)),
+        fmt_us(client.quantile_us(0.95)),
+        fmt_us(server.quantile_us(0.99)),
+        fmt_us(client.quantile_us(0.99)),
+        server.count(),
+        client.count()
+    )
 }
 
 fn run(a: &Args) -> ServerResult<()> {
@@ -191,16 +239,36 @@ fn run(a: &Args) -> ServerResult<()> {
     }
 
     // Ticker thread: drives rounds while load is offered, so the latency
-    // histogram reflects steady-state ingest-to-selection time.
+    // histogram reflects steady-state ingest-to-selection time. In stats
+    // mode it collects the delivery log of each tick to measure latency
+    // from the client's side of the wire too.
     let publishing = Arc::new(AtomicBool::new(true));
+    let stats_mode = a.stats_every > 0;
+    let publish_at: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let client_lat = Arc::new(Mutex::new(Log2Histogram::new()));
     let ticker = {
         let publishing = Arc::clone(&publishing);
         let addr = a.addr.clone();
         let tick_ms = a.tick_ms;
+        let stats_every = a.stats_every;
+        let publish_at = Arc::clone(&publish_at);
+        let client_lat = Arc::clone(&client_lat);
         std::thread::spawn(move || -> ServerResult<()> {
             let mut c = Client::connect(&addr)?;
+            let mut ticks = 0u64;
             while publishing.load(Ordering::Relaxed) {
-                c.tick(1)?;
+                if stats_every > 0 {
+                    let (_, deliveries) = c.tick_report(1)?;
+                    absorb_deliveries(&deliveries, &publish_at, &client_lat);
+                    ticks += 1;
+                    if ticks % stats_every == 0 {
+                        let server = c.stats()?.histogram_merged("richnote_selection_latency_us");
+                        let client = client_lat.lock().unwrap().clone();
+                        eprintln!("[tick {ticks}] {}", side_by_side(&server, &client));
+                    }
+                } else {
+                    c.tick(1)?;
+                }
                 std::thread::sleep(Duration::from_millis(tick_ms));
             }
             Ok(())
@@ -226,6 +294,7 @@ fn run(a: &Args) -> ServerResult<()> {
             let retries = &retries;
             let reconnects = &reconnects;
             let injected = &injected;
+            let publish_at = &publish_at;
             let mut chaos =
                 FaultRng::new(a.fault_seed ^ (conn as u64).wrapping_mul(0xA24B_AED4_963E_E407));
             handles.push(scope.spawn(move || -> ServerResult<usize> {
@@ -242,6 +311,12 @@ fn run(a: &Args) -> ServerResult<()> {
                         // Distinct ids per repeat keep latency tracking 1:1.
                         item.id =
                             richnote_core::ContentId::new(((rep as u64) << 40) | item.id.value());
+                        if stats_mode {
+                            // The stamp covers client-side buffering and
+                            // the wire, unlike the server's ingest stamp;
+                            // both are dwarfed by tick quantization.
+                            publish_at.lock().unwrap().insert(item.id.value(), Instant::now());
+                        }
                         c.publish(Topic::FriendFeed(item.recipient), item)?;
                         sent += 1;
                         if per_conn_rate > 0.0 {
@@ -283,7 +358,12 @@ fn run(a: &Args) -> ServerResult<()> {
         if snap.backlog() == 0 || drain_rounds >= 1_000 {
             break;
         }
-        control.tick(8)?;
+        if stats_mode {
+            let (_, deliveries) = control.tick_report(8)?;
+            absorb_deliveries(&deliveries, &publish_at, &client_lat);
+        } else {
+            control.tick(8)?;
+        }
         drain_rounds += 8;
     }
 
@@ -334,6 +414,26 @@ fn run(a: &Args) -> ServerResult<()> {
             s.bytes_budgeted as f64 / 1e6,
             s.bytes_spent as f64 / 1e6
         );
+    }
+
+    if stats_mode {
+        let server = control.stats()?.histogram_merged("richnote_selection_latency_us");
+        let client = client_lat.lock().unwrap().clone();
+        println!("{}", side_by_side(&server, &client));
+        let agree = [0.50, 0.95, 0.99].iter().all(|&q| {
+            match (server.quantile_bucket(q), client.quantile_bucket(q)) {
+                (Some(s), Some(c)) => s.abs_diff(c) <= 1,
+                _ => false,
+            }
+        });
+        if agree {
+            println!("server and client percentiles agree within one log2 bucket");
+        } else {
+            eprintln!(
+                "loadgen: warning: server/client latency percentiles differ by more than \
+                 one log2 bucket"
+            );
+        }
     }
 
     // Zero-acked-loss invariant: every publication was acked (sync above

@@ -4,13 +4,18 @@
 //! richnote-server [--addr HOST:PORT] [--shards N] [--queue-capacity N]
 //!                 [--round-secs S] [--data-grant BYTES]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every ROUNDS]
-//!                 [--faults SPEC]
+//!                 [--metrics-addr HOST:PORT] [--no-metrics]
+//!                 [--trace-capacity EVENTS] [--faults SPEC]
 //! ```
 //!
 //! With `--checkpoint-dir`, the daemon restores the newest checkpoint on
 //! startup (if one exists) and checkpoints on every `Drain`; add
 //! `--checkpoint-every N` for periodic checkpoints at tick boundaries.
-//! `--faults` takes the spec grammar of
+//! `--metrics-addr` serves the Prometheus text exposition over plain HTTP
+//! (try `curl http://HOST:PORT/metrics`); `--no-metrics` turns metric
+//! recording off entirely (for overhead measurement) and `--trace-capacity`
+//! enables the per-shard structured trace rings drained by the wire-level
+//! `TraceDump` request. `--faults` takes the spec grammar of
 //! [`richnote_server::FaultPlan::parse`], e.g.
 //! `reset=0.02,short-read=7,panic=1@3,ckfail=2,seed=9` (testing only).
 
@@ -22,7 +27,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: richnote-server [--addr HOST:PORT] [--shards N] \
          [--queue-capacity N] [--round-secs S] [--data-grant BYTES] \
-         [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] [--faults SPEC]"
+         [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] \
+         [--metrics-addr HOST:PORT] [--no-metrics] [--trace-capacity EVENTS] \
+         [--faults SPEC]"
     );
     std::process::exit(2)
 }
@@ -48,6 +55,11 @@ fn parse_args() -> ServerConfigBuilder {
             "--checkpoint-dir" => builder.checkpoint_dir(value("--checkpoint-dir")),
             "--checkpoint-every" => builder
                 .checkpoint_every_rounds(parse(&value("--checkpoint-every"), "--checkpoint-every")),
+            "--metrics-addr" => builder.metrics_addr(value("--metrics-addr")),
+            "--no-metrics" => builder.metrics_enabled(false),
+            "--trace-capacity" => {
+                builder.trace_capacity(parse(&value("--trace-capacity"), "--trace-capacity"))
+            }
             "--faults" => {
                 let spec = value("--faults");
                 match FaultPlan::parse(&spec) {
@@ -98,6 +110,9 @@ fn main() -> ExitCode {
         cfg.round_secs,
         cfg.data_grant
     );
+    if let Some(addr) = server.metrics_local_addr() {
+        eprintln!("richnote-server: metrics exposition on http://{addr}/metrics");
+    }
     if let Some(restore) = server.restored() {
         eprintln!(
             "richnote-server: restored {} users at round {} from {} in {:.1}ms",

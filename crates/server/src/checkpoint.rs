@@ -28,8 +28,7 @@
 
 use crate::error::{ServerError, ServerResult};
 use crate::metrics::LatencyHistogram;
-use richnote_core::scheduler::SchedulerCheckpoint;
-use richnote_core::UserId;
+use richnote_core::{PolicyCheckpoint, UserId};
 use richnote_pubsub::Topic;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -41,15 +40,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const CKPT_MAGIC: &[u8; 8] = b"RNCKPT1\n";
 
 /// Version of the JSON body layout inside the envelope.
-pub const CKPT_FORMAT: u32 = 1;
+///
+/// Format 2 (the observability PR) switched [`UserCheckpoint::scheduler`]
+/// from a bare RichNote `SchedulerCheckpoint` to the policy-tagged
+/// [`PolicyCheckpoint`], so a restore rebuilds the *same* policy the
+/// checkpoint came from. Format-1 files are rejected loudly at load.
+pub const CKPT_FORMAT: u32 = 2;
 
 /// One user's scheduler state inside a shard checkpoint.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UserCheckpoint {
     /// The user.
     pub user: UserId,
-    /// Full scheduler state (queue, Lyapunov state, config).
-    pub scheduler: SchedulerCheckpoint,
+    /// Policy-tagged scheduler state (queue, Lyapunov state, config).
+    pub scheduler: PolicyCheckpoint,
 }
 
 /// One shard's complete state at the checkpoint cut.
@@ -379,6 +383,18 @@ mod tests {
         fs::write(&path, &blob).unwrap();
         let err = store.load_latest().unwrap_err();
         assert!(err.to_string().contains("CRC"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn old_format_is_rejected_loudly() {
+        let dir = temp_dir("format");
+        let store = CheckpointStore::open(&dir, 0).unwrap();
+        let mut ck = sample(1);
+        ck.format = 1;
+        store.save(&ck).unwrap();
+        let err = store.load_latest().unwrap_err();
+        assert!(err.to_string().contains("unsupported format 1"), "{err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

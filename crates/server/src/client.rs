@@ -23,9 +23,11 @@ use crate::error::{ServerError, ServerResult};
 use crate::fault::FaultRng;
 use crate::metrics::MetricsSnapshot;
 use crate::wire::{
-    read_frame, write_frame, write_frame_unflushed, Delivery, Request, Response, PROTO_VERSION,
+    read_frame, write_frame, write_frame_unflushed, Delivery, ErrorCode, Request, Response,
+    PROTO_VERSION,
 };
 use richnote_core::{ContentItem, UserId};
+use richnote_obs::{RegistrySnapshot, TraceEvent};
 use richnote_pubsub::Topic;
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
@@ -444,6 +446,38 @@ impl Client {
         }
     }
 
+    /// Fetches the merged registry snapshot (server-side stage timers
+    /// plus every shard's counters, gauges, and histograms).
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol or transport failures. A server built before the
+    /// observability layer answers with `BadFrame`, which is surfaced as a
+    /// [`ServerError::Rejected`] explaining that `Stats` is unsupported.
+    pub fn stats(&mut self) -> ServerResult<RegistrySnapshot> {
+        match self.with_retry(|c| c.exchange(&Request::Stats)) {
+            Ok(Response::StatsSnapshot(snapshot)) => Ok(snapshot),
+            Ok(other) => Err(unexpected("StatsSnapshot", &other)),
+            Err(e) => Err(pre_observability(e, "Stats")),
+        }
+    }
+
+    /// Drains the server's trace rings, returning the buffered structured
+    /// events plus how many were evicted since the previous dump. Empty
+    /// when the server runs with `trace_capacity = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol or transport failures; pre-observability servers
+    /// are reported like in [`Client::stats`].
+    pub fn trace_dump(&mut self) -> ServerResult<(Vec<TraceEvent>, u64)> {
+        match self.with_retry(|c| c.exchange(&Request::TraceDump)) {
+            Ok(Response::TraceDump { events, dropped }) => Ok((events, dropped)),
+            Ok(other) => Err(unexpected("TraceDump", &other)),
+            Err(e) => Err(pre_observability(e, "TraceDump")),
+        }
+    }
+
     /// Forces a coordinated checkpoint; returns `(users, round)`.
     ///
     /// # Errors
@@ -489,6 +523,20 @@ impl Client {
 
 fn unexpected(expected: &'static str, got: &Response) -> ServerError {
     ServerError::UnexpectedResponse { expected, got: format!("{got:?}") }
+}
+
+/// Rewrites the `BadFrame` a pre-observability server answers for an
+/// unknown request variant into an error that names the actual problem.
+fn pre_observability(e: ServerError, what: &str) -> ServerError {
+    match e {
+        ServerError::Rejected { code: ErrorCode::BadFrame, .. } => ServerError::Rejected {
+            code: ErrorCode::BadFrame,
+            message: format!(
+                "server does not support {what} (built before the observability layer)"
+            ),
+        },
+        other => other,
+    }
 }
 
 #[cfg(test)]

@@ -44,6 +44,17 @@ pub struct ServerConfig {
     pub checkpoint_every_rounds: u64,
     /// Deterministic fault injection; inert by default.
     pub faults: FaultPlan,
+    /// Address of the plain-text metrics exposition listener, e.g.
+    /// `"127.0.0.1:9464"`. `None` disables the listener; the wire-level
+    /// `Stats` request works either way.
+    pub metrics_addr: Option<String>,
+    /// Whether metric registries record at all. Disabling turns every
+    /// counter bump and histogram observation into a no-op branch, for
+    /// overhead measurement; `Stats` then returns an empty snapshot.
+    pub metrics_enabled: bool,
+    /// Per-shard trace-ring capacity in events; 0 (the default) disables
+    /// structured tracing entirely.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +72,9 @@ impl Default for ServerConfig {
             checkpoint_dir: None,
             checkpoint_every_rounds: 0,
             faults: FaultPlan::none(),
+            metrics_addr: None,
+            metrics_enabled: true,
+            trace_capacity: 0,
         }
     }
 }
@@ -182,6 +196,28 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Enables the plain-text metrics exposition listener on `addr`
+    /// (port 0 picks a free port).
+    #[must_use]
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Turns metric recording on or off (on by default).
+    #[must_use]
+    pub fn metrics_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.metrics_enabled = enabled;
+        self
+    }
+
+    /// Per-shard trace-ring capacity in events (0 disables tracing).
+    #[must_use]
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.cfg.trace_capacity = events;
+        self
+    }
+
     /// Validates and returns the finished config.
     ///
     /// # Errors
@@ -246,6 +282,24 @@ mod tests {
         let mut plan = FaultPlan::none();
         plan.conn_reset_per_frame = 1.5;
         assert_eq!(ServerConfig::builder().faults(plan).build(), Err(ConfigError::BadFaultRate));
+    }
+
+    #[test]
+    fn observability_knobs_build() {
+        let cfg = ServerConfig::builder()
+            .metrics_addr("127.0.0.1:0")
+            .metrics_enabled(false)
+            .trace_capacity(512)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        assert!(!cfg.metrics_enabled);
+        assert_eq!(cfg.trace_capacity, 512);
+        // Defaults: metrics on, tracing off, no listener.
+        let d = ServerConfig::default();
+        assert!(d.metrics_enabled);
+        assert_eq!(d.trace_capacity, 0);
+        assert!(d.metrics_addr.is_none());
     }
 
     #[test]

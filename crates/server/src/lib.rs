@@ -46,6 +46,18 @@
 //! - **Fault injection** ([`fault`]): deterministic connection resets,
 //!   short reads, shard-worker panics, and checkpoint-write failures for
 //!   the integration tests.
+//!
+//! # Observability
+//!
+//! Each shard owns a lock-free metric registry (counters, gauges, log2
+//! histograms labeled `shard="N"`) and a bounded ring of structured trace
+//! events; connection threads share a server-side registry for the
+//! broker/serialize/ack stages. [`wire::Request::Stats`] returns the
+//! merged [`richnote_obs::RegistrySnapshot`], [`wire::Request::TraceDump`]
+//! drains the rings, and [`config::ServerConfig::metrics_addr`] serves the
+//! Prometheus text exposition over plain HTTP for `curl`/scrapers. All of
+//! it is deterministic where it matters: trace events carry only logical
+//! fields (rounds, ids, levels, gradients), never wall-clock values.
 
 pub mod checkpoint;
 pub mod client;
@@ -70,3 +82,7 @@ pub use router::shard_of;
 pub use server::{RestoreSummary, Server};
 pub use shard::ShardState;
 pub use wire::{ErrorCode, PROTO_VERSION};
+
+// Observability vocabulary, re-exported so server users need not depend
+// on `richnote-obs` directly.
+pub use richnote_obs::{Log2Histogram, Registry, RegistrySnapshot, TraceEvent, TraceRing};

@@ -1,102 +1,15 @@
 //! Shard metrics: counters plus a log-bucketed latency histogram.
+//!
+//! The histogram type moved into the observability crate in the
+//! observability PR; [`LatencyHistogram`] is now an alias for
+//! [`richnote_obs::Log2Histogram`] with an identical serde layout, so
+//! checkpoints written before the move still load.
 
 use serde::{Deserialize, Serialize};
 
-/// Number of power-of-two latency buckets; bucket `i` covers
-/// `[2^(i-1), 2^i)` µs (bucket 0 is `[0, 1)` µs), topping out above an hour.
-const BUCKETS: usize = 40;
-
-/// A histogram of microsecond latencies with power-of-two buckets.
-///
-/// Log bucketing gives ~2× relative resolution across nine orders of
-/// magnitude in constant space, which is plenty for p50/p95/p99 reporting;
-/// recording is a single increment on the hot path.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    counts: Vec<u64>,
-    count: u64,
-    sum_us: u64,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram { counts: vec![0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
-    }
-
-    fn bucket_of(us: u64) -> usize {
-        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    /// Records one latency in microseconds.
-    pub fn record_us(&mut self, us: u64) {
-        self.counts[Self::bucket_of(us)] += 1;
-        self.count += 1;
-        self.sum_us = self.sum_us.saturating_add(us);
-        self.max_us = self.max_us.max(us);
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_us = self.sum_us.saturating_add(other.sum_us);
-        self.max_us = self.max_us.max(other.max_us);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in microseconds, or 0 with no samples.
-    pub fn mean_us(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.count as f64
-        }
-    }
-
-    /// Largest recorded latency in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us
-    }
-
-    /// The latency (µs) at quantile `q` in `[0, 1]`, estimated as the
-    /// geometric midpoint of the containing bucket. Returns 0 with no
-    /// samples.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                if i == 0 {
-                    return 0;
-                }
-                let lo = 1u64 << (i - 1);
-                let hi = 1u64 << i;
-                // Geometric midpoint ≈ lo·√2, clamped to the observed max.
-                let mid = ((lo as f64) * std::f64::consts::SQRT_2) as u64;
-                return mid.min(hi - 1).min(self.max_us);
-            }
-        }
-        self.max_us
-    }
-}
+/// Microsecond latency histogram with power-of-two buckets. Alias kept for
+/// wire and checkpoint compatibility; see [`richnote_obs::Log2Histogram`].
+pub use richnote_obs::Log2Histogram as LatencyHistogram;
 
 /// One shard's view of the world at snapshot time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -190,21 +103,14 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_all_zero() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.quantile_us(0.99), 0);
-        assert_eq!(h.mean_us(), 0.0);
-    }
-
-    #[test]
-    fn merge_adds_counts() {
-        let mut a = LatencyHistogram::new();
-        a.record_us(5);
-        let mut b = LatencyHistogram::new();
-        b.record_us(500);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max_us(), 500);
+    fn alias_preserves_the_checkpoint_serde_layout() {
+        // Checkpoints written before the histogram moved to richnote-obs
+        // carry exactly these fields; the alias must keep loading them.
+        let json = r#"{"counts":[1,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0],"count":1,"sum_us":0,"max_us":0}"#;
+        let h: LatencyHistogram = serde_json::from_str(json).unwrap();
+        assert_eq!(h.count(), 1);
+        let back = serde_json::to_string(&h).unwrap();
+        assert_eq!(back, json);
     }
 
     #[test]

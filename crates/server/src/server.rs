@@ -1,5 +1,5 @@
 //! The TCP daemon: accept loop, connection threads, shard lifecycle,
-//! coordinated checkpoints, and drain.
+//! coordinated checkpoints, drain, and the metrics exposition listener.
 
 use crate::checkpoint::{CheckpointStore, ServerCheckpoint, CKPT_FORMAT};
 use crate::config::ServerConfig;
@@ -9,16 +9,21 @@ use crate::metrics::MetricsSnapshot;
 use crate::router::{PublishOutcome, Router};
 use crate::shard::{ShardMsg, ShardWorker};
 use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, PROTO_VERSION};
+use richnote_obs::{
+    encode_text, HistogramHandle, Log2Histogram, Registry, RegistrySnapshot, TraceEvent, TraceRing,
+};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A bound, not-yet-running daemon. Call [`Server::run`] to serve.
 pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
+    metrics_listener: Option<TcpListener>,
+    metrics_addr: Option<SocketAddr>,
     workers: Vec<ShardWorker>,
     ctx: Arc<ConnCtx>,
     restored: Option<RestoreSummary>,
@@ -33,6 +38,141 @@ pub struct RestoreSummary {
     pub users: u64,
 }
 
+/// Server-side observability: the registry and trace ring for everything
+/// that happens *outside* the shard workers (broker matching, response
+/// serialization, ack flushing, checkpoint writes, injected faults).
+///
+/// Shard registries are lock-free because each is owned by its worker
+/// thread; connection threads share this one behind a mutex. Stage
+/// timings never take that mutex on the hot path: each connection
+/// accumulates samples in its own [`ConnStages`] histograms and folds
+/// them in every [`STAGE_FLUSH_EVERY`] samples (taking the lock per
+/// publish measurably costs throughput at six-figure publish rates).
+/// Both locks are skipped entirely when the feature is off.
+struct ServerObs {
+    metrics: bool,
+    tracing: bool,
+    registry: Mutex<Registry>,
+    ring: Mutex<TraceRing>,
+    stage_match: HistogramHandle,
+    stage_serialize: HistogramHandle,
+    stage_ack: HistogramHandle,
+}
+
+impl ServerObs {
+    fn new(cfg: &ServerConfig) -> Self {
+        let mut registry = if cfg.metrics_enabled { Registry::new() } else { Registry::disabled() };
+        let mut stage = |st: &str| {
+            registry.histogram(
+                "richnote_stage_duration_us",
+                "Wall-clock duration per pipeline stage",
+                &[("shard", "server"), ("stage", st)],
+            )
+        };
+        let stage_match = stage("match");
+        let stage_serialize = stage("serialize");
+        let stage_ack = stage("ack");
+        ServerObs {
+            metrics: cfg.metrics_enabled,
+            tracing: cfg.trace_capacity > 0,
+            registry: Mutex::new(registry),
+            ring: Mutex::new(TraceRing::new(cfg.trace_capacity)),
+            stage_match,
+            stage_serialize,
+            stage_ack,
+        }
+    }
+
+    /// Pushes a trace event (no-op when tracing is disabled).
+    fn event(&self, ev: TraceEvent) {
+        if self.tracing {
+            self.ring.lock().unwrap().push(ev);
+        }
+    }
+}
+
+/// How many stage samples a connection buffers before folding them into
+/// the shared registry. At ~100k publishes/sec this keeps registry-lock
+/// traffic under ~100 acquisitions/sec while the exposition stays at
+/// most a few tens of milliseconds stale.
+const STAGE_FLUSH_EVERY: u32 = 1024;
+
+/// Connection-local stage timing buffers.
+///
+/// Each connection thread records `match`/`serialize`/`ack` samples into
+/// these plain histograms — no lock, no contention — and [`flush`]es
+/// them into [`ServerObs`] every [`STAGE_FLUSH_EVERY`] samples, before
+/// serving its own `Stats` request, and when the connection closes.
+///
+/// [`flush`]: ConnStages::flush
+struct ConnStages {
+    enabled: bool,
+    match_stage: Log2Histogram,
+    serialize: Log2Histogram,
+    ack: Log2Histogram,
+    pending: u32,
+}
+
+impl ConnStages {
+    fn new(obs: &ServerObs) -> Self {
+        ConnStages {
+            enabled: obs.metrics,
+            match_stage: Log2Histogram::new(),
+            serialize: Log2Histogram::new(),
+            ack: Log2Histogram::new(),
+            pending: 0,
+        }
+    }
+
+    fn record(hist: &mut Log2Histogram, t0: Instant) {
+        hist.record_us(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    fn observe_match(&mut self, t0: Instant, obs: &ServerObs) {
+        if self.enabled {
+            Self::record(&mut self.match_stage, t0);
+            self.bump(obs);
+        }
+    }
+
+    fn observe_serialize(&mut self, t0: Instant, obs: &ServerObs) {
+        if self.enabled {
+            Self::record(&mut self.serialize, t0);
+            self.bump(obs);
+        }
+    }
+
+    fn observe_ack(&mut self, t0: Instant, obs: &ServerObs) {
+        if self.enabled {
+            Self::record(&mut self.ack, t0);
+            self.bump(obs);
+        }
+    }
+
+    fn bump(&mut self, obs: &ServerObs) {
+        self.pending += 1;
+        if self.pending >= STAGE_FLUSH_EVERY {
+            self.flush(obs);
+        }
+    }
+
+    /// Folds the buffered samples into the shared registry.
+    fn flush(&mut self, obs: &ServerObs) {
+        if !self.enabled || self.pending == 0 {
+            return;
+        }
+        let mut registry = obs.registry.lock().unwrap();
+        registry.merge_histogram(obs.stage_match, &self.match_stage);
+        registry.merge_histogram(obs.stage_serialize, &self.serialize);
+        registry.merge_histogram(obs.stage_ack, &self.ack);
+        drop(registry);
+        self.match_stage = Log2Histogram::new();
+        self.serialize = Log2Histogram::new();
+        self.ack = Log2Histogram::new();
+        self.pending = 0;
+    }
+}
+
 /// State shared by every connection thread.
 struct ConnCtx {
     router: Arc<Router>,
@@ -43,6 +183,7 @@ struct ConnCtx {
     conn_counter: AtomicU64,
     /// Serializes coordinated checkpoint writes across connections.
     ckpt_lock: Mutex<()>,
+    obs: ServerObs,
 }
 
 impl Server {
@@ -95,6 +236,14 @@ impl Server {
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(addr) => Some(TcpListener::bind(addr)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let mut shard_cks: Vec<Option<crate::checkpoint::ShardCheckpoint>> =
             (0..cfg.shards).map(|_| None).collect();
         let (sessions, subscriptions) = match checkpoint {
@@ -115,9 +264,12 @@ impl Server {
         let queues = workers.iter().map(|w| Arc::clone(&w.queue)).collect();
         let router = Arc::new(Router::new(queues));
         router.restore(&sessions, &subscriptions);
+        let obs = ServerObs::new(&cfg);
         Ok(Server {
             listener,
             local_addr,
+            metrics_listener,
+            metrics_addr,
             workers,
             ctx: Arc::new(ConnCtx {
                 router,
@@ -127,6 +279,7 @@ impl Server {
                 addr: local_addr,
                 conn_counter: AtomicU64::new(0),
                 ckpt_lock: Mutex::new(()),
+                obs,
             }),
             restored,
         })
@@ -135,6 +288,12 @@ impl Server {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The bound metrics exposition address, when
+    /// [`ServerConfig::metrics_addr`] is set (useful with port 0).
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// What [`Server::bind`] restored, if anything.
@@ -150,6 +309,20 @@ impl Server {
     /// Returns an error only if the accept loop itself fails; per-
     /// connection errors close that connection and are otherwise ignored.
     pub fn run(self) -> ServerResult<()> {
+        let metrics_thread = self.metrics_listener.map(|listener| {
+            let ctx = Arc::clone(&self.ctx);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if ctx.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    // Scrapes are rare and cheap; serve inline.
+                    if let Ok(stream) = stream {
+                        let _ = serve_scrape(stream, &ctx);
+                    }
+                }
+            })
+        });
         let mut conn_threads = Vec::new();
         for stream in self.listener.incoming() {
             if self.ctx.stop.load(Ordering::SeqCst) {
@@ -163,6 +336,14 @@ impl Server {
             conn_threads.push(std::thread::spawn(move || {
                 let _ = handle_connection(stream, &ctx);
             }));
+        }
+        if let Some(t) = metrics_thread {
+            // The stop flag is set; poke the blocked accept so the metrics
+            // thread observes it.
+            if let Some(addr) = self.metrics_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            let _ = t.join();
         }
         for t in conn_threads {
             let _ = t.join();
@@ -200,6 +381,56 @@ fn broadcast<T, F: Fn(mpsc::Sender<T>) -> ShardMsg>(router: &Router, make: F) ->
     receivers.into_iter().filter_map(|rx| rx.recv().ok()).collect()
 }
 
+/// Merges the server-side registry snapshot with one from every live
+/// shard. Permissive about dead shards, like `Metrics`: their series are
+/// simply absent from the merge.
+fn merged_stats(ctx: &ConnCtx) -> RegistrySnapshot {
+    let mut snap = ctx.obs.registry.lock().unwrap().snapshot();
+    for shard_snap in broadcast(&ctx.router, |reply| ShardMsg::Stats { reply }) {
+        snap.merge(&shard_snap);
+    }
+    snap
+}
+
+/// Answers one metrics-listener connection with the text exposition of the
+/// merged registry. Speaks just enough HTTP/1.0 for `curl` and a
+/// Prometheus scraper: the request is read best-effort and ignored, the
+/// response is a single `200` with `Content-Length` and the connection
+/// closes after it.
+fn serve_scrape(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut buf = [0u8; 1024];
+    let mut seen = 0usize;
+    let mut tail = [0u8; 4];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                // Track the last four bytes across reads to spot the blank
+                // line ending the request head.
+                for &b in &buf[..n] {
+                    tail.rotate_left(1);
+                    tail[3] = b;
+                }
+                seen += n;
+                if &tail == b"\r\n\r\n" || seen > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = encode_text(&merged_stats(ctx));
+    let head = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
 /// Collects a coordinated checkpoint from every shard and writes it.
 ///
 /// `collector` lets drain reuse this with `ShardMsg::Drain` (final round +
@@ -232,14 +463,38 @@ fn collect_and_save(
         subscriptions: ctx.router.subscription_entries(),
         shards,
     };
-    store.save(&ck)?;
-    Ok(ck)
+    match store.save(&ck) {
+        Ok(()) => {
+            ctx.obs.event(TraceEvent::CheckpointWrite {
+                round: ck.round,
+                users: ck.users(),
+                ok: true,
+            });
+            Ok(ck)
+        }
+        Err(e) => {
+            ctx.obs.event(TraceEvent::CheckpointWrite {
+                round: ck.round,
+                users: ck.users(),
+                ok: false,
+            });
+            Err(e)
+        }
+    }
 }
 
-/// Flushes the pending cumulative publish ack, if any.
-fn settle_ack<W: Write>(writer: &mut W, pending: &mut Option<u64>) -> ServerResult<()> {
+/// Flushes the pending cumulative publish ack, if any, timing the flush as
+/// the pipeline's `ack` stage.
+fn settle_ack<W: Write>(
+    obs: &ServerObs,
+    stages: &mut ConnStages,
+    writer: &mut W,
+    pending: &mut Option<u64>,
+) -> ServerResult<()> {
     if let Some(seq) = pending.take() {
+        let t0 = Instant::now();
         write_frame(writer, &Response::PubAck { seq })?;
+        stages.observe_ack(t0, obs);
     }
     Ok(())
 }
@@ -264,6 +519,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
     let mut session: Option<u64> = None;
     // Highest publish seq applied but not yet acked on this connection.
     let mut pending_ack: Option<u64> = None;
+    let mut stages = ConnStages::new(&ctx.obs);
 
     loop {
         // Cumulative ack point: the client has no more pipelined frames in
@@ -271,7 +527,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
         // this batches acks under pipelining without ever deadlocking a
         // client that waits for one.
         if reader.buffer().is_empty() {
-            settle_ack(&mut writer, &mut pending_ack)?;
+            settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
         }
         let req = match read_frame::<_, Request>(&mut reader) {
             Ok(Some(req)) => req,
@@ -295,6 +551,11 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
         // Injected connection reset: drop the socket on the floor without
         // processing the frame, like a mobile link dying mid-request.
         if faults.reset_now() {
+            ctx.obs.event(TraceEvent::FaultInjected {
+                kind: "conn_reset".to_string(),
+                detail: format!("connection {conn}"),
+            });
+            stages.flush(&ctx.obs);
             return Ok(());
         }
         let collect_deliveries = matches!(&req, Request::TickReport { .. });
@@ -327,23 +588,28 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 )?;
             }
             Request::Subscribe { user, topic } => {
-                settle_ack(&mut writer, &mut pending_ack)?;
+                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
                 ctx.router.subscribe(user, topic);
                 write_frame(&mut writer, &Response::Subscribed)?;
             }
             Request::Publish { seq, topic, item } => {
-                match ctx.router.apply_publish(
-                    session.unwrap_or(0),
-                    seq,
-                    topic,
-                    item,
-                    Instant::now(),
-                ) {
-                    PublishOutcome::Routed { .. } | PublishOutcome::Duplicate => {
+                let t0 = Instant::now();
+                let outcome = ctx.router.apply_publish(session.unwrap_or(0), seq, topic, item, t0);
+                stages.observe_match(t0, &ctx.obs);
+                match outcome {
+                    PublishOutcome::Routed { matched } => {
+                        ctx.obs.event(TraceEvent::BrokerMatch {
+                            session: session.unwrap_or(0),
+                            seq,
+                            matched,
+                        });
+                        pending_ack = Some(pending_ack.map_or(seq, |p| p.max(seq)));
+                    }
+                    PublishOutcome::Duplicate => {
                         pending_ack = Some(pending_ack.map_or(seq, |p| p.max(seq)));
                     }
                     PublishOutcome::Draining => {
-                        settle_ack(&mut writer, &mut pending_ack)?;
+                        settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
                         error_frame(
                             &mut writer,
                             ErrorCode::Draining,
@@ -353,7 +619,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 }
             }
             Request::Tick { rounds } | Request::TickReport { rounds } => {
-                settle_ack(&mut writer, &mut pending_ack)?;
+                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
                 let collect = collect_deliveries;
                 let replies =
                     broadcast(&ctx.router, |reply| ShardMsg::Tick { rounds, collect, reply });
@@ -388,23 +654,49 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                     let mut deliveries: Vec<_> =
                         replies.into_iter().flat_map(|r| r.deliveries).collect();
                     deliveries.sort_by_key(|d| (d.round, d.user.value()));
+                    let t0 = Instant::now();
                     write_frame(
                         &mut writer,
                         &Response::TickReport { rounds: rounds_done, deliveries },
                     )?;
+                    stages.observe_serialize(t0, &ctx.obs);
                 } else {
                     write_frame(&mut writer, &Response::Ticked { rounds: rounds_done, selected })?;
                 }
             }
             Request::Metrics => {
-                settle_ack(&mut writer, &mut pending_ack)?;
+                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
                 let shards = broadcast(&ctx.router, |reply| ShardMsg::Snapshot { reply });
                 let snapshot =
                     MetricsSnapshot { shards, dropped_on_drain: ctx.router.dropped_on_drain() };
+                let t0 = Instant::now();
                 write_frame(&mut writer, &Response::Metrics(snapshot))?;
+                stages.observe_serialize(t0, &ctx.obs);
+            }
+            Request::Stats => {
+                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                stages.flush(&ctx.obs);
+                let snap = merged_stats(ctx);
+                let t0 = Instant::now();
+                write_frame(&mut writer, &Response::StatsSnapshot(snap))?;
+                stages.observe_serialize(t0, &ctx.obs);
+            }
+            Request::TraceDump => {
+                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                // Server-side events first, then shard 0..n in order.
+                let (mut events, mut dropped) = ctx.obs.ring.lock().unwrap().drain();
+                for (shard_events, shard_dropped) in
+                    broadcast(&ctx.router, |reply| ShardMsg::TraceDump { reply })
+                {
+                    events.extend(shard_events);
+                    dropped += shard_dropped;
+                }
+                let t0 = Instant::now();
+                write_frame(&mut writer, &Response::TraceDump { events, dropped })?;
+                stages.observe_serialize(t0, &ctx.obs);
             }
             Request::Checkpoint => {
-                settle_ack(&mut writer, &mut pending_ack)?;
+                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
                 let Some(store) = &ctx.store else {
                     error_frame(
                         &mut writer,
@@ -424,7 +716,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 }
             }
             Request::Drain => {
-                settle_ack(&mut writer, &mut pending_ack)?;
+                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
                 ctx.router.set_draining(true);
                 // One final round flushes whatever each shard already
                 // queued; the drain reply carries the post-flush state.
@@ -461,10 +753,20 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                         // A drain that cannot persist must not pretend it
                         // did: report, reopen ingest, keep running.
                         drop(_guard);
+                        ctx.obs.event(TraceEvent::CheckpointWrite {
+                            round: ck.round,
+                            users: ck.users(),
+                            ok: false,
+                        });
                         ctx.router.set_draining(false);
                         error_frame(&mut writer, ErrorCode::CheckpointFailed, e.to_string())?;
                         continue;
                     }
+                    ctx.obs.event(TraceEvent::CheckpointWrite {
+                        round: ck.round,
+                        users: ck.users(),
+                        ok: true,
+                    });
                     checkpointed = true;
                 }
                 write_frame(&mut writer, &Response::Drained { rounds, users, checkpointed })?;
@@ -483,5 +785,6 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
             }
         }
     }
+    stages.flush(&ctx.obs);
     Ok(())
 }

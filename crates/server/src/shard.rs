@@ -5,7 +5,28 @@
 //! round `t` runs at `now = t × round_secs` — so selections depend only on
 //! the publication stream and the tick sequence, never on wall-clock
 //! jitter. Wall-clock [`Instant`]s are kept separately, purely to measure
-//! ingest-to-selection latency.
+//! ingest-to-selection latency and per-stage durations.
+//!
+//! # Policy genericity
+//!
+//! [`ShardState`] is generic over `P:`[`Policy`] — the scheduler type is a
+//! type parameter, not an enum match, so the daemon can run the FIFO or
+//! UTIL baselines (or any future policy) with zero dispatch overhead on
+//! the round loop. The default is [`RichNoteScheduler`]; checkpoints carry
+//! a policy-tagged [`richnote_core::policy::PolicyCheckpoint`] and restoring one into the wrong
+//! policy fails loudly.
+//!
+//! # Observability
+//!
+//! Every shard owns a [`ShardObs`]: a metric [`Registry`] (counters,
+//! gauges, log2 histograms, all labeled with the shard index) plus a
+//! bounded [`TraceRing`] of structured [`TraceEvent`]s. Recording is a
+//! plain field increment behind an `enabled` branch — no locks, no
+//! hashing — because the registry is owned by the shard thread and only
+//! *snapshots* cross threads (via [`ShardMsg::Stats`]). Trace events carry
+//! only logical fields (rounds, ids, levels, gradients), so a seeded run
+//! produces an identical event stream across machines; wall-clock numbers
+//! go to histograms instead.
 //!
 //! # Failure containment
 //!
@@ -22,10 +43,13 @@ use crate::metrics::{LatencyHistogram, ShardSnapshot};
 use crate::queue::BoundedQueue;
 use crate::wire::Delivery;
 use richnote_core::presentation::AudioPresentationSpec;
-use richnote_core::scheduler::{
-    NotificationScheduler, QueuedNotification, RichNoteScheduler, RoundContext,
+use richnote_core::scheduler::{QueuedNotification, RichNoteScheduler, RoundContext};
+use richnote_core::{
+    ContentId, ContentItem, Policy, PresentationLadder, SelectionObserver, UserId,
 };
-use richnote_core::{ContentId, ContentItem, PresentationLadder, UserId};
+use richnote_obs::{
+    CounterHandle, GaugeHandle, HistogramHandle, Registry, RegistrySnapshot, TraceEvent, TraceRing,
+};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -41,6 +65,144 @@ pub fn content_utility(item: &ContentItem) -> f64 {
     let f = &item.features;
     (0.5 * f.track_popularity + 0.3 * f.artist_popularity + 0.2 * f.album_popularity)
         .clamp(0.0, 1.0)
+}
+
+/// The default shard policy: RichNote with paper-default parameters.
+fn default_policy() -> RichNoteScheduler {
+    RichNoteScheduler::builder().build()
+}
+
+/// Per-shard observability: a metric registry plus a trace-event ring,
+/// both owned by the shard thread (lock-free recording).
+pub struct ShardObs {
+    shard: usize,
+    registry: Registry,
+    ring: TraceRing,
+    pubs: CounterHandle,
+    queue_dropped: CounterHandle,
+    selected: CounterHandle,
+    rounds: CounterHandle,
+    bytes_spent: CounterHandle,
+    bytes_budgeted: CounterHandle,
+    backlog: GaugeHandle,
+    users: GaugeHandle,
+    round_duration: HistogramHandle,
+    selection_latency: HistogramHandle,
+    stage_dequeue: HistogramHandle,
+    stage_select: HistogramHandle,
+    /// Last queue-drop total seen, for delta reporting.
+    last_dropped: u64,
+}
+
+impl ShardObs {
+    /// Registers the shard's metric vocabulary. `enabled = false` makes
+    /// every recording a no-op (for overhead measurement); `trace_capacity
+    /// = 0` disables the event ring.
+    pub fn new(shard: usize, enabled: bool, trace_capacity: usize) -> Self {
+        let mut registry = if enabled { Registry::new() } else { Registry::disabled() };
+        let s = shard.to_string();
+        let l = &[("shard", s.as_str())][..];
+        let stage = |st: &'static str| {
+            let v: Vec<(&str, &str)> = vec![("shard", s.as_str()), ("stage", st)];
+            v
+        };
+        let pubs = registry.counter("richnote_pubs_total", "Publications ingested", l);
+        let queue_dropped = registry.counter(
+            "richnote_queue_dropped_total",
+            "Ingest-queue messages shed by backpressure",
+            l,
+        );
+        let selected =
+            registry.counter("richnote_selected_total", "Notifications selected for delivery", l);
+        let rounds = registry.counter("richnote_rounds_total", "Selection rounds completed", l);
+        let bytes_spent =
+            registry.counter("richnote_bytes_spent_total", "Bytes of selected presentations", l);
+        let bytes_budgeted = registry.counter(
+            "richnote_bytes_budgeted_total",
+            "Sum of per-user data grants over completed rounds",
+            l,
+        );
+        let backlog =
+            registry.gauge("richnote_backlog", "Notifications queued across schedulers", l);
+        let users = registry.gauge("richnote_users", "Users with scheduler state", l);
+        let round_duration = registry.histogram(
+            "richnote_round_duration_us",
+            "Wall-clock duration of one selection round",
+            l,
+        );
+        let selection_latency = registry.histogram(
+            "richnote_selection_latency_us",
+            "Wall-clock ingest-to-selection latency",
+            l,
+        );
+        let stage_dequeue = registry.histogram(
+            "richnote_stage_duration_us",
+            "Wall-clock duration per pipeline stage",
+            &stage("dequeue"),
+        );
+        let stage_select = registry.histogram(
+            "richnote_stage_duration_us",
+            "Wall-clock duration per pipeline stage",
+            &stage("select"),
+        );
+        ShardObs {
+            shard,
+            registry,
+            ring: TraceRing::new(trace_capacity),
+            pubs,
+            queue_dropped,
+            selected,
+            rounds,
+            bytes_spent,
+            bytes_budgeted,
+            backlog,
+            users,
+            round_duration,
+            selection_latency,
+            stage_dequeue,
+            stage_select,
+            last_dropped: 0,
+        }
+    }
+
+    /// Pushes a trace event (no-op when tracing is disabled).
+    pub fn event(&mut self, ev: TraceEvent) {
+        self.ring.push(ev);
+    }
+
+    /// Drains the trace ring: buffered events plus the evicted count.
+    pub fn drain_events(&mut self) -> (Vec<TraceEvent>, u64) {
+        self.ring.drain()
+    }
+}
+
+/// Reports one user's selections into the shard's trace ring.
+struct SelectObserver<'a> {
+    obs: &'a mut ShardObs,
+    user: u64,
+}
+
+impl SelectionObserver for SelectObserver<'_> {
+    fn on_select(
+        &mut self,
+        round: u64,
+        content: ContentId,
+        level: u8,
+        _size: u64,
+        utility: f64,
+        gradient: f64,
+    ) {
+        let shard = self.obs.shard;
+        self.obs.event(TraceEvent::Select {
+            shard,
+            round,
+            user: self.user,
+            content: content.value(),
+            level,
+            utility,
+            gradient,
+        });
+    }
 }
 
 /// Result of one [`ShardState::run_round`].
@@ -59,11 +221,13 @@ pub struct RoundOutcome {
 /// Users are kept in a [`BTreeMap`] so rounds visit them in ascending id
 /// order — determinism requires a stable iteration order, and hash-map
 /// order varies per process.
-pub struct ShardState {
+pub struct ShardState<P: Policy + Send = RichNoteScheduler> {
     shard: usize,
     cfg: ServerConfig,
     ladder: PresentationLadder,
-    schedulers: BTreeMap<UserId, RichNoteScheduler>,
+    schedulers: BTreeMap<UserId, P>,
+    /// Builds a fresh scheduler for a user seen for the first time.
+    factory: fn() -> P,
     /// Wall-clock ingest instants for latency measurement only; not
     /// checkpointed (a restored process has fresh wall clocks anyway).
     ingest_at: HashMap<ContentId, Instant>,
@@ -74,16 +238,35 @@ pub struct ShardState {
     bytes_spent: u64,
     restored_users: u64,
     latency: LatencyHistogram,
+    obs: ShardObs,
 }
 
-impl ShardState {
-    /// An empty shard.
+impl ShardState<RichNoteScheduler> {
+    /// An empty shard running the default RichNote policy.
     pub fn new(shard: usize, cfg: ServerConfig) -> Self {
+        ShardState::with_policy(shard, cfg, default_policy)
+    }
+
+    /// Rebuilds a RichNote shard from its checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardState::restore_with`].
+    pub fn restore(shard: usize, cfg: ServerConfig, ck: ShardCheckpoint) -> ServerResult<Self> {
+        ShardState::restore_with(shard, cfg, ck, default_policy)
+    }
+}
+
+impl<P: Policy + Send> ShardState<P> {
+    /// An empty shard whose schedulers are built by `factory`.
+    pub fn with_policy(shard: usize, cfg: ServerConfig, factory: fn() -> P) -> Self {
+        let obs = ShardObs::new(shard, cfg.metrics_enabled, cfg.trace_capacity);
         ShardState {
             shard,
             cfg,
             ladder: AudioPresentationSpec::paper_default().ladder(),
             schedulers: BTreeMap::new(),
+            factory,
             ingest_at: HashMap::new(),
             round: 0,
             ingested: 0,
@@ -92,23 +275,38 @@ impl ShardState {
             bytes_spent: 0,
             restored_users: 0,
             latency: LatencyHistogram::new(),
+            obs,
         }
     }
 
     /// Rebuilds a shard from its checkpoint.
     ///
+    /// Lifetime counters (ingested, selected, rounds, bytes) are restored
+    /// into the metric registry so `Stats` survives a restart; wall-clock
+    /// histograms (round duration, stage durations, registry-side
+    /// selection latency) restart from zero because a new process has
+    /// fresh clocks — mixing pre- and post-restart wall-clock samples
+    /// would corrupt the percentiles. The checkpointed selection-latency
+    /// histogram still reaches the legacy `Metrics` snapshot unchanged.
+    ///
     /// # Errors
     ///
     /// Returns [`ServerError::Checkpoint`] when the checkpoint belongs to
-    /// a different shard index.
-    pub fn restore(shard: usize, cfg: ServerConfig, ck: ShardCheckpoint) -> ServerResult<Self> {
+    /// a different shard index or a user's state was written by a
+    /// different policy than `P`.
+    pub fn restore_with(
+        shard: usize,
+        cfg: ServerConfig,
+        ck: ShardCheckpoint,
+        factory: fn() -> P,
+    ) -> ServerResult<Self> {
         if ck.shard != shard {
             return Err(ServerError::Checkpoint {
                 path: String::new(),
                 detail: format!("shard checkpoint index {} restored onto shard {shard}", ck.shard),
             });
         }
-        let mut state = ShardState::new(shard, cfg);
+        let mut state = ShardState::with_policy(shard, cfg, factory);
         state.round = ck.round;
         state.ingested = ck.ingested;
         state.selected = ck.selected;
@@ -117,8 +315,17 @@ impl ShardState {
         state.latency = ck.latency;
         state.restored_users = ck.users.len() as u64;
         for u in ck.users {
-            state.schedulers.insert(u.user, RichNoteScheduler::from_checkpoint(u.scheduler));
+            let policy = P::restore(u.scheduler).map_err(|e| ServerError::Checkpoint {
+                path: String::new(),
+                detail: format!("user {}: {e}", u.user.value()),
+            })?;
+            state.schedulers.insert(u.user, policy);
         }
+        state.obs.registry.set_counter(state.obs.pubs, state.ingested);
+        state.obs.registry.set_counter(state.obs.selected, state.selected);
+        state.obs.registry.set_counter(state.obs.rounds, state.round);
+        state.obs.registry.set_counter(state.obs.bytes_spent, state.bytes_spent);
+        state.obs.registry.set_counter(state.obs.bytes_budgeted, state.bytes_budgeted);
         Ok(state)
     }
 
@@ -146,8 +353,9 @@ impl ShardState {
     /// `received` is the wall-clock instant ingest began (at the socket),
     /// so the latency histogram includes queueing ahead of the shard.
     pub fn ingest(&mut self, user: UserId, item: ContentItem, received: Instant) {
-        let scheduler =
-            self.schedulers.entry(user).or_insert_with(RichNoteScheduler::with_defaults);
+        let t0 = Instant::now();
+        let factory = self.factory;
+        let scheduler = self.schedulers.entry(user).or_insert_with(factory);
         let uc = content_utility(&item);
         self.ingest_at.insert(item.id, received);
         // Virtual enqueue time: the start of the round the item lands in.
@@ -158,11 +366,22 @@ impl ShardState {
             item,
         });
         self.ingested += 1;
+        self.obs.registry.inc(self.obs.pubs, 1);
+        let us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.obs.registry.observe_us(self.obs.stage_dequeue, us);
     }
 
     /// Runs one round over every user on this shard.
     pub fn run_round(&mut self) -> RoundOutcome {
+        let t0 = Instant::now();
         let now = self.round as f64 * self.cfg.round_secs;
+        let backlog_before = self.backlog();
+        self.obs.event(TraceEvent::RoundStart {
+            shard: self.shard,
+            round: self.round,
+            now_secs: now,
+            backlog: backlog_before,
+        });
         let ctx = RoundContext {
             round: self.round,
             now,
@@ -174,12 +393,18 @@ impl ShardState {
             cost: &self.cfg.cost,
         };
         let mut outcome = RoundOutcome { round: self.round, selected: Vec::new(), bytes: 0 };
+        let mut select_us = 0u64;
         for (&user, scheduler) in &mut self.schedulers {
             self.bytes_budgeted += self.cfg.data_grant;
-            for d in scheduler.run_round(&ctx) {
+            let mut ob = SelectObserver { obs: &mut self.obs, user: user.value() };
+            let ts = Instant::now();
+            let delivered = scheduler.select_round(&ctx, &mut ob);
+            select_us += ts.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            for d in delivered {
                 if let Some(received) = self.ingest_at.remove(&d.content) {
                     let us = received.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                     self.latency.record_us(us);
+                    self.obs.registry.observe_us(self.obs.selection_latency, us);
                 }
                 self.bytes_spent += d.size;
                 outcome.bytes += d.size;
@@ -188,6 +413,19 @@ impl ShardState {
         }
         self.selected += outcome.selected.len() as u64;
         self.round += 1;
+        self.obs.registry.inc(self.obs.rounds, 1);
+        self.obs.registry.inc(self.obs.selected, outcome.selected.len() as u64);
+        self.obs.registry.set_counter(self.obs.bytes_spent, self.bytes_spent);
+        self.obs.registry.set_counter(self.obs.bytes_budgeted, self.bytes_budgeted);
+        self.obs.registry.observe_us(self.obs.stage_select, select_us);
+        let round_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        self.obs.registry.observe_us(self.obs.round_duration, round_us);
+        self.obs.event(TraceEvent::RoundEnd {
+            shard: self.shard,
+            round: outcome.round,
+            selected: outcome.selected.len() as u64,
+            bytes_spent: outcome.bytes,
+        });
         outcome
     }
 
@@ -199,6 +437,34 @@ impl ShardState {
     /// Notifications still queued across this shard's schedulers.
     pub fn backlog(&self) -> usize {
         self.schedulers.values().map(|s| s.backlog()).sum()
+    }
+
+    /// Folds the ingest queue's drop total into the registry and, when it
+    /// grew, emits a [`TraceEvent::QueueDrop`] with the delta.
+    pub fn sync_dropped(&mut self, total: u64) {
+        if total > self.obs.last_dropped {
+            let delta = total - self.obs.last_dropped;
+            self.obs.last_dropped = total;
+            self.obs.registry.set_counter(self.obs.queue_dropped, total);
+            self.obs.event(TraceEvent::QueueDrop {
+                shard: self.shard,
+                round: self.round,
+                dropped: delta,
+            });
+        }
+    }
+
+    /// A registry snapshot with gauges refreshed to current state.
+    pub fn stats(&mut self) -> RegistrySnapshot {
+        let backlog = self.backlog() as f64;
+        self.obs.registry.set_gauge(self.obs.backlog, backlog);
+        self.obs.registry.set_gauge(self.obs.users, self.schedulers.len() as f64);
+        self.obs.registry.snapshot()
+    }
+
+    /// The shard's observability state (trace ring + registry).
+    pub fn obs_mut(&mut self) -> &mut ShardObs {
+        &mut self.obs
     }
 
     /// Snapshot for metrics reporting; `dropped` comes from the ingest
@@ -256,6 +522,16 @@ pub enum ShardMsg {
         /// Reply channel.
         reply: mpsc::Sender<ShardSnapshot>,
     },
+    /// Report a registry snapshot (gauges refreshed at reply time).
+    Stats {
+        /// Reply channel.
+        reply: mpsc::Sender<RegistrySnapshot>,
+    },
+    /// Drain and reset the shard's trace ring.
+    TraceDump {
+        /// Reply channel carrying `(events, evicted-count)`.
+        reply: mpsc::Sender<(Vec<TraceEvent>, u64)>,
+    },
     /// Report this shard's checkpoint at the current round boundary.
     Checkpoint {
         /// Reply channel.
@@ -292,7 +568,7 @@ enum Flow {
     Stop,
 }
 
-fn handle_msg(state: &mut ShardState, msg: ShardMsg) -> Flow {
+fn handle_msg<P: Policy + Send>(state: &mut ShardState<P>, msg: ShardMsg) -> Flow {
     let faults = state.cfg.faults.clone();
     match msg {
         ShardMsg::Ingest { user, item, received } => {
@@ -323,6 +599,12 @@ fn handle_msg(state: &mut ShardState, msg: ShardMsg) -> Flow {
         ShardMsg::Snapshot { reply } => {
             let _ = reply.send(state.snapshot(0));
         }
+        ShardMsg::Stats { reply } => {
+            let _ = reply.send(state.stats());
+        }
+        ShardMsg::TraceDump { reply } => {
+            let _ = reply.send(state.obs_mut().drain_events());
+        }
         ShardMsg::Checkpoint { reply } => {
             let _ = reply.send(state.checkpoint());
         }
@@ -336,22 +618,35 @@ fn handle_msg(state: &mut ShardState, msg: ShardMsg) -> Flow {
 }
 
 impl ShardWorker {
-    /// Spawns the worker thread for shard `shard`, optionally seeded with
-    /// restored state.
+    /// Spawns the worker thread for shard `shard` running the default
+    /// RichNote policy, optionally seeded with restored state.
     pub fn spawn(shard: usize, cfg: ServerConfig, restored: Option<ShardCheckpoint>) -> Self {
+        ShardWorker::spawn_with(shard, cfg, restored, default_policy)
+    }
+
+    /// Spawns the worker with an arbitrary policy factory.
+    pub fn spawn_with<P: Policy + Send + 'static>(
+        shard: usize,
+        cfg: ServerConfig,
+        restored: Option<ShardCheckpoint>,
+        factory: fn() -> P,
+    ) -> Self {
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity, ShardMsg::droppable));
         let q = Arc::clone(&queue);
         let handle = std::thread::Builder::new()
             .name(format!("richnote-shard-{shard}"))
             .spawn(move || {
                 let mut state = match restored {
-                    Some(ck) => {
-                        ShardState::restore(shard, cfg, ck).expect("shard checkpoint mismatch")
-                    }
-                    None => ShardState::new(shard, cfg),
+                    Some(ck) => ShardState::restore_with(shard, cfg, ck, factory)
+                        .expect("shard checkpoint mismatch"),
+                    None => ShardState::with_policy(shard, cfg, factory),
                 };
                 while let Some(msg) = q.pop() {
-                    // Snapshot replies need the queue's drop counter, which
+                    // The queue's drop counter lives outside the state;
+                    // fold it in before handling so QueueDrop events and
+                    // the dropped counter stay fresh.
+                    state.sync_dropped(q.dropped());
+                    // Snapshot replies need the drop counter too, which
                     // handle_msg cannot see; patch it in here.
                     let msg = match msg {
                         ShardMsg::Snapshot { reply } => {
@@ -398,6 +693,7 @@ mod tests {
     use super::*;
     use crate::fault::{FaultPlan, ShardPanicFault};
     use richnote_core::content::{ContentFeatures, ContentKind, Interaction, SocialTie};
+    use richnote_core::scheduler::{FifoScheduler, UtilScheduler};
 
     fn item(id: u64, recipient: u64, arrival: f64) -> ContentItem {
         ContentItem {
@@ -445,6 +741,65 @@ mod tests {
     }
 
     #[test]
+    fn registry_tracks_the_round_loop() {
+        let mut shard = ShardState::new(0, ServerConfig::default());
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now());
+        shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now());
+        let out = shard.run_round();
+        let stats = shard.stats();
+        assert_eq!(stats.counter_total("richnote_pubs_total"), 2);
+        assert_eq!(stats.counter_total("richnote_rounds_total"), 1);
+        assert_eq!(stats.counter_total("richnote_selected_total"), out.selected.len() as u64);
+        assert_eq!(stats.counter_total("richnote_bytes_spent_total"), out.bytes);
+        let rd = stats.histogram_merged("richnote_round_duration_us");
+        assert_eq!(rd.count(), 1);
+        let stages = stats.histogram_merged("richnote_stage_duration_us");
+        // One dequeue observation per ingest, one select per round.
+        assert_eq!(stages.count(), 3);
+        let lat = stats.histogram_merged("richnote_selection_latency_us");
+        assert_eq!(lat.count(), out.selected.len() as u64);
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let cfg = ServerConfig { metrics_enabled: false, ..ServerConfig::default() };
+        let mut shard = ShardState::new(0, cfg);
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now());
+        shard.run_round();
+        let stats = shard.stats();
+        assert_eq!(stats.counter_total("richnote_pubs_total"), 0);
+        assert_eq!(stats.histogram_merged("richnote_round_duration_us").count(), 0);
+        // Legacy metrics still work regardless.
+        assert_eq!(shard.snapshot(0).ingested, 1);
+    }
+
+    #[test]
+    fn trace_ring_records_round_and_select_events() {
+        let cfg = ServerConfig { trace_capacity: 64, ..ServerConfig::default() };
+        let mut shard = ShardState::new(3, cfg);
+        shard.ingest(UserId::new(9), item(1, 9, 0.0), Instant::now());
+        let out = shard.run_round();
+        let (events, dropped) = shard.obs_mut().drain_events();
+        assert_eq!(dropped, 0);
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::RoundStart { shard: 3, round: 0, backlog: 1, .. })
+        ));
+        assert!(matches!(events.last(), Some(TraceEvent::RoundEnd { shard: 3, round: 0, .. })));
+        let selects: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Select { user, level, .. } => Some((*user, *level)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(selects.len(), out.selected.len());
+        assert!(selects.iter().all(|&(u, l)| u == 9 && l >= 1));
+        // Ring is reset after a drain.
+        assert!(shard.obs_mut().drain_events().0.is_empty());
+    }
+
+    #[test]
     fn rounds_visit_users_in_id_order() {
         let mut shard = ShardState::new(0, ServerConfig::default());
         for uid in [5u64, 1, 3] {
@@ -472,7 +827,48 @@ mod tests {
         worker.queue.push(ShardMsg::Snapshot { reply: tx });
         let snap = rx.recv().unwrap();
         assert_eq!(snap.ingested, 1);
+        let (tx, rx) = mpsc::channel();
+        worker.queue.push(ShardMsg::Stats { reply: tx });
+        let stats = rx.recv().unwrap();
+        assert_eq!(stats.counter_total("richnote_pubs_total"), 1);
         worker.join();
+    }
+
+    #[test]
+    fn shard_runs_baseline_policies_generically() {
+        let mut fifo: ShardState<FifoScheduler> =
+            ShardState::with_policy(0, ServerConfig::default(), || {
+                FifoScheduler::builder().fixed_level(2).build()
+            });
+        let mut util: ShardState<UtilScheduler> =
+            ShardState::with_policy(0, ServerConfig::default(), || {
+                UtilScheduler::builder().fixed_level(2).build()
+            });
+        for s in [0, 1] {
+            let now = Instant::now();
+            if s == 0 {
+                fifo.ingest(UserId::new(1), item(1, 1, 0.0), now);
+            } else {
+                util.ingest(UserId::new(1), item(1, 1, 0.0), now);
+            }
+        }
+        let f = fifo.run_round();
+        let u = util.run_round();
+        assert_eq!(f.selected.len(), 1);
+        assert_eq!(u.selected.len(), 1);
+        assert!(f.selected.iter().all(|&(_, _, level)| level == 2));
+        // A FIFO checkpoint cannot restore into a RichNote shard.
+        let ck = fifo.checkpoint();
+        let err = match ShardState::<RichNoteScheduler>::restore_with(
+            0,
+            ServerConfig::default(),
+            ck,
+            default_policy,
+        ) {
+            Ok(_) => panic!("FIFO checkpoint restored into a RichNote shard"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("FIFO"), "{err}");
     }
 
     #[test]
@@ -500,6 +896,39 @@ mod tests {
             assert_eq!(reference.run_round(), restored.run_round());
         }
         assert_eq!(reference.backlog(), restored.backlog());
+    }
+
+    #[test]
+    fn restore_seeds_counters_and_zeroes_wall_clock_histograms() {
+        let cfg = ServerConfig::default();
+        let mut shard = ShardState::new(0, cfg.clone());
+        for uid in 1..=3u64 {
+            shard.ingest(UserId::new(uid), item(uid, uid, 0.0), Instant::now());
+        }
+        shard.run_round();
+        let before = shard.stats();
+        assert!(before.histogram_merged("richnote_round_duration_us").count() > 0);
+
+        let mut restored = ShardState::restore(0, cfg, shard.checkpoint()).unwrap();
+        let after = restored.stats();
+        // Lifetime counters survive the restart...
+        assert_eq!(
+            after.counter_total("richnote_pubs_total"),
+            before.counter_total("richnote_pubs_total")
+        );
+        assert_eq!(
+            after.counter_total("richnote_selected_total"),
+            before.counter_total("richnote_selected_total")
+        );
+        assert_eq!(after.counter_total("richnote_rounds_total"), 1);
+        // ...wall-clock histograms restart from zero (fresh process clock).
+        assert_eq!(after.histogram_merged("richnote_round_duration_us").count(), 0);
+        assert_eq!(after.histogram_merged("richnote_selection_latency_us").count(), 0);
+        // The legacy selection-latency histogram is carried over intact.
+        assert_eq!(
+            restored.snapshot(0).selection_latency.count(),
+            shard.snapshot(0).selection_latency.count()
+        );
     }
 
     #[test]

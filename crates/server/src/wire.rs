@@ -39,10 +39,10 @@
 //!    next checkpoint).
 //! 3. **Other requests** are strict request/response: `Subscribe` →
 //!    `Subscribed`, `Tick` → `Ticked`, `TickReport` → `TickReport`,
-//!    `Metrics` → `Metrics`, `Checkpoint` → `Checkpointed`, `Drain` →
-//!    `Drained`, `Shutdown` → `ShuttingDown`. A client must therefore be
-//!    prepared to consume interleaved `PubAck` frames while waiting for
-//!    any response.
+//!    `Metrics` → `Metrics`, `Stats` → `StatsSnapshot`, `TraceDump` →
+//!    `TraceDump`, `Checkpoint` → `Checkpointed`, `Drain` → `Drained`,
+//!    `Shutdown` → `ShuttingDown`. A client must therefore be prepared to
+//!    consume interleaved `PubAck` frames while waiting for any response.
 //! 4. **Errors.** Failures are typed: [`Response::Error`] carries an
 //!    [`ErrorCode`] plus a human-readable message, and (except for
 //!    unrecoverable framing errors) the connection stays open.
@@ -57,6 +57,7 @@
 use crate::error::{ServerError, ServerResult};
 use crate::metrics::MetricsSnapshot;
 use richnote_core::{ContentId, ContentItem, UserId};
+use richnote_obs::{RegistrySnapshot, TraceEvent};
 use richnote_pubsub::Topic;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -127,6 +128,15 @@ pub enum Request {
     },
     /// Requests a metrics snapshot across all shards.
     Metrics,
+    /// Requests a merged registry snapshot (counters, gauges, histograms
+    /// from every shard plus the server-side stage timers). Servers built
+    /// before the observability layer answer `Error { code: BadFrame }`,
+    /// which clients surface as "stats unsupported".
+    Stats,
+    /// Drains every trace ring (server + shards) and returns the buffered
+    /// structured events. Rings reset on dump; an empty response means
+    /// tracing is disabled (`trace_capacity = 0`) or nothing happened.
+    TraceDump,
     /// Forces a coordinated checkpoint now (requires a configured
     /// checkpoint directory).
     Checkpoint,
@@ -189,6 +199,15 @@ pub enum Response {
     },
     /// Metrics snapshot.
     Metrics(MetricsSnapshot),
+    /// Merged registry snapshot answering [`Request::Stats`].
+    StatsSnapshot(RegistrySnapshot),
+    /// Structured trace events answering [`Request::TraceDump`].
+    TraceDump {
+        /// Buffered events, server-side first, then shard 0..n in order.
+        events: Vec<TraceEvent>,
+        /// Events evicted from full rings since the previous dump.
+        dropped: u64,
+    },
     /// Coordinated checkpoint written.
     Checkpointed {
         /// Users captured in the checkpoint.
@@ -317,6 +336,8 @@ mod tests {
             Request::Tick { rounds: 3 },
             Request::TickReport { rounds: 1 },
             Request::Metrics,
+            Request::Stats,
+            Request::TraceDump,
             Request::Checkpoint,
             Request::Drain,
             Request::Shutdown,
@@ -376,6 +397,49 @@ mod tests {
             assert_eq!(got, Request::Tick { rounds: i });
         }
         assert!(read_frame::<_, Request>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn stats_and_trace_responses_roundtrip() {
+        let mut reg = richnote_obs::Registry::new();
+        let c = reg.counter("richnote_pubs_total", "pubs", &[("shard", "0")]);
+        reg.inc(c, 5);
+        let resps = vec![
+            Response::StatsSnapshot(reg.snapshot()),
+            Response::TraceDump {
+                events: vec![TraceEvent::RoundEnd {
+                    shard: 0,
+                    round: 3,
+                    selected: 2,
+                    bytes_spent: 90_000,
+                }],
+                dropped: 1,
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &resps {
+            write_frame(&mut buf, r).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for want in &resps {
+            let got: Response = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, want);
+        }
+    }
+
+    #[test]
+    fn unknown_request_variant_fails_as_bad_frame_material() {
+        // What a pre-observability server sees when a new client sends
+        // `Stats`: the JSON parse fails, which its connection loop answers
+        // with `Error { code: BadFrame }`. Simulate the parse side here.
+        #[derive(Debug, Serialize, Deserialize, PartialEq)]
+        enum OldRequest {
+            Metrics,
+        }
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Stats).unwrap();
+        let res = read_frame::<_, OldRequest>(&mut &buf[..]);
+        assert!(matches!(res, Err(ServerError::Frame(_))), "{res:?}");
     }
 
     #[test]

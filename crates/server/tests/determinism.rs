@@ -65,7 +65,7 @@ fn run_reference(cfg: &ServerConfig, batches: &[Vec<ContentItem>]) -> Selections
         for item in batch {
             schedulers
                 .entry(item.recipient)
-                .or_insert_with(RichNoteScheduler::with_defaults)
+                .or_insert_with(|| RichNoteScheduler::builder().build())
                 .enqueue(QueuedNotification {
                     item: item.clone(),
                     ladder: ladder.clone(),

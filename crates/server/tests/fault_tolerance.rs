@@ -61,7 +61,7 @@ fn run_reference(cfg: &ServerConfig, batches: &[Vec<ContentItem>]) -> Log {
         for item in batch {
             schedulers
                 .entry(item.recipient)
-                .or_insert_with(RichNoteScheduler::with_defaults)
+                .or_insert_with(|| RichNoteScheduler::builder().build())
                 .enqueue(QueuedNotification {
                     item: item.clone(),
                     ladder: ladder.clone(),
@@ -378,6 +378,89 @@ fn drain_checkpoints_and_restores() {
     let restored = server.restored().expect("restore after drain");
     assert_eq!(restored.users, drained_users);
     assert_eq!(restored.round, rounds);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Stats snapshots survive checkpoint/restore with the documented split:
+/// lifetime counters (pubs, selected, rounds, bytes) are re-seeded from
+/// the checkpointed shard state, while wall-clock histograms (round and
+/// stage durations) and the queue-drop counter restart from zero — a
+/// restarted process has fresh clocks and a fresh queue, and pretending
+/// otherwise would corrupt rate math on the scraping side.
+#[test]
+fn stats_counters_survive_checkpoint_restore() {
+    const CUT_AT: usize = 6;
+    let dir = scratch_dir("stats-restore");
+    let cfg = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .shards(2)
+        .checkpoint_dir(dir.to_str().unwrap())
+        .build()
+        .expect("config");
+    let batches = arrival_batches(&trace_items(), cfg.round_secs);
+    let users: BTreeSet<UserId> = batches.iter().flatten().map(|i| i.recipient).collect();
+
+    // Phase 1: drive some rounds, cut a checkpoint, then crash without a
+    // final checkpoint (Shutdown = crash semantics).
+    let (addr, handle) = Server::spawn(cfg.clone()).expect("spawn");
+    let mut client = Client::connect(addr).expect("connect");
+    for &user in &users {
+        client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe");
+    }
+    let mut log = Log::new();
+    for batch in &batches[..CUT_AT] {
+        drive_round(&mut client, batch, &mut log);
+    }
+    client.checkpoint().expect("checkpoint");
+    let before = client.stats().expect("stats before crash");
+    client.shutdown().expect("kill");
+    handle.join().expect("server thread");
+
+    let pubs = before.counter_total("richnote_pubs_total");
+    let selected = before.counter_total("richnote_selected_total");
+    let rounds = before.counter_total("richnote_rounds_total");
+    let bytes_spent = before.counter_total("richnote_bytes_spent_total");
+    assert!(pubs > 0, "the driven rounds must have ingested publications");
+    assert!(selected > 0 && rounds > 0 && bytes_spent > 0);
+    assert!(
+        before.histogram_merged("richnote_round_duration_us").count() > 0,
+        "round timing must have been observed before the crash"
+    );
+
+    // Phase 2: restart from the checkpoint; counters come back, clocks
+    // do not.
+    let server = Server::bind(cfg).expect("rebind");
+    assert!(server.restored().is_some(), "restart must restore the checkpoint");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    let mut client = Client::connect(addr).expect("reconnect");
+    let after = client.stats().expect("stats after restore");
+
+    assert_eq!(after.counter_total("richnote_pubs_total"), pubs, "pubs_total must be restored");
+    assert_eq!(after.counter_total("richnote_selected_total"), selected);
+    assert_eq!(after.counter_total("richnote_rounds_total"), rounds);
+    assert_eq!(after.counter_total("richnote_bytes_spent_total"), bytes_spent);
+    assert_eq!(
+        after.counter_total("richnote_queue_dropped_total"),
+        0,
+        "the rebuilt queue owns the drop counter; it must restart from zero"
+    );
+    assert_eq!(
+        after.histogram_merged("richnote_round_duration_us").count(),
+        0,
+        "wall-clock histograms must restart from zero in the new process"
+    );
+    assert_eq!(after.histogram_merged("richnote_selection_latency_us").count(), 0);
+
+    // The restored counters keep advancing from their seeds, not from zero.
+    drive_round(&mut client, &batches[CUT_AT], &mut log);
+    let resumed = client.stats().expect("stats after resumed round");
+    assert!(resumed.counter_total("richnote_rounds_total") > rounds);
+    assert!(resumed.counter_total("richnote_pubs_total") >= pubs);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

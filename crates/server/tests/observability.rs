@@ -1,0 +1,154 @@
+//! End-to-end tests for the observability surface: the versioned
+//! `Stats`/`TraceDump` wire requests and the `--metrics-addr` scrape
+//! listener, exercised against a live daemon exactly the way the CI
+//! scrape step and a Prometheus agent would.
+
+use richnote_pubsub::Topic;
+use richnote_server::{Client, Server, ServerConfig, TraceEvent};
+use richnote_trace::{TraceConfig, TraceGenerator};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Binds a daemon with the metrics listener and a trace ring enabled,
+/// returning the two addresses and the run-thread handle.
+fn spawn_observable(
+    trace_capacity: usize,
+) -> (std::net::SocketAddr, std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let cfg = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .shards(2)
+        .metrics_addr("127.0.0.1:0")
+        .trace_capacity(trace_capacity)
+        .build()
+        .expect("config");
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr();
+    let metrics = server.metrics_local_addr().expect("metrics listener bound");
+    let handle = std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    (addr, metrics, handle)
+}
+
+/// Publishes a small trace and ticks a few rounds so every metric family
+/// has something to say.
+fn warm_up(client: &mut Client) -> u64 {
+    let items = TraceGenerator::new(TraceConfig::small(11)).generate().items;
+    let published = items.len() as u64;
+    for item in &items {
+        client.subscribe(item.recipient, Topic::FriendFeed(item.recipient)).expect("subscribe");
+    }
+    for item in items {
+        let topic = Topic::FriendFeed(item.recipient);
+        client.publish(topic, item).expect("publish");
+    }
+    client.sync().expect("sync");
+    client.tick(3).expect("tick");
+    published
+}
+
+/// One plain HTTP/1.0 GET against the scrape listener, the way `curl`
+/// or a Prometheus agent would issue it.
+fn scrape(metrics: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(metrics).expect("connect scrape listener");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: richnote\r\n\r\n").expect("request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn stats_request_returns_the_merged_registry() {
+    let (addr, _metrics, handle) = spawn_observable(0);
+    let mut client = Client::connect(addr).expect("connect");
+    let published = warm_up(&mut client);
+
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.counter_total("richnote_pubs_total"), published);
+    assert_eq!(snap.counter_total("richnote_rounds_total"), 2 * 3, "3 ticks across 2 shards");
+    assert_eq!(snap.counter_total("richnote_queue_dropped_total"), 0);
+    assert!(snap.counter_total("richnote_selected_total") > 0, "rounds must have delivered");
+    assert!(
+        snap.histogram_merged("richnote_round_duration_us").count() >= 6,
+        "every shard round must be timed"
+    );
+    // The merged snapshot carries both shard labels for a sharded family.
+    let family = snap.family("richnote_rounds_total").expect("rounds family");
+    assert_eq!(family.series.len(), 2, "one series per shard");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn trace_dump_drains_structured_events_once() {
+    let (addr, _metrics, handle) = spawn_observable(4096);
+    let mut client = Client::connect(addr).expect("connect");
+    warm_up(&mut client);
+
+    let (events, dropped) = client.trace_dump().expect("trace dump");
+    assert_eq!(dropped, 0, "the ring was sized for the warm-up");
+    let rounds = events.iter().filter(|e| matches!(e, TraceEvent::RoundStart { .. })).count();
+    let selects = events.iter().filter(|e| matches!(e, TraceEvent::Select { .. })).count();
+    let matches = events.iter().filter(|e| matches!(e, TraceEvent::BrokerMatch { .. })).count();
+    assert_eq!(rounds, 6, "3 ticks across 2 shards");
+    assert!(selects > 0, "selections must be traced");
+    assert!(matches > 0, "broker matches must be traced");
+
+    // Drain semantics: a second dump starts from an empty ring.
+    let (again, _) = client.trace_dump().expect("second dump");
+    assert!(
+        !again.iter().any(|e| matches!(e, TraceEvent::RoundStart { .. })),
+        "drained events must not be replayed"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn scrape_endpoint_serves_prometheus_text() {
+    let (addr, metrics, handle) = spawn_observable(0);
+    let mut client = Client::connect(addr).expect("connect");
+    warm_up(&mut client);
+
+    let response = scrape(metrics, "/metrics");
+    let (head, body) = response.split_once("\r\n\r\n").expect("an HTTP head/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "unexpected status line in {head:?}");
+    assert!(head.contains("text/plain"), "exposition must be text/plain");
+
+    for name in
+        ["richnote_pubs_total", "richnote_round_duration_us", "richnote_queue_dropped_total"]
+    {
+        assert!(body.contains(&format!("# TYPE {name}")), "missing TYPE line for {name}");
+        assert!(
+            body.lines().any(|l| l.starts_with(name) && !l.starts_with('#')),
+            "missing sample line for {name}"
+        );
+    }
+    // Every sample line is `name{labels} value` with a parseable value.
+    for line in body.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let value = line.rsplit(' ').next().expect("a value field");
+        assert!(value.parse::<f64>().is_ok(), "malformed sample line: {line:?}");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn scrape_listener_survives_rude_peers() {
+    let (addr, metrics, handle) = spawn_observable(0);
+    let mut client = Client::connect(addr).expect("connect");
+    warm_up(&mut client);
+
+    // A peer that connects and hangs up without sending a request must
+    // not wedge the accept loop.
+    drop(TcpStream::connect(metrics).expect("silent peer"));
+    let response = scrape(metrics, "/metrics");
+    assert!(response.contains("richnote_pubs_total"), "listener must keep serving after a hangup");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! simulate [--policy richnote|fifo|util] [--level N] [--budget-mb N]
 //!          [--network cell|sporadic:P|markov|diurnal] [--users N] [--days N]
-//!          [--rate N] [--seed N] [--v N] [--kappa N] [--json]
+//!          [--rate N] [--seed N] [--v N] [--kappa N] [--json] [--metrics]
 //! ```
 //!
 //! Example: compare RichNote and UTIL on a 5 MB weekly budget under the
@@ -33,6 +33,7 @@ struct Options {
     v: f64,
     kappa: f64,
     json: bool,
+    metrics: bool,
 }
 
 impl Default for Options {
@@ -49,6 +50,7 @@ impl Default for Options {
             v: paper::LYAPUNOV_V,
             kappa: paper::KAPPA_JOULES_PER_ROUND,
             json: false,
+            metrics: false,
         }
     }
 }
@@ -101,6 +103,7 @@ fn parse() -> Result<Options, String> {
                 opts.kappa = take("--kappa")?.parse().map_err(|e| format!("bad kappa: {e}"))?
             }
             "--json" => opts.json = true,
+            "--metrics" => opts.metrics = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -146,6 +149,7 @@ fn main() -> ExitCode {
         kappa: opts.kappa,
         ..SimulationConfig::default()
     };
+    let cfg_rounds = cfg.rounds;
     let sim = PopulationSim::new(env.trace.clone(), env.utility(), cfg);
     let (agg, _) = sim.run(&env.users);
 
@@ -171,6 +175,9 @@ fn main() -> ExitCode {
             "  level mix      meta {:.2} | 5s {:.2} | 10s {:.2} | 20s {:.2} | 30s {:.2} | 40s {:.2}",
             mix[1], mix[2], mix[3], mix[4], mix[5], mix[6]
         );
+    }
+    if opts.metrics {
+        print!("{}", richnote_sim::obs::exposition(&agg, cfg_rounds));
     }
     ExitCode::SUCCESS
 }

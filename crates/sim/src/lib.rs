@@ -18,6 +18,8 @@
 //! * [`feed`] — the Sec. II generation path: activity routed through the
 //!   pub/sub broker into notification candidates;
 //! * [`metrics`] — per-user and aggregate metric accumulators;
+//! * [`obs`] — export into the shared `richnote-obs` metric vocabulary
+//!   (the same families the daemon serves on `--metrics-addr`);
 //! * [`user`] — the single-user round loop (Algorithm 2 driven end-to-end);
 //! * [`simulator`] — population-level orchestration with thread-parallel
 //!   user simulation;
@@ -30,10 +32,12 @@ pub mod events;
 pub mod experiments;
 pub mod feed;
 pub mod metrics;
+pub mod obs;
 pub mod report;
 pub mod simulator;
 pub mod user;
 
 pub use cost::EnergyCost;
 pub use metrics::{AggregateMetrics, UserMetrics};
+pub use obs::{export_registry, exposition};
 pub use simulator::{NetworkKind, PolicyKind, PopulationSim, SimulationConfig};

@@ -3,6 +3,7 @@
 //! queuing delay, plus the presentation-level mix behind Fig. 5(b,c).
 
 use richnote_core::ids::UserId;
+use richnote_obs::Log2Histogram;
 use serde::{Deserialize, Serialize};
 
 /// Maximum presentation level tracked in histograms (level 0 = not sent).
@@ -43,6 +44,10 @@ pub struct UserMetrics {
     /// Per-round backlog (items queued after the round ran); empty unless
     /// the simulation enables backlog recording.
     pub backlog_series: Vec<usize>,
+    /// Log2-bucketed queuing delay per delivered notification, recorded
+    /// in virtual-time microseconds — the simulator's deterministic
+    /// counterpart of the daemon's `richnote_selection_latency_us`.
+    pub delay_histogram: Log2Histogram,
 }
 
 impl UserMetrics {
@@ -63,6 +68,7 @@ impl UserMetrics {
             level_histogram: [0; MAX_LEVEL],
             final_backlog: 0,
             backlog_series: Vec::new(),
+            delay_histogram: Log2Histogram::new(),
         }
     }
 
@@ -129,6 +135,8 @@ pub struct AggregateMetrics {
     pub level_histogram: [usize; MAX_LEVEL],
     /// Total leftover backlog.
     pub final_backlog: usize,
+    /// All users' queuing-delay histograms merged.
+    pub delay_histogram: Log2Histogram,
     /// Mean of per-user delivery ratios (the paper averages metrics
     /// "across all users").
     pub mean_user_delivery_ratio: f64,
@@ -153,6 +161,7 @@ impl AggregateMetrics {
             delay_sum_secs: 0.0,
             level_histogram: [0; MAX_LEVEL],
             final_backlog: 0,
+            delay_histogram: Log2Histogram::new(),
             mean_user_delivery_ratio: 0.0,
             mean_user_avg_utility: 0.0,
         };
@@ -168,6 +177,7 @@ impl AggregateMetrics {
             agg.session_energy_joules += u.session_energy_joules;
             agg.delay_sum_secs += u.delay_sum_secs;
             agg.final_backlog += u.final_backlog;
+            agg.delay_histogram.merge(&u.delay_histogram);
             for (a, b) in agg.level_histogram.iter_mut().zip(&u.level_histogram) {
                 *a += b;
             }
@@ -243,6 +253,7 @@ mod tests {
             level_histogram: [2, 5, 3, 0, 0, 0, 0, 0],
             final_backlog: 2,
             backlog_series: Vec::new(),
+            delay_histogram: Log2Histogram::new(),
         }
     }
 

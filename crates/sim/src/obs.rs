@@ -1,0 +1,91 @@
+//! Bridge from the simulator's paper-metric accumulators to the shared
+//! `richnote-obs` vocabulary.
+//!
+//! The paper-figure structs in [`crate::metrics`] stay — delivery ratio,
+//! precision/recall and the level mix are evaluation quantities a
+//! counters-and-gauges registry cannot express. What this module removes
+//! is the *second vocabulary*: every operational quantity the simulator
+//! shares with the daemon (publications, deliveries, bytes, rounds,
+//! backlog, queuing-delay distribution) is exported under the exact
+//! metric families the daemon serves on `/metrics`, labeled
+//! `shard="sim"`, so dashboards and scrape-side tooling work unchanged
+//! against either producer. Everything exported is virtual-time
+//! deterministic: same trace + same seed → byte-identical exposition.
+
+use crate::metrics::AggregateMetrics;
+use richnote_obs::{encode_text, Registry, RegistrySnapshot};
+
+/// Exports one finished run into the shared registry vocabulary.
+///
+/// `rounds` is the simulated horizon ([`crate::SimulationConfig::rounds`]);
+/// it is not recoverable from the aggregate itself.
+pub fn export_registry(agg: &AggregateMetrics, rounds: u64) -> RegistrySnapshot {
+    let mut r = Registry::new();
+    let labels = [("shard", "sim")];
+    let pubs = r.counter("richnote_pubs_total", "Publications ingested", &labels);
+    let selected = r.counter("richnote_selected_total", "Notifications delivered", &labels);
+    let rounds_h = r.counter("richnote_rounds_total", "Selection rounds run", &labels);
+    let bytes = r.counter("richnote_bytes_spent_total", "Bytes delivered to devices", &labels);
+    let users = r.gauge("richnote_users", "Users with scheduler state", &labels);
+    let backlog = r.gauge("richnote_backlog", "Notifications queued, pending selection", &labels);
+    let delay = r.histogram(
+        "richnote_selection_latency_us",
+        "Ingest-to-selection latency (virtual time for the simulator)",
+        &labels,
+    );
+    r.set_counter(pubs, agg.arrived as u64);
+    r.set_counter(selected, agg.delivered as u64);
+    r.set_counter(rounds_h, rounds);
+    r.set_counter(bytes, agg.bytes_delivered);
+    r.set_gauge(users, agg.users as f64);
+    r.set_gauge(backlog, agg.final_backlog as f64);
+    r.merge_histogram(delay, &agg.delay_histogram);
+    r.snapshot()
+}
+
+/// The run as Prometheus text exposition — the same format the daemon
+/// serves on `--metrics-addr`.
+pub fn exposition(agg: &AggregateMetrics, rounds: u64) -> String {
+    encode_text(&export_registry(agg, rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{constant_utility, PopulationSim, SimulationConfig};
+    use richnote_trace::generator::{TraceConfig, TraceGenerator};
+    use std::sync::Arc;
+
+    #[test]
+    fn export_matches_the_aggregate_and_uses_shared_names() {
+        let trace = Arc::new(TraceGenerator::new(TraceConfig::small(3)).generate());
+        let users = trace.top_users(8);
+        let cfg = SimulationConfig { rounds: 48, ..SimulationConfig::default() };
+        let sim = PopulationSim::new(trace, constant_utility(0.6), cfg);
+        let (agg, _) = sim.run(&users);
+        assert!(agg.delivered > 0);
+
+        let snap = export_registry(&agg, 48);
+        assert_eq!(snap.counter_total("richnote_pubs_total"), agg.arrived as u64);
+        assert_eq!(snap.counter_total("richnote_selected_total"), agg.delivered as u64);
+        assert_eq!(snap.counter_total("richnote_rounds_total"), 48);
+        assert_eq!(snap.counter_total("richnote_bytes_spent_total"), agg.bytes_delivered);
+        let hist = snap.histogram_merged("richnote_selection_latency_us");
+        assert_eq!(hist.count(), agg.delivered as u64, "one delay sample per delivery");
+
+        let text = exposition(&agg, 48);
+        assert!(text.contains("richnote_pubs_total{shard=\"sim\"}"));
+        assert!(text.contains("richnote_selection_latency_us_count{shard=\"sim\"}"));
+    }
+
+    #[test]
+    fn exposition_is_deterministic_across_runs() {
+        let trace = Arc::new(TraceGenerator::new(TraceConfig::small(5)).generate());
+        let users = trace.top_users(6);
+        let cfg = SimulationConfig { rounds: 24, ..SimulationConfig::default() };
+        let sim = PopulationSim::new(trace, constant_utility(0.5), cfg);
+        let (a, _) = sim.run(&users);
+        let (b, _) = sim.run(&users);
+        assert_eq!(exposition(&a, 24), exposition(&b, 24));
+    }
+}

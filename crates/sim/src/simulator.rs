@@ -13,7 +13,8 @@ use richnote_core::ids::UserId;
 use richnote_core::lyapunov::LyapunovConfig;
 use richnote_core::paper;
 use richnote_core::presentation::AudioPresentationSpec;
-use richnote_core::scheduler::RichNoteConfig;
+use richnote_core::scheduler::{FifoScheduler, RichNoteConfig, RichNoteScheduler, UtilScheduler};
+use richnote_core::Policy;
 use richnote_energy::battery::BatteryTraceConfig;
 use richnote_net::connectivity::LinkProfile;
 use richnote_trace::generator::Trace;
@@ -58,6 +59,24 @@ impl PolicyKind {
             PolicyKind::RichNote(_) => "RichNote".to_string(),
             PolicyKind::Fifo { level } => format!("FIFO(L{level})"),
             PolicyKind::Util { level } => format!("UTIL(L{level})"),
+        }
+    }
+
+    /// Instantiates the policy behind the unified [`Policy`] interface.
+    ///
+    /// This is the single place the simulator maps configuration onto
+    /// concrete schedulers; the per-user round loop is policy-agnostic.
+    pub fn build(&self) -> Box<dyn Policy + Send> {
+        match *self {
+            PolicyKind::RichNote(rn_cfg) => {
+                Box::new(RichNoteScheduler::builder().config(rn_cfg).build())
+            }
+            PolicyKind::Fifo { level } => {
+                Box::new(FifoScheduler::builder().fixed_level(level).build())
+            }
+            PolicyKind::Util { level } => {
+                Box::new(UtilScheduler::builder().fixed_level(level).build())
+            }
         }
     }
 }

@@ -4,15 +4,12 @@
 use crate::cost::EnergyCost;
 use crate::events::EventQueue;
 use crate::metrics::{UserMetrics, MAX_LEVEL};
-use crate::simulator::{NetworkKind, PolicyKind, SimulationConfig};
+use crate::simulator::{NetworkKind, SimulationConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use richnote_core::content::ContentItem;
 use richnote_core::ids::{ContentId, UserId};
-use richnote_core::scheduler::{
-    FifoScheduler, NotificationScheduler, QueuedNotification, RichNoteScheduler, RoundContext,
-    UtilScheduler,
-};
+use richnote_core::scheduler::{NotificationScheduler, QueuedNotification, RoundContext};
 use richnote_core::utility::DurationUtility;
 use richnote_energy::battery::{energy_grant, BatteryTrace, BatteryTraceConfig};
 use richnote_energy::model::NetworkEnergyModel;
@@ -73,11 +70,7 @@ pub fn simulate_user(
     } else {
         cfg.presentation.ladder()
     };
-    let mut scheduler: Box<dyn NotificationScheduler> = match cfg.policy {
-        PolicyKind::RichNote(rn_cfg) => Box::new(RichNoteScheduler::new(rn_cfg)),
-        PolicyKind::Fifo { level } => Box::new(FifoScheduler::new(level)),
-        PolicyKind::Util { level } => Box::new(UtilScheduler::new(level)),
-    };
+    let mut scheduler = cfg.policy.build();
 
     let battery = BatteryTrace::synthesize(
         &BatteryTraceConfig { phase_hours: (user.value() % 24) as f64, ..cfg.battery },
@@ -150,7 +143,9 @@ pub fn simulate_user(
                     round_bytes += d.size;
                     metrics.total_utility += d.utility;
                     metrics.energy_joules += d.energy;
-                    metrics.delay_sum_secs += d.queuing_delay();
+                    let delay = d.queuing_delay();
+                    metrics.delay_sum_secs += delay;
+                    metrics.delay_histogram.record_us((delay * 1e6) as u64);
                     let lvl = (d.level as usize).min(MAX_LEVEL - 1);
                     metrics.level_histogram[lvl] += 1;
                     if let Some(&t) = click_time.get(&d.content) {
@@ -176,7 +171,7 @@ pub fn simulate_user(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulator::SimulationConfig;
+    use crate::simulator::{PolicyKind, SimulationConfig};
     use richnote_core::content::{ContentFeatures, ContentKind, Interaction};
     use richnote_core::ids::{AlbumId, ArtistId, TrackId};
 

@@ -42,7 +42,7 @@ fn main() {
     ];
 
     println!("ladders produced by the per-media generators:\n");
-    let mut scheduler = RichNoteScheduler::with_defaults();
+    let mut scheduler = RichNoteScheduler::builder().build();
     for (i, (label, generator, uc)) in generators.iter().enumerate() {
         let ladder = generator.generate(276.0).expect("valid ladder");
         println!("  {label} [{}]:", generator.media_type());

@@ -51,9 +51,9 @@ fn main() {
         cost: &cost,
     };
 
-    let mut richnote = RichNoteScheduler::with_defaults();
-    let mut fifo = FifoScheduler::new(3); // fixed: metadata + 10 s preview
-    let mut util = UtilScheduler::new(3);
+    let mut richnote = RichNoteScheduler::builder().build();
+    let mut fifo = FifoScheduler::builder().fixed_level(3).build(); // fixed: metadata + 10 s preview
+    let mut util = UtilScheduler::builder().fixed_level(3).build();
 
     for (i, &uc) in utilities.iter().enumerate() {
         richnote.enqueue(notification(i as u64, uc));

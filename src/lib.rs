@@ -7,7 +7,10 @@
 //! depend on a single crate:
 //!
 //! * [`core`] — utility models, presentation ladders, MCKP selection and the
-//!   Lyapunov scheduler, plus the FIFO/UTIL baselines.
+//!   Lyapunov scheduler, plus the FIFO/UTIL baselines, all unified under
+//!   the [`Policy`] trait.
+//! * [`obs`] — the observability layer: metrics registry, log2 histograms,
+//!   Prometheus-style text exposition, and structured trace events.
 //! * [`forest`] — the Random Forest classifier used for content utility.
 //! * [`energy`] — the mobile download energy model and battery simulation.
 //! * [`net`] — the Markov WiFi/Cell/Off connectivity model.
@@ -45,6 +48,7 @@ pub use richnote_core as core;
 pub use richnote_energy as energy;
 pub use richnote_forest as forest;
 pub use richnote_net as net;
+pub use richnote_obs as obs;
 pub use richnote_pubsub as pubsub;
 pub use richnote_server as server;
 pub use richnote_sim as sim;
@@ -52,6 +56,8 @@ pub use richnote_trace as trace;
 
 // The daemon-facing types most downstream users touch, lifted to the root
 // so `richnote::Client` works without spelling out the module path.
+pub use richnote_core::{Policy, PolicyCheckpoint, SelectionObserver};
+pub use richnote_obs::{Log2Histogram, Registry, RegistrySnapshot, TraceEvent};
 pub use richnote_server::{
     Client, RetryPolicy, Server, ServerConfig, ServerConfigBuilder, ServerError, ServerResult,
 };

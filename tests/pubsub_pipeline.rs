@@ -31,7 +31,7 @@ fn pubsub_routed_notifications_flow_through_the_scheduler() {
             let original = by_id[&delivery.payload];
             schedulers
                 .entry(delivery.subscriber.value())
-                .or_insert_with(RichNoteScheduler::with_defaults)
+                .or_insert_with(|| RichNoteScheduler::builder().build())
                 .enqueue(QueuedNotification {
                     item: (*original).clone(),
                     ladder: ladder.clone(),

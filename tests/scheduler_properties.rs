@@ -79,9 +79,9 @@ proptest! {
         let total_grant = grant * rounds.len() as u64;
         for policy in 0..3usize {
             let mut s: Box<dyn NotificationScheduler> = match policy {
-                0 => Box::new(RichNoteScheduler::with_defaults()),
-                1 => Box::new(FifoScheduler::new(3)),
-                _ => Box::new(UtilScheduler::new(3)),
+                0 => Box::new(RichNoteScheduler::builder().build()),
+                1 => Box::new(FifoScheduler::builder().fixed_level(3).build()),
+                _ => Box::new(UtilScheduler::builder().fixed_level(3).build()),
             };
             let delivered = run_policy(&mut *s, &rounds, grant);
             let bytes: u64 = delivered.iter().map(|d| d.size).sum();
@@ -95,7 +95,7 @@ proptest! {
 
     #[test]
     fn no_item_is_delivered_twice(rounds in workload()) {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         let total: usize = rounds.iter().map(Vec::len).sum();
         let delivered = run_policy(&mut s, &rounds, 500_000);
         let mut seen = HashSet::new();
@@ -109,9 +109,9 @@ proptest! {
     fn delays_are_never_negative(rounds in workload(), grant in 10_000u64..1_000_000) {
         for policy in 0..3usize {
             let mut s: Box<dyn NotificationScheduler> = match policy {
-                0 => Box::new(RichNoteScheduler::with_defaults()),
-                1 => Box::new(FifoScheduler::new(2)),
-                _ => Box::new(UtilScheduler::new(2)),
+                0 => Box::new(RichNoteScheduler::builder().build()),
+                1 => Box::new(FifoScheduler::builder().fixed_level(2).build()),
+                _ => Box::new(UtilScheduler::builder().fixed_level(2).build()),
             };
             let delivered = run_policy(&mut *s, &rounds, grant);
             for d in &delivered {
@@ -122,7 +122,7 @@ proptest! {
 
     #[test]
     fn richnote_round_output_is_utility_sorted(batch in prop::collection::vec(0.01f64..1.0, 1..8)) {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         for (i, &uc) in batch.iter().enumerate() {
             s.enqueue(notification(i as u64, uc, 0.0));
         }
@@ -146,7 +146,7 @@ proptest! {
     fn offline_rounds_deliver_nothing_and_bank_budget(
         online_pattern in prop::collection::vec(any::<bool>(), 2..12),
     ) {
-        let mut s = RichNoteScheduler::with_defaults();
+        let mut s = RichNoteScheduler::builder().build();
         s.enqueue(notification(0, 0.9, 0.0));
         let mut banked = 0u64;
         let grant = 50_000u64;
