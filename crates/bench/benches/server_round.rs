@@ -57,7 +57,7 @@ fn build(n_users: u64) -> (Broker<ContentItem>, Vec<ShardState>) {
     for uid in 0..n_users {
         let user = UserId::new(uid);
         broker.subscribe_with_mode(user, Topic::FriendFeed(user), DeliveryMode::Realtime);
-        shards[shard_of(user, SHARDS)].ingest(user, item(u64::MAX - uid, uid), t0);
+        shards[shard_of(user, SHARDS)].ingest(user, item(u64::MAX - uid, uid), t0, None);
     }
     for shard in &mut shards {
         shard.run_round();
@@ -86,7 +86,7 @@ fn bench_server_round(c: &mut Criterion) {
                     );
                     for d in broker.publish(publication) {
                         let shard = shard_of(d.subscriber, SHARDS);
-                        shards[shard].ingest(d.subscriber, d.payload, t0);
+                        shards[shard].ingest(d.subscriber, d.payload, t0, None);
                     }
                 }
                 // Select: one round on every shard.

@@ -65,7 +65,8 @@ pub use ids::{AlbumId, ArtistId, ContentId, PlaylistId, TopicId, TrackId, UserId
 pub use lyapunov::{LyapunovConfig, LyapunovState};
 pub use mckp::{select_exact, select_fractional, select_greedy, MckpItem, Selection};
 pub use policy::{
-    FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectionObserver, WrongPolicy,
+    FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectDecision,
+    SelectionObserver, WrongPolicy,
 };
 pub use presentation::{AudioPresentationSpec, Presentation, PresentationLadder};
 pub use scheduler::{

@@ -25,27 +25,38 @@ use crate::scheduler::{
 };
 use serde::{Deserialize, Serialize};
 
+/// The full context of one selection decision, reported through
+/// [`SelectionObserver::on_select`].
+///
+/// This is what per-publication tracing needs to answer "why was this
+/// delivered at level 3": the chosen level, the realized utility, the
+/// MCKP gradient that won the knapsack slot, and how much of the round's
+/// byte budget was left once this delivery was charged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectDecision {
+    /// Presentation level chosen.
+    pub level: u8,
+    /// Bytes of the chosen presentation.
+    pub size: u64,
+    /// Combined utility realized at the chosen level.
+    pub utility: f64,
+    /// Utility-per-byte slope of the final upgrade into `level` in the
+    /// MCKP instance (0 for base selections and for policies that do not
+    /// solve a knapsack).
+    pub gradient: f64,
+    /// Bytes of the per-round budget still unspent immediately after
+    /// this delivery was charged.
+    pub budget_remaining: u64,
+}
+
 /// Receives per-selection telemetry during [`Policy::select_round`].
 ///
 /// Implementations must be cheap: the RichNote scheduler calls
 /// [`SelectionObserver::on_select`] once per delivered notification inside
 /// the round loop.
 pub trait SelectionObserver {
-    /// One notification was chosen for delivery.
-    ///
-    /// `gradient` is the utility-per-byte slope of the final upgrade into
-    /// `level` in the MCKP instance (0 for policies that do not solve a
-    /// knapsack).
-    #[allow(clippy::too_many_arguments)]
-    fn on_select(
-        &mut self,
-        round: u64,
-        content: ContentId,
-        level: u8,
-        size: u64,
-        utility: f64,
-        gradient: f64,
-    );
+    /// One notification was chosen for delivery with `decision`.
+    fn on_select(&mut self, round: u64, content: ContentId, decision: &SelectDecision);
 }
 
 /// An observer that ignores everything (the default for plain
@@ -54,7 +65,7 @@ pub trait SelectionObserver {
 pub struct NoopObserver;
 
 impl SelectionObserver for NoopObserver {
-    fn on_select(&mut self, _: u64, _: ContentId, _: u8, _: u64, _: f64, _: f64) {}
+    fn on_select(&mut self, _: u64, _: ContentId, _: &SelectDecision) {}
 }
 
 /// Serializable state of one fixed-level baseline scheduler.

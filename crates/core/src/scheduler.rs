@@ -19,7 +19,8 @@ use crate::ids::ContentId;
 use crate::lyapunov::{LyapunovConfig, LyapunovState};
 use crate::mckp::{select_greedy_with, GreedyOptions, MckpItem};
 use crate::policy::{
-    FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectionObserver, WrongPolicy,
+    FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectDecision,
+    SelectionObserver, WrongPolicy,
 };
 use crate::presentation::PresentationLadder;
 use crate::utility::combined_utility;
@@ -381,10 +382,13 @@ impl RichNoteScheduler {
             obs.on_select(
                 ctx.round,
                 n.item.id,
-                level,
-                pres.size,
-                utility,
-                items[idx].gradient(level - 1),
+                &SelectDecision {
+                    level,
+                    size: pres.size,
+                    utility,
+                    gradient: items[idx].gradient(level - 1),
+                    budget_remaining: budget.saturating_sub(bytes_before),
+                },
             );
             delivered.push(DeliveredNotification {
                 content: n.item.id,
@@ -514,7 +518,17 @@ impl FixedLevelState {
             let delivered_at = ctx.finish_time(bytes_before, pres.size);
             bytes_before += pres.size;
             let utility = n.utility_at(level);
-            obs.on_select(ctx.round, n.item.id, level, pres.size, utility, 0.0);
+            obs.on_select(
+                ctx.round,
+                n.item.id,
+                &SelectDecision {
+                    level,
+                    size: pres.size,
+                    utility,
+                    gradient: 0.0,
+                    budget_remaining: (self.data_budget.max(0.0) as u64).min(capacity),
+                },
+            );
             delivered.push(DeliveredNotification {
                 content: n.item.id,
                 level,
@@ -1033,20 +1047,12 @@ mod tests {
     /// Records every on_select call for assertions.
     #[derive(Default)]
     struct RecordingObserver {
-        selects: Vec<(u64, ContentId, u8, u64, f64, f64)>,
+        selects: Vec<(u64, ContentId, SelectDecision)>,
     }
 
     impl SelectionObserver for RecordingObserver {
-        fn on_select(
-            &mut self,
-            round: u64,
-            content: ContentId,
-            level: u8,
-            size: u64,
-            utility: f64,
-            gradient: f64,
-        ) {
-            self.selects.push((round, content, level, size, utility, gradient));
+        fn on_select(&mut self, round: u64, content: ContentId, decision: &SelectDecision) {
+            self.selects.push((round, content, *decision));
         }
     }
 
@@ -1064,11 +1070,17 @@ mod tests {
         let b = via_policy.select_round(&online_ctx(0, 400_000), &mut obs);
         assert_eq!(a, b, "select_round must deliver exactly what run_round does");
         assert_eq!(obs.selects.len(), b.len(), "one on_select per delivery");
+        let mut remaining_prev = u64::MAX;
         for (ev, d) in obs.selects.iter().zip(&b) {
             assert_eq!(ev.1, d.content);
-            assert_eq!(ev.2, d.level);
-            assert_eq!(ev.3, d.size);
-            assert!(ev.5.is_finite(), "gradient must be a real slope: {ev:?}");
+            assert_eq!(ev.2.level, d.level);
+            assert_eq!(ev.2.size, d.size);
+            assert!(ev.2.gradient.is_finite(), "gradient must be a real slope: {ev:?}");
+            assert!(
+                ev.2.budget_remaining <= remaining_prev,
+                "budget remaining must be non-increasing within a round: {ev:?}"
+            );
+            remaining_prev = ev.2.budget_remaining;
         }
     }
 
@@ -1080,7 +1092,7 @@ mod tests {
         let d = fifo.select_round(&online_ctx(0, 1_000_000), &mut obs);
         assert_eq!(d.len(), 1);
         assert_eq!(obs.selects.len(), 1);
-        assert_eq!(obs.selects[0].5, 0.0);
+        assert_eq!(obs.selects[0].2.gradient, 0.0);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! machines and restarts. Wall-clock durations belong in histograms, not
 //! traces.
 
+use crate::span::SpanRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -88,13 +89,18 @@ pub enum TraceEvent {
         /// Free-form detail.
         detail: String,
     },
+    /// One stage of a per-publication causal trace (see
+    /// [`crate::span`]). Span events interleave with the aggregate
+    /// events above in the same ring and are grouped back into trees
+    /// with [`crate::SpanTree::assemble`].
+    Span(SpanRecord),
 }
 
 /// A bounded ring buffer of trace events with drop accounting.
 ///
-/// Capacity 0 disables tracing entirely: pushes are no-ops and cost one
-/// branch, which is what lets the daemon keep `trace_capacity = 0` as the
-/// default with no measurable overhead.
+/// A disabled ring ([`TraceRing::disabled`]) makes pushes no-ops at the
+/// cost of one branch, which is what lets the daemon keep
+/// `trace_capacity = 0` as the default with no measurable overhead.
 #[derive(Debug, Clone, Default)]
 pub struct TraceRing {
     buf: VecDeque<TraceEvent>,
@@ -103,9 +109,24 @@ pub struct TraceRing {
 }
 
 impl TraceRing {
-    /// A ring holding at most `cap` events (0 = tracing disabled).
+    /// A ring holding at most `cap` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == 0`: a zero-capacity ring can never hold an
+    /// event, so asking for one is a configuration bug. Call
+    /// [`TraceRing::disabled`] to turn tracing off explicitly.
     pub fn new(cap: usize) -> Self {
+        assert!(
+            cap > 0,
+            "TraceRing capacity must be >= 1; use TraceRing::disabled() to turn tracing off"
+        );
         TraceRing { buf: VecDeque::with_capacity(cap.min(4096)), cap, dropped: 0 }
+    }
+
+    /// A ring that records nothing: pushes are no-ops.
+    pub fn disabled() -> Self {
+        TraceRing { buf: VecDeque::new(), cap: 0, dropped: 0 }
     }
 
     /// Whether events are being kept.
@@ -143,8 +164,18 @@ impl TraceRing {
     /// Takes every buffered event (oldest first) plus the evicted-count,
     /// resetting both.
     pub fn drain(&mut self) -> (Vec<TraceEvent>, u64) {
+        self.drain_up_to(usize::MAX)
+    }
+
+    /// Takes up to `max` buffered events (oldest first) plus the
+    /// evicted-count, resetting the count. Leftover events stay buffered
+    /// for the next call, which is how a ring larger than one wire frame
+    /// drains across several bounded responses instead of one oversized
+    /// (and therefore rejected) frame.
+    pub fn drain_up_to(&mut self, max: usize) -> (Vec<TraceEvent>, u64) {
         let dropped = std::mem::take(&mut self.dropped);
-        (self.buf.drain(..).collect(), dropped)
+        let n = self.buf.len().min(max);
+        (self.buf.drain(..n).collect(), dropped)
     }
 
     /// Renders events as JSON lines (one event per line).
@@ -193,8 +224,39 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_disables() {
-        let mut r = TraceRing::new(0);
+    fn bounded_drain_leaves_the_remainder_buffered() {
+        let mut r = TraceRing::new(8);
+        for i in 0..6 {
+            r.push(ev(i));
+        }
+        let (first, dropped) = r.drain_up_to(4);
+        assert_eq!(dropped, 0);
+        assert_eq!(first.len(), 4);
+        assert_eq!(r.len(), 2, "undrained events stay for the next call");
+        let (second, _) = r.drain_up_to(4);
+        assert_eq!(
+            second
+                .iter()
+                .map(|e| match e {
+                    TraceEvent::RoundStart { round, .. } => *round,
+                    _ => unreachable!(),
+                })
+                .collect::<Vec<_>>(),
+            vec![4, 5],
+            "chunks drain oldest-first with no gaps"
+        );
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = TraceRing::new(0);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = TraceRing::disabled();
         assert!(!r.is_enabled());
         r.push(ev(1));
         assert!(r.is_empty());
@@ -215,6 +277,7 @@ mod tests {
             },
             TraceEvent::CheckpointWrite { round: 4, users: 100, ok: true },
             TraceEvent::FaultInjected { kind: "conn_reset".into(), detail: "p=0.02".into() },
+            TraceEvent::Span(SpanRecord::queued(0xDEAD_BEEF, 1, 4, 9, 77)),
         ];
         for e in &events {
             let s = serde_json::to_string(e).unwrap();
@@ -222,7 +285,7 @@ mod tests {
             assert_eq!(&back, e);
         }
         let lines = TraceRing::to_json_lines(&events);
-        assert_eq!(lines.lines().count(), 3);
+        assert_eq!(lines.lines().count(), 4);
         for line in lines.lines() {
             assert!(serde_json::from_str::<TraceEvent>(line).is_ok(), "{line}");
         }

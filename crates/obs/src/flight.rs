@@ -1,0 +1,277 @@
+//! The flight recorder: a bounded ring of complete span trees kept for
+//! post-mortem dumps.
+//!
+//! Each shard worker retains the last N span trees it flushed (plus every
+//! anomalous tree that bypassed sampling). On a shard panic, a checkpoint
+//! failure, or an injected fault, the ring is dumped to a CRC-framed file
+//! so the traces leading up to the incident survive the process; at any
+//! time it can also be read over the wire via the `FlightDump` request —
+//! reads are non-destructive, so a poller like `richnote-top` does not
+//! race the post-mortem path.
+//!
+//! # Dump file format
+//!
+//! ```text
+//! | magic: 8 bytes | crc32: u32 LE | len: u64 LE | JSON: len bytes |
+//! | "RNFLT01\n"    | of JSON body  | JSON length | FlightDump      |
+//! ```
+//!
+//! The same magic/CRC/length framing as checkpoint files, so the same
+//! torn-write detection applies: a reader rejects bad magic, a length
+//! beyond the file, or a CRC mismatch.
+
+use crate::span::SpanTree;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+
+/// Magic prefix of a flight-recorder dump file.
+pub const FLIGHT_MAGIC: &[u8; 8] = b"RNFLT01\n";
+
+/// CRC-32 (IEEE 802.3, reflected) — the checksum guarding both
+/// checkpoint and flight-recorder files.
+///
+/// Bit-at-a-time: ~1 cycle/bit is irrelevant next to file I/O and JSON
+/// encode, and it keeps the implementation obviously correct against the
+/// standard test vectors.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// A serialized cut of one shard's flight recorder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightDump {
+    /// Shard the recorder belongs to.
+    pub shard: usize,
+    /// Why the dump was taken (`request`, `shard_panic`,
+    /// `checkpoint_failure`, `fault_injected`).
+    pub reason: String,
+    /// Retained span trees, oldest first.
+    pub trees: Vec<SpanTree>,
+    /// Trees evicted from the ring since it was created.
+    pub dropped: u64,
+}
+
+/// A bounded ring of span trees with drop accounting.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    trees: VecDeque<SpanTree>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `cap` trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cap == 0` — use [`FlightRecorder::disabled`] to turn
+    /// the recorder off explicitly.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "FlightRecorder capacity must be >= 1; use FlightRecorder::disabled()");
+        FlightRecorder { trees: VecDeque::with_capacity(cap.min(4096)), cap, dropped: 0 }
+    }
+
+    /// A recorder that retains nothing.
+    pub fn disabled() -> Self {
+        FlightRecorder { trees: VecDeque::new(), cap: 0, dropped: 0 }
+    }
+
+    /// Whether trees are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Number of retained trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether no trees are retained.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Trees evicted since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retains a tree, evicting the oldest when full.
+    pub fn record(&mut self, tree: SpanTree) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.trees.len() == self.cap {
+            self.trees.pop_front();
+            self.dropped += 1;
+        }
+        self.trees.push_back(tree);
+    }
+
+    /// A non-destructive cut of the recorder for `shard` with the given
+    /// `reason`.
+    pub fn dump(&self, shard: usize, reason: &str) -> FlightDump {
+        FlightDump {
+            shard,
+            reason: reason.to_string(),
+            trees: self.trees.iter().cloned().collect(),
+            dropped: self.dropped,
+        }
+    }
+}
+
+/// Writes a dump as a CRC-framed file, fsyncing before returning so a
+/// dump taken on the panic path survives the process dying right after.
+pub fn write_flight_file(path: &Path, dump: &FlightDump) -> std::io::Result<()> {
+    let body = serde_json::to_string(dump)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let body = body.as_bytes();
+    let mut blob = Vec::with_capacity(FLIGHT_MAGIC.len() + 12 + body.len());
+    blob.extend_from_slice(FLIGHT_MAGIC);
+    blob.extend_from_slice(&crc32(body).to_le_bytes());
+    blob.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    blob.extend_from_slice(body);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&blob)?;
+    f.sync_all()
+}
+
+/// Reads and validates a CRC-framed dump file, describing exactly what
+/// is wrong when it does not verify.
+pub fn read_flight_file(path: &Path) -> Result<FlightDump, String> {
+    let blob = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    if blob.len() < FLIGHT_MAGIC.len() + 12 {
+        return Err(format!("{}: truncated header ({} bytes)", path.display(), blob.len()));
+    }
+    let (magic, rest) = blob.split_at(FLIGHT_MAGIC.len());
+    if magic != FLIGHT_MAGIC {
+        return Err(format!("{}: bad magic {magic:?}", path.display()));
+    }
+    let want_crc = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+    let len = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes")) as usize;
+    let body = &rest[12..];
+    if body.len() != len {
+        return Err(format!("{}: body is {} bytes, header says {len}", path.display(), body.len()));
+    }
+    let got_crc = crc32(body);
+    if got_crc != want_crc {
+        return Err(format!(
+            "{}: crc mismatch (want {want_crc:#010x}, got {got_crc:#010x})",
+            path.display()
+        ));
+    }
+    let text = std::str::from_utf8(body).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(text).map_err(|e| format!("{}: bad JSON: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::span::SpanRecord;
+
+    fn tree(trace: u64) -> SpanTree {
+        SpanTree::assemble(&[
+            TraceEvent::Span(SpanRecord::publish(trace, 1, 42)),
+            TraceEvent::Span(SpanRecord::queued(trace, 0, 0, 5, 42)),
+        ])
+        .pop()
+        .expect("one tree")
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = FlightRecorder::new(2);
+        for t in 1..=4 {
+            r.record(tree(t));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+        let d = r.dump(3, "request");
+        assert_eq!(d.shard, 3);
+        assert_eq!(d.trees.iter().map(|t| t.trace).collect::<Vec<_>>(), vec![3, 4]);
+        // Reads are non-destructive.
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be >= 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = FlightRecorder::new(0);
+    }
+
+    #[test]
+    fn disabled_recorder_retains_nothing() {
+        let mut r = FlightRecorder::disabled();
+        r.record(tree(1));
+        assert!(r.is_empty());
+        assert!(!r.is_enabled());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn dump_file_roundtrips_with_valid_crc() {
+        let dir = std::env::temp_dir().join(format!("rnflt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight-shard-0.rnfl");
+        let mut r = FlightRecorder::new(4);
+        r.record(tree(7));
+        r.record(tree(9));
+        let dump = r.dump(0, "shard_panic");
+        write_flight_file(&path, &dump).unwrap();
+        let back = read_flight_file(&path).unwrap();
+        assert_eq!(back, dump);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_dump_file_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("rnflt-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight-shard-1.rnfl");
+        let mut r = FlightRecorder::new(2);
+        r.record(tree(5));
+        write_flight_file(&path, &r.dump(1, "request")).unwrap();
+
+        let orig = std::fs::read(&path).unwrap();
+
+        // Flip one payload byte: the CRC must catch it.
+        let mut blob = orig.clone();
+        let last = blob.len() - 2;
+        blob[last] ^= 0x40;
+        std::fs::write(&path, &blob).unwrap();
+        let err = read_flight_file(&path).unwrap_err();
+        assert!(err.contains("crc mismatch"), "{err}");
+
+        // Truncation is caught before the CRC is even computed.
+        std::fs::write(&path, &orig[..10]).unwrap();
+        let err = read_flight_file(&path).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+
+        // Wrong magic.
+        let mut blob = orig.clone();
+        blob[0] = b'X';
+        std::fs::write(&path, &blob).unwrap();
+        let err = read_flight_file(&path).unwrap_err();
+        assert!(err.contains("bad magic"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

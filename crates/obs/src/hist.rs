@@ -151,8 +151,15 @@ impl Log2Histogram {
         if i == 0 {
             return 0;
         }
+        if i >= BUCKETS - 1 {
+            // The open-ended last bucket covers [2^(BUCKETS-2), u64::MAX];
+            // its nominal midpoint can understate a large sample by many
+            // orders of magnitude, so report the observed max instead
+            // (mirroring `quantile`).
+            return self.max_us;
+        }
         let lo = 1u64 << (i - 1);
-        let hi = if i >= 63 { u64::MAX } else { 1u64 << i };
+        let hi = 1u64 << i;
         // Geometric midpoint ≈ lo·√2, clamped to the observed max.
         let mid = ((lo as f64) * std::f64::consts::SQRT_2) as u64;
         mid.min(hi - 1).min(self.max_us)
@@ -196,6 +203,41 @@ mod tests {
         assert_eq!(h.sum_us(), u64::MAX, "sum saturates");
         h.record_us(u64::MAX);
         assert_eq!(h.sum_us(), u64::MAX, "sum saturates");
+    }
+
+    #[test]
+    fn record_extreme_values_together() {
+        // record(0) and record(u64::MAX) in the same histogram: neither
+        // panics, each lands in its own bucket, and the summary stats
+        // stay sane despite the saturating sum.
+        let mut h = Log2Histogram::new();
+        h.record_us(0);
+        h.record_us(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.bucket_counts()[BUCKETS - 1], 1);
+        assert_eq!(h.quantile(0.5), 0, "lower sample bounds the median");
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.quantile_us(1.0), u64::MAX, "open bucket reports the observed max");
+        assert_eq!(h.max_us(), u64::MAX);
+        assert_eq!(h.sum_us(), u64::MAX, "sum saturates instead of wrapping");
+        assert!(h.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn open_bucket_quantile_us_reports_observed_max() {
+        // A sample in the open-ended bucket but far above its nominal
+        // 2^38·√2 midpoint: quantile_us must not understate it.
+        let v = 1u64 << 50;
+        let mut h = Log2Histogram::new();
+        h.record_us(v);
+        assert_eq!(Log2Histogram::bucket_of(v), BUCKETS - 1);
+        assert_eq!(h.quantile_us(0.5), v);
+        // Closed buckets still use the geometric midpoint.
+        let mut h = Log2Histogram::new();
+        h.record_us(3);
+        let p = h.quantile_us(0.5);
+        assert!((2..=3).contains(&p), "midpoint of [2,4) clamped to max: {p}");
     }
 
     #[test]

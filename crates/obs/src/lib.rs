@@ -24,16 +24,32 @@
 //!   selection with chosen level and gradient, checkpoint write, fault
 //!   injection), drainable as JSON lines. Events carry only virtual-time
 //!   and logical fields, so a seeded run produces an identical trace.
+//! * [`SpanRecord`] / [`SpanTree`] — per-publication causal spans
+//!   (publish → match → queue → select → serialize → ack) carrying the
+//!   selection decision; ids are minted with [`derive_trace_id`] from
+//!   seed + virtual time, head-sampled via [`SampleRate`] with anomalies
+//!   (drops, level 0–1) always kept.
+//! * [`FlightRecorder`] — a bounded ring of complete span trees dumped to
+//!   a CRC-framed file ([`write_flight_file`]) on shard panic, checkpoint
+//!   failure or injected fault, and readable over the wire.
 
 pub mod event;
 pub mod expo;
+pub mod flight;
 pub mod hist;
 pub mod registry;
+pub mod sampler;
+pub mod span;
 
 pub use event::{TraceEvent, TraceRing};
 pub use expo::encode_text;
+pub use flight::{
+    crc32, read_flight_file, write_flight_file, FlightDump, FlightRecorder, FLIGHT_MAGIC,
+};
 pub use hist::{Log2Histogram, BUCKETS};
 pub use registry::{
     CounterHandle, FamilySnapshot, GaugeHandle, HistogramHandle, MetricKind, MetricValue, Registry,
     RegistrySnapshot, SeriesSnapshot,
 };
+pub use sampler::SampleRate;
+pub use span::{derive_trace_id, SpanDecision, SpanRecord, SpanStage, SpanTree};

@@ -1,0 +1,139 @@
+//! Head sampling of traces: keep 1 in N, parsed from `--trace-sample=1/N`.
+//!
+//! The keep/skip decision is a pure function of the trace id, so every
+//! component that sees a publication (connection thread, shard worker,
+//! simulator) independently reaches the same verdict without any shared
+//! state — a trace is either recorded at every stage or at none.
+//!
+//! Sampling is *adaptive* at the edges: callers force-keep anomalous
+//! traces (shed notifications, level 0–1 downgrades) regardless of the
+//! configured rate, so the interesting traces survive even at 1/1000.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A head-sampling rate: keep 1 in N traces (N = 0 disables tracing).
+///
+/// Serializes as the bare denominator, parses from `"1/N"` or `"0"`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleRate(u64);
+
+impl SampleRate {
+    /// Record no traces.
+    pub const OFF: SampleRate = SampleRate(0);
+    /// Record every trace.
+    pub const ALL: SampleRate = SampleRate(1);
+
+    /// Keep 1 in `n` traces (`n = 0` disables).
+    pub fn one_in(n: u64) -> Self {
+        SampleRate(n)
+    }
+
+    /// Parses `"0"` (off) or `"1/N"` with N ≥ 1.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s == "0" {
+            return Ok(SampleRate::OFF);
+        }
+        let Some(denom) = s.strip_prefix("1/") else {
+            return Err(format!("bad sample rate {s:?}: expected \"1/N\" or \"0\""));
+        };
+        match denom.parse::<u64>() {
+            Ok(n) if n >= 1 => Ok(SampleRate(n)),
+            _ => Err(format!("bad sample rate {s:?}: N must be an integer >= 1")),
+        }
+    }
+
+    /// Whether tracing is disabled outright.
+    pub fn is_off(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// The N in "1 in N" (0 when off).
+    pub fn denominator(&self) -> u64 {
+        self.0
+    }
+
+    /// The deterministic head decision for `trace`. The id is re-mixed
+    /// before the modulo so ids that are themselves sequential or
+    /// low-entropy still sample at ~1/N.
+    pub fn keeps(&self, trace: u64) -> bool {
+        match self.0 {
+            0 => false,
+            1 => true,
+            n => {
+                let mut z = trace.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                z ^= z >> 33;
+                z.is_multiple_of(n)
+            }
+        }
+    }
+}
+
+impl Default for SampleRate {
+    fn default() -> Self {
+        SampleRate::ALL
+    }
+}
+
+impl fmt::Display for SampleRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            write!(f, "0")
+        } else {
+            write!(f, "1/{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::derive_trace_id;
+
+    #[test]
+    fn parses_and_displays_roundtrip() {
+        for s in ["0", "1/1", "1/8", "1/1000"] {
+            let rate = SampleRate::parse(s).unwrap();
+            assert_eq!(rate.to_string(), s);
+        }
+        assert!(SampleRate::parse("2/3").is_err());
+        assert!(SampleRate::parse("1/0").is_err());
+        assert!(SampleRate::parse("1/").is_err());
+        assert!(SampleRate::parse("every").is_err());
+    }
+
+    #[test]
+    fn off_keeps_nothing_and_all_keeps_everything() {
+        for trace in [1u64, 42, u64::MAX] {
+            assert!(!SampleRate::OFF.keeps(trace));
+            assert!(SampleRate::ALL.keeps(trace));
+        }
+        assert!(SampleRate::OFF.is_off());
+        assert!(!SampleRate::ALL.is_off());
+    }
+
+    #[test]
+    fn one_in_n_keeps_roughly_one_in_n() {
+        let rate = SampleRate::one_in(8);
+        let kept = (0..8000).map(|i| derive_trace_id(7, i, i)).filter(|&t| rate.keeps(t)).count();
+        // ~1000 expected; allow generous slack, the point is "neither 0 nor all".
+        assert!((500..2000).contains(&kept), "kept {kept} of 8000 at 1/8");
+    }
+
+    #[test]
+    fn decision_is_stable_per_trace() {
+        let rate = SampleRate::one_in(4);
+        for i in 0..100 {
+            let t = derive_trace_id(1, i, i);
+            assert_eq!(rate.keeps(t), rate.keeps(t));
+        }
+    }
+
+    #[test]
+    fn serializes_as_bare_denominator() {
+        let s = serde_json::to_string(&SampleRate::one_in(8)).unwrap();
+        let back: SampleRate = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, SampleRate::one_in(8));
+    }
+}

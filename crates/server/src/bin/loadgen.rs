@@ -5,7 +5,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S]
 //!         [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS]
-//!         [--repeat K] [--stats-every TICKS]
+//!         [--repeat K] [--stats-every TICKS] [--trace-sample 1/N]
 //!         [--faults drop=P,seed=S] [--drain] [--shutdown]
 //! ```
 //!
@@ -21,6 +21,15 @@
 //! steady-state percentiles should agree within one log2 bucket; the run
 //! prints whether they do.
 //!
+//! With `--trace-sample 1/N`, the generator mints a deterministic 64-bit
+//! trace id per publication (from the workload seed, never the clock) and
+//! attaches it to the head-sampled subset, turning on end-to-end causal
+//! tracing for those publications. After the drain the run issues
+//! `TraceDump` and `FlightDump`, assembles the span trees, and — when
+//! sampling at `1/1` — exits nonzero unless at least one complete
+//! publish→queue→select→serialize→ack tree carrying a selection decision
+//! came back. CI leans on that exit code.
+//!
 //! With `--faults drop=P`, each publisher connection is torn down with
 //! probability `P` before every publish (deterministic per `seed`),
 //! exercising the client's reconnect-and-republish path. The run still
@@ -32,7 +41,10 @@
 use richnote_core::UserId;
 use richnote_pubsub::Topic;
 use richnote_server::wire::Delivery;
-use richnote_server::{Client, FaultRng, Log2Histogram, ServerError, ServerResult};
+use richnote_server::{
+    derive_trace_id, Client, FaultRng, Log2Histogram, SampleRate, ServerError, ServerResult,
+    SpanStage, SpanTree,
+};
 use richnote_trace::{TraceConfig, TraceGenerator};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -58,6 +70,9 @@ struct Args {
     /// Per-publish probability of injecting a connection reset.
     fault_drop: f64,
     fault_seed: u64,
+    /// Head-sampling rate for per-publication trace ids; `OFF` disables
+    /// tracing entirely.
+    trace_sample: SampleRate,
     drain: bool,
     shutdown: bool,
 }
@@ -76,6 +91,7 @@ impl Default for Args {
             stats_every: 0,
             fault_drop: 0.0,
             fault_seed: 1,
+            trace_sample: SampleRate::OFF,
             drain: false,
             shutdown: false,
         }
@@ -86,7 +102,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S] \
          [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS] [--repeat K] \
-         [--stats-every TICKS] [--faults drop=P,seed=S] [--drain] [--shutdown]"
+         [--stats-every TICKS] [--trace-sample 1/N] [--faults drop=P,seed=S] \
+         [--drain] [--shutdown]"
     );
     std::process::exit(2)
 }
@@ -143,6 +160,16 @@ fn parse_args() -> Args {
             "--tick-ms" => a.tick_ms = parse(&value("--tick-ms"), "--tick-ms"),
             "--repeat" => a.repeat = parse(&value("--repeat"), "--repeat"),
             "--stats-every" => a.stats_every = parse(&value("--stats-every"), "--stats-every"),
+            "--trace-sample" => {
+                let spec = value("--trace-sample");
+                match SampleRate::parse(&spec) {
+                    Ok(rate) => a.trace_sample = rate,
+                    Err(e) => {
+                        eprintln!("bad --trace-sample: {e}");
+                        usage()
+                    }
+                }
+            }
             "--faults" => {
                 let spec = value("--faults");
                 parse_faults(&spec, &mut a);
@@ -204,6 +231,75 @@ fn side_by_side(server: &Log2Histogram, client: &Log2Histogram) -> String {
         server.count(),
         client.count()
     )
+}
+
+/// Drains the trace rings and flight recorders, assembles span trees and
+/// verifies they are well formed. When head-sampling at `1/1` this is the
+/// CI gate: the run fails unless at least one complete
+/// publish→queue→select→serialize→ack tree carrying a selection decision
+/// came back. At lower rates (or after ring eviction under load) only
+/// structural integrity is enforced.
+fn verify_span_trees(control: &mut Client, a: &Args, minted: u64) -> ServerResult<()> {
+    let (events, ring_dropped) = control.trace_dump()?;
+    let trees = SpanTree::assemble(&events);
+    let flights = control.flight_dump()?;
+    let flight_trees: usize = flights.iter().map(|f| f.trees.len()).sum();
+    let complete = trees.iter().filter(|t| t.is_complete()).count();
+    let decided = trees
+        .iter()
+        .filter(|t| t.is_complete())
+        .filter(|t| t.stage(SpanStage::Select).is_some_and(|s| s.decision.is_some()))
+        .count();
+    println!(
+        "spans: {} publications traced at {}, {} trees assembled \
+         ({} complete, {} with decisions, {} ring-evicted events), \
+         flight recorder holds {} trees across {} shards",
+        minted,
+        a.trace_sample,
+        trees.len(),
+        complete,
+        decided,
+        ring_dropped,
+        flight_trees,
+        flights.len()
+    );
+    // Structural integrity: every tree carries its own trace id on every
+    // span, and no tree is empty.
+    for t in &trees {
+        if t.spans.is_empty() {
+            return Err(ServerError::Frame(format!(
+                "malformed span tree {:#x}: no spans",
+                t.trace
+            )));
+        }
+        if let Some(s) = t.spans.iter().find(|s| s.trace != t.trace) {
+            return Err(ServerError::Frame(format!(
+                "malformed span tree {:#x}: span from trace {:#x} misfiled",
+                t.trace, s.trace
+            )));
+        }
+    }
+    for f in &flights {
+        if let Some(t) = f.trees.iter().find(|t| t.spans.is_empty()) {
+            return Err(ServerError::Frame(format!(
+                "flight recorder shard {}: empty span tree {:#x}",
+                f.shard, t.trace
+            )));
+        }
+    }
+    if trees.is_empty() {
+        return Err(ServerError::Frame(format!(
+            "tracing at {} minted {minted} ids but TraceDump returned no span trees \
+             (is the server running with --trace-capacity and --trace-sample?)",
+            a.trace_sample
+        )));
+    }
+    if a.trace_sample.denominator() == 1 && a.fault_drop == 0.0 && decided == 0 {
+        return Err(ServerError::Frame(
+            "tracing at 1/1 produced no complete span tree with a selection decision".to_string(),
+        ));
+    }
+    Ok(())
 }
 
 fn run(a: &Args) -> ServerResult<()> {
@@ -281,6 +377,7 @@ fn run(a: &Args) -> ServerResult<()> {
     let retries = AtomicU64::new(0);
     let reconnects = AtomicU64::new(0);
     let injected = AtomicU64::new(0);
+    let traced = AtomicU64::new(0);
     let started = Instant::now();
     let per_conn_rate = a.rate / a.connections as f64;
     std::thread::scope(|scope| -> ServerResult<()> {
@@ -294,7 +391,10 @@ fn run(a: &Args) -> ServerResult<()> {
             let retries = &retries;
             let reconnects = &reconnects;
             let injected = &injected;
+            let traced = &traced;
             let publish_at = &publish_at;
+            let trace_sample = a.trace_sample;
+            let seed = a.seed;
             let mut chaos =
                 FaultRng::new(a.fault_seed ^ (conn as u64).wrapping_mul(0xA24B_AED4_963E_E407));
             handles.push(scope.spawn(move || -> ServerResult<usize> {
@@ -317,7 +417,19 @@ fn run(a: &Args) -> ServerResult<()> {
                             // both are dwarfed by tick quantization.
                             publish_at.lock().unwrap().insert(item.id.value(), Instant::now());
                         }
-                        c.publish(Topic::FriendFeed(item.recipient), item)?;
+                        // Trace ids derive from the workload seed and the
+                        // (repeat-qualified) content id, so reruns of the
+                        // same workload sample the same publications.
+                        let trace = if trace_sample.is_off() {
+                            None
+                        } else {
+                            let id = derive_trace_id(seed, rep as u64, item.id.value());
+                            trace_sample.keeps(id).then_some(id)
+                        };
+                        if trace.is_some() {
+                            traced.fetch_add(1, Ordering::Relaxed);
+                        }
+                        c.publish_traced(Topic::FriendFeed(item.recipient), item, trace)?;
                         sent += 1;
                         if per_conn_rate > 0.0 {
                             let due = t0 + Duration::from_secs_f64(sent as f64 / per_conn_rate);
@@ -452,6 +564,10 @@ fn run(a: &Args) -> ServerResult<()> {
         )));
     }
     println!("acked-publication accounting: {accounted}/{total_pubs} — zero loss");
+
+    if !a.trace_sample.is_off() {
+        verify_span_trees(&mut control, a, traced.load(Ordering::Relaxed))?;
+    }
 
     if a.drain {
         let t0 = Instant::now();

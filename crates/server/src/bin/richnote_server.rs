@@ -5,7 +5,9 @@
 //!                 [--round-secs S] [--data-grant BYTES]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every ROUNDS]
 //!                 [--metrics-addr HOST:PORT] [--no-metrics]
-//!                 [--trace-capacity EVENTS] [--faults SPEC]
+//!                 [--trace-capacity EVENTS] [--trace-sample 1/N]
+//!                 [--flight-capacity TREES] [--flight-dir DIR]
+//!                 [--faults SPEC]
 //! ```
 //!
 //! With `--checkpoint-dir`, the daemon restores the newest checkpoint on
@@ -15,11 +17,16 @@
 //! (try `curl http://HOST:PORT/metrics`); `--no-metrics` turns metric
 //! recording off entirely (for overhead measurement) and `--trace-capacity`
 //! enables the per-shard structured trace rings drained by the wire-level
-//! `TraceDump` request. `--faults` takes the spec grammar of
+//! `TraceDump` request. `--trace-sample 1/N` head-samples per-publication
+//! span traces (anomalies are always kept; `0` disables spans),
+//! `--flight-capacity` bounds the per-shard flight recorder of finished
+//! span trees, and `--flight-dir` makes shard panics and checkpoint
+//! failures dump those trees to CRC-framed `flight-shard-N.rnfl` files.
+//! `--faults` takes the spec grammar of
 //! [`richnote_server::FaultPlan::parse`], e.g.
 //! `reset=0.02,short-read=7,panic=1@3,ckfail=2,seed=9` (testing only).
 
-use richnote_server::{FaultPlan, Server, ServerConfig, ServerConfigBuilder};
+use richnote_server::{FaultPlan, SampleRate, Server, ServerConfig, ServerConfigBuilder};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -29,6 +36,7 @@ fn usage() -> ! {
          [--queue-capacity N] [--round-secs S] [--data-grant BYTES] \
          [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] \
          [--metrics-addr HOST:PORT] [--no-metrics] [--trace-capacity EVENTS] \
+         [--trace-sample 1/N] [--flight-capacity TREES] [--flight-dir DIR] \
          [--faults SPEC]"
     );
     std::process::exit(2)
@@ -60,6 +68,20 @@ fn parse_args() -> ServerConfigBuilder {
             "--trace-capacity" => {
                 builder.trace_capacity(parse(&value("--trace-capacity"), "--trace-capacity"))
             }
+            "--trace-sample" => {
+                let spec = value("--trace-sample");
+                match SampleRate::parse(&spec) {
+                    Ok(rate) => builder.trace_sample(rate),
+                    Err(e) => {
+                        eprintln!("bad --trace-sample: {e}");
+                        usage()
+                    }
+                }
+            }
+            "--flight-capacity" => {
+                builder.flight_capacity(parse(&value("--flight-capacity"), "--flight-capacity"))
+            }
+            "--flight-dir" => builder.flight_dir(value("--flight-dir")),
             "--faults" => {
                 let spec = value("--faults");
                 match FaultPlan::parse(&spec) {

@@ -1,0 +1,338 @@
+//! `richnote-top`: a live, per-shard terminal view of a running
+//! `richnote-server`, in the spirit of `top(1)`.
+//!
+//! ```text
+//! richnote-top [--addr HOST:PORT] [--interval-ms MS] [--once]
+//! ```
+//!
+//! Each refresh polls the wire-level `Stats` (merged metric registry),
+//! `Metrics` (per-shard scheduler counters), `TraceDump` (draining the
+//! span rings) and `FlightDump` (non-destructive flight-recorder read)
+//! requests and renders:
+//!
+//! * per-shard throughput (publications/sec between refreshes), backlog,
+//!   rounds and stage-latency percentiles (dequeue / select),
+//! * the chosen-level histogram per shard as a sparkline over levels
+//!   0–6 (level 0 = suppressed, 1 = metadata only, 6 = full preview),
+//! * connection-side stage latencies (match / serialize / ack), and
+//! * the most recent anomalous span trees (drops and level 0–1
+//!   selections), which bypass head sampling and are therefore always
+//!   present in the flight recorder when tracing is on.
+//!
+//! `--once` renders a single frame without clearing the screen and
+//! exits — the headless mode CI uses to prove the full observability
+//! path (Stats + TraceDump + FlightDump + rendering) works end to end.
+//! `TraceDump` drains the server's rings, so a live `richnote-top`
+//! session is a consumer: runs that later assert on dumped spans should
+//! finish before a watcher starts, or rely on the flight recorder, whose
+//! reads are non-destructive.
+
+use richnote_obs::{MetricValue, RegistrySnapshot, SeriesSnapshot};
+use richnote_server::{Client, MetricsSnapshot, ServerResult, SpanStage, SpanTree};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+/// Levels 0..=6: suppressed, metadata, and the five preview lengths.
+const LEVELS: usize = 7;
+/// Anomalous trees shown in the incident pane.
+const ANOMALY_ROWS: usize = 5;
+
+struct Args {
+    addr: String,
+    interval_ms: u64,
+    once: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { addr: "127.0.0.1:7464".to_string(), interval_ms: 1_000, once: false }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: richnote-top [--addr HOST:PORT] [--interval-ms MS] [--once]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => a.addr = value("--addr"),
+            "--interval-ms" => {
+                a.interval_ms = value("--interval-ms").parse().unwrap_or_else(|_| {
+                    eprintln!("bad value for --interval-ms");
+                    usage()
+                })
+            }
+            "--once" => a.once = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if a.interval_ms == 0 {
+        eprintln!("--interval-ms must be at least 1");
+        usage()
+    }
+    a
+}
+
+fn label<'a>(s: &'a SeriesSnapshot, key: &str) -> Option<&'a str> {
+    s.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// Per-shard totals of a counter family (series labeled `shard="N"`;
+/// the connection-side `shard="server"` series are skipped).
+fn shard_counters(snap: &RegistrySnapshot, name: &str) -> HashMap<usize, u64> {
+    let mut m = HashMap::new();
+    if let Some(f) = snap.family(name) {
+        for s in &f.series {
+            if let (Some(shard), MetricValue::Counter(v)) =
+                (label(s, "shard").and_then(|x| x.parse().ok()), &s.value)
+            {
+                *m.entry(shard).or_insert(0) += *v;
+            }
+        }
+    }
+    m
+}
+
+/// Merged histogram for one (`shard`, `stage`) label pair.
+fn stage_hist(snap: &RegistrySnapshot, shard: &str, stage: &str) -> richnote_obs::Log2Histogram {
+    let mut h = richnote_obs::Log2Histogram::new();
+    if let Some(f) = snap.family("richnote_stage_duration_us") {
+        for s in &f.series {
+            if label(s, "shard") == Some(shard) && label(s, "stage") == Some(stage) {
+                if let MetricValue::Histogram(v) = &s.value {
+                    h.merge(v);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Chosen-level counts for one shard, indexed by level 0..=6.
+fn level_counts(snap: &RegistrySnapshot, shard: usize) -> [u64; LEVELS] {
+    let mut counts = [0u64; LEVELS];
+    let shard = shard.to_string();
+    if let Some(f) = snap.family("richnote_level_total") {
+        for s in &f.series {
+            if label(s, "shard") == Some(shard.as_str()) {
+                if let (Some(level), MetricValue::Counter(v)) =
+                    (label(s, "level").and_then(|x| x.parse::<usize>().ok()), &s.value)
+                {
+                    if level < LEVELS {
+                        counts[level] += *v;
+                    }
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Renders level counts as a 7-cell sparkline (levels 0..=6, left to
+/// right), scaled to the shard's own maximum.
+fn sparkline(counts: &[u64; LEVELS]) -> String {
+    const BARS: [char; 8] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '█'];
+    let max = counts.iter().copied().max().unwrap_or(0);
+    counts
+        .iter()
+        .map(|&c| {
+            if max == 0 || c == 0 {
+                BARS[0]
+            } else {
+                // 1..=7 so any nonzero count is visible.
+                BARS[1 + (c * 6 / max) as usize]
+            }
+        })
+        .collect()
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn fmt_rate(r: Option<f64>) -> String {
+    match r {
+        Some(r) if r >= 10_000.0 => format!("{:.0}k", r / 1e3),
+        Some(r) => format!("{r:.0}"),
+        None => "-".to_string(),
+    }
+}
+
+/// One rendered frame of the dashboard.
+#[allow(clippy::too_many_arguments)]
+fn render(
+    a: &Args,
+    stats: &RegistrySnapshot,
+    metrics: &MetricsSnapshot,
+    anomalies: &[SpanTree],
+    flight_trees: usize,
+    flight_dropped: u64,
+    prev_pubs: Option<&HashMap<usize, u64>>,
+    elapsed: Duration,
+) {
+    let pubs = shard_counters(stats, "richnote_pubs_total");
+    let total_rate: Option<f64> = prev_pubs.map(|prev| {
+        let now: u64 = pubs.values().sum();
+        let before: u64 = prev.values().sum();
+        now.saturating_sub(before) as f64 / elapsed.as_secs_f64().max(1e-9)
+    });
+    println!(
+        "richnote-top — {} | {} shards | ingested {} | selected {} | backlog {} | {} pubs/s",
+        a.addr,
+        metrics.shards.len(),
+        metrics.ingested(),
+        metrics.selected(),
+        metrics.backlog(),
+        fmt_rate(total_rate),
+    );
+    println!(
+        "{:>5} {:>7} {:>8} {:>8} {:>7} {:>8}  {:>15}  {:>15}  {:<7}",
+        "shard",
+        "users",
+        "pubs/s",
+        "selected",
+        "rounds",
+        "backlog",
+        "dequeue p50/p95",
+        "select p50/p95",
+        "lv 0-6",
+    );
+    for s in &metrics.shards {
+        let rate = prev_pubs.map(|prev| {
+            let now = pubs.get(&s.shard).copied().unwrap_or(0);
+            let before = prev.get(&s.shard).copied().unwrap_or(0);
+            now.saturating_sub(before) as f64 / elapsed.as_secs_f64().max(1e-9)
+        });
+        let shard_label = s.shard.to_string();
+        let dequeue = stage_hist(stats, &shard_label, "dequeue");
+        let select = stage_hist(stats, &shard_label, "select");
+        println!(
+            "{:>5} {:>7} {:>8} {:>8} {:>7} {:>8}  {:>15}  {:>15}  {:<7}",
+            s.shard,
+            s.users,
+            fmt_rate(rate),
+            s.selected,
+            s.rounds,
+            s.backlog,
+            format!("{}/{}", fmt_us(dequeue.quantile_us(0.50)), fmt_us(dequeue.quantile_us(0.95))),
+            format!("{}/{}", fmt_us(select.quantile_us(0.50)), fmt_us(select.quantile_us(0.95))),
+            sparkline(&level_counts(stats, s.shard)),
+        );
+    }
+    let stage_line: Vec<String> = ["match", "serialize", "ack"]
+        .iter()
+        .map(|st| {
+            let h = stage_hist(stats, "server", st);
+            format!("{st} p50 {} p95 {}", fmt_us(h.quantile_us(0.50)), fmt_us(h.quantile_us(0.95)))
+        })
+        .collect();
+    println!("conn stages: {}", stage_line.join(" | "));
+    println!(
+        "flight recorder: {} trees retained, {} evicted | last anomalous traces \
+         (drops, level ≤ 1):",
+        flight_trees, flight_dropped
+    );
+    if anomalies.is_empty() {
+        println!("  (none)");
+    }
+    for t in anomalies.iter().rev().take(ANOMALY_ROWS) {
+        let user = t.spans.iter().find_map(|s| s.user);
+        let verdict = if t.stage(SpanStage::Drop).is_some() {
+            "dropped before selection".to_string()
+        } else {
+            match t.stage(SpanStage::Select).and_then(|s| s.decision.as_ref()) {
+                Some(d) => format!(
+                    "level {} (utility {:.3}, gradient {:.3e}, {} B budget left)",
+                    d.level, d.utility, d.gradient, d.budget_remaining
+                ),
+                None => "incomplete".to_string(),
+            }
+        };
+        let stages: Vec<String> = t.spans.iter().map(|s| format!("{:?}", s.stage)).collect();
+        println!(
+            "  trace {:#018x} user {} — {} [{}]",
+            t.trace,
+            user.map_or("?".to_string(), |u| u.to_string()),
+            verdict,
+            stages.join("→")
+        );
+    }
+}
+
+fn run(a: &Args) -> ServerResult<()> {
+    let mut client = Client::connect(&a.addr)?;
+    let mut prev_pubs: Option<HashMap<usize, u64>> = None;
+    let mut last = Instant::now();
+    loop {
+        let stats = client.stats()?;
+        let metrics = client.metrics()?;
+        // Flight-recorder reads are non-destructive; the trace ring is a
+        // drain, which is fine for a live watcher (it is the consumer).
+        let flights = client.flight_dump()?;
+        let (events, _) = client.trace_dump()?;
+        let elapsed = last.elapsed();
+        last = Instant::now();
+
+        let mut anomalies: Vec<SpanTree> = flights
+            .iter()
+            .flat_map(|f| f.trees.iter())
+            .filter(|t| t.is_anomalous())
+            .cloned()
+            .collect();
+        anomalies.extend(SpanTree::assemble(&events).into_iter().filter(|t| t.is_anomalous()));
+        let flight_trees: usize = flights.iter().map(|f| f.trees.len()).sum();
+        let flight_dropped: u64 = flights.iter().map(|f| f.dropped).sum();
+
+        if !a.once {
+            // Clear screen and home the cursor, like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        render(
+            a,
+            &stats,
+            &metrics,
+            &anomalies,
+            flight_trees,
+            flight_dropped,
+            prev_pubs.as_ref(),
+            elapsed,
+        );
+        if a.once {
+            return Ok(());
+        }
+        prev_pubs = Some(shard_counters(&stats, "richnote_pubs_total"));
+        std::thread::sleep(Duration::from_millis(a.interval_ms));
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("richnote-top: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

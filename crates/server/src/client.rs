@@ -27,7 +27,7 @@ use crate::wire::{
     PROTO_VERSION,
 };
 use richnote_core::{ContentItem, UserId};
-use richnote_obs::{RegistrySnapshot, TraceEvent};
+use richnote_obs::{FlightDump, RegistrySnapshot, TraceEvent};
 use richnote_pubsub::Topic;
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
@@ -75,6 +75,8 @@ struct Pending {
     seq: u64,
     topic: Topic,
     item: ContentItem,
+    /// Causal trace id riding with the publication (survives replay).
+    trace: Option<u64>,
 }
 
 /// One live TCP connection (post-handshake).
@@ -223,7 +225,12 @@ impl Client {
                 for p in &self.pending {
                     write_frame_unflushed(
                         &mut conn.writer,
-                        &Request::Publish { seq: p.seq, topic: p.topic, item: p.item.clone() },
+                        &Request::Publish {
+                            seq: p.seq,
+                            topic: p.topic,
+                            item: p.item.clone(),
+                            trace: p.trace,
+                        },
                     )?;
                 }
                 conn.writer.flush()?;
@@ -321,9 +328,26 @@ impl Client {
     /// window settling; transient ones are absorbed by the window and
     /// resolved on the next reconnect.
     pub fn publish(&mut self, topic: Topic, item: ContentItem) -> ServerResult<u64> {
+        self.publish_traced(topic, item, None)
+    }
+
+    /// [`Client::publish`] carrying a causal trace id minted by the
+    /// caller (see [`richnote_obs::derive_trace_id`]). The id rides the
+    /// pending window, so reconnect replay re-sends it unchanged and the
+    /// server sees the same trace exactly once (dedup by sequence).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::publish`].
+    pub fn publish_traced(
+        &mut self,
+        topic: Topic,
+        item: ContentItem,
+        trace: Option<u64>,
+    ) -> ServerResult<u64> {
         self.next_seq += 1;
         let seq = self.next_seq;
-        self.pending.push_back(Pending { seq, topic, item });
+        self.pending.push_back(Pending { seq, topic, item, trace });
         // The frame must be written (or queued for reconnect replay)
         // BEFORE any settling: the server acks cumulatively, so a pending
         // entry that was never transmitted would be trimmed by an ack for
@@ -331,7 +355,12 @@ impl Client {
         // is unflushed; a failure just defers the frame to the replay.
         if self.conn.is_some() {
             let p = self.pending.back().expect("just pushed");
-            let frame = Request::Publish { seq: p.seq, topic: p.topic, item: p.item.clone() };
+            let frame = Request::Publish {
+                seq: p.seq,
+                topic: p.topic,
+                item: p.item.clone(),
+                trace: p.trace,
+            };
             let conn = self.conn.as_mut().expect("checked above");
             if write_frame_unflushed(&mut conn.writer, &frame).is_err() {
                 self.drop_conn();
@@ -471,10 +500,43 @@ impl Client {
     /// Returns protocol or transport failures; pre-observability servers
     /// are reported like in [`Client::stats`].
     pub fn trace_dump(&mut self) -> ServerResult<(Vec<TraceEvent>, u64)> {
-        match self.with_retry(|c| c.exchange(&Request::TraceDump)) {
-            Ok(Response::TraceDump { events, dropped }) => Ok((events, dropped)),
-            Ok(other) => Err(unexpected("TraceDump", &other)),
-            Err(e) => Err(pre_observability(e, "TraceDump")),
+        // The server budgets every response to fit one wire frame
+        // (`TRACE_DUMP_EVENT_BUDGET`), so rings larger than a frame
+        // arrive as several partial dumps; keep draining until a batch
+        // comes back empty. The iteration cap bounds the loop when a
+        // busy server refills its rings as fast as we drain them.
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for _ in 0..1024 {
+            match self.with_retry(|c| c.exchange(&Request::TraceDump)) {
+                Ok(Response::TraceDump { events: batch, dropped: d }) => {
+                    dropped += d;
+                    if batch.is_empty() {
+                        break;
+                    }
+                    events.extend(batch);
+                }
+                Ok(other) => return Err(unexpected("TraceDump", &other)),
+                Err(e) => return Err(pre_observability(e, "TraceDump")),
+            }
+        }
+        Ok((events, dropped))
+    }
+
+    /// Fetches every live shard's flight-recorder contents (bounded rings
+    /// of finished span trees), ordered by shard index. Non-destructive:
+    /// the recorders keep their trees. Empty when the server runs with
+    /// `trace_capacity = 0` or `flight_capacity = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol or transport failures; pre-observability servers
+    /// are reported like in [`Client::stats`].
+    pub fn flight_dump(&mut self) -> ServerResult<Vec<FlightDump>> {
+        match self.with_retry(|c| c.exchange(&Request::FlightDump)) {
+            Ok(Response::FlightDump { dumps }) => Ok(dumps),
+            Ok(other) => Err(unexpected("FlightDump", &other)),
+            Err(e) => Err(pre_observability(e, "FlightDump")),
         }
     }
 

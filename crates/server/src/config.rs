@@ -3,6 +3,7 @@
 use crate::error::ConfigError;
 use crate::fault::FaultPlan;
 use richnote_core::scheduler::LinearCost;
+use richnote_obs::SampleRate;
 use serde::{Deserialize, Serialize};
 
 /// Tunables of one `richnote-server` instance.
@@ -55,6 +56,19 @@ pub struct ServerConfig {
     /// Per-shard trace-ring capacity in events; 0 (the default) disables
     /// structured tracing entirely.
     pub trace_capacity: usize,
+    /// Head-sampling rate for per-publication span traces: keep 1 in N
+    /// completed traces (anomalous traces — shed ingests, level 0–1
+    /// selections — are always kept). `SampleRate::OFF` records no spans
+    /// even when the trace ring is on.
+    pub trace_sample: SampleRate,
+    /// Per-shard flight-recorder capacity in complete span trees; the
+    /// recorder is active only while the trace ring is (`trace_capacity >
+    /// 0`). 0 disables the flight recorder.
+    pub flight_capacity: usize,
+    /// Directory for flight-recorder dump files, written when a shard
+    /// panics or a coordinated checkpoint fails. `None` (the default)
+    /// keeps the recorder query-only (`FlightDump` requests still work).
+    pub flight_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +89,9 @@ impl Default for ServerConfig {
             metrics_addr: None,
             metrics_enabled: true,
             trace_capacity: 0,
+            trace_sample: SampleRate::ALL,
+            flight_capacity: 64,
+            flight_dir: None,
         }
     }
 }
@@ -218,6 +235,29 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Head-sampling rate for span traces (keep 1 in N; anomalies are
+    /// always kept).
+    #[must_use]
+    pub fn trace_sample(mut self, rate: SampleRate) -> Self {
+        self.cfg.trace_sample = rate;
+        self
+    }
+
+    /// Per-shard flight-recorder capacity in span trees (0 disables it).
+    #[must_use]
+    pub fn flight_capacity(mut self, trees: usize) -> Self {
+        self.cfg.flight_capacity = trees;
+        self
+    }
+
+    /// Directory for flight-recorder dump files written on shard panic or
+    /// checkpoint failure.
+    #[must_use]
+    pub fn flight_dir(mut self, dir: impl Into<String>) -> Self {
+        self.cfg.flight_dir = Some(dir.into());
+        self
+    }
+
     /// Validates and returns the finished config.
     ///
     /// # Errors
@@ -290,16 +330,26 @@ mod tests {
             .metrics_addr("127.0.0.1:0")
             .metrics_enabled(false)
             .trace_capacity(512)
+            .trace_sample(SampleRate::one_in(8))
+            .flight_capacity(16)
+            .flight_dir("/tmp/flight")
             .build()
             .unwrap();
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:0"));
         assert!(!cfg.metrics_enabled);
         assert_eq!(cfg.trace_capacity, 512);
-        // Defaults: metrics on, tracing off, no listener.
+        assert_eq!(cfg.trace_sample, SampleRate::one_in(8));
+        assert_eq!(cfg.flight_capacity, 16);
+        assert_eq!(cfg.flight_dir.as_deref(), Some("/tmp/flight"));
+        // Defaults: metrics on, tracing off, no listener, sample-all,
+        // flight recorder armed but file dumps off.
         let d = ServerConfig::default();
         assert!(d.metrics_enabled);
         assert_eq!(d.trace_capacity, 0);
         assert!(d.metrics_addr.is_none());
+        assert_eq!(d.trace_sample, SampleRate::ALL);
+        assert_eq!(d.flight_capacity, 64);
+        assert!(d.flight_dir.is_none());
     }
 
     #[test]

@@ -81,8 +81,11 @@ pub use queue::BoundedQueue;
 pub use router::shard_of;
 pub use server::{RestoreSummary, Server};
 pub use shard::ShardState;
-pub use wire::{ErrorCode, PROTO_VERSION};
+pub use wire::{ErrorCode, PROTO_VERSION, TRACE_DUMP_EVENT_BUDGET};
 
 // Observability vocabulary, re-exported so server users need not depend
 // on `richnote-obs` directly.
-pub use richnote_obs::{Log2Histogram, Registry, RegistrySnapshot, TraceEvent, TraceRing};
+pub use richnote_obs::{
+    derive_trace_id, read_flight_file, FlightDump, Log2Histogram, Registry, RegistrySnapshot,
+    SampleRate, SpanRecord, SpanStage, SpanTree, TraceEvent, TraceRing,
+};

@@ -65,18 +65,29 @@ impl<T> BoundedQueue<T> {
     /// still admits `value` (capacity is a soft bound for control traffic,
     /// which is rare and drains fast).
     pub fn push(&self, value: T) -> PushOutcome {
+        self.push_evicting(value).0
+    }
+
+    /// Like [`BoundedQueue::push`], but also hands back the entry that
+    /// will never be processed, when there is one: the shed oldest
+    /// droppable (on `DroppedOldest`), or `value` itself (on `Refused` or
+    /// `Closed`). Callers that attach causal traces to entries use the
+    /// returned casualty to record a Drop span instead of losing the
+    /// trace silently.
+    pub fn push_evicting(&self, value: T) -> (PushOutcome, Option<T>) {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed {
-            return PushOutcome::Closed;
+            return (PushOutcome::Closed, Some(value));
         }
         if inner.draining && (self.droppable)(&value) {
             inner.refused += 1;
-            return PushOutcome::Refused;
+            return (PushOutcome::Refused, Some(value));
         }
         let mut outcome = PushOutcome::Accepted;
+        let mut evicted = None;
         if inner.deque.len() >= self.capacity {
             if let Some(pos) = inner.deque.iter().position(self.droppable) {
-                inner.deque.remove(pos);
+                evicted = inner.deque.remove(pos);
                 inner.dropped += 1;
                 outcome = PushOutcome::DroppedOldest;
             }
@@ -84,7 +95,7 @@ impl<T> BoundedQueue<T> {
         inner.deque.push_back(value);
         drop(inner);
         self.not_empty.notify_one();
-        outcome
+        (outcome, evicted)
     }
 
     /// Pops the oldest entry, blocking while the queue is empty.
@@ -198,6 +209,19 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.set_draining(false);
         assert_eq!(q.push(2), PushOutcome::Accepted);
+    }
+
+    #[test]
+    fn push_evicting_returns_the_casualty() {
+        // Odd values are protected, even values droppable.
+        let q = BoundedQueue::new(2, |v: &u32| v % 2 == 0);
+        assert_eq!(q.push_evicting(2), (PushOutcome::Accepted, None));
+        assert_eq!(q.push_evicting(4), (PushOutcome::Accepted, None));
+        assert_eq!(q.push_evicting(6), (PushOutcome::DroppedOldest, Some(2)));
+        q.set_draining(true);
+        assert_eq!(q.push_evicting(8), (PushOutcome::Refused, Some(8)));
+        q.close();
+        assert_eq!(q.push_evicting(10), (PushOutcome::Closed, Some(10)));
     }
 
     #[test]

@@ -115,15 +115,32 @@ impl Router {
         item: ContentItem,
         received: Instant,
     ) -> PublishOutcome {
+        self.apply_publish_traced(session, seq, topic, item, received, None).0
+    }
+
+    /// [`Router::apply_publish`] with an optional causal trace id carried
+    /// into every resulting shard ingest. Also returns the trace ids of
+    /// traced ingests that will never be processed (shed by queue
+    /// overflow, or refused at the queue while draining), so the caller
+    /// can record Drop spans instead of losing the traces silently.
+    pub fn apply_publish_traced(
+        &self,
+        session: u64,
+        seq: u64,
+        topic: Topic,
+        item: ContentItem,
+        received: Instant,
+        trace: Option<u64>,
+    ) -> (PublishOutcome, Vec<u64>) {
         if self.draining.load(Ordering::SeqCst) {
             self.drain_refused.fetch_add(1, Ordering::Relaxed);
-            return PublishOutcome::Draining;
+            return (PublishOutcome::Draining, Vec::new());
         }
         if session != 0 {
             let mut sessions = self.sessions.lock().unwrap();
             let watermark = sessions.entry(session).or_insert(0);
             if seq <= *watermark {
-                return PublishOutcome::Duplicate;
+                return (PublishOutcome::Duplicate, Vec::new());
             }
             *watermark = seq;
         }
@@ -131,18 +148,23 @@ impl Router {
         let deliveries =
             self.broker.lock().unwrap().publish(Publication::new(topic, item, published_at));
         let matched = deliveries.len();
+        let mut dropped_traces = Vec::new();
         for d in deliveries {
             let shard = shard_of(d.subscriber, self.queues.len());
-            let outcome = self.queues[shard].push(ShardMsg::Ingest {
+            let (outcome, casualty) = self.queues[shard].push_evicting(ShardMsg::Ingest {
                 user: d.subscriber,
                 item: d.payload,
                 received,
+                trace,
             });
             if outcome == PushOutcome::Refused {
                 self.drain_refused.fetch_add(1, Ordering::Relaxed);
             }
+            if let Some(ShardMsg::Ingest { trace: Some(t), .. }) = casualty {
+                dropped_traces.push(t);
+            }
         }
-        PublishOutcome::Routed { matched }
+        (PublishOutcome::Routed { matched }, dropped_traces)
     }
 
     /// Switches the drain gate: while on, the router and every shard queue
@@ -308,6 +330,24 @@ mod tests {
         );
         assert_eq!(r.dropped_on_drain(), 1);
         assert_eq!(r.begin_session(5), 0, "refused publish must not advance the watermark");
+    }
+
+    #[test]
+    fn overflow_surfaces_the_dropped_trace() {
+        // A 1-entry queue: the second traced publish sheds the first, and
+        // the shed trace id comes back for Drop-span accounting.
+        let r = Router::new(vec![Arc::new(BoundedQueue::new(1, ShardMsg::droppable))]);
+        let user = UserId::new(1);
+        r.subscribe(user, Topic::FriendFeed(user));
+        let now = Instant::now();
+        let (outcome, dropped) =
+            r.apply_publish_traced(0, 1, Topic::FriendFeed(user), item(1, 1), now, Some(111));
+        assert_eq!(outcome, PublishOutcome::Routed { matched: 1 });
+        assert!(dropped.is_empty());
+        let (outcome, dropped) =
+            r.apply_publish_traced(0, 2, Topic::FriendFeed(user), item(2, 1), now, Some(222));
+        assert_eq!(outcome, PublishOutcome::Routed { matched: 1 });
+        assert_eq!(dropped, vec![111], "the shed ingest's trace is surfaced");
     }
 
     #[test]

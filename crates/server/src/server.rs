@@ -10,7 +10,8 @@ use crate::router::{PublishOutcome, Router};
 use crate::shard::{ShardMsg, ShardWorker};
 use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, PROTO_VERSION};
 use richnote_obs::{
-    encode_text, HistogramHandle, Log2Histogram, Registry, RegistrySnapshot, TraceEvent, TraceRing,
+    encode_text, write_flight_file, HistogramHandle, Log2Histogram, Registry, RegistrySnapshot,
+    SpanRecord, TraceEvent, TraceRing,
 };
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -76,7 +77,11 @@ impl ServerObs {
             metrics: cfg.metrics_enabled,
             tracing: cfg.trace_capacity > 0,
             registry: Mutex::new(registry),
-            ring: Mutex::new(TraceRing::new(cfg.trace_capacity)),
+            ring: Mutex::new(if cfg.trace_capacity > 0 {
+                TraceRing::new(cfg.trace_capacity)
+            } else {
+                TraceRing::disabled()
+            }),
             stage_match,
             stage_serialize,
             stage_ack,
@@ -483,18 +488,49 @@ fn collect_and_save(
     }
 }
 
+/// Writes every live shard's flight-recorder contents to the configured
+/// `flight_dir` under `reason`, best effort (a postmortem must never turn
+/// an already-failing operation into a second failure).
+fn dump_flights(ctx: &ConnCtx, reason: &str) {
+    let Some(dir) = ctx.cfg.flight_dir.as_deref() else { return };
+    for mut dump in broadcast(&ctx.router, |reply| ShardMsg::FlightDump { reply }) {
+        dump.reason = reason.to_string();
+        let path = std::path::Path::new(dir).join(format!("flight-shard-{}.rnfl", dump.shard));
+        let _ = write_flight_file(&path, &dump);
+    }
+}
+
+/// How many traced-but-unacked publishes one connection remembers for Ack
+/// spans; beyond this, new traces simply miss their Ack span (the window
+/// settles long before in practice).
+const TRACED_PENDING_CAP: usize = 16_384;
+
 /// Flushes the pending cumulative publish ack, if any, timing the flush as
-/// the pipeline's `ack` stage.
+/// the pipeline's `ack` stage. Traced publishes covered by the cumulative
+/// ack get their Ack span emitted here — the ack frame is the moment the
+/// publication becomes durable from the client's point of view.
 fn settle_ack<W: Write>(
     obs: &ServerObs,
     stages: &mut ConnStages,
     writer: &mut W,
     pending: &mut Option<u64>,
+    traced: &mut Vec<(u64, u64)>,
 ) -> ServerResult<()> {
     if let Some(seq) = pending.take() {
         let t0 = Instant::now();
         write_frame(writer, &Response::PubAck { seq })?;
         stages.observe_ack(t0, obs);
+        if !traced.is_empty() {
+            let mut rest = Vec::with_capacity(traced.len());
+            for &(s, t) in traced.iter() {
+                if s <= seq {
+                    obs.event(TraceEvent::Span(SpanRecord::acked(t, s)));
+                } else {
+                    rest.push((s, t));
+                }
+            }
+            *traced = rest;
+        }
     }
     Ok(())
 }
@@ -519,6 +555,8 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
     let mut session: Option<u64> = None;
     // Highest publish seq applied but not yet acked on this connection.
     let mut pending_ack: Option<u64> = None;
+    // Traced publishes awaiting their cumulative ack, as (seq, trace).
+    let mut traced_pending: Vec<(u64, u64)> = Vec::new();
     let mut stages = ConnStages::new(&ctx.obs);
 
     loop {
@@ -527,7 +565,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
         // this batches acks under pipelining without ever deadlocking a
         // client that waits for one.
         if reader.buffer().is_empty() {
-            settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+            settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack, &mut traced_pending)?;
         }
         let req = match read_frame::<_, Request>(&mut reader) {
             Ok(Some(req)) => req,
@@ -555,6 +593,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 kind: "conn_reset".to_string(),
                 detail: format!("connection {conn}"),
             });
+            dump_flights(ctx, "fault_injected");
             stages.flush(&ctx.obs);
             return Ok(());
         }
@@ -588,14 +627,41 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 )?;
             }
             Request::Subscribe { user, topic } => {
-                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
                 ctx.router.subscribe(user, topic);
                 write_frame(&mut writer, &Response::Subscribed)?;
             }
-            Request::Publish { seq, topic, item } => {
+            Request::Publish { seq, topic, item, trace } => {
                 let t0 = Instant::now();
-                let outcome = ctx.router.apply_publish(session.unwrap_or(0), seq, topic, item, t0);
+                // Head-sampling verdict, taken once here and again per
+                // shard from the same pure function, so a trace is either
+                // recorded at every stage or at none. Anomalies (Drop
+                // spans below, level ≤ 1 selections in the shards) are
+                // force-kept regardless.
+                let sampled = trace.filter(|&t| ctx.obs.tracing && ctx.cfg.trace_sample.keeps(t));
+                if let Some(t) = sampled {
+                    ctx.obs.event(TraceEvent::Span(SpanRecord::publish(t, seq, item.id.value())));
+                }
+                let (outcome, shed) = ctx.router.apply_publish_traced(
+                    session.unwrap_or(0),
+                    seq,
+                    topic,
+                    item,
+                    t0,
+                    trace,
+                );
                 stages.observe_match(t0, &ctx.obs);
+                for t in shed {
+                    // A queue-shed ingest is an anomaly: its Drop span is
+                    // recorded no matter what the sampler says.
+                    ctx.obs.event(TraceEvent::Span(SpanRecord::dropped(t, None)));
+                }
                 match outcome {
                     PublishOutcome::Routed { matched } => {
                         ctx.obs.event(TraceEvent::BrokerMatch {
@@ -603,13 +669,25 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                             seq,
                             matched,
                         });
+                        if let Some(t) = sampled {
+                            ctx.obs.event(TraceEvent::Span(SpanRecord::matched(t, seq, matched)));
+                            if traced_pending.len() < TRACED_PENDING_CAP {
+                                traced_pending.push((seq, t));
+                            }
+                        }
                         pending_ack = Some(pending_ack.map_or(seq, |p| p.max(seq)));
                     }
                     PublishOutcome::Duplicate => {
                         pending_ack = Some(pending_ack.map_or(seq, |p| p.max(seq)));
                     }
                     PublishOutcome::Draining => {
-                        settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                        settle_ack(
+                            &ctx.obs,
+                            &mut stages,
+                            &mut writer,
+                            &mut pending_ack,
+                            &mut traced_pending,
+                        )?;
                         error_frame(
                             &mut writer,
                             ErrorCode::Draining,
@@ -619,7 +697,13 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 }
             }
             Request::Tick { rounds } | Request::TickReport { rounds } => {
-                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
                 let collect = collect_deliveries;
                 let replies =
                     broadcast(&ctx.router, |reply| ShardMsg::Tick { rounds, collect, reply });
@@ -646,6 +730,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                         if let Err(e) =
                             collect_and_save(ctx, store, |reply| ShardMsg::Checkpoint { reply })
                         {
+                            dump_flights(ctx, "checkpoint_failure");
                             eprintln!("richnote-server: periodic checkpoint failed: {e}");
                         }
                     }
@@ -665,7 +750,13 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 }
             }
             Request::Metrics => {
-                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
                 let shards = broadcast(&ctx.router, |reply| ShardMsg::Snapshot { reply });
                 let snapshot =
                     MetricsSnapshot { shards, dropped_on_drain: ctx.router.dropped_on_drain() };
@@ -674,7 +765,13 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::Stats => {
-                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
                 stages.flush(&ctx.obs);
                 let snap = merged_stats(ctx);
                 let t0 = Instant::now();
@@ -682,11 +779,24 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::TraceDump => {
-                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
-                // Server-side events first, then shard 0..n in order.
-                let (mut events, mut dropped) = ctx.obs.ring.lock().unwrap().drain();
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
+                // Server-side events first, then shard 0..n in order. Each
+                // source gets an even slice of the frame budget; whatever
+                // does not fit stays ringed for the next dump, so a ring
+                // bigger than MAX_FRAME_BYTES can never produce (and then
+                // lose) an unsendable response.
+                let per_source =
+                    (crate::wire::TRACE_DUMP_EVENT_BUDGET / (ctx.router.shards() + 1)).max(1);
+                let (mut events, mut dropped) =
+                    ctx.obs.ring.lock().unwrap().drain_up_to(per_source);
                 for (shard_events, shard_dropped) in
-                    broadcast(&ctx.router, |reply| ShardMsg::TraceDump { reply })
+                    broadcast(&ctx.router, |reply| ShardMsg::TraceDump { max: per_source, reply })
                 {
                     events.extend(shard_events);
                     dropped += shard_dropped;
@@ -695,8 +805,31 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 write_frame(&mut writer, &Response::TraceDump { events, dropped })?;
                 stages.observe_serialize(t0, &ctx.obs);
             }
+            Request::FlightDump => {
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
+                // Non-destructive and permissive about dead shards: a dead
+                // worker's queue is closed, so its reply never arrives and
+                // its dump is simply absent (its on-disk flight file from
+                // the panic path is the record for that shard).
+                let dumps = broadcast(&ctx.router, |reply| ShardMsg::FlightDump { reply });
+                let t0 = Instant::now();
+                write_frame(&mut writer, &Response::FlightDump { dumps })?;
+                stages.observe_serialize(t0, &ctx.obs);
+            }
             Request::Checkpoint => {
-                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
                 let Some(store) = &ctx.store else {
                     error_frame(
                         &mut writer,
@@ -711,12 +844,19 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                         &Response::Checkpointed { users: ck.users(), round: ck.round },
                     )?,
                     Err(e) => {
+                        dump_flights(ctx, "checkpoint_failure");
                         error_frame(&mut writer, ErrorCode::CheckpointFailed, e.to_string())?;
                     }
                 }
             }
             Request::Drain => {
-                settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack)?;
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
                 ctx.router.set_draining(true);
                 // One final round flushes whatever each shard already
                 // queued; the drain reply carries the post-flush state.
@@ -758,6 +898,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                             users: ck.users(),
                             ok: false,
                         });
+                        dump_flights(ctx, "checkpoint_failure");
                         ctx.router.set_draining(false);
                         error_frame(&mut writer, ErrorCode::CheckpointFailed, e.to_string())?;
                         continue;

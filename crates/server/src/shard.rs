@@ -45,10 +45,12 @@ use crate::wire::Delivery;
 use richnote_core::presentation::AudioPresentationSpec;
 use richnote_core::scheduler::{QueuedNotification, RichNoteScheduler, RoundContext};
 use richnote_core::{
-    ContentId, ContentItem, Policy, PresentationLadder, SelectionObserver, UserId,
+    ContentId, ContentItem, Policy, PresentationLadder, SelectDecision, SelectionObserver, UserId,
 };
 use richnote_obs::{
-    CounterHandle, GaugeHandle, HistogramHandle, Registry, RegistrySnapshot, TraceEvent, TraceRing,
+    write_flight_file, CounterHandle, FlightDump, FlightRecorder, GaugeHandle, HistogramHandle,
+    Registry, RegistrySnapshot, SampleRate, SpanDecision, SpanRecord, SpanTree, TraceEvent,
+    TraceRing,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -72,18 +74,42 @@ fn default_policy() -> RichNoteScheduler {
     RichNoteScheduler::builder().build()
 }
 
+/// Highest deliverable presentation level in the paper's audio ladder
+/// (metadata + five preview durations); level 0 means "not delivered".
+const MAX_LEVEL: u8 = 6;
+
 /// Per-shard observability: a metric registry plus a trace-event ring,
 /// both owned by the shard thread (lock-free recording).
+///
+/// # Causal spans
+///
+/// Traced ingests (those carrying a publish-minted trace id) stage their
+/// pipeline spans here, keyed by content id, until the selection round
+/// that delivers them. At that point the trace *finishes*: the head
+/// sampler decides whether to keep it (anomalous traces — level ≤ 1
+/// selections — are always kept), and a kept trace emits its spans into
+/// the trace ring and its assembled [`SpanTree`] into the flight
+/// recorder. The staging map is bounded; overflow sheds the new trace and
+/// counts it in `richnote_trace_shed_total`.
 pub struct ShardObs {
     shard: usize,
     registry: Registry,
     ring: TraceRing,
+    sample: SampleRate,
+    flight: FlightRecorder,
+    /// In-flight span staging: content id → spans recorded so far.
+    staged: HashMap<u64, Vec<SpanRecord>>,
+    /// Bound on `staged`; traces arriving past it are shed.
+    staged_cap: usize,
     pubs: CounterHandle,
     queue_dropped: CounterHandle,
     selected: CounterHandle,
     rounds: CounterHandle,
     bytes_spent: CounterHandle,
     bytes_budgeted: CounterHandle,
+    trace_shed: CounterHandle,
+    /// Delivery counters by chosen level, indexed 0..=[`MAX_LEVEL`].
+    levels: Vec<CounterHandle>,
     backlog: GaugeHandle,
     users: GaugeHandle,
     round_duration: HistogramHandle,
@@ -97,8 +123,16 @@ pub struct ShardObs {
 impl ShardObs {
     /// Registers the shard's metric vocabulary. `enabled = false` makes
     /// every recording a no-op (for overhead measurement); `trace_capacity
-    /// = 0` disables the event ring.
-    pub fn new(shard: usize, enabled: bool, trace_capacity: usize) -> Self {
+    /// = 0` disables the event ring, span staging, and the flight
+    /// recorder; `sample` gates which completed traces are kept; and
+    /// `flight_capacity` bounds the ring of finished span trees.
+    pub fn new(
+        shard: usize,
+        enabled: bool,
+        trace_capacity: usize,
+        sample: SampleRate,
+        flight_capacity: usize,
+    ) -> Self {
         let mut registry = if enabled { Registry::new() } else { Registry::disabled() };
         let s = shard.to_string();
         let l = &[("shard", s.as_str())][..];
@@ -145,16 +179,42 @@ impl ShardObs {
             "Wall-clock duration per pipeline stage",
             &stage("select"),
         );
+        let trace_shed = registry.counter(
+            "richnote_trace_shed_total",
+            "Traced publications whose spans were shed by staging overflow",
+            l,
+        );
+        let levels = (0..=MAX_LEVEL)
+            .map(|lv| {
+                let lvs = lv.to_string();
+                registry.counter(
+                    "richnote_level_total",
+                    "Deliveries by chosen presentation level",
+                    &[("shard", s.as_str()), ("level", lvs.as_str())][..],
+                )
+            })
+            .collect();
+        let tracing = trace_capacity > 0;
         ShardObs {
             shard,
             registry,
-            ring: TraceRing::new(trace_capacity),
+            ring: if tracing { TraceRing::new(trace_capacity) } else { TraceRing::disabled() },
+            sample,
+            flight: if tracing && flight_capacity > 0 {
+                FlightRecorder::new(flight_capacity)
+            } else {
+                FlightRecorder::disabled()
+            },
+            staged: HashMap::new(),
+            staged_cap: 4 * trace_capacity.max(256),
             pubs,
             queue_dropped,
             selected,
             rounds,
             bytes_spent,
             bytes_budgeted,
+            trace_shed,
+            levels,
             backlog,
             users,
             round_duration,
@@ -170,9 +230,71 @@ impl ShardObs {
         self.ring.push(ev);
     }
 
-    /// Drains the trace ring: buffered events plus the evicted count.
-    pub fn drain_events(&mut self) -> (Vec<TraceEvent>, u64) {
-        self.ring.drain()
+    /// Drains up to `max` events from the trace ring (oldest first) plus
+    /// the evicted count; the remainder stays buffered for the next dump
+    /// so no single reply outgrows a wire frame.
+    pub fn drain_events(&mut self, max: usize) -> (Vec<TraceEvent>, u64) {
+        self.ring.drain_up_to(max)
+    }
+
+    /// Stages the Queue span of a traced ingest. The span is buffered —
+    /// not yet in the ring — until the trace finishes at selection time
+    /// and the sampler rules on it.
+    pub fn begin_trace(&mut self, trace: u64, round: u64, user: u64, content: u64) {
+        if !self.ring.is_enabled() || self.sample.is_off() {
+            return;
+        }
+        if self.staged.len() >= self.staged_cap && !self.staged.contains_key(&content) {
+            self.registry.inc(self.trace_shed, 1);
+            return;
+        }
+        self.staged
+            .entry(content)
+            .or_default()
+            .push(SpanRecord::queued(trace, self.shard, round, user, content));
+    }
+
+    /// Finishes the trace staged under `content`, if any: appends the
+    /// Select and Serialize spans, then either emits the whole tree (into
+    /// the ring and the flight recorder) or discards it, per the head
+    /// sampler. Level ≤ 1 selections are anomalous and always kept.
+    fn finish_trace(&mut self, round: u64, user: u64, content: u64, d: &SelectDecision) {
+        let Some(mut spans) = self.staged.remove(&content) else { return };
+        let trace = spans[0].trace;
+        spans.push(SpanRecord::selected(
+            trace,
+            self.shard,
+            round,
+            user,
+            content,
+            SpanDecision {
+                level: d.level,
+                utility: d.utility,
+                gradient: d.gradient,
+                budget_remaining: d.budget_remaining,
+            },
+        ));
+        spans.push(SpanRecord::serialized(trace, self.shard, round, content, d.size));
+        let anomalous = d.level <= 1;
+        if !anomalous && !self.sample.keeps(trace) {
+            return;
+        }
+        for s in &spans {
+            self.ring.push(TraceEvent::Span(s.clone()));
+        }
+        self.flight.record(SpanTree { trace, spans });
+    }
+
+    /// The flight recorder's current contents, non-destructively.
+    pub fn flight_dump(&self, reason: &str) -> FlightDump {
+        self.flight.dump(self.shard, reason)
+    }
+
+    /// Bumps the per-level delivery counter.
+    fn record_level(&mut self, level: u8) {
+        if let Some(&h) = self.levels.get(level as usize) {
+            self.registry.inc(h, 1);
+        }
     }
 }
 
@@ -183,25 +305,19 @@ struct SelectObserver<'a> {
 }
 
 impl SelectionObserver for SelectObserver<'_> {
-    fn on_select(
-        &mut self,
-        round: u64,
-        content: ContentId,
-        level: u8,
-        _size: u64,
-        utility: f64,
-        gradient: f64,
-    ) {
+    fn on_select(&mut self, round: u64, content: ContentId, decision: &SelectDecision) {
         let shard = self.obs.shard;
         self.obs.event(TraceEvent::Select {
             shard,
             round,
             user: self.user,
             content: content.value(),
-            level,
-            utility,
-            gradient,
+            level: decision.level,
+            utility: decision.utility,
+            gradient: decision.gradient,
         });
+        self.obs.record_level(decision.level);
+        self.obs.finish_trace(round, self.user, content.value(), decision);
     }
 }
 
@@ -260,7 +376,13 @@ impl ShardState<RichNoteScheduler> {
 impl<P: Policy + Send> ShardState<P> {
     /// An empty shard whose schedulers are built by `factory`.
     pub fn with_policy(shard: usize, cfg: ServerConfig, factory: fn() -> P) -> Self {
-        let obs = ShardObs::new(shard, cfg.metrics_enabled, cfg.trace_capacity);
+        let obs = ShardObs::new(
+            shard,
+            cfg.metrics_enabled,
+            cfg.trace_capacity,
+            cfg.trace_sample,
+            cfg.flight_capacity,
+        );
         ShardState {
             shard,
             cfg,
@@ -352,8 +474,20 @@ impl<P: Policy + Send> ShardState<P> {
     ///
     /// `received` is the wall-clock instant ingest began (at the socket),
     /// so the latency histogram includes queueing ahead of the shard.
-    pub fn ingest(&mut self, user: UserId, item: ContentItem, received: Instant) {
+    /// A `Some` trace id stages the publication's Queue span; the trace
+    /// finishes (and the sampler rules on it) when a later round selects
+    /// the item.
+    pub fn ingest(
+        &mut self,
+        user: UserId,
+        item: ContentItem,
+        received: Instant,
+        trace: Option<u64>,
+    ) {
         let t0 = Instant::now();
+        if let Some(t) = trace {
+            self.obs.begin_trace(t, self.round, user.value(), item.id.value());
+        }
         let factory = self.factory;
         let scheduler = self.schedulers.entry(user).or_insert_with(factory);
         let uc = content_utility(&item);
@@ -507,6 +641,8 @@ pub enum ShardMsg {
         item: ContentItem,
         /// Wall-clock instant the publication was read off the socket.
         received: Instant,
+        /// Causal trace id minted at publish time; `None` = untraced.
+        trace: Option<u64>,
     },
     /// Run `rounds` rounds, then report the tick outcome.
     Tick {
@@ -527,10 +663,18 @@ pub enum ShardMsg {
         /// Reply channel.
         reply: mpsc::Sender<RegistrySnapshot>,
     },
-    /// Drain and reset the shard's trace ring.
+    /// Drain up to `max` events from the shard's trace ring; the rest
+    /// stays buffered for the next dump.
     TraceDump {
+        /// Most events to return in this reply (frame-size budget).
+        max: usize,
         /// Reply channel carrying `(events, evicted-count)`.
         reply: mpsc::Sender<(Vec<TraceEvent>, u64)>,
+    },
+    /// Report the flight recorder's span trees, non-destructively.
+    FlightDump {
+        /// Reply channel.
+        reply: mpsc::Sender<FlightDump>,
     },
     /// Report this shard's checkpoint at the current round boundary.
     Checkpoint {
@@ -571,8 +715,8 @@ enum Flow {
 fn handle_msg<P: Policy + Send>(state: &mut ShardState<P>, msg: ShardMsg) -> Flow {
     let faults = state.cfg.faults.clone();
     match msg {
-        ShardMsg::Ingest { user, item, received } => {
-            state.ingest(user, item, received);
+        ShardMsg::Ingest { user, item, received, trace } => {
+            state.ingest(user, item, received, trace);
         }
         ShardMsg::Tick { rounds, collect, reply } => {
             let mut done = TickDone { rounds: 0, selected: 0, deliveries: Vec::new() };
@@ -602,8 +746,11 @@ fn handle_msg<P: Policy + Send>(state: &mut ShardState<P>, msg: ShardMsg) -> Flo
         ShardMsg::Stats { reply } => {
             let _ = reply.send(state.stats());
         }
-        ShardMsg::TraceDump { reply } => {
-            let _ = reply.send(state.obs_mut().drain_events());
+        ShardMsg::TraceDump { max, reply } => {
+            let _ = reply.send(state.obs_mut().drain_events(max));
+        }
+        ShardMsg::FlightDump { reply } => {
+            let _ = reply.send(state.obs_mut().flight_dump("request"));
         }
         ShardMsg::Checkpoint { reply } => {
             let _ = reply.send(state.checkpoint());
@@ -659,6 +806,15 @@ impl ShardWorker {
                         Ok(Flow::Continue) => {}
                         Ok(Flow::Stop) => break,
                         Err(_) => {
+                            // Black-box dump first: the flight recorder's
+                            // span trees are the postmortem record of what
+                            // the shard was doing when it died.
+                            if let Some(dir) = state.cfg.flight_dir.clone() {
+                                let dump = state.obs_mut().flight_dump("shard_panic");
+                                let path = std::path::Path::new(&dir)
+                                    .join(format!("flight-shard-{shard}.rnfl"));
+                                let _ = write_flight_file(&path, &dump);
+                            }
                             // Contain the panic to this shard: close the
                             // queue and drop everything still queued, so
                             // requesters blocked on reply channels see a
@@ -727,8 +883,8 @@ mod tests {
     #[test]
     fn ingest_then_round_selects() {
         let mut shard = ShardState::new(0, ServerConfig::default());
-        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now());
-        shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now());
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), None);
+        shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now(), None);
         let out = shard.run_round();
         assert_eq!(out.round, 0);
         assert!(!out.selected.is_empty());
@@ -743,8 +899,8 @@ mod tests {
     #[test]
     fn registry_tracks_the_round_loop() {
         let mut shard = ShardState::new(0, ServerConfig::default());
-        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now());
-        shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now());
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), None);
+        shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now(), None);
         let out = shard.run_round();
         let stats = shard.stats();
         assert_eq!(stats.counter_total("richnote_pubs_total"), 2);
@@ -764,7 +920,7 @@ mod tests {
     fn disabled_metrics_record_nothing() {
         let cfg = ServerConfig { metrics_enabled: false, ..ServerConfig::default() };
         let mut shard = ShardState::new(0, cfg);
-        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now());
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), None);
         shard.run_round();
         let stats = shard.stats();
         assert_eq!(stats.counter_total("richnote_pubs_total"), 0);
@@ -777,9 +933,9 @@ mod tests {
     fn trace_ring_records_round_and_select_events() {
         let cfg = ServerConfig { trace_capacity: 64, ..ServerConfig::default() };
         let mut shard = ShardState::new(3, cfg);
-        shard.ingest(UserId::new(9), item(1, 9, 0.0), Instant::now());
+        shard.ingest(UserId::new(9), item(1, 9, 0.0), Instant::now(), None);
         let out = shard.run_round();
-        let (events, dropped) = shard.obs_mut().drain_events();
+        let (events, dropped) = shard.obs_mut().drain_events(usize::MAX);
         assert_eq!(dropped, 0);
         assert!(matches!(
             events.first(),
@@ -796,14 +952,14 @@ mod tests {
         assert_eq!(selects.len(), out.selected.len());
         assert!(selects.iter().all(|&(u, l)| u == 9 && l >= 1));
         // Ring is reset after a drain.
-        assert!(shard.obs_mut().drain_events().0.is_empty());
+        assert!(shard.obs_mut().drain_events(usize::MAX).0.is_empty());
     }
 
     #[test]
     fn rounds_visit_users_in_id_order() {
         let mut shard = ShardState::new(0, ServerConfig::default());
         for uid in [5u64, 1, 3] {
-            shard.ingest(UserId::new(uid), item(uid, uid, 0.0), Instant::now());
+            shard.ingest(UserId::new(uid), item(uid, uid, 0.0), Instant::now(), None);
         }
         let out = shard.run_round();
         let users: Vec<u64> = out.selected.iter().map(|(u, _, _)| u.value()).collect();
@@ -819,6 +975,7 @@ mod tests {
             user: UserId::new(1),
             item: item(1, 1, 0.0),
             received: Instant::now(),
+            trace: None,
         });
         let done = tick(&worker, 1);
         assert_eq!(done.rounds, 1);
@@ -847,9 +1004,9 @@ mod tests {
         for s in [0, 1] {
             let now = Instant::now();
             if s == 0 {
-                fifo.ingest(UserId::new(1), item(1, 1, 0.0), now);
+                fifo.ingest(UserId::new(1), item(1, 1, 0.0), now, None);
             } else {
-                util.ingest(UserId::new(1), item(1, 1, 0.0), now);
+                util.ingest(UserId::new(1), item(1, 1, 0.0), now, None);
             }
         }
         let f = fifo.run_round();
@@ -879,7 +1036,7 @@ mod tests {
         for uid in 1..=4u64 {
             for (s, now) in [(&mut reference, Instant::now()), (&mut victim, Instant::now())] {
                 for k in 0..3u64 {
-                    s.ingest(UserId::new(uid), item(uid * 10 + k, uid, 0.0), now);
+                    s.ingest(UserId::new(uid), item(uid * 10 + k, uid, 0.0), now, None);
                 }
             }
         }
@@ -903,7 +1060,7 @@ mod tests {
         let cfg = ServerConfig::default();
         let mut shard = ShardState::new(0, cfg.clone());
         for uid in 1..=3u64 {
-            shard.ingest(UserId::new(uid), item(uid, uid, 0.0), Instant::now());
+            shard.ingest(UserId::new(uid), item(uid, uid, 0.0), Instant::now(), None);
         }
         shard.run_round();
         let before = shard.stats();
@@ -946,6 +1103,7 @@ mod tests {
             user: UserId::new(1),
             item: item(1, 1, 0.0),
             received: Instant::now(),
+            trace: None,
         });
         let (tx, rx) = mpsc::channel();
         worker.queue.push(ShardMsg::Tick { rounds: 1, collect: true, reply: tx });
@@ -953,6 +1111,125 @@ mod tests {
         assert_eq!(done.deliveries.len() as u64, done.selected);
         assert!(done.deliveries.iter().all(|d| d.round == 0));
         worker.join();
+    }
+
+    #[test]
+    fn traced_ingest_emits_span_tree_and_flight_records() {
+        let cfg = ServerConfig { trace_capacity: 64, ..ServerConfig::default() };
+        let mut shard = ShardState::new(2, cfg);
+        shard.ingest(UserId::new(9), item(1, 9, 0.0), Instant::now(), Some(0xABCD));
+        shard.run_round();
+        let (events, _) = shard.obs_mut().drain_events(usize::MAX);
+        let spans: Vec<&SpanRecord> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let stages: Vec<_> = spans.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                richnote_obs::SpanStage::Queue,
+                richnote_obs::SpanStage::Select,
+                richnote_obs::SpanStage::Serialize
+            ]
+        );
+        assert!(spans.iter().all(|s| s.trace == 0xABCD));
+        let sel = spans[1];
+        let d = sel.decision.as_ref().expect("select span carries the decision");
+        assert!(d.level >= 1);
+        assert!(d.utility > 0.0);
+        assert_eq!(sel.shard, Some(2));
+        // The finished tree also landed in the flight recorder.
+        let dump = shard.obs_mut().flight_dump("request");
+        assert_eq!(dump.shard, 2);
+        assert_eq!(dump.reason, "request");
+        assert_eq!(dump.trees.len(), 1);
+        assert_eq!(dump.trees[0].trace, 0xABCD);
+        // Level counters follow the chosen level.
+        let stats = shard.stats();
+        assert_eq!(stats.counter_total("richnote_level_total"), 1);
+    }
+
+    #[test]
+    fn sampler_discards_unlucky_traces_but_keeps_anomalies() {
+        let rate = richnote_obs::SampleRate::one_in(1_000_000);
+        let unlucky = (1u64..).find(|&t| !rate.keeps(t)).unwrap();
+        // Roomy budget → a high level → a normal trace → sampled away.
+        let cfg =
+            ServerConfig { trace_capacity: 64, trace_sample: rate, ..ServerConfig::default() };
+        let mut shard = ShardState::new(0, cfg);
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), Some(unlucky));
+        shard.run_round();
+        let (events, _) = shard.obs_mut().drain_events(usize::MAX);
+        assert!(
+            !events.iter().any(|e| matches!(e, TraceEvent::Span(_))),
+            "a sampled-out normal trace must leave no spans"
+        );
+        assert!(shard.obs_mut().flight_dump("request").trees.is_empty());
+
+        // Starvation budget → level 1 → anomalous → kept despite the rate.
+        let cfg = ServerConfig {
+            trace_capacity: 64,
+            trace_sample: rate,
+            data_grant: 300, // fits metadata (200 B) but no preview
+            ..ServerConfig::default()
+        };
+        let mut shard = ShardState::new(0, cfg);
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), Some(unlucky));
+        shard.run_round();
+        let (events, _) = shard.obs_mut().drain_events(usize::MAX);
+        let kept: Vec<_> = events.iter().filter(|e| matches!(e, TraceEvent::Span(_))).collect();
+        assert!(!kept.is_empty(), "a level-1 anomaly must be force-kept");
+        let dump = shard.obs_mut().flight_dump("request");
+        assert_eq!(dump.trees.len(), 1);
+        assert!(dump.trees[0].is_anomalous());
+    }
+
+    #[test]
+    fn worker_panic_writes_crc_valid_flight_file() {
+        let dir =
+            std::env::temp_dir().join(format!("richnote-shard-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = ServerConfig {
+            trace_capacity: 64,
+            flight_dir: Some(dir.to_string_lossy().into_owned()),
+            faults: FaultPlan {
+                shard_panic: Some(ShardPanicFault { shard: 0, round: 1 }),
+                ..FaultPlan::none()
+            },
+            ..ServerConfig::default()
+        };
+        let worker = ShardWorker::spawn(0, cfg, None);
+        worker.queue.push(ShardMsg::Ingest {
+            user: UserId::new(1),
+            item: item(1, 1, 0.0),
+            received: Instant::now(),
+            trace: Some(77),
+        });
+        // Round 0 completes the trace; round 1 trips the injected panic.
+        let (tx, rx) = mpsc::channel();
+        worker.queue.push(ShardMsg::Tick { rounds: 1, collect: false, reply: tx });
+        rx.recv().unwrap();
+        let (tx, rx) = mpsc::channel();
+        worker.queue.push(ShardMsg::Tick { rounds: 1, collect: false, reply: tx });
+        assert!(rx.recv().is_err(), "the panicking tick never replies");
+        for _ in 0..200 {
+            if worker.is_dead() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(worker.is_dead());
+        let path = dir.join("flight-shard-0.rnfl");
+        let dump = richnote_obs::read_flight_file(&path).expect("flight file must be CRC-valid");
+        assert_eq!(dump.shard, 0);
+        assert_eq!(dump.reason, "shard_panic");
+        assert_eq!(dump.trees.len(), 1);
+        assert_eq!(dump.trees[0].trace, 77);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -57,7 +57,7 @@
 use crate::error::{ServerError, ServerResult};
 use crate::metrics::MetricsSnapshot;
 use richnote_core::{ContentId, ContentItem, UserId};
-use richnote_obs::{RegistrySnapshot, TraceEvent};
+use richnote_obs::{FlightDump, RegistrySnapshot, TraceEvent};
 use richnote_pubsub::Topic;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -68,6 +68,14 @@ pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload; anything larger is a protocol error.
 pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Most trace events one `TraceDump` response may carry, split across
+/// the server ring and the shards, so the reply always serializes under
+/// [`MAX_FRAME_BYTES`] (a span event is well under 1 KiB of JSON).
+/// Rings larger than the budget drain across several requests;
+/// [`crate::Client::trace_dump`] keeps dumping until a batch comes back
+/// empty, so callers still see one logical drain.
+pub const TRACE_DUMP_EVENT_BUDGET: usize = 16_384;
 
 /// Machine-readable failure classes carried by [`Response::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,6 +121,10 @@ pub enum Request {
         topic: Topic,
         /// Payload routed to every matching subscriber's shard.
         item: ContentItem,
+        /// Causal trace id minted by the publisher; `None` (or an absent
+        /// field, as sent by pre-tracing clients) means untraced, so old
+        /// clients stay compatible.
+        trace: Option<u64>,
     },
     /// Advances every shard by `rounds` rounds of the selection loop.
     Tick {
@@ -137,6 +149,10 @@ pub enum Request {
     /// structured events. Rings reset on dump; an empty response means
     /// tracing is disabled (`trace_capacity = 0`) or nothing happened.
     TraceDump,
+    /// Reads every shard's flight recorder (bounded ring of retained span
+    /// trees). Unlike `TraceDump` this is non-destructive, so a live
+    /// poller does not race the panic-path post-mortem dump.
+    FlightDump,
     /// Forces a coordinated checkpoint now (requires a configured
     /// checkpoint directory).
     Checkpoint,
@@ -207,6 +223,12 @@ pub enum Response {
         events: Vec<TraceEvent>,
         /// Events evicted from full rings since the previous dump.
         dropped: u64,
+    },
+    /// Per-shard flight-recorder cuts answering [`Request::FlightDump`],
+    /// ordered by shard index.
+    FlightDump {
+        /// One dump per live shard (a dead shard contributes nothing).
+        dumps: Vec<FlightDump>,
     },
     /// Coordinated checkpoint written.
     Checkpointed {
@@ -334,6 +356,7 @@ mod tests {
             Request::Hello { proto: PROTO_VERSION, session: 99 },
             Request::Subscribe { user: UserId::new(7), topic: Topic::FriendFeed(UserId::new(7)) },
             Request::Tick { rounds: 3 },
+            Request::FlightDump,
             Request::TickReport { rounds: 1 },
             Request::Metrics,
             Request::Stats,
@@ -397,6 +420,79 @@ mod tests {
             assert_eq!(got, Request::Tick { rounds: i });
         }
         assert!(read_frame::<_, Request>(&mut r).unwrap().is_none());
+    }
+
+    fn sample_item() -> ContentItem {
+        use richnote_core::content::{ContentFeatures, Interaction};
+        use richnote_core::{AlbumId, ArtistId, ContentKind, TrackId};
+        ContentItem {
+            id: ContentId::new(9),
+            recipient: UserId::new(3),
+            sender: Some(UserId::new(4)),
+            kind: ContentKind::FriendFeed,
+            track: TrackId::new(1),
+            album: AlbumId::new(2),
+            artist: ArtistId::new(3),
+            arrival: 120.0,
+            track_secs: 240.0,
+            features: ContentFeatures::default(),
+            interaction: Interaction::NoActivity,
+        }
+    }
+
+    #[test]
+    fn traced_publish_roundtrips_and_absent_trace_reads_as_none() {
+        let item = sample_item();
+        let req = Request::Publish {
+            seq: 4,
+            topic: Topic::FriendFeed(UserId::new(3)),
+            item: item.clone(),
+            trace: Some(0xABCD_EF01_2345_6789),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let got: Request = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, req);
+
+        // A pre-tracing client's Publish has no `trace` field at all; it
+        // must deserialize as untraced rather than fail.
+        let legacy = serde_json::to_string(&Request::Publish {
+            seq: 5,
+            topic: Topic::FriendFeed(UserId::new(3)),
+            item,
+            trace: None,
+        })
+        .unwrap()
+        .replace(",\"trace\":null", "")
+        .replace("\"trace\":null,", "");
+        assert!(!legacy.contains("trace"), "test must exercise an absent field: {legacy}");
+        let parsed: Request = serde_json::from_str(&legacy).unwrap();
+        match parsed {
+            Request::Publish { seq: 5, trace: None, .. } => {}
+            other => panic!("expected untraced publish, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flight_dump_response_roundtrips() {
+        let tree = richnote_obs::SpanTree::assemble(&[
+            TraceEvent::Span(richnote_obs::SpanRecord::publish(7, 1, 42)),
+            TraceEvent::Span(richnote_obs::SpanRecord::queued(7, 0, 0, 5, 42)),
+        ])
+        .pop()
+        .unwrap();
+        let resp = Response::FlightDump {
+            dumps: vec![FlightDump {
+                shard: 0,
+                reason: "request".into(),
+                trees: vec![tree],
+                dropped: 2,
+            }],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let got: Response = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, resp);
     }
 
     #[test]

@@ -43,7 +43,7 @@ fn run_sharded(cfg: &ServerConfig, batches: &[Vec<ContentItem>], shards: usize) 
     for (round, batch) in batches.iter().enumerate() {
         for item in batch {
             let user = item.recipient;
-            states[shard_of(user, shards)].ingest(user, item.clone(), Instant::now());
+            states[shard_of(user, shards)].ingest(user, item.clone(), Instant::now(), None);
         }
         for state in &mut states {
             let out = state.run_round();
@@ -174,7 +174,7 @@ fn wire_protocol_survives_a_full_conversation() {
     let reqs = vec![
         Request::Hello { proto: PROTO_VERSION, session: 77 },
         Request::Subscribe { user: item.recipient, topic: Topic::FriendFeed(item.recipient) },
-        Request::Publish { seq: 1, topic: Topic::FriendFeed(item.recipient), item },
+        Request::Publish { seq: 1, topic: Topic::FriendFeed(item.recipient), item, trace: None },
         Request::Tick { rounds: 2 },
         Request::Metrics,
         Request::Drain,

@@ -8,7 +8,8 @@ use richnote_pubsub::Topic;
 use richnote_server::shard::content_utility;
 use richnote_server::wire::{read_frame, write_frame, ErrorCode, Request, Response};
 use richnote_server::{
-    Client, FaultPlan, FaultRng, Server, ServerConfig, ServerError, ShardPanicFault, PROTO_VERSION,
+    read_flight_file, shard_of, Client, FaultPlan, FaultRng, Server, ServerConfig, ServerError,
+    ShardPanicFault, SpanStage, PROTO_VERSION,
 };
 use richnote_trace::{TraceConfig, TraceGenerator};
 use std::collections::BTreeSet;
@@ -306,6 +307,66 @@ fn shard_panic_is_contained() {
     client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe after panic");
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
+}
+
+/// An injected shard panic dumps the dead shard's flight recorder to a
+/// CRC-framed `flight-shard-N.rnfl` file, and the file verifies and
+/// still contains the span tree of a publication traced through the
+/// shard before it died.
+#[test]
+fn shard_panic_writes_crc_valid_flight_dump() {
+    let dir = scratch_dir("flight-panic");
+    let faults = FaultPlan {
+        shard_panic: Some(ShardPanicFault { shard: 1, round: 2 }),
+        ..FaultPlan::none()
+    };
+    let cfg = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .shards(2)
+        .trace_capacity(1024)
+        .flight_dir(dir.to_str().unwrap())
+        .faults(faults)
+        .build()
+        .expect("config");
+    let (addr, handle) = Server::spawn(cfg).expect("spawn");
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A user living on the doomed shard.
+    let user = (0..).map(UserId::new).find(|&u| shard_of(u, 2) == 1).expect("a shard-1 user");
+    client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe");
+    let mut item = trace_items().remove(0);
+    item.recipient = user;
+    const TRACE: u64 = 0xDEAD_BEEF_0BAD_F00D;
+    client.publish_traced(Topic::FriendFeed(user), item, Some(TRACE)).expect("publish");
+    client.sync().expect("sync");
+
+    client.tick(1).expect("round 0 selects the traced publication");
+    client.tick(1).expect("round 1");
+    match client.tick(1) {
+        Err(ServerError::Rejected { code: ErrorCode::Internal, .. }) => {}
+        other => panic!("expected the injected panic, got {other:?}"),
+    }
+
+    // The dump is written on the worker's panic path, concurrently with
+    // the tick error propagating back; give it a moment to land.
+    let path = dir.join("flight-shard-1.rnfl");
+    let mut dump = None;
+    for _ in 0..100 {
+        if let Ok(d) = read_flight_file(&path) {
+            dump = Some(d);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let dump = dump.expect("panic must leave a CRC-valid flight file");
+    assert_eq!(dump.shard, 1);
+    assert_eq!(dump.reason, "shard_panic");
+    let tree = dump.trees.iter().find(|t| t.trace == TRACE).expect("traced publication retained");
+    assert!(tree.stage(SpanStage::Select).is_some(), "tree carries the selection span");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Injected checkpoint-write failures surface as typed CheckpointFailed

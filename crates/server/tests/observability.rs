@@ -3,8 +3,13 @@
 //! listener, exercised against a live daemon exactly the way the CI
 //! scrape step and a Prometheus agent would.
 
+use richnote_core::content::{ContentFeatures, ContentKind, Interaction, SocialTie};
+use richnote_core::{AlbumId, ArtistId, ContentId, ContentItem, TrackId, UserId};
 use richnote_pubsub::Topic;
-use richnote_server::{Client, Server, ServerConfig, TraceEvent};
+use richnote_server::{
+    derive_trace_id, Client, SampleRate, Server, ServerConfig, SpanStage, SpanTree, TraceEvent,
+    TRACE_DUMP_EVENT_BUDGET,
+};
 use richnote_trace::{TraceConfig, TraceGenerator};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -103,6 +108,148 @@ fn trace_dump_drains_structured_events_once() {
         !again.iter().any(|e| matches!(e, TraceEvent::RoundStart { .. })),
         "drained events must not be replayed"
     );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// The tentpole acceptance path: a traced publication yields a complete
+/// publish→match→queue→select→serialize→ack span tree over `TraceDump`,
+/// carrying the chosen level and the winning gradient, and the same
+/// trees are retained by the (non-destructive) flight recorder.
+#[test]
+fn traced_publication_yields_a_complete_span_tree() {
+    let (addr, _metrics, handle) = spawn_observable(65_536);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let items = TraceGenerator::new(TraceConfig::small(13)).generate().items;
+    let mut minted = Vec::new();
+    for item in &items {
+        client.subscribe(item.recipient, Topic::FriendFeed(item.recipient)).expect("subscribe");
+    }
+    for (idx, item) in items.into_iter().enumerate() {
+        let topic = Topic::FriendFeed(item.recipient);
+        // Mint ids the way loadgen does: seed + stamp + content, sampled
+        // at 1/1 so every publication is traced.
+        let trace = derive_trace_id(7, idx as u64, item.id.value());
+        assert!(SampleRate::ALL.keeps(trace));
+        minted.push(trace);
+        client.publish_traced(topic, item, Some(trace)).expect("publish");
+    }
+    client.sync().expect("sync");
+    client.tick(6).expect("tick");
+    // Acks settle on the publishing connection lazily; a sync after the
+    // ticks flushes the cumulative PubAck that closes the span trees.
+    client.sync().expect("post-tick sync");
+
+    let (events, dropped) = client.trace_dump().expect("trace dump");
+    assert_eq!(dropped, 0, "the ring was sized for the workload");
+    let trees = SpanTree::assemble(&events);
+    assert!(!trees.is_empty(), "traced publications must yield span trees");
+    let backlog = client.metrics().expect("metrics").backlog();
+    let complete = trees.iter().filter(|t| t.is_complete()).count();
+    assert!(
+        complete + backlog >= minted.len(),
+        "every selected traced publication must assemble completely \
+         ({complete} complete of {} minted, {backlog} still queued)",
+        minted.len()
+    );
+    for t in trees.iter().filter(|t| t.is_complete()) {
+        assert!(minted.contains(&t.trace), "unknown trace id {:#x}", t.trace);
+        assert!(t.stage(SpanStage::Match).is_some(), "daemon-side trees include the match span");
+        let d = t
+            .stage(SpanStage::Select)
+            .and_then(|s| s.decision.as_ref())
+            .expect("select span carries the decision");
+        assert!((1..=6).contains(&d.level), "chosen level {} out of range", d.level);
+        assert!(d.utility.is_finite() && d.gradient.is_finite());
+        let bytes = t.stage(SpanStage::Serialize).and_then(|s| s.bytes).expect("bytes");
+        assert!(bytes >= 200, "at least the metadata payload");
+    }
+
+    // The flight recorder retained trees too, and reads are repeatable.
+    let flights = client.flight_dump().expect("flight dump");
+    assert_eq!(flights.len(), 2, "one dump per shard");
+    let total: usize = flights.iter().map(|f| f.trees.len()).sum();
+    assert!(total > 0, "finished trees must reach the flight recorder");
+    let again = client.flight_dump().expect("second flight dump");
+    assert_eq!(
+        again.iter().map(|f| f.trees.len()).sum::<usize>(),
+        total,
+        "flight reads are non-destructive"
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// A trace ring holding more events than fit in one wire frame must
+/// still drain completely: the server budgets every `TraceDump` response
+/// (`TRACE_DUMP_EVENT_BUDGET` events) and the client keeps requesting
+/// until a batch comes back empty. Before chunking, an oversized dump
+/// blew the `MAX_FRAME_BYTES` cap, killed the connection with the
+/// drained events, and the client's retry found only empty rings — a
+/// silent total loss at exactly the scales tracing matters most.
+#[test]
+fn trace_dump_chunks_rings_larger_than_one_frame() {
+    let (addr, _metrics, handle) = spawn_observable(262_144);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let users = 500u64;
+    let per_user = 16u64;
+    for u in 0..users {
+        let user = UserId::new(u);
+        client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe");
+    }
+    // Every publish lands three events in the server-side ring alone
+    // (publish span, broker-match event, match span), so 8,000 traced
+    // publications overflow the single-response budget several times.
+    let minted = users * per_user;
+    for n in 0..minted {
+        let user = UserId::new(n % users);
+        let item = ContentItem {
+            id: ContentId::new(n + 1),
+            recipient: user,
+            sender: None,
+            kind: ContentKind::FriendFeed,
+            track: TrackId::new(n + 1),
+            album: AlbumId::new(1),
+            artist: ArtistId::new(1),
+            arrival: 0.0,
+            track_secs: 180.0,
+            features: ContentFeatures {
+                tie: SocialTie::Mutual,
+                track_popularity: 0.9,
+                album_popularity: 0.5,
+                artist_popularity: 0.7,
+                weekend: false,
+                night: false,
+            },
+            interaction: Interaction::NoActivity,
+        };
+        let trace = derive_trace_id(11, n, n + 1);
+        client.publish_traced(Topic::FriendFeed(user), item, Some(trace)).expect("publish");
+    }
+    client.sync().expect("sync");
+    client.tick(2).expect("tick");
+
+    let (events, dropped) = client.trace_dump().expect("trace dump");
+    assert_eq!(dropped, 0, "the rings were sized for the workload");
+    assert!(
+        events.len() > TRACE_DUMP_EVENT_BUDGET,
+        "the workload must overflow one response ({} events <= {TRACE_DUMP_EVENT_BUDGET})",
+        events.len()
+    );
+    let publishes = events
+        .iter()
+        .filter(
+            |e| matches!(e, TraceEvent::Span(s) if s.stage == richnote_server::SpanStage::Publish),
+        )
+        .count() as u64;
+    assert_eq!(publishes, minted, "no chunk boundary may lose a publish span");
+    // Chunked draining is still a drain: nothing is replayed afterwards.
+    let (again, _) = client.trace_dump().expect("second dump");
+    assert!(again.is_empty(), "drained chunks must not be replayed ({} events)", again.len());
+
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
 }

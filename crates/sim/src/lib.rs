@@ -20,6 +20,8 @@
 //! * [`metrics`] — per-user and aggregate metric accumulators;
 //! * [`obs`] — export into the shared `richnote-obs` metric vocabulary
 //!   (the same families the daemon serves on `--metrics-addr`);
+//! * [`spans`] — deterministic per-publication span traces (ids derived
+//!   from seed + virtual time, head-sampled with anomaly bypass);
 //! * [`user`] — the single-user round loop (Algorithm 2 driven end-to-end);
 //! * [`simulator`] — population-level orchestration with thread-parallel
 //!   user simulation;
@@ -35,9 +37,11 @@ pub mod metrics;
 pub mod obs;
 pub mod report;
 pub mod simulator;
+pub mod spans;
 pub mod user;
 
 pub use cost::EnergyCost;
 pub use metrics::{AggregateMetrics, UserMetrics};
 pub use obs::{export_registry, exposition};
 pub use simulator::{NetworkKind, PolicyKind, PopulationSim, SimulationConfig};
+pub use spans::{dump_json_lines, simulate_user_spans, SpanHarness};

@@ -9,7 +9,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use richnote_core::content::ContentItem;
 use richnote_core::ids::{ContentId, UserId};
-use richnote_core::scheduler::{NotificationScheduler, QueuedNotification, RoundContext};
+use richnote_core::policy::{NoopObserver, SelectionObserver};
+use richnote_core::scheduler::{QueuedNotification, RoundContext};
 use richnote_core::utility::DurationUtility;
 use richnote_energy::battery::{energy_grant, BatteryTrace, BatteryTraceConfig};
 use richnote_energy::model::NetworkEnergyModel;
@@ -36,6 +37,20 @@ pub fn simulate_user(
     items: &[&ContentItem],
     content_utility: &(dyn Fn(&ContentItem) -> f64 + Sync),
     cfg: &SimulationConfig,
+) -> UserMetrics {
+    simulate_user_observed(user, items, content_utility, cfg, &mut NoopObserver)
+}
+
+/// [`simulate_user`] with a live [`SelectionObserver`]: every selection
+/// decision (chosen level, utility, winning gradient, budget remaining)
+/// is reported as it is made, which is how the span harness in
+/// [`crate::spans`] captures deterministic per-publication traces.
+pub fn simulate_user_observed(
+    user: UserId,
+    items: &[&ContentItem],
+    content_utility: &(dyn Fn(&ContentItem) -> f64 + Sync),
+    cfg: &SimulationConfig,
+    obs: &mut dyn SelectionObserver,
 ) -> UserMetrics {
     let mut metrics = UserMetrics::new(user);
     metrics.arrived = items.len();
@@ -134,7 +149,7 @@ pub fn simulate_user(
                     energy_grant: grant,
                     cost: &cost,
                 };
-                let delivered = scheduler.run_round(&ctx);
+                let delivered = scheduler.select_round(&ctx, obs);
 
                 let mut round_bytes = 0u64;
                 for d in &delivered {
