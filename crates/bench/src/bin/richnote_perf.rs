@@ -1,0 +1,485 @@
+//! `richnote-perf`: the deterministic perf-regression harness.
+//!
+//! ```text
+//! richnote-perf [--out BENCH_5.json] [--baseline PATH] [--quick]
+//!               [--no-rsrc] [--seed S] [--reps N]
+//! ```
+//!
+//! Runs the loadgen scenarios against an in-process daemon (fixed seeds,
+//! virtual-time rounds — the workload itself is bit-for-bit repeatable;
+//! only the wall/CPU measurements vary with the machine), then emits a
+//! machine-readable `BENCH_<n>.json` with, per scenario:
+//!
+//! * sustained throughput (publications per wall second),
+//! * server-side stage percentiles (select/round p50/p95/p99),
+//! * CPU time per publication (per-thread accounting from the shard
+//!   workers, see `richnote_obs::rsrc`),
+//! * allocations and allocated bytes per publication (this binary
+//!   installs the counting global allocator), and
+//! * the shed count (queue drops) the scenario provoked,
+//!
+//! plus the process-wide peak RSS and a machine-speed calibration score
+//! (a fixed serial CPU-bound kernel, timed best-of-three). Scenario
+//! numbers are the median across `--reps` repetitions.
+//! When a baseline file exists (by default the `--out` path it is about
+//! to overwrite), every scenario is compared against it with noise-aware
+//! thresholds — **>15% throughput loss or >25% CPU-time/publication
+//! growth is a regression** — and the process exits nonzero so CI fails
+//! the commit that caused it. Throughput is compared *per unit of
+//! calibrated machine speed* when both reports carry a score: a CI
+//! runner (or a co-tenant-loaded host) that is simply slower than the
+//! machine that produced the committed baseline scales both sides
+//! equally and does not trip the gate, while a change that makes the
+//! daemon itself slower still does.
+//!
+//! `--quick` scales the workload down for CI smoke runs (quick results
+//! are only ever compared against quick baselines). `--no-rsrc` disables
+//! both the per-round resource sampling and the allocation counting, the
+//! A/B half of the accounting-overhead measurement in EXPERIMENTS.md.
+
+use richnote_obs::rsrc::{set_alloc_counting, CountingAlloc};
+use richnote_pubsub::Topic;
+use richnote_server::{Client, Log2Histogram, RegistrySnapshot, Server, ServerConfig};
+use richnote_trace::{TraceConfig, TraceGenerator};
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Allocation accounting covers the whole process, shard workers
+/// included, because the daemon under test runs in-process.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+/// Ticks per scenario; virtual-time rounds make each tick one round per
+/// shard regardless of wall clock.
+const TICKS: u32 = 8;
+
+struct Args {
+    out: String,
+    baseline: Option<String>,
+    quick: bool,
+    rsrc: bool,
+    seed: u64,
+    reps: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            out: "BENCH_5.json".to_string(),
+            baseline: None,
+            quick: false,
+            rsrc: true,
+            seed: 42,
+            reps: 3,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: richnote-perf [--out BENCH_5.json] [--baseline PATH] [--quick] \
+         [--no-rsrc] [--seed S] [--reps N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--out" => a.out = value("--out"),
+            "--baseline" => a.baseline = Some(value("--baseline")),
+            "--quick" => a.quick = true,
+            "--no-rsrc" => a.rsrc = false,
+            "--seed" => {
+                a.seed = value("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("bad value for --seed");
+                    usage()
+                })
+            }
+            "--reps" => {
+                a.reps = value("--reps").parse().unwrap_or_else(|_| {
+                    eprintln!("bad value for --reps");
+                    usage()
+                });
+                if a.reps == 0 {
+                    eprintln!("--reps must be at least 1");
+                    usage()
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    a
+}
+
+/// Server-side stage latency percentiles, in microseconds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct StagePercentiles {
+    select_p50_us: u64,
+    select_p95_us: u64,
+    select_p99_us: u64,
+    round_p50_us: u64,
+    round_p95_us: u64,
+    round_p99_us: u64,
+}
+
+impl StagePercentiles {
+    fn from_snapshot(snap: &RegistrySnapshot) -> Self {
+        let pcts =
+            |h: &Log2Histogram| (h.quantile_us(0.50), h.quantile_us(0.95), h.quantile_us(0.99));
+        let select = snap.histogram_merged_where("richnote_stage_duration_us", "stage", "select");
+        let round = snap.histogram_merged("richnote_round_duration_us");
+        let (select_p50_us, select_p95_us, select_p99_us) = pcts(&select);
+        let (round_p50_us, round_p95_us, round_p99_us) = pcts(&round);
+        StagePercentiles {
+            select_p50_us,
+            select_p95_us,
+            select_p99_us,
+            round_p50_us,
+            round_p95_us,
+            round_p99_us,
+        }
+    }
+}
+
+/// One scenario's measurements — the unit of baseline comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ScenarioResult {
+    name: String,
+    pubs: u64,
+    shed: u64,
+    elapsed_secs: f64,
+    throughput_pubs_per_sec: f64,
+    stage_percentiles: StagePercentiles,
+    cpu_us_per_pub: f64,
+    allocs_per_pub: f64,
+    alloc_bytes_per_pub: f64,
+}
+
+/// The whole `BENCH_<n>.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    schema: u64,
+    bench: u64,
+    quick: bool,
+    rsrc: bool,
+    seed: u64,
+    /// Machine-speed score from [`calibration_score`]; `None` in reports
+    /// written before the field existed (those compare raw throughput).
+    calib_score: Option<f64>,
+    scenarios: Vec<ScenarioResult>,
+    peak_rss_kb: u64,
+}
+
+/// Scores this machine right now: iterations per second of a fixed
+/// serial integer kernel, best of three so scheduler preemption (which
+/// only ever slows a run) is shaved off. The absolute number is
+/// meaningless; the *ratio* between the baseline's score and the
+/// checker's score is how much raw-throughput difference the hardware
+/// and its current load account for. CPU-time-per-publication needs no
+/// such correction — preemption inflates wall time, not thread CPU time
+/// — which is why it is the sturdier of the two gates.
+fn calibration_score() -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..50_000_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x);
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    50_000_000.0 / best.max(1e-9)
+}
+
+/// `VmHWM` (peak resident set) from `/proc/self/status`, in KiB; zero
+/// where procfs is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// The scenario knobs that differ between steady and surge runs.
+struct Scenario {
+    name: &'static str,
+    users: usize,
+    days: u64,
+    /// Publish the generated trace this many times.
+    repeat: usize,
+    queue_capacity: usize,
+    shards: usize,
+}
+
+impl Scenario {
+    fn all(quick: bool) -> Vec<Scenario> {
+        // Quick halves the workload rather than gutting it: sub-second
+        // scenario runs swing >15% on a noisy host, which would make the
+        // CI regression gate cry wolf.
+        let scale = if quick { 2 } else { 4 };
+        vec![
+            // Steady state: a roomy queue absorbs everything; measures the
+            // selection hot path.
+            Scenario {
+                name: "steady",
+                users: 400 * scale,
+                days: 1,
+                repeat: 2 * scale,
+                queue_capacity: 1 << 20,
+                shards: 2,
+            },
+            // Surge: the whole trace bursts into a queue a fraction of its
+            // size, exercising eviction/shedding under pressure.
+            Scenario {
+                name: "surge_shed",
+                users: 200 * scale,
+                days: 1,
+                repeat: 2 * scale,
+                queue_capacity: 512,
+                shards: 2,
+            },
+        ]
+    }
+
+    /// Runs the scenario against a fresh in-process daemon and measures.
+    fn run(&self, seed: u64, rsrc: bool) -> Result<ScenarioResult, String> {
+        let cfg = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .shards(self.shards)
+            .queue_capacity(self.queue_capacity)
+            .rsrc_enabled(rsrc)
+            .build()
+            .map_err(|e| format!("config: {e}"))?;
+        let (addr, handle) = Server::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+
+        let trace = TraceGenerator::new(TraceConfig {
+            seed,
+            n_users: self.users,
+            days: self.days,
+            ..TraceConfig::default()
+        })
+        .generate();
+        for item in &trace.items {
+            client
+                .subscribe(item.recipient, Topic::FriendFeed(item.recipient))
+                .map_err(|e| format!("subscribe: {e}"))?;
+        }
+
+        // The measured region: offered load, interleaved rounds, drain.
+        let started = Instant::now();
+        let mut pubs = 0u64;
+        for rep in 0..self.repeat {
+            for item in &trace.items {
+                let topic = Topic::FriendFeed(item.recipient);
+                client.publish(topic, item.clone()).map_err(|e| format!("publish: {e}"))?;
+                pubs += 1;
+            }
+            // Interleave rounds with ingest so queues drain realistically
+            // (and the surge scenario keeps re-filling its small queue).
+            let _ = rep;
+            client.tick(1).map_err(|e| format!("tick: {e}"))?;
+        }
+        client.sync().map_err(|e| format!("sync: {e}"))?;
+        client.tick(TICKS).map_err(|e| format!("tick: {e}"))?;
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+        let snap = client.stats().map_err(|e| format!("stats: {e}"))?.snapshot;
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        handle.join().map_err(|_| "server thread panicked".to_string())?;
+
+        let per_pub = |total: u64| if pubs == 0 { 0.0 } else { total as f64 / pubs as f64 };
+        Ok(ScenarioResult {
+            name: self.name.to_string(),
+            pubs,
+            shed: snap.counter_total("richnote_queue_dropped_total"),
+            elapsed_secs: elapsed,
+            throughput_pubs_per_sec: pubs as f64 / elapsed,
+            stage_percentiles: StagePercentiles::from_snapshot(&snap),
+            cpu_us_per_pub: per_pub(snap.counter_total("richnote_cpu_us_total")),
+            allocs_per_pub: per_pub(snap.counter_total("richnote_allocs_total")),
+            alloc_bytes_per_pub: per_pub(snap.counter_total("richnote_alloc_bytes_total")),
+        })
+    }
+}
+
+/// Maximum tolerated throughput loss vs the baseline (fraction).
+const MAX_THROUGHPUT_LOSS: f64 = 0.15;
+/// Maximum tolerated CPU-time-per-publication growth vs the baseline.
+const MAX_CPU_GROWTH: f64 = 0.25;
+
+/// Compares `new` against `base`, returning every regression found.
+/// Noise-aware: a metric is only judged when the baseline measured
+/// something (nonzero) — a baseline produced without resource accounting
+/// (`--no-rsrc`) never fails the CPU gate — and when both reports carry
+/// a calibration score, the throughput floor is rescaled by the machine-
+/// speed ratio so a slower runner is not mistaken for a slower daemon.
+fn regressions(base: &BenchReport, new: &BenchReport) -> Vec<String> {
+    let mut out = Vec::new();
+    if base.quick != new.quick {
+        out.push(format!(
+            "baseline was a quick={} run, this is quick={} — not comparable, \
+             refusing to judge (regenerate the baseline)",
+            base.quick, new.quick
+        ));
+        return out;
+    }
+    let speed_ratio = match (base.calib_score, new.calib_score) {
+        (Some(b), Some(n)) if b > 0.0 && n > 0.0 => n / b,
+        _ => 1.0,
+    };
+    for n in &new.scenarios {
+        let Some(b) = base.scenarios.iter().find(|s| s.name == n.name) else {
+            continue;
+        };
+        if b.throughput_pubs_per_sec > 0.0 {
+            let expected = b.throughput_pubs_per_sec * speed_ratio;
+            let floor = expected * (1.0 - MAX_THROUGHPUT_LOSS);
+            if n.throughput_pubs_per_sec < floor {
+                out.push(format!(
+                    "{}: throughput {:.0} pubs/s < {:.0} (baseline {:.0} × {:.2} machine-speed \
+                     ratio, -{:.0}% allowed)",
+                    n.name,
+                    n.throughput_pubs_per_sec,
+                    floor,
+                    b.throughput_pubs_per_sec,
+                    speed_ratio,
+                    MAX_THROUGHPUT_LOSS * 100.0
+                ));
+            }
+        }
+        if b.cpu_us_per_pub > 0.0 && n.cpu_us_per_pub > 0.0 {
+            let ceiling = b.cpu_us_per_pub * (1.0 + MAX_CPU_GROWTH);
+            if n.cpu_us_per_pub > ceiling {
+                out.push(format!(
+                    "{}: cpu {:.2} µs/pub > {:.2} (baseline {:.2}, +{:.0}% allowed)",
+                    n.name,
+                    n.cpu_us_per_pub,
+                    ceiling,
+                    b.cpu_us_per_pub,
+                    MAX_CPU_GROWTH * 100.0
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if !args.rsrc {
+        set_alloc_counting(false);
+    }
+
+    // Read the baseline BEFORE overwriting --out with the new report.
+    let baseline_path = args.baseline.clone().unwrap_or_else(|| args.out.clone());
+    let baseline: Option<BenchReport> =
+        std::fs::read_to_string(&baseline_path).ok().and_then(|s| serde_json::from_str(&s).ok());
+
+    let calib = calibration_score();
+    eprintln!("richnote-perf: machine calibration {:.0} ops/s", calib);
+
+    let mut scenarios = Vec::new();
+    for sc in Scenario::all(args.quick) {
+        eprintln!("richnote-perf: running {} ({} reps) ...", sc.name, args.reps);
+        // Median-of-N, not best-of-N: the fastest rep is set by luck (in
+        // surge_shed even the amount of work done varies with shed
+        // timing), so a lucky baseline rep would be unreachable by an
+        // ordinary checking run and the gate would cry wolf. Medians are
+        // robust to outliers in both directions and stay comparable when
+        // the baseline and the checker use different rep counts.
+        let mut reps = Vec::with_capacity(args.reps);
+        for rep in 0..args.reps {
+            match sc.run(args.seed, args.rsrc) {
+                Ok(r) => {
+                    eprintln!(
+                        "  {} rep {}: {} pubs in {:.2}s = {:.0} pubs/s | cpu {:.2} µs/pub | \
+                         {:.1} allocs/pub | shed {}",
+                        r.name,
+                        rep,
+                        r.pubs,
+                        r.elapsed_secs,
+                        r.throughput_pubs_per_sec,
+                        r.cpu_us_per_pub,
+                        r.allocs_per_pub,
+                        r.shed
+                    );
+                    reps.push(r);
+                }
+                Err(e) => {
+                    eprintln!("richnote-perf: scenario {} failed: {e}", sc.name);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        reps.sort_by(|a, b| a.throughput_pubs_per_sec.total_cmp(&b.throughput_pubs_per_sec));
+        let mut median = reps[reps.len() / 2].clone();
+        let mut cpus: Vec<f64> = reps.iter().map(|r| r.cpu_us_per_pub).collect();
+        cpus.sort_by(f64::total_cmp);
+        median.cpu_us_per_pub = cpus[cpus.len() / 2];
+        scenarios.push(median);
+    }
+
+    let report = BenchReport {
+        schema: 1,
+        bench: 5,
+        quick: args.quick,
+        rsrc: args.rsrc,
+        seed: args.seed,
+        calib_score: Some(calib),
+        scenarios,
+        peak_rss_kb: peak_rss_kb(),
+    };
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("richnote-perf: serialize: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&args.out, json + "\n") {
+        eprintln!("richnote-perf: write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("richnote-perf: wrote {} (peak RSS {} KiB)", args.out, report.peak_rss_kb);
+
+    match baseline {
+        None => {
+            eprintln!("richnote-perf: no baseline at {baseline_path}; nothing to compare");
+            ExitCode::SUCCESS
+        }
+        Some(base) => {
+            let found = regressions(&base, &report);
+            if found.is_empty() {
+                eprintln!("richnote-perf: no regression vs {baseline_path}");
+                ExitCode::SUCCESS
+            } else {
+                for r in &found {
+                    eprintln!("richnote-perf: REGRESSION {r}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

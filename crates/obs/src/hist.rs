@@ -1,6 +1,6 @@
 //! Power-of-two-bucketed histograms of microsecond values.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Number of power-of-two buckets; bucket `i` covers `[2^(i-1), 2^i)` µs
 /// for `i ≥ 1`, bucket 0 covers exactly `[0, 1)` (i.e. the value 0), and
@@ -13,15 +13,73 @@ pub const BUCKETS: usize = 40;
 /// magnitude in constant space, which is plenty for p50/p95/p99 reporting;
 /// recording is a single increment on the hot path.
 ///
+/// Each counted bucket additionally tracks the smallest and largest value
+/// it has observed, so quantile estimates interpolate within the observed
+/// span `[min, max]` rather than assuming the nominal bucket bounds — at
+/// bucket edges the nominal upper bound can overstate a quantile by ~2×.
+///
 /// The serde field layout (`counts`/`count`/`sum_us`/`max_us`) is identical
 /// to the server's former `LatencyHistogram`, which this type replaces —
-/// checkpoints and wire snapshots deserialize unchanged.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// checkpoints and wire snapshots deserialize unchanged. The span vectors
+/// (`bucket_min`/`bucket_max`) are omitted entirely while untracked, so a
+/// histogram deserialized from a legacy checkpoint re-serializes
+/// byte-for-byte; they appear only once a value is recorded.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Log2Histogram {
     counts: Vec<u64>,
     count: u64,
     sum_us: u64,
     max_us: u64,
+    /// Smallest observed value per bucket (`u64::MAX` while empty); empty
+    /// vector = spans untracked (legacy data).
+    bucket_min: Vec<u64>,
+    /// Largest observed value per bucket (0 while empty); empty vector =
+    /// spans untracked (legacy data).
+    bucket_max: Vec<u64>,
+}
+
+impl Serialize for Log2Histogram {
+    fn to_value(&self) -> Value {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("counts".to_string(), self.counts.to_value()),
+            ("count".to_string(), self.count.to_value()),
+            ("sum_us".to_string(), self.sum_us.to_value()),
+            ("max_us".to_string(), self.max_us.to_value()),
+        ];
+        if !self.bucket_min.is_empty() {
+            obj.push(("bucket_min".to_string(), self.bucket_min.to_value()));
+            obj.push(("bucket_max".to_string(), self.bucket_max.to_value()));
+        }
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for Log2Histogram {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let opt_spans = |name: &str| -> Result<Vec<u64>, DeError> {
+            match v.get(name) {
+                Some(inner) => Vec::<u64>::from_value(inner)
+                    .map_err(|e| DeError(format!("field `{name}`: {e}"))),
+                None => Ok(Vec::new()),
+            }
+        };
+        let mut bucket_min = opt_spans("bucket_min")?;
+        let mut bucket_max = opt_spans("bucket_max")?;
+        // Spans are all-or-nothing and exactly BUCKETS long; anything else
+        // (a truncated hand-edited file, say) degrades to untracked.
+        if bucket_min.len() != BUCKETS || bucket_max.len() != BUCKETS {
+            bucket_min = Vec::new();
+            bucket_max = Vec::new();
+        }
+        Ok(Log2Histogram {
+            counts: serde::field(v, "counts")?,
+            count: serde::field(v, "count")?,
+            sum_us: serde::field(v, "sum_us")?,
+            max_us: serde::field(v, "max_us")?,
+            bucket_min,
+            bucket_max,
+        })
+    }
 }
 
 impl Default for Log2Histogram {
@@ -33,7 +91,14 @@ impl Default for Log2Histogram {
 impl Log2Histogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        Log2Histogram { counts: vec![0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+        Log2Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            bucket_min: Vec::new(),
+            bucket_max: Vec::new(),
+        }
     }
 
     /// The bucket index holding `us`.
@@ -61,16 +126,73 @@ impl Log2Histogram {
         }
     }
 
+    /// The smallest value bucket `i` can hold.
+    fn bucket_lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Materializes the span vectors. Buckets counted before tracking
+    /// started (legacy checkpoints) widen to their nominal bounds, clamped
+    /// to the observed global maximum.
+    fn ensure_spans(&mut self) {
+        if !self.bucket_min.is_empty() {
+            return;
+        }
+        self.bucket_min = vec![u64::MAX; BUCKETS];
+        self.bucket_max = vec![0; BUCKETS];
+        for i in 0..BUCKETS {
+            if self.counts[i] > 0 {
+                self.bucket_min[i] = Self::bucket_lower_bound(i);
+                self.bucket_max[i] = Self::bucket_upper_bound(i).min(self.max_us);
+            }
+        }
+    }
+
+    /// The observed `[min, max]` span of bucket `i`, or `None` if the
+    /// bucket is empty. For data recorded before span tracking (legacy
+    /// checkpoints) this falls back to the nominal bucket bounds clamped
+    /// to the global maximum.
+    pub fn bucket_span(&self, i: usize) -> Option<(u64, u64)> {
+        if self.counts[i] == 0 {
+            return None;
+        }
+        if self.bucket_min.is_empty() {
+            Some((Self::bucket_lower_bound(i), Self::bucket_upper_bound(i).min(self.max_us)))
+        } else {
+            Some((self.bucket_min[i], self.bucket_max[i]))
+        }
+    }
+
     /// Records one value in microseconds.
     pub fn record_us(&mut self, us: u64) {
-        self.counts[Self::bucket_of(us)] += 1;
+        self.ensure_spans();
+        let b = Self::bucket_of(us);
+        self.counts[b] += 1;
+        self.bucket_min[b] = self.bucket_min[b].min(us);
+        self.bucket_max[b] = self.bucket_max[b].max(us);
         self.count += 1;
         self.sum_us = self.sum_us.saturating_add(us);
         self.max_us = self.max_us.max(us);
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one. Span tracking survives a
+    /// merge: tracked spans union bucket-wise, and a legacy (untracked)
+    /// side contributes its nominal bucket bounds. Merging two untracked
+    /// histograms stays untracked, preserving the legacy serde layout.
     pub fn merge(&mut self, other: &Log2Histogram) {
+        if !(self.bucket_min.is_empty() && other.bucket_min.is_empty()) {
+            self.ensure_spans();
+            for i in 0..BUCKETS {
+                if let Some((omin, omax)) = other.bucket_span(i) {
+                    self.bucket_min[i] = self.bucket_min[i].min(omin);
+                    self.bucket_max[i] = self.bucket_max[i].max(omax);
+                }
+            }
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -125,25 +247,23 @@ impl Log2Histogram {
         Some(BUCKETS - 1)
     }
 
-    /// The value (µs) at quantile `q` in `[0, 1]`, reported as the
-    /// *inclusive upper bound* of the containing bucket — a conservative
-    /// estimate that never understates the quantile. The open-ended last
-    /// bucket reports the observed maximum instead of `u64::MAX`. Returns
-    /// 0 with no samples.
+    /// The value (µs) at quantile `q` in `[0, 1]`, reported as the largest
+    /// value *observed* in the containing bucket — a conservative estimate
+    /// that never understates the quantile, and no looser than the bucket's
+    /// inclusive upper bound. Returns 0 with no samples.
     pub fn quantile(&self, q: f64) -> u64 {
         let Some(i) = self.quantile_bucket(q) else {
             return 0;
         };
-        if i >= BUCKETS - 1 {
-            return self.max_us;
-        }
-        Self::bucket_upper_bound(i).min(self.max_us)
+        // quantile_bucket only returns counted buckets, so the span exists.
+        self.bucket_span(i).map_or(0, |(_, bmax)| bmax)
     }
 
     /// The value (µs) at quantile `q` in `[0, 1]`, estimated as the
-    /// geometric midpoint of the containing bucket (a lower-variance point
-    /// estimate than [`Log2Histogram::quantile`]). Returns 0 with no
-    /// samples.
+    /// geometric midpoint of the containing bucket interpolated into the
+    /// bucket's observed `[min, max]` span (a lower-variance point estimate
+    /// than [`Log2Histogram::quantile`] that cannot leave the range of
+    /// values actually recorded there). Returns 0 with no samples.
     pub fn quantile_us(&self, q: f64) -> u64 {
         let Some(i) = self.quantile_bucket(q) else {
             return 0;
@@ -151,18 +271,20 @@ impl Log2Histogram {
         if i == 0 {
             return 0;
         }
+        let Some((bmin, bmax)) = self.bucket_span(i) else {
+            return 0;
+        };
         if i >= BUCKETS - 1 {
             // The open-ended last bucket covers [2^(BUCKETS-2), u64::MAX];
             // its nominal midpoint can understate a large sample by many
             // orders of magnitude, so report the observed max instead
             // (mirroring `quantile`).
-            return self.max_us;
+            return bmax;
         }
         let lo = 1u64 << (i - 1);
-        let hi = 1u64 << i;
-        // Geometric midpoint ≈ lo·√2, clamped to the observed max.
+        // Geometric midpoint ≈ lo·√2, interpolated into the observed span.
         let mid = ((lo as f64) * std::f64::consts::SQRT_2) as u64;
-        mid.min(hi - 1).min(self.max_us)
+        mid.clamp(bmin, bmax)
     }
 }
 
@@ -284,6 +406,57 @@ mod tests {
     }
 
     #[test]
+    fn observed_span_tightens_quantiles_at_bucket_edges() {
+        // 513 sits at the bottom of bucket 10 ([512, 1024)). Against a
+        // second sample in a higher bucket, the nominal upper bound would
+        // report the low quantile as 1023 — a ~2× overestimate. The
+        // tracked span pins it to the observed value.
+        let mut h = Log2Histogram::new();
+        h.record_us(513);
+        h.record_us(100_000);
+        assert_eq!(h.quantile(0.3), 513);
+        assert_eq!(h.quantile_us(0.3), 513);
+        // And values at the top of a bucket are not dragged down to the
+        // geometric midpoint: [1000, 1023] both in bucket 10.
+        let mut h = Log2Histogram::new();
+        h.record_us(1_000);
+        h.record_us(1_023);
+        let p50 = h.quantile_us(0.5);
+        assert!((1_000..=1_023).contains(&p50), "p50 {p50} outside observed span");
+        assert_eq!(h.quantile(1.0), 1_023);
+    }
+
+    #[test]
+    fn legacy_histograms_widen_to_nominal_bounds() {
+        // A histogram deserialized from pre-span data has counts but no
+        // spans: quantiles fall back to the nominal bucket bounds (the old
+        // behaviour) and merging into a tracked histogram keeps both sets
+        // of samples bounded.
+        let legacy_json =
+            format!("{{\"counts\":{:?},\"count\":2,\"sum_us\":1600,\"max_us\":900}}", {
+                let mut v = vec![0u64; BUCKETS];
+                v[10] = 2; // two samples somewhere in [512, 1024)
+                v
+            });
+        let legacy: Log2Histogram = serde_json::from_str(&legacy_json).unwrap();
+        assert_eq!(legacy.bucket_span(10), Some((512, 900)), "nominal bounds clamped to max");
+        assert_eq!(legacy.quantile(0.5), 900);
+
+        let mut tracked = Log2Histogram::new();
+        tracked.record_us(600);
+        tracked.merge(&legacy);
+        assert_eq!(tracked.count(), 3);
+        assert_eq!(tracked.bucket_span(10), Some((512, 900)));
+
+        // Merging two untracked histograms stays untracked (and therefore
+        // serializes in the legacy layout).
+        let mut a: Log2Histogram = serde_json::from_str(&legacy_json).unwrap();
+        let b: Log2Histogram = serde_json::from_str(&legacy_json).unwrap();
+        a.merge(&b);
+        assert!(!serde_json::to_string(&a).unwrap().contains("bucket_min"));
+    }
+
+    #[test]
     fn empty_histogram_is_all_zero() {
         let h = Log2Histogram::new();
         assert_eq!(h.quantile(0.99), 0);
@@ -306,7 +479,8 @@ mod tests {
 
     #[test]
     fn serde_field_layout_is_stable() {
-        // Checkpoints written by the pre-obs LatencyHistogram must load.
+        // Checkpoints written by the pre-obs LatencyHistogram must load,
+        // and must re-serialize without sprouting span fields.
         let legacy = format!("{{\"counts\":{:?},\"count\":1,\"sum_us\":7,\"max_us\":7}}", {
             let mut v = vec![0u64; BUCKETS];
             v[3] = 1;
@@ -316,7 +490,17 @@ mod tests {
         assert_eq!(h.count(), 1);
         assert_eq!(h.max_us(), 7);
         let back = serde_json::to_string(&h).unwrap();
+        assert_eq!(back, legacy.replace(", ", ","), "legacy layout preserved byte-for-byte");
         let h2: Log2Histogram = serde_json::from_str(&back).unwrap();
         assert_eq!(h, h2);
+
+        // A recorded histogram carries its spans through serde.
+        let mut h = Log2Histogram::new();
+        h.record_us(9);
+        let s = serde_json::to_string(&h).unwrap();
+        assert!(s.contains("bucket_min"));
+        let h2: Log2Histogram = serde_json::from_str(&s).unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(h2.bucket_span(4), Some((9, 9)));
     }
 }

@@ -32,13 +32,23 @@
 //! * [`FlightRecorder`] — a bounded ring of complete span trees dumped to
 //!   a CRC-framed file ([`write_flight_file`]) on shard panic, checkpoint
 //!   failure or injected fault, and readable over the wire.
+//! * [`rsrc`] — resource accounting: per-thread CPU time behind the
+//!   [`CpuClock`] trait (raw `clock_gettime` syscall; deterministic
+//!   substitutes for sim and tests) and the opt-in [`CountingAlloc`]
+//!   global-allocator wrapper with per-thread allocation counters.
+//! * [`slo`] — rolling multi-window service-level objectives: error
+//!   budgets, fast/slow burn rates, and ok/degraded/violating verdicts
+//!   ([`SloEngine`], [`SloReport`]), with time driven explicitly so
+//!   evaluation is deterministic.
 
 pub mod event;
 pub mod expo;
 pub mod flight;
 pub mod hist;
 pub mod registry;
+pub mod rsrc;
 pub mod sampler;
+pub mod slo;
 pub mod span;
 
 pub use event::{TraceEvent, TraceRing};
@@ -51,5 +61,10 @@ pub use registry::{
     CounterHandle, FamilySnapshot, GaugeHandle, HistogramHandle, MetricKind, MetricValue, Registry,
     RegistrySnapshot, SeriesSnapshot,
 };
+pub use rsrc::{
+    alloc_counts, thread_cpu_time_us, AllocCounts, CountingAlloc, CpuClock, ManualCpuClock,
+    NullCpuClock, ThreadCpuClock,
+};
 pub use sampler::SampleRate;
+pub use slo::{burn_rate, split_above, SloEngine, SloReport, SloSpec, SloStatus, SloVerdict};
 pub use span::{derive_trace_id, SpanDecision, SpanRecord, SpanStage, SpanTree};

@@ -358,6 +358,23 @@ impl RegistrySnapshot {
         }
         h
     }
+
+    /// Merges a histogram family across only the series carrying the
+    /// label pair `key=value` (empty when absent) — e.g. the `ack` slice
+    /// of a multi-stage duration family.
+    pub fn histogram_merged_where(&self, name: &str, key: &str, value: &str) -> Log2Histogram {
+        let mut h = Log2Histogram::new();
+        if let Some(f) = self.family(name) {
+            for s in &f.series {
+                if s.labels.iter().any(|(k, v)| k == key && v == value) {
+                    if let MetricValue::Histogram(v) = &s.value {
+                        h.merge(v);
+                    }
+                }
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]

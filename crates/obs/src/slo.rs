@@ -1,0 +1,507 @@
+//! Service-level objectives: rolling multi-window error budgets and
+//! burn rates.
+//!
+//! Each objective classifies events as *good* or *bad* (a round under the
+//! latency threshold, a publication not shed) against a `target` bad
+//! fraction — the error budget. Events land in a rolling window of
+//! fixed-duration buckets; evaluation derives two burn rates in the style
+//! of SRE multi-window multi-burn alerting:
+//!
+//! * **slow burn** — the bad fraction over the whole window divided by the
+//!   target. `1.0` means the budget is being consumed exactly as fast as
+//!   it accrues; above `1.0` the budget is shrinking.
+//! * **fast burn** — the same ratio over only the newest few buckets,
+//!   catching a sharp regression long before it dominates the full
+//!   window.
+//!
+//! A verdict is [`SloStatus::Violating`] when *both* windows fire (a
+//! sustained budget-exhausting burn — the "page" condition), and
+//! [`SloStatus::Degraded`] when either fires alone (a fresh spike whose
+//! budget still holds, or a slow leak that has stopped). Time only moves
+//! when the caller says so ([`SloEngine::advance`] takes an explicit
+//! timestamp), so the engine is deterministic under test and in the
+//! simulator.
+
+use crate::hist::{Log2Histogram, BUCKETS};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::VecDeque;
+
+/// Health verdict: ok / degraded / violating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloStatus {
+    /// No window firing.
+    Ok,
+    /// One window firing: a fresh spike or a tolerated slow leak.
+    Degraded,
+    /// Fast and slow windows both firing: the budget is being exhausted.
+    Violating,
+}
+
+impl SloStatus {
+    /// Lowercase wire spelling (`ok` / `degraded` / `violating`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SloStatus::Ok => "ok",
+            SloStatus::Degraded => "degraded",
+            SloStatus::Violating => "violating",
+        }
+    }
+}
+
+impl std::fmt::Display for SloStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for SloStatus {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for SloStatus {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => match s.as_str() {
+                "ok" => Ok(SloStatus::Ok),
+                "degraded" => Ok(SloStatus::Degraded),
+                "violating" => Ok(SloStatus::Violating),
+                other => Err(DeError(format!("unknown SloStatus {other:?}"))),
+            },
+            other => Err(DeError(format!("expected SloStatus string, found {}", other.kind()))),
+        }
+    }
+}
+
+/// Static definition of one objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// Objective name (e.g. `round_latency`).
+    pub name: String,
+    /// Budgeted bad fraction in `(0, 1]` (e.g. `0.01` = 1% of events may
+    /// be bad).
+    pub target: f64,
+    /// Fast-window burn rate at or above which the fast window fires
+    /// (the slow window fires at burn ≥ 1.0).
+    pub fast_burn_threshold: f64,
+}
+
+/// One objective's evaluation: burn rates, remaining budget, and which
+/// windows are firing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloVerdict {
+    /// Objective name.
+    pub name: String,
+    /// This objective's verdict.
+    pub status: SloStatus,
+    /// Burn rate over the newest buckets only.
+    pub fast_burn: f64,
+    /// Burn rate over the whole window.
+    pub slow_burn: f64,
+    /// Fraction of the window's error budget left (`1 - slow_burn`;
+    /// negative when overdrawn).
+    pub budget_remaining: f64,
+    /// Firing windows (`"fast"`, `"slow"`), empty when ok.
+    pub firing: Vec<String>,
+    /// Good events in the window.
+    pub good: u64,
+    /// Bad events in the window.
+    pub bad: u64,
+}
+
+/// The engine's overall report: the worst verdict plus every objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Worst status across objectives.
+    pub status: SloStatus,
+    /// Per-objective verdicts, in registration order.
+    pub verdicts: Vec<SloVerdict>,
+}
+
+/// Bad-fraction burn rate relative to a target budget: 0 with no events,
+/// `(bad/total)/target` otherwise.
+pub fn burn_rate(good: u64, bad: u64, target: f64) -> f64 {
+    let total = good + bad;
+    if total == 0 || target <= 0.0 {
+        return 0.0;
+    }
+    (bad as f64 / total as f64) / target
+}
+
+/// A rolling window of `(good, bad)` event counts in fixed-duration
+/// buckets. The newest bucket is at the back; [`RollingWindow::rotate`]
+/// opens a new bucket and evicts beyond the cap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingWindow {
+    buckets: VecDeque<(u64, u64)>,
+    cap: usize,
+}
+
+impl RollingWindow {
+    /// A window holding up to `cap ≥ 1` buckets, starting with one open
+    /// (empty) bucket.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "rolling window needs at least one bucket");
+        let mut buckets = VecDeque::with_capacity(cap);
+        buckets.push_back((0, 0));
+        RollingWindow { buckets, cap }
+    }
+
+    /// Number of buckets currently held (1..=cap).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Always false: a window holds at least its open bucket.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maximum bucket count.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Adds events to the open (newest) bucket.
+    pub fn record(&mut self, good: u64, bad: u64) {
+        let b = self.buckets.back_mut().expect("window always has an open bucket");
+        b.0 += good;
+        b.1 += bad;
+    }
+
+    /// Closes the open bucket and opens a fresh one, evicting the oldest
+    /// bucket once the cap is reached.
+    pub fn rotate(&mut self) {
+        self.buckets.push_back((0, 0));
+        while self.buckets.len() > self.cap {
+            self.buckets.pop_front();
+        }
+    }
+
+    /// `(good, bad)` totals over the newest `n` buckets.
+    pub fn totals_last(&self, n: usize) -> (u64, u64) {
+        self.buckets.iter().rev().take(n).fold((0, 0), |(g, b), &(og, ob)| (g + og, b + ob))
+    }
+
+    /// `(good, bad)` totals over the whole window.
+    pub fn totals(&self) -> (u64, u64) {
+        self.totals_last(self.buckets.len())
+    }
+
+    /// Merges another window of the same cap, aligning newest-to-newest
+    /// (bucket ages must correspond — i.e. both windows rotated on the
+    /// same schedule, as per-shard windows driven by one engine do).
+    pub fn merge(&mut self, other: &RollingWindow) {
+        debug_assert_eq!(self.cap, other.cap, "merging windows of different caps");
+        // Grow to cover the older buckets the other side still holds.
+        while self.buckets.len() < other.buckets.len() && self.buckets.len() < self.cap {
+            self.buckets.push_front((0, 0));
+        }
+        let len = self.buckets.len();
+        for (i, &(og, ob)) in other.buckets.iter().rev().enumerate() {
+            if i >= len {
+                break;
+            }
+            let b = &mut self.buckets[len - 1 - i];
+            b.0 += og;
+            b.1 += ob;
+        }
+    }
+}
+
+struct Objective {
+    spec: SloSpec,
+    window: RollingWindow,
+    /// Lifetime totals (beyond the window), exported as counters.
+    lifetime_good: u64,
+    lifetime_bad: u64,
+}
+
+/// A deterministic multi-objective SLO engine.
+///
+/// Feed it good/bad event deltas via [`SloEngine::record`], move time
+/// forward with [`SloEngine::advance`] (idempotent within a bucket), and
+/// ask for verdicts with [`SloEngine::evaluate`].
+pub struct SloEngine {
+    bucket_us: u64,
+    fast_buckets: usize,
+    window_buckets: usize,
+    last_rotate_us: Option<u64>,
+    objectives: Vec<Objective>,
+}
+
+impl SloEngine {
+    /// An engine whose window spans `window_secs` split into `buckets`
+    /// rotating sub-windows; the fast window is the newest sixth of them
+    /// (at least one bucket).
+    pub fn new(window_secs: u64, buckets: usize) -> Self {
+        assert!(window_secs >= 1 && buckets >= 1, "SLO window must be non-empty");
+        SloEngine {
+            bucket_us: (window_secs.max(1) * 1_000_000 / buckets as u64).max(1),
+            fast_buckets: (buckets / 6).max(1),
+            window_buckets: buckets,
+            last_rotate_us: None,
+            objectives: Vec::new(),
+        }
+    }
+
+    /// Number of newest buckets the fast burn rate covers.
+    pub fn fast_buckets(&self) -> usize {
+        self.fast_buckets
+    }
+
+    /// Registers an objective, returning its index for [`SloEngine::record`].
+    pub fn objective(&mut self, spec: SloSpec) -> usize {
+        self.objectives.push(Objective {
+            spec,
+            window: RollingWindow::new(self.window_buckets),
+            lifetime_good: 0,
+            lifetime_bad: 0,
+        });
+        self.objectives.len() - 1
+    }
+
+    /// Adds good/bad events to objective `idx`'s open bucket.
+    pub fn record(&mut self, idx: usize, good: u64, bad: u64) {
+        let o = &mut self.objectives[idx];
+        o.window.record(good, bad);
+        o.lifetime_good += good;
+        o.lifetime_bad += bad;
+    }
+
+    /// Rotates windows according to wall (or virtual) time `now_us`. The
+    /// first call anchors the bucket clock; later calls rotate once per
+    /// elapsed bucket duration. Time never moves otherwise, so tests and
+    /// the simulator drive it explicitly.
+    pub fn advance(&mut self, now_us: u64) {
+        let Some(last) = self.last_rotate_us else {
+            self.last_rotate_us = Some(now_us);
+            return;
+        };
+        if now_us <= last {
+            return;
+        }
+        let steps = ((now_us - last) / self.bucket_us).min(self.window_buckets as u64 * 2);
+        for _ in 0..steps {
+            for o in &mut self.objectives {
+                o.window.rotate();
+            }
+        }
+        if steps > 0 {
+            self.last_rotate_us = Some(last + steps * self.bucket_us);
+        }
+    }
+
+    /// Lifetime `(good, bad)` totals of objective `idx` (monotonic; for
+    /// counter export).
+    pub fn lifetime(&self, idx: usize) -> (u64, u64) {
+        let o = &self.objectives[idx];
+        (o.lifetime_good, o.lifetime_bad)
+    }
+
+    /// Evaluates every objective at the current window state.
+    pub fn evaluate(&self) -> SloReport {
+        let mut verdicts = Vec::with_capacity(self.objectives.len());
+        let mut status = SloStatus::Ok;
+        for o in &self.objectives {
+            let (good, bad) = o.window.totals();
+            let (fg, fb) = o.window.totals_last(self.fast_buckets);
+            let slow_burn = burn_rate(good, bad, o.spec.target);
+            let fast_burn = burn_rate(fg, fb, o.spec.target);
+            let mut firing = Vec::new();
+            if fast_burn >= o.spec.fast_burn_threshold {
+                firing.push("fast".to_string());
+            }
+            if slow_burn >= 1.0 {
+                firing.push("slow".to_string());
+            }
+            let v_status = match firing.len() {
+                0 => SloStatus::Ok,
+                1 => SloStatus::Degraded,
+                _ => SloStatus::Violating,
+            };
+            status = status.max(v_status);
+            verdicts.push(SloVerdict {
+                name: o.spec.name.clone(),
+                status: v_status,
+                fast_burn,
+                slow_burn,
+                budget_remaining: 1.0 - slow_burn,
+                firing,
+                good,
+                bad,
+            });
+        }
+        SloReport { status, verdicts }
+    }
+}
+
+/// Splits the sample delta between two cuts of the same histogram into
+/// `(good, bad)` around a threshold: samples landing in buckets strictly
+/// above the threshold's bucket are bad. The threshold therefore rounds
+/// up to its bucket's upper bound (~2× log resolution), which is the
+/// right bias for an objective: borderline samples don't burn budget. A
+/// shrinking count (restart/restore) re-baselines against zero.
+pub fn split_above(prev: &Log2Histogram, cur: &Log2Histogram, threshold_us: u64) -> (u64, u64) {
+    let fresh = Log2Histogram::new();
+    let prev = if cur.count() < prev.count() { &fresh } else { prev };
+    let tb = Log2Histogram::bucket_of(threshold_us);
+    let (mut good, mut bad) = (0u64, 0u64);
+    for i in 0..BUCKETS {
+        let d = cur.bucket_counts()[i].saturating_sub(prev.bucket_counts()[i]);
+        if i > tb {
+            bad += d;
+        } else {
+            good += d;
+        }
+    }
+    (good, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_1min() -> SloEngine {
+        // 60s window, 12 buckets of 5s; fast window = newest 2 buckets.
+        SloEngine::new(60, 12)
+    }
+
+    #[test]
+    fn rolling_window_rotates_and_evicts() {
+        let mut w = RollingWindow::new(3);
+        w.record(10, 1);
+        w.rotate();
+        w.record(20, 2);
+        w.rotate();
+        w.record(30, 3);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.totals(), (60, 6));
+        assert_eq!(w.totals_last(1), (30, 3));
+        w.rotate(); // evicts the (10, 1) bucket
+        assert_eq!(w.totals(), (50, 5));
+        w.rotate();
+        w.rotate();
+        w.rotate();
+        assert_eq!(w.totals(), (0, 0), "everything ages out");
+    }
+
+    #[test]
+    fn merge_aligns_newest_buckets() {
+        let mut a = RollingWindow::new(4);
+        a.record(1, 0);
+        a.rotate();
+        a.record(2, 0);
+        let mut b = RollingWindow::new(4);
+        b.record(10, 0);
+        b.rotate();
+        b.record(20, 0);
+        a.merge(&b);
+        assert_eq!(a.totals_last(1), (22, 0));
+        assert_eq!(a.totals(), (33, 0));
+    }
+
+    #[test]
+    fn burn_rates_scale_with_target() {
+        assert_eq!(burn_rate(0, 0, 0.01), 0.0);
+        assert!((burn_rate(99, 1, 0.01) - 1.0).abs() < 1e-9, "exactly on budget");
+        assert!((burn_rate(90, 10, 0.01) - 10.0).abs() < 1e-9, "10x burn");
+        assert_eq!(burn_rate(100, 0, 0.01), 0.0);
+    }
+
+    #[test]
+    fn verdict_escalates_ok_degraded_violating() {
+        let mut e = engine_1min();
+        let idx = e.objective(SloSpec {
+            name: "shed".to_string(),
+            target: 0.01,
+            fast_burn_threshold: 6.0,
+        });
+        e.advance(0);
+        e.record(idx, 1_000, 0);
+        assert_eq!(e.evaluate().status, SloStatus::Ok);
+
+        // A burst of bad events: both the fast and slow windows fire.
+        e.record(idx, 0, 500);
+        let r = e.evaluate();
+        assert_eq!(r.status, SloStatus::Violating);
+        assert_eq!(r.verdicts[idx].firing, vec!["fast".to_string(), "slow".to_string()]);
+        assert!(r.verdicts[idx].budget_remaining < 0.0, "budget overdrawn");
+
+        // 15s later the burst has aged out of the 10s fast window but
+        // still dominates the 60s slow window: degraded, not violating.
+        e.advance(15_000_000);
+        e.record(idx, 1_000, 0);
+        let r = e.evaluate();
+        assert_eq!(r.status, SloStatus::Degraded);
+        assert_eq!(r.verdicts[idx].firing, vec!["slow".to_string()]);
+
+        // Beyond the full window the burst is forgotten entirely.
+        e.advance(90_000_000);
+        e.record(idx, 1_000, 0);
+        assert_eq!(e.evaluate().status, SloStatus::Ok);
+    }
+
+    #[test]
+    fn advance_is_idempotent_within_a_bucket() {
+        let mut e = engine_1min();
+        let idx =
+            e.objective(SloSpec { name: "x".to_string(), target: 0.5, fast_burn_threshold: 2.0 });
+        e.advance(0);
+        e.record(idx, 1, 1);
+        e.advance(1_000); // 1ms: same 5s bucket
+        e.advance(4_999_999);
+        assert_eq!(e.evaluate().verdicts[idx].good, 1);
+        e.advance(5_000_000); // next bucket
+        e.record(idx, 2, 0);
+        assert_eq!(e.evaluate().verdicts[idx].good, 3);
+    }
+
+    #[test]
+    fn lifetime_counts_survive_rotation() {
+        let mut e = SloEngine::new(1, 1);
+        let idx =
+            e.objective(SloSpec { name: "x".to_string(), target: 0.5, fast_burn_threshold: 2.0 });
+        e.advance(0);
+        e.record(idx, 5, 2);
+        e.advance(10_000_000);
+        assert_eq!(e.evaluate().verdicts[idx].good, 0, "window aged out");
+        assert_eq!(e.lifetime(idx), (5, 2), "lifetime totals persist");
+    }
+
+    #[test]
+    fn split_above_classifies_histogram_deltas() {
+        let mut prev = Log2Histogram::new();
+        prev.record_us(10);
+        let mut cur = prev.clone();
+        cur.record_us(50); // <= bucket_of(100)'s bucket: good
+        cur.record_us(100); // threshold's own bucket: good (rounds up)
+        cur.record_us(200); // above: bad
+        cur.record_us(100_000); // way above: bad
+        assert_eq!(split_above(&prev, &cur, 100), (2, 2));
+        // Shrinking counts (restore) re-baseline against zero.
+        assert_eq!(split_above(&cur, &prev, 100), (1, 0));
+    }
+
+    #[test]
+    fn report_serializes_with_lowercase_statuses() {
+        let report = SloReport {
+            status: SloStatus::Degraded,
+            verdicts: vec![SloVerdict {
+                name: "shed".to_string(),
+                status: SloStatus::Degraded,
+                fast_burn: 0.5,
+                slow_burn: 1.5,
+                budget_remaining: -0.5,
+                firing: vec!["slow".to_string()],
+                good: 10,
+                bad: 5,
+            }],
+        };
+        let s = serde_json::to_string(&report).unwrap();
+        assert!(s.contains("\"degraded\""), "{s}");
+        let back: SloReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the SLO rolling windows: rotation/eviction must
+//! match a straightforward model under arbitrary event orderings, and
+//! per-shard windows rotated on one schedule must merge into exactly the
+//! window a single recorder would have produced — the invariant the
+//! daemon's health evaluation relies on when it folds shard counters into
+//! one engine.
+
+use proptest::prelude::*;
+use richnote_obs::slo::RollingWindow;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Record (good, bad) into the open bucket; `lane` picks which of the
+    /// two merged windows receives it.
+    Record { lane: usize, good: u64, bad: u64 },
+    /// Rotate every window (same schedule everywhere).
+    Rotate,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..4, 0usize..2, 0u64..1_000, 0u64..1_000).prop_map(|(kind, lane, good, bad)| {
+        if kind == 0 {
+            Op::Rotate
+        } else {
+            Op::Record { lane, good, bad }
+        }
+    })
+}
+
+/// Reference model: an unbounded bucket list; totals read the last `cap`.
+#[derive(Debug, Default)]
+struct Model {
+    buckets: Vec<(u64, u64)>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { buckets: vec![(0, 0)] }
+    }
+
+    fn record(&mut self, good: u64, bad: u64) {
+        let b = self.buckets.last_mut().unwrap();
+        b.0 += good;
+        b.1 += bad;
+    }
+
+    fn rotate(&mut self) {
+        self.buckets.push((0, 0));
+    }
+
+    fn totals_last(&self, n: usize) -> (u64, u64) {
+        self.buckets.iter().rev().take(n).fold((0, 0), |(g, b), &(og, ob)| (g + og, b + ob))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For any op trace and window cap, the rolling window's totals (full
+    /// window, fast sub-window, and every intermediate depth) equal the
+    /// unbounded model truncated to the same depth.
+    #[test]
+    fn window_rotation_matches_model(
+        cap in 1usize..8,
+        ops in prop::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut w = RollingWindow::new(cap);
+        let mut model = Model::new();
+        for op in &ops {
+            match *op {
+                Op::Record { good, bad, .. } => {
+                    w.record(good, bad);
+                    model.record(good, bad);
+                }
+                Op::Rotate => {
+                    w.rotate();
+                    model.rotate();
+                }
+            }
+            prop_assert!(w.len() <= cap, "window exceeded its cap");
+            prop_assert_eq!(w.len(), model.buckets.len().min(cap));
+            for depth in 1..=cap {
+                prop_assert_eq!(
+                    w.totals_last(depth),
+                    model.totals_last(depth.min(w.len())),
+                    "depth {} of cap {}", depth, cap
+                );
+            }
+            prop_assert_eq!(w.totals(), model.totals_last(cap));
+        }
+    }
+
+    /// Splitting a trace across two windows rotated on the same schedule
+    /// and merging them equals the single window that saw everything —
+    /// at every depth, so burn rates (fast and slow) agree too.
+    #[test]
+    fn merge_of_lanes_equals_single_recorder(
+        cap in 1usize..8,
+        ops in prop::collection::vec(op_strategy(), 0..120),
+    ) {
+        let mut lanes = [RollingWindow::new(cap), RollingWindow::new(cap)];
+        let mut single = RollingWindow::new(cap);
+        for op in &ops {
+            match *op {
+                Op::Record { lane, good, bad } => {
+                    lanes[lane].record(good, bad);
+                    single.record(good, bad);
+                }
+                Op::Rotate => {
+                    lanes[0].rotate();
+                    lanes[1].rotate();
+                    single.rotate();
+                }
+            }
+        }
+        // Merge in both orders: the result must not depend on it.
+        let mut ab = lanes[0].clone();
+        ab.merge(&lanes[1]);
+        let mut ba = lanes[1].clone();
+        ba.merge(&lanes[0]);
+        for depth in 1..=cap {
+            prop_assert_eq!(ab.totals_last(depth), single.totals_last(depth), "depth {}", depth);
+            prop_assert_eq!(ba.totals_last(depth), single.totals_last(depth), "depth {}", depth);
+        }
+        prop_assert_eq!(ab.totals(), single.totals());
+        prop_assert_eq!(ab.len(), single.len());
+    }
+}

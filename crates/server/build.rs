@@ -1,0 +1,21 @@
+//! Captures the git commit at compile time so the daemon can report its
+//! build identity (`richnote_build_info` gauge, `Stats` wire response)
+//! without a runtime dependency on git being installed where it runs.
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=RICHNOTE_GIT_SHA={sha}");
+    // Rebuild when HEAD moves (best effort; absent outside a checkout).
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    println!("cargo:rerun-if-changed=build.rs");
+}

@@ -358,7 +358,8 @@ fn run(a: &Args) -> ServerResult<()> {
                     absorb_deliveries(&deliveries, &publish_at, &client_lat);
                     ticks += 1;
                     if ticks % stats_every == 0 {
-                        let server = c.stats()?.histogram_merged("richnote_selection_latency_us");
+                        let server =
+                            c.stats()?.snapshot.histogram_merged("richnote_selection_latency_us");
                         let client = client_lat.lock().unwrap().clone();
                         eprintln!("[tick {ticks}] {}", side_by_side(&server, &client));
                     }
@@ -529,7 +530,7 @@ fn run(a: &Args) -> ServerResult<()> {
     }
 
     if stats_mode {
-        let server = control.stats()?.histogram_merged("richnote_selection_latency_us");
+        let server = control.stats()?.snapshot.histogram_merged("richnote_selection_latency_us");
         let client = client_lat.lock().unwrap().clone();
         println!("{}", side_by_side(&server, &client));
         let agree = [0.50, 0.95, 0.99].iter().all(|&q| {

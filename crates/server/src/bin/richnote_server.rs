@@ -7,6 +7,9 @@
 //!                 [--metrics-addr HOST:PORT] [--no-metrics]
 //!                 [--trace-capacity EVENTS] [--trace-sample 1/N]
 //!                 [--flight-capacity TREES] [--flight-dir DIR]
+//!                 [--no-rsrc] [--slo-window SECS]
+//!                 [--slo-round-latency US] [--slo-ack-latency US]
+//!                 [--slo-shed-target FRACTION]
 //!                 [--faults SPEC]
 //! ```
 //!
@@ -22,13 +25,27 @@
 //! `--flight-capacity` bounds the per-shard flight recorder of finished
 //! span trees, and `--flight-dir` makes shard panics and checkpoint
 //! failures dump those trees to CRC-framed `flight-shard-N.rnfl` files.
-//! `--faults` takes the spec grammar of
+//! `--no-rsrc` turns off per-thread CPU/allocation cost accounting
+//! (for overhead A/B runs; the counters export as zero). The `--slo-*`
+//! flags tune the health engine behind `/healthz` and the wire `Health`
+//! request: the rolling window length, the per-round and per-ack wall
+//! latencies past which an event burns error budget, and the budgeted
+//! shed fraction. `--faults` takes the spec grammar of
 //! [`richnote_server::FaultPlan::parse`], e.g.
 //! `reset=0.02,short-read=7,panic=1@3,ckfail=2,seed=9` (testing only).
 
-use richnote_server::{FaultPlan, SampleRate, Server, ServerConfig, ServerConfigBuilder};
+use richnote_obs::rsrc::{set_alloc_counting, CountingAlloc};
+use richnote_server::{
+    FaultPlan, SampleRate, Server, ServerConfig, ServerConfigBuilder, SloConfig,
+};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// The daemon runs under the counting allocator so the allocs-per-
+/// publication cost metric is real in production, not just in the
+/// perf harness; `--no-rsrc` gates it back to a plain passthrough.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 fn usage() -> ! {
     eprintln!(
@@ -37,13 +54,15 @@ fn usage() -> ! {
          [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] \
          [--metrics-addr HOST:PORT] [--no-metrics] [--trace-capacity EVENTS] \
          [--trace-sample 1/N] [--flight-capacity TREES] [--flight-dir DIR] \
-         [--faults SPEC]"
+         [--no-rsrc] [--slo-window SECS] [--slo-round-latency US] \
+         [--slo-ack-latency US] [--slo-shed-target FRACTION] [--faults SPEC]"
     );
     std::process::exit(2)
 }
 
 fn parse_args() -> ServerConfigBuilder {
     let mut builder = ServerConfig::builder().addr("127.0.0.1:7464");
+    let mut slo = SloConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -82,6 +101,23 @@ fn parse_args() -> ServerConfigBuilder {
                 builder.flight_capacity(parse(&value("--flight-capacity"), "--flight-capacity"))
             }
             "--flight-dir" => builder.flight_dir(value("--flight-dir")),
+            "--no-rsrc" => builder.rsrc_enabled(false),
+            "--slo-window" => {
+                slo.window_secs = parse(&value("--slo-window"), "--slo-window");
+                builder
+            }
+            "--slo-round-latency" => {
+                slo.round_latency_us = parse(&value("--slo-round-latency"), "--slo-round-latency");
+                builder
+            }
+            "--slo-ack-latency" => {
+                slo.ack_latency_us = parse(&value("--slo-ack-latency"), "--slo-ack-latency");
+                builder
+            }
+            "--slo-shed-target" => {
+                slo.shed_target = parse(&value("--slo-shed-target"), "--slo-shed-target");
+                builder
+            }
             "--faults" => {
                 let spec = value("--faults");
                 match FaultPlan::parse(&spec) {
@@ -99,7 +135,7 @@ fn parse_args() -> ServerConfigBuilder {
             }
         };
     }
-    builder
+    builder.slo(slo)
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {
@@ -117,6 +153,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    set_alloc_counting(cfg.rsrc.enabled);
     let bind_started = Instant::now();
     let server = match Server::bind(cfg.clone()) {
         Ok(s) => s,

@@ -28,7 +28,9 @@
 //! reads are non-destructive.
 
 use richnote_obs::{MetricValue, RegistrySnapshot, SeriesSnapshot};
-use richnote_server::{Client, MetricsSnapshot, ServerResult, SpanStage, SpanTree};
+use richnote_server::{
+    Client, HealthReport, MetricsSnapshot, ServerResult, SpanStage, SpanTree, StatsReply,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -179,11 +181,85 @@ fn fmt_rate(r: Option<f64>) -> String {
     }
 }
 
+/// Sum of a counter family across all series (every label set).
+fn counter_total(snap: &RegistrySnapshot, name: &str) -> u64 {
+    snap.family(name).map_or(0, |f| {
+        f.series
+            .iter()
+            .map(|s| match &s.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    })
+}
+
+/// `12.3µs/pub`-style per-publication cost, `-` when nothing published.
+fn per_pub(total: u64, pubs: u64) -> String {
+    if pubs == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}", total as f64 / pubs as f64)
+    }
+}
+
+fn fmt_uptime(secs: u64) -> String {
+    if secs >= 3_600 {
+        format!("{}h{:02}m", secs / 3_600, (secs % 3_600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+/// The identity header, the resource-cost pane, and the SLO line.
+fn render_identity_and_cost(a: &Args, stats: &StatsReply, health: &HealthReport) {
+    println!(
+        "richnote-top — {} | richnote-server v{} ({}, {}) | up {} | health {} \
+         ({}/{} shards alive)",
+        a.addr,
+        stats.build.version,
+        stats.build.git_sha,
+        stats.build.profile,
+        fmt_uptime(stats.uptime_secs),
+        health.status.as_str(),
+        health.shards_alive,
+        health.shards_total,
+    );
+    let snap = &stats.snapshot;
+    let pubs = counter_total(snap, "richnote_pubs_total");
+    println!(
+        "cost: cpu {}µs/pub | {} allocs/pub | {} B/pub | contended queue {} registry {}",
+        per_pub(counter_total(snap, "richnote_cpu_us_total"), pubs),
+        per_pub(counter_total(snap, "richnote_allocs_total"), pubs),
+        per_pub(counter_total(snap, "richnote_alloc_bytes_total"), pubs),
+        counter_total(snap, "richnote_queue_contended_total"),
+        counter_total(snap, "richnote_registry_contended_total"),
+    );
+    let slos: Vec<String> = health
+        .slos
+        .iter()
+        .map(|v| {
+            format!(
+                "{} {} (budget {:.1}%, burn {:.2}/{:.2})",
+                v.name,
+                v.status.as_str(),
+                v.budget_remaining * 100.0,
+                v.fast_burn,
+                v.slow_burn,
+            )
+        })
+        .collect();
+    println!("slo: {}", slos.join(" | "));
+}
+
 /// One rendered frame of the dashboard.
 #[allow(clippy::too_many_arguments)]
 fn render(
     a: &Args,
-    stats: &RegistrySnapshot,
+    reply: &StatsReply,
+    health: &HealthReport,
     metrics: &MetricsSnapshot,
     anomalies: &[SpanTree],
     flight_trees: usize,
@@ -191,15 +267,16 @@ fn render(
     prev_pubs: Option<&HashMap<usize, u64>>,
     elapsed: Duration,
 ) {
+    let stats = &reply.snapshot;
     let pubs = shard_counters(stats, "richnote_pubs_total");
     let total_rate: Option<f64> = prev_pubs.map(|prev| {
         let now: u64 = pubs.values().sum();
         let before: u64 = prev.values().sum();
         now.saturating_sub(before) as f64 / elapsed.as_secs_f64().max(1e-9)
     });
+    render_identity_and_cost(a, reply, health);
     println!(
-        "richnote-top — {} | {} shards | ingested {} | selected {} | backlog {} | {} pubs/s",
-        a.addr,
+        "{} shards | ingested {} | selected {} | backlog {} | {} pubs/s",
         metrics.shards.len(),
         metrics.ingested(),
         metrics.selected(),
@@ -286,6 +363,7 @@ fn run(a: &Args) -> ServerResult<()> {
     let mut last = Instant::now();
     loop {
         let stats = client.stats()?;
+        let health = client.health()?;
         let metrics = client.metrics()?;
         // Flight-recorder reads are non-destructive; the trace ring is a
         // drain, which is fine for a live watcher (it is the consumer).
@@ -311,6 +389,7 @@ fn run(a: &Args) -> ServerResult<()> {
         render(
             a,
             &stats,
+            &health,
             &metrics,
             &anomalies,
             flight_trees,
@@ -321,7 +400,7 @@ fn run(a: &Args) -> ServerResult<()> {
         if a.once {
             return Ok(());
         }
-        prev_pubs = Some(shard_counters(&stats, "richnote_pubs_total"));
+        prev_pubs = Some(shard_counters(&stats.snapshot, "richnote_pubs_total"));
         std::thread::sleep(Duration::from_millis(a.interval_ms));
     }
 }

@@ -23,8 +23,8 @@ use crate::error::{ServerError, ServerResult};
 use crate::fault::FaultRng;
 use crate::metrics::MetricsSnapshot;
 use crate::wire::{
-    read_frame, write_frame, write_frame_unflushed, Delivery, ErrorCode, Request, Response,
-    PROTO_VERSION,
+    read_frame, write_frame, write_frame_unflushed, BuildInfo, Delivery, ErrorCode, HealthReport,
+    Request, Response, PROTO_VERSION,
 };
 use richnote_core::{ContentItem, UserId};
 use richnote_obs::{FlightDump, RegistrySnapshot, TraceEvent};
@@ -68,6 +68,19 @@ impl RetryPolicy {
         let jitter = 0.5 + 0.5 * rng.next_f64();
         (capped as f64 * jitter) as u64
     }
+}
+
+/// What [`Client::stats`] returns: the merged registry snapshot plus the
+/// server's uptime and build identity.
+#[derive(Debug, Clone)]
+pub struct StatsReply {
+    /// Merged counters, gauges, and histograms from every shard plus the
+    /// server-side stage timers.
+    pub snapshot: RegistrySnapshot,
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// Version, git sha, and build profile the server was compiled with.
+    pub build: BuildInfo,
 }
 
 /// A publication not yet covered by a cumulative ack.
@@ -476,18 +489,36 @@ impl Client {
     }
 
     /// Fetches the merged registry snapshot (server-side stage timers
-    /// plus every shard's counters, gauges, and histograms).
+    /// plus every shard's counters, gauges, and histograms) along with the
+    /// server's uptime and build identity.
     ///
     /// # Errors
     ///
     /// Returns protocol or transport failures. A server built before the
     /// observability layer answers with `BadFrame`, which is surfaced as a
     /// [`ServerError::Rejected`] explaining that `Stats` is unsupported.
-    pub fn stats(&mut self) -> ServerResult<RegistrySnapshot> {
+    pub fn stats(&mut self) -> ServerResult<StatsReply> {
         match self.with_retry(|c| c.exchange(&Request::Stats)) {
-            Ok(Response::StatsSnapshot(snapshot)) => Ok(snapshot),
+            Ok(Response::StatsSnapshot { snapshot, uptime_secs, build }) => {
+                Ok(StatsReply { snapshot, uptime_secs, build })
+            }
             Ok(other) => Err(unexpected("StatsSnapshot", &other)),
             Err(e) => Err(pre_observability(e, "Stats")),
+        }
+    }
+
+    /// Fetches the server's SLO health verdict: overall status, per-SLO
+    /// burn rates and error budgets, and shard liveness.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol or transport failures; pre-SLO servers are
+    /// reported like in [`Client::stats`].
+    pub fn health(&mut self) -> ServerResult<HealthReport> {
+        match self.with_retry(|c| c.exchange(&Request::Health)) {
+            Ok(Response::Health(report)) => Ok(report),
+            Ok(other) => Err(unexpected("Health", &other)),
+            Err(e) => Err(pre_observability(e, "Health")),
         }
     }
 

@@ -69,6 +69,128 @@ pub struct ServerConfig {
     /// panics or a coordinated checkpoint fails. `None` (the default)
     /// keeps the recorder query-only (`FlightDump` requests still work).
     pub flight_dir: Option<String>,
+    /// Resource accounting (per-thread CPU sampling, allocation counter
+    /// export, contention counters). On by default; absent in older
+    /// config JSON, which deserializes to the default.
+    pub rsrc: RsrcConfig,
+    /// Service-level objectives evaluated by the `Health` request and the
+    /// `/healthz` path. Absent in older config JSON, which deserializes
+    /// to the default.
+    pub slo: SloConfig,
+}
+
+/// Resource-accounting switches.
+///
+/// With `enabled` off the shard loops neither read the per-thread CPU
+/// clock nor export allocation/contention counters, so overhead A/B runs
+/// have a true baseline. The counting *allocator* is a link-time choice
+/// of the binary (see `richnote_obs::rsrc::CountingAlloc`); this knob
+/// additionally gates its runtime counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RsrcConfig {
+    /// Master switch for cost accounting (default on).
+    pub enabled: bool,
+}
+
+impl Default for RsrcConfig {
+    fn default() -> Self {
+        RsrcConfig { enabled: true }
+    }
+}
+
+// Manual impl so configs written before this field existed still load
+// (the vendored serde derive has no `#[serde(default)]`).
+impl serde::Deserialize for RsrcConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(RsrcConfig { enabled: serde::field(v, "enabled")? })
+    }
+
+    fn if_missing() -> Option<Self> {
+        Some(RsrcConfig::default())
+    }
+}
+
+/// SLO thresholds and window geometry.
+///
+/// Latency thresholds classify each round/ack sample as good or bad;
+/// targets are the budgeted bad fractions. Burn-rate semantics live in
+/// `richnote_obs::slo` — the slow window fires at burn ≥ 1, the fast
+/// window at burn ≥ `fast_burn_threshold`, and both firing at once is a
+/// violation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SloConfig {
+    /// Rolling window length in seconds.
+    pub window_secs: u64,
+    /// Sub-window bucket count (the fast window is the newest sixth).
+    pub buckets: usize,
+    /// A round slower than this (µs of wall time) is a bad event.
+    pub round_latency_us: u64,
+    /// Budgeted fraction of slow rounds.
+    pub round_latency_target: f64,
+    /// An ack (connection-side reply write) slower than this is bad.
+    pub ack_latency_us: u64,
+    /// Budgeted fraction of slow acks.
+    pub ack_latency_target: f64,
+    /// Budgeted fraction of publications shed by queue overflow.
+    pub shed_target: f64,
+    /// Fast-window burn rate at which the fast window fires.
+    pub fast_burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window_secs: 60,
+            buckets: 12,
+            // A round is a batched MCKP selection over a shard's users;
+            // 100ms of wall time is already an outlier at test scale.
+            round_latency_us: 100_000,
+            round_latency_target: 0.01,
+            ack_latency_us: 50_000,
+            ack_latency_target: 0.01,
+            // Shedding is the paper's load-control valve, but routine
+            // shedding means the budget model is mis-sized: 0.1%.
+            shed_target: 0.001,
+            fast_burn_threshold: 6.0,
+        }
+    }
+}
+
+// Manual impl so configs written before this field existed still load.
+impl serde::Deserialize for SloConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(SloConfig {
+            window_secs: serde::field(v, "window_secs")?,
+            buckets: serde::field(v, "buckets")?,
+            round_latency_us: serde::field(v, "round_latency_us")?,
+            round_latency_target: serde::field(v, "round_latency_target")?,
+            ack_latency_us: serde::field(v, "ack_latency_us")?,
+            ack_latency_target: serde::field(v, "ack_latency_target")?,
+            shed_target: serde::field(v, "shed_target")?,
+            fast_burn_threshold: serde::field(v, "fast_burn_threshold")?,
+        })
+    }
+
+    fn if_missing() -> Option<Self> {
+        Some(SloConfig::default())
+    }
+}
+
+impl SloConfig {
+    fn target_ok(t: f64) -> bool {
+        t > 0.0 && t <= 1.0 && !t.is_nan()
+    }
+
+    /// Whether every knob is usable.
+    pub fn is_valid(&self) -> bool {
+        self.window_secs >= 1
+            && self.buckets >= 1
+            && Self::target_ok(self.round_latency_target)
+            && Self::target_ok(self.ack_latency_target)
+            && Self::target_ok(self.shed_target)
+            && self.fast_burn_threshold > 0.0
+            && !self.fast_burn_threshold.is_nan()
+    }
 }
 
 impl Default for ServerConfig {
@@ -92,6 +214,8 @@ impl Default for ServerConfig {
             trace_sample: SampleRate::ALL,
             flight_capacity: 64,
             flight_dir: None,
+            rsrc: RsrcConfig::default(),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -122,6 +246,9 @@ impl ServerConfig {
         }
         if !self.faults.is_valid() {
             return Err(ConfigError::BadFaultRate);
+        }
+        if !self.slo.is_valid() {
+            return Err(ConfigError::BadSlo);
         }
         Ok(())
     }
@@ -258,6 +385,21 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Turns resource accounting (CPU sampling, allocation/contention
+    /// export) on or off (on by default).
+    #[must_use]
+    pub fn rsrc_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.rsrc.enabled = enabled;
+        self
+    }
+
+    /// Replaces the SLO thresholds wholesale.
+    #[must_use]
+    pub fn slo(mut self, slo: SloConfig) -> Self {
+        self.cfg.slo = slo;
+        self
+    }
+
     /// Validates and returns the finished config.
     ///
     /// # Errors
@@ -358,5 +500,34 @@ mod tests {
         let s = serde_json::to_string(&cfg).unwrap();
         let back: ServerConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn pre_slo_config_json_still_loads() {
+        // A config serialized before the rsrc/slo fields existed must
+        // deserialize with their defaults filled in (rolling upgrades
+        // replay old checkpoint configs).
+        let mut v = ServerConfig::default().to_value();
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "rsrc" && k != "slo");
+        }
+        let back = ServerConfig::from_value(&v).unwrap();
+        assert_eq!(back.rsrc, RsrcConfig::default());
+        assert_eq!(back.slo, SloConfig::default());
+        assert_eq!(back, ServerConfig::default());
+    }
+
+    #[test]
+    fn bad_slo_rejected() {
+        let slo = SloConfig { round_latency_target: 0.0, ..SloConfig::default() };
+        assert_eq!(ServerConfig::builder().slo(slo).build(), Err(ConfigError::BadSlo));
+        let slo = SloConfig { buckets: 0, ..SloConfig::default() };
+        assert_eq!(ServerConfig::builder().slo(slo).build(), Err(ConfigError::BadSlo));
+        let slo = SloConfig { fast_burn_threshold: -1.0, ..SloConfig::default() };
+        assert_eq!(ServerConfig::builder().slo(slo).build(), Err(ConfigError::BadSlo));
+        // The toggle alone cannot invalidate a config.
+        let cfg = ServerConfig::builder().rsrc_enabled(false).build().unwrap();
+        assert!(!cfg.rsrc.enabled);
+        assert!(ServerConfig::default().slo.is_valid());
     }
 }

@@ -134,6 +134,9 @@ pub enum ConfigError {
     CheckpointIntervalWithoutDir,
     /// A fault-injection probability was outside `[0, 1]` or NaN.
     BadFaultRate,
+    /// An SLO knob was unusable: empty window, no buckets, a target
+    /// outside `(0, 1]`, or a non-positive burn threshold.
+    BadSlo,
 }
 
 impl fmt::Display for ConfigError {
@@ -147,6 +150,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BadFaultRate => {
                 write!(f, "fault probabilities must lie in [0, 1]")
+            }
+            ConfigError::BadSlo => {
+                write!(
+                    f,
+                    "slo window/buckets must be non-empty, targets in (0, 1], \
+                     burn threshold positive"
+                )
             }
         }
     }

@@ -72,8 +72,8 @@ pub mod shard;
 pub mod wire;
 
 pub use checkpoint::{CheckpointStore, ServerCheckpoint, ShardCheckpoint};
-pub use client::{Client, RetryPolicy};
-pub use config::{ServerConfig, ServerConfigBuilder};
+pub use client::{Client, RetryPolicy, StatsReply};
+pub use config::{RsrcConfig, ServerConfig, ServerConfigBuilder, SloConfig};
 pub use error::{ConfigError, ServerError, ServerResult};
 pub use fault::{FaultPlan, FaultRng, ShardPanicFault};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardSnapshot};
@@ -81,11 +81,11 @@ pub use queue::BoundedQueue;
 pub use router::shard_of;
 pub use server::{RestoreSummary, Server};
 pub use shard::ShardState;
-pub use wire::{ErrorCode, PROTO_VERSION, TRACE_DUMP_EVENT_BUDGET};
+pub use wire::{BuildInfo, ErrorCode, HealthReport, PROTO_VERSION, TRACE_DUMP_EVENT_BUDGET};
 
 // Observability vocabulary, re-exported so server users need not depend
 // on `richnote-obs` directly.
 pub use richnote_obs::{
     derive_trace_id, read_flight_file, FlightDump, Log2Histogram, Registry, RegistrySnapshot,
-    SampleRate, SpanRecord, SpanStage, SpanTree, TraceEvent, TraceRing,
+    SampleRate, SloStatus, SloVerdict, SpanRecord, SpanStage, SpanTree, TraceEvent, TraceRing,
 };

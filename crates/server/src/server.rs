@@ -8,15 +8,18 @@ use crate::fault::ShortReader;
 use crate::metrics::MetricsSnapshot;
 use crate::router::{PublishOutcome, Router};
 use crate::shard::{ShardMsg, ShardWorker};
-use crate::wire::{read_frame, write_frame, ErrorCode, Request, Response, PROTO_VERSION};
+use crate::wire::{
+    read_frame, write_frame, BuildInfo, ErrorCode, HealthReport, Request, Response, PROTO_VERSION,
+};
 use richnote_obs::{
-    encode_text, write_flight_file, HistogramHandle, Log2Histogram, Registry, RegistrySnapshot,
-    SpanRecord, TraceEvent, TraceRing,
+    encode_text, split_above, write_flight_file, CounterHandle, GaugeHandle, HistogramHandle,
+    Log2Histogram, Registry, RegistrySnapshot, SloEngine, SloSpec, SloStatus, SpanRecord,
+    TraceEvent, TraceRing,
 };
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 /// A bound, not-yet-running daemon. Call [`Server::run`] to serve.
@@ -58,6 +61,40 @@ struct ServerObs {
     stage_match: HistogramHandle,
     stage_serialize: HistogramHandle,
     stage_ack: HistogramHandle,
+    /// When the daemon started serving; uptime and the SLO bucket clock
+    /// both derive from it.
+    started: Instant,
+    uptime: GaugeHandle,
+    /// Times [`ConnStages::flush`] found the registry lock held.
+    registry_contended_count: AtomicU64,
+    registry_contended: CounterHandle,
+    /// Feeds the SLO engine from stats deltas; one tracker per daemon.
+    slo: Mutex<SloTracker>,
+    /// Exported burn/budget series, indexed like the engine's objectives.
+    slo_handles: Vec<SloHandles>,
+}
+
+/// Registry handles for one objective's exported series.
+struct SloHandles {
+    fast: GaugeHandle,
+    slow: GaugeHandle,
+    budget: GaugeHandle,
+    good: CounterHandle,
+    bad: CounterHandle,
+}
+
+/// The daemon's SLO state: the engine plus the previous readings its
+/// delta-feeding needs (histograms and counters are cumulative, the
+/// engine wants per-interval events).
+struct SloTracker {
+    engine: SloEngine,
+    round_idx: usize,
+    ack_idx: usize,
+    shed_idx: usize,
+    prev_round: Log2Histogram,
+    prev_ack: Log2Histogram,
+    prev_pubs: u64,
+    prev_dropped: u64,
 }
 
 impl ServerObs {
@@ -73,6 +110,70 @@ impl ServerObs {
         let stage_match = stage("match");
         let stage_serialize = stage("serialize");
         let stage_ack = stage("ack");
+        let b = BuildInfo::current();
+        let build_info = registry.gauge(
+            "richnote_build_info",
+            "Build identity; the value is always 1, the labels carry the facts",
+            &[
+                ("shard", "server"),
+                ("version", b.version.as_str()),
+                ("git_sha", b.git_sha.as_str()),
+                ("profile", b.profile.as_str()),
+            ],
+        );
+        registry.set_gauge(build_info, 1.0);
+        let uptime = registry.gauge(
+            "richnote_uptime_secs",
+            "Seconds since the daemon started serving",
+            &[("shard", "server")],
+        );
+        let registry_contended = registry.counter(
+            "richnote_registry_contended_total",
+            "Server-registry lock acquisitions that found the lock held",
+            &[("shard", "server")],
+        );
+        let mut engine = SloEngine::new(cfg.slo.window_secs, cfg.slo.buckets);
+        let mut slo_handles = Vec::new();
+        let mut add = |registry: &mut Registry, engine: &mut SloEngine, name: &str, target| {
+            let idx = engine.objective(SloSpec {
+                name: name.to_string(),
+                target,
+                fast_burn_threshold: cfg.slo.fast_burn_threshold,
+            });
+            let l = &[("shard", "server"), ("slo", name)][..];
+            slo_handles.push(SloHandles {
+                fast: registry.gauge(
+                    "richnote_slo_fast_burn",
+                    "Error-budget burn rate over the fast (newest) sub-window",
+                    l,
+                ),
+                slow: registry.gauge(
+                    "richnote_slo_slow_burn",
+                    "Error-budget burn rate over the whole rolling window",
+                    l,
+                ),
+                budget: registry.gauge(
+                    "richnote_slo_budget_remaining",
+                    "Fraction of the window's error budget left (negative = overdrawn)",
+                    l,
+                ),
+                good: registry.counter(
+                    "richnote_slo_good_total",
+                    "Lifetime events within the objective",
+                    l,
+                ),
+                bad: registry.counter(
+                    "richnote_slo_bad_total",
+                    "Lifetime events violating the objective",
+                    l,
+                ),
+            });
+            idx
+        };
+        let round_idx =
+            add(&mut registry, &mut engine, "round_latency", cfg.slo.round_latency_target);
+        let ack_idx = add(&mut registry, &mut engine, "ack_latency", cfg.slo.ack_latency_target);
+        let shed_idx = add(&mut registry, &mut engine, "shed", cfg.slo.shed_target);
         ServerObs {
             metrics: cfg.metrics_enabled,
             tracing: cfg.trace_capacity > 0,
@@ -85,6 +186,21 @@ impl ServerObs {
             stage_match,
             stage_serialize,
             stage_ack,
+            started: Instant::now(),
+            uptime,
+            registry_contended_count: AtomicU64::new(0),
+            registry_contended,
+            slo: Mutex::new(SloTracker {
+                engine,
+                round_idx,
+                ack_idx,
+                shed_idx,
+                prev_round: Log2Histogram::new(),
+                prev_ack: Log2Histogram::new(),
+                prev_pubs: 0,
+                prev_dropped: 0,
+            }),
+            slo_handles,
         }
     }
 
@@ -93,6 +209,24 @@ impl ServerObs {
         if self.tracing {
             self.ring.lock().unwrap().push(ev);
         }
+    }
+
+    /// Locks the shared registry, counting acquisitions that had to wait
+    /// (the server-side twin of the shard queues' contention counter).
+    fn lock_registry(&self) -> std::sync::MutexGuard<'_, Registry> {
+        match self.registry.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.registry_contended_count.fetch_add(1, Ordering::Relaxed);
+                self.registry.lock().unwrap()
+            }
+            Err(TryLockError::Poisoned(_)) => self.registry.lock().unwrap(), // propagate the panic
+        }
+    }
+
+    /// Whole seconds since the daemon started serving.
+    fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 }
 
@@ -166,7 +300,7 @@ impl ConnStages {
         if !self.enabled || self.pending == 0 {
             return;
         }
-        let mut registry = obs.registry.lock().unwrap();
+        let mut registry = obs.lock_registry();
         registry.merge_histogram(obs.stage_match, &self.match_stage);
         registry.merge_histogram(obs.stage_serialize, &self.serialize);
         registry.merge_histogram(obs.stage_ack, &self.ack);
@@ -387,30 +521,120 @@ fn broadcast<T, F: Fn(mpsc::Sender<T>) -> ShardMsg>(router: &Router, make: F) ->
 }
 
 /// Merges the server-side registry snapshot with one from every live
-/// shard. Permissive about dead shards, like `Metrics`: their series are
-/// simply absent from the merge.
-fn merged_stats(ctx: &ConnCtx) -> RegistrySnapshot {
-    let mut snap = ctx.obs.registry.lock().unwrap().snapshot();
-    for shard_snap in broadcast(&ctx.router, |reply| ShardMsg::Stats { reply }) {
+/// shard, returning the merge plus how many shards replied. Permissive
+/// about dead shards, like `Metrics`: their series are simply absent from
+/// the merge (and the health verdict counts them missing).
+fn collect_stats(ctx: &ConnCtx) -> (RegistrySnapshot, usize) {
+    {
+        let mut reg = ctx.obs.lock_registry();
+        reg.set_gauge(ctx.obs.uptime, ctx.obs.started.elapsed().as_secs_f64());
+        reg.set_counter(
+            ctx.obs.registry_contended,
+            ctx.obs.registry_contended_count.load(Ordering::Relaxed),
+        );
+    }
+    let shard_snaps = broadcast(&ctx.router, |reply| ShardMsg::Stats { reply });
+    let alive = shard_snaps.len();
+    let mut snap = ctx.obs.lock_registry().snapshot();
+    for shard_snap in shard_snaps {
         snap.merge(&shard_snap);
     }
-    snap
+    (snap, alive)
 }
 
-/// Answers one metrics-listener connection with the text exposition of the
-/// merged registry. Speaks just enough HTTP/1.0 for `curl` and a
-/// Prometheus scraper: the request is read best-effort and ignored, the
-/// response is a single `200` with `Content-Length` and the connection
-/// closes after it.
+/// [`collect_stats`] without the liveness count, for callers that only
+/// want the numbers.
+fn merged_stats(ctx: &ConnCtx) -> RegistrySnapshot {
+    collect_stats(ctx).0
+}
+
+/// Feeds the SLO engine the deltas since the previous evaluation and
+/// returns the verdict. Burn rates, budgets, and lifetime good/bad
+/// totals are re-exported through the registry on every call, so the
+/// Prometheus endpoint shows the same numbers `/healthz` reports.
+fn evaluate_health(ctx: &ConnCtx) -> HealthReport {
+    let (snap, alive) = collect_stats(ctx);
+    let shards_total = ctx.router.shards();
+    let mut t = ctx.obs.slo.lock().unwrap();
+    let now_us = ctx.obs.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    t.engine.advance(now_us);
+
+    let round = snap.histogram_merged("richnote_round_duration_us");
+    let (good, bad) = split_above(&t.prev_round, &round, ctx.cfg.slo.round_latency_us);
+    let idx = t.round_idx;
+    t.engine.record(idx, good, bad);
+    t.prev_round = round;
+
+    let ack = snap.histogram_merged_where("richnote_stage_duration_us", "stage", "ack");
+    let (good, bad) = split_above(&t.prev_ack, &ack, ctx.cfg.slo.ack_latency_us);
+    let idx = t.ack_idx;
+    t.engine.record(idx, good, bad);
+    t.prev_ack = ack;
+
+    let pubs = snap.counter_total("richnote_pubs_total");
+    let dropped = snap.counter_total("richnote_queue_dropped_total");
+    let (good, bad) = (pubs.saturating_sub(t.prev_pubs), dropped.saturating_sub(t.prev_dropped));
+    let idx = t.shed_idx;
+    t.engine.record(idx, good, bad);
+    t.prev_pubs = pubs;
+    t.prev_dropped = dropped;
+
+    let report = t.engine.evaluate();
+    {
+        let mut reg = ctx.obs.lock_registry();
+        for (i, (v, h)) in report.verdicts.iter().zip(&ctx.obs.slo_handles).enumerate() {
+            reg.set_gauge(h.fast, v.fast_burn);
+            reg.set_gauge(h.slow, v.slow_burn);
+            reg.set_gauge(h.budget, v.budget_remaining);
+            let (lg, lb) = t.engine.lifetime(i);
+            reg.set_counter(h.good, lg);
+            reg.set_counter(h.bad, lb);
+        }
+    }
+    let mut status = report.status;
+    if alive < shards_total {
+        // Dead shards are a health fact no latency window can see: one
+        // missing degrades, all missing is a violation outright.
+        let liveness = if alive == 0 { SloStatus::Violating } else { SloStatus::Degraded };
+        status = status.max(liveness);
+    }
+    HealthReport {
+        status,
+        uptime_secs: ctx.obs.uptime_secs(),
+        shards_alive: alive,
+        shards_total,
+        slos: report.verdicts,
+    }
+}
+
+/// Extracts the path from an HTTP request line; `/` when unparseable.
+fn request_path(head: &[u8]) -> &str {
+    let line = head.split(|&b| b == b'\r' || b == b'\n').next().unwrap_or(&[]);
+    std::str::from_utf8(line).ok().and_then(|l| l.split_whitespace().nth(1)).unwrap_or("/")
+}
+
+/// Answers one metrics-listener connection. Speaks just enough HTTP/1.0
+/// for `curl` and a Prometheus scraper: only the request line's path is
+/// looked at, the response is a single status with `Content-Length`, and
+/// the connection closes after it. `/healthz` serves the SLO verdict as
+/// JSON (`503` when violating, `200` otherwise); every other path serves
+/// the text exposition of the merged registry.
 fn serve_scrape(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut buf = [0u8; 1024];
     let mut seen = 0usize;
     let mut tail = [0u8; 4];
+    let mut head = Vec::new();
     loop {
         match stream.read(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
+                // The request line fits well inside 256 bytes; keep that
+                // much for path routing.
+                if head.len() < 256 {
+                    let take = n.min(256 - head.len());
+                    head.extend_from_slice(&buf[..take]);
+                }
                 // Track the last four bytes across reads to spot the blank
                 // line ending the request head.
                 for &b in &buf[..n] {
@@ -425,9 +649,20 @@ fn serve_scrape(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
             Err(_) => break,
         }
     }
-    let body = encode_text(&merged_stats(ctx));
+    let (status, content_type, body) = if request_path(&head).starts_with("/healthz") {
+        let report = evaluate_health(ctx);
+        let status = if report.status == SloStatus::Violating {
+            "503 Service Unavailable"
+        } else {
+            "200 OK"
+        };
+        let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_string());
+        (status, "application/json", body)
+    } else {
+        ("200 OK", "text/plain; version=0.0.4; charset=utf-8", encode_text(&merged_stats(ctx)))
+    };
     let head = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
@@ -773,9 +1008,30 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                     &mut traced_pending,
                 )?;
                 stages.flush(&ctx.obs);
-                let snap = merged_stats(ctx);
+                let snapshot = merged_stats(ctx);
                 let t0 = Instant::now();
-                write_frame(&mut writer, &Response::StatsSnapshot(snap))?;
+                write_frame(
+                    &mut writer,
+                    &Response::StatsSnapshot {
+                        snapshot,
+                        uptime_secs: ctx.obs.uptime_secs(),
+                        build: BuildInfo::current(),
+                    },
+                )?;
+                stages.observe_serialize(t0, &ctx.obs);
+            }
+            Request::Health => {
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
+                stages.flush(&ctx.obs);
+                let report = evaluate_health(ctx);
+                let t0 = Instant::now();
+                write_frame(&mut writer, &Response::Health(report))?;
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::TraceDump => {

@@ -47,10 +47,11 @@ use richnote_core::scheduler::{QueuedNotification, RichNoteScheduler, RoundConte
 use richnote_core::{
     ContentId, ContentItem, Policy, PresentationLadder, SelectDecision, SelectionObserver, UserId,
 };
+use richnote_obs::rsrc::alloc_counting_active;
 use richnote_obs::{
-    write_flight_file, CounterHandle, FlightDump, FlightRecorder, GaugeHandle, HistogramHandle,
-    Registry, RegistrySnapshot, SampleRate, SpanDecision, SpanRecord, SpanTree, TraceEvent,
-    TraceRing,
+    alloc_counts, write_flight_file, AllocCounts, CounterHandle, CpuClock, FlightDump,
+    FlightRecorder, GaugeHandle, HistogramHandle, NullCpuClock, Registry, RegistrySnapshot,
+    SampleRate, SpanDecision, SpanRecord, SpanTree, ThreadCpuClock, TraceEvent, TraceRing,
 };
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -118,13 +119,28 @@ pub struct ShardObs {
     stage_select: HistogramHandle,
     /// Last queue-drop total seen, for delta reporting.
     last_dropped: u64,
+    /// Whether resource accounting (CPU, allocations, contention) runs.
+    rsrc: bool,
+    /// Per-thread CPU clock; [`NullCpuClock`] when accounting is off.
+    clock: Box<dyn CpuClock>,
+    /// Thread allocation counters at first sample, so the export reflects
+    /// this shard's work rather than whatever the thread did before.
+    alloc_base: Option<AllocCounts>,
+    cpu_us: CounterHandle,
+    round_cpu: HistogramHandle,
+    allocs: CounterHandle,
+    alloc_bytes: CounterHandle,
+    queue_contended: CounterHandle,
+    /// Last queue-contention total seen, for monotone export.
+    last_contended: u64,
 }
 
 impl ShardObs {
     /// Registers the shard's metric vocabulary. `enabled = false` makes
     /// every recording a no-op (for overhead measurement); `trace_capacity
     /// = 0` disables the event ring, span staging, and the flight
-    /// recorder; `sample` gates which completed traces are kept; and
+    /// recorder; `sample` gates which completed traces are kept; `rsrc`
+    /// turns cost accounting (CPU, allocations, contention) on; and
     /// `flight_capacity` bounds the ring of finished span trees.
     pub fn new(
         shard: usize,
@@ -132,6 +148,7 @@ impl ShardObs {
         trace_capacity: usize,
         sample: SampleRate,
         flight_capacity: usize,
+        rsrc: bool,
     ) -> Self {
         let mut registry = if enabled { Registry::new() } else { Registry::disabled() };
         let s = shard.to_string();
@@ -184,6 +201,28 @@ impl ShardObs {
             "Traced publications whose spans were shed by staging overflow",
             l,
         );
+        let cpu_us = registry.counter(
+            "richnote_cpu_us_total",
+            "Thread CPU time consumed by this shard worker (µs)",
+            l,
+        );
+        let round_cpu =
+            registry.histogram("richnote_round_cpu_us", "Thread CPU time per selection round", l);
+        let allocs = registry.counter(
+            "richnote_allocs_total",
+            "Heap allocations on this shard thread (counting allocator)",
+            l,
+        );
+        let alloc_bytes = registry.counter(
+            "richnote_alloc_bytes_total",
+            "Heap bytes allocated on this shard thread (counting allocator)",
+            l,
+        );
+        let queue_contended = registry.counter(
+            "richnote_queue_contended_total",
+            "Ingest-queue lock acquisitions that found the lock held",
+            l,
+        );
         let levels = (0..=MAX_LEVEL)
             .map(|lv| {
                 let lvs = lv.to_string();
@@ -222,6 +261,65 @@ impl ShardObs {
             stage_dequeue,
             stage_select,
             last_dropped: 0,
+            rsrc,
+            clock: if rsrc { Box::new(ThreadCpuClock) } else { Box::new(NullCpuClock) },
+            alloc_base: None,
+            cpu_us,
+            round_cpu,
+            allocs,
+            alloc_bytes,
+            queue_contended,
+            last_contended: 0,
+        }
+    }
+
+    /// Replaces the CPU clock (tests inject a
+    /// [`richnote_obs::ManualCpuClock`] for determinism).
+    pub fn set_clock(&mut self, clock: Box<dyn CpuClock>) {
+        self.clock = clock;
+    }
+
+    /// CPU reading at round start; `None` when accounting is off or the
+    /// platform clock is unavailable.
+    fn cpu_begin(&self) -> Option<u64> {
+        if self.rsrc {
+            self.clock.thread_cpu_us()
+        } else {
+            None
+        }
+    }
+
+    /// Folds the round's CPU delta into the histogram and refreshes the
+    /// absolute per-thread CPU counter.
+    fn cpu_end(&mut self, begin: Option<u64>) {
+        let Some(b) = begin else { return };
+        if let Some(now) = self.clock.thread_cpu_us() {
+            self.registry.observe_us(self.round_cpu, now.saturating_sub(b));
+            self.registry.set_counter(self.cpu_us, now);
+        }
+    }
+
+    /// Refreshes the allocation counters from this thread's counting-
+    /// allocator tallies (no-op unless the binary installed one).
+    fn sample_allocs(&mut self) {
+        if !self.rsrc || !alloc_counting_active() {
+            return;
+        }
+        let now = alloc_counts();
+        let base = *self.alloc_base.get_or_insert(now);
+        let d = now.since(base);
+        self.registry.set_counter(self.allocs, d.allocs);
+        self.registry.set_counter(self.alloc_bytes, d.bytes);
+    }
+
+    /// Refreshes the absolute CPU counter outside the round loop (stats
+    /// replies between rounds should not report stale CPU).
+    fn sample_cpu(&mut self) {
+        if !self.rsrc {
+            return;
+        }
+        if let Some(now) = self.clock.thread_cpu_us() {
+            self.registry.set_counter(self.cpu_us, now);
         }
     }
 
@@ -382,6 +480,7 @@ impl<P: Policy + Send> ShardState<P> {
             cfg.trace_capacity,
             cfg.trace_sample,
             cfg.flight_capacity,
+            cfg.rsrc.enabled,
         );
         ShardState {
             shard,
@@ -508,6 +607,7 @@ impl<P: Policy + Send> ShardState<P> {
     /// Runs one round over every user on this shard.
     pub fn run_round(&mut self) -> RoundOutcome {
         let t0 = Instant::now();
+        let cpu0 = self.obs.cpu_begin();
         let now = self.round as f64 * self.cfg.round_secs;
         let backlog_before = self.backlog();
         self.obs.event(TraceEvent::RoundStart {
@@ -554,6 +654,8 @@ impl<P: Policy + Send> ShardState<P> {
         self.obs.registry.observe_us(self.obs.stage_select, select_us);
         let round_us = t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         self.obs.registry.observe_us(self.obs.round_duration, round_us);
+        self.obs.cpu_end(cpu0);
+        self.obs.sample_allocs();
         self.obs.event(TraceEvent::RoundEnd {
             shard: self.shard,
             round: outcome.round,
@@ -588,11 +690,22 @@ impl<P: Policy + Send> ShardState<P> {
         }
     }
 
+    /// Folds the ingest queue's contention total into the registry (the
+    /// queue owns the atomic; the shard owns the metric).
+    pub fn sync_contended(&mut self, total: u64) {
+        if total > self.obs.last_contended {
+            self.obs.last_contended = total;
+            self.obs.registry.set_counter(self.obs.queue_contended, total);
+        }
+    }
+
     /// A registry snapshot with gauges refreshed to current state.
     pub fn stats(&mut self) -> RegistrySnapshot {
         let backlog = self.backlog() as f64;
         self.obs.registry.set_gauge(self.obs.backlog, backlog);
         self.obs.registry.set_gauge(self.obs.users, self.schedulers.len() as f64);
+        self.obs.sample_cpu();
+        self.obs.sample_allocs();
         self.obs.registry.snapshot()
     }
 
@@ -793,6 +906,7 @@ impl ShardWorker {
                     // fold it in before handling so QueueDrop events and
                     // the dropped counter stay fresh.
                     state.sync_dropped(q.dropped());
+                    state.sync_contended(q.contended());
                     // Snapshot replies need the drop counter too, which
                     // handle_msg cannot see; patch it in here.
                     let msg = match msg {
@@ -914,6 +1028,46 @@ mod tests {
         assert_eq!(stages.count(), 3);
         let lat = stats.histogram_merged("richnote_selection_latency_us");
         assert_eq!(lat.count(), out.selected.len() as u64);
+    }
+
+    #[test]
+    fn cost_accounting_tracks_round_cpu_deterministically() {
+        let mut shard = ShardState::new(0, ServerConfig::default());
+        // Scripted clock: round 1 reads (1_000, 3_500) → 2_500 µs of CPU;
+        // the stats refresh then reads 4_000.
+        shard
+            .obs_mut()
+            .set_clock(Box::new(richnote_obs::ManualCpuClock::new(vec![1_000, 3_500, 4_000])));
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), None);
+        shard.run_round();
+        shard.sync_contended(7);
+        let stats = shard.stats();
+        let cpu = stats.histogram_merged("richnote_round_cpu_us");
+        assert_eq!(cpu.count(), 1);
+        assert_eq!(cpu.sum_us(), 2_500);
+        assert_eq!(stats.counter_total("richnote_cpu_us_total"), 4_000);
+        assert_eq!(stats.counter_total("richnote_queue_contended_total"), 7);
+        // Contention export is monotone: a stale (smaller) total is a
+        // re-read of the same atomic, not a decrease.
+        shard.sync_contended(3);
+        let again = shard.stats();
+        assert_eq!(again.counter_total("richnote_queue_contended_total"), 7);
+    }
+
+    #[test]
+    fn disabled_rsrc_records_no_cost_metrics() {
+        let cfg = ServerConfig::builder().rsrc_enabled(false).build().unwrap();
+        let mut shard = ShardState::new(0, cfg);
+        // Even with a live clock injected, the rsrc gate wins.
+        shard.obs_mut().set_clock(Box::new(richnote_obs::ManualCpuClock::new(vec![1, 2, 3])));
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), None);
+        shard.run_round();
+        let stats = shard.stats();
+        assert_eq!(stats.histogram_merged("richnote_round_cpu_us").count(), 0);
+        assert_eq!(stats.counter_total("richnote_cpu_us_total"), 0);
+        assert_eq!(stats.counter_total("richnote_allocs_total"), 0);
+        // The ordinary round metrics are unaffected by the rsrc switch.
+        assert_eq!(stats.counter_total("richnote_rounds_total"), 1);
     }
 
     #[test]

@@ -39,9 +39,9 @@
 //!    next checkpoint).
 //! 3. **Other requests** are strict request/response: `Subscribe` →
 //!    `Subscribed`, `Tick` → `Ticked`, `TickReport` → `TickReport`,
-//!    `Metrics` → `Metrics`, `Stats` → `StatsSnapshot`, `TraceDump` →
-//!    `TraceDump`, `Checkpoint` → `Checkpointed`, `Drain` → `Drained`,
-//!    `Shutdown` → `ShuttingDown`. A client must therefore be prepared to
+//!    `Metrics` → `Metrics`, `Stats` → `StatsSnapshot`, `Health` →
+//!    `Health`, `TraceDump` → `TraceDump`, `Checkpoint` → `Checkpointed`,
+//!    `Drain` → `Drained`, `Shutdown` → `ShuttingDown`. A client must therefore be prepared to
 //!    consume interleaved `PubAck` frames while waiting for any response.
 //! 4. **Errors.** Failures are typed: [`Response::Error`] carries an
 //!    [`ErrorCode`] plus a human-readable message, and (except for
@@ -57,7 +57,7 @@
 use crate::error::{ServerError, ServerResult};
 use crate::metrics::MetricsSnapshot;
 use richnote_core::{ContentId, ContentItem, UserId};
-use richnote_obs::{FlightDump, RegistrySnapshot, TraceEvent};
+use richnote_obs::{FlightDump, RegistrySnapshot, SloStatus, SloVerdict, TraceEvent};
 use richnote_pubsub::Topic;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -145,6 +145,10 @@ pub enum Request {
     /// before the observability layer answer `Error { code: BadFrame }`,
     /// which clients surface as "stats unsupported".
     Stats,
+    /// Requests the SLO engine's verdict (the wire twin of the metrics
+    /// listener's `/healthz` path): overall status, per-objective burn
+    /// rates and budgets, and shard liveness.
+    Health,
     /// Drains every trace ring (server + shards) and returns the buffered
     /// structured events. Rings reset on dump; an empty response means
     /// tracing is disabled (`trace_capacity = 0`) or nothing happened.
@@ -162,6 +166,49 @@ pub enum Request {
     /// Immediate shutdown *without* checkpointing — crash semantics, used
     /// by the kill-and-restart tests.
     Shutdown,
+}
+
+/// Build identity of a running daemon, reported in
+/// [`Response::StatsSnapshot`] and exported as the
+/// `richnote_build_info` gauge, so dashboards and `richnote-top` can say
+/// *which* build produced the numbers they show.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildInfo {
+    /// Crate version (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Abbreviated git commit, or `"unknown"` outside a git checkout.
+    pub git_sha: String,
+    /// `"debug"` or `"release"` — perf numbers from a debug build are
+    /// not comparable, and this field is how tools notice.
+    pub profile: String,
+}
+
+impl BuildInfo {
+    /// The identity of this binary, captured at compile time.
+    pub fn current() -> Self {
+        BuildInfo {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            git_sha: env!("RICHNOTE_GIT_SHA").to_string(),
+            profile: if cfg!(debug_assertions) { "debug" } else { "release" }.to_string(),
+        }
+    }
+}
+
+/// The SLO engine's verdict, answering [`Request::Health`]. The same
+/// JSON body is served on the metrics listener's `/healthz` path (HTTP
+/// 200 unless violating, then 503).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Worst status across objectives and shard liveness.
+    pub status: SloStatus,
+    /// Seconds since the daemon started serving.
+    pub uptime_secs: u64,
+    /// Shard workers still alive (a dead shard degrades health).
+    pub shards_alive: usize,
+    /// Shard workers configured.
+    pub shards_total: usize,
+    /// Every objective's burn rates, budget, and firing windows.
+    pub slos: Vec<SloVerdict>,
 }
 
 /// One delivered notification, as reported by [`Response::TickReport`].
@@ -215,8 +262,19 @@ pub enum Response {
     },
     /// Metrics snapshot.
     Metrics(MetricsSnapshot),
-    /// Merged registry snapshot answering [`Request::Stats`].
-    StatsSnapshot(RegistrySnapshot),
+    /// Merged registry snapshot answering [`Request::Stats`], plus the
+    /// serving daemon's identity.
+    StatsSnapshot {
+        /// Counters, gauges, and histograms merged across every shard
+        /// plus the server-side stage timers.
+        snapshot: RegistrySnapshot,
+        /// Seconds since the daemon started serving.
+        uptime_secs: u64,
+        /// Which build produced these numbers.
+        build: BuildInfo,
+    },
+    /// SLO verdict answering [`Request::Health`].
+    Health(HealthReport),
     /// Structured trace events answering [`Request::TraceDump`].
     TraceDump {
         /// Buffered events, server-side first, then shard 0..n in order.
@@ -360,6 +418,7 @@ mod tests {
             Request::TickReport { rounds: 1 },
             Request::Metrics,
             Request::Stats,
+            Request::Health,
             Request::TraceDump,
             Request::Checkpoint,
             Request::Drain,
@@ -501,7 +560,27 @@ mod tests {
         let c = reg.counter("richnote_pubs_total", "pubs", &[("shard", "0")]);
         reg.inc(c, 5);
         let resps = vec![
-            Response::StatsSnapshot(reg.snapshot()),
+            Response::StatsSnapshot {
+                snapshot: reg.snapshot(),
+                uptime_secs: 12,
+                build: BuildInfo::current(),
+            },
+            Response::Health(HealthReport {
+                status: SloStatus::Degraded,
+                uptime_secs: 12,
+                shards_alive: 3,
+                shards_total: 4,
+                slos: vec![SloVerdict {
+                    name: "round_latency".into(),
+                    status: SloStatus::Degraded,
+                    fast_burn: 8.25,
+                    slow_burn: 0.5,
+                    budget_remaining: 0.5,
+                    firing: vec!["fast".into()],
+                    good: 990,
+                    bad: 10,
+                }],
+            }),
             Response::TraceDump {
                 events: vec![TraceEvent::RoundEnd {
                     shard: 0,

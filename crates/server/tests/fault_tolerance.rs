@@ -473,7 +473,7 @@ fn stats_counters_survive_checkpoint_restore() {
         drive_round(&mut client, batch, &mut log);
     }
     client.checkpoint().expect("checkpoint");
-    let before = client.stats().expect("stats before crash");
+    let before = client.stats().expect("stats before crash").snapshot;
     client.shutdown().expect("kill");
     handle.join().expect("server thread");
 
@@ -497,7 +497,7 @@ fn stats_counters_survive_checkpoint_restore() {
         let _ = server.run();
     });
     let mut client = Client::connect(addr).expect("reconnect");
-    let after = client.stats().expect("stats after restore");
+    let after = client.stats().expect("stats after restore").snapshot;
 
     assert_eq!(after.counter_total("richnote_pubs_total"), pubs, "pubs_total must be restored");
     assert_eq!(after.counter_total("richnote_selected_total"), selected);
@@ -517,7 +517,7 @@ fn stats_counters_survive_checkpoint_restore() {
 
     // The restored counters keep advancing from their seeds, not from zero.
     drive_round(&mut client, &batches[CUT_AT], &mut log);
-    let resumed = client.stats().expect("stats after resumed round");
+    let resumed = client.stats().expect("stats after resumed round").snapshot;
     assert!(resumed.counter_total("richnote_rounds_total") > rounds);
     assert!(resumed.counter_total("richnote_pubs_total") >= pubs);
     client.shutdown().expect("shutdown");

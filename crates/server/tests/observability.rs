@@ -7,8 +7,8 @@ use richnote_core::content::{ContentFeatures, ContentKind, Interaction, SocialTi
 use richnote_core::{AlbumId, ArtistId, ContentId, ContentItem, TrackId, UserId};
 use richnote_pubsub::Topic;
 use richnote_server::{
-    derive_trace_id, Client, SampleRate, Server, ServerConfig, SpanStage, SpanTree, TraceEvent,
-    TRACE_DUMP_EVENT_BUDGET,
+    derive_trace_id, Client, FaultPlan, SampleRate, Server, ServerConfig, ShardPanicFault,
+    SloStatus, SpanStage, SpanTree, TraceEvent, TRACE_DUMP_EVENT_BUDGET,
 };
 use richnote_trace::{TraceConfig, TraceGenerator};
 use std::io::{Read, Write};
@@ -70,7 +70,7 @@ fn stats_request_returns_the_merged_registry() {
     let mut client = Client::connect(addr).expect("connect");
     let published = warm_up(&mut client);
 
-    let snap = client.stats().expect("stats");
+    let snap = client.stats().expect("stats").snapshot;
     assert_eq!(snap.counter_total("richnote_pubs_total"), published);
     assert_eq!(snap.counter_total("richnote_rounds_total"), 2 * 3, "3 ticks across 2 shards");
     assert_eq!(snap.counter_total("richnote_queue_dropped_total"), 0);
@@ -279,6 +279,142 @@ fn scrape_endpoint_serves_prometheus_text() {
         let value = line.rsplit(' ').next().expect("a value field");
         assert!(value.parse::<f64>().is_ok(), "malformed sample line: {line:?}");
     }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn stats_carries_build_identity_and_uptime() {
+    let (addr, _metrics, handle) = spawn_observable(0);
+    let mut client = Client::connect(addr).expect("connect");
+    warm_up(&mut client);
+
+    let reply = client.stats().expect("stats");
+    assert_eq!(reply.build.version, env!("CARGO_PKG_VERSION"));
+    assert!(!reply.build.git_sha.is_empty(), "git sha (or the `unknown` fallback) must be set");
+    assert!(
+        reply.build.profile == "debug" || reply.build.profile == "release",
+        "unexpected profile {:?}",
+        reply.build.profile
+    );
+    // Uptime is sampled server-side; it only needs to be sane, not exact.
+    assert!(reply.uptime_secs < 3_600, "a fresh test server cannot be an hour old");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn health_reports_ok_with_three_slos_when_nothing_is_wrong() {
+    let (addr, _metrics, handle) = spawn_observable(0);
+    let mut client = Client::connect(addr).expect("connect");
+    warm_up(&mut client);
+
+    let report = client.health().expect("health");
+    assert_eq!(report.shards_alive, 2);
+    assert_eq!(report.shards_total, 2);
+    let names: Vec<&str> = report.slos.iter().map(|v| v.name.as_str()).collect();
+    assert_eq!(names, ["round_latency", "ack_latency", "shed"]);
+    assert_eq!(
+        report.status,
+        SloStatus::Ok,
+        "a tiny healthy workload must not burn budget: {:?}",
+        report.slos
+    );
+    for v in &report.slos {
+        assert!((0.0..=1.0).contains(&v.budget_remaining), "budget_remaining out of range: {v:?}");
+        assert!(v.fast_burn >= 0.0 && v.slow_burn >= 0.0, "burn rates are ratios: {v:?}");
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// The acceptance-critical path: `/healthz` answers a JSON verdict, and
+/// killing a shard worker (injected fault) flips it from `ok` to
+/// `degraded` with the shard-liveness counts telling the story.
+#[test]
+fn healthz_flips_to_degraded_when_a_shard_dies() {
+    let faults = FaultPlan {
+        shard_panic: Some(ShardPanicFault { shard: 1, round: 1 }),
+        ..FaultPlan::none()
+    };
+    let cfg = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .shards(2)
+        .metrics_addr("127.0.0.1:0")
+        .faults(faults)
+        .build()
+        .expect("config");
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr();
+    let metrics = server.metrics_local_addr().expect("metrics listener bound");
+    let handle = std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Both shards alive: the verdict is ok and the status line says 200.
+    let response = scrape(metrics, "/healthz");
+    let (head, body) = response.split_once("\r\n\r\n").expect("an HTTP head/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "unexpected status line in {head:?}");
+    assert!(head.contains("application/json"), "healthz must answer JSON");
+    assert!(body.contains("\"status\":\"ok\""), "healthy verdict expected in {body}");
+    assert!(body.contains("\"shards_alive\":2"), "both shards alive in {body}");
+
+    // Round 0 is fine; the worker dies entering round 1.
+    client.tick(1).expect("round 0");
+    let _ = client.tick(1);
+
+    let response = scrape(metrics, "/healthz");
+    let (head, body) = response.split_once("\r\n\r\n").expect("an HTTP head/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "degraded is still serving: {head:?}");
+    assert!(body.contains("\"status\":\"degraded\""), "expected a degraded verdict in {body}");
+    assert!(body.contains("\"shards_alive\":1"), "one shard left in {body}");
+
+    // The wire-level Health request agrees with the HTTP endpoint.
+    let report = client.health().expect("health");
+    assert_eq!(report.status, SloStatus::Degraded);
+    assert_eq!(report.shards_alive, 1);
+    assert_eq!(report.shards_total, 2);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+#[test]
+fn scrape_exports_cost_and_slo_families() {
+    let (addr, metrics, handle) = spawn_observable(0);
+    let mut client = Client::connect(addr).expect("connect");
+    warm_up(&mut client);
+
+    let response = scrape(metrics, "/metrics");
+    let (_, body) = response.split_once("\r\n\r\n").expect("an HTTP head/body split");
+    for name in [
+        "richnote_cpu_us_total",
+        "richnote_round_cpu_us",
+        "richnote_allocs_total",
+        "richnote_alloc_bytes_total",
+        "richnote_queue_contended_total",
+        "richnote_registry_contended_total",
+        "richnote_slo_fast_burn",
+        "richnote_slo_slow_burn",
+        "richnote_slo_budget_remaining",
+        "richnote_slo_good_total",
+        "richnote_slo_bad_total",
+        "richnote_build_info",
+        "richnote_uptime_secs",
+    ] {
+        assert!(body.contains(&format!("# TYPE {name}")), "missing TYPE line for {name}");
+    }
+    // Real rounds ran on a real clock: the shards spent measurable CPU.
+    let cpu: f64 = body
+        .lines()
+        .filter(|l| l.starts_with("richnote_cpu_us_total"))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<f64>().ok())
+        .sum();
+    assert!(cpu > 0.0, "per-thread CPU accounting must have sampled something");
 
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");

@@ -1,0 +1,124 @@
+//! Golden-output test for `richnote-top --once`: the headless dashboard
+//! frame is part of the operator interface, so its shape only changes
+//! when someone *means* to change it.
+//!
+//! The frame is normalized before comparison — digits, durations, the
+//! git sha, and health verdicts are machine- and commit-dependent, the
+//! layout is not. Regenerate the golden after an intentional format
+//! change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p richnote-server --test top_golden
+//! ```
+
+use richnote_core::ContentItem;
+use richnote_pubsub::Topic;
+use richnote_server::{Client, Server, ServerConfig};
+use richnote_trace::{TraceConfig, TraceGenerator};
+use std::path::PathBuf;
+
+/// Collapses every run of digits to `N`, so counts, rates, ports, and
+/// timestamps compare equal across machines.
+fn collapse_digits(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_run = false;
+    for c in s.chars() {
+        if c.is_ascii_digit() {
+            if !in_run {
+                out.push('N');
+                in_run = true;
+            }
+        } else {
+            out.push(c);
+            in_run = false;
+        }
+    }
+    out
+}
+
+/// Makes a rendered frame machine-independent: git sha → `GITSHA`,
+/// profile → `PROFILE`, digits → `N`, `Nµs`/`N.Nms`/`N.Ns` → `DUR`,
+/// health verdicts → `STATUS`, sparkline bars → `#`.
+fn normalize(frame: &str) -> String {
+    let mut s = frame.replace(env!("RICHNOTE_GIT_SHA"), "GITSHA");
+    for profile in ["debug", "release"] {
+        s = s.replace(&format!("GITSHA, {profile})"), "GITSHA, PROFILE)");
+    }
+    let mut s = collapse_digits(&s);
+    // Durations carry a magnitude-dependent unit; fold all three forms.
+    for unit in ["N.Ns", "N.Nms", "Nµs"] {
+        s = s.replace(unit, "DUR");
+    }
+    // Health verdicts depend on machine speed, not formatting.
+    for verdict in ["ok", "degraded", "violating"] {
+        s = s.replace(&format!("health {verdict}"), "health STATUS");
+        s = s.replace(&format!(" {verdict} (budget"), " STATUS (budget");
+    }
+    // The level sparkline scales counts into block glyphs; keep only
+    // whether a cell is lit.
+    s = s
+        .chars()
+        .map(|c| match c {
+            '▁' | '▂' | '▃' | '▄' | '▅' | '▆' | '▇' | '█' => '#',
+            other => other,
+        })
+        .collect();
+    s
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/richnote_top_once.txt")
+}
+
+#[test]
+fn top_once_frame_matches_golden() {
+    let cfg = ServerConfig::builder().addr("127.0.0.1:0").shards(2).build().expect("config");
+    let (addr, handle) = Server::spawn(cfg).expect("spawn");
+    let mut client = Client::connect(addr).expect("connect");
+
+    // A fixed small workload so every pane has content (deterministic
+    // items; the daemon's virtual-time rounds keep selection repeatable).
+    let items: Vec<ContentItem> = TraceGenerator::new(TraceConfig::small(23)).generate().items;
+    for item in &items {
+        client.subscribe(item.recipient, Topic::FriendFeed(item.recipient)).expect("subscribe");
+    }
+    for item in items {
+        let topic = Topic::FriendFeed(item.recipient);
+        client.publish(topic, item).expect("publish");
+    }
+    client.sync().expect("sync");
+    client.tick(3).expect("tick");
+
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_richnote-top"))
+        .args(["--addr", &addr.to_string(), "--once"])
+        .output()
+        .expect("run richnote-top");
+    assert!(
+        out.status.success(),
+        "richnote-top --once failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let frame = normalize(&String::from_utf8_lossy(&out.stdout));
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir golden");
+        std::fs::write(&path, &frame).expect("write golden");
+        eprintln!("updated {}", path.display());
+    } else {
+        let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+                path.display()
+            )
+        });
+        assert_eq!(
+            frame, golden,
+            "richnote-top --once frame drifted from the golden; if the change is \
+             intentional, regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}

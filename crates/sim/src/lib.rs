@@ -42,6 +42,6 @@ pub mod user;
 
 pub use cost::EnergyCost;
 pub use metrics::{AggregateMetrics, UserMetrics};
-pub use obs::{export_registry, exposition};
+pub use obs::{evaluate_slos, export_registry, exposition, SimSloPolicy};
 pub use simulator::{NetworkKind, PolicyKind, PopulationSim, SimulationConfig};
 pub use spans::{dump_json_lines, simulate_user_spans, SpanHarness};
