@@ -36,10 +36,20 @@
 //! are only ever compared against quick baselines). `--no-rsrc` disables
 //! both the per-round resource sampling and the allocation counting, the
 //! A/B half of the accounting-overhead measurement in EXPERIMENTS.md.
+//!
+//! Besides the generated `steady`/`surge_shed` workloads, a `replayed`
+//! scenario feeds the committed golden capture
+//! (`tests/goldens/golden.rncap`) through the `richnote-replay` path as
+//! fast as possible: a byte-fixed input whose cost numbers move only
+//! when the daemon itself changes, never with trace-generation drift.
+//! It is skipped (with a warning) when the fixture is absent.
 
 use richnote_obs::rsrc::{set_alloc_counting, CountingAlloc};
 use richnote_pubsub::Topic;
-use richnote_server::{Client, Log2Histogram, RegistrySnapshot, Server, ServerConfig};
+use richnote_replay::{replay_into, sanitize_config, ReplayOptions};
+use richnote_server::{
+    CaptureReader, Client, Log2Histogram, RegistrySnapshot, Server, ServerConfig,
+};
 use richnote_trace::{TraceConfig, TraceGenerator};
 use serde::{Deserialize, Serialize};
 use std::process::ExitCode;
@@ -230,6 +240,24 @@ struct Scenario {
     repeat: usize,
     queue_capacity: usize,
     shards: usize,
+    /// When set, the scenario ignores the workload knobs above and
+    /// replays this wire-level capture as fast as possible instead —
+    /// fixed, committed input, so its numbers track daemon-side cost
+    /// changes without trace-generation noise.
+    capture: Option<String>,
+}
+
+/// Finds the committed golden capture relative to this crate (works from
+/// any working directory) with a cwd-relative fallback for a relocated
+/// binary run from the repo root.
+fn golden_capture_path() -> Option<String> {
+    let compiled = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/goldens/golden.rncap");
+    for candidate in [compiled, "tests/goldens/golden.rncap"] {
+        if std::path::Path::new(candidate).exists() {
+            return Some(candidate.to_string());
+        }
+    }
+    None
 }
 
 impl Scenario {
@@ -238,7 +266,7 @@ impl Scenario {
         // scenario runs swing >15% on a noisy host, which would make the
         // CI regression gate cry wolf.
         let scale = if quick { 2 } else { 4 };
-        vec![
+        let mut scenarios = vec![
             // Steady state: a roomy queue absorbs everything; measures the
             // selection hot path.
             Scenario {
@@ -248,6 +276,7 @@ impl Scenario {
                 repeat: 2 * scale,
                 queue_capacity: 1 << 20,
                 shards: 2,
+                capture: None,
             },
             // Surge: the whole trace bursts into a queue a fraction of its
             // size, exercising eviction/shedding under pressure.
@@ -258,12 +287,35 @@ impl Scenario {
                 repeat: 2 * scale,
                 queue_capacity: 512,
                 shards: 2,
+                capture: None,
             },
-        ]
+        ];
+        // Replayed: the committed golden capture fed through the replay
+        // path. Same workload in quick and full mode — the capture *is*
+        // the workload.
+        match golden_capture_path() {
+            Some(capture) => scenarios.push(Scenario {
+                name: "replayed",
+                users: 0,
+                days: 0,
+                repeat: 0,
+                queue_capacity: 0,
+                shards: 0,
+                capture: Some(capture),
+            }),
+            None => eprintln!(
+                "richnote-perf: tests/goldens/golden.rncap not found; skipping the \
+                 replayed scenario"
+            ),
+        }
+        scenarios
     }
 
     /// Runs the scenario against a fresh in-process daemon and measures.
     fn run(&self, seed: u64, rsrc: bool) -> Result<ScenarioResult, String> {
+        if let Some(capture) = &self.capture {
+            return self.run_replay(capture, rsrc);
+        }
         let cfg = ServerConfig::builder()
             .addr("127.0.0.1:0")
             .shards(self.shards)
@@ -309,6 +361,40 @@ impl Scenario {
         client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
         handle.join().map_err(|_| "server thread panicked".to_string())?;
 
+        let per_pub = |total: u64| if pubs == 0 { 0.0 } else { total as f64 / pubs as f64 };
+        Ok(ScenarioResult {
+            name: self.name.to_string(),
+            pubs,
+            shed: snap.counter_total("richnote_queue_dropped_total"),
+            elapsed_secs: elapsed,
+            throughput_pubs_per_sec: pubs as f64 / elapsed,
+            stage_percentiles: StagePercentiles::from_snapshot(&snap),
+            cpu_us_per_pub: per_pub(snap.counter_total("richnote_cpu_us_total")),
+            allocs_per_pub: per_pub(snap.counter_total("richnote_allocs_total")),
+            alloc_bytes_per_pub: per_pub(snap.counter_total("richnote_alloc_bytes_total")),
+        })
+    }
+
+    /// Replays the committed capture into a fresh daemon as fast as
+    /// possible and measures the daemon-side cost of the replayed load.
+    fn run_replay(&self, capture: &str, rsrc: bool) -> Result<ScenarioResult, String> {
+        let (header, records) =
+            CaptureReader::read_all(capture).map_err(|e| format!("capture: {e}"))?;
+        let mut cfg = sanitize_config(header.config);
+        cfg.rsrc.enabled = rsrc;
+        let (addr, handle) = Server::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
+
+        let started = Instant::now();
+        let opts = ReplayOptions { as_fast_as_possible: true, ..ReplayOptions::default() };
+        replay_into(addr, capture, &records, opts).map_err(|e| format!("replay: {e}"))?;
+        let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let snap = client.stats().map_err(|e| format!("stats: {e}"))?.snapshot;
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        handle.join().map_err(|_| "server thread panicked".to_string())?;
+
+        let pubs = snap.counter_total("richnote_pubs_total");
         let per_pub = |total: u64| if pubs == 0 { 0.0 } else { total as f64 / pubs as f64 };
         Ok(ScenarioResult {
             name: self.name.to_string(),

@@ -259,32 +259,44 @@ impl Log2Histogram {
         self.bucket_span(i).map_or(0, |(_, bmax)| bmax)
     }
 
-    /// The value (µs) at quantile `q` in `[0, 1]`, estimated as the
-    /// geometric midpoint of the containing bucket interpolated into the
-    /// bucket's observed `[min, max]` span (a lower-variance point estimate
-    /// than [`Log2Histogram::quantile`] that cannot leave the range of
-    /// values actually recorded there). Returns 0 with no samples.
+    /// The value (µs) at quantile `q` in `[0, 1]`, estimated by *sub-bucket
+    /// interpolation*: the quantile's rank position among the containing
+    /// bucket's samples is mapped linearly onto the bucket's observed
+    /// `[min, max]` span. Unlike a fixed per-bucket point estimate this
+    /// keeps nearby quantiles distinguishable even when they land in the
+    /// same (upper, coarse) bucket — p95 and p99 of a unimodal latency
+    /// distribution no longer collapse to one number — while still never
+    /// leaving the range of values actually recorded there, and staying
+    /// monotone in `q`. Returns 0 with no samples.
     pub fn quantile_us(&self, q: f64) -> u64 {
-        let Some(i) = self.quantile_bucket(q) else {
-            return 0;
-        };
-        if i == 0 {
+        if self.count == 0 {
             return 0;
         }
-        let Some((bmin, bmax)) = self.bucket_span(i) else {
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut before = 0u64;
+        let mut idx = BUCKETS - 1;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if before + c >= rank {
+                idx = i;
+                break;
+            }
+            before += c;
+        }
+        if idx == 0 {
+            return 0;
+        }
+        let Some((bmin, bmax)) = self.bucket_span(idx) else {
             return 0;
         };
-        if i >= BUCKETS - 1 {
-            // The open-ended last bucket covers [2^(BUCKETS-2), u64::MAX];
-            // its nominal midpoint can understate a large sample by many
-            // orders of magnitude, so report the observed max instead
-            // (mirroring `quantile`).
+        let c = self.counts[idx];
+        if c <= 1 || bmax <= bmin {
             return bmax;
         }
-        let lo = 1u64 << (i - 1);
-        // Geometric midpoint ≈ lo·√2, interpolated into the observed span.
-        let mid = ((lo as f64) * std::f64::consts::SQRT_2) as u64;
-        mid.clamp(bmin, bmax)
+        // 1-based position of the rank among this bucket's c samples,
+        // interpolated across the observed span: position 1 → min,
+        // position c → max.
+        let pos = rank - before;
+        bmin + (((bmax - bmin) as f64) * ((pos - 1) as f64) / ((c - 1) as f64)) as u64
     }
 }
 
@@ -424,6 +436,38 @@ mod tests {
         let p50 = h.quantile_us(0.5);
         assert!((1_000..=1_023).contains(&p50), "p50 {p50} outside observed span");
         assert_eq!(h.quantile(1.0), 1_023);
+    }
+
+    #[test]
+    fn sub_bucket_interpolation_separates_quantiles_and_stays_monotone() {
+        // The BENCH_5 regression: a steady-state run whose select latencies
+        // all land in one coarse upper bucket reported p50 == p95 == p99.
+        // With rank-position interpolation, distinct quantiles of samples
+        // sharing a bucket must come out distinct, ordered, and inside the
+        // observed span.
+        let mut h = Log2Histogram::new();
+        for v in 8_192..8_292 {
+            // 100 distinct values, all in bucket 14 ([8192, 16384)).
+            h.record_us(v);
+        }
+        let (p50, p95, p99) = (h.quantile_us(0.50), h.quantile_us(0.95), h.quantile_us(0.99));
+        assert!(p50 < p95, "p50 {p50} must be below p95 {p95}");
+        assert!(p95 < p99, "p95 {p95} must be below p99 {p99}");
+        assert!((8_192..8_292).contains(&p50), "p50 {p50} outside observed span");
+        assert!((8_192..8_292).contains(&p99), "p99 {p99} outside observed span");
+        // Monotone in q across the whole range, including bucket borders.
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 3, 40, 45, 50, 120_000, 130_000] {
+            h.record_us(v);
+        }
+        let mut last = 0;
+        for step in 0..=20 {
+            let q = f64::from(step) / 20.0;
+            let v = h.quantile_us(q);
+            assert!(v >= last, "quantile_us({q}) = {v} < previous {last}");
+            last = v;
+        }
+        assert_eq!(h.quantile_us(1.0), 130_000, "q=1 is the observed max");
     }
 
     #[test]

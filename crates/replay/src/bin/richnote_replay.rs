@@ -1,0 +1,166 @@
+//! The `richnote-replay` binary: feed a wire-level capture into a fresh
+//! daemon and diff the outcome against a committed golden.
+//!
+//! ```text
+//! richnote-replay run --capture PATH [--addr HOST:PORT] [--speed N]
+//!                     [--as-fast-as-possible] [--out PATH] [--golden PATH]
+//! richnote-replay diff GOLDEN.json REPLAY.json
+//! ```
+//!
+//! `run` replays the capture. By default it spawns a fresh in-process
+//! daemon from the capture's embedded config (sanitized: ephemeral port,
+//! no checkpointing, no recording); `--addr` feeds an already-running
+//! daemon instead. `--speed N` compresses the capture's timeline by `N`;
+//! `--as-fast-as-possible` ignores timestamps entirely. `--out` writes
+//! the canonical snapshot JSON; `--golden` additionally diffs against a
+//! committed snapshot and exits nonzero on divergence.
+//!
+//! `diff` compares two canonical snapshot files without running anything.
+//!
+//! Exit codes: `0` success/match, `1` golden divergence, `2` usage or
+//! I/O or replay failure.
+
+use richnote_replay::canon::CanonicalSnapshot;
+use richnote_replay::{diff::diff, replay_into, replay_spawned, ReplayOptions};
+use richnote_server::CaptureReader;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: richnote-replay run --capture PATH [--addr HOST:PORT] [--speed N] \
+         [--as-fast-as-possible] [--out PATH] [--golden PATH]\n\
+         \x20      richnote-replay diff GOLDEN.json REPLAY.json"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("run") => run(args),
+        Some("diff") => diff_files(args),
+        _ => usage(),
+    }
+}
+
+fn run(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut capture: Option<String> = None;
+    let mut addr: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut golden: Option<String> = None;
+    let mut opts = ReplayOptions::default();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--capture" => capture = Some(value("--capture")),
+            "--addr" => addr = Some(value("--addr")),
+            "--speed" => {
+                let spec = value("--speed");
+                opts.speed = spec.parse().unwrap_or_else(|_| {
+                    eprintln!("bad value {spec:?} for --speed");
+                    usage()
+                });
+            }
+            "--as-fast-as-possible" => opts.as_fast_as_possible = true,
+            "--out" => out = Some(value("--out")),
+            "--golden" => golden = Some(value("--golden")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let capture = capture.unwrap_or_else(|| {
+        eprintln!("run requires --capture PATH");
+        usage()
+    });
+
+    let outcome = match &addr {
+        // Feed an already-running daemon.
+        Some(spec) => {
+            let addr = match spec.parse() {
+                Ok(a) => a,
+                Err(_) => {
+                    eprintln!("bad value {spec:?} for --addr");
+                    usage()
+                }
+            };
+            CaptureReader::read_all(&capture)
+                .map_err(richnote_server::ServerError::from)
+                .and_then(|(_, records)| replay_into(addr, &capture, &records, opts))
+        }
+        // Spawn a fresh daemon from the capture's embedded config.
+        None => replay_spawned(&capture, opts, |_| {}),
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("richnote-replay: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "richnote-replay: fed {} frame(s) ({} skipped) across {} session(s) in {:.2}s; \
+         {} span tree(s), {} counter series",
+        outcome.fed,
+        outcome.skipped,
+        outcome.sessions,
+        outcome.elapsed_secs,
+        outcome.snapshot.trees.len(),
+        outcome.snapshot.counters.len()
+    );
+
+    if let Some(path) = &out {
+        if let Err(e) = std::fs::write(path, outcome.snapshot.to_json()) {
+            eprintln!("richnote-replay: write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("richnote-replay: canonical snapshot written to {path}");
+    }
+    match &golden {
+        Some(path) => match read_snapshot(path) {
+            Ok(gold) => report(&gold, &outcome.snapshot),
+            Err(code) => code,
+        },
+        None => ExitCode::SUCCESS,
+    }
+}
+
+fn diff_files(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (golden, replay) = match (args.next(), args.next()) {
+        (Some(g), Some(r)) => (g, r),
+        _ => usage(),
+    };
+    match (read_snapshot(&golden), read_snapshot(&replay)) {
+        (Ok(gold), Ok(got)) => report(&gold, &got),
+        (Err(code), _) | (_, Err(code)) => code,
+    }
+}
+
+fn read_snapshot(path: &str) -> Result<CanonicalSnapshot, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("richnote-replay: read {path}: {e}");
+        ExitCode::from(2)
+    })?;
+    CanonicalSnapshot::from_json(&text).map_err(|e| {
+        eprintln!("richnote-replay: parse {path}: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn report(golden: &CanonicalSnapshot, got: &CanonicalSnapshot) -> ExitCode {
+    let report = diff(golden, got);
+    if report.is_match() {
+        eprintln!("richnote-replay: replay matches the golden");
+        ExitCode::SUCCESS
+    } else {
+        println!("{}", report.render());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,205 @@
+//! Golden diffing: compares two canonical snapshots and renders a
+//! readable unified-style report naming every diverging span tree and
+//! counter series.
+
+use crate::canon::{CanonicalCounter, CanonicalSnapshot};
+use richnote_obs::SpanTree;
+use std::collections::BTreeMap;
+
+/// The outcome of comparing a replay against a golden.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiffReport {
+    /// Human-readable report lines; empty means the snapshots match.
+    pub lines: Vec<String>,
+    /// Span trees present in exactly one side or differing between them.
+    pub diverging_trees: usize,
+    /// Counter series present in exactly one side or differing.
+    pub diverging_counters: usize,
+}
+
+impl DiffReport {
+    /// Whether the two snapshots were identical.
+    pub fn is_match(&self) -> bool {
+        self.diverging_trees == 0 && self.diverging_counters == 0
+    }
+
+    /// The report as one printable string (empty on a match).
+    pub fn render(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+/// Compares `replay` against `golden`. Span trees pair up by trace id,
+/// counters by `name{labels}`; every divergence contributes `-`/`+`
+/// lines (golden first) under a heading naming the tree or series.
+pub fn diff(golden: &CanonicalSnapshot, replay: &CanonicalSnapshot) -> DiffReport {
+    let mut report = DiffReport::default();
+    if golden.format != replay.format {
+        report.lines.push(format!(
+            "canonical format mismatch: golden v{}, replay v{}",
+            golden.format, replay.format
+        ));
+    }
+
+    let gold_trees: BTreeMap<u64, &SpanTree> = golden.trees.iter().map(|t| (t.trace, t)).collect();
+    let new_trees: BTreeMap<u64, &SpanTree> = replay.trees.iter().map(|t| (t.trace, t)).collect();
+    for (trace, gt) in &gold_trees {
+        match new_trees.get(trace) {
+            None => {
+                report.diverging_trees += 1;
+                report.lines.push(format!("trace {trace:#018x}: only in golden"));
+                for span in &gt.spans {
+                    report.lines.push(format!("  - {}", span_line(span)));
+                }
+            }
+            Some(nt) if nt.spans != gt.spans => {
+                report.diverging_trees += 1;
+                report.lines.push(format!("trace {trace:#018x}: spans diverge"));
+                diff_spans(&mut report.lines, gt, nt);
+            }
+            Some(_) => {}
+        }
+    }
+    for (trace, nt) in &new_trees {
+        if !gold_trees.contains_key(trace) {
+            report.diverging_trees += 1;
+            report.lines.push(format!("trace {trace:#018x}: only in replay"));
+            for span in &nt.spans {
+                report.lines.push(format!("  + {}", span_line(span)));
+            }
+        }
+    }
+
+    let gold_counters: BTreeMap<String, &CanonicalCounter> =
+        golden.counters.iter().map(|c| (c.key(), c)).collect();
+    let new_counters: BTreeMap<String, &CanonicalCounter> =
+        replay.counters.iter().map(|c| (c.key(), c)).collect();
+    for (key, gc) in &gold_counters {
+        match new_counters.get(key) {
+            None => {
+                report.diverging_counters += 1;
+                report.lines.push(format!("counter {key}: only in golden (value {})", gc.value));
+            }
+            Some(nc) if nc.value != gc.value => {
+                report.diverging_counters += 1;
+                report.lines.push(format!("counter {key}:"));
+                report.lines.push(format!("  - {}", gc.value));
+                report.lines.push(format!("  + {}", nc.value));
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, nc) in &new_counters {
+        if !gold_counters.contains_key(key) {
+            report.diverging_counters += 1;
+            report.lines.push(format!("counter {key}: only in replay (value {})", nc.value));
+        }
+    }
+
+    if !report.is_match() {
+        report.lines.push(format!(
+            "{} diverging span tree(s), {} diverging counter(s)",
+            report.diverging_trees, report.diverging_counters
+        ));
+    }
+    report
+}
+
+/// `-`/`+` lines for one diverging tree: spans only in the golden get
+/// `-`, spans only in the replay get `+`, shared spans are elided.
+fn diff_spans(lines: &mut Vec<String>, golden: &SpanTree, replay: &SpanTree) {
+    for span in &golden.spans {
+        if !replay.spans.contains(span) {
+            lines.push(format!("  - {}", span_line(span)));
+        }
+    }
+    for span in &replay.spans {
+        if !golden.spans.contains(span) {
+            lines.push(format!("  + {}", span_line(span)));
+        }
+    }
+}
+
+/// One span as a compact single line: the stage name plus the span's
+/// full JSON (all fields are logical, so all are meaningful in a diff).
+fn span_line(span: &richnote_obs::SpanRecord) -> String {
+    format!("{:?} {}", span.stage, serde_json::to_string(span).unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::CANONICAL_FORMAT;
+    use richnote_obs::SpanRecord;
+
+    fn canon_with(trees: Vec<SpanTree>, counters: Vec<CanonicalCounter>) -> CanonicalSnapshot {
+        CanonicalSnapshot { format: CANONICAL_FORMAT, trees, counters }
+    }
+
+    fn tree(trace: u64, levels: &[u8]) -> SpanTree {
+        let spans = levels
+            .iter()
+            .map(|&l| {
+                let decision = richnote_obs::SpanDecision {
+                    level: l,
+                    utility: 0.5,
+                    gradient: 0.1,
+                    budget_remaining: 1000,
+                };
+                SpanRecord::selected(trace, 0, 1, 7, 42, decision)
+            })
+            .collect();
+        SpanTree { trace, spans }
+    }
+
+    fn counter(name: &str, value: u64) -> CanonicalCounter {
+        CanonicalCounter {
+            name: name.to_string(),
+            labels: vec![("shard".to_string(), "0".to_string())],
+            value,
+        }
+    }
+
+    #[test]
+    fn identical_snapshots_match() {
+        let a = canon_with(vec![tree(9, &[2])], vec![counter("richnote_pubs_total", 5)]);
+        let report = diff(&a, &a.clone());
+        assert!(report.is_match());
+        assert!(report.render().is_empty());
+    }
+
+    #[test]
+    fn diverging_span_named_by_trace_and_stage() {
+        let golden = canon_with(vec![tree(9, &[2])], vec![]);
+        let replay = canon_with(vec![tree(9, &[1])], vec![]);
+        let report = diff(&golden, &replay);
+        assert!(!report.is_match());
+        assert_eq!(report.diverging_trees, 1);
+        let text = report.render();
+        assert!(text.contains("trace 0x0000000000000009"), "{text}");
+        assert!(text.contains("Select"), "report names the stage: {text}");
+        assert!(text.contains("- ") && text.contains("+ "), "{text}");
+    }
+
+    #[test]
+    fn missing_and_extra_trees_both_reported() {
+        let golden = canon_with(vec![tree(1, &[2]), tree(2, &[2])], vec![]);
+        let replay = canon_with(vec![tree(2, &[2]), tree(3, &[2])], vec![]);
+        let report = diff(&golden, &replay);
+        assert_eq!(report.diverging_trees, 2);
+        let text = report.render();
+        assert!(text.contains("only in golden"), "{text}");
+        assert!(text.contains("only in replay"), "{text}");
+    }
+
+    #[test]
+    fn counter_value_drift_reported_with_both_values() {
+        let golden = canon_with(vec![], vec![counter("richnote_selected_total", 10)]);
+        let replay = canon_with(vec![], vec![counter("richnote_selected_total", 8)]);
+        let report = diff(&golden, &replay);
+        assert_eq!(report.diverging_counters, 1);
+        let text = report.render();
+        assert!(text.contains("richnote_selected_total{shard=\"0\"}"), "{text}");
+        assert!(text.contains("- 10") && text.contains("+ 8"), "{text}");
+    }
+}

@@ -7,7 +7,17 @@
 //!         [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS]
 //!         [--repeat K] [--stats-every TICKS] [--trace-sample 1/N]
 //!         [--faults drop=P,seed=S] [--drain] [--shutdown]
+//! loadgen --record-golden PATH [--users N] [--days D] [--seed S]
 //! ```
+//!
+//! With `--record-golden`, the load generator ignores `--addr` entirely:
+//! it spawns a private in-process daemon in the canonical golden
+//! configuration (`richnote_server::golden_config`), records a seeded
+//! single-connection workload through the daemon's `--record` capture
+//! path, and rewrites the capture with synthesized timestamps so the
+//! committed fixture under `tests/goldens/` is byte-stable across
+//! machines. This is how the replay regression fixture is (re)generated;
+//! see `richnote-replay` for the other half of the loop.
 //!
 //! The trace's friend-feed structure is flattened to one feed per user:
 //! every user subscribes to their own feed and each item is published to
@@ -75,6 +85,9 @@ struct Args {
     trace_sample: SampleRate,
     drain: bool,
     shutdown: bool,
+    /// (Re)generate the committed replay golden capture at this path
+    /// instead of driving an external server.
+    record_golden: Option<String>,
 }
 
 impl Default for Args {
@@ -94,6 +107,7 @@ impl Default for Args {
             trace_sample: SampleRate::OFF,
             drain: false,
             shutdown: false,
+            record_golden: None,
         }
     }
 }
@@ -103,7 +117,8 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S] \
          [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS] [--repeat K] \
          [--stats-every TICKS] [--trace-sample 1/N] [--faults drop=P,seed=S] \
-         [--drain] [--shutdown]"
+         [--drain] [--shutdown]\n\
+         \x20      loadgen --record-golden PATH [--users N] [--days D] [--seed S]"
     );
     std::process::exit(2)
 }
@@ -176,6 +191,7 @@ fn parse_args() -> Args {
             }
             "--drain" => a.drain = true,
             "--shutdown" => a.shutdown = true,
+            "--record-golden" => a.record_golden = Some(value("--record-golden")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -588,6 +604,22 @@ fn run(a: &Args) -> ServerResult<()> {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    if let Some(path) = &args.record_golden {
+        return match richnote_server::record_golden(path, args.seed, args.users, args.days) {
+            Ok(summary) => {
+                println!(
+                    "golden capture written to {path}: {} record(s) covering {} publication(s) \
+                     (seed {}, {} users, {} day(s))",
+                    summary.records, summary.pubs, args.seed, args.users, args.days
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("loadgen: record-golden: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -7,6 +7,7 @@
 //!                 [--metrics-addr HOST:PORT] [--no-metrics]
 //!                 [--trace-capacity EVENTS] [--trace-sample 1/N]
 //!                 [--flight-capacity TREES] [--flight-dir DIR]
+//!                 [--record PATH]
 //!                 [--no-rsrc] [--slo-window SECS]
 //!                 [--slo-round-latency US] [--slo-ack-latency US]
 //!                 [--slo-shed-target FRACTION]
@@ -25,6 +26,10 @@
 //! `--flight-capacity` bounds the per-shard flight recorder of finished
 //! span trees, and `--flight-dir` makes shard panics and checkpoint
 //! failures dump those trees to CRC-framed `flight-shard-N.rnfl` files.
+//! `--record PATH` captures every inbound post-handshake request frame to
+//! a CRC-framed, hash-chained capture file for `richnote-replay` (see
+//! `richnote_server::record`); capture writes happen off the hot path and
+//! shed under backpressure (`richnote_record_shed_total`).
 //! `--no-rsrc` turns off per-thread CPU/allocation cost accounting
 //! (for overhead A/B runs; the counters export as zero). The `--slo-*`
 //! flags tune the health engine behind `/healthz` and the wire `Health`
@@ -54,6 +59,7 @@ fn usage() -> ! {
          [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] \
          [--metrics-addr HOST:PORT] [--no-metrics] [--trace-capacity EVENTS] \
          [--trace-sample 1/N] [--flight-capacity TREES] [--flight-dir DIR] \
+         [--record PATH] \
          [--no-rsrc] [--slo-window SECS] [--slo-round-latency US] \
          [--slo-ack-latency US] [--slo-shed-target FRACTION] [--faults SPEC]"
     );
@@ -101,6 +107,7 @@ fn parse_args() -> ServerConfigBuilder {
                 builder.flight_capacity(parse(&value("--flight-capacity"), "--flight-capacity"))
             }
             "--flight-dir" => builder.flight_dir(value("--flight-dir")),
+            "--record" => builder.record(value("--record")),
             "--no-rsrc" => builder.rsrc_enabled(false),
             "--slo-window" => {
                 slo.window_secs = parse(&value("--slo-window"), "--slo-window");

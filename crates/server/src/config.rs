@@ -77,6 +77,11 @@ pub struct ServerConfig {
     /// `/healthz` path. Absent in older config JSON, which deserializes
     /// to the default.
     pub slo: SloConfig,
+    /// Path of the wire-level capture file. `Some` records every inbound
+    /// post-handshake request frame (see `crate::record`); `None` (the
+    /// default, and what older config JSON deserializes to) disables
+    /// recording entirely.
+    pub record: Option<String>,
 }
 
 /// Resource-accounting switches.
@@ -216,6 +221,7 @@ impl Default for ServerConfig {
             flight_dir: None,
             rsrc: RsrcConfig::default(),
             slo: SloConfig::default(),
+            record: None,
         }
     }
 }
@@ -400,6 +406,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Path of the wire-level capture file; enables frame recording.
+    #[must_use]
+    pub fn record(mut self, path: impl Into<String>) -> Self {
+        self.cfg.record = Some(path.into());
+        self
+    }
+
     /// Validates and returns the finished config.
     ///
     /// # Errors
@@ -515,6 +528,26 @@ mod tests {
         assert_eq!(back.rsrc, RsrcConfig::default());
         assert_eq!(back.slo, SloConfig::default());
         assert_eq!(back, ServerConfig::default());
+    }
+
+    #[test]
+    fn pre_record_config_json_still_loads() {
+        // Configs serialized before the capture feature have no `record`
+        // field; it must deserialize as disabled, not fail.
+        let mut v = ServerConfig::default().to_value();
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "record");
+        }
+        let back = ServerConfig::from_value(&v).unwrap();
+        assert_eq!(back.record, None);
+        assert_eq!(back, ServerConfig::default());
+    }
+
+    #[test]
+    fn record_builder_sets_path() {
+        let cfg = ServerConfig::builder().record("/tmp/cap.rncap").build().unwrap();
+        assert_eq!(cfg.record.as_deref(), Some("/tmp/cap.rncap"));
+        assert!(ServerConfig::default().record.is_none());
     }
 
     #[test]

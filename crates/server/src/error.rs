@@ -59,6 +59,9 @@ pub enum ServerError {
         /// The error from the last attempt.
         last: Box<ServerError>,
     },
+    /// A wire-capture file could not be written or read, or is corrupt
+    /// (see [`crate::record`]).
+    Capture(crate::record::CaptureError),
 }
 
 impl ServerError {
@@ -92,6 +95,7 @@ impl fmt::Display for ServerError {
             ServerError::RetriesExhausted { attempts, last } => {
                 write!(f, "gave up after {attempts} attempts: {last}")
             }
+            ServerError::Capture(e) => write!(f, "{e}"),
         }
     }
 }
@@ -101,6 +105,7 @@ impl Error for ServerError {
         match self {
             ServerError::Io(e) => Some(e),
             ServerError::Config(e) => Some(e),
+            ServerError::Capture(e) => Some(e),
             ServerError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }

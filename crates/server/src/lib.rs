@@ -66,6 +66,7 @@ pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod queue;
+pub mod record;
 pub mod router;
 pub mod server;
 pub mod shard;
@@ -78,6 +79,11 @@ pub use error::{ConfigError, ServerError, ServerResult};
 pub use fault::{FaultPlan, FaultRng, ShardPanicFault};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardSnapshot};
 pub use queue::BoundedQueue;
+pub use record::{
+    chain_next, golden_config, record_golden, CaptureError, CaptureHeader, CaptureReader,
+    CaptureRecord, CaptureWriter, GoldenSummary, RecordSink, CAPTURE_FORMAT, CAPTURE_MAGIC,
+    GOLDEN_SESSION,
+};
 pub use router::shard_of;
 pub use server::{RestoreSummary, Server};
 pub use shard::ShardState;

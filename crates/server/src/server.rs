@@ -6,6 +6,7 @@ use crate::config::ServerConfig;
 use crate::error::{ServerError, ServerResult};
 use crate::fault::ShortReader;
 use crate::metrics::MetricsSnapshot;
+use crate::record::RecordSink;
 use crate::router::{PublishOutcome, Router};
 use crate::shard::{ShardMsg, ShardWorker};
 use crate::wire::{
@@ -68,6 +69,9 @@ struct ServerObs {
     /// Times [`ConnStages::flush`] found the registry lock held.
     registry_contended_count: AtomicU64,
     registry_contended: CounterHandle,
+    /// Exported `richnote_record_shed_total`; fed from the record sink's
+    /// shed count in [`collect_stats`] (zero when recording is off).
+    record_shed: CounterHandle,
     /// Feeds the SLO engine from stats deltas; one tracker per daemon.
     slo: Mutex<SloTracker>,
     /// Exported burn/budget series, indexed like the engine's objectives.
@@ -132,6 +136,12 @@ impl ServerObs {
             "Server-registry lock acquisitions that found the lock held",
             &[("shard", "server")],
         );
+        let record_shed = registry.counter(
+            "richnote_record_shed_total",
+            "Inbound frames not captured because the record channel was full \
+             or the capture writer failed",
+            &[("shard", "server")],
+        );
         let mut engine = SloEngine::new(cfg.slo.window_secs, cfg.slo.buckets);
         let mut slo_handles = Vec::new();
         let mut add = |registry: &mut Registry, engine: &mut SloEngine, name: &str, target| {
@@ -190,6 +200,7 @@ impl ServerObs {
             uptime,
             registry_contended_count: AtomicU64::new(0),
             registry_contended,
+            record_shed,
             slo: Mutex::new(SloTracker {
                 engine,
                 round_idx,
@@ -323,6 +334,10 @@ struct ConnCtx {
     /// Serializes coordinated checkpoint writes across connections.
     ckpt_lock: Mutex<()>,
     obs: ServerObs,
+    /// Wire-capture sink, when [`ServerConfig::record`] is set. Dropped
+    /// (draining and flushing the capture) when the last connection
+    /// thread releases the context after [`Server::run`] returns.
+    record: Option<RecordSink>,
 }
 
 impl Server {
@@ -404,6 +419,12 @@ impl Server {
         let router = Arc::new(Router::new(queues));
         router.restore(&sessions, &subscriptions);
         let obs = ServerObs::new(&cfg);
+        // Create the capture file now, not at first frame: a daemon asked
+        // to record into an unwritable path must fail at bind.
+        let record = match &cfg.record {
+            Some(path) => Some(RecordSink::create(path, &cfg)?),
+            None => None,
+        };
         Ok(Server {
             listener,
             local_addr,
@@ -419,6 +440,7 @@ impl Server {
                 conn_counter: AtomicU64::new(0),
                 ckpt_lock: Mutex::new(()),
                 obs,
+                record,
             }),
             restored,
         })
@@ -532,6 +554,7 @@ fn collect_stats(ctx: &ConnCtx) -> (RegistrySnapshot, usize) {
             ctx.obs.registry_contended,
             ctx.obs.registry_contended_count.load(Ordering::Relaxed),
         );
+        reg.set_counter(ctx.obs.record_shed, ctx.record.as_ref().map_or(0, RecordSink::shed_count));
     }
     let shard_snaps = broadcast(&ctx.router, |reply| ShardMsg::Stats { reply });
     let alive = shard_snaps.len();
@@ -831,6 +854,14 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
             dump_flights(ctx, "fault_injected");
             stages.flush(&ctx.obs);
             return Ok(());
+        }
+        // Wire capture: every post-handshake frame that will be processed
+        // (a fault-reset frame above was dropped on the wire, so a replay
+        // must not re-apply it). Hello itself is excluded — replay mints
+        // its own handshakes. `offer` never blocks; overflow sheds into
+        // `richnote_record_shed_total`.
+        if let (Some(sink), Some(s)) = (&ctx.record, session) {
+            sink.offer(s, &req);
         }
         let collect_deliveries = matches!(&req, Request::TickReport { .. });
         match req {

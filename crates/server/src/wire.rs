@@ -337,18 +337,31 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<(
 /// Returns any underlying I/O error, or [`ServerError::Frame`] for an
 /// oversized payload.
 pub fn write_frame_unflushed<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<()> {
+    let bytes = encode_frame_payload(msg)?;
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(&[(PROTO_VERSION & 0xFF) as u8])?;
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Serializes `msg` to the exact payload bytes [`write_frame`] would put
+/// on the wire (the JSON between the header and the next frame), checked
+/// against [`MAX_FRAME_BYTES`]. The capture/replay subsystem records these
+/// bytes verbatim so a replayed frame is byte-identical to the original.
+///
+/// # Errors
+///
+/// Returns [`ServerError::Frame`] for an oversized payload.
+pub fn encode_frame_payload<T: Serialize>(msg: &T) -> ServerResult<Vec<u8>> {
     let payload = serde_json::to_string(msg).map_err(|e| ServerError::Frame(e.to_string()))?;
-    let bytes = payload.as_bytes();
+    let bytes = payload.into_bytes();
     if bytes.len() as u64 > u64::from(MAX_FRAME_BYTES) {
         return Err(ServerError::Frame(format!(
             "frame of {} bytes exceeds MAX_FRAME_BYTES",
             bytes.len()
         )));
     }
-    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
-    w.write_all(&[(PROTO_VERSION & 0xFF) as u8])?;
-    w.write_all(bytes)?;
-    Ok(())
+    Ok(bytes)
 }
 
 /// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary.
@@ -434,6 +447,16 @@ mod tests {
             assert_eq!(&got, want);
         }
         assert!(read_frame::<_, Request>(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn encode_frame_payload_matches_the_wire_bytes() {
+        let req = Request::Tick { rounds: 3 };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req).unwrap();
+        let payload = encode_frame_payload(&req).unwrap();
+        assert_eq!(&buf[5..], &payload[..], "payload must equal the bytes after the header");
+        assert_eq!(u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize, payload.len());
     }
 
     #[test]
