@@ -24,7 +24,7 @@ fn notification(id: u64) -> QueuedNotification {
             features: ContentFeatures::default(),
             interaction: Interaction::Hovered,
         },
-        ladder: AudioPresentationSpec::paper_default().ladder(),
+        ladder: std::sync::Arc::new(AudioPresentationSpec::paper_default().ladder()),
         content_utility: 0.1 + 0.8 * ((id * 37) % 101) as f64 / 101.0,
         enqueued_at: 0.0,
     }

@@ -324,7 +324,7 @@ impl Scenario {
             .build()
             .map_err(|e| format!("config: {e}"))?;
         let (addr, handle) = Server::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
-        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let mut client = Client::builder(addr).connect().map_err(|e| format!("connect: {e}"))?;
 
         let trace = TraceGenerator::new(TraceConfig {
             seed,
@@ -389,7 +389,7 @@ impl Scenario {
         replay_into(addr, capture, &records, opts).map_err(|e| format!("replay: {e}"))?;
         let elapsed = started.elapsed().as_secs_f64().max(1e-9);
 
-        let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let mut client = Client::builder(addr).connect().map_err(|e| format!("connect: {e}"))?;
         let snap = client.stats().map_err(|e| format!("stats: {e}"))?.snapshot;
         client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
         handle.join().map_err(|_| "server thread panicked".to_string())?;
@@ -414,6 +414,12 @@ impl Scenario {
 const MAX_THROUGHPUT_LOSS: f64 = 0.15;
 /// Maximum tolerated CPU-time-per-publication growth vs the baseline.
 const MAX_CPU_GROWTH: f64 = 0.25;
+/// Absolute ceiling on shard-thread allocations per publication in the
+/// steady scenario. The binary-codec + scratch-reuse work brought this
+/// to ~0; the gate keeps any future per-publication allocation from
+/// creeping back onto the hot path unnoticed. Steady-only: surge sheds
+/// (drop bookkeeping) and replay (socket feeding) allocate by design.
+const MAX_ALLOCS_PER_PUB: f64 = 1.0;
 
 /// Compares `new` against `base`, returning every regression found.
 /// Noise-aware: a metric is only judged when the baseline measured
@@ -467,6 +473,15 @@ fn regressions(base: &BenchReport, new: &BenchReport) -> Vec<String> {
                     MAX_CPU_GROWTH * 100.0
                 ));
             }
+        }
+        // Absolute (not baseline-relative) gate: the steady hot path must
+        // stay allocation-free. Only judged when allocation accounting ran
+        // in this report, so `--no-rsrc` A/B runs are never misjudged.
+        if n.name == "steady" && new.rsrc && n.allocs_per_pub > MAX_ALLOCS_PER_PUB {
+            out.push(format!(
+                "{}: {:.2} allocs/pub > {:.1} absolute ceiling (hot-path allocation crept back)",
+                n.name, n.allocs_per_pub, MAX_ALLOCS_PER_PUB
+            ));
         }
     }
     out

@@ -89,6 +89,40 @@ impl MckpItem {
         Self::new(id, sizes.iter().copied().zip(utilities.iter().copied()).collect())
     }
 
+    /// Rebuilds this item in place from `(size, utility)` pairs for levels
+    /// `1..`, reusing the existing level storage. The allocation-free
+    /// counterpart of [`MckpItem::new`] for per-round scratch instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or sizes are not strictly increasing.
+    pub fn reset_with(&mut self, id: usize, levels: impl IntoIterator<Item = (u64, f64)>) {
+        self.id = id;
+        self.levels.clear();
+        self.levels.push((0u64, 0.0f64));
+        self.levels.extend(levels);
+        assert!(self.levels.len() > 1, "an MCKP item needs at least one deliverable level");
+        for w in self.levels.windows(2) {
+            assert!(
+                w[1].0 > w[0].0,
+                "presentation sizes must be strictly increasing: {:?}",
+                self.levels
+            );
+        }
+    }
+
+    /// Builds an item from an iterator of `(size, utility)` pairs for
+    /// levels `1..` (the iterator twin of [`MckpItem::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or sizes are not strictly increasing.
+    pub fn from_levels_iter(id: usize, levels: impl IntoIterator<Item = (u64, f64)>) -> Self {
+        let mut item = Self { id, levels: Vec::new() };
+        item.reset_with(id, levels);
+        item
+    }
+
     /// All levels including level 0, as `(size, utility)` pairs.
     pub fn levels(&self) -> &[(u64, f64)] {
         &self.levels
@@ -207,15 +241,58 @@ pub fn select_greedy(items: &[MckpItem], budget: u64) -> Selection {
 
 /// Greedy heuristic with explicit [`GreedyOptions`].
 pub fn select_greedy_with(items: &[MckpItem], budget: u64, opts: GreedyOptions) -> Selection {
-    let mut levels = vec![0u8; items.len()];
+    let mut scratch = GreedyScratch::default();
+    select_greedy_into(items, budget, opts, &mut scratch);
+    Selection::from_levels(items, std::mem::take(&mut scratch.levels))
+}
+
+/// Reusable working memory for [`select_greedy_into`]. One instance per
+/// scheduler amortizes the heap and level-vector allocations across
+/// rounds — the solver itself then allocates nothing in steady state.
+#[derive(Debug, Default, Clone)]
+pub struct GreedyScratch {
+    heap: BinaryHeap<HeapEntry>,
+    /// Chosen level per item after a solve, aligned with the input slice.
+    levels: Vec<u8>,
+}
+
+impl GreedyScratch {
+    /// Chosen level for each item from the most recent solve.
+    pub fn levels(&self) -> &[u8] {
+        &self.levels
+    }
+
+    /// Indices of items chosen at level ≥ 1 (i.e. actually delivered) in
+    /// the most recent solve, as `(item index, level)` pairs.
+    pub fn delivered(&self) -> impl Iterator<Item = (usize, u8)> + '_ {
+        self.levels.iter().enumerate().filter(|(_, &l)| l > 0).map(|(i, &l)| (i, l))
+    }
+}
+
+/// Allocation-free greedy heuristic: identical selection semantics to
+/// [`select_greedy_with`], but working memory lives in `scratch` and the
+/// chosen levels are left in [`GreedyScratch::levels`]. Returns the total
+/// size of the chosen presentations, bytes.
+pub fn select_greedy_into(
+    items: &[MckpItem],
+    budget: u64,
+    opts: GreedyOptions,
+    scratch: &mut GreedyScratch,
+) -> u64 {
+    let levels = &mut scratch.levels;
+    levels.clear();
+    levels.resize(items.len(), 0u8);
     let mut total_size = 0u64;
 
-    let mut heap: BinaryHeap<HeapEntry> = items
-        .iter()
-        .enumerate()
-        .filter(|(_, it)| it.max_level() >= 1)
-        .map(|(idx, it)| HeapEntry { gradient: it.gradient(0), item: idx })
-        .collect();
+    let heap = &mut scratch.heap;
+    heap.clear();
+    heap.extend(
+        items
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| it.max_level() >= 1)
+            .map(|(idx, it)| HeapEntry { gradient: it.gradient(0), item: idx }),
+    );
 
     while let Some(entry) = heap.pop() {
         if !opts.allow_nonpositive_gradients && entry.gradient <= 0.0 {
@@ -237,8 +314,11 @@ pub fn select_greedy_with(items: &[MckpItem], budget: u64, opts: GreedyOptions) 
         }
         // else: skip this upgrade permanently and keep draining the heap.
     }
+    // A stopped solve leaves stale entries behind; clear so the next
+    // round starts from an empty heap without a fresh allocation.
+    heap.clear();
 
-    Selection::from_levels(items, levels)
+    total_size
 }
 
 /// The final, possibly partial, upgrade of the fractional relaxation.

@@ -17,7 +17,7 @@
 use crate::content::ContentItem;
 use crate::ids::ContentId;
 use crate::lyapunov::{LyapunovConfig, LyapunovState};
-use crate::mckp::{select_greedy_with, GreedyOptions, MckpItem};
+use crate::mckp::{select_greedy_into, GreedyOptions, GreedyScratch, MckpItem};
 use crate::policy::{
     FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectDecision,
     SelectionObserver, WrongPolicy,
@@ -26,6 +26,7 @@ use crate::presentation::PresentationLadder;
 use crate::utility::combined_utility;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Energy-cost model for downloading bytes under the *current* network
 /// conditions — the `ρ(i, j)` of the formulation. Implemented by the
@@ -114,8 +115,12 @@ impl std::fmt::Debug for RoundContext<'_> {
 pub struct QueuedNotification {
     /// The underlying content item.
     pub item: ContentItem,
-    /// Its presentation ladder.
-    pub ladder: PresentationLadder,
+    /// Its presentation ladder. Shared: every notification minted from
+    /// the same spec points at one ladder, so enqueueing never deep-copies
+    /// the level table (the dominant per-publication allocation before
+    /// the hot-path purge). Serialization is transparent — checkpoints
+    /// store the ladder inline exactly as before.
+    pub ladder: Arc<PresentationLadder>,
     /// Content utility `Uc(i)` assigned by the utility model.
     pub content_utility: f64,
     /// Broker time at which the notification entered the queue.
@@ -231,6 +236,22 @@ pub struct RichNoteScheduler {
     lyap: LyapunovState,
     queue: Vec<QueuedNotification>,
     expired: u64,
+    /// Per-round working memory, reused across rounds so the hot path
+    /// allocates nothing in steady state. Never checkpointed: a solve's
+    /// leftovers carry no policy state.
+    scratch: RoundScratch,
+}
+
+/// Reusable per-round working memory for [`RichNoteScheduler`]: the MCKP
+/// instance, the greedy solver's heap and level vector, and the chosen /
+/// removal index vectors. All of it is rebuilt from the queue every
+/// round, so it is deliberately excluded from [`SchedulerCheckpoint`].
+#[derive(Debug, Default)]
+struct RoundScratch {
+    items: Vec<MckpItem>,
+    greedy: GreedyScratch,
+    chosen: Vec<(usize, u8)>,
+    indices: Vec<usize>,
 }
 
 /// Builder for [`RichNoteScheduler`], mirroring the server's
@@ -274,6 +295,7 @@ impl RichNoteSchedulerBuilder {
             cfg,
             queue: Vec::new(),
             expired: 0,
+            scratch: RoundScratch::default(),
         }
     }
 }
@@ -319,7 +341,13 @@ impl RichNoteScheduler {
     /// Rebuilds a scheduler from a [`SchedulerCheckpoint`], resuming the
     /// round loop exactly where the checkpointed instance left off.
     pub fn from_checkpoint(ck: SchedulerCheckpoint) -> Self {
-        Self { cfg: ck.config, lyap: ck.lyapunov, queue: ck.queue, expired: ck.expired }
+        Self {
+            cfg: ck.config,
+            lyap: ck.lyapunov,
+            queue: ck.queue,
+            expired: ck.expired,
+            scratch: RoundScratch::default(),
+        }
     }
 
     /// The round body shared by [`NotificationScheduler::run_round`] (noop
@@ -337,41 +365,45 @@ impl RichNoteScheduler {
 
         let budget = (self.lyap.data_budget() as u64).min(ctx.link_capacity);
 
-        // Build the MCKP instance with Lyapunov-adjusted utilities (Eq. 7).
-        let items: Vec<MckpItem> = self
-            .queue
-            .iter()
-            .enumerate()
-            .map(|(idx, n)| {
-                let s_total = n.ladder.total_size();
-                let (sizes, utils): (Vec<u64>, Vec<f64>) = n
-                    .ladder
-                    .deliverable()
-                    .iter()
-                    .map(|p| {
-                        let rho = ctx.cost.energy(p.size);
-                        let u = combined_utility(n.content_utility, p.utility);
-                        (p.size, self.lyap.adjusted_utility(s_total, rho, u))
-                    })
-                    .unzip();
-                MckpItem::from_adjusted(idx, &sizes, &utils)
-            })
-            .collect();
+        // Build the MCKP instance with Lyapunov-adjusted utilities (Eq. 7),
+        // rewriting last round's scratch items in place. Disjoint field
+        // borrows: the queue and Lyapunov state are read, the scratch is
+        // written.
+        let queue = &self.queue;
+        let lyap = &self.lyap;
+        let scratch = &mut self.scratch;
+        scratch.items.truncate(queue.len());
+        for (idx, n) in queue.iter().enumerate() {
+            let s_total = n.ladder.total_size();
+            let levels = n.ladder.deliverable().iter().map(|p| {
+                let rho = ctx.cost.energy(p.size);
+                let u = combined_utility(n.content_utility, p.utility);
+                (p.size, lyap.adjusted_utility(s_total, rho, u))
+            });
+            match scratch.items.get_mut(idx) {
+                Some(item) => item.reset_with(idx, levels),
+                None => scratch.items.push(MckpItem::from_levels_iter(idx, levels)),
+            }
+        }
 
-        let selection = select_greedy_with(&items, budget, self.cfg.greedy);
+        select_greedy_into(&scratch.items, budget, self.cfg.greedy, &mut scratch.greedy);
 
         // Move winners to the delivery queue, sorted in descending combined
         // utility (Algorithm 2, step 1), and update budgets (step 3).
-        let mut chosen: Vec<(usize, u8)> = selection.delivered().collect();
-        chosen.sort_by(|a, b| {
-            let ua = self.queue[a.0].utility_at(a.1);
-            let ub = self.queue[b.0].utility_at(b.1);
+        scratch.chosen.clear();
+        scratch.chosen.extend(scratch.greedy.delivered());
+        scratch.chosen.sort_by(|a, b| {
+            let ua = queue[a.0].utility_at(a.1);
+            let ub = queue[b.0].utility_at(b.1);
             ub.total_cmp(&ua)
         });
 
-        let mut delivered = Vec::with_capacity(chosen.len());
+        // `with_capacity(0)` does not allocate, so rounds that deliver
+        // nothing (the common steady-state case between budget refills)
+        // stay allocation-free end to end.
+        let mut delivered = Vec::with_capacity(self.scratch.chosen.len());
         let mut bytes_before = 0u64;
-        for &(idx, level) in &chosen {
+        for &(idx, level) in &self.scratch.chosen {
             let n = &self.queue[idx];
             let pres = n.ladder.get(level);
             let energy = ctx.cost.energy(pres.size);
@@ -386,7 +418,7 @@ impl RichNoteScheduler {
                     level,
                     size: pres.size,
                     utility,
-                    gradient: items[idx].gradient(level - 1),
+                    gradient: self.scratch.items[idx].gradient(level - 1),
                     budget_remaining: budget.saturating_sub(bytes_before),
                 },
             );
@@ -403,9 +435,10 @@ impl RichNoteScheduler {
 
         // Remove delivered items from the scheduling queue (descending
         // index order keeps the remaining indices valid).
-        let mut indices: Vec<usize> = chosen.iter().map(|&(i, _)| i).collect();
-        indices.sort_unstable_by(|a, b| b.cmp(a));
-        for idx in indices {
+        self.scratch.indices.clear();
+        self.scratch.indices.extend(self.scratch.chosen.iter().map(|&(i, _)| i));
+        self.scratch.indices.sort_unstable_by(|a, b| b.cmp(a));
+        for &idx in &self.scratch.indices {
             self.queue.swap_remove(idx);
         }
 
@@ -774,7 +807,7 @@ mod tests {
                 features: ContentFeatures::default(),
                 interaction: Interaction::Hovered,
             },
-            ladder: AudioPresentationSpec::paper_default().ladder(),
+            ladder: Arc::new(AudioPresentationSpec::paper_default().ladder()),
             content_utility,
             enqueued_at,
         }
@@ -915,7 +948,7 @@ mod tests {
     fn baseline_clamps_missing_levels() {
         let ladder = crate::presentation::PresentationLadder::new(vec![(200, 0.01)]).unwrap();
         let mut n = notification(1, 0.9, 0.0);
-        n.ladder = ladder;
+        n.ladder = Arc::new(ladder);
         let mut fifo = FifoScheduler::builder().fixed_level(6).build();
         fifo.enqueue(n);
         let delivered = fifo.run_round(&online_ctx(0, 1_000));

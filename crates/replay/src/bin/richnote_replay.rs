@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! richnote-replay run --capture PATH [--addr HOST:PORT] [--speed N]
-//!                     [--as-fast-as-possible] [--out PATH] [--golden PATH]
+//!                     [--as-fast-as-possible] [--codec json|binary]
+//!                     [--out PATH] [--golden PATH]
 //! richnote-replay diff GOLDEN.json REPLAY.json
 //! ```
 //!
@@ -13,7 +14,9 @@
 //! daemon instead. `--speed N` compresses the capture's timeline by `N`;
 //! `--as-fast-as-possible` ignores timestamps entirely. `--out` writes
 //! the canonical snapshot JSON; `--golden` additionally diffs against a
-//! committed snapshot and exits nonzero on divergence.
+//! committed snapshot and exits nonzero on divergence. `--codec` picks
+//! the frame codec the replay clients offer (captures themselves are
+//! codec-independent); the default is binary.
 //!
 //! `diff` compares two canonical snapshot files without running anything.
 //!
@@ -22,13 +25,13 @@
 
 use richnote_replay::canon::CanonicalSnapshot;
 use richnote_replay::{diff::diff, replay_into, replay_spawned, ReplayOptions};
-use richnote_server::CaptureReader;
+use richnote_server::{CaptureReader, CodecKind};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
         "usage: richnote-replay run --capture PATH [--addr HOST:PORT] [--speed N] \
-         [--as-fast-as-possible] [--out PATH] [--golden PATH]\n\
+         [--as-fast-as-possible] [--codec json|binary] [--out PATH] [--golden PATH]\n\
          \x20      richnote-replay diff GOLDEN.json REPLAY.json"
     );
     std::process::exit(2)
@@ -67,6 +70,13 @@ fn run(mut args: impl Iterator<Item = String>) -> ExitCode {
                 });
             }
             "--as-fast-as-possible" => opts.as_fast_as_possible = true,
+            "--codec" => {
+                let spec = value("--codec");
+                opts.codec = spec.parse::<CodecKind>().unwrap_or_else(|e| {
+                    eprintln!("bad value for --codec: {e}");
+                    usage()
+                });
+            }
             "--out" => out = Some(value("--out")),
             "--golden" => golden = Some(value("--golden")),
             "--help" | "-h" => usage(),

@@ -32,8 +32,8 @@ pub mod diff;
 use canon::CanonicalSnapshot;
 use richnote_server::wire::Request;
 use richnote_server::{
-    CaptureError, CaptureReader, CaptureRecord, Client, Server, ServerConfig, ServerError,
-    ServerResult,
+    CaptureError, CaptureReader, CaptureRecord, Client, CodecKind, Server, ServerConfig,
+    ServerError, ServerResult,
 };
 use std::collections::BTreeMap;
 use std::net::SocketAddr;
@@ -48,11 +48,16 @@ pub struct ReplayOptions {
     /// Ignore capture timestamps entirely and feed frames back-to-back
     /// (perf runs and CI gates).
     pub as_fast_as_possible: bool,
+    /// Frame codec the replay clients offer in their handshakes. The
+    /// capture itself is codec-independent (it stores decoded requests in
+    /// canonical form), so any choice replays any capture; binary is the
+    /// default because it is the fastest way to feed the daemon.
+    pub codec: CodecKind,
 }
 
 impl Default for ReplayOptions {
     fn default() -> Self {
-        ReplayOptions { speed: 1.0, as_fast_as_possible: false }
+        ReplayOptions { speed: 1.0, as_fast_as_possible: false, codec: CodecKind::Binary }
     }
 }
 
@@ -130,9 +135,13 @@ pub fn replay_into(
         // per-session publish sequence numbers) as during capture.
         let client = match clients.entry(record.session) {
             std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
-            std::collections::btree_map::Entry::Vacant(e) => {
-                e.insert(Client::connect_with(addr, None, record.session)?)
-            }
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(
+                Client::builder(addr)
+                    .no_retry()
+                    .session(record.session)
+                    .codec(opts.codec)
+                    .connect()?,
+            ),
         };
         match req {
             Request::Subscribe { user, topic } => {
@@ -175,7 +184,7 @@ pub fn replay_into(
     }
     let elapsed_secs = started.elapsed().as_secs_f64();
 
-    let mut control = Client::connect_with(addr, None, 0)?;
+    let mut control = Client::builder(addr).no_retry().session(0).codec(opts.codec).connect()?;
     let (events, dropped) = control.trace_dump()?;
     if dropped > 0 {
         return Err(ServerError::from(CaptureError::Record {
@@ -231,7 +240,7 @@ pub fn replay_spawned(
 
     // Shut the daemon down whether or not the feed succeeded, so a
     // failed replay does not leak a listener thread.
-    let stop = Client::connect_with(addr, None, 0).and_then(|mut c| c.shutdown());
+    let stop = Client::builder(addr).no_retry().session(0).connect().and_then(|mut c| c.shutdown());
     let _ = handle.join();
     let outcome = outcome?;
     stop?;

@@ -77,9 +77,12 @@ fn interleaved_multi_session_capture_replays_identically() {
     })
     .generate();
     let mut publishers: Vec<Client> = (0..3)
-        .map(|i| Client::connect_with(addr, None, 300 + i).expect("publisher connect"))
+        .map(|i| {
+            Client::builder(addr).no_retry().session(300 + i).connect().expect("publisher connect")
+        })
         .collect();
-    let mut ticker = Client::connect_with(addr, None, 400).expect("ticker connect");
+    let mut ticker =
+        Client::builder(addr).no_retry().session(400).connect().expect("ticker connect");
     for item in &trace.items {
         publishers[0].subscribe(item.recipient, Topic::FriendFeed(item.recipient)).unwrap();
     }

@@ -52,8 +52,8 @@ use richnote_core::UserId;
 use richnote_pubsub::Topic;
 use richnote_server::wire::Delivery;
 use richnote_server::{
-    derive_trace_id, Client, FaultRng, Log2Histogram, SampleRate, ServerError, ServerResult,
-    SpanStage, SpanTree,
+    derive_trace_id, Client, CodecKind, FaultRng, Log2Histogram, SampleRate, ServerError,
+    ServerResult, SpanStage, SpanTree,
 };
 use richnote_trace::{TraceConfig, TraceGenerator};
 use std::collections::HashMap;
@@ -88,6 +88,9 @@ struct Args {
     /// (Re)generate the committed replay golden capture at this path
     /// instead of driving an external server.
     record_golden: Option<String>,
+    /// Frame codec every connection offers in its handshake; the server
+    /// may still negotiate down to JSON.
+    codec: CodecKind,
 }
 
 impl Default for Args {
@@ -108,6 +111,7 @@ impl Default for Args {
             drain: false,
             shutdown: false,
             record_golden: None,
+            codec: CodecKind::Binary,
         }
     }
 }
@@ -117,7 +121,7 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--users N] [--days D] [--seed S] \
          [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS] [--repeat K] \
          [--stats-every TICKS] [--trace-sample 1/N] [--faults drop=P,seed=S] \
-         [--drain] [--shutdown]\n\
+         [--codec json|binary] [--drain] [--shutdown]\n\
          \x20      loadgen --record-golden PATH [--users N] [--days D] [--seed S]"
     );
     std::process::exit(2)
@@ -189,6 +193,7 @@ fn parse_args() -> Args {
                 let spec = value("--faults");
                 parse_faults(&spec, &mut a);
             }
+            "--codec" => a.codec = parse(&value("--codec"), "--codec"),
             "--drain" => a.drain = true,
             "--shutdown" => a.shutdown = true,
             "--record-golden" => a.record_golden = Some(value("--record-golden")),
@@ -319,7 +324,7 @@ fn verify_span_trees(control: &mut Client, a: &Args, minted: u64) -> ServerResul
 }
 
 fn run(a: &Args) -> ServerResult<()> {
-    let mut control = Client::connect(&a.addr)?;
+    let mut control = Client::builder(&a.addr).codec(a.codec).connect()?;
     let shards = control.shards();
 
     let mut cfg =
@@ -361,12 +366,13 @@ fn run(a: &Args) -> ServerResult<()> {
     let ticker = {
         let publishing = Arc::clone(&publishing);
         let addr = a.addr.clone();
+        let codec = a.codec;
         let tick_ms = a.tick_ms;
         let stats_every = a.stats_every;
         let publish_at = Arc::clone(&publish_at);
         let client_lat = Arc::clone(&client_lat);
         std::thread::spawn(move || -> ServerResult<()> {
-            let mut c = Client::connect(&addr)?;
+            let mut c = Client::builder(&addr).codec(codec).connect()?;
             let mut ticks = 0u64;
             while publishing.load(Ordering::Relaxed) {
                 if stats_every > 0 {
@@ -412,10 +418,11 @@ fn run(a: &Args) -> ServerResult<()> {
             let publish_at = &publish_at;
             let trace_sample = a.trace_sample;
             let seed = a.seed;
+            let codec = a.codec;
             let mut chaos =
                 FaultRng::new(a.fault_seed ^ (conn as u64).wrapping_mul(0xA24B_AED4_963E_E407));
             handles.push(scope.spawn(move || -> ServerResult<usize> {
-                let mut c = Client::connect(addr)?;
+                let mut c = Client::builder(addr).codec(codec).connect()?;
                 let t0 = Instant::now();
                 let mut sent = 0usize;
                 for rep in 0..repeat {

@@ -7,7 +7,7 @@
 //!                 [--metrics-addr HOST:PORT] [--no-metrics]
 //!                 [--trace-capacity EVENTS] [--trace-sample 1/N]
 //!                 [--flight-capacity TREES] [--flight-dir DIR]
-//!                 [--record PATH]
+//!                 [--record PATH] [--codec json|binary]
 //!                 [--no-rsrc] [--slo-window SECS]
 //!                 [--slo-round-latency US] [--slo-ack-latency US]
 //!                 [--slo-shed-target FRACTION]
@@ -30,6 +30,9 @@
 //! a CRC-framed, hash-chained capture file for `richnote-replay` (see
 //! `richnote_server::record`); capture writes happen off the hot path and
 //! shed under backpressure (`richnote_record_shed_total`).
+//! `--codec` caps the richest frame codec the daemon will negotiate in
+//! the v2 handshake: `binary` (the default) lets binary-capable clients
+//! upgrade, `json` pins every connection to the JSON framing.
 //! `--no-rsrc` turns off per-thread CPU/allocation cost accounting
 //! (for overhead A/B runs; the counters export as zero). The `--slo-*`
 //! flags tune the health engine behind `/healthz` and the wire `Health`
@@ -41,7 +44,7 @@
 
 use richnote_obs::rsrc::{set_alloc_counting, CountingAlloc};
 use richnote_server::{
-    FaultPlan, SampleRate, Server, ServerConfig, ServerConfigBuilder, SloConfig,
+    CodecKind, FaultPlan, SampleRate, Server, ServerConfig, ServerConfigBuilder, SloConfig,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -59,7 +62,7 @@ fn usage() -> ! {
          [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] \
          [--metrics-addr HOST:PORT] [--no-metrics] [--trace-capacity EVENTS] \
          [--trace-sample 1/N] [--flight-capacity TREES] [--flight-dir DIR] \
-         [--record PATH] \
+         [--record PATH] [--codec json|binary] \
          [--no-rsrc] [--slo-window SECS] [--slo-round-latency US] \
          [--slo-ack-latency US] [--slo-shed-target FRACTION] [--faults SPEC]"
     );
@@ -108,6 +111,7 @@ fn parse_args() -> ServerConfigBuilder {
             }
             "--flight-dir" => builder.flight_dir(value("--flight-dir")),
             "--record" => builder.record(value("--record")),
+            "--codec" => builder.codec(parse::<CodecKind>(&value("--codec"), "--codec")),
             "--no-rsrc" => builder.rsrc_enabled(false),
             "--slo-window" => {
                 slo.window_secs = parse(&value("--slo-window"), "--slo-window");

@@ -358,7 +358,7 @@ fn render(
 }
 
 fn run(a: &Args) -> ServerResult<()> {
-    let mut client = Client::connect(&a.addr)?;
+    let mut client = Client::builder(&a.addr).connect()?;
     let mut prev_pubs: Option<HashMap<usize, u64>> = None;
     let mut last = Instant::now();
     loop {

@@ -19,12 +19,13 @@
 //! again. Single-ticker deployments that need exactly-once pacing should
 //! compare the returned round counter against their own.
 
+use crate::codec::{codec_for, CodecKind, FrameCodec};
 use crate::error::{ServerError, ServerResult};
 use crate::fault::FaultRng;
 use crate::metrics::MetricsSnapshot;
 use crate::wire::{
-    read_frame, write_frame, write_frame_unflushed, BuildInfo, Delivery, ErrorCode, HealthReport,
-    Request, Response, PROTO_VERSION,
+    read_frame, write_frame, BuildInfo, Delivery, ErrorCode, HealthReport, Request, Response,
+    PROTO_VERSION,
 };
 use richnote_core::{ContentItem, UserId};
 use richnote_obs::{FlightDump, RegistrySnapshot, TraceEvent};
@@ -98,6 +99,10 @@ struct Conn {
     writer: BufWriter<TcpStream>,
     /// Kept solely so chaos tests can slam the socket shut.
     stream: TcpStream,
+    /// The frame codec negotiated in this connection's handshake. The
+    /// handshake itself always speaks v2 JSON framing; everything after
+    /// goes through this object (and its reused scratch buffer).
+    codec: Box<dyn FrameCodec>,
 }
 
 /// See the module docs.
@@ -105,6 +110,9 @@ pub struct Client {
     addr: String,
     policy: Option<RetryPolicy>,
     session: u64,
+    /// Richest codec offered in every handshake; the server may
+    /// negotiate down (see [`crate::codec::negotiate`]).
+    codec_pref: CodecKind,
     conn: Option<Conn>,
     pending: VecDeque<Pending>,
     next_seq: u64,
@@ -113,6 +121,80 @@ pub struct Client {
     reconnects: u64,
     connected_once: bool,
     rng: FaultRng,
+}
+
+/// Configures and connects a [`Client`]. Obtained from
+/// [`Client::builder`]; every knob has a production default, so the
+/// shortest path is `Client::builder(addr).connect()?`.
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    addr: String,
+    policy: Option<RetryPolicy>,
+    session: Option<u64>,
+    codec: CodecKind,
+}
+
+impl ClientBuilder {
+    /// Sets the retry policy for transient failures (default:
+    /// [`RetryPolicy::default`]).
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Disables retry entirely: every transient failure surfaces
+    /// immediately. What tests and replay use — a retry there would
+    /// mask the fault being exercised.
+    #[must_use]
+    pub fn no_retry(mut self) -> Self {
+        self.policy = None;
+        self
+    }
+
+    /// Pins the session id used for idempotent republish (default: a
+    /// fresh auto-generated id). `0` opts out of publish deduplication.
+    #[must_use]
+    pub fn session(mut self, session: u64) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Sets the richest frame codec to offer in the handshake (default:
+    /// [`CodecKind::Binary`]). The server may negotiate down to JSON;
+    /// [`Client::codec`] reports what was actually agreed.
+    #[must_use]
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Connects, handshakes (negotiating the frame codec), and returns
+    /// the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection and handshake failures, after exhausting
+    /// retries for transient ones when a retry policy is set.
+    pub fn connect(self) -> ServerResult<Client> {
+        let seed = self.policy.as_ref().map_or(0, |p| p.seed);
+        let mut client = Client {
+            addr: self.addr,
+            policy: self.policy,
+            session: self.session.unwrap_or_else(auto_session),
+            codec_pref: self.codec,
+            conn: None,
+            pending: VecDeque::new(),
+            next_seq: 0,
+            shards: 0,
+            retries: 0,
+            reconnects: 0,
+            connected_once: false,
+            rng: FaultRng::new(seed),
+        };
+        client.with_retry(|c| c.ensure_conn())?;
+        Ok(client)
+    }
 }
 
 /// Derives a nonzero session id that is distinct across processes and
@@ -132,6 +214,19 @@ fn auto_session() -> u64 {
 }
 
 impl Client {
+    /// Starts building a client for `addr`. The supported constructor:
+    /// `Client::builder(addr).connect()?` for the defaults, with
+    /// [`ClientBuilder::retry`], [`ClientBuilder::session`], and
+    /// [`ClientBuilder::codec`] for the knobs.
+    pub fn builder<A: ToSocketAddrs + ToString>(addr: A) -> ClientBuilder {
+        ClientBuilder {
+            addr: addr.to_string(),
+            policy: Some(RetryPolicy::default()),
+            session: None,
+            codec: CodecKind::Binary,
+        }
+    }
+
     /// Connects, handshakes, and returns a client with the default
     /// [`RetryPolicy`] and a fresh auto-generated session id.
     ///
@@ -139,8 +234,9 @@ impl Client {
     ///
     /// Returns connection and handshake failures (after exhausting
     /// retries for transient ones).
+    #[deprecated(note = "use `Client::builder(addr).connect()`")]
     pub fn connect<A: ToSocketAddrs + ToString>(addr: A) -> ServerResult<Client> {
-        Client::connect_with(addr, Some(RetryPolicy::default()), auto_session())
+        Client::builder(addr).connect()
     }
 
     /// Connects with explicit retry and session choices. `policy: None`
@@ -150,32 +246,32 @@ impl Client {
     /// # Errors
     ///
     /// Returns connection and handshake failures.
+    #[deprecated(
+        note = "use `Client::builder(addr)` with `.retry(..)`/`.no_retry()`/`.session(..)`"
+    )]
     pub fn connect_with<A: ToSocketAddrs + ToString>(
         addr: A,
         policy: Option<RetryPolicy>,
         session: u64,
     ) -> ServerResult<Client> {
-        let seed = policy.as_ref().map_or(0, |p| p.seed);
-        let mut client = Client {
-            addr: addr.to_string(),
-            policy,
-            session,
-            conn: None,
-            pending: VecDeque::new(),
-            next_seq: 0,
-            shards: 0,
-            retries: 0,
-            reconnects: 0,
-            connected_once: false,
-            rng: FaultRng::new(seed),
-        };
-        client.with_retry(|c| c.ensure_conn())?;
-        Ok(client)
+        let builder = Client::builder(addr).session(session);
+        match policy {
+            Some(p) => builder.retry(p),
+            None => builder.no_retry(),
+        }
+        .connect()
     }
 
     /// The session id used for idempotent republish.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// The frame codec negotiated on the current connection, or `None`
+    /// when disconnected. May be lower than what the builder asked for —
+    /// the server has the final word (see [`crate::codec::negotiate`]).
+    pub fn codec(&self) -> Option<CodecKind> {
+        self.conn.as_ref().map(|c| c.codec.kind())
     }
 
     /// Shard count reported by the server's handshake.
@@ -222,21 +318,41 @@ impl Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream.try_clone()?),
             stream,
+            // Placeholder until the handshake negotiates: the handshake
+            // itself always runs over the v2 JSON framing.
+            codec: codec_for(CodecKind::Json),
         };
         write_frame(
             &mut conn.writer,
-            &Request::Hello { proto: PROTO_VERSION, session: self.session },
+            &Request::Hello {
+                proto: PROTO_VERSION,
+                session: self.session,
+                codec: Some(self.codec_pref.wire_name().to_string()),
+            },
         )?;
         let resp = match read_frame::<_, Response>(&mut conn.reader)? {
             None => return Err(ServerError::ConnectionClosed),
             Some(r) => r,
         };
         match resp {
-            Response::Hello { shards, resume_seq, .. } => {
+            Response::Hello { shards, resume_seq, codec, .. } => {
+                // An absent codec is a pre-codec server: JSON, the v2
+                // default. An unknown name means the server negotiated
+                // something this build cannot speak — bail rather than
+                // guess at the framing of the next frame.
+                let negotiated = match codec.as_deref() {
+                    None => CodecKind::Json,
+                    Some(name) => CodecKind::from_wire_name(name).ok_or_else(|| {
+                        ServerError::Frame(format!("server negotiated unknown codec {name:?}"))
+                    })?,
+                };
+                conn.codec = codec_for(negotiated);
                 self.shards = shards;
                 Self::trim_acked(&mut self.pending, resume_seq);
+                // Republish rides the *negotiated* codec: these are
+                // post-handshake frames.
                 for p in &self.pending {
-                    write_frame_unflushed(
+                    conn.codec.write_request(
                         &mut conn.writer,
                         &Request::Publish {
                             seq: p.seq,
@@ -312,9 +428,10 @@ impl Client {
         let mut conn = self.conn.take().expect("ensure_conn succeeded");
         let pending = &mut self.pending;
         let result = (|| {
-            write_frame(&mut conn.writer, req)?;
+            conn.codec.write_request(&mut conn.writer, req)?;
+            conn.writer.flush()?;
             loop {
-                match read_frame::<_, Response>(&mut conn.reader)? {
+                match conn.codec.read_response(&mut conn.reader)? {
                     None => return Err(ServerError::ConnectionClosed),
                     Some(Response::PubAck { seq }) => Self::trim_acked(pending, seq),
                     Some(Response::Error { code, message }) => {
@@ -375,7 +492,7 @@ impl Client {
                 trace: p.trace,
             };
             let conn = self.conn.as_mut().expect("checked above");
-            if write_frame_unflushed(&mut conn.writer, &frame).is_err() {
+            if conn.codec.write_request(&mut conn.writer, &frame).is_err() {
                 self.drop_conn();
             }
         } else {
@@ -400,7 +517,7 @@ impl Client {
             let result = (|| {
                 conn.writer.flush()?;
                 while pending.len() > target {
-                    match read_frame::<_, Response>(&mut conn.reader)? {
+                    match conn.codec.read_response(&mut conn.reader)? {
                         None => return Err(ServerError::ConnectionClosed),
                         Some(Response::PubAck { seq }) => Self::trim_acked(pending, seq),
                         Some(Response::Error { code, message }) => {

@@ -1,5 +1,6 @@
 //! Daemon configuration and its validating builder.
 
+use crate::codec::CodecKind;
 use crate::error::ConfigError;
 use crate::fault::FaultPlan;
 use richnote_core::scheduler::LinearCost;
@@ -82,6 +83,13 @@ pub struct ServerConfig {
     /// default, and what older config JSON deserializes to) disables
     /// recording entirely.
     pub record: Option<String>,
+    /// Richest frame codec the server will negotiate (see
+    /// [`crate::codec::negotiate`]): [`CodecKind::Binary`] (the default)
+    /// lets binary-capable clients upgrade while JSON-only clients keep
+    /// working; [`CodecKind::Json`] pins every connection to the v2 JSON
+    /// framing. Absent in older config JSON, which deserializes to the
+    /// default.
+    pub codec: CodecKind,
 }
 
 /// Resource-accounting switches.
@@ -222,6 +230,7 @@ impl Default for ServerConfig {
             rsrc: RsrcConfig::default(),
             slo: SloConfig::default(),
             record: None,
+            codec: CodecKind::Binary,
         }
     }
 }
@@ -413,6 +422,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Richest frame codec the server will negotiate (default: binary).
+    #[must_use]
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.cfg.codec = codec;
+        self
+    }
+
     /// Validates and returns the finished config.
     ///
     /// # Errors
@@ -541,6 +557,27 @@ mod tests {
         let back = ServerConfig::from_value(&v).unwrap();
         assert_eq!(back.record, None);
         assert_eq!(back, ServerConfig::default());
+    }
+
+    #[test]
+    fn pre_codec_config_json_still_loads() {
+        // Configs serialized before codec negotiation have no `codec`
+        // field; they must load with today's default (binary allowed —
+        // negotiation still keeps JSON-only clients working).
+        let mut v = ServerConfig::default().to_value();
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "codec");
+        }
+        let back = ServerConfig::from_value(&v).unwrap();
+        assert_eq!(back.codec, CodecKind::Binary);
+        assert_eq!(back, ServerConfig::default());
+    }
+
+    #[test]
+    fn codec_builder_pins_json() {
+        let cfg = ServerConfig::builder().codec(CodecKind::Json).build().unwrap();
+        assert_eq!(cfg.codec, CodecKind::Json);
+        assert_eq!(ServerConfig::default().codec, CodecKind::Binary);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 
 pub mod checkpoint;
 pub mod client;
+pub mod codec;
 pub mod config;
 pub mod error;
 pub mod fault;
@@ -73,7 +74,8 @@ pub mod shard;
 pub mod wire;
 
 pub use checkpoint::{CheckpointStore, ServerCheckpoint, ShardCheckpoint};
-pub use client::{Client, RetryPolicy, StatsReply};
+pub use client::{Client, ClientBuilder, RetryPolicy, StatsReply};
+pub use codec::{codec_for, negotiate, BinaryCodec, CodecKind, FrameCodec, JsonCodec};
 pub use config::{RsrcConfig, ServerConfig, ServerConfigBuilder, SloConfig};
 pub use error::{ConfigError, ServerError, ServerResult};
 pub use fault::{FaultPlan, FaultRng, ShardPanicFault};

@@ -650,7 +650,7 @@ pub fn record_golden(
         c
     };
     let (addr, handle) = Server::spawn(cfg)?;
-    let mut client = Client::connect_with(addr, None, GOLDEN_SESSION)?;
+    let mut client = Client::builder(addr).no_retry().session(GOLDEN_SESSION).connect()?;
 
     let trace =
         TraceGenerator::new(TraceConfig { seed, n_users: users, days, ..TraceConfig::default() })

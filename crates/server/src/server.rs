@@ -2,6 +2,7 @@
 //! coordinated checkpoints, drain, and the metrics exposition listener.
 
 use crate::checkpoint::{CheckpointStore, ServerCheckpoint, CKPT_FORMAT};
+use crate::codec::{codec_for, negotiate, CodecKind, FrameCodec};
 use crate::config::ServerConfig;
 use crate::error::{ServerError, ServerResult};
 use crate::fault::ShortReader;
@@ -9,9 +10,7 @@ use crate::metrics::MetricsSnapshot;
 use crate::record::RecordSink;
 use crate::router::{PublishOutcome, Router};
 use crate::shard::{ShardMsg, ShardWorker};
-use crate::wire::{
-    read_frame, write_frame, BuildInfo, ErrorCode, HealthReport, Request, Response, PROTO_VERSION,
-};
+use crate::wire::{BuildInfo, ErrorCode, HealthReport, Request, Response, PROTO_VERSION};
 use richnote_obs::{
     encode_text, split_above, write_flight_file, CounterHandle, GaugeHandle, HistogramHandle,
     Log2Histogram, Registry, RegistrySnapshot, SloEngine, SloSpec, SloStatus, SpanRecord,
@@ -69,6 +68,11 @@ struct ServerObs {
     /// Times [`ConnStages::flush`] found the registry lock held.
     registry_contended_count: AtomicU64,
     registry_contended: CounterHandle,
+    /// Cumulative-ack frames flushed; each covers every publish since
+    /// the previous one, so `pubs_total / ack_batches_total` is the
+    /// effective ack batching factor under pipelining.
+    ack_batches_count: AtomicU64,
+    ack_batches: CounterHandle,
     /// Exported `richnote_record_shed_total`; fed from the record sink's
     /// shed count in [`collect_stats`] (zero when recording is off).
     record_shed: CounterHandle,
@@ -142,6 +146,12 @@ impl ServerObs {
              or the capture writer failed",
             &[("shard", "server")],
         );
+        let ack_batches = registry.counter(
+            "richnote_ack_batches_total",
+            "Cumulative PubAck frames flushed; each acknowledges every \
+             publish pipelined since the previous one",
+            &[("shard", "server")],
+        );
         let mut engine = SloEngine::new(cfg.slo.window_secs, cfg.slo.buckets);
         let mut slo_handles = Vec::new();
         let mut add = |registry: &mut Registry, engine: &mut SloEngine, name: &str, target| {
@@ -200,6 +210,8 @@ impl ServerObs {
             uptime,
             registry_contended_count: AtomicU64::new(0),
             registry_contended,
+            ack_batches_count: AtomicU64::new(0),
+            ack_batches,
             record_shed,
             slo: Mutex::new(SloTracker {
                 engine,
@@ -554,6 +566,7 @@ fn collect_stats(ctx: &ConnCtx) -> (RegistrySnapshot, usize) {
             ctx.obs.registry_contended,
             ctx.obs.registry_contended_count.load(Ordering::Relaxed),
         );
+        reg.set_counter(ctx.obs.ack_batches, ctx.obs.ack_batches_count.load(Ordering::Relaxed));
         reg.set_counter(ctx.obs.record_shed, ctx.record.as_ref().map_or(0, RecordSink::shed_count));
     }
     let shard_snaps = broadcast(&ctx.router, |reply| ShardMsg::Stats { reply });
@@ -766,17 +779,22 @@ const TRACED_PENDING_CAP: usize = 16_384;
 /// Flushes the pending cumulative publish ack, if any, timing the flush as
 /// the pipeline's `ack` stage. Traced publishes covered by the cumulative
 /// ack get their Ack span emitted here — the ack frame is the moment the
-/// publication becomes durable from the client's point of view.
-fn settle_ack<W: Write>(
+/// publication becomes durable from the client's point of view. Each
+/// flushed frame is one ack *batch* (`richnote_ack_batches_total`): under
+/// pipelining it covers every publish since the previous flush.
+fn settle_ack(
     obs: &ServerObs,
     stages: &mut ConnStages,
-    writer: &mut W,
+    codec: &mut dyn FrameCodec,
+    writer: &mut dyn Write,
     pending: &mut Option<u64>,
     traced: &mut Vec<(u64, u64)>,
 ) -> ServerResult<()> {
     if let Some(seq) = pending.take() {
         let t0 = Instant::now();
-        write_frame(writer, &Response::PubAck { seq })?;
+        codec.write_response(writer, &Response::PubAck { seq })?;
+        writer.flush()?;
+        obs.ack_batches_count.fetch_add(1, Ordering::Relaxed);
         stages.observe_ack(t0, obs);
         if !traced.is_empty() {
             let mut rest = Vec::with_capacity(traced.len());
@@ -793,8 +811,27 @@ fn settle_ack<W: Write>(
     Ok(())
 }
 
-fn error_frame<W: Write>(writer: &mut W, code: ErrorCode, message: String) -> ServerResult<()> {
-    write_frame(writer, &Response::Error { code, message })
+/// Writes one response in the connection's negotiated codec and flushes.
+/// Flushing an empty `BufWriter` is a no-op, so calling this per response
+/// keeps request/response turnarounds prompt without costing the
+/// pipelined publish path anything.
+fn send_response(
+    codec: &mut dyn FrameCodec,
+    writer: &mut dyn Write,
+    resp: &Response,
+) -> ServerResult<()> {
+    codec.write_response(writer, resp)?;
+    writer.flush()?;
+    Ok(())
+}
+
+fn error_frame(
+    codec: &mut dyn FrameCodec,
+    writer: &mut dyn Write,
+    code: ErrorCode,
+    message: String,
+) -> ServerResult<()> {
+    send_response(codec, writer, &Response::Error { code, message })
 }
 
 fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
@@ -809,6 +846,9 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
 
+    // Every connection starts in the v2 JSON framing — the handshake's
+    // codec — and switches to whatever the Hello exchange negotiates.
+    let mut codec: Box<dyn FrameCodec> = codec_for(CodecKind::Json);
     // `None` until a successful Hello; `Some(session)` afterwards.
     let mut session: Option<u64> = None;
     // Highest publish seq applied but not yet acked on this connection.
@@ -823,15 +863,23 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
         // this batches acks under pipelining without ever deadlocking a
         // client that waits for one.
         if reader.buffer().is_empty() {
-            settle_ack(&ctx.obs, &mut stages, &mut writer, &mut pending_ack, &mut traced_pending)?;
+            settle_ack(
+                &ctx.obs,
+                &mut stages,
+                codec.as_mut(),
+                &mut writer,
+                &mut pending_ack,
+                &mut traced_pending,
+            )?;
         }
-        let req = match read_frame::<_, Request>(&mut reader) {
+        let req = match codec.read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => break,
             Err(ServerError::ProtoMismatch { ours, theirs }) => {
                 // Typed rejection instead of a silent drop; the stream is
                 // unsynchronized after a bad version byte, so close after.
                 let _ = error_frame(
+                    codec.as_mut(),
                     &mut writer,
                     ErrorCode::ProtoMismatch,
                     format!("server speaks protocol v{ours}, frame was v{theirs}"),
@@ -839,7 +887,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 break;
             }
             Err(ServerError::Frame(detail)) => {
-                let _ = error_frame(&mut writer, ErrorCode::BadFrame, detail);
+                let _ = error_frame(codec.as_mut(), &mut writer, ErrorCode::BadFrame, detail);
                 break;
             }
             Err(e) => return Err(e),
@@ -865,28 +913,40 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
         }
         let collect_deliveries = matches!(&req, Request::TickReport { .. });
         match req {
-            Request::Hello { proto, session: wanted } => {
+            Request::Hello { proto, session: wanted, codec: offered } => {
                 if proto != PROTO_VERSION {
                     error_frame(
+                        codec.as_mut(),
                         &mut writer,
                         ErrorCode::ProtoMismatch,
                         format!("server speaks protocol v{PROTO_VERSION}, client sent v{proto}"),
                     )?;
                     continue;
                 }
+                let negotiated = negotiate(ctx.cfg.codec, offered.as_deref());
                 let resume_seq = ctx.router.begin_session(wanted);
                 session = Some(wanted);
-                write_frame(
+                // The response goes out in the *current* codec — the
+                // client cannot switch until it has read it — and every
+                // frame after it speaks the negotiated one. A repeated
+                // Hello renegotiates the same way.
+                send_response(
+                    codec.as_mut(),
                     &mut writer,
                     &Response::Hello {
                         proto: PROTO_VERSION,
                         shards: ctx.router.shards(),
                         resume_seq,
+                        codec: Some(negotiated.wire_name().to_string()),
                     },
                 )?;
+                if negotiated != codec.kind() {
+                    codec = codec_for(negotiated);
+                }
             }
             _ if session.is_none() => {
                 error_frame(
+                    codec.as_mut(),
                     &mut writer,
                     ErrorCode::HandshakeRequired,
                     "send Hello before any other request".to_string(),
@@ -896,12 +956,13 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
                 )?;
                 ctx.router.subscribe(user, topic);
-                write_frame(&mut writer, &Response::Subscribed)?;
+                send_response(codec.as_mut(), &mut writer, &Response::Subscribed)?;
             }
             Request::Publish { seq, topic, item, trace } => {
                 let t0 = Instant::now();
@@ -950,11 +1011,13 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                         settle_ack(
                             &ctx.obs,
                             &mut stages,
+                            codec.as_mut(),
                             &mut writer,
                             &mut pending_ack,
                             &mut traced_pending,
                         )?;
                         error_frame(
+                            codec.as_mut(),
                             &mut writer,
                             ErrorCode::Draining,
                             "daemon is draining; publication refused".to_string(),
@@ -966,6 +1029,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
@@ -975,6 +1039,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                     broadcast(&ctx.router, |reply| ShardMsg::Tick { rounds, collect, reply });
                 if replies.len() != ctx.router.shards() {
                     error_frame(
+                        codec.as_mut(),
                         &mut writer,
                         ErrorCode::Internal,
                         format!(
@@ -1006,19 +1071,25 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                         replies.into_iter().flat_map(|r| r.deliveries).collect();
                     deliveries.sort_by_key(|d| (d.round, d.user.value()));
                     let t0 = Instant::now();
-                    write_frame(
+                    send_response(
+                        codec.as_mut(),
                         &mut writer,
                         &Response::TickReport { rounds: rounds_done, deliveries },
                     )?;
                     stages.observe_serialize(t0, &ctx.obs);
                 } else {
-                    write_frame(&mut writer, &Response::Ticked { rounds: rounds_done, selected })?;
+                    send_response(
+                        codec.as_mut(),
+                        &mut writer,
+                        &Response::Ticked { rounds: rounds_done, selected },
+                    )?;
                 }
             }
             Request::Metrics => {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
@@ -1027,13 +1098,14 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 let snapshot =
                     MetricsSnapshot { shards, dropped_on_drain: ctx.router.dropped_on_drain() };
                 let t0 = Instant::now();
-                write_frame(&mut writer, &Response::Metrics(snapshot))?;
+                send_response(codec.as_mut(), &mut writer, &Response::Metrics(snapshot))?;
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::Stats => {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
@@ -1041,7 +1113,8 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 stages.flush(&ctx.obs);
                 let snapshot = merged_stats(ctx);
                 let t0 = Instant::now();
-                write_frame(
+                send_response(
+                    codec.as_mut(),
                     &mut writer,
                     &Response::StatsSnapshot {
                         snapshot,
@@ -1055,6 +1128,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
@@ -1062,13 +1136,14 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 stages.flush(&ctx.obs);
                 let report = evaluate_health(ctx);
                 let t0 = Instant::now();
-                write_frame(&mut writer, &Response::Health(report))?;
+                send_response(codec.as_mut(), &mut writer, &Response::Health(report))?;
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::TraceDump => {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
@@ -1089,13 +1164,18 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                     dropped += shard_dropped;
                 }
                 let t0 = Instant::now();
-                write_frame(&mut writer, &Response::TraceDump { events, dropped })?;
+                send_response(
+                    codec.as_mut(),
+                    &mut writer,
+                    &Response::TraceDump { events, dropped },
+                )?;
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::FlightDump => {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
@@ -1106,19 +1186,21 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 // the panic path is the record for that shard).
                 let dumps = broadcast(&ctx.router, |reply| ShardMsg::FlightDump { reply });
                 let t0 = Instant::now();
-                write_frame(&mut writer, &Response::FlightDump { dumps })?;
+                send_response(codec.as_mut(), &mut writer, &Response::FlightDump { dumps })?;
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::Checkpoint => {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
                 )?;
                 let Some(store) = &ctx.store else {
                     error_frame(
+                        codec.as_mut(),
                         &mut writer,
                         ErrorCode::CheckpointFailed,
                         "no checkpoint directory configured".to_string(),
@@ -1126,13 +1208,19 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                     continue;
                 };
                 match collect_and_save(ctx, store, |reply| ShardMsg::Checkpoint { reply }) {
-                    Ok(ck) => write_frame(
+                    Ok(ck) => send_response(
+                        codec.as_mut(),
                         &mut writer,
                         &Response::Checkpointed { users: ck.users(), round: ck.round },
                     )?,
                     Err(e) => {
                         dump_flights(ctx, "checkpoint_failure");
-                        error_frame(&mut writer, ErrorCode::CheckpointFailed, e.to_string())?;
+                        error_frame(
+                            codec.as_mut(),
+                            &mut writer,
+                            ErrorCode::CheckpointFailed,
+                            e.to_string(),
+                        )?;
                     }
                 }
             }
@@ -1140,6 +1228,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 settle_ack(
                     &ctx.obs,
                     &mut stages,
+                    codec.as_mut(),
                     &mut writer,
                     &mut pending_ack,
                     &mut traced_pending,
@@ -1151,6 +1240,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 if replies.len() != ctx.router.shards() {
                     ctx.router.set_draining(false);
                     error_frame(
+                        codec.as_mut(),
                         &mut writer,
                         ErrorCode::Internal,
                         format!(
@@ -1187,7 +1277,12 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                         });
                         dump_flights(ctx, "checkpoint_failure");
                         ctx.router.set_draining(false);
-                        error_frame(&mut writer, ErrorCode::CheckpointFailed, e.to_string())?;
+                        error_frame(
+                            codec.as_mut(),
+                            &mut writer,
+                            ErrorCode::CheckpointFailed,
+                            e.to_string(),
+                        )?;
                         continue;
                     }
                     ctx.obs.event(TraceEvent::CheckpointWrite {
@@ -1197,7 +1292,11 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                     });
                     checkpointed = true;
                 }
-                write_frame(&mut writer, &Response::Drained { rounds, users, checkpointed })?;
+                send_response(
+                    codec.as_mut(),
+                    &mut writer,
+                    &Response::Drained { rounds, users, checkpointed },
+                )?;
                 ctx.stop.store(true, Ordering::SeqCst);
                 let _ = TcpStream::connect(ctx.addr);
                 break;
@@ -1206,7 +1305,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 // Crash semantics on purpose: no checkpoint, no drain —
                 // the kill-and-restart tests use this as the "kill".
                 ctx.stop.store(true, Ordering::SeqCst);
-                write_frame(&mut writer, &Response::ShuttingDown)?;
+                send_response(codec.as_mut(), &mut writer, &Response::ShuttingDown)?;
                 // Wake the accept loop so it observes the stop flag.
                 let _ = TcpStream::connect(ctx.addr);
                 break;

@@ -438,7 +438,9 @@ pub struct RoundOutcome {
 pub struct ShardState<P: Policy + Send = RichNoteScheduler> {
     shard: usize,
     cfg: ServerConfig,
-    ladder: PresentationLadder,
+    /// Shared per-publication: `ingest` hands each queued notification an
+    /// `Arc` of this one ladder instead of deep-copying the level table.
+    ladder: Arc<PresentationLadder>,
     schedulers: BTreeMap<UserId, P>,
     /// Builds a fresh scheduler for a user seen for the first time.
     factory: fn() -> P,
@@ -485,7 +487,7 @@ impl<P: Policy + Send> ShardState<P> {
         ShardState {
             shard,
             cfg,
-            ladder: AudioPresentationSpec::paper_default().ladder(),
+            ladder: Arc::new(AudioPresentationSpec::paper_default().ladder()),
             schedulers: BTreeMap::new(),
             factory,
             ingest_at: HashMap::new(),
@@ -594,7 +596,7 @@ impl<P: Policy + Send> ShardState<P> {
         // Virtual enqueue time: the start of the round the item lands in.
         scheduler.enqueue(QueuedNotification {
             enqueued_at: self.round as f64 * self.cfg.round_secs,
-            ladder: self.ladder.clone(),
+            ladder: Arc::clone(&self.ladder),
             content_utility: uc,
             item,
         });

@@ -53,6 +53,12 @@
 //! publishes and stringly errors. v2 is intentionally *not* backward
 //! compatible on the wire — the version byte exists precisely so that v3
 //! can be, via version negotiation in `Hello`.
+//!
+//! Within v2, the `Hello` exchange additionally negotiates a *frame
+//! codec* (see [`crate::codec`]): the handshake itself always uses the
+//! JSON framing above, and every frame after the server's `Hello`
+//! response uses the negotiated codec. A peer that omits the `codec`
+//! field (any pre-codec build) keeps speaking JSON, unchanged.
 
 use crate::error::{ServerError, ServerResult};
 use crate::metrics::MetricsSnapshot;
@@ -104,6 +110,11 @@ pub enum Request {
         /// Client-chosen session id for idempotent republish; `0` opts out
         /// of deduplication.
         session: u64,
+        /// Richest frame codec the client is willing to speak for every
+        /// post-handshake frame (`"json"` or `"binary"`; see
+        /// [`crate::codec`]). Absent — as sent by pre-codec clients — or
+        /// unrecognized means JSON, so negotiation always has a floor.
+        codec: Option<String>,
     },
     /// Registers `user` for `topic` in real-time mode. Acknowledged.
     Subscribe {
@@ -236,6 +247,10 @@ pub enum Response {
         /// Highest publish sequence number already applied for this
         /// session (`0` for a fresh session).
         resume_seq: u64,
+        /// The negotiated frame codec: the floor of the client's offer and
+        /// what the server allows. Both sides switch to it for every frame
+        /// after this response. Absent (a pre-codec server) means JSON.
+        codec: Option<String>,
     },
     /// Subscription acknowledged.
     Subscribed,
@@ -323,7 +338,7 @@ pub enum Response {
 ///
 /// Returns any underlying I/O error; the message itself cannot fail to
 /// serialize.
-pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<()> {
+pub fn write_frame<W: Write + ?Sized, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<()> {
     write_frame_unflushed(w, msg)?;
     w.flush()?;
     Ok(())
@@ -336,7 +351,10 @@ pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<(
 ///
 /// Returns any underlying I/O error, or [`ServerError::Frame`] for an
 /// oversized payload.
-pub fn write_frame_unflushed<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<()> {
+pub fn write_frame_unflushed<W: Write + ?Sized, T: Serialize>(
+    w: &mut W,
+    msg: &T,
+) -> ServerResult<()> {
     let bytes = encode_frame_payload(msg)?;
     w.write_all(&(bytes.len() as u32).to_le_bytes())?;
     w.write_all(&[(PROTO_VERSION & 0xFF) as u8])?;
@@ -371,7 +389,7 @@ pub fn encode_frame_payload<T: Serialize>(msg: &T) -> ServerResult<Vec<u8>> {
 /// Returns [`ServerError::ProtoMismatch`] when the version byte is not
 /// ours, and [`ServerError::Frame`] for truncated frames, oversized
 /// lengths, or payloads that are not valid JSON for `T`.
-pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> ServerResult<Option<T>> {
+pub fn read_frame<R: Read + ?Sized, T: Deserialize>(r: &mut R) -> ServerResult<Option<T>> {
     let mut len_buf = [0u8; 4];
     match read_exact_retry(r, &mut len_buf) {
         Ok(()) => {}
@@ -403,7 +421,7 @@ pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> ServerResult<Option<T>>
 
 /// `read_exact` that retries `Interrupted`, so injected short reads (and
 /// signal-interrupted sockets) reassemble partial frames correctly.
-fn read_exact_retry<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
+pub(crate) fn read_exact_retry<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> io::Result<()> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
@@ -424,7 +442,7 @@ mod tests {
     #[test]
     fn frames_roundtrip() {
         let reqs = vec![
-            Request::Hello { proto: PROTO_VERSION, session: 99 },
+            Request::Hello { proto: PROTO_VERSION, session: 99, codec: Some("binary".into()) },
             Request::Subscribe { user: UserId::new(7), topic: Topic::FriendFeed(UserId::new(7)) },
             Request::Tick { rounds: 3 },
             Request::FlightDump,
@@ -553,6 +571,18 @@ mod tests {
             Request::Publish { seq: 5, trace: None, .. } => {}
             other => panic!("expected untraced publish, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pre_codec_hello_reads_with_no_codec() {
+        // Handshakes from builds that predate codec negotiation carry no
+        // `codec` field; both directions must parse as "JSON only".
+        let legacy = r#"{"Hello":{"proto":2,"session":9}}"#;
+        let parsed: Request = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed, Request::Hello { proto: 2, session: 9, codec: None });
+        let legacy = r#"{"Hello":{"proto":2,"shards":4,"resume_seq":0}}"#;
+        let parsed: Response = serde_json::from_str(legacy).unwrap();
+        assert_eq!(parsed, Response::Hello { proto: 2, shards: 4, resume_seq: 0, codec: None });
     }
 
     #[test]

@@ -57,7 +57,8 @@ fn run_sharded(cfg: &ServerConfig, batches: &[Vec<ContentItem>], shards: usize) 
 
 /// The reference: one RichNoteScheduler per user, driven directly.
 fn run_reference(cfg: &ServerConfig, batches: &[Vec<ContentItem>]) -> Selections {
-    let ladder = richnote_core::AudioPresentationSpec::paper_default().ladder();
+    let ladder =
+        std::sync::Arc::new(richnote_core::AudioPresentationSpec::paper_default().ladder());
     let mut schedulers: BTreeMap<UserId, RichNoteScheduler> = BTreeMap::new();
     let mut selections = Selections::new();
     for (round, batch) in batches.iter().enumerate() {
@@ -121,7 +122,7 @@ fn end_to_end_over_tcp() {
     let cfg = ServerConfig { shards: 2, ..ServerConfig::default() };
     let (addr, handle) = Server::spawn(cfg).expect("spawn server");
 
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     assert_eq!(client.shards(), 2);
 
     let items = trace_items();
@@ -172,7 +173,7 @@ fn wire_protocol_survives_a_full_conversation() {
 
     let item = trace_items().remove(0);
     let reqs = vec![
-        Request::Hello { proto: PROTO_VERSION, session: 77 },
+        Request::Hello { proto: PROTO_VERSION, session: 77, codec: Some("binary".to_string()) },
         Request::Subscribe { user: item.recipient, topic: Topic::FriendFeed(item.recipient) },
         Request::Publish { seq: 1, topic: Topic::FriendFeed(item.recipient), item, trace: None },
         Request::Tick { rounds: 2 },

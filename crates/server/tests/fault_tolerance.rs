@@ -8,8 +8,8 @@ use richnote_pubsub::Topic;
 use richnote_server::shard::content_utility;
 use richnote_server::wire::{read_frame, write_frame, ErrorCode, Request, Response};
 use richnote_server::{
-    read_flight_file, shard_of, Client, FaultPlan, FaultRng, Server, ServerConfig, ServerError,
-    ShardPanicFault, SpanStage, PROTO_VERSION,
+    read_flight_file, shard_of, CaptureReader, Client, CodecKind, FaultPlan, FaultRng, Server,
+    ServerConfig, ServerError, ShardPanicFault, SpanStage, PROTO_VERSION,
 };
 use richnote_trace::{TraceConfig, TraceGenerator};
 use std::collections::BTreeSet;
@@ -54,7 +54,8 @@ type Log = Vec<(u64, UserId, ContentId, u8)>;
 /// The uninterrupted single-threaded reference: one RichNoteScheduler per
 /// user, driven directly through every round.
 fn run_reference(cfg: &ServerConfig, batches: &[Vec<ContentItem>]) -> Log {
-    let ladder = richnote_core::AudioPresentationSpec::paper_default().ladder();
+    let ladder =
+        std::sync::Arc::new(richnote_core::AudioPresentationSpec::paper_default().ladder());
     let mut schedulers: std::collections::BTreeMap<UserId, RichNoteScheduler> = Default::default();
     let mut log = Log::new();
     for (round, batch) in batches.iter().enumerate() {
@@ -129,7 +130,7 @@ fn kill_and_restart_restores_byte_identical_selections() {
 
     // Phase 1: run the first KILL_AT rounds, then crash.
     let (addr, handle) = Server::spawn(cfg.clone()).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     for &user in &users {
         client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe");
     }
@@ -150,7 +151,7 @@ fn kill_and_restart_restores_byte_identical_selections() {
     let handle = std::thread::spawn(move || {
         let _ = server.run();
     });
-    let mut client = Client::connect(addr).expect("reconnect");
+    let mut client = Client::builder(addr).connect().expect("reconnect");
     for batch in &batches[KILL_AT..] {
         drive_round(&mut client, batch, &mut log);
     }
@@ -171,7 +172,7 @@ fn kill_and_restart_restores_byte_identical_selections() {
 fn zero_acked_loss_under_connection_drops() {
     let cfg = ServerConfig::builder().addr("127.0.0.1:0").shards(2).build().expect("config");
     let (addr, handle) = Server::spawn(cfg).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     let items = trace_items();
     let users: BTreeSet<UserId> = items.iter().map(|i| i.recipient).collect();
@@ -226,7 +227,7 @@ fn connection_reset_mid_frame_leaves_server_serving() {
         raw.flush().expect("flush");
     }
 
-    let mut client = Client::connect(addr).expect("connect after partial frame");
+    let mut client = Client::builder(addr).connect().expect("connect after partial frame");
     let user = UserId::new(1);
     client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe");
     let item = trace_items().remove(0);
@@ -249,7 +250,7 @@ fn truncated_checkpoint_fails_loudly_on_restore() {
         .build()
         .expect("config");
     let (addr, handle) = Server::spawn(cfg.clone()).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     let user = UserId::new(9);
     client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe");
     let item = trace_items().remove(0);
@@ -294,7 +295,7 @@ fn shard_panic_is_contained() {
         .build()
         .expect("config");
     let (addr, handle) = Server::spawn(cfg).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     client.tick(1).expect("round 0");
     client.tick(1).expect("round 1");
@@ -329,7 +330,7 @@ fn shard_panic_writes_crc_valid_flight_dump() {
         .build()
         .expect("config");
     let (addr, handle) = Server::spawn(cfg).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     // A user living on the doomed shard.
     let user = (0..).map(UserId::new).find(|&u| shard_of(u, 2) == 1).expect("a shard-1 user");
@@ -384,7 +385,7 @@ fn checkpoint_write_failure_is_typed_and_drain_aborts() {
         .build()
         .expect("config");
     let (addr, handle) = Server::spawn(cfg).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     match client.checkpoint() {
         Err(ServerError::Rejected { code: ErrorCode::CheckpointFailed, .. }) => {}
@@ -417,7 +418,7 @@ fn drain_checkpoints_and_restores() {
         .build()
         .expect("config");
     let (addr, handle) = Server::spawn(cfg.clone()).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     let items = trace_items();
     let users: BTreeSet<UserId> = items.iter().map(|i| i.recipient).collect();
@@ -464,7 +465,7 @@ fn stats_counters_survive_checkpoint_restore() {
     // Phase 1: drive some rounds, cut a checkpoint, then crash without a
     // final checkpoint (Shutdown = crash semantics).
     let (addr, handle) = Server::spawn(cfg.clone()).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     for &user in &users {
         client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe");
     }
@@ -496,7 +497,7 @@ fn stats_counters_survive_checkpoint_restore() {
     let handle = std::thread::spawn(move || {
         let _ = server.run();
     });
-    let mut client = Client::connect(addr).expect("reconnect");
+    let mut client = Client::builder(addr).connect().expect("reconnect");
     let after = client.stats().expect("stats after restore").snapshot;
 
     assert_eq!(after.counter_total("richnote_pubs_total"), pubs, "pubs_total must be restored");
@@ -535,7 +536,8 @@ fn proto_mismatch_is_rejected_with_a_typed_error() {
     let stream = TcpStream::connect(addr).expect("raw connect");
     let mut writer = stream.try_clone().expect("clone");
     let mut reader = BufReader::new(stream);
-    write_frame(&mut writer, &Request::Hello { proto: 1, session: 0 }).expect("hello v1");
+    write_frame(&mut writer, &Request::Hello { proto: 1, session: 0, codec: None })
+        .expect("hello v1");
     match read_frame::<_, Response>(&mut reader).expect("response").expect("frame") {
         Response::Error { code: ErrorCode::ProtoMismatch, message } => {
             assert!(message.contains(&format!("v{PROTO_VERSION}")), "message names our version");
@@ -545,7 +547,138 @@ fn proto_mismatch_is_rejected_with_a_typed_error() {
     drop(writer);
     drop(reader);
 
-    let mut client = Client::connect(addr).expect("current-version client still welcome");
+    let mut client = Client::builder(addr).connect().expect("current-version client still welcome");
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
+}
+
+/// A v2 client that predates codec negotiation — its `Hello` carries no
+/// `codec` field at all — must keep working against a binary-preferring
+/// server: the handshake falls back to JSON framing and the whole
+/// conversation (publish, ack, drain, shutdown) stays plain v2 JSON.
+#[test]
+fn legacy_json_v2_client_negotiates_down_and_publishes() {
+    let cfg = ServerConfig::builder().addr("127.0.0.1:0").shards(1).build().expect("config");
+    assert_eq!(ServerConfig::default().codec, CodecKind::Binary, "server prefers binary");
+    let (addr, handle) = Server::spawn(cfg).expect("spawn");
+
+    let stream = TcpStream::connect(addr).expect("raw connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Byte-for-byte what a pre-codec v2 client sends: no codec offer.
+    write_frame(&mut writer, &Request::Hello { proto: PROTO_VERSION, session: 41, codec: None })
+        .expect("hello");
+    match read_frame::<_, Response>(&mut reader).expect("response").expect("frame") {
+        Response::Hello { proto, codec, .. } => {
+            assert_eq!(proto, PROTO_VERSION);
+            assert_eq!(codec.as_deref(), Some("json"), "server must fall back to JSON framing");
+        }
+        other => panic!("expected a Hello reply, got {other:?}"),
+    }
+
+    // Every later frame still speaks the legacy JSON framing.
+    let item = trace_items().into_iter().next().expect("an item");
+    let user = item.recipient;
+    write_frame(&mut writer, &Request::Subscribe { user, topic: Topic::FriendFeed(user) })
+        .expect("subscribe");
+    match read_frame::<_, Response>(&mut reader).expect("response").expect("frame") {
+        Response::Subscribed => {}
+        other => panic!("expected Subscribed, got {other:?}"),
+    }
+    write_frame(
+        &mut writer,
+        &Request::Publish { seq: 1, topic: Topic::FriendFeed(user), item, trace: None },
+    )
+    .expect("publish");
+    match read_frame::<_, Response>(&mut reader).expect("response").expect("frame") {
+        Response::PubAck { seq } => assert_eq!(seq, 1),
+        other => panic!("expected PubAck, got {other:?}"),
+    }
+    // Drain stops the daemon after its reply, closing the connection.
+    write_frame(&mut writer, &Request::Drain).expect("drain");
+    match read_frame::<_, Response>(&mut reader).expect("response").expect("frame") {
+        Response::Drained { users, .. } => assert!(users >= 1, "the publish reached a shard"),
+        other => panic!("expected Drained, got {other:?}"),
+    }
+    drop(writer);
+    drop(reader);
+    handle.join().expect("server thread");
+}
+
+/// Every cell of the negotiation matrix meets at the floor of what the
+/// two sides allow, and traffic flows under whichever codec won.
+#[test]
+fn codec_negotiation_matrix_always_meets_at_the_floor() {
+    let cases = [
+        (CodecKind::Binary, CodecKind::Binary, CodecKind::Binary),
+        (CodecKind::Binary, CodecKind::Json, CodecKind::Json),
+        (CodecKind::Json, CodecKind::Binary, CodecKind::Json),
+        (CodecKind::Json, CodecKind::Json, CodecKind::Json),
+    ];
+    let item = trace_items().into_iter().next().expect("an item");
+    for (server_cap, client_offer, expected) in cases {
+        let cfg = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .shards(1)
+            .codec(server_cap)
+            .build()
+            .expect("config");
+        let (addr, handle) = Server::spawn(cfg).expect("spawn");
+        let mut client = Client::builder(addr).codec(client_offer).connect().expect("connect");
+        assert_eq!(
+            client.codec(),
+            Some(expected),
+            "server {server_cap} x client {client_offer} must negotiate {expected}"
+        );
+        let user = item.recipient;
+        client.subscribe(user, Topic::FriendFeed(user)).expect("subscribe");
+        client.publish(Topic::FriendFeed(user), item.clone()).expect("publish");
+        let (_, users, _) = client.drain().expect("drain");
+        assert!(users >= 1, "the publish reached a shard under {expected}");
+        handle.join().expect("server thread");
+    }
+}
+
+/// The capture path has one encode point — canonical JSON — upstream of
+/// the wire codec, so recording the same workload under JSON and binary
+/// connections must produce identical frame payloads. This is what lets
+/// a capture recorded today replay against any future codec lineup.
+#[test]
+fn captures_record_identical_frames_across_wire_codecs() {
+    let dir = scratch_dir("codec-capture");
+    let items: Vec<ContentItem> = trace_items().into_iter().take(16).collect();
+
+    let mut recorded: Vec<Vec<(u64, String)>> = Vec::new();
+    for codec in [CodecKind::Json, CodecKind::Binary] {
+        let path = dir.join(format!("capture-{codec}.rncap"));
+        let cfg = ServerConfig::builder()
+            .addr("127.0.0.1:0")
+            .shards(2)
+            .record(path.display().to_string())
+            .build()
+            .expect("config");
+        let (addr, handle) = Server::spawn(cfg).expect("spawn");
+        let mut client = Client::builder(addr).codec(codec).session(7).connect().expect("connect");
+        assert_eq!(client.codec(), Some(codec), "offer accepted");
+        for item in &items {
+            client.publish(Topic::FriendFeed(item.recipient), item.clone()).expect("publish");
+        }
+        client.drain().expect("drain");
+        handle.join().expect("server thread");
+
+        let mut reader = CaptureReader::open(&path).expect("open capture");
+        let mut frames = Vec::new();
+        while let Some(rec) = reader.next_record().expect("valid record") {
+            frames.push((rec.session, rec.frame));
+        }
+        assert!(frames.len() >= items.len(), "{codec}: every publish was captured");
+        recorded.push(frames);
+    }
+
+    assert_eq!(
+        recorded[0], recorded[1],
+        "JSON-framed and binary-framed connections must capture identical frame payloads"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -67,7 +67,7 @@ fn scrape(metrics: std::net::SocketAddr, path: &str) -> String {
 #[test]
 fn stats_request_returns_the_merged_registry() {
     let (addr, _metrics, handle) = spawn_observable(0);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     let published = warm_up(&mut client);
 
     let snap = client.stats().expect("stats").snapshot;
@@ -90,7 +90,7 @@ fn stats_request_returns_the_merged_registry() {
 #[test]
 fn trace_dump_drains_structured_events_once() {
     let (addr, _metrics, handle) = spawn_observable(4096);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     warm_up(&mut client);
 
     let (events, dropped) = client.trace_dump().expect("trace dump");
@@ -119,7 +119,7 @@ fn trace_dump_drains_structured_events_once() {
 #[test]
 fn traced_publication_yields_a_complete_span_tree() {
     let (addr, _metrics, handle) = spawn_observable(65_536);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     let items = TraceGenerator::new(TraceConfig::small(13)).generate().items;
     let mut minted = Vec::new();
@@ -192,7 +192,7 @@ fn traced_publication_yields_a_complete_span_tree() {
 #[test]
 fn trace_dump_chunks_rings_larger_than_one_frame() {
     let (addr, _metrics, handle) = spawn_observable(262_144);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     let users = 500u64;
     let per_user = 16u64;
@@ -257,7 +257,7 @@ fn trace_dump_chunks_rings_larger_than_one_frame() {
 #[test]
 fn scrape_endpoint_serves_prometheus_text() {
     let (addr, metrics, handle) = spawn_observable(0);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     warm_up(&mut client);
 
     let response = scrape(metrics, "/metrics");
@@ -287,7 +287,7 @@ fn scrape_endpoint_serves_prometheus_text() {
 #[test]
 fn stats_carries_build_identity_and_uptime() {
     let (addr, _metrics, handle) = spawn_observable(0);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     warm_up(&mut client);
 
     let reply = client.stats().expect("stats");
@@ -308,7 +308,7 @@ fn stats_carries_build_identity_and_uptime() {
 #[test]
 fn health_reports_ok_with_three_slos_when_nothing_is_wrong() {
     let (addr, _metrics, handle) = spawn_observable(0);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     warm_up(&mut client);
 
     let report = client.health().expect("health");
@@ -353,7 +353,7 @@ fn healthz_flips_to_degraded_when_a_shard_dies() {
     let handle = std::thread::spawn(move || {
         let _ = server.run();
     });
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     // Both shards alive: the verdict is ok and the status line says 200.
     let response = scrape(metrics, "/healthz");
@@ -386,7 +386,7 @@ fn healthz_flips_to_degraded_when_a_shard_dies() {
 #[test]
 fn scrape_exports_cost_and_slo_families() {
     let (addr, metrics, handle) = spawn_observable(0);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     warm_up(&mut client);
 
     let response = scrape(metrics, "/metrics");
@@ -423,7 +423,7 @@ fn scrape_exports_cost_and_slo_families() {
 #[test]
 fn scrape_listener_survives_rude_peers() {
     let (addr, metrics, handle) = spawn_observable(0);
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
     warm_up(&mut client);
 
     // A peer that connects and hangs up without sending a request must

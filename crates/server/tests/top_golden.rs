@@ -74,7 +74,7 @@ fn golden_path() -> PathBuf {
 fn top_once_frame_matches_golden() {
     let cfg = ServerConfig::builder().addr("127.0.0.1:0").shards(2).build().expect("config");
     let (addr, handle) = Server::spawn(cfg).expect("spawn");
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = Client::builder(addr).connect().expect("connect");
 
     // A fixed small workload so every pane has content (deterministic
     // items; the daemon's virtual-time rounds keep selection repeatable).

@@ -85,6 +85,8 @@ pub fn simulate_user_observed(
     } else {
         cfg.presentation.ladder()
     };
+    // One shared ladder per user; each arrival enqueues an `Arc` handle.
+    let ladder = std::sync::Arc::new(ladder);
     let mut scheduler = cfg.policy.build();
 
     let battery = BatteryTrace::synthesize(

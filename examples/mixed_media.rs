@@ -51,7 +51,7 @@ fn main() {
         }
         scheduler.enqueue(QueuedNotification {
             item: item(i as u64),
-            ladder,
+            ladder: std::sync::Arc::new(ladder),
             content_utility: *uc,
             enqueued_at: 0.0,
         });

@@ -26,7 +26,7 @@ fn notification(id: u64, content_utility: f64) -> QueuedNotification {
             features: ContentFeatures::default(),
             interaction: Interaction::NoActivity,
         },
-        ladder: AudioPresentationSpec::paper_default().ladder(),
+        ladder: std::sync::Arc::new(AudioPresentationSpec::paper_default().ladder()),
         content_utility,
         enqueued_at: 0.0,
     }

@@ -17,7 +17,7 @@ fn pubsub_routed_notifications_flow_through_the_scheduler() {
 
     // Route the first hours of friend-feed activity through the broker and
     // enqueue every matched delivery into the *subscriber's* scheduler.
-    let ladder = AudioPresentationSpec::paper_default().ladder();
+    let ladder = std::sync::Arc::new(AudioPresentationSpec::paper_default().ladder());
     let mut schedulers: HashMap<u64, RichNoteScheduler> = HashMap::new();
     let mut matched = 0usize;
     let by_id: HashMap<_, _> = trace.items.iter().map(|i| (i.id, i)).collect();

@@ -29,7 +29,7 @@ fn notification(id: u64, uc: f64, at: f64) -> QueuedNotification {
             features: ContentFeatures::default(),
             interaction: Interaction::NoActivity,
         },
-        ladder: AudioPresentationSpec::paper_default().ladder(),
+        ladder: std::sync::Arc::new(AudioPresentationSpec::paper_default().ladder()),
         content_utility: uc,
         enqueued_at: at,
     }
