@@ -44,16 +44,11 @@ fn bench_round(c: &mut Criterion) {
                     s
                 },
                 |mut s| {
-                    let ctx = RoundContext {
-                        round: 0,
-                        now: 3_600.0,
-                        round_secs: 3_600.0,
-                        online: true,
-                        link_capacity: u64::MAX,
-                        data_grant: (n as u64) * 50_000,
-                        energy_grant: 3_000.0,
-                        cost: &cost,
-                    };
+                    let ctx = RoundContext::builder(&cost)
+                        .now(3_600.0)
+                        .data_grant((n as u64) * 50_000)
+                        .energy_grant(3_000.0)
+                        .build();
                     black_box(s.run_round(&ctx))
                 },
                 criterion::BatchSize::SmallInput,

@@ -37,7 +37,10 @@
 //! both the per-round resource sampling and the allocation counting, the
 //! A/B half of the accounting-overhead measurement in EXPERIMENTS.md.
 //!
-//! Besides the generated `steady`/`surge_shed` workloads, a `replayed`
+//! Besides the generated `steady`/`surge_shed` workloads (and their
+//! `adaptive_steady`/`adaptive_surge_shed` twins, which run the same
+//! traces under `--policy adaptive` so the cost of connectivity shaping
+//! is directly comparable), a `replayed`
 //! scenario feeds the committed golden capture
 //! (`tests/goldens/golden.rncap`) through the `richnote-replay` path as
 //! fast as possible: a byte-fixed input whose cost numbers move only
@@ -48,7 +51,7 @@ use richnote_obs::rsrc::{set_alloc_counting, CountingAlloc};
 use richnote_pubsub::Topic;
 use richnote_replay::{replay_into, sanitize_config, ReplayOptions};
 use richnote_server::{
-    CaptureReader, Client, Log2Histogram, RegistrySnapshot, Server, ServerConfig,
+    CaptureReader, Client, Log2Histogram, PolicyName, RegistrySnapshot, Server, ServerConfig,
 };
 use richnote_trace::{TraceConfig, TraceGenerator};
 use serde::{Deserialize, Serialize};
@@ -240,6 +243,10 @@ struct Scenario {
     repeat: usize,
     queue_capacity: usize,
     shards: usize,
+    /// Selection policy the daemon runs. The adaptive scenarios measure
+    /// the cost of connectivity shaping (EWMA update + Markov prediction
+    /// per round) on top of the same workload as their static twins.
+    policy: PolicyName,
     /// When set, the scenario ignores the workload knobs above and
     /// replays this wire-level capture as fast as possible instead —
     /// fixed, committed input, so its numbers track daemon-side cost
@@ -276,6 +283,7 @@ impl Scenario {
                 repeat: 2 * scale,
                 queue_capacity: 1 << 20,
                 shards: 2,
+                policy: PolicyName::RichNote,
                 capture: None,
             },
             // Surge: the whole trace bursts into a queue a fraction of its
@@ -287,6 +295,34 @@ impl Scenario {
                 repeat: 2 * scale,
                 queue_capacity: 512,
                 shards: 2,
+                policy: PolicyName::RichNote,
+                capture: None,
+            },
+            // The steady workload under the adaptive policy: the delta vs
+            // `steady` is the per-round price of connectivity shaping
+            // (EWMA throughput update + Markov next-state prediction +
+            // grant/level clamping) plus the boxed-policy dispatch the
+            // non-default policies pay.
+            Scenario {
+                name: "adaptive_steady",
+                users: 400 * scale,
+                days: 1,
+                repeat: 2 * scale,
+                queue_capacity: 1 << 20,
+                shards: 2,
+                policy: PolicyName::Adaptive,
+                capture: None,
+            },
+            // Adaptive under shedding pressure: shaping must not slow the
+            // eviction path.
+            Scenario {
+                name: "adaptive_surge_shed",
+                users: 200 * scale,
+                days: 1,
+                repeat: 2 * scale,
+                queue_capacity: 512,
+                shards: 2,
+                policy: PolicyName::Adaptive,
                 capture: None,
             },
         ];
@@ -301,6 +337,7 @@ impl Scenario {
                 repeat: 0,
                 queue_capacity: 0,
                 shards: 0,
+                policy: PolicyName::RichNote,
                 capture: Some(capture),
             }),
             None => eprintln!(
@@ -320,6 +357,7 @@ impl Scenario {
             .addr("127.0.0.1:0")
             .shards(self.shards)
             .queue_capacity(self.queue_capacity)
+            .policy(self.policy)
             .rsrc_enabled(rsrc)
             .build()
             .map_err(|e| format!("config: {e}"))?;

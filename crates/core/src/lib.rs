@@ -43,6 +43,7 @@
 //! assert_eq!(selection.levels.len(), 3);
 //! ```
 
+pub mod adaptive;
 pub mod content;
 pub mod crowdsurvey;
 pub mod error;
@@ -54,23 +55,26 @@ pub mod mckp2;
 pub mod paper;
 pub mod policy;
 pub mod presentation;
+pub mod registry;
 pub mod scheduler;
 pub mod survey;
 pub mod transport;
 pub mod utility;
 
+pub use adaptive::{AdaptiveCheckpoint, AdaptiveConfig, AdaptivePolicy, EwmaThroughput};
 pub use content::{ContentItem, ContentKind};
 pub use error::{LadderError, SurveyFitError};
 pub use ids::{AlbumId, ArtistId, ContentId, PlaylistId, TopicId, TrackId, UserId};
 pub use lyapunov::{LyapunovConfig, LyapunovState};
 pub use mckp::{select_exact, select_fractional, select_greedy, MckpItem, Selection};
 pub use policy::{
-    FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectDecision,
+    AdaptiveDecision, FixedLevelCheckpoint, NoopObserver, Policy, PolicyCheckpoint, SelectDecision,
     SelectionObserver, WrongPolicy,
 };
 pub use presentation::{AudioPresentationSpec, Presentation, PresentationLadder};
+pub use registry::{PolicyName, UnknownPolicy};
 pub use scheduler::{
-    DeliveredNotification, FifoScheduler, NotificationScheduler, QueuedNotification,
-    RichNoteScheduler, RoundContext, TransferCost, UtilScheduler,
+    DeliveredNotification, FifoScheduler, NetSignal, NotificationScheduler, QueuedNotification,
+    RichNoteScheduler, RoundContext, RoundContextBuilder, TransferCost, UtilScheduler,
 };
 pub use utility::{combined_utility, ContentUtility, DurationUtility};

@@ -49,6 +49,25 @@ pub struct SelectDecision {
     pub budget_remaining: u64,
 }
 
+/// The per-round shaping decision of an adaptive policy, reported through
+/// [`SelectionObserver::on_adapt`] before any selection happens: what the
+/// policy predicted about connectivity and how it reshaped the round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveDecision {
+    /// Predicted probability the user is offline next round.
+    pub predicted_offline: f64,
+    /// Predicted probability the user is on WiFi next round.
+    pub predicted_wifi: f64,
+    /// Throughput estimate driving the grant scaling (bytes/sec), if any.
+    pub throughput: Option<f64>,
+    /// The effective data grant after scaling (bytes).
+    pub data_grant: u64,
+    /// Whether the grant was reduced below the driver's grant.
+    pub grant_scaled: bool,
+    /// The presentation-level cap imposed this round (`u8::MAX` = none).
+    pub level_cap: u8,
+}
+
 /// Receives per-selection telemetry during [`Policy::select_round`].
 ///
 /// Implementations must be cheap: the RichNote scheduler calls
@@ -57,6 +76,13 @@ pub struct SelectDecision {
 pub trait SelectionObserver {
     /// One notification was chosen for delivery with `decision`.
     fn on_select(&mut self, round: u64, content: ContentId, decision: &SelectDecision);
+
+    /// An adaptive policy reshaped the round (once per round, before
+    /// selections). Defaults to a no-op so non-adaptive observers are
+    /// unaffected.
+    fn on_adapt(&mut self, round: u64, decision: &AdaptiveDecision) {
+        let _ = (round, decision);
+    }
 }
 
 /// An observer that ignores everything (the default for plain
@@ -93,6 +119,10 @@ pub enum PolicyCheckpoint {
     Fifo(FixedLevelCheckpoint),
     /// [`crate::scheduler::UtilScheduler`] state.
     Util(FixedLevelCheckpoint),
+    /// [`crate::adaptive::AdaptivePolicy`] state (estimators included).
+    /// Boxed: the adaptive checkpoint (config + estimator + inner
+    /// scheduler) dwarfs the other variants.
+    Adaptive(Box<crate::adaptive::AdaptiveCheckpoint>),
 }
 
 impl PolicyCheckpoint {
@@ -102,6 +132,7 @@ impl PolicyCheckpoint {
             PolicyCheckpoint::RichNote(_) => "RichNote",
             PolicyCheckpoint::Fifo(_) => "FIFO",
             PolicyCheckpoint::Util(_) => "UTIL",
+            PolicyCheckpoint::Adaptive(_) => "Adaptive",
         }
     }
 }
@@ -202,6 +233,7 @@ impl Policy for Box<dyn Policy + Send> {
 
     /// Rebuilds whichever concrete policy the checkpoint was written by.
     fn restore(ck: PolicyCheckpoint) -> Result<Self, WrongPolicy> {
+        use crate::adaptive::AdaptivePolicy;
         use crate::scheduler::{FifoScheduler, RichNoteScheduler, UtilScheduler};
         Ok(match ck {
             PolicyCheckpoint::RichNote(_) => {
@@ -212,6 +244,9 @@ impl Policy for Box<dyn Policy + Send> {
             }
             PolicyCheckpoint::Util(_) => {
                 Box::new(UtilScheduler::restore(ck).expect("variant matched"))
+            }
+            PolicyCheckpoint::Adaptive(_) => {
+                Box::new(AdaptivePolicy::restore(ck).expect("variant matched"))
             }
         })
     }

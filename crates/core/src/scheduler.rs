@@ -55,8 +55,58 @@ impl TransferCost for LinearCost {
     }
 }
 
+/// Connectivity signals attached to a round — the optional, adaptive part
+/// of a [`RoundContext`]. Drivers that know (or predict) the user's network
+/// state fill this in; policies that don't care ignore it.
+///
+/// The contract (DESIGN.md §13):
+///
+/// * `state` is the network state *observed* by the driver for this round
+///   (or predicted by an upstream policy for a derived context). `None`
+///   means "no observation" — adaptive policies fall back to their
+///   stationary prior.
+/// * `throughput` is an estimate of sustainable link throughput in
+///   bytes/second. `None` means unknown; policies may substitute their own
+///   EWMA estimate.
+/// * `level_cap` clamps the maximum presentation level any policy may
+///   deliver at this round (`Some(1)` = metadata only). Every policy in
+///   this crate honors it; `None` leaves the full ladder available.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetSignal {
+    /// Observed (or predicted) network state for this round.
+    pub state: Option<richnote_net::NetworkState>,
+    /// Estimated sustainable throughput, bytes per second.
+    pub throughput: Option<f64>,
+    /// Maximum presentation level deliverable this round.
+    pub level_cap: Option<u8>,
+}
+
+impl NetSignal {
+    /// A signal carrying only an observed network state.
+    pub fn observed(state: richnote_net::NetworkState) -> Self {
+        Self { state: Some(state), throughput: None, level_cap: None }
+    }
+
+    /// Sets the throughput estimate (bytes/second).
+    pub fn with_throughput(mut self, bytes_per_sec: f64) -> Self {
+        self.throughput = Some(bytes_per_sec);
+        self
+    }
+
+    /// Sets the presentation-level cap.
+    pub fn with_level_cap(mut self, cap: u8) -> Self {
+        self.level_cap = Some(cap);
+        self
+    }
+}
+
 /// Everything a policy may consult during one round.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`RoundContext::builder`], which defaults every field a driver does not
+/// care about, so future signal fields stop being breaking changes.
 #[derive(Clone, Copy)]
+#[non_exhaustive]
 pub struct RoundContext<'a> {
     /// Round index `t`.
     pub round: u64,
@@ -72,11 +122,30 @@ pub struct RoundContext<'a> {
     pub data_grant: u64,
     /// Energy replenishment this round (`e(t)`, from battery state).
     pub energy_grant: f64,
+    /// Connectivity signals, if the driver has any (see [`NetSignal`]).
+    pub net: Option<NetSignal>,
     /// Energy model for the current network.
     pub cost: &'a dyn TransferCost,
 }
 
-impl RoundContext<'_> {
+impl<'a> RoundContext<'a> {
+    /// A builder over the one mandatory field (the energy model). All other
+    /// fields default: round 0 at t = 0, one-hour round, online, unlimited
+    /// link, zero grants, no connectivity signal.
+    pub fn builder(cost: &'a dyn TransferCost) -> RoundContextBuilder<'a> {
+        RoundContextBuilder {
+            round: 0,
+            now: 0.0,
+            round_secs: 3_600.0,
+            online: true,
+            link_capacity: u64::MAX,
+            data_grant: 0,
+            energy_grant: 0.0,
+            net: None,
+            cost,
+        }
+    }
+
     /// Link rate in bytes per second implied by capacity and round length.
     pub fn link_rate(&self) -> f64 {
         if self.round_secs <= 0.0 {
@@ -95,6 +164,92 @@ impl RoundContext<'_> {
         }
         self.now + (bytes_before + size) as f64 / rate
     }
+
+    /// The effective presentation-level cap this round: the signal's
+    /// `level_cap` clamped to at least 1 (metadata is always allowed), or
+    /// `u8::MAX` when no cap is set.
+    pub fn level_cap(&self) -> u8 {
+        self.net.and_then(|n| n.level_cap).unwrap_or(u8::MAX).max(1)
+    }
+}
+
+/// Builder for [`RoundContext`]; see [`RoundContext::builder`].
+#[derive(Clone, Copy)]
+pub struct RoundContextBuilder<'a> {
+    round: u64,
+    now: f64,
+    round_secs: f64,
+    online: bool,
+    link_capacity: u64,
+    data_grant: u64,
+    energy_grant: f64,
+    net: Option<NetSignal>,
+    cost: &'a dyn TransferCost,
+}
+
+impl<'a> RoundContextBuilder<'a> {
+    /// Sets the round index `t`.
+    pub fn round(mut self, round: u64) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// Sets the wall-clock seconds at the start of the round.
+    pub fn now(mut self, now: f64) -> Self {
+        self.now = now;
+        self
+    }
+
+    /// Sets the round length in seconds.
+    pub fn round_secs(mut self, secs: f64) -> Self {
+        self.round_secs = secs;
+        self
+    }
+
+    /// Sets whether the device currently has connectivity.
+    pub fn online(mut self, online: bool) -> Self {
+        self.online = online;
+        self
+    }
+
+    /// Sets the link capacity for this round in bytes.
+    pub fn link_capacity(mut self, bytes: u64) -> Self {
+        self.link_capacity = bytes;
+        self
+    }
+
+    /// Sets the data grant `θ` for this round in bytes.
+    pub fn data_grant(mut self, bytes: u64) -> Self {
+        self.data_grant = bytes;
+        self
+    }
+
+    /// Sets the energy replenishment `e(t)` for this round in joules.
+    pub fn energy_grant(mut self, joules: f64) -> Self {
+        self.energy_grant = joules;
+        self
+    }
+
+    /// Attaches connectivity signals.
+    pub fn net(mut self, net: NetSignal) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Builds the context.
+    pub fn build(self) -> RoundContext<'a> {
+        RoundContext {
+            round: self.round,
+            now: self.now,
+            round_secs: self.round_secs,
+            online: self.online,
+            link_capacity: self.link_capacity,
+            data_grant: self.data_grant,
+            energy_grant: self.energy_grant,
+            net: self.net,
+            cost: self.cost,
+        }
+    }
 }
 
 impl std::fmt::Debug for RoundContext<'_> {
@@ -106,6 +261,7 @@ impl std::fmt::Debug for RoundContext<'_> {
             .field("link_capacity", &self.link_capacity)
             .field("data_grant", &self.data_grant)
             .field("energy_grant", &self.energy_grant)
+            .field("net", &self.net)
             .finish_non_exhaustive()
     }
 }
@@ -222,11 +378,10 @@ pub struct SchedulerCheckpoint {
 ///
 /// let mut sched = RichNoteScheduler::builder().build();
 /// let cost = LinearCost { fixed: 1.0, per_byte: 1e-4 };
-/// let ctx = RoundContext {
-///     round: 0, now: 0.0, round_secs: 3_600.0, online: true,
-///     link_capacity: u64::MAX, data_grant: 100_000, energy_grant: 3_000.0,
-///     cost: &cost,
-/// };
+/// let ctx = RoundContext::builder(&cost)
+///     .data_grant(100_000)
+///     .energy_grant(3_000.0)
+///     .build();
 /// let delivered = sched.run_round(&ctx);
 /// assert!(delivered.is_empty()); // nothing queued yet
 /// ```
@@ -364,18 +519,21 @@ impl RichNoteScheduler {
         }
 
         let budget = (self.lyap.data_budget() as u64).min(ctx.link_capacity);
+        let level_cap = ctx.level_cap();
 
         // Build the MCKP instance with Lyapunov-adjusted utilities (Eq. 7),
         // rewriting last round's scratch items in place. Disjoint field
         // borrows: the queue and Lyapunov state are read, the scratch is
-        // written.
+        // written. `deliverable()` is ordered by level starting at 1, so
+        // truncating at the cap keeps MCKP level indices aligned with
+        // ladder levels.
         let queue = &self.queue;
         let lyap = &self.lyap;
         let scratch = &mut self.scratch;
         scratch.items.truncate(queue.len());
         for (idx, n) in queue.iter().enumerate() {
             let s_total = n.ladder.total_size();
-            let levels = n.ladder.deliverable().iter().map(|p| {
+            let levels = n.ladder.deliverable().iter().take(level_cap as usize).map(|p| {
                 let rho = ctx.cost.energy(p.size);
                 let u = combined_utility(n.content_utility, p.utility);
                 (p.size, lyap.adjusted_utility(s_total, rho, u))
@@ -538,8 +696,9 @@ impl FixedLevelState {
         let mut capacity = ctx.link_capacity;
         let mut delivered = Vec::new();
         let mut bytes_before = 0u64;
+        let effective_level = self.fixed_level.min(ctx.level_cap());
         while let Some(front) = self.queue.front() {
-            let level = front.ladder.clamp_level(self.fixed_level);
+            let level = front.ladder.clamp_level(effective_level);
             let pres = front.ladder.get(level);
             if pres.size as f64 > self.data_budget || pres.size > capacity {
                 break;
@@ -816,16 +975,12 @@ mod tests {
     const COST: LinearCost = LinearCost { fixed: 5.0, per_byte: 5e-4 };
 
     fn online_ctx(round: u64, grant: u64) -> RoundContext<'static> {
-        RoundContext {
-            round,
-            now: round as f64 * 3600.0,
-            round_secs: 3_600.0,
-            online: true,
-            link_capacity: u64::MAX,
-            data_grant: grant,
-            energy_grant: 3_000.0,
-            cost: &COST,
-        }
+        RoundContext::builder(&COST)
+            .round(round)
+            .now(round as f64 * 3600.0)
+            .data_grant(grant)
+            .energy_grant(3_000.0)
+            .build()
     }
 
     #[test]
@@ -1056,16 +1211,7 @@ mod tests {
         }
         // Strongly energy-costly link.
         let cost = LinearCost { fixed: 50.0, per_byte: 5e-3 };
-        let ctx = RoundContext {
-            round: 0,
-            now: 0.0,
-            round_secs: 3_600.0,
-            online: true,
-            link_capacity: u64::MAX,
-            data_grant: 10_000_000,
-            energy_grant: 0.0,
-            cost: &cost,
-        };
+        let ctx = RoundContext::builder(&cost).data_grant(10_000_000).build();
         let d_poor = poor.run_round(&ctx);
         let ctx_rich = RoundContext { energy_grant: 3_000.0, ..ctx };
         let d_rich = rich.run_round(&ctx_rich);

@@ -1,7 +1,7 @@
 //! Per-state link profiles and connectivity schedules.
 
 use crate::markov::{MarkovConnectivity, NetworkState};
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// Bandwidth characteristics of each network state, used to cap how many
@@ -39,9 +39,14 @@ impl Default for LinkProfile {
 
 /// A source of per-round network states. Implemented by the Markov model
 /// and by degenerate fixed schedules.
+///
+/// The trait is object-safe: the RNG is taken as `&mut dyn RngCore`, so
+/// policies can hold a `Box<dyn ConnectivitySchedule>` without
+/// monomorphizing per generator. Concrete generators coerce at the call
+/// site (`schedule.state_for_round(r, &mut small_rng)` still compiles).
 pub trait ConnectivitySchedule {
     /// The network state during round `round`.
-    fn state_for_round<R: Rng>(&mut self, round: u64, rng: &mut R) -> NetworkState;
+    fn state_for_round(&mut self, round: u64, rng: &mut dyn RngCore) -> NetworkState;
 }
 
 /// Always-cellular connectivity: the setting of Figures 3, 4 and 5(a,b,d),
@@ -72,8 +77,8 @@ impl CellOnly {
 }
 
 impl ConnectivitySchedule for CellOnly {
-    fn state_for_round<R: Rng>(&mut self, _round: u64, rng: &mut R) -> NetworkState {
-        if self.availability >= 1.0 || rng.gen_bool(self.availability.clamp(0.0, 1.0)) {
+    fn state_for_round(&mut self, _round: u64, mut rng: &mut dyn RngCore) -> NetworkState {
+        if self.availability >= 1.0 || Rng::gen_bool(&mut rng, self.availability.clamp(0.0, 1.0)) {
             NetworkState::Cell
         } else {
             NetworkState::Off
@@ -82,8 +87,8 @@ impl ConnectivitySchedule for CellOnly {
 }
 
 impl ConnectivitySchedule for MarkovConnectivity {
-    fn state_for_round<R: Rng>(&mut self, _round: u64, rng: &mut R) -> NetworkState {
-        self.step(rng)
+    fn state_for_round(&mut self, _round: u64, mut rng: &mut dyn RngCore) -> NetworkState {
+        self.step(&mut rng)
     }
 }
 
@@ -114,6 +119,12 @@ impl ScheduleFromTrace {
         self.states.is_empty()
     }
 
+    /// The recorded state at `round` without advancing the schedule;
+    /// rounds beyond the trace return the fallback.
+    pub fn peek(&self, round: u64) -> NetworkState {
+        self.states.get(round as usize).copied().unwrap_or(self.fallback)
+    }
+
     /// Fraction of recorded rounds that are online.
     pub fn availability(&self) -> f64 {
         if self.states.is_empty() {
@@ -124,7 +135,7 @@ impl ScheduleFromTrace {
 }
 
 impl ConnectivitySchedule for ScheduleFromTrace {
-    fn state_for_round<R: Rng>(&mut self, round: u64, _rng: &mut R) -> NetworkState {
+    fn state_for_round(&mut self, round: u64, _rng: &mut dyn RngCore) -> NetworkState {
         self.states.get(round as usize).copied().unwrap_or(self.fallback)
     }
 }

@@ -19,6 +19,7 @@
 pub mod connectivity;
 pub mod diurnal;
 pub mod markov;
+pub mod prelude;
 
 pub use connectivity::{CellOnly, ConnectivitySchedule, LinkProfile, ScheduleFromTrace};
 pub use diurnal::DiurnalConfig;

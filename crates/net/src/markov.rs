@@ -153,6 +153,19 @@ impl MarkovConnectivity {
         self.state
     }
 
+    /// The transition row out of `from`, as
+    /// `[P(→Wifi), P(→Cell), P(→Off)]` — the one-step prediction of the
+    /// next round's state given an observation of the current one.
+    pub fn transition_row(&self, from: NetworkState) -> [f64; 3] {
+        self.matrix[from.index()]
+    }
+
+    /// The full (validated) transition matrix, rows/columns in
+    /// `[Wifi, Cell, Off]` order.
+    pub fn matrix(&self) -> &[[f64; 3]; 3] {
+        &self.matrix
+    }
+
     /// Advances one round and returns the new state.
     pub fn step<R: Rng>(&mut self, rng: &mut R) -> NetworkState {
         let row = self.matrix[self.state.index()];

@@ -1,0 +1,32 @@
+//! One-stop import for connectivity modeling.
+//!
+//! `use richnote_net::prelude::*;` brings in every schedule, the Markov
+//! model, the link profile, and the state enum. [`ConnectivitySchedule`]
+//! is object-safe, so downstream policies can hold a
+//! `Box<dyn ConnectivitySchedule>` and drive any schedule through one
+//! virtual call per round.
+
+pub use crate::connectivity::{CellOnly, ConnectivitySchedule, LinkProfile, ScheduleFromTrace};
+pub use crate::diurnal::DiurnalConfig;
+pub use crate::markov::{MarkovConnectivity, NetworkState, TransitionMatrixError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedules_are_object_safe() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut boxed: Vec<Box<dyn ConnectivitySchedule>> = vec![
+            Box::new(CellOnly::always()),
+            Box::new(MarkovConnectivity::paper_default(NetworkState::Cell)),
+            Box::new(ScheduleFromTrace::new(vec![NetworkState::Wifi], NetworkState::Off)),
+        ];
+        for schedule in &mut boxed {
+            // Concrete RNGs coerce to `&mut dyn RngCore` at the call site.
+            let _ = schedule.state_for_round(0, &mut rng);
+        }
+    }
+}

@@ -8,11 +8,14 @@
 //!         [--repeat K] [--stats-every TICKS] [--trace-sample 1/N]
 //!         [--faults drop=P,seed=S] [--drain] [--shutdown]
 //! loadgen --record-golden PATH [--users N] [--days D] [--seed S]
+//!         [--policy richnote|fifo|util|adaptive]
 //! ```
 //!
 //! With `--record-golden`, the load generator ignores `--addr` entirely:
 //! it spawns a private in-process daemon in the canonical golden
-//! configuration (`richnote_server::golden_config`), records a seeded
+//! configuration (`richnote_server::golden_config`; `--policy` selects
+//! its shard scheduling policy — the committed fixture uses the RichNote
+//! default), records a seeded
 //! single-connection workload through the daemon's `--record` capture
 //! path, and rewrites the capture with synthesized timestamps so the
 //! committed fixture under `tests/goldens/` is byte-stable across
@@ -52,8 +55,8 @@ use richnote_core::UserId;
 use richnote_pubsub::Topic;
 use richnote_server::wire::Delivery;
 use richnote_server::{
-    derive_trace_id, Client, CodecKind, FaultRng, Log2Histogram, SampleRate, ServerError,
-    ServerResult, SpanStage, SpanTree,
+    derive_trace_id, Client, CodecKind, FaultRng, Log2Histogram, PolicyName, SampleRate,
+    ServerError, ServerResult, SpanStage, SpanTree,
 };
 use richnote_trace::{TraceConfig, TraceGenerator};
 use std::collections::HashMap;
@@ -88,6 +91,8 @@ struct Args {
     /// (Re)generate the committed replay golden capture at this path
     /// instead of driving an external server.
     record_golden: Option<String>,
+    /// Shard scheduling policy of the `--record-golden` in-process daemon.
+    policy: PolicyName,
     /// Frame codec every connection offers in its handshake; the server
     /// may still negotiate down to JSON.
     codec: CodecKind,
@@ -111,6 +116,7 @@ impl Default for Args {
             drain: false,
             shutdown: false,
             record_golden: None,
+            policy: PolicyName::RichNote,
             codec: CodecKind::Binary,
         }
     }
@@ -122,7 +128,8 @@ fn usage() -> ! {
          [--connections N] [--rate PUBS_PER_SEC] [--tick-ms MS] [--repeat K] \
          [--stats-every TICKS] [--trace-sample 1/N] [--faults drop=P,seed=S] \
          [--codec json|binary] [--drain] [--shutdown]\n\
-         \x20      loadgen --record-golden PATH [--users N] [--days D] [--seed S]"
+         \x20      loadgen --record-golden PATH [--users N] [--days D] [--seed S] \
+         [--policy richnote|fifo|util|adaptive]"
     );
     std::process::exit(2)
 }
@@ -197,6 +204,7 @@ fn parse_args() -> Args {
             "--drain" => a.drain = true,
             "--shutdown" => a.shutdown = true,
             "--record-golden" => a.record_golden = Some(value("--record-golden")),
+            "--policy" => a.policy = parse(&value("--policy"), "--policy"),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -612,12 +620,18 @@ fn run(a: &Args) -> ServerResult<()> {
 fn main() -> ExitCode {
     let args = parse_args();
     if let Some(path) = &args.record_golden {
-        return match richnote_server::record_golden(path, args.seed, args.users, args.days) {
+        return match richnote_server::record_golden_with_policy(
+            path,
+            args.seed,
+            args.users,
+            args.days,
+            args.policy,
+        ) {
             Ok(summary) => {
                 println!(
                     "golden capture written to {path}: {} record(s) covering {} publication(s) \
-                     (seed {}, {} users, {} day(s))",
-                    summary.records, summary.pubs, args.seed, args.users, args.days
+                     (seed {}, {} users, {} day(s), {} policy)",
+                    summary.records, summary.pubs, args.seed, args.users, args.days, args.policy
                 );
                 ExitCode::SUCCESS
             }

@@ -8,6 +8,7 @@
 //!                 [--trace-capacity EVENTS] [--trace-sample 1/N]
 //!                 [--flight-capacity TREES] [--flight-dir DIR]
 //!                 [--record PATH] [--codec json|binary]
+//!                 [--policy richnote|fifo|util|adaptive]
 //!                 [--no-rsrc] [--slo-window SECS]
 //!                 [--slo-round-latency US] [--slo-ack-latency US]
 //!                 [--slo-shed-target FRACTION]
@@ -33,6 +34,10 @@
 //! `--codec` caps the richest frame codec the daemon will negotiate in
 //! the v2 handshake: `binary` (the default) lets binary-capable clients
 //! upgrade, `json` pins every connection to the JSON framing.
+//! `--policy` selects the scheduling policy every shard runs (default
+//! `richnote`; `adaptive` adds connectivity-aware grant scaling and
+//! ladder capping). Checkpoints record their policy, and restoring under
+//! a different one fails loudly.
 //! `--no-rsrc` turns off per-thread CPU/allocation cost accounting
 //! (for overhead A/B runs; the counters export as zero). The `--slo-*`
 //! flags tune the health engine behind `/healthz` and the wire `Health`
@@ -44,7 +49,8 @@
 
 use richnote_obs::rsrc::{set_alloc_counting, CountingAlloc};
 use richnote_server::{
-    CodecKind, FaultPlan, SampleRate, Server, ServerConfig, ServerConfigBuilder, SloConfig,
+    CodecKind, FaultPlan, PolicyName, SampleRate, Server, ServerConfig, ServerConfigBuilder,
+    SloConfig,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -63,6 +69,7 @@ fn usage() -> ! {
          [--metrics-addr HOST:PORT] [--no-metrics] [--trace-capacity EVENTS] \
          [--trace-sample 1/N] [--flight-capacity TREES] [--flight-dir DIR] \
          [--record PATH] [--codec json|binary] \
+         [--policy richnote|fifo|util|adaptive] \
          [--no-rsrc] [--slo-window SECS] [--slo-round-latency US] \
          [--slo-ack-latency US] [--slo-shed-target FRACTION] [--faults SPEC]"
     );
@@ -112,6 +119,7 @@ fn parse_args() -> ServerConfigBuilder {
             "--flight-dir" => builder.flight_dir(value("--flight-dir")),
             "--record" => builder.record(value("--record")),
             "--codec" => builder.codec(parse::<CodecKind>(&value("--codec"), "--codec")),
+            "--policy" => builder.policy(parse::<PolicyName>(&value("--policy"), "--policy")),
             "--no-rsrc" => builder.rsrc_enabled(false),
             "--slo-window" => {
                 slo.window_secs = parse(&value("--slo-window"), "--slo-window");

@@ -234,7 +234,10 @@ impl Client {
     ///
     /// Returns connection and handshake failures (after exhausting
     /// retries for transient ones).
-    #[deprecated(note = "use `Client::builder(addr).connect()`")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Client::builder(addr).connect()`; will be removed in 0.2.0"
+    )]
     pub fn connect<A: ToSocketAddrs + ToString>(addr: A) -> ServerResult<Client> {
         Client::builder(addr).connect()
     }
@@ -247,7 +250,9 @@ impl Client {
     ///
     /// Returns connection and handshake failures.
     #[deprecated(
-        note = "use `Client::builder(addr)` with `.retry(..)`/`.no_retry()`/`.session(..)`"
+        since = "0.1.0",
+        note = "use `Client::builder(addr)` with `.retry(..)`/`.no_retry()`/`.session(..)`; \
+                will be removed in 0.2.0"
     )]
     pub fn connect_with<A: ToSocketAddrs + ToString>(
         addr: A,

@@ -3,6 +3,7 @@
 use crate::codec::CodecKind;
 use crate::error::ConfigError;
 use crate::fault::FaultPlan;
+use richnote_core::registry::PolicyName;
 use richnote_core::scheduler::LinearCost;
 use richnote_obs::SampleRate;
 use serde::{Deserialize, Serialize};
@@ -90,6 +91,12 @@ pub struct ServerConfig {
     /// framing. Absent in older config JSON, which deserializes to the
     /// default.
     pub codec: CodecKind,
+    /// Scheduling policy every shard runs (see
+    /// [`richnote_core::registry::PolicyName`]). Absent in older config
+    /// JSON, which deserializes to [`PolicyName::RichNote`]. Checkpoints
+    /// record the policy that wrote them; restoring under a different
+    /// policy is rejected.
+    pub policy: PolicyName,
 }
 
 /// Resource-accounting switches.
@@ -231,6 +238,7 @@ impl Default for ServerConfig {
             slo: SloConfig::default(),
             record: None,
             codec: CodecKind::Binary,
+            policy: PolicyName::RichNote,
         }
     }
 }
@@ -429,6 +437,13 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Scheduling policy every shard runs (default: RichNote).
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyName) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
     /// Validates and returns the finished config.
     ///
     /// # Errors
@@ -544,6 +559,28 @@ mod tests {
         assert_eq!(back.rsrc, RsrcConfig::default());
         assert_eq!(back.slo, SloConfig::default());
         assert_eq!(back, ServerConfig::default());
+    }
+
+    #[test]
+    fn pre_policy_config_json_still_loads() {
+        // Configs serialized before the policy field existed must load
+        // with the RichNote default filled in.
+        let mut v = ServerConfig::default().to_value();
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "policy");
+        }
+        let back = ServerConfig::from_value(&v).unwrap();
+        assert_eq!(back.policy, PolicyName::RichNote);
+        assert_eq!(back, ServerConfig::default());
+    }
+
+    #[test]
+    fn policy_builder_sets_and_roundtrips() {
+        let cfg = ServerConfig::builder().policy(PolicyName::Adaptive).build().unwrap();
+        assert_eq!(cfg.policy, PolicyName::Adaptive);
+        let s = serde_json::to_string(&cfg).unwrap();
+        let back: ServerConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.policy, PolicyName::Adaptive);
     }
 
     #[test]

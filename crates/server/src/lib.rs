@@ -82,10 +82,11 @@ pub use fault::{FaultPlan, FaultRng, ShardPanicFault};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardSnapshot};
 pub use queue::BoundedQueue;
 pub use record::{
-    chain_next, golden_config, record_golden, CaptureError, CaptureHeader, CaptureReader,
-    CaptureRecord, CaptureWriter, GoldenSummary, RecordSink, CAPTURE_FORMAT, CAPTURE_MAGIC,
-    GOLDEN_SESSION,
+    chain_next, golden_config, record_golden, record_golden_with_policy, CaptureError,
+    CaptureHeader, CaptureReader, CaptureRecord, CaptureWriter, GoldenSummary, RecordSink,
+    CAPTURE_FORMAT, CAPTURE_MAGIC, GOLDEN_SESSION,
 };
+pub use richnote_core::registry::{PolicyName, UnknownPolicy};
 pub use router::shard_of;
 pub use server::{RestoreSummary, Server};
 pub use shard::ShardState;

@@ -48,6 +48,7 @@ use crate::config::ServerConfig;
 use crate::error::{ServerError, ServerResult};
 use crate::server::Server;
 use crate::wire::{encode_frame_payload, Request, MAX_FRAME_BYTES};
+use richnote_core::registry::PolicyName;
 use richnote_obs::derive_trace_id;
 use richnote_pubsub::Topic;
 use richnote_trace::{TraceConfig, TraceGenerator};
@@ -643,9 +644,24 @@ pub fn record_golden(
     users: usize,
     days: u64,
 ) -> ServerResult<GoldenSummary> {
+    record_golden_with_policy(path, seed, users, days, PolicyName::RichNote)
+}
+
+/// [`record_golden`] with an explicit shard scheduling policy for the
+/// in-process daemon. The committed replay fixture is recorded under the
+/// RichNote default; other policies are for local capture experiments
+/// (e.g. `loadgen --record-golden ... --policy adaptive`).
+pub fn record_golden_with_policy(
+    path: &str,
+    seed: u64,
+    users: usize,
+    days: u64,
+    policy: PolicyName,
+) -> ServerResult<GoldenSummary> {
     let tmp = format!("{path}.recording");
     let cfg = {
         let mut c = golden_config();
+        c.policy = policy;
         c.record = Some(tmp.clone());
         c
     };

@@ -362,8 +362,10 @@ impl Server {
     /// Returns [`ServerError::Config`] for an invalid config, I/O errors
     /// from binding, and [`ServerError::Checkpoint`] when the newest
     /// checkpoint is corrupt or was written under an incompatible config
-    /// (different shard count or round length) — restoring across a
-    /// reshard would silently re-route users, so it fails loudly instead.
+    /// (different shard count, round length, or scheduling policy) —
+    /// restoring across a reshard would silently re-route users and
+    /// restoring across a policy change would silently reschedule them,
+    /// so both fail loudly instead.
     pub fn bind(cfg: ServerConfig) -> ServerResult<Server> {
         cfg.validate()?;
         let store = match &cfg.checkpoint_dir {
@@ -396,6 +398,27 @@ impl Server {
                     ),
                 });
             }
+            // Validate the policy up front, before any shard worker
+            // spawns: a mismatch discovered inside a worker thread would
+            // leave a half-alive daemon instead of a clean startup error.
+            let expected = cfg.policy.display_name();
+            for shard_ck in &ck.shards {
+                if let Some(u) =
+                    shard_ck.users.iter().find(|u| u.scheduler.policy_name() != expected)
+                {
+                    return Err(ServerError::Checkpoint {
+                        path: cfg.checkpoint_dir.clone().unwrap_or_default(),
+                        detail: format!(
+                            "checkpoint was written by the {} policy but this server is \
+                             configured with --policy {}; restoring would silently change \
+                             scheduling behaviour (first mismatching user: {})",
+                            u.scheduler.policy_name(),
+                            cfg.policy,
+                            u.user.value()
+                        ),
+                    });
+                }
+            }
         }
         let restored =
             checkpoint.as_ref().map(|ck| RestoreSummary { round: ck.round, users: ck.users() });
@@ -425,7 +448,14 @@ impl Server {
         let workers: Vec<ShardWorker> = shard_cks
             .into_iter()
             .enumerate()
-            .map(|(s, ck)| ShardWorker::spawn(s, cfg.clone(), ck))
+            .map(|(s, ck)| match cfg.policy {
+                // Default policy keeps the monomorphized fast path; any
+                // other registry policy runs behind the boxed interface.
+                richnote_core::registry::PolicyName::RichNote => {
+                    ShardWorker::spawn(s, cfg.clone(), ck)
+                }
+                name => ShardWorker::spawn_with(s, cfg.clone(), ck, name.factory()),
+            })
             .collect();
         let queues = workers.iter().map(|w| Arc::clone(&w.queue)).collect();
         let router = Arc::new(Router::new(queues));

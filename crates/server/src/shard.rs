@@ -45,7 +45,8 @@ use crate::wire::Delivery;
 use richnote_core::presentation::AudioPresentationSpec;
 use richnote_core::scheduler::{QueuedNotification, RichNoteScheduler, RoundContext};
 use richnote_core::{
-    ContentId, ContentItem, Policy, PresentationLadder, SelectDecision, SelectionObserver, UserId,
+    AdaptiveDecision, ContentId, ContentItem, Policy, PresentationLadder, SelectDecision,
+    SelectionObserver, UserId,
 };
 use richnote_obs::rsrc::alloc_counting_active;
 use richnote_obs::{
@@ -109,6 +110,17 @@ pub struct ShardObs {
     bytes_spent: CounterHandle,
     bytes_budgeted: CounterHandle,
     trace_shed: CounterHandle,
+    /// Adaptive-policy decisions made (one per user-round under the
+    /// adaptive policy; zero under static policies).
+    adapt_rounds: CounterHandle,
+    /// Decisions that scaled the data grant below the configured θ.
+    adapt_grant_scaled: CounterHandle,
+    /// Decisions that clamped the presentation ladder.
+    adapt_capped: CounterHandle,
+    /// Decisions that predicted an offline round (metadata-only cap).
+    adapt_offline_predicted: CounterHandle,
+    /// Sum of shaped per-user data grants, bytes.
+    adapt_grant_bytes: CounterHandle,
     /// Delivery counters by chosen level, indexed 0..=[`MAX_LEVEL`].
     levels: Vec<CounterHandle>,
     backlog: GaugeHandle,
@@ -201,6 +213,31 @@ impl ShardObs {
             "Traced publications whose spans were shed by staging overflow",
             l,
         );
+        let adapt_rounds = registry.counter(
+            "richnote_adaptive_rounds_total",
+            "Adaptive-policy shaping decisions made",
+            l,
+        );
+        let adapt_grant_scaled = registry.counter(
+            "richnote_adaptive_grant_scaled_total",
+            "Adaptive decisions that scaled the data grant below θ",
+            l,
+        );
+        let adapt_capped = registry.counter(
+            "richnote_adaptive_capped_total",
+            "Adaptive decisions that clamped the presentation ladder",
+            l,
+        );
+        let adapt_offline_predicted = registry.counter(
+            "richnote_adaptive_offline_predicted_total",
+            "Adaptive decisions that predicted an offline round",
+            l,
+        );
+        let adapt_grant_bytes = registry.counter(
+            "richnote_adaptive_grant_bytes_total",
+            "Sum of adaptively shaped per-user data grants (bytes)",
+            l,
+        );
         let cpu_us = registry.counter(
             "richnote_cpu_us_total",
             "Thread CPU time consumed by this shard worker (µs)",
@@ -253,6 +290,11 @@ impl ShardObs {
             bytes_spent,
             bytes_budgeted,
             trace_shed,
+            adapt_rounds,
+            adapt_grant_scaled,
+            adapt_capped,
+            adapt_offline_predicted,
+            adapt_grant_bytes,
             levels,
             backlog,
             users,
@@ -394,6 +436,22 @@ impl ShardObs {
             self.registry.inc(h, 1);
         }
     }
+
+    /// Folds one adaptive shaping decision into the
+    /// `richnote_adaptive_*` families.
+    fn record_adapt(&mut self, decision: &AdaptiveDecision) {
+        self.registry.inc(self.adapt_rounds, 1);
+        self.registry.inc(self.adapt_grant_bytes, decision.data_grant);
+        if decision.grant_scaled {
+            self.registry.inc(self.adapt_grant_scaled, 1);
+        }
+        if decision.level_cap < u8::MAX {
+            self.registry.inc(self.adapt_capped, 1);
+        }
+        if decision.level_cap <= 1 {
+            self.registry.inc(self.adapt_offline_predicted, 1);
+        }
+    }
 }
 
 /// Reports one user's selections into the shard's trace ring.
@@ -416,6 +474,10 @@ impl SelectionObserver for SelectObserver<'_> {
         });
         self.obs.record_level(decision.level);
         self.obs.finish_trace(round, self.user, content.value(), decision);
+    }
+
+    fn on_adapt(&mut self, _round: u64, decision: &AdaptiveDecision) {
+        self.obs.record_adapt(decision);
     }
 }
 
@@ -537,11 +599,29 @@ impl<P: Policy + Send> ShardState<P> {
         state.bytes_spent = ck.bytes_spent;
         state.latency = ck.latency;
         state.restored_users = ck.users.len() as u64;
+        // What this shard will build for new users; restored users must
+        // have been written by the same policy. Concrete policy types
+        // already reject foreign checkpoint variants in `restore`, but a
+        // boxed registry policy would happily revive any variant — the
+        // name guard keeps `--policy` switches from silently mixing
+        // scheduler states.
+        let probe = factory();
+        let expected = probe.name().to_string();
         for u in ck.users {
             let policy = P::restore(u.scheduler).map_err(|e| ServerError::Checkpoint {
                 path: String::new(),
                 detail: format!("user {}: {e}", u.user.value()),
             })?;
+            if policy.name() != expected {
+                return Err(ServerError::Checkpoint {
+                    path: String::new(),
+                    detail: format!(
+                        "user {}: checkpoint written by the {} policy but this shard runs {expected}",
+                        u.user.value(),
+                        policy.name()
+                    ),
+                });
+            }
             state.schedulers.insert(u.user, policy);
         }
         state.obs.registry.set_counter(state.obs.pubs, state.ingested);
@@ -618,16 +698,14 @@ impl<P: Policy + Send> ShardState<P> {
             now_secs: now,
             backlog: backlog_before,
         });
-        let ctx = RoundContext {
-            round: self.round,
-            now,
-            round_secs: self.cfg.round_secs,
-            online: true,
-            link_capacity: self.cfg.link_capacity,
-            data_grant: self.cfg.data_grant,
-            energy_grant: self.cfg.energy_grant,
-            cost: &self.cfg.cost,
-        };
+        let ctx = RoundContext::builder(&self.cfg.cost)
+            .round(self.round)
+            .now(now)
+            .round_secs(self.cfg.round_secs)
+            .link_capacity(self.cfg.link_capacity)
+            .data_grant(self.cfg.data_grant)
+            .energy_grant(self.cfg.energy_grant)
+            .build();
         let mut outcome = RoundOutcome { round: self.round, selected: Vec::new(), bytes: 0 };
         let mut select_us = 0u64;
         for (&user, scheduler) in &mut self.schedulers {

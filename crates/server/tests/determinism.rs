@@ -74,16 +74,14 @@ fn run_reference(cfg: &ServerConfig, batches: &[Vec<ContentItem>]) -> Selections
                     enqueued_at: now,
                 });
         }
-        let ctx = RoundContext {
-            round: round as u64,
-            now,
-            round_secs: cfg.round_secs,
-            online: true,
-            link_capacity: cfg.link_capacity,
-            data_grant: cfg.data_grant,
-            energy_grant: cfg.energy_grant,
-            cost: &cfg.cost,
-        };
+        let ctx = RoundContext::builder(&cfg.cost)
+            .round(round as u64)
+            .now(now)
+            .round_secs(cfg.round_secs)
+            .link_capacity(cfg.link_capacity)
+            .data_grant(cfg.data_grant)
+            .energy_grant(cfg.energy_grant)
+            .build();
         for (&user, scheduler) in &mut schedulers {
             for d in scheduler.run_round(&ctx) {
                 selections.entry(user).or_default().push((round as u64, d.content, d.level));

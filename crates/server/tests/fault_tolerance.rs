@@ -71,16 +71,14 @@ fn run_reference(cfg: &ServerConfig, batches: &[Vec<ContentItem>]) -> Log {
                     enqueued_at: now,
                 });
         }
-        let ctx = richnote_core::scheduler::RoundContext {
-            round: round as u64,
-            now,
-            round_secs: cfg.round_secs,
-            online: true,
-            link_capacity: cfg.link_capacity,
-            data_grant: cfg.data_grant,
-            energy_grant: cfg.energy_grant,
-            cost: &cfg.cost,
-        };
+        let ctx = richnote_core::scheduler::RoundContext::builder(&cfg.cost)
+            .round(round as u64)
+            .now(now)
+            .round_secs(cfg.round_secs)
+            .link_capacity(cfg.link_capacity)
+            .data_grant(cfg.data_grant)
+            .energy_grant(cfg.energy_grant)
+            .build();
         let mut per_round: Vec<_> = Vec::new();
         for (&user, scheduler) in &mut schedulers {
             for d in scheduler.run_round(&ctx) {

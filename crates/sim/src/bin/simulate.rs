@@ -1,8 +1,10 @@
 //! `simulate` — run one custom RichNote simulation from the command line.
 //!
 //! ```text
-//! simulate [--policy richnote|fifo|util] [--level N] [--budget-mb N]
-//!          [--network cell|sporadic:P|markov|diurnal] [--users N] [--days N]
+//! simulate [--policy richnote|fifo|util|adaptive] [--level N] [--budget-mb N]
+//!          [--network cell|sporadic:P|markov|diurnal|commute-flaky|
+//!                     evening-wifi|mass-event]
+//!          [--scenario NAME|all] [--quick] [--users N] [--days N]
 //!          [--rate N] [--seed N] [--v N] [--kappa N] [--json] [--metrics]
 //! ```
 //!
@@ -12,6 +14,14 @@
 //! ```text
 //! simulate --policy richnote --budget-mb 5 --network markov
 //! simulate --policy util --level 3 --budget-mb 5 --network markov
+//! ```
+//!
+//! `--scenario` switches to the deterministic scenario pack and prints a
+//! [`richnote_sim::scenarios::ScenarioReport`] per run:
+//!
+//! ```text
+//! simulate --scenario commute-flaky --policy adaptive --quick --json
+//! simulate --scenario all --policy richnote --json
 //! ```
 
 use richnote_core::paper;
@@ -25,6 +35,8 @@ struct Options {
     policy: String,
     level: u8,
     budget_mb: u64,
+    scenario: Option<String>,
+    quick: bool,
     network: NetworkKind,
     users: usize,
     days: u64,
@@ -42,6 +54,8 @@ impl Default for Options {
             policy: "richnote".to_string(),
             level: 3,
             budget_mb: 20,
+            scenario: None,
+            quick: false,
             network: NetworkKind::CellAlways,
             users: 150,
             days: 7,
@@ -77,6 +91,9 @@ fn parse() -> Result<Options, String> {
                     "cell" => NetworkKind::CellAlways,
                     "markov" => NetworkKind::Markov,
                     "diurnal" => NetworkKind::Diurnal,
+                    "commute-flaky" => NetworkKind::CommuteFlaky,
+                    "evening-wifi" => NetworkKind::EveningWifi,
+                    "mass-event" => NetworkKind::MassEvent,
                     other if other.starts_with("sporadic:") => {
                         let p: f64 = other["sporadic:".len()..]
                             .parse()
@@ -102,12 +119,66 @@ fn parse() -> Result<Options, String> {
             "--kappa" => {
                 opts.kappa = take("--kappa")?.parse().map_err(|e| format!("bad kappa: {e}"))?
             }
+            "--scenario" => opts.scenario = Some(take("--scenario")?),
+            "--quick" => opts.quick = true,
             "--json" => opts.json = true,
             "--metrics" => opts.metrics = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
     Ok(opts)
+}
+
+/// Runs one scenario (or `all`) from the deterministic pack and prints
+/// its report(s).
+fn run_scenario_pack(name: &str, policy: PolicyKind, quick: bool, json: bool) -> ExitCode {
+    use richnote_sim::scenarios::{run_scenario, spec, ScenarioReport, SCENARIO_NAMES};
+
+    let names: Vec<&str> = if name == "all" {
+        SCENARIO_NAMES.to_vec()
+    } else if spec(name).is_some() {
+        vec![name]
+    } else {
+        eprintln!("unknown scenario {name} (expected all, {})", SCENARIO_NAMES.join(", "));
+        return ExitCode::FAILURE;
+    };
+
+    let mut reports: Vec<ScenarioReport> = Vec::new();
+    for n in names {
+        eprintln!(
+            "running scenario {n} under {}{}...",
+            policy.name(),
+            if quick { " (quick)" } else { "" }
+        );
+        reports.push(run_scenario(n, policy, quick).expect("validated above"));
+    }
+
+    if json {
+        if reports.len() == 1 {
+            println!("{}", to_json(&reports[0]));
+        } else {
+            println!("{}", to_json(&reports));
+        }
+    } else {
+        for r in &reports {
+            println!(
+                "scenario {} | policy {} | {} users x {} rounds",
+                r.scenario, r.policy, r.users, r.rounds
+            );
+            println!("  arrived        {}", r.arrived);
+            println!(
+                "  delivered      {} ({:.1}%)",
+                r.delivered,
+                100.0 * r.delivered as f64 / r.arrived.max(1) as f64
+            );
+            println!("  data           {:.2} MB", r.bytes_delivered as f64 / 1e6);
+            println!("  utility        {:.1}", r.total_utility);
+            println!("  utility/MB     {:.2}", r.utility_per_mb);
+            println!("  shed rate      {:.3}", r.shed_rate);
+            println!("  mean delay     {:.2} h", r.mean_delay_secs / 3600.0);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -123,11 +194,16 @@ fn main() -> ExitCode {
         "richnote" => PolicyKind::richnote_with(opts.v, opts.kappa),
         "fifo" => PolicyKind::Fifo { level: opts.level },
         "util" => PolicyKind::Util { level: opts.level },
+        "adaptive" => PolicyKind::adaptive_default(),
         other => {
-            eprintln!("unknown policy {other} (expected richnote|fifo|util)");
+            eprintln!("unknown policy {other} (expected richnote|fifo|util|adaptive)");
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(name) = &opts.scenario {
+        return run_scenario_pack(name, policy, opts.quick, opts.json);
+    }
 
     eprintln!(
         "building environment: {} users, {} days, ~{} notifications/user-day...",

@@ -26,6 +26,9 @@
 //! * [`simulator`] — population-level orchestration with thread-parallel
 //!   user simulation;
 //! * [`report`] — text tables, CSV and JSON export;
+//! * [`scenarios`] — the deterministic scenario pack (commute flaky-cell,
+//!   evening-WiFi surge, mass-event congestion, battery-critical cohort)
+//!   with utility-per-MB / shed-rate reports;
 //! * [`experiments`] — one module per figure/table of the paper, plus
 //!   ablations and network/model-value studies.
 
@@ -36,6 +39,7 @@ pub mod feed;
 pub mod metrics;
 pub mod obs;
 pub mod report;
+pub mod scenarios;
 pub mod simulator;
 pub mod spans;
 pub mod user;
@@ -43,5 +47,6 @@ pub mod user;
 pub use cost::EnergyCost;
 pub use metrics::{AggregateMetrics, UserMetrics};
 pub use obs::{evaluate_slos, export_registry, exposition, SimSloPolicy};
+pub use scenarios::{run_all, run_scenario, ScenarioReport, ScenarioSpec, SCENARIO_NAMES};
 pub use simulator::{NetworkKind, PolicyKind, PopulationSim, SimulationConfig};
 pub use spans::{dump_json_lines, simulate_user_spans, SpanHarness};

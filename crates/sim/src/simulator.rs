@@ -8,6 +8,7 @@
 
 use crate::metrics::{AggregateMetrics, UserMetrics};
 use crate::user::simulate_user;
+use richnote_core::adaptive::{AdaptiveConfig, AdaptivePolicy};
 use richnote_core::content::ContentItem;
 use richnote_core::ids::UserId;
 use richnote_core::lyapunov::LyapunovConfig;
@@ -37,6 +38,10 @@ pub enum PolicyKind {
         /// Fixed presentation level.
         level: u8,
     },
+    /// Connectivity-aware adaptive RichNote: scales the data grant by a
+    /// per-user EWMA throughput estimate and clamps the presentation
+    /// ladder on predicted-offline / flaky-cell rounds.
+    Adaptive(AdaptiveConfig),
 }
 
 impl PolicyKind {
@@ -53,12 +58,18 @@ impl PolicyKind {
         })
     }
 
+    /// Adaptive with default estimator/threshold parameters.
+    pub fn adaptive_default() -> Self {
+        PolicyKind::Adaptive(AdaptiveConfig::default())
+    }
+
     /// Short display name.
     pub fn name(&self) -> String {
         match self {
             PolicyKind::RichNote(_) => "RichNote".to_string(),
             PolicyKind::Fifo { level } => format!("FIFO(L{level})"),
             PolicyKind::Util { level } => format!("UTIL(L{level})"),
+            PolicyKind::Adaptive(_) => "Adaptive".to_string(),
         }
     }
 
@@ -77,6 +88,9 @@ impl PolicyKind {
             PolicyKind::Util { level } => {
                 Box::new(UtilScheduler::builder().fixed_level(level).build())
             }
+            PolicyKind::Adaptive(a_cfg) => {
+                Box::new(AdaptivePolicy::builder().config(a_cfg).build())
+            }
         }
     }
 }
@@ -93,6 +107,15 @@ pub enum NetworkKind {
     /// A synthesized diurnal rhythm (overnight off, office/home WiFi,
     /// commute cellular) with per-user phase shifts.
     Diurnal,
+    /// Scenario-pack rhythm: flaky cellular during commute windows, cell
+    /// workdays, home WiFi evenings, overnight radio silence.
+    CommuteFlaky,
+    /// Scenario-pack rhythm: sporadic daytime cellular with a stable
+    /// evening WiFi window (the whole cohort surges online at once).
+    EveningWifi,
+    /// Scenario-pack rhythm: all-day cellular with a congested mass-event
+    /// window in the evening where most rounds draw Off.
+    MassEvent,
 }
 
 /// Full configuration of one simulation run.

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use richnote_core::content::ContentItem;
 use richnote_core::ids::{ContentId, UserId};
 use richnote_core::policy::{NoopObserver, SelectionObserver};
-use richnote_core::scheduler::{QueuedNotification, RoundContext};
+use richnote_core::scheduler::{NetSignal, QueuedNotification, RoundContext};
 use richnote_core::utility::DurationUtility;
 use richnote_energy::battery::{energy_grant, BatteryTrace, BatteryTraceConfig};
 use richnote_energy::model::NetworkEnergyModel;
@@ -101,6 +101,21 @@ pub fn simulate_user_observed(
     let mut diurnal =
         DiurnalConfig { phase_hours: (user.value() % 5) as f64 - 2.0, ..DiurnalConfig::default() }
             .synthesize(&mut rng, cfg.rounds);
+    // Scenario-pack rhythms are synthesized only for their own network
+    // kind so the RNG stream of the existing kinds is untouched.
+    let scenario_phase = (user.value() % 5) as f64 - 2.0;
+    let mut scenario = match cfg.network {
+        NetworkKind::CommuteFlaky => {
+            Some(crate::scenarios::commute_flaky_trace(&mut rng, cfg.rounds, scenario_phase))
+        }
+        NetworkKind::EveningWifi => {
+            Some(crate::scenarios::evening_wifi_trace(&mut rng, cfg.rounds, scenario_phase))
+        }
+        NetworkKind::MassEvent => {
+            Some(crate::scenarios::mass_event_trace(&mut rng, cfg.rounds, scenario_phase))
+        }
+        _ => None,
+    };
 
     let click_time: HashMap<ContentId, f64> =
         items.iter().filter_map(|i| i.interaction.click_time().map(|t| (i.id, t))).collect();
@@ -133,6 +148,12 @@ pub fn simulate_user_observed(
                 let state = match cfg.network {
                     NetworkKind::Markov => markov.state_for_round(round, &mut rng),
                     NetworkKind::Diurnal => diurnal.state_for_round(round, &mut rng),
+                    NetworkKind::CommuteFlaky
+                    | NetworkKind::EveningWifi
+                    | NetworkKind::MassEvent => scenario
+                        .as_mut()
+                        .expect("scenario trace synthesized for its kind")
+                        .state_for_round(round, &mut rng),
                     _ => cell_only.state_for_round(round, &mut rng),
                 };
                 let model = match state {
@@ -141,16 +162,17 @@ pub fn simulate_user_observed(
                 };
                 let cost = EnergyCost(model);
                 let grant = energy_grant(battery.fraction_at(round), cfg.kappa);
-                let ctx = RoundContext {
-                    round,
-                    now,
-                    round_secs: cfg.round_secs,
-                    online: state.is_online(),
-                    link_capacity: cfg.link.capacity(state, cfg.round_secs),
-                    data_grant: cfg.theta_bytes,
-                    energy_grant: grant,
-                    cost: &cost,
-                };
+                let link_capacity = cfg.link.capacity(state, cfg.round_secs);
+                let ctx = RoundContext::builder(&cost)
+                    .round(round)
+                    .now(now)
+                    .round_secs(cfg.round_secs)
+                    .online(state.is_online())
+                    .link_capacity(link_capacity)
+                    .data_grant(cfg.theta_bytes)
+                    .energy_grant(grant)
+                    .net(NetSignal::observed(state))
+                    .build();
                 let delivered = scheduler.select_round(&ctx, obs);
 
                 let mut round_bytes = 0u64;

@@ -58,16 +58,11 @@ fn main() {
     }
 
     let cost = LinearCost { fixed: 3.5, per_byte: 2.5e-5 };
-    let ctx = RoundContext {
-        round: 0,
-        now: 3_600.0,
-        round_secs: 3_600.0,
-        online: true,
-        link_capacity: u64::MAX,
-        data_grant: 1_200_000, // 1.2 MB this round
-        energy_grant: 3_000.0,
-        cost: &cost,
-    };
+    let ctx = RoundContext::builder(&cost)
+        .now(3_600.0)
+        .data_grant(1_200_000) // 1.2 MB this round
+        .energy_grant(3_000.0)
+        .build();
     let delivered = scheduler.run_round(&ctx);
 
     println!("\none round under a 1.2 MB budget:");

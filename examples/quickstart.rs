@@ -40,16 +40,8 @@ fn main() {
     // metadata, or a couple of 10-second previews — not both at full depth.
     let budget = 500_000u64;
     let cost = LinearCost { fixed: 3.5, per_byte: 2.5e-5 };
-    let ctx = RoundContext {
-        round: 0,
-        now: 3_600.0,
-        round_secs: 3_600.0,
-        online: true,
-        link_capacity: u64::MAX,
-        data_grant: budget,
-        energy_grant: 3_000.0,
-        cost: &cost,
-    };
+    let ctx =
+        RoundContext::builder(&cost).now(3_600.0).data_grant(budget).energy_grant(3_000.0).build();
 
     let mut richnote = RichNoteScheduler::builder().build();
     let mut fifo = FifoScheduler::builder().fixed_level(3).build(); // fixed: metadata + 10 s preview

@@ -218,3 +218,51 @@ proptest! {
         prop_assert!((sum - 1.0).abs() < 1e-9);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ewma_estimate_bounded_by_observed_extremes(
+        alpha in 0.01f64..=1.0,
+        rates in prop::collection::vec(1.0f64..1e9, 1..60),
+    ) {
+        use richnote::core::adaptive::EwmaThroughput;
+        let mut e = EwmaThroughput::new(alpha);
+        for &r in &rates {
+            e.observe_rate(r);
+        }
+        let (lo, hi) = e.bounds().expect("samples were fed");
+        let est = e.estimate().expect("samples were fed");
+        // A convex combination of samples can never escape the observed
+        // extremes (tolerance for accumulated rounding).
+        prop_assert!(est >= lo * (1.0 - 1e-12), "estimate {est} below min {lo}");
+        prop_assert!(est <= hi * (1.0 + 1e-12), "estimate {est} above max {hi}");
+    }
+
+    #[test]
+    fn ewma_monotone_response_to_sustained_shift(
+        alpha in 0.01f64..=1.0,
+        base in 10.0f64..1e6,
+        factor in 1.5f64..50.0,
+        warmup in 1usize..10,
+        sustained in 1usize..40,
+    ) {
+        use richnote::core::adaptive::EwmaThroughput;
+        let mut e = EwmaThroughput::new(alpha);
+        for _ in 0..warmup {
+            e.observe_rate(base);
+        }
+        // A sustained shift to a higher rate must move the estimate toward
+        // it monotonically, without overshooting.
+        let target = base * factor;
+        let mut prev = e.estimate().expect("warmed up");
+        for _ in 0..sustained {
+            e.observe_rate(target);
+            let cur = e.estimate().expect("fed");
+            prop_assert!(cur >= prev * (1.0 - 1e-12), "estimate regressed: {prev} -> {cur}");
+            prop_assert!(cur <= target * (1.0 + 1e-12), "estimate overshot {target}: {cur}");
+            prev = cur;
+        }
+    }
+}

@@ -47,16 +47,13 @@ fn pubsub_routed_notifications_flow_through_the_scheduler() {
     let mut total_delivered = 0usize;
     for scheduler in schedulers.values_mut() {
         let backlog = scheduler.backlog();
-        let ctx = RoundContext {
-            round: 4,
-            now: 5.0 * 3_600.0,
-            round_secs: 3_600.0,
-            online: true,
-            link_capacity: u64::MAX >> 8,
-            data_grant: 1_000_000_000,
-            energy_grant: 3_000.0,
-            cost: &cost,
-        };
+        let ctx = RoundContext::builder(&cost)
+            .round(4)
+            .now(5.0 * 3_600.0)
+            .link_capacity(u64::MAX >> 8)
+            .data_grant(1_000_000_000)
+            .energy_grant(3_000.0)
+            .build();
         let delivered = scheduler.run_round(&ctx);
         assert_eq!(delivered.len(), backlog);
         total_delivered += delivered.len();

@@ -53,16 +53,13 @@ fn run_policy(
             scheduler.enqueue(notification(next_id, uc, now));
             next_id += 1;
         }
-        let ctx = RoundContext {
-            round: r as u64,
-            now: now + 3_600.0,
-            round_secs: 3_600.0,
-            online: true,
-            link_capacity: 900_000_000,
-            data_grant: grant,
-            energy_grant: 3_000.0,
-            cost: &COST,
-        };
+        let ctx = RoundContext::builder(&COST)
+            .round(r as u64)
+            .now(now + 3_600.0)
+            .link_capacity(900_000_000)
+            .data_grant(grant)
+            .energy_grant(3_000.0)
+            .build();
         out.extend(scheduler.run_round(&ctx));
     }
     out
@@ -126,16 +123,12 @@ proptest! {
         for (i, &uc) in batch.iter().enumerate() {
             s.enqueue(notification(i as u64, uc, 0.0));
         }
-        let ctx = RoundContext {
-            round: 0,
-            now: 3_600.0,
-            round_secs: 3_600.0,
-            online: true,
-            link_capacity: u64::MAX >> 8,
-            data_grant: 10_000_000,
-            energy_grant: 3_000.0,
-            cost: &COST,
-        };
+        let ctx = RoundContext::builder(&COST)
+            .now(3_600.0)
+            .link_capacity(u64::MAX >> 8)
+            .data_grant(10_000_000)
+            .energy_grant(3_000.0)
+            .build();
         let delivered = s.run_round(&ctx);
         for w in delivered.windows(2) {
             prop_assert!(w[0].utility >= w[1].utility);
@@ -151,16 +144,14 @@ proptest! {
         let mut banked = 0u64;
         let grant = 50_000u64;
         for (r, &online) in online_pattern.iter().enumerate() {
-            let ctx = RoundContext {
-                round: r as u64,
-                now: (r + 1) as f64 * 3_600.0,
-                round_secs: 3_600.0,
-                online,
-                link_capacity: 900_000_000,
-                data_grant: grant,
-                energy_grant: 3_000.0,
-                cost: &COST,
-            };
+            let ctx = RoundContext::builder(&COST)
+                .round(r as u64)
+                .now((r + 1) as f64 * 3_600.0)
+                .online(online)
+                .link_capacity(900_000_000)
+                .data_grant(grant)
+                .energy_grant(3_000.0)
+                .build();
             let delivered = s.run_round(&ctx);
             banked += grant;
             if !online {
