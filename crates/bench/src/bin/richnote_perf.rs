@@ -48,6 +48,7 @@
 //! It is skipped (with a warning) when the fixture is absent.
 
 use richnote_obs::rsrc::{set_alloc_counting, CountingAlloc};
+use richnote_obs::MetricValue;
 use richnote_pubsub::Topic;
 use richnote_replay::{replay_into, sanitize_config, ReplayOptions};
 use richnote_server::{
@@ -180,6 +181,30 @@ struct ScenarioResult {
     cpu_us_per_pub: f64,
     allocs_per_pub: f64,
     alloc_bytes_per_pub: f64,
+    /// Delivered utility per megabyte, from the daemon's quality cohort
+    /// families — lets the report show what the measured throughput
+    /// *bought*. `None` when nothing was delivered, and absent from
+    /// baselines written before the analytics layer (never gated on).
+    utility_per_mb: Option<f64>,
+}
+
+/// Utility-per-MB from a merged stats snapshot: total of the
+/// `richnote_utility_total` cohort gauges over total delivered megabytes.
+fn snapshot_utility_per_mb(snap: &RegistrySnapshot) -> Option<f64> {
+    let bytes = snap.counter_total("richnote_delivered_bytes_total");
+    if bytes == 0 {
+        return None;
+    }
+    let utility: f64 = snap.family("richnote_utility_total").map_or(0.0, |f| {
+        f.series
+            .iter()
+            .map(|s| match &s.value {
+                MetricValue::Gauge(v) => *v,
+                _ => 0.0,
+            })
+            .sum()
+    });
+    Some(utility / (bytes as f64 / 1e6))
 }
 
 /// The whole `BENCH_<n>.json` document.
@@ -410,6 +435,7 @@ impl Scenario {
             cpu_us_per_pub: per_pub(snap.counter_total("richnote_cpu_us_total")),
             allocs_per_pub: per_pub(snap.counter_total("richnote_allocs_total")),
             alloc_bytes_per_pub: per_pub(snap.counter_total("richnote_alloc_bytes_total")),
+            utility_per_mb: snapshot_utility_per_mb(&snap),
         })
     }
 
@@ -444,6 +470,7 @@ impl Scenario {
             cpu_us_per_pub: per_pub(snap.counter_total("richnote_cpu_us_total")),
             allocs_per_pub: per_pub(snap.counter_total("richnote_allocs_total")),
             alloc_bytes_per_pub: per_pub(snap.counter_total("richnote_alloc_bytes_total")),
+            utility_per_mb: snapshot_utility_per_mb(&snap),
         })
     }
 }
@@ -554,7 +581,7 @@ fn main() -> ExitCode {
                 Ok(r) => {
                     eprintln!(
                         "  {} rep {}: {} pubs in {:.2}s = {:.0} pubs/s | cpu {:.2} µs/pub | \
-                         {:.1} allocs/pub | shed {}",
+                         {:.1} allocs/pub | shed {} | {} U/MB",
                         r.name,
                         rep,
                         r.pubs,
@@ -562,7 +589,8 @@ fn main() -> ExitCode {
                         r.throughput_pubs_per_sec,
                         r.cpu_us_per_pub,
                         r.allocs_per_pub,
-                        r.shed
+                        r.shed,
+                        r.utility_per_mb.map_or("-".to_string(), |u| format!("{u:.3}")),
                     );
                     reps.push(r);
                 }

@@ -21,9 +21,12 @@
 //! through [`NetSignal`] on the [`RoundContext`], so the server shards,
 //! the simulator and `richnote-perf` drive the policy through one API.
 
+use crate::ids::ContentId;
 use crate::policy::{
-    AdaptiveDecision, NoopObserver, Policy, PolicyCheckpoint, SelectionObserver, WrongPolicy,
+    AdaptiveDecision, NoopObserver, Policy, PolicyCheckpoint, SelectDecision, SelectionObserver,
+    WrongPolicy,
 };
+use crate::quality::QualitySample;
 use crate::scheduler::{
     DeliveredNotification, NetSignal, NotificationScheduler, QueuedNotification, RichNoteConfig,
     RichNoteScheduler, RoundContext, SchedulerCheckpoint,
@@ -346,7 +349,10 @@ impl AdaptivePolicy {
             }),
             ..*ctx
         };
-        let delivered = self.inner.select_round(&derived, obs);
+        // The inner scheduler self-reports quality as "RichNote"; re-label
+        // its samples so cohorts are attributed to the policy the driver
+        // actually configured.
+        let delivered = self.inner.select_round(&derived, &mut RelabelQuality { inner: obs });
 
         // Feed the estimator from the realized transfer: the pacing model
         // finishes the last delivery at `now + bytes/link_rate`, so the
@@ -357,6 +363,26 @@ impl AdaptivePolicy {
             self.ewma.observe(bytes, last.delivered_at - ctx.now);
         }
         delivered
+    }
+}
+
+/// Forwards everything to the wrapped observer but rewrites the policy
+/// label of quality samples to "Adaptive".
+struct RelabelQuality<'o> {
+    inner: &'o mut dyn SelectionObserver,
+}
+
+impl SelectionObserver for RelabelQuality<'_> {
+    fn on_select(&mut self, round: u64, content: ContentId, decision: &SelectDecision) {
+        self.inner.on_select(round, content, decision);
+    }
+
+    fn on_adapt(&mut self, round: u64, decision: &AdaptiveDecision) {
+        self.inner.on_adapt(round, decision);
+    }
+
+    fn on_quality(&mut self, round: u64, sample: &QualitySample<'_>) {
+        self.inner.on_quality(round, &QualitySample { policy: "Adaptive", ..*sample });
     }
 }
 

@@ -55,6 +55,7 @@ pub mod mckp2;
 pub mod paper;
 pub mod policy;
 pub mod presentation;
+pub mod quality;
 pub mod registry;
 pub mod scheduler;
 pub mod survey;
@@ -72,6 +73,7 @@ pub use policy::{
     SelectionObserver, WrongPolicy,
 };
 pub use presentation::{AudioPresentationSpec, Presentation, PresentationLadder};
+pub use quality::{CohortCell, CohortLedger, ConnectivityCohort, QualitySample};
 pub use registry::{PolicyName, UnknownPolicy};
 pub use scheduler::{
     DeliveredNotification, FifoScheduler, NetSignal, NotificationScheduler, QueuedNotification,

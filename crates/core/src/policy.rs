@@ -83,6 +83,16 @@ pub trait SelectionObserver {
     fn on_adapt(&mut self, round: u64, decision: &AdaptiveDecision) {
         let _ = (round, decision);
     }
+
+    /// A delivery-quality event: one delivery's realized utility and
+    /// bytes, or a round's suppression tally, keyed by the
+    /// `{policy, connectivity, level}` cohort (see [`crate::quality`]).
+    /// Called once per delivery plus at most once per round, right after
+    /// the matching [`SelectionObserver::on_select`] calls. Defaults to a
+    /// no-op so existing observers are unaffected.
+    fn on_quality(&mut self, round: u64, sample: &crate::quality::QualitySample<'_>) {
+        let _ = (round, sample);
+    }
 }
 
 /// An observer that ignores everything (the default for plain

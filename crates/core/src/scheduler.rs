@@ -23,6 +23,7 @@ use crate::policy::{
     SelectionObserver, WrongPolicy,
 };
 use crate::presentation::PresentationLadder;
+use crate::quality::{report_suppressed, ConnectivityCohort, QualitySample};
 use crate::utility::combined_utility;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -514,7 +515,9 @@ impl RichNoteScheduler {
     ) -> Vec<DeliveredNotification> {
         self.lyap.begin_round(ctx.data_grant, ctx.energy_grant);
         self.expire(ctx.now);
+        let cohort = ConnectivityCohort::from_net(ctx.net);
         if !ctx.online || self.queue.is_empty() {
+            report_suppressed(obs, ctx.round, "RichNote", cohort, self.queue.len());
             return Vec::new();
         }
 
@@ -580,6 +583,10 @@ impl RichNoteScheduler {
                     budget_remaining: budget.saturating_sub(bytes_before),
                 },
             );
+            obs.on_quality(
+                ctx.round,
+                &QualitySample::delivered("RichNote", cohort, level, utility, pres.size),
+            );
             delivered.push(DeliveredNotification {
                 content: n.item.id,
                 level,
@@ -600,6 +607,7 @@ impl RichNoteScheduler {
             self.queue.swap_remove(idx);
         }
 
+        report_suppressed(obs, ctx.round, "RichNote", cohort, self.queue.len());
         delivered
     }
 
@@ -686,11 +694,14 @@ impl FixedLevelState {
     /// with gradient 0 (no knapsack is solved).
     fn drain(
         &mut self,
+        policy: &'static str,
         ctx: &RoundContext<'_>,
         obs: &mut dyn SelectionObserver,
     ) -> Vec<DeliveredNotification> {
         self.data_budget += ctx.data_grant as f64;
+        let cohort = ConnectivityCohort::from_net(ctx.net);
         if !ctx.online {
+            report_suppressed(obs, ctx.round, policy, cohort, self.queue.len());
             return Vec::new();
         }
         let mut capacity = ctx.link_capacity;
@@ -721,6 +732,10 @@ impl FixedLevelState {
                     budget_remaining: (self.data_budget.max(0.0) as u64).min(capacity),
                 },
             );
+            obs.on_quality(
+                ctx.round,
+                &QualitySample::delivered(policy, cohort, level, utility, pres.size),
+            );
             delivered.push(DeliveredNotification {
                 content: n.item.id,
                 level,
@@ -731,6 +746,7 @@ impl FixedLevelState {
                 delivered_at,
             });
         }
+        report_suppressed(obs, ctx.round, policy, cohort, self.queue.len());
         delivered
     }
 
@@ -824,7 +840,7 @@ impl NotificationScheduler for FifoScheduler {
     }
 
     fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
-        self.state.drain(ctx, &mut NoopObserver)
+        self.state.drain("FIFO", ctx, &mut NoopObserver)
     }
 
     fn backlog(&self) -> usize {
@@ -846,7 +862,7 @@ impl Policy for FifoScheduler {
         ctx: &RoundContext<'_>,
         obs: &mut dyn SelectionObserver,
     ) -> Vec<DeliveredNotification> {
-        self.state.drain(ctx, obs)
+        self.state.drain("FIFO", ctx, obs)
     }
 
     fn checkpoint(&self) -> PolicyCheckpoint {
@@ -906,7 +922,7 @@ impl NotificationScheduler for UtilScheduler {
 
     fn run_round(&mut self, ctx: &RoundContext<'_>) -> Vec<DeliveredNotification> {
         self.resort();
-        self.state.drain(ctx, &mut NoopObserver)
+        self.state.drain("UTIL", ctx, &mut NoopObserver)
     }
 
     fn backlog(&self) -> usize {
@@ -929,7 +945,7 @@ impl Policy for UtilScheduler {
         obs: &mut dyn SelectionObserver,
     ) -> Vec<DeliveredNotification> {
         self.resort();
-        self.state.drain(ctx, obs)
+        self.state.drain("UTIL", ctx, obs)
     }
 
     fn checkpoint(&self) -> PolicyCheckpoint {

@@ -36,6 +36,12 @@
 //!   [`CpuClock`] trait (raw `clock_gettime` syscall; deterministic
 //!   substitutes for sim and tests) and the opt-in [`CountingAlloc`]
 //!   global-allocator wrapper with per-thread allocation counters.
+//! * [`history`] — a fixed-memory ring of registry snapshots sampled at
+//!   tick boundaries (caller-supplied time, so replays stay
+//!   deterministic), answering windowed delta/rate/quantile queries
+//!   ([`MetricsHistory`], [`HistoryQuery`], [`QueryResult`]) — the
+//!   server-side source for `richnote-top` rates and the `/query`
+//!   endpoint.
 //! * [`slo`] — rolling multi-window service-level objectives: error
 //!   budgets, fast/slow burn rates, and ok/degraded/violating verdicts
 //!   ([`SloEngine`], [`SloReport`]), with time driven explicitly so
@@ -45,6 +51,7 @@ pub mod event;
 pub mod expo;
 pub mod flight;
 pub mod hist;
+pub mod history;
 pub mod registry;
 pub mod rsrc;
 pub mod sampler;
@@ -57,6 +64,10 @@ pub use flight::{
     crc32, read_flight_file, write_flight_file, FlightDump, FlightRecorder, FLIGHT_MAGIC,
 };
 pub use hist::{Log2Histogram, BUCKETS};
+pub use history::{
+    HistoryQuery, MetricsHistory, QueryResult, SeriesWindow, WindowQuantiles,
+    DEFAULT_HISTORY_CAPACITY,
+};
 pub use registry::{
     CounterHandle, FamilySnapshot, GaugeHandle, HistogramHandle, MetricKind, MetricValue, Registry,
     RegistrySnapshot, SeriesSnapshot,

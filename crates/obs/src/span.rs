@@ -12,7 +12,7 @@
 //! wall-clock timestamps, so a seeded run dumps byte-identical spans.
 //!
 //! Spans ride the existing [`TraceRing`](crate::TraceRing) as
-//! [`TraceEvent::Span`](crate::TraceEvent::Span) events and are grouped
+//! [`TraceEvent::Span`] events and are grouped
 //! back into [`SpanTree`]s by trace id for rendering and for the flight
 //! recorder.
 

@@ -13,9 +13,12 @@
 //!   the result is a total order independent of dump interleaving.
 //! * **Deterministic counters** — the allowlist in
 //!   [`DETERMINISTIC_COUNTERS`]: publication, selection, round, budget,
-//!   level, and shed counts. Gauges (uptime, backlog snapshots),
-//!   histograms (all latency-valued), and resource/contention/SLO
-//!   counters are stripped — they measure the machine, not the policy.
+//!   level, shed, and adaptive-policy counts. Gauges (uptime, backlog
+//!   snapshots, utility cohorts), histograms (all latency-valued), and
+//!   resource/contention/SLO counters are stripped — they measure the
+//!   machine, not the policy. The quality families stay out too: utility
+//!   is gauge-valued and both it and the byte/suppression cohorts reset
+//!   on restart, so they diverge across a capture/replay boundary.
 //!
 //! The canonical form serializes to stable pretty JSON (fixed field
 //! order, sorted series), which is what golden fixtures commit and what
@@ -35,6 +38,11 @@ pub const DETERMINISTIC_COUNTERS: &[&str] = &[
     "richnote_bytes_budgeted_total",
     "richnote_queue_dropped_total",
     "richnote_level_total",
+    "richnote_adaptive_rounds_total",
+    "richnote_adaptive_grant_scaled_total",
+    "richnote_adaptive_capped_total",
+    "richnote_adaptive_offline_predicted_total",
+    "richnote_adaptive_grant_bytes_total",
 ];
 
 /// Canonical-form layout version.

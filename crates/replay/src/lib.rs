@@ -173,6 +173,7 @@ pub fn replay_into(
             | Request::Health
             | Request::TraceDump
             | Request::FlightDump
+            | Request::Query(_)
             | Request::Checkpoint
             | Request::Drain
             | Request::Shutdown => skipped += 1,

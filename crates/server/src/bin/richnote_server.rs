@@ -5,6 +5,7 @@
 //!                 [--round-secs S] [--data-grant BYTES]
 //!                 [--checkpoint-dir DIR] [--checkpoint-every ROUNDS]
 //!                 [--metrics-addr HOST:PORT] [--no-metrics]
+//!                 [--history-capacity SNAPSHOTS]
 //!                 [--trace-capacity EVENTS] [--trace-sample 1/N]
 //!                 [--flight-capacity TREES] [--flight-dir DIR]
 //!                 [--record PATH] [--codec json|binary]
@@ -19,7 +20,11 @@
 //! startup (if one exists) and checkpoints on every `Drain`; add
 //! `--checkpoint-every N` for periodic checkpoints at tick boundaries.
 //! `--metrics-addr` serves the Prometheus text exposition over plain HTTP
-//! (try `curl http://HOST:PORT/metrics`); `--no-metrics` turns metric
+//! (try `curl http://HOST:PORT/metrics`) and the windowed analytics
+//! `/query` endpoint next to it; `--history-capacity` bounds the
+//! metrics-history ring those windows are answered from (snapshots, one
+//! per tick batch; `0` disables history and `/query` answers empty).
+//! `--no-metrics` turns metric
 //! recording off entirely (for overhead measurement) and `--trace-capacity`
 //! enables the per-shard structured trace rings drained by the wire-level
 //! `TraceDump` request. `--trace-sample 1/N` head-samples per-publication
@@ -66,7 +71,8 @@ fn usage() -> ! {
         "usage: richnote-server [--addr HOST:PORT] [--shards N] \
          [--queue-capacity N] [--round-secs S] [--data-grant BYTES] \
          [--checkpoint-dir DIR] [--checkpoint-every ROUNDS] \
-         [--metrics-addr HOST:PORT] [--no-metrics] [--trace-capacity EVENTS] \
+         [--metrics-addr HOST:PORT] [--no-metrics] \
+         [--history-capacity SNAPSHOTS] [--trace-capacity EVENTS] \
          [--trace-sample 1/N] [--flight-capacity TREES] [--flight-dir DIR] \
          [--record PATH] [--codec json|binary] \
          [--policy richnote|fifo|util|adaptive] \
@@ -100,6 +106,9 @@ fn parse_args() -> ServerConfigBuilder {
                 .checkpoint_every_rounds(parse(&value("--checkpoint-every"), "--checkpoint-every")),
             "--metrics-addr" => builder.metrics_addr(value("--metrics-addr")),
             "--no-metrics" => builder.metrics_enabled(false),
+            "--history-capacity" => {
+                builder.history_capacity(parse(&value("--history-capacity"), "--history-capacity"))
+            }
             "--trace-capacity" => {
                 builder.trace_capacity(parse(&value("--trace-capacity"), "--trace-capacity"))
             }

@@ -14,10 +14,18 @@
 //!   rounds and stage-latency percentiles (dequeue / select),
 //! * the chosen-level histogram per shard as a sparkline over levels
 //!   0–6 (level 0 = suppressed, 1 = metadata only, 6 = full preview),
-//! * connection-side stage latencies (match / serialize / ack), and
+//! * connection-side stage latencies (match / serialize / ack),
+//! * a delivery-quality pane: per-policy utility-per-MB with a per-tick
+//!   trend sparkline, fed by the server's `/query` history so the very
+//!   first frame shows real rates (no second scrape needed), and
 //! * the most recent anomalous span trees (drops and level 0–1
 //!   selections), which bypass head sampling and are therefore always
 //!   present in the flight recorder when tracing is on.
+//!
+//! Throughput rates are likewise sourced from the server-side history
+//! (virtual-time rates over the run) when the server supports `Query`;
+//! against older servers the pre-analytics behavior remains: rates are
+//! diffed client-side between refreshes and the first frame shows `-`.
 //!
 //! `--once` renders a single frame without clearing the screen and
 //! exits — the headless mode CI uses to prove the full observability
@@ -29,7 +37,8 @@
 
 use richnote_obs::{MetricValue, RegistrySnapshot, SeriesSnapshot};
 use richnote_server::{
-    Client, HealthReport, MetricsSnapshot, ServerResult, SpanStage, SpanTree, StatsReply,
+    Client, HealthReport, HistoryQuery, MetricsSnapshot, QueryResult, ServerResult, SpanStage,
+    SpanTree, StatsReply,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -181,6 +190,107 @@ fn fmt_rate(r: Option<f64>) -> String {
     }
 }
 
+/// One policy's delivery-quality rollup, derived from the server-side
+/// history windows of `richnote_utility_total` and
+/// `richnote_delivered_bytes_total`.
+struct PolicyQuality {
+    policy: String,
+    utility: f64,
+    mb: f64,
+    /// Per-tick-interval utility-per-MB, oldest first — the trend trail.
+    trend: Vec<f64>,
+}
+
+/// Sums a query result's series per `policy` label: windowed delta plus
+/// the pointwise per-interval rates.
+fn sum_by_policy(result: &QueryResult) -> HashMap<String, (f64, Vec<f64>)> {
+    let mut acc: HashMap<String, (f64, Vec<f64>)> = HashMap::new();
+    for s in &result.series {
+        let Some(policy) = s.labels.iter().find(|(k, _)| k == "policy").map(|(_, v)| v) else {
+            continue;
+        };
+        let e = acc.entry(policy.clone()).or_default();
+        e.0 += s.delta;
+        if e.1.len() < s.points.len() {
+            e.1.resize(s.points.len(), 0.0);
+        }
+        for (a, p) in e.1.iter_mut().zip(&s.points) {
+            *a += p;
+        }
+    }
+    acc
+}
+
+/// Joins the utility and bytes windows into per-policy rows, sorted by
+/// policy name.
+fn policy_quality(utility: &QueryResult, bytes: &QueryResult) -> Vec<PolicyQuality> {
+    let u = sum_by_policy(utility);
+    let b = sum_by_policy(bytes);
+    let mut rows: Vec<PolicyQuality> = u
+        .into_iter()
+        .map(|(policy, (udelta, upoints))| {
+            let (bdelta, bpoints) = b.get(&policy).cloned().unwrap_or_default();
+            // Per-interval rates divide out to utility-per-byte; scale to
+            // the paper's per-MB headline unit.
+            let trend = upoints
+                .iter()
+                .zip(&bpoints)
+                .map(|(&ur, &br)| if br > 0.0 { ur / br * 1e6 } else { 0.0 })
+                .collect();
+            PolicyQuality { policy, utility: udelta, mb: bdelta / 1e6, trend }
+        })
+        .collect();
+    rows.sort_by(|x, y| x.policy.cmp(&y.policy));
+    rows
+}
+
+/// Renders a float series as a sparkline scaled to its own maximum,
+/// keeping the most recent 16 points.
+fn spark_f64(points: &[f64]) -> String {
+    const BARS: [char; 8] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '█'];
+    let tail = &points[points.len().saturating_sub(16)..];
+    let max = tail.iter().cloned().fold(0.0f64, f64::max);
+    tail.iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[1 + ((v / max) * 6.0).round() as usize]
+            }
+        })
+        .collect()
+}
+
+/// The quality pane: per-policy utility-per-MB with its per-tick trend,
+/// fed entirely by the server-side history (real numbers on the very
+/// first frame — no second scrape needed).
+fn render_quality(quality: Option<&(QueryResult, QueryResult)>) {
+    let Some((utility, bytes)) = quality else {
+        println!("quality: unavailable (server predates the analytics layer)");
+        return;
+    };
+    let rows = policy_quality(utility, bytes);
+    if rows.is_empty() {
+        println!("quality: no deliveries recorded yet");
+        return;
+    }
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let per_mb = if r.mb > 0.0 { r.utility / r.mb } else { 0.0 };
+            format!(
+                "{} {:.3} U/MB ({:.1} U over {:.2} MB) {}",
+                r.policy,
+                per_mb,
+                r.utility,
+                r.mb,
+                spark_f64(&r.trend),
+            )
+        })
+        .collect();
+    println!("quality: {}", cells.join(" | "));
+}
+
 /// Sum of a counter family across all series (every label set).
 fn counter_total(snap: &RegistrySnapshot, name: &str) -> u64 {
     snap.family(name).map_or(0, |f| {
@@ -254,6 +364,20 @@ fn render_identity_and_cost(a: &Args, stats: &StatsReply, health: &HealthReport)
     println!("slo: {}", slos.join(" | "));
 }
 
+/// Per-shard virtual-time rates from a `richnote_pubs_total` history
+/// window (series labeled `shard="N"`).
+fn shard_rates(result: &QueryResult) -> HashMap<usize, f64> {
+    let mut m = HashMap::new();
+    for s in &result.series {
+        if let Some(shard) =
+            s.labels.iter().find(|(k, _)| k == "shard").and_then(|(_, v)| v.parse().ok())
+        {
+            *m.entry(shard).or_insert(0.0) += s.rate;
+        }
+    }
+    m
+}
+
 /// One rendered frame of the dashboard.
 #[allow(clippy::too_many_arguments)]
 fn render(
@@ -264,16 +388,25 @@ fn render(
     anomalies: &[SpanTree],
     flight_trees: usize,
     flight_dropped: u64,
+    pubs_window: Option<&QueryResult>,
+    quality: Option<&(QueryResult, QueryResult)>,
     prev_pubs: Option<&HashMap<usize, u64>>,
     elapsed: Duration,
 ) {
     let stats = &reply.snapshot;
     let pubs = shard_counters(stats, "richnote_pubs_total");
-    let total_rate: Option<f64> = prev_pubs.map(|prev| {
-        let now: u64 = pubs.values().sum();
-        let before: u64 = prev.values().sum();
-        now.saturating_sub(before) as f64 / elapsed.as_secs_f64().max(1e-9)
-    });
+    // Rates come from the server-side history when it is available (real
+    // numbers on the very first frame); client-side scrape diffing is the
+    // fallback for servers that predate the analytics layer.
+    let server_rates = pubs_window.map(shard_rates);
+    let total_rate: Option<f64> = match pubs_window {
+        Some(w) => Some(w.total.rate),
+        None => prev_pubs.map(|prev| {
+            let now: u64 = pubs.values().sum();
+            let before: u64 = prev.values().sum();
+            now.saturating_sub(before) as f64 / elapsed.as_secs_f64().max(1e-9)
+        }),
+    };
     render_identity_and_cost(a, reply, health);
     println!(
         "{} shards | ingested {} | selected {} | backlog {} | {} pubs/s",
@@ -296,11 +429,14 @@ fn render(
         "lv 0-6",
     );
     for s in &metrics.shards {
-        let rate = prev_pubs.map(|prev| {
-            let now = pubs.get(&s.shard).copied().unwrap_or(0);
-            let before = prev.get(&s.shard).copied().unwrap_or(0);
-            now.saturating_sub(before) as f64 / elapsed.as_secs_f64().max(1e-9)
-        });
+        let rate = match &server_rates {
+            Some(rates) => rates.get(&s.shard).copied().or(Some(0.0)),
+            None => prev_pubs.map(|prev| {
+                let now = pubs.get(&s.shard).copied().unwrap_or(0);
+                let before = prev.get(&s.shard).copied().unwrap_or(0);
+                now.saturating_sub(before) as f64 / elapsed.as_secs_f64().max(1e-9)
+            }),
+        };
         let shard_label = s.shard.to_string();
         let dequeue = stage_hist(stats, &shard_label, "dequeue");
         let select = stage_hist(stats, &shard_label, "select");
@@ -325,6 +461,7 @@ fn render(
         })
         .collect();
     println!("conn stages: {}", stage_line.join(" | "));
+    render_quality(quality);
     println!(
         "flight recorder: {} trees retained, {} evicted | last anomalous traces \
          (drops, level ≤ 1):",
@@ -365,6 +502,21 @@ fn run(a: &Args) -> ServerResult<()> {
         let stats = client.stats()?;
         let health = client.health()?;
         let metrics = client.metrics()?;
+        // Server-side analytics windows; a pre-analytics server rejects
+        // the request and every consumer below falls back gracefully.
+        let window = |family: &str| HistoryQuery {
+            family: family.to_string(),
+            labels: Vec::new(),
+            window_secs: f64::MAX,
+        };
+        let pubs_window = client.query(window("richnote_pubs_total")).ok();
+        let quality = if pubs_window.is_some() {
+            let u = client.query(window("richnote_utility_total")).ok();
+            let b = client.query(window("richnote_delivered_bytes_total")).ok();
+            u.zip(b)
+        } else {
+            None
+        };
         // Flight-recorder reads are non-destructive; the trace ring is a
         // drain, which is fine for a live watcher (it is the consumer).
         let flights = client.flight_dump()?;
@@ -394,6 +546,8 @@ fn run(a: &Args) -> ServerResult<()> {
             &anomalies,
             flight_trees,
             flight_dropped,
+            pubs_window.as_ref(),
+            quality.as_ref(),
             prev_pubs.as_ref(),
             elapsed,
         );

@@ -28,7 +28,7 @@ use crate::wire::{
     PROTO_VERSION,
 };
 use richnote_core::{ContentItem, UserId};
-use richnote_obs::{FlightDump, RegistrySnapshot, TraceEvent};
+use richnote_obs::{FlightDump, HistoryQuery, QueryResult, RegistrySnapshot, TraceEvent};
 use richnote_pubsub::Topic;
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
@@ -674,6 +674,24 @@ impl Client {
             }
         }
         Ok((events, dropped))
+    }
+
+    /// Runs a windowed analytics query against the server's embedded
+    /// metrics history: deltas, rates, and histogram quantiles for one
+    /// counter family over the trailing window. The server answers from
+    /// snapshots it sampled at tick boundaries, so the very first call
+    /// already sees real rates — no client-side scrape diffing needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol or transport failures; servers built before the
+    /// analytics layer are reported like in [`Client::stats`].
+    pub fn query(&mut self, q: HistoryQuery) -> ServerResult<QueryResult> {
+        match self.with_retry(|c| c.exchange(&Request::Query(q.clone()))) {
+            Ok(Response::QueryResult(result)) => Ok(result),
+            Ok(other) => Err(unexpected("QueryResult", &other)),
+            Err(e) => Err(pre_observability(e, "Query")),
+        }
     }
 
     /// Fetches every live shard's flight-recorder contents (bounded rings

@@ -49,6 +49,7 @@ use crate::wire::{
 use richnote_core::content::{ContentFeatures, ContentItem, ContentKind, Interaction, SocialTie};
 use richnote_core::ids::PlaylistId;
 use richnote_core::{AlbumId, ArtistId, ContentId, TrackId, UserId};
+use richnote_obs::HistoryQuery;
 use richnote_pubsub::Topic;
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -238,6 +239,7 @@ mod req_tag {
     pub const CHECKPOINT: u8 = 10;
     pub const DRAIN: u8 = 11;
     pub const SHUTDOWN: u8 = 12;
+    pub const QUERY: u8 = 13;
 }
 
 /// Response frame tags. Hot responses are hand-coded; the cold, deeply
@@ -682,6 +684,16 @@ fn enc_request(out: &mut Vec<u8>, req: &Request) {
         Request::Checkpoint => out.push(req_tag::CHECKPOINT),
         Request::Drain => out.push(req_tag::DRAIN),
         Request::Shutdown => out.push(req_tag::SHUTDOWN),
+        Request::Query(q) => {
+            out.push(req_tag::QUERY);
+            put_str(out, &q.family);
+            put_varint(out, q.labels.len() as u64);
+            for (k, v) in &q.labels {
+                put_str(out, k);
+                put_str(out, v);
+            }
+            put_f64(out, q.window_secs);
+        }
     }
 }
 
@@ -711,6 +723,18 @@ fn dec_request(s: &mut &[u8]) -> ServerResult<Request> {
         req_tag::CHECKPOINT => Ok(Request::Checkpoint),
         req_tag::DRAIN => Ok(Request::Drain),
         req_tag::SHUTDOWN => Ok(Request::Shutdown),
+        req_tag::QUERY => {
+            let family = get_str(s)?;
+            let count = get_usizev(s)?;
+            // Same forged-count guard as TickReport: a label pair needs
+            // at least two length bytes.
+            let mut labels = Vec::with_capacity(count.min(s.len() / 2 + 1));
+            for _ in 0..count {
+                labels.push((get_str(s)?, get_str(s)?));
+            }
+            let window_secs = get_f64(s)?;
+            Ok(Request::Query(HistoryQuery { family, labels, window_secs }))
+        }
         tag => Err(bad(format!("unknown request tag {tag}"))),
     }
 }
@@ -792,7 +816,8 @@ fn enc_response(out: &mut Vec<u8>, resp: &Response) -> ServerResult<()> {
         | Response::StatsSnapshot { .. }
         | Response::Health(_)
         | Response::TraceDump { .. }
-        | Response::FlightDump { .. } => {
+        | Response::FlightDump { .. }
+        | Response::QueryResult(_) => {
             out.push(resp_tag::JSON);
             out.extend_from_slice(&encode_frame_payload(resp)?);
         }
@@ -917,6 +942,19 @@ mod tests {
             Request::Checkpoint,
             Request::Drain,
             Request::Shutdown,
+            Request::Query(HistoryQuery {
+                family: "richnote_utility_total".into(),
+                labels: vec![
+                    ("policy".into(), "RichNote".into()),
+                    ("connectivity".into(), "wifi".into()),
+                ],
+                window_secs: 60.0,
+            }),
+            Request::Query(HistoryQuery {
+                family: "richnote_pubs_total".into(),
+                labels: vec![],
+                window_secs: 0.0,
+            }),
         ]
     }
 
@@ -1009,6 +1047,17 @@ mod tests {
                 dropped: 1,
             },
             Response::FlightDump { dumps: vec![] },
+            Response::QueryResult({
+                let mut hist = richnote_obs::MetricsHistory::new(4);
+                hist.record(0.0, reg.snapshot());
+                reg.inc(c, 7);
+                hist.record(10.0, reg.snapshot());
+                hist.query(&HistoryQuery {
+                    family: "richnote_pubs_total".into(),
+                    labels: vec![],
+                    window_secs: 30.0,
+                })
+            }),
         ];
         let mut codec = BinaryCodec::new();
         let mut buf = Vec::new();

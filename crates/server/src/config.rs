@@ -97,6 +97,40 @@ pub struct ServerConfig {
     /// record the policy that wrote them; restoring under a different
     /// policy is rejected.
     pub policy: PolicyName,
+    /// Embedded metrics-history ring answering `Query` requests and the
+    /// metrics listener's `/query` path. Absent in older config JSON,
+    /// which deserializes to the default.
+    pub history: HistoryConfig,
+}
+
+/// Analytics-history knobs.
+///
+/// The server samples a merged registry snapshot into a fixed-memory
+/// ring at every tick boundary (virtual time, so replays stay
+/// deterministic) and answers windowed delta/rate/quantile queries from
+/// it (see [`richnote_obs::MetricsHistory`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct HistoryConfig {
+    /// Registry snapshots retained in the ring; `0` disables tick-boundary
+    /// sampling entirely (queries answer an empty series).
+    pub capacity: usize,
+}
+
+impl Default for HistoryConfig {
+    fn default() -> Self {
+        HistoryConfig { capacity: richnote_obs::DEFAULT_HISTORY_CAPACITY }
+    }
+}
+
+// Manual impl so configs written before this field existed still load.
+impl serde::Deserialize for HistoryConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(HistoryConfig { capacity: serde::field(v, "capacity")? })
+    }
+
+    fn if_missing() -> Option<Self> {
+        Some(HistoryConfig::default())
+    }
 }
 
 /// Resource-accounting switches.
@@ -239,6 +273,7 @@ impl Default for ServerConfig {
             record: None,
             codec: CodecKind::Binary,
             policy: PolicyName::RichNote,
+            history: HistoryConfig::default(),
         }
     }
 }
@@ -444,6 +479,14 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Analytics-history ring capacity in registry snapshots (0 disables
+    /// tick-boundary sampling).
+    #[must_use]
+    pub fn history_capacity(mut self, snapshots: usize) -> Self {
+        self.cfg.history.capacity = snapshots;
+        self
+    }
+
     /// Validates and returns the finished config.
     ///
     /// # Errors
@@ -622,6 +665,26 @@ mod tests {
         let cfg = ServerConfig::builder().record("/tmp/cap.rncap").build().unwrap();
         assert_eq!(cfg.record.as_deref(), Some("/tmp/cap.rncap"));
         assert!(ServerConfig::default().record.is_none());
+    }
+
+    #[test]
+    fn pre_history_config_json_still_loads() {
+        // Configs serialized before the analytics layer have no `history`
+        // field; they must load with the default ring capacity.
+        let mut v = ServerConfig::default().to_value();
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "history");
+        }
+        let back = ServerConfig::from_value(&v).unwrap();
+        assert_eq!(back.history, HistoryConfig::default());
+        assert_eq!(back, ServerConfig::default());
+        // The builder knob sets (and 0 disables) the ring.
+        let cfg = ServerConfig::builder().history_capacity(0).build().unwrap();
+        assert_eq!(cfg.history.capacity, 0);
+        assert_eq!(
+            ServerConfig::default().history.capacity,
+            richnote_obs::DEFAULT_HISTORY_CAPACITY
+        );
     }
 
     #[test]

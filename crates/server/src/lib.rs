@@ -76,7 +76,7 @@ pub mod wire;
 pub use checkpoint::{CheckpointStore, ServerCheckpoint, ShardCheckpoint};
 pub use client::{Client, ClientBuilder, RetryPolicy, StatsReply};
 pub use codec::{codec_for, negotiate, BinaryCodec, CodecKind, FrameCodec, JsonCodec};
-pub use config::{RsrcConfig, ServerConfig, ServerConfigBuilder, SloConfig};
+pub use config::{HistoryConfig, RsrcConfig, ServerConfig, ServerConfigBuilder, SloConfig};
 pub use error::{ConfigError, ServerError, ServerResult};
 pub use fault::{FaultPlan, FaultRng, ShardPanicFault};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardSnapshot};
@@ -95,6 +95,8 @@ pub use wire::{BuildInfo, ErrorCode, HealthReport, PROTO_VERSION, TRACE_DUMP_EVE
 // Observability vocabulary, re-exported so server users need not depend
 // on `richnote-obs` directly.
 pub use richnote_obs::{
-    derive_trace_id, read_flight_file, FlightDump, Log2Histogram, Registry, RegistrySnapshot,
-    SampleRate, SloStatus, SloVerdict, SpanRecord, SpanStage, SpanTree, TraceEvent, TraceRing,
+    derive_trace_id, read_flight_file, FlightDump, HistoryQuery, Log2Histogram, MetricsHistory,
+    QueryResult, Registry, RegistrySnapshot, SampleRate, SeriesWindow, SloStatus, SloVerdict,
+    SpanRecord, SpanStage, SpanTree, TraceEvent, TraceRing, WindowQuantiles,
+    DEFAULT_HISTORY_CAPACITY,
 };

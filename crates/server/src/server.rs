@@ -13,8 +13,8 @@ use crate::shard::{ShardMsg, ShardWorker};
 use crate::wire::{BuildInfo, ErrorCode, HealthReport, Request, Response, PROTO_VERSION};
 use richnote_obs::{
     encode_text, split_above, write_flight_file, CounterHandle, GaugeHandle, HistogramHandle,
-    Log2Histogram, Registry, RegistrySnapshot, SloEngine, SloSpec, SloStatus, SpanRecord,
-    TraceEvent, TraceRing,
+    HistoryQuery, Log2Histogram, MetricsHistory, QueryResult, Registry, RegistrySnapshot,
+    SloEngine, SloSpec, SloStatus, SpanRecord, TraceEvent, TraceRing,
 };
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -80,6 +80,10 @@ struct ServerObs {
     slo: Mutex<SloTracker>,
     /// Exported burn/budget series, indexed like the engine's objectives.
     slo_handles: Vec<SloHandles>,
+    /// Fixed-memory ring of merged registry snapshots sampled at tick
+    /// boundaries; answers `Query` requests and the metrics listener's
+    /// `/query` path. `None` when `history.capacity` is 0.
+    history: Option<Mutex<MetricsHistory>>,
 }
 
 /// Registry handles for one objective's exported series.
@@ -194,6 +198,16 @@ impl ServerObs {
             add(&mut registry, &mut engine, "round_latency", cfg.slo.round_latency_target);
         let ack_idx = add(&mut registry, &mut engine, "ack_latency", cfg.slo.ack_latency_target);
         let shed_idx = add(&mut registry, &mut engine, "shed", cfg.slo.shed_target);
+        let history = if cfg.history.capacity > 0 {
+            let mut h = MetricsHistory::new(cfg.history.capacity);
+            // Seed a t=0 baseline so the very first tick already yields a
+            // window with a delta (consumers like richnote-top get real
+            // rates on their first query, not an empty series).
+            h.record(0.0, registry.snapshot());
+            Some(Mutex::new(h))
+        } else {
+            None
+        };
         ServerObs {
             metrics: cfg.metrics_enabled,
             tracing: cfg.trace_capacity > 0,
@@ -224,6 +238,7 @@ impl ServerObs {
                 prev_dropped: 0,
             }),
             slo_handles,
+            history,
         }
     }
 
@@ -614,6 +629,57 @@ fn merged_stats(ctx: &ConnCtx) -> RegistrySnapshot {
     collect_stats(ctx).0
 }
 
+/// Samples the merged registry into the analytics history at a tick
+/// boundary. The sample clock is virtual time (rounds completed × round
+/// length), so the same capture replayed as fast as possible records the
+/// same history a live run would.
+fn record_history(ctx: &ConnCtx, rounds_done: u64) {
+    if let Some(history) = &ctx.obs.history {
+        let snap = merged_stats(ctx);
+        history.lock().unwrap().record(rounds_done as f64 * ctx.cfg.round_secs, snap);
+    }
+}
+
+/// Answers a windowed analytics query from the embedded history. With
+/// the ring disabled (`history.capacity = 0`) every query answers an
+/// empty series rather than an error, so dashboards degrade gracefully.
+fn run_query(ctx: &ConnCtx, q: &HistoryQuery) -> QueryResult {
+    match &ctx.obs.history {
+        Some(history) => history.lock().unwrap().query(q),
+        None => MetricsHistory::new(2).query(q),
+    }
+}
+
+/// Parses `/query?family=NAME[&labels=k=v,k2=v2][&window=SECS]` into a
+/// [`HistoryQuery`]. `family` is required; `window` defaults to 60
+/// seconds. Unknown parameters are rejected so typos fail loudly instead
+/// of silently querying the wrong thing.
+fn parse_query_path(path: &str) -> Result<HistoryQuery, String> {
+    let qs = path.split_once('?').map_or("", |(_, qs)| qs);
+    let mut family = None;
+    let mut labels = Vec::new();
+    let mut window_secs = 60.0;
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match k {
+            "family" => family = Some(v.to_string()),
+            "window" => {
+                window_secs = v.parse().map_err(|_| format!("window is not a number: {v:?}"))?;
+            }
+            "labels" => {
+                for lv in v.split(',').filter(|s| !s.is_empty()) {
+                    let (lk, lval) =
+                        lv.split_once('=').ok_or_else(|| format!("label is not k=v: {lv:?}"))?;
+                    labels.push((lk.to_string(), lval.to_string()));
+                }
+            }
+            other => return Err(format!("unknown query parameter: {other:?}")),
+        }
+    }
+    let family = family.ok_or_else(|| "missing required parameter: family".to_string())?;
+    Ok(HistoryQuery { family, labels, window_secs })
+}
+
 /// Feeds the SLO engine the deltas since the previous evaluation and
 /// returns the verdict. Burn rates, budgets, and lifetime good/bad
 /// totals are re-exported through the registry on every call, so the
@@ -724,6 +790,15 @@ fn serve_scrape(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
         };
         let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_string());
         (status, "application/json", body)
+    } else if request_path(&head).starts_with("/query") {
+        match parse_query_path(request_path(&head)) {
+            Ok(q) => {
+                let result = run_query(ctx, &q);
+                let body = serde_json::to_string(&result).unwrap_or_else(|_| "{}".to_string());
+                ("200 OK", "application/json", body)
+            }
+            Err(msg) => ("400 Bad Request", "text/plain; charset=utf-8", msg),
+        }
     } else {
         ("200 OK", "text/plain; version=0.0.4; charset=utf-8", encode_text(&merged_stats(ctx)))
     };
@@ -1096,6 +1171,7 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                         }
                     }
                 }
+                record_history(ctx, rounds_done);
                 if collect {
                     let mut deliveries: Vec<_> =
                         replies.into_iter().flat_map(|r| r.deliveries).collect();
@@ -1167,6 +1243,21 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 let report = evaluate_health(ctx);
                 let t0 = Instant::now();
                 send_response(codec.as_mut(), &mut writer, &Response::Health(report))?;
+                stages.observe_serialize(t0, &ctx.obs);
+            }
+            Request::Query(q) => {
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    codec.as_mut(),
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
+                stages.flush(&ctx.obs);
+                let result = run_query(ctx, &q);
+                let t0 = Instant::now();
+                send_response(codec.as_mut(), &mut writer, &Response::QueryResult(result))?;
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::TraceDump => {

@@ -43,6 +43,10 @@ use crate::metrics::{LatencyHistogram, ShardSnapshot};
 use crate::queue::BoundedQueue;
 use crate::wire::Delivery;
 use richnote_core::presentation::AudioPresentationSpec;
+use richnote_core::quality::{
+    QualitySample, COHORTS, DELIVERED_BYTES_FAMILY, DELIVERED_BYTES_HELP, QUALITY_LEVELS,
+    SUPPRESSED_FAMILY, SUPPRESSED_HELP, UTILITY_FAMILY, UTILITY_HELP,
+};
 use richnote_core::scheduler::{QueuedNotification, RichNoteScheduler, RoundContext};
 use richnote_core::{
     AdaptiveDecision, ContentId, ContentItem, Policy, PresentationLadder, SelectDecision,
@@ -79,6 +83,38 @@ fn default_policy() -> RichNoteScheduler {
 /// Highest deliverable presentation level in the paper's audio ladder
 /// (metadata + five preview durations); level 0 means "not delivered".
 const MAX_LEVEL: u8 = 6;
+
+/// One lazily-registered delivery-quality cell: the gauge handle for the
+/// cohort's utility accumulator (gauges have no add, so the running f64
+/// sum lives here and is re-exported with `set_gauge` on every sample)
+/// plus the delivered-bytes counter.
+struct QualityCell {
+    utility: GaugeHandle,
+    utility_sum: f64,
+    bytes: CounterHandle,
+}
+
+/// Per-policy grid of delivery-quality series, indexed
+/// `cohort × QUALITY_LEVELS + level`. A shard runs one policy, so the
+/// outer per-policy vector has one entry in practice; cells register on
+/// first touch and are plain array indexing afterwards — zero
+/// steady-state allocation once every active cohort has been seen.
+struct QualityGrid {
+    policy: String,
+    cells: Vec<Option<QualityCell>>,
+    /// Suppression counters, one per connectivity cohort.
+    suppressed: Vec<Option<CounterHandle>>,
+}
+
+impl QualityGrid {
+    fn new(policy: &str) -> Self {
+        QualityGrid {
+            policy: policy.to_string(),
+            cells: (0..COHORTS * QUALITY_LEVELS).map(|_| None).collect(),
+            suppressed: vec![None; COHORTS],
+        }
+    }
+}
 
 /// Per-shard observability: a metric registry plus a trace-event ring,
 /// both owned by the shard thread (lock-free recording).
@@ -145,6 +181,8 @@ pub struct ShardObs {
     queue_contended: CounterHandle,
     /// Last queue-contention total seen, for monotone export.
     last_contended: u64,
+    /// Delivery-quality accounting by `{policy, connectivity, level}`.
+    quality: Vec<QualityGrid>,
 }
 
 impl ShardObs {
@@ -312,6 +350,7 @@ impl ShardObs {
             alloc_bytes,
             queue_contended,
             last_contended: 0,
+            quality: Vec::new(),
         }
     }
 
@@ -437,6 +476,71 @@ impl ShardObs {
         }
     }
 
+    /// Folds one delivery-quality sample into the per-cohort
+    /// `richnote_utility_total` / `richnote_delivered_bytes_total` /
+    /// `richnote_suppressed_total` families. Label keys are registered in
+    /// a fixed order (`connectivity`, `level`, `policy`, `shard`) so the
+    /// daemon's vocabulary matches the simulator's byte for byte.
+    fn record_quality(&mut self, sample: &QualitySample<'_>) {
+        if !self.registry.is_enabled() {
+            return;
+        }
+        let gi = match self.quality.iter().position(|g| g.policy == sample.policy) {
+            Some(i) => i,
+            None => {
+                self.quality.push(QualityGrid::new(sample.policy));
+                self.quality.len() - 1
+            }
+        };
+        let grid = &mut self.quality[gi];
+        let cohort = sample.connectivity;
+        if sample.bytes > 0 || sample.utility != 0.0 {
+            let level = usize::from(sample.level).min(QUALITY_LEVELS - 1);
+            let slot = cohort.index() * QUALITY_LEVELS + level;
+            if grid.cells[slot].is_none() {
+                let s = self.shard.to_string();
+                let lv = level.to_string();
+                let labels = [
+                    ("connectivity", cohort.as_str()),
+                    ("level", lv.as_str()),
+                    ("policy", grid.policy.as_str()),
+                    ("shard", s.as_str()),
+                ];
+                grid.cells[slot] = Some(QualityCell {
+                    utility: self.registry.gauge(UTILITY_FAMILY, UTILITY_HELP, &labels),
+                    utility_sum: 0.0,
+                    bytes: self.registry.counter(
+                        DELIVERED_BYTES_FAMILY,
+                        DELIVERED_BYTES_HELP,
+                        &labels,
+                    ),
+                });
+            }
+            let cell = grid.cells[slot].as_mut().expect("cell registered above");
+            cell.utility_sum += sample.utility;
+            self.registry.set_gauge(cell.utility, cell.utility_sum);
+            self.registry.inc(cell.bytes, sample.bytes);
+        }
+        if sample.suppressed > 0 {
+            let ci = cohort.index();
+            let h = match grid.suppressed[ci] {
+                Some(h) => h,
+                None => {
+                    let s = self.shard.to_string();
+                    let labels = [
+                        ("connectivity", cohort.as_str()),
+                        ("policy", grid.policy.as_str()),
+                        ("shard", s.as_str()),
+                    ];
+                    let h = self.registry.counter(SUPPRESSED_FAMILY, SUPPRESSED_HELP, &labels);
+                    grid.suppressed[ci] = Some(h);
+                    h
+                }
+            };
+            self.registry.inc(h, sample.suppressed);
+        }
+    }
+
     /// Folds one adaptive shaping decision into the
     /// `richnote_adaptive_*` families.
     fn record_adapt(&mut self, decision: &AdaptiveDecision) {
@@ -478,6 +582,10 @@ impl SelectionObserver for SelectObserver<'_> {
 
     fn on_adapt(&mut self, _round: u64, decision: &AdaptiveDecision) {
         self.obs.record_adapt(decision);
+    }
+
+    fn on_quality(&mut self, _round: u64, sample: &QualitySample<'_>) {
+        self.obs.record_quality(sample);
     }
 }
 
@@ -1108,6 +1216,47 @@ mod tests {
         assert_eq!(stages.count(), 3);
         let lat = stats.histogram_merged("richnote_selection_latency_us");
         assert_eq!(lat.count(), out.selected.len() as u64);
+    }
+
+    #[test]
+    fn quality_families_account_utility_per_cohort() {
+        let mut shard = ShardState::new(0, ServerConfig::default());
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), None);
+        shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now(), None);
+        let out = shard.run_round();
+        let stats = shard.stats();
+        let fam = stats.family("richnote_utility_total").expect("utility family registered");
+        // Server rounds carry no NetSignal, so every cohort is "unknown";
+        // the policy label names the running scheduler.
+        assert!(fam.series.iter().all(|s| {
+            s.labels.contains(&("connectivity".to_string(), "unknown".to_string()))
+                && s.labels.contains(&("policy".to_string(), "RichNote".to_string()))
+        }));
+        let utility: f64 = fam
+            .series
+            .iter()
+            .map(|s| match s.value {
+                richnote_obs::MetricValue::Gauge(g) => g,
+                _ => 0.0,
+            })
+            .sum();
+        assert!(utility > 0.0, "delivered rounds must accumulate utility");
+        assert_eq!(stats.counter_total("richnote_delivered_bytes_total"), out.bytes);
+    }
+
+    #[test]
+    fn starved_rounds_count_suppressions() {
+        // A grant below the metadata size delivers nothing, so every
+        // queued notification counts one suppressed notification-round.
+        let cfg = ServerConfig { data_grant: 100, ..ServerConfig::default() };
+        let mut shard = ShardState::new(0, cfg);
+        shard.ingest(UserId::new(1), item(1, 1, 0.0), Instant::now(), None);
+        shard.ingest(UserId::new(2), item(2, 2, 0.0), Instant::now(), None);
+        let out = shard.run_round();
+        assert!(out.selected.is_empty());
+        let stats = shard.stats();
+        assert_eq!(stats.counter_total("richnote_suppressed_total"), 2);
+        assert_eq!(stats.counter_total("richnote_delivered_bytes_total"), 0);
     }
 
     #[test]

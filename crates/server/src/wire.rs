@@ -63,7 +63,9 @@
 use crate::error::{ServerError, ServerResult};
 use crate::metrics::MetricsSnapshot;
 use richnote_core::{ContentId, ContentItem, UserId};
-use richnote_obs::{FlightDump, RegistrySnapshot, SloStatus, SloVerdict, TraceEvent};
+use richnote_obs::{
+    FlightDump, HistoryQuery, QueryResult, RegistrySnapshot, SloStatus, SloVerdict, TraceEvent,
+};
 use richnote_pubsub::Topic;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
@@ -177,6 +179,13 @@ pub enum Request {
     /// Immediate shutdown *without* checkpointing — crash semantics, used
     /// by the kill-and-restart tests.
     Shutdown,
+    /// Windowed analytics query against the server's embedded metrics
+    /// history (see [`richnote_obs::MetricsHistory`]): deltas, rates, and
+    /// histogram quantiles for one counter family over the trailing
+    /// window. Servers built before the analytics layer answer
+    /// `Error { code: BadFrame }`, which clients surface as
+    /// "query unsupported".
+    Query(HistoryQuery),
 }
 
 /// Build identity of a running daemon, reported in
@@ -303,6 +312,9 @@ pub enum Response {
         /// One dump per live shard (a dead shard contributes nothing).
         dumps: Vec<FlightDump>,
     },
+    /// Windowed analytics series answering [`Request::Query`]. The same
+    /// JSON body is served on the metrics listener's `/query` path.
+    QueryResult(QueryResult),
     /// Coordinated checkpoint written.
     Checkpointed {
         /// Users captured in the checkpoint.
@@ -454,6 +466,11 @@ mod tests {
             Request::Checkpoint,
             Request::Drain,
             Request::Shutdown,
+            Request::Query(HistoryQuery {
+                family: "richnote_utility_total".into(),
+                labels: vec![("policy".into(), "RichNote".into())],
+                window_secs: 60.0,
+            }),
         ];
         let mut buf = Vec::new();
         for r in &reqs {
@@ -653,6 +670,27 @@ mod tests {
             let got: Response = read_frame(&mut cursor).unwrap().unwrap();
             assert_eq!(&got, want);
         }
+    }
+
+    #[test]
+    fn query_result_response_roundtrips() {
+        let mut hist = richnote_obs::MetricsHistory::new(8);
+        let mut reg = richnote_obs::Registry::new();
+        let c = reg.counter("richnote_utility_total", "utility", &[("policy", "RichNote")]);
+        reg.set_counter(c, 10);
+        hist.record(0.0, reg.snapshot());
+        reg.set_counter(c, 70);
+        hist.record(30.0, reg.snapshot());
+        let result = hist.query(&HistoryQuery {
+            family: "richnote_utility_total".into(),
+            labels: vec![],
+            window_secs: 60.0,
+        });
+        let resp = Response::QueryResult(result);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let got: Response = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, resp);
     }
 
     #[test]

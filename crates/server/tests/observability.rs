@@ -7,8 +7,8 @@ use richnote_core::content::{ContentFeatures, ContentKind, Interaction, SocialTi
 use richnote_core::{AlbumId, ArtistId, ContentId, ContentItem, TrackId, UserId};
 use richnote_pubsub::Topic;
 use richnote_server::{
-    derive_trace_id, Client, FaultPlan, SampleRate, Server, ServerConfig, ShardPanicFault,
-    SloStatus, SpanStage, SpanTree, TraceEvent, TRACE_DUMP_EVENT_BUDGET,
+    derive_trace_id, Client, FaultPlan, HistoryQuery, SampleRate, Server, ServerConfig,
+    ShardPanicFault, SloStatus, SpanStage, SpanTree, TraceEvent, TRACE_DUMP_EVENT_BUDGET,
 };
 use richnote_trace::{TraceConfig, TraceGenerator};
 use std::io::{Read, Write};
@@ -431,6 +431,100 @@ fn scrape_listener_survives_rude_peers() {
     drop(TcpStream::connect(metrics).expect("silent peer"));
     let response = scrape(metrics, "/metrics");
     assert!(response.contains("richnote_pubs_total"), "listener must keep serving after a hangup");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// The analytics acceptance path: a fresh consumer computes per-policy
+/// utility-per-MB from one wire query (no client-side scrape diffing),
+/// and `curl /query` gets the same series as JSON.
+#[test]
+fn query_serves_utility_per_mb_on_first_attach() {
+    let (addr, metrics, handle) = spawn_observable(0);
+    let mut client = Client::builder(addr).connect().expect("connect");
+    warm_up(&mut client);
+
+    // One Query on a fresh connection: the server-side history (seeded
+    // with a t=0 baseline, sampled at every tick boundary) must already
+    // hold a window with real deltas.
+    let labels = vec![("policy".to_string(), "RichNote".to_string())];
+    let utility = client
+        .query(HistoryQuery {
+            family: "richnote_utility_total".to_string(),
+            labels: labels.clone(),
+            window_secs: f64::MAX,
+        })
+        .expect("utility query");
+    assert!(utility.samples >= 2, "t=0 baseline plus at least one tick sample");
+    assert!(!utility.series.is_empty(), "delivered utility must produce cohort series");
+    assert!(utility.total.last > 0.0, "cumulative utility must be positive");
+    for s in &utility.series {
+        assert!(
+            s.labels.iter().any(|(k, v)| k == "policy" && v == "RichNote"),
+            "label filter must hold on every series"
+        );
+    }
+
+    let bytes = client
+        .query(HistoryQuery {
+            family: "richnote_delivered_bytes_total".to_string(),
+            labels,
+            window_secs: f64::MAX,
+        })
+        .expect("bytes query");
+    assert!(bytes.total.delta > 0.0, "deliveries must have spent bytes");
+    let per_mb = utility.total.delta / (bytes.total.delta / 1e6);
+    assert!(per_mb.is_finite() && per_mb > 0.0, "utility-per-MB must be computable: {per_mb}");
+
+    // The same series over HTTP, exactly as the CI smoke step curls it.
+    let response =
+        scrape(metrics, "/query?family=richnote_delivered_bytes_total&window=1000000000");
+    let (head, body) = response.split_once("\r\n\r\n").expect("http response");
+    assert!(head.contains("200 OK"), "query must succeed: {head}");
+    assert!(head.contains("application/json"), "query must answer JSON");
+    let parsed: richnote_server::QueryResult = serde_json::from_str(body).expect("valid JSON");
+    assert_eq!(parsed.family, "richnote_delivered_bytes_total");
+    assert!(!parsed.series.is_empty(), "HTTP query must see the same series");
+    assert!((parsed.total.last - bytes.total.last).abs() < 1e-6, "wire and HTTP must agree");
+
+    // Malformed requests fail loudly, not with an empty 200.
+    let bad = scrape(metrics, "/query?window=60");
+    assert!(bad.contains("400 Bad Request"), "missing family must be rejected: {bad}");
+    let bad = scrape(metrics, "/query?family=richnote_pubs_total&windw=60");
+    assert!(bad.contains("400 Bad Request"), "unknown parameters must be rejected: {bad}");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}
+
+/// `history.capacity = 0` disables sampling: queries still answer, with
+/// an empty series, and the tick path must not pay for snapshots.
+#[test]
+fn disabled_history_answers_empty_series() {
+    let cfg = ServerConfig::builder()
+        .addr("127.0.0.1:0")
+        .shards(2)
+        .history_capacity(0)
+        .build()
+        .expect("config");
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || {
+        let _ = server.run();
+    });
+    let mut client = Client::builder(addr).connect().expect("connect");
+    warm_up(&mut client);
+
+    let result = client
+        .query(HistoryQuery {
+            family: "richnote_utility_total".to_string(),
+            labels: Vec::new(),
+            window_secs: f64::MAX,
+        })
+        .expect("query against disabled history");
+    assert_eq!(result.samples, 0, "no ring, no samples");
+    assert!(result.series.is_empty(), "no ring, no series");
 
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");

@@ -3,6 +3,7 @@
 //! queuing delay, plus the presentation-level mix behind Fig. 5(b,c).
 
 use richnote_core::ids::UserId;
+use richnote_core::quality::CohortLedger;
 use richnote_obs::Log2Histogram;
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +49,11 @@ pub struct UserMetrics {
     /// in virtual-time microseconds — the simulator's deterministic
     /// counterpart of the daemon's `richnote_selection_latency_us`.
     pub delay_histogram: Log2Histogram,
+    /// Per-cohort delivery-quality ledger (utility, bytes, suppressions
+    /// keyed by `{connectivity, level}`), fed by the scheduler's
+    /// `on_quality` observations — the simulator side of the daemon's
+    /// `richnote_utility_total` vocabulary.
+    pub quality: CohortLedger,
 }
 
 impl UserMetrics {
@@ -69,6 +75,7 @@ impl UserMetrics {
             final_backlog: 0,
             backlog_series: Vec::new(),
             delay_histogram: Log2Histogram::new(),
+            quality: CohortLedger::new(),
         }
     }
 
@@ -137,6 +144,8 @@ pub struct AggregateMetrics {
     pub final_backlog: usize,
     /// All users' queuing-delay histograms merged.
     pub delay_histogram: Log2Histogram,
+    /// All users' quality ledgers merged (element-wise per cohort cell).
+    pub quality: CohortLedger,
     /// Mean of per-user delivery ratios (the paper averages metrics
     /// "across all users").
     pub mean_user_delivery_ratio: f64,
@@ -162,6 +171,7 @@ impl AggregateMetrics {
             level_histogram: [0; MAX_LEVEL],
             final_backlog: 0,
             delay_histogram: Log2Histogram::new(),
+            quality: CohortLedger::new(),
             mean_user_delivery_ratio: 0.0,
             mean_user_avg_utility: 0.0,
         };
@@ -178,6 +188,7 @@ impl AggregateMetrics {
             agg.delay_sum_secs += u.delay_sum_secs;
             agg.final_backlog += u.final_backlog;
             agg.delay_histogram.merge(&u.delay_histogram);
+            agg.quality.merge(&u.quality);
             for (a, b) in agg.level_histogram.iter_mut().zip(&u.level_histogram) {
                 *a += b;
             }
@@ -214,6 +225,12 @@ impl AggregateMetrics {
     /// Mean queuing delay, seconds.
     pub fn mean_delay_secs(&self) -> f64 {
         fraction(self.delay_sum_secs, self.delivered as f64)
+    }
+
+    /// Utility per megabyte delivered, from the cohort ledger (`None`
+    /// until any bytes were delivered).
+    pub fn utility_per_mb(&self) -> Option<f64> {
+        self.quality.utility_per_mb()
     }
 
     /// Fraction of arrived items delivered at each level (index 0 = never
@@ -254,6 +271,7 @@ mod tests {
             final_backlog: 2,
             backlog_series: Vec::new(),
             delay_histogram: Log2Histogram::new(),
+            quality: CohortLedger::new(),
         }
     }
 

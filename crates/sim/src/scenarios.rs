@@ -155,6 +155,30 @@ pub struct ScenarioReport {
     /// Fraction of arrivals delivered at each ladder level (index 0 =
     /// never delivered).
     pub level_mix: [f64; MAX_LEVEL],
+    /// Per-connectivity-cohort quality slices, in canonical cohort order
+    /// (only cohorts that saw any deliveries or suppressions appear).
+    pub cohorts: Vec<CohortReport>,
+}
+
+/// One connectivity cohort's slice of a scenario run, summed over
+/// presentation levels — the simulator's counterpart of the daemon's
+/// `richnote_utility_total` / `richnote_delivered_bytes_total` /
+/// `richnote_suppressed_total` series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortReport {
+    /// Cohort label (`unknown` / `offline` / `cell` / `wifi`).
+    pub connectivity: String,
+    /// Deliveries into this cohort.
+    pub delivered: u64,
+    /// Bytes delivered into this cohort.
+    pub bytes: u64,
+    /// Combined utility delivered into this cohort.
+    pub utility: f64,
+    /// Utility per delivered megabyte within the cohort (0 when no bytes).
+    pub utility_per_mb: f64,
+    /// Notification-rounds suppressed while the cohort applied (queued
+    /// but nothing deliverable).
+    pub suppressed: u64,
 }
 
 impl ScenarioReport {
@@ -185,8 +209,37 @@ impl ScenarioReport {
             },
             mean_delay_secs: agg.mean_delay_secs(),
             level_mix: agg.level_mix(),
+            cohorts: cohort_reports(agg),
         }
     }
+}
+
+/// Collapses the aggregate's quality ledger to per-cohort rows.
+fn cohort_reports(agg: &AggregateMetrics) -> Vec<CohortReport> {
+    use richnote_core::quality::ConnectivityCohort;
+    let suppressed: Vec<(ConnectivityCohort, u64)> = agg.quality.suppressed_cells().collect();
+    ConnectivityCohort::ALL
+        .into_iter()
+        .filter_map(|cohort| {
+            let mut r = CohortReport {
+                connectivity: cohort.as_str().to_string(),
+                delivered: 0,
+                bytes: 0,
+                utility: 0.0,
+                utility_per_mb: 0.0,
+                suppressed: suppressed.iter().find(|(c, _)| *c == cohort).map_or(0, |(_, n)| *n),
+            };
+            for cell in agg.quality.cells().filter(|c| c.connectivity == cohort) {
+                r.delivered += cell.delivered;
+                r.bytes += cell.bytes;
+                r.utility += cell.utility;
+            }
+            if r.bytes > 0 {
+                r.utility_per_mb = r.utility / (r.bytes as f64 / 1e6);
+            }
+            (r.delivered > 0 || r.suppressed > 0).then_some(r)
+        })
+        .collect()
 }
 
 /// Runs one named scenario under `policy` and returns its report, or
@@ -362,6 +415,11 @@ mod tests {
                 assert!(r.arrived > 0, "{}/{} produced no arrivals", r.scenario, r.policy);
                 assert!(r.delivered > 0, "{}/{} delivered nothing", r.scenario, r.policy);
                 assert!((0.0..=1.0).contains(&r.shed_rate), "{}", r.shed_rate);
+                assert!(!r.cohorts.is_empty(), "{}/{} has no cohort rows", r.scenario, r.policy);
+                let delivered: u64 = r.cohorts.iter().map(|c| c.delivered).sum();
+                assert_eq!(delivered, r.delivered as u64, "cohorts must cover every delivery");
+                let bytes: u64 = r.cohorts.iter().map(|c| c.bytes).sum();
+                assert_eq!(bytes, r.bytes_delivered, "cohorts must cover every byte");
             }
         }
     }

@@ -9,7 +9,8 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use richnote_core::content::ContentItem;
 use richnote_core::ids::{ContentId, UserId};
-use richnote_core::policy::{NoopObserver, SelectionObserver};
+use richnote_core::policy::{AdaptiveDecision, NoopObserver, SelectDecision, SelectionObserver};
+use richnote_core::quality::{CohortLedger, QualitySample};
 use richnote_core::scheduler::{NetSignal, QueuedNotification, RoundContext};
 use richnote_core::utility::DurationUtility;
 use richnote_energy::battery::{energy_grant, BatteryTrace, BatteryTraceConfig};
@@ -18,6 +19,31 @@ use richnote_net::connectivity::{CellOnly, ConnectivitySchedule};
 use richnote_net::diurnal::DiurnalConfig;
 use richnote_net::markov::{MarkovConnectivity, NetworkState};
 use std::collections::HashMap;
+
+/// Forwards every observation to the caller's observer while also
+/// accumulating the per-cohort quality ledger that lands in
+/// [`UserMetrics::quality`]. The sim builds round contexts with a real
+/// [`NetSignal`], so cohorts here carry true connectivity states rather
+/// than the daemon's `unknown`.
+struct QualityTee<'a> {
+    inner: &'a mut dyn SelectionObserver,
+    ledger: CohortLedger,
+}
+
+impl SelectionObserver for QualityTee<'_> {
+    fn on_select(&mut self, round: u64, content: ContentId, decision: &SelectDecision) {
+        self.inner.on_select(round, content, decision);
+    }
+
+    fn on_adapt(&mut self, round: u64, decision: &AdaptiveDecision) {
+        self.inner.on_adapt(round, decision);
+    }
+
+    fn on_quality(&mut self, round: u64, sample: &QualitySample<'_>) {
+        self.ledger.record(sample);
+        self.inner.on_quality(round, sample);
+    }
+}
 
 /// Events of the per-user simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,6 +146,8 @@ pub fn simulate_user_observed(
     let click_time: HashMap<ContentId, f64> =
         items.iter().filter_map(|i| i.interaction.click_time().map(|t| (i.id, t))).collect();
 
+    let mut obs = QualityTee { inner: obs, ledger: CohortLedger::new() };
+
     // Build the event timeline: arrivals interleaved with round ticks.
     let mut queue: EventQueue<UserEvent> = EventQueue::new();
     for (idx, item) in items.iter().enumerate() {
@@ -173,7 +201,7 @@ pub fn simulate_user_observed(
                     .energy_grant(grant)
                     .net(NetSignal::observed(state))
                     .build();
-                let delivered = scheduler.select_round(&ctx, obs);
+                let delivered = scheduler.select_round(&ctx, &mut obs);
 
                 let mut round_bytes = 0u64;
                 for d in &delivered {
@@ -204,6 +232,7 @@ pub fn simulate_user_observed(
 
     metrics.final_backlog = scheduler.backlog();
     metrics.level_histogram[0] = metrics.arrived.saturating_sub(metrics.delivered);
+    metrics.quality = obs.ledger;
     metrics
 }
 
