@@ -20,32 +20,16 @@
 //! torn-write detection applies: a reader rejects bad magic, a length
 //! beyond the file, or a CRC mismatch.
 
+use crate::frame::{self, BlobError};
 use crate::span::SpanTree;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::io::Write;
 use std::path::Path;
+
+pub use crate::frame::crc32;
 
 /// Magic prefix of a flight-recorder dump file.
 pub const FLIGHT_MAGIC: &[u8; 8] = b"RNFLT01\n";
-
-/// CRC-32 (IEEE 802.3, reflected) — the checksum guarding both
-/// checkpoint and flight-recorder files.
-///
-/// Bit-at-a-time: ~1 cycle/bit is irrelevant next to file I/O and JSON
-/// encode, and it keeps the implementation obviously correct against the
-/// standard test vectors.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
 
 /// A serialized cut of one shard's flight recorder.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -135,41 +119,25 @@ impl FlightRecorder {
 pub fn write_flight_file(path: &Path, dump: &FlightDump) -> std::io::Result<()> {
     let body = serde_json::to_string(dump)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    let body = body.as_bytes();
-    let mut blob = Vec::with_capacity(FLIGHT_MAGIC.len() + 12 + body.len());
-    blob.extend_from_slice(FLIGHT_MAGIC);
-    blob.extend_from_slice(&crc32(body).to_le_bytes());
-    blob.extend_from_slice(&(body.len() as u64).to_le_bytes());
-    blob.extend_from_slice(body);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&blob)?;
-    f.sync_all()
+    frame::write_blob_file(path, FLIGHT_MAGIC, body.as_bytes())
 }
 
 /// Reads and validates a CRC-framed dump file, describing exactly what
 /// is wrong when it does not verify.
 pub fn read_flight_file(path: &Path) -> Result<FlightDump, String> {
     let blob = std::fs::read(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    if blob.len() < FLIGHT_MAGIC.len() + 12 {
-        return Err(format!("{}: truncated header ({} bytes)", path.display(), blob.len()));
-    }
-    let (magic, rest) = blob.split_at(FLIGHT_MAGIC.len());
-    if magic != FLIGHT_MAGIC {
-        return Err(format!("{}: bad magic {magic:?}", path.display()));
-    }
-    let want_crc = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
-    let len = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes")) as usize;
-    let body = &rest[12..];
-    if body.len() != len {
-        return Err(format!("{}: body is {} bytes, header says {len}", path.display(), body.len()));
-    }
-    let got_crc = crc32(body);
-    if got_crc != want_crc {
-        return Err(format!(
-            "{}: crc mismatch (want {want_crc:#010x}, got {got_crc:#010x})",
-            path.display()
-        ));
-    }
+    let body = frame::decode_blob(&blob, FLIGHT_MAGIC).map_err(|e| match e {
+        BlobError::TruncatedHeader { len } => {
+            format!("{}: truncated header ({len} bytes)", path.display())
+        }
+        BlobError::BadMagic { found } => format!("{}: bad magic {found:?}", path.display()),
+        BlobError::LengthMismatch { header, actual } => {
+            format!("{}: body is {actual} bytes, header says {header}", path.display())
+        }
+        BlobError::Crc { want, got } => {
+            format!("{}: crc mismatch (want {want:#010x}, got {got:#010x})", path.display())
+        }
+    })?;
     let text = std::str::from_utf8(body).map_err(|e| format!("{}: {e}", path.display()))?;
     serde_json::from_str(text).map_err(|e| format!("{}: bad JSON: {e}", path.display()))
 }
@@ -187,13 +155,6 @@ mod tests {
         ])
         .pop()
         .expect("one tree")
-    }
-
-    #[test]
-    fn crc32_known_vectors() {
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
     }
 
     #[test]

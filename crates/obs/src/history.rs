@@ -405,6 +405,28 @@ mod tests {
     }
 
     #[test]
+    fn counter_reset_spanning_a_restart_never_yields_negative_rates() {
+        let mut h = MetricsHistory::new(8);
+        h.record(10.0, snap(100, 0.0, &[]));
+        h.record(20.0, snap(120, 0.0, &[]));
+        // Daemon restart mid-window: the counter starts over near zero.
+        h.record(30.0, snap(5, 0.0, &[]));
+        h.record(40.0, snap(25, 0.0, &[]));
+        let r = h.query(&query("richnote_pubs_total", 30.0));
+        assert_eq!(r.samples, 4);
+        // The endpoint delta clamps to zero rather than going negative —
+        // alert rules dividing by such a window must never see a
+        // negative shed or publish count...
+        assert_eq!(r.total.delta, 0.0);
+        assert_eq!(r.total.rate, 0.0);
+        // ...while the per-interval points keep both the pre-restart and
+        // post-restart traffic visible, with only the reset instant
+        // clamped.
+        assert_eq!(r.total.points, vec![2.0, 0.0, 2.0]);
+        assert_eq!(r.series[0].points, vec![2.0, 0.0, 2.0]);
+    }
+
+    #[test]
     fn gauge_delta_may_be_negative_and_last_is_absolute() {
         let mut h = MetricsHistory::new(8);
         h.record(0.0, snap(0, 5.0, &[]));

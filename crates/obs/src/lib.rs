@@ -46,10 +46,24 @@
 //!   budgets, fast/slow burn rates, and ok/degraded/violating verdicts
 //!   ([`SloEngine`], [`SloReport`]), with time driven explicitly so
 //!   evaluation is deterministic.
+//! * [`alert`] — a declarative alert-rule engine ([`AlertRule`],
+//!   [`AlertEngine`]) evaluated in caller-supplied virtual time over the
+//!   metrics history (threshold, windowed-rate and SLO-burn rules with a
+//!   pending → firing → resolved state machine), plus the per-shard
+//!   stall [`Watchdog`]; the same rules run identically in the daemon
+//!   and the simulator, so a seeded run yields a byte-identical alert
+//!   timeline.
+//! * [`frame`] — the shared `magic | len | crc32` binary framing used by
+//!   flight-recorder dumps and incident bundles: whole-file blobs
+//!   ([`frame::encode_blob`]), streamed records ([`frame::write_record`]
+//!   / [`frame::read_record`]) and the tamper-evident hash chain
+//!   ([`chain_seed`], [`chain_next`]).
 
+pub mod alert;
 pub mod event;
 pub mod expo;
 pub mod flight;
+pub mod frame;
 pub mod hist;
 pub mod history;
 pub mod registry;
@@ -58,11 +72,16 @@ pub mod sampler;
 pub mod slo;
 pub mod span;
 
+pub use alert::{
+    default_rules, AlertEngine, AlertEvent, AlertRule, AlertRuleKind, AlertSnapshot, AlertState,
+    ShardProbe, Watchdog, WatchdogConfig, WatchdogVerdict,
+};
 pub use event::{TraceEvent, TraceRing};
 pub use expo::encode_text;
 pub use flight::{
     crc32, read_flight_file, write_flight_file, FlightDump, FlightRecorder, FLIGHT_MAGIC,
 };
+pub use frame::{chain_next, chain_seed, BlobError, RecordError};
 pub use hist::{Log2Histogram, BUCKETS};
 pub use history::{
     HistoryQuery, MetricsHistory, QueryResult, SeriesWindow, WindowQuantiles,

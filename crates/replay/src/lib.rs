@@ -174,6 +174,7 @@ pub fn replay_into(
             | Request::TraceDump
             | Request::FlightDump
             | Request::Query(_)
+            | Request::Alerts
             | Request::Checkpoint
             | Request::Drain
             | Request::Shutdown => skipped += 1,

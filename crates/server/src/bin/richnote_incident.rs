@@ -1,0 +1,127 @@
+//! `richnote-incident`: offline reader for `.rnincident` forensic
+//! bundles written by the daemon's alerting plane.
+//!
+//! ```text
+//! richnote-incident print PATH          # verify and pretty-print one bundle
+//! richnote-incident diff PATH_A PATH_B  # compare two bundles section by section
+//! ```
+//!
+//! `print` verifies the file end to end — magic, per-record CRCs, the
+//! hash-chain seal — before showing anything, and exits 2 when any check
+//! fails, so CI can assert bundle integrity with a single invocation.
+//! `diff` prints which sections were added, removed, or changed between
+//! two bundles (useful for "what moved between the first and second
+//! incident of a run"); it exits 1 when the bundles differ, 0 when they
+//! are materially identical (meta timing fields are expected to differ
+//! and are not compared).
+
+use richnote_server::{read_incident_file, IncidentBundle};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: richnote-incident print PATH");
+    eprintln!("       richnote-incident diff PATH_A PATH_B");
+    std::process::exit(2)
+}
+
+/// Loads and fully verifies one bundle, exiting 2 with the verifier's
+/// explanation when the file is corrupt, tampered with, or truncated.
+fn load(path: &str) -> IncidentBundle {
+    match read_incident_file(Path::new(path)) {
+        Ok(bundle) => bundle,
+        Err(why) => {
+            eprintln!("richnote-incident: {why}");
+            std::process::exit(2)
+        }
+    }
+}
+
+/// One-line shape summary of a section value, so `print` stays readable
+/// for multi-megabyte registry sections.
+fn shape(v: &serde_json::Value) -> String {
+    match v {
+        serde_json::Value::Array(items) => format!("array, {} item(s)", items.len()),
+        serde_json::Value::Object(fields) => {
+            let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+            format!("object {{{}}}", names.join(", "))
+        }
+        other => serde_json::to_string(other).unwrap_or_else(|_| "?".to_string()),
+    }
+}
+
+fn print_bundle(path: &str) -> ExitCode {
+    let bundle = load(path);
+    let m = &bundle.meta;
+    println!("incident bundle {path} (verified: crc + chain seal)");
+    println!("  trigger:   {}", m.trigger);
+    println!("  reason:    {}", m.reason);
+    println!("  at:        t={:.1}s (virtual), uptime {:.1}s", m.at_secs, m.uptime_secs);
+    println!("  sequence:  {}", m.sequence);
+    println!("  build:     {} {} ({})", m.build.version, m.build.git_sha, m.build.profile);
+    println!("  sections:  {}", bundle.sections.len());
+    for (name, data) in &bundle.sections {
+        println!("    {name}: {}", shape(data));
+    }
+    // The full payload goes to stdout only on request via sections that
+    // matter most for triage; `alerts` and `watchdog` are small and are
+    // what a responder reads first.
+    for want in ["alerts", "watchdog"] {
+        if let Some(data) = bundle.section(want) {
+            println!("--- {want} ---");
+            match serde_json::to_string_pretty(data) {
+                Ok(text) => println!("{text}"),
+                Err(e) => println!("(unprintable: {e})"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn diff_bundles(path_a: &str, path_b: &str) -> ExitCode {
+    let a = load(path_a);
+    let b = load(path_b);
+    let mut differs = false;
+    if a.meta.trigger != b.meta.trigger {
+        println!("trigger: {} -> {}", a.meta.trigger, b.meta.trigger);
+        differs = true;
+    }
+    if a.meta.reason != b.meta.reason {
+        println!("reason: {} -> {}", a.meta.reason, b.meta.reason);
+        differs = true;
+    }
+    for (name, data) in &a.sections {
+        match b.section(name) {
+            None => {
+                println!("- section {name} (only in {path_a})");
+                differs = true;
+            }
+            Some(other) if other != data => {
+                println!("~ section {name} changed ({} -> {})", shape(data), shape(other));
+                differs = true;
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, _) in &b.sections {
+        if a.section(name).is_none() {
+            println!("+ section {name} (only in {path_b})");
+            differs = true;
+        }
+    }
+    if differs {
+        ExitCode::from(1)
+    } else {
+        println!("bundles are materially identical ({} sections)", a.sections.len());
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.iter().map(String::as_str).collect::<Vec<_>>().as_slice() {
+        ["print", path] => print_bundle(path),
+        ["diff", a, b] => diff_bundles(a, b),
+        _ => usage(),
+    }
+}

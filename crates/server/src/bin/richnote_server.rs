@@ -13,6 +13,8 @@
 //!                 [--no-rsrc] [--slo-window SECS]
 //!                 [--slo-round-latency US] [--slo-ack-latency US]
 //!                 [--slo-shed-target FRACTION]
+//!                 [--alert-rules PATH] [--incident-dir DIR]
+//!                 [--stall-secs S]
 //!                 [--faults SPEC]
 //! ```
 //!
@@ -48,14 +50,20 @@
 //! flags tune the health engine behind `/healthz` and the wire `Health`
 //! request: the rolling window length, the per-round and per-ack wall
 //! latencies past which an event burns error budget, and the budgeted
-//! shed fraction. `--faults` takes the spec grammar of
+//! shed fraction. `--alert-rules` loads a JSON array of
+//! [`richnote_server::AlertRule`] definitions replacing the built-in
+//! defaults, `--incident-dir` makes every newly-firing alert and every
+//! watchdog trip write a CRC-framed `.rnincident` forensic bundle there
+//! (read with `richnote-incident print`), and `--stall-secs` sets the
+//! per-shard watchdog's stall budget before a wedged shard flips
+//! `/healthz` to `violating`. `--faults` takes the spec grammar of
 //! [`richnote_server::FaultPlan::parse`], e.g.
 //! `reset=0.02,short-read=7,panic=1@3,ckfail=2,seed=9` (testing only).
 
 use richnote_obs::rsrc::{set_alloc_counting, CountingAlloc};
 use richnote_server::{
-    CodecKind, FaultPlan, PolicyName, SampleRate, Server, ServerConfig, ServerConfigBuilder,
-    SloConfig,
+    AlertRule, CodecKind, FaultPlan, PolicyName, SampleRate, Server, ServerConfig,
+    ServerConfigBuilder, SloConfig, WatchdogConfig,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -77,7 +85,9 @@ fn usage() -> ! {
          [--record PATH] [--codec json|binary] \
          [--policy richnote|fifo|util|adaptive] \
          [--no-rsrc] [--slo-window SECS] [--slo-round-latency US] \
-         [--slo-ack-latency US] [--slo-shed-target FRACTION] [--faults SPEC]"
+         [--slo-ack-latency US] [--slo-shed-target FRACTION] \
+         [--alert-rules PATH] [--incident-dir DIR] [--stall-secs S] \
+         [--faults SPEC]"
     );
     std::process::exit(2)
 }
@@ -85,6 +95,7 @@ fn usage() -> ! {
 fn parse_args() -> ServerConfigBuilder {
     let mut builder = ServerConfig::builder().addr("127.0.0.1:7464");
     let mut slo = SloConfig::default();
+    let mut watchdog = WatchdogConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -146,6 +157,21 @@ fn parse_args() -> ServerConfigBuilder {
                 slo.shed_target = parse(&value("--slo-shed-target"), "--slo-shed-target");
                 builder
             }
+            "--alert-rules" => {
+                let path = value("--alert-rules");
+                match load_alert_rules(&path) {
+                    Ok(rules) => builder.alert_rules(rules),
+                    Err(e) => {
+                        eprintln!("bad --alert-rules {path}: {e}");
+                        usage()
+                    }
+                }
+            }
+            "--incident-dir" => builder.incident_dir(value("--incident-dir")),
+            "--stall-secs" => {
+                watchdog.stall_secs = parse(&value("--stall-secs"), "--stall-secs");
+                builder
+            }
             "--faults" => {
                 let spec = value("--faults");
                 match FaultPlan::parse(&spec) {
@@ -163,7 +189,16 @@ fn parse_args() -> ServerConfigBuilder {
             }
         };
     }
-    builder.slo(slo)
+    builder.slo(slo).watchdog(watchdog)
+}
+
+/// Loads `--alert-rules`: a JSON array of rule definitions, e.g.
+/// `[{"name":"shed","for_secs":0,"kind":{"Rate":{"family":"richnote_queue_dropped_total",
+/// "labels":[],"window_secs":60,"per":"richnote_pubs_total","above":0.05}}}]`.
+fn load_alert_rules(path: &str) -> Result<Vec<AlertRule>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string());
+    let v = serde_json::parse_value(&text?).map_err(|e| e.to_string())?;
+    serde::Deserialize::from_value(&v).map_err(|e: serde::DeError| e.0)
 }
 
 fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> T {

@@ -15,6 +15,10 @@
 //! * the chosen-level histogram per shard as a sparkline over levels
 //!   0–6 (level 0 = suppressed, 1 = metadata only, 6 = full preview),
 //! * connection-side stage latencies (match / serialize / ack),
+//! * an alerting pane: firing/pending rule counts, every rule not
+//!   currently quiet with its value against its threshold, watchdog
+//!   verdicts for stalled shards, and the path of the last incident
+//!   bundle written (absent against pre-alerting servers),
 //! * a delivery-quality pane: per-policy utility-per-MB with a per-tick
 //!   trend sparkline, fed by the server's `/query` history so the very
 //!   first frame shows real rates (no second scrape needed), and
@@ -37,8 +41,8 @@
 
 use richnote_obs::{MetricValue, RegistrySnapshot, SeriesSnapshot};
 use richnote_server::{
-    Client, HealthReport, HistoryQuery, MetricsSnapshot, QueryResult, ServerResult, SpanStage,
-    SpanTree, StatsReply,
+    AlertsReply, Client, HealthReport, HistoryQuery, MetricsSnapshot, QueryResult, ServerResult,
+    SpanStage, SpanTree, StatsReply,
 };
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -264,6 +268,40 @@ fn spark_f64(points: &[f64]) -> String {
 /// The quality pane: per-policy utility-per-MB with its per-tick trend,
 /// fed entirely by the server-side history (real numbers on the very
 /// first frame — no second scrape needed).
+/// The alerting pane. `None` means the server predates the alerting
+/// plane (its codec rejects the `Alerts` request) — say so rather than
+/// rendering a silently empty pane.
+fn render_alerts(alerts: Option<&AlertsReply>) {
+    let Some(reply) = alerts else {
+        println!("alerts: (server predates alerting)");
+        return;
+    };
+    let active: Vec<String> = reply
+        .alerts
+        .iter()
+        .filter(|a| a.state.as_str() != "inactive")
+        .map(|a| {
+            let value = a.value.map_or("-".to_string(), |v| format!("{v:.3}"));
+            format!("{} {} ({} vs {:.3})", a.rule, a.state.as_str(), value, a.threshold)
+        })
+        .collect();
+    println!(
+        "alerts: {} firing, {} pending | {}",
+        reply.firing,
+        reply.pending,
+        if active.is_empty() { "all quiet".to_string() } else { active.join(" | ") },
+    );
+    for v in &reply.watchdog {
+        println!(
+            "  watchdog: shard {} {} ({}/{} rounds, {:.1}s without progress)",
+            v.shard, v.problem, v.rounds_done, v.rounds_expected, v.stalled_secs
+        );
+    }
+    if let Some(path) = &reply.last_incident {
+        println!("  last incident: {path}");
+    }
+}
+
 fn render_quality(quality: Option<&(QueryResult, QueryResult)>) {
     let Some((utility, bytes)) = quality else {
         println!("quality: unavailable (server predates the analytics layer)");
@@ -390,6 +428,7 @@ fn render(
     flight_dropped: u64,
     pubs_window: Option<&QueryResult>,
     quality: Option<&(QueryResult, QueryResult)>,
+    alerts: Option<&AlertsReply>,
     prev_pubs: Option<&HashMap<usize, u64>>,
     elapsed: Duration,
 ) {
@@ -461,6 +500,7 @@ fn render(
         })
         .collect();
     println!("conn stages: {}", stage_line.join(" | "));
+    render_alerts(alerts);
     render_quality(quality);
     println!(
         "flight recorder: {} trees retained, {} evicted | last anomalous traces \
@@ -517,6 +557,8 @@ fn run(a: &Args) -> ServerResult<()> {
         } else {
             None
         };
+        // Pre-alerting servers reject the request; the pane degrades.
+        let alerts = client.alerts().ok();
         // Flight-recorder reads are non-destructive; the trace ring is a
         // drain, which is fine for a live watcher (it is the consumer).
         let flights = client.flight_dump()?;
@@ -548,6 +590,7 @@ fn run(a: &Args) -> ServerResult<()> {
             flight_dropped,
             pubs_window.as_ref(),
             quality.as_ref(),
+            alerts.as_ref(),
             prev_pubs.as_ref(),
             elapsed,
         );

@@ -121,21 +121,7 @@ impl ServerCheckpoint {
     }
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected), bit-at-a-time.
-///
-/// A table-free implementation is plenty: checkpoints are written at round
-/// granularity, not per message.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use richnote_obs::frame::crc32;
 
 /// Writes and reads checkpoint files in one directory. See the module docs
 /// for the format and consistency rules.
@@ -192,12 +178,7 @@ impl CheckpointStore {
             path: path.display().to_string(),
             detail: format!("serialize: {e}"),
         })?;
-        let body = body.as_bytes();
-        let mut blob = Vec::with_capacity(CKPT_MAGIC.len() + 12 + body.len());
-        blob.extend_from_slice(CKPT_MAGIC);
-        blob.extend_from_slice(&crc32(body).to_le_bytes());
-        blob.extend_from_slice(&(body.len() as u64).to_le_bytes());
-        blob.extend_from_slice(body);
+        let blob = richnote_obs::frame::encode_blob(CKPT_MAGIC, body.as_bytes());
 
         let tmp = self.dir.join(format!(".ckpt-{:012}.tmp", ck.round));
         let io_err = |e: std::io::Error| ServerError::Checkpoint {
@@ -261,25 +242,16 @@ impl CheckpointStore {
         let fail =
             |detail: String| ServerError::Checkpoint { path: path.display().to_string(), detail };
         let blob = fs::read(path).map_err(|e| fail(e.to_string()))?;
-        if blob.len() < CKPT_MAGIC.len() + 12 {
-            return Err(fail(format!("truncated: {} bytes", blob.len())));
-        }
-        let (magic, rest) = blob.split_at(CKPT_MAGIC.len());
-        if magic != CKPT_MAGIC {
-            return Err(fail("bad magic".into()));
-        }
-        let want_crc = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
-        let len = u64::from_le_bytes(rest[4..12].try_into().expect("8 bytes"));
-        let body = &rest[12..];
-        if body.len() as u64 != len {
-            return Err(fail(format!(
-                "truncated body: header says {len} bytes, file has {}",
-                body.len()
-            )));
-        }
-        if crc32(body) != want_crc {
-            return Err(fail("CRC mismatch".into()));
-        }
+        let body = richnote_obs::frame::decode_blob(&blob, CKPT_MAGIC).map_err(|e| match e {
+            richnote_obs::BlobError::TruncatedHeader { len } => {
+                fail(format!("truncated: {len} bytes"))
+            }
+            richnote_obs::BlobError::BadMagic { .. } => fail("bad magic".into()),
+            richnote_obs::BlobError::LengthMismatch { header, actual } => {
+                fail(format!("truncated body: header says {header} bytes, file has {actual}"))
+            }
+            richnote_obs::BlobError::Crc { .. } => fail("CRC mismatch".into()),
+        })?;
         let text =
             std::str::from_utf8(body).map_err(|e| fail(format!("body is not UTF-8: {e}")))?;
         let ck: ServerCheckpoint =
@@ -323,14 +295,6 @@ mod tests {
                 users: Vec::new(),
             }],
         }
-    }
-
-    #[test]
-    fn crc32_known_vectors() {
-        // Standard IEEE CRC-32 test vectors.
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
     }
 
     #[test]

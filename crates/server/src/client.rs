@@ -24,8 +24,8 @@ use crate::error::{ServerError, ServerResult};
 use crate::fault::FaultRng;
 use crate::metrics::MetricsSnapshot;
 use crate::wire::{
-    read_frame, write_frame, BuildInfo, Delivery, ErrorCode, HealthReport, Request, Response,
-    PROTO_VERSION,
+    read_frame, write_frame, AlertsReply, BuildInfo, Delivery, ErrorCode, HealthReport, Request,
+    Response, PROTO_VERSION,
 };
 use richnote_core::{ContentItem, UserId};
 use richnote_obs::{FlightDump, HistoryQuery, QueryResult, RegistrySnapshot, TraceEvent};
@@ -691,6 +691,22 @@ impl Client {
             Ok(Response::QueryResult(result)) => Ok(result),
             Ok(other) => Err(unexpected("QueryResult", &other)),
             Err(e) => Err(pre_observability(e, "Query")),
+        }
+    }
+
+    /// Fetches the alerting plane's current view: every rule's state and
+    /// last measured value, the recent transition timeline, watchdog
+    /// verdicts, and the path of the most recent incident bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns protocol or transport failures; servers built before the
+    /// alerting layer are reported like in [`Client::stats`].
+    pub fn alerts(&mut self) -> ServerResult<AlertsReply> {
+        match self.with_retry(|c| c.exchange(&Request::Alerts)) {
+            Ok(Response::Alerts(reply)) => Ok(reply),
+            Ok(other) => Err(unexpected("Alerts", &other)),
+            Err(e) => Err(pre_observability(e, "Alerts")),
         }
     }
 

@@ -240,6 +240,7 @@ mod req_tag {
     pub const DRAIN: u8 = 11;
     pub const SHUTDOWN: u8 = 12;
     pub const QUERY: u8 = 13;
+    pub const ALERTS: u8 = 14;
 }
 
 /// Response frame tags. Hot responses are hand-coded; the cold, deeply
@@ -694,6 +695,7 @@ fn enc_request(out: &mut Vec<u8>, req: &Request) {
             }
             put_f64(out, q.window_secs);
         }
+        Request::Alerts => out.push(req_tag::ALERTS),
     }
 }
 
@@ -735,6 +737,7 @@ fn dec_request(s: &mut &[u8]) -> ServerResult<Request> {
             let window_secs = get_f64(s)?;
             Ok(Request::Query(HistoryQuery { family, labels, window_secs }))
         }
+        req_tag::ALERTS => Ok(Request::Alerts),
         tag => Err(bad(format!("unknown request tag {tag}"))),
     }
 }
@@ -817,7 +820,8 @@ fn enc_response(out: &mut Vec<u8>, resp: &Response) -> ServerResult<()> {
         | Response::Health(_)
         | Response::TraceDump { .. }
         | Response::FlightDump { .. }
-        | Response::QueryResult(_) => {
+        | Response::QueryResult(_)
+        | Response::Alerts(_) => {
             out.push(resp_tag::JSON);
             out.extend_from_slice(&encode_frame_payload(resp)?);
         }
@@ -950,6 +954,7 @@ mod tests {
                 ],
                 window_secs: 60.0,
             }),
+            Request::Alerts,
             Request::Query(HistoryQuery {
                 family: "richnote_pubs_total".into(),
                 labels: vec![],
@@ -1036,6 +1041,29 @@ mod tests {
                 shards_alive: 2,
                 shards_total: 2,
                 slos: vec![],
+                alerts_firing: 0,
+                watchdog: vec![],
+            }),
+            Response::Alerts(crate::wire::AlertsReply {
+                alerts: vec![richnote_obs::AlertSnapshot {
+                    rule: "shed_rate".into(),
+                    state: richnote_obs::AlertState::Pending,
+                    since_secs: 30.0,
+                    value: Some(0.08),
+                    threshold: 0.05,
+                }],
+                firing: 0,
+                pending: 1,
+                timeline: vec![],
+                events_dropped: 2,
+                watchdog: vec![richnote_obs::WatchdogVerdict {
+                    shard: 1,
+                    problem: "starved".into(),
+                    stalled_secs: 12.0,
+                    rounds_done: 3,
+                    rounds_expected: 8,
+                }],
+                last_incident: None,
             }),
             Response::TraceDump {
                 events: vec![TraceEvent::RoundEnd {

@@ -5,7 +5,7 @@ use crate::error::ConfigError;
 use crate::fault::FaultPlan;
 use richnote_core::registry::PolicyName;
 use richnote_core::scheduler::LinearCost;
-use richnote_obs::SampleRate;
+use richnote_obs::{AlertRule, SampleRate, WatchdogConfig};
 use serde::{Deserialize, Serialize};
 
 /// Tunables of one `richnote-server` instance.
@@ -101,6 +101,80 @@ pub struct ServerConfig {
     /// metrics listener's `/query` path. Absent in older config JSON,
     /// which deserializes to the default.
     pub history: HistoryConfig,
+    /// Alert rules, watchdog thresholds, and the incident-bundle
+    /// directory. Absent in older config JSON, which deserializes to the
+    /// default (stock rules, no bundle directory).
+    pub alerts: AlertConfig,
+}
+
+/// Alerting-plane knobs: the declarative rule set evaluated at tick
+/// boundaries, the shard stall watchdog, and where incident bundles go.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AlertConfig {
+    /// Declarative rules evaluated over the metrics history (see
+    /// [`richnote_obs::AlertRule`]); defaults to
+    /// [`richnote_obs::default_rules`]. An empty list disables rule
+    /// evaluation (the watchdog still runs).
+    pub rules: Vec<AlertRule>,
+    /// Shard stall watchdog thresholds.
+    pub watchdog: WatchdogConfig,
+    /// Directory for `.rnincident` forensic bundles, written when an
+    /// alert starts firing or the watchdog flags a new shard. `None`
+    /// (the default) disables bundle writes; alerting itself still runs.
+    pub incident_dir: Option<String>,
+}
+
+impl Default for AlertConfig {
+    fn default() -> Self {
+        AlertConfig {
+            rules: richnote_obs::default_rules(),
+            watchdog: WatchdogConfig::default(),
+            incident_dir: None,
+        }
+    }
+}
+
+// Manual impl so configs written before this field existed still load,
+// and so each sub-field may be omitted independently.
+impl serde::Deserialize for AlertConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(AlertConfig {
+            rules: match v.get("rules") {
+                Some(x) => serde::Deserialize::from_value(x)?,
+                None => richnote_obs::default_rules(),
+            },
+            watchdog: match v.get("watchdog") {
+                Some(x) => serde::Deserialize::from_value(x)?,
+                None => WatchdogConfig::default(),
+            },
+            incident_dir: match v.get("incident_dir") {
+                Some(x) => serde::Deserialize::from_value(x)?,
+                None => None,
+            },
+        })
+    }
+
+    fn if_missing() -> Option<Self> {
+        Some(AlertConfig::default())
+    }
+}
+
+impl AlertConfig {
+    /// The first problem with the rule set or watchdog, when any.
+    pub fn problem(&self) -> Option<String> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let Err(why) = rule.validate() {
+                return Some(why);
+            }
+            if self.rules[..i].iter().any(|other| other.name == rule.name) {
+                return Some(format!("alert rule {}: duplicate name", rule.name));
+            }
+        }
+        if self.watchdog.stall_secs.is_nan() || self.watchdog.stall_secs <= 0.0 {
+            return Some("watchdog stall_secs must be > 0".to_string());
+        }
+        None
+    }
 }
 
 /// Analytics-history knobs.
@@ -274,6 +348,7 @@ impl Default for ServerConfig {
             codec: CodecKind::Binary,
             policy: PolicyName::RichNote,
             history: HistoryConfig::default(),
+            alerts: AlertConfig::default(),
         }
     }
 }
@@ -307,6 +382,9 @@ impl ServerConfig {
         }
         if !self.slo.is_valid() {
             return Err(ConfigError::BadSlo);
+        }
+        if let Some(why) = self.alerts.problem() {
+            return Err(ConfigError::BadAlert(why));
         }
         Ok(())
     }
@@ -484,6 +562,29 @@ impl ServerConfigBuilder {
     #[must_use]
     pub fn history_capacity(mut self, snapshots: usize) -> Self {
         self.cfg.history.capacity = snapshots;
+        self
+    }
+
+    /// Replaces the alert rule set (default: [`richnote_obs::default_rules`];
+    /// an empty list disables rule evaluation).
+    #[must_use]
+    pub fn alert_rules(mut self, rules: Vec<AlertRule>) -> Self {
+        self.cfg.alerts.rules = rules;
+        self
+    }
+
+    /// Shard stall watchdog thresholds.
+    #[must_use]
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.cfg.alerts.watchdog = watchdog;
+        self
+    }
+
+    /// Directory for `.rnincident` forensic bundles (default: none, which
+    /// disables bundle writes).
+    #[must_use]
+    pub fn incident_dir(mut self, dir: impl Into<String>) -> Self {
+        self.cfg.alerts.incident_dir = Some(dir.into());
         self
     }
 
@@ -685,6 +786,45 @@ mod tests {
             ServerConfig::default().history.capacity,
             richnote_obs::DEFAULT_HISTORY_CAPACITY
         );
+    }
+
+    #[test]
+    fn pre_alert_config_json_still_loads() {
+        // Configs serialized before the alerting layer have no `alerts`
+        // field; they must load with the stock rules and no incident dir.
+        let mut v = ServerConfig::default().to_value();
+        if let serde_json::Value::Object(fields) = &mut v {
+            fields.retain(|(k, _)| k != "alerts");
+        }
+        let back = ServerConfig::from_value(&v).unwrap();
+        assert_eq!(back.alerts, AlertConfig::default());
+        assert_eq!(back, ServerConfig::default());
+        // Sub-fields may be omitted independently.
+        let partial = serde_json::parse_value(r#"{"incident_dir":"/tmp/inc"}"#).unwrap();
+        let alerts = AlertConfig::from_value(&partial).unwrap();
+        assert_eq!(alerts.rules, richnote_obs::default_rules());
+        assert_eq!(alerts.watchdog, WatchdogConfig::default());
+        assert_eq!(alerts.incident_dir.as_deref(), Some("/tmp/inc"));
+    }
+
+    #[test]
+    fn bad_alert_rules_are_rejected_with_the_rule_name() {
+        let mut rules = richnote_obs::default_rules();
+        rules.push(rules[0].clone()); // duplicate name
+        match ServerConfig::builder().alert_rules(rules).build() {
+            Err(ConfigError::BadAlert(why)) => assert!(why.contains("duplicate"), "{why}"),
+            other => panic!("expected BadAlert, got {other:?}"),
+        }
+        let mut bad = richnote_obs::default_rules();
+        bad[0].name = String::new();
+        assert!(matches!(
+            ServerConfig::builder().alert_rules(bad).build(),
+            Err(ConfigError::BadAlert(_))
+        ));
+        let cfg = ServerConfig::builder()
+            .watchdog(WatchdogConfig { stall_secs: 0.0, min_cpu_delta_us: 1 })
+            .build();
+        assert!(matches!(cfg, Err(ConfigError::BadAlert(_))));
     }
 
     #[test]

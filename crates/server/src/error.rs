@@ -142,6 +142,9 @@ pub enum ConfigError {
     /// An SLO knob was unusable: empty window, no buckets, a target
     /// outside `(0, 1]`, or a non-positive burn threshold.
     BadSlo,
+    /// An alert rule or watchdog knob was unusable; the message names
+    /// the offending rule and field.
+    BadAlert(String),
 }
 
 impl fmt::Display for ConfigError {
@@ -163,6 +166,7 @@ impl fmt::Display for ConfigError {
                      burn threshold positive"
                 )
             }
+            ConfigError::BadAlert(why) => write!(f, "alerts: {why}"),
         }
     }
 }

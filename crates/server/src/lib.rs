@@ -65,6 +65,7 @@ pub mod codec;
 pub mod config;
 pub mod error;
 pub mod fault;
+pub mod incident;
 pub mod metrics;
 pub mod queue;
 pub mod record;
@@ -76,9 +77,15 @@ pub mod wire;
 pub use checkpoint::{CheckpointStore, ServerCheckpoint, ShardCheckpoint};
 pub use client::{Client, ClientBuilder, RetryPolicy, StatsReply};
 pub use codec::{codec_for, negotiate, BinaryCodec, CodecKind, FrameCodec, JsonCodec};
-pub use config::{HistoryConfig, RsrcConfig, ServerConfig, ServerConfigBuilder, SloConfig};
+pub use config::{
+    AlertConfig, HistoryConfig, RsrcConfig, ServerConfig, ServerConfigBuilder, SloConfig,
+};
 pub use error::{ConfigError, ServerError, ServerResult};
 pub use fault::{FaultPlan, FaultRng, ShardPanicFault};
+pub use incident::{
+    incident_file_name, read_incident_file, write_incident_file, IncidentBundle, IncidentMeta,
+    INCIDENT_MAGIC,
+};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardSnapshot};
 pub use queue::BoundedQueue;
 pub use record::{
@@ -90,13 +97,16 @@ pub use richnote_core::registry::{PolicyName, UnknownPolicy};
 pub use router::shard_of;
 pub use server::{RestoreSummary, Server};
 pub use shard::ShardState;
-pub use wire::{BuildInfo, ErrorCode, HealthReport, PROTO_VERSION, TRACE_DUMP_EVENT_BUDGET};
+pub use wire::{
+    AlertsReply, BuildInfo, ErrorCode, HealthReport, PROTO_VERSION, TRACE_DUMP_EVENT_BUDGET,
+};
 
 // Observability vocabulary, re-exported so server users need not depend
 // on `richnote-obs` directly.
 pub use richnote_obs::{
-    derive_trace_id, read_flight_file, FlightDump, HistoryQuery, Log2Histogram, MetricsHistory,
+    default_rules, derive_trace_id, read_flight_file, AlertEvent, AlertRule, AlertRuleKind,
+    AlertSnapshot, AlertState, FlightDump, HistoryQuery, Log2Histogram, MetricsHistory,
     QueryResult, Registry, RegistrySnapshot, SampleRate, SeriesWindow, SloStatus, SloVerdict,
-    SpanRecord, SpanStage, SpanTree, TraceEvent, TraceRing, WindowQuantiles,
-    DEFAULT_HISTORY_CAPACITY,
+    SpanRecord, SpanStage, SpanTree, TraceEvent, TraceRing, WatchdogConfig, WatchdogVerdict,
+    WindowQuantiles, DEFAULT_HISTORY_CAPACITY,
 };

@@ -42,7 +42,6 @@
 //! the capture is an observability artifact, and observability must not
 //! become backpressure (same doctrine as trace-ring eviction).
 
-use crate::checkpoint::crc32;
 use crate::client::Client;
 use crate::config::ServerConfig;
 use crate::error::{ServerError, ServerResult};
@@ -50,6 +49,7 @@ use crate::server::Server;
 use crate::wire::{encode_frame_payload, Request, MAX_FRAME_BYTES};
 use richnote_core::registry::PolicyName;
 use richnote_obs::derive_trace_id;
+use richnote_obs::frame::{self, fill, RecordError};
 use richnote_pubsub::Topic;
 use richnote_trace::{TraceConfig, TraceGenerator};
 use serde::{Deserialize, Serialize};
@@ -73,7 +73,7 @@ pub const CAPTURE_FORMAT: u32 = 1;
 
 /// Hash-chain seed: the magic bytes read as a big-endian integer, so an
 /// empty chain is still file-format specific.
-pub const CHAIN_SEED: u64 = u64::from_be_bytes(*CAPTURE_MAGIC);
+pub const CHAIN_SEED: u64 = frame::chain_seed(CAPTURE_MAGIC);
 
 /// Bound on the record channel between connection threads and the writer;
 /// overflow sheds (never blocks ingest).
@@ -107,20 +107,7 @@ pub struct CaptureRecord {
     pub frame: String,
 }
 
-/// Advances the tamper-evidence chain across one record. FNV-style byte
-/// mixing plus a splitmix64 finalizer: not cryptographic, but a CRC
-/// fix-up after editing, dropping, or reordering a record will not
-/// reproduce the chain of every subsequent record.
-pub fn chain_next(prev: u64, ts_us: u64, session: u64, frame: &[u8]) -> u64 {
-    let mut h = prev ^ ts_us.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    h ^= session.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    for &b in frame {
-        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
-    }
-    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    h ^ (h >> 31)
-}
+pub use richnote_obs::frame::chain_next;
 
 /// Everything that can go wrong with a capture file. Data-record variants
 /// name the zero-based frame index so a corrupt byte is locatable.
@@ -224,9 +211,7 @@ pub struct CaptureWriter {
 
 /// Frames one body: `len | crc32 | body`.
 fn write_framed<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(&crc32(body).to_le_bytes())?;
-    w.write_all(body)
+    frame::write_record(w, body)
 }
 
 impl CaptureWriter {
@@ -298,21 +283,6 @@ pub struct CaptureReader {
     next_index: u64,
     chain: u64,
     header: CaptureHeader,
-}
-
-/// Fills `buf`, returning how many bytes were read before EOF (retrying
-/// `Interrupted`). A short count < `buf.len()` means the file ended.
-fn fill<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => break,
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(filled)
 }
 
 impl CaptureReader {
@@ -428,54 +398,39 @@ fn read_framed<R: Read>(
     path: &str,
     index: u64,
 ) -> Result<Option<Vec<u8>>, CaptureError> {
-    let io_err =
-        |e: std::io::Error| CaptureError::Io { path: path.to_string(), detail: e.to_string() };
-    let truncated = || {
-        if index == u64::MAX {
-            CaptureError::Header {
-                path: path.to_string(),
-                detail: "file ends inside the header record".to_string(),
-            }
-        } else {
-            CaptureError::Truncated { path: path.to_string(), index }
+    match frame::read_record(r, MAX_FRAME_BYTES + 4096) {
+        Ok(body) => Ok(body),
+        Err(RecordError::Io(e)) => {
+            Err(CaptureError::Io { path: path.to_string(), detail: e.to_string() })
         }
-    };
-    let mut len_buf = [0u8; 4];
-    match fill(r, &mut len_buf).map_err(io_err)? {
-        0 => return Ok(None),
-        n if n < len_buf.len() => return Err(truncated()),
-        _ => {}
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME_BYTES + 4096 {
-        return Err(CaptureError::Record {
+        Err(RecordError::Truncated) => {
+            if index == u64::MAX {
+                Err(CaptureError::Header {
+                    path: path.to_string(),
+                    detail: "file ends inside the header record".to_string(),
+                })
+            } else {
+                Err(CaptureError::Truncated { path: path.to_string(), index })
+            }
+        }
+        Err(RecordError::TooLong { len }) => Err(CaptureError::Record {
             path: path.to_string(),
             index,
             detail: format!("record length {len} is not plausible"),
-        });
-    }
-    let mut crc_buf = [0u8; 4];
-    if fill(r, &mut crc_buf).map_err(io_err)? < crc_buf.len() {
-        return Err(truncated());
-    }
-    let stored = u32::from_le_bytes(crc_buf);
-    let mut body = vec![0u8; len as usize];
-    if fill(r, &mut body).map_err(io_err)? < body.len() {
-        return Err(truncated());
-    }
-    let computed = crc32(&body);
-    if computed != stored {
-        if index == u64::MAX {
-            return Err(CaptureError::Header {
-                path: path.to_string(),
-                detail: format!(
-                    "header fails its CRC (stored {stored:#010x}, computed {computed:#010x})"
-                ),
-            });
+        }),
+        Err(RecordError::Crc { stored, computed }) => {
+            if index == u64::MAX {
+                Err(CaptureError::Header {
+                    path: path.to_string(),
+                    detail: format!(
+                        "header fails its CRC (stored {stored:#010x}, computed {computed:#010x})"
+                    ),
+                })
+            } else {
+                Err(CaptureError::Crc { path: path.to_string(), index, stored, computed })
+            }
         }
-        return Err(CaptureError::Crc { path: path.to_string(), index, stored, computed });
     }
-    Ok(Some(body))
 }
 
 /// The daemon-side recording hook: a bounded channel into a writer thread
@@ -719,6 +674,7 @@ pub fn record_golden_with_policy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use richnote_obs::crc32;
     use std::sync::atomic::AtomicU32;
 
     fn temp_path(tag: &str) -> String {

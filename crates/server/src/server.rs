@@ -6,15 +6,18 @@ use crate::codec::{codec_for, negotiate, CodecKind, FrameCodec};
 use crate::config::ServerConfig;
 use crate::error::{ServerError, ServerResult};
 use crate::fault::ShortReader;
+use crate::incident::{incident_file_name, write_incident_file, IncidentBundle, IncidentMeta};
 use crate::metrics::MetricsSnapshot;
 use crate::record::RecordSink;
 use crate::router::{PublishOutcome, Router};
 use crate::shard::{ShardMsg, ShardWorker};
+use crate::wire::AlertsReply;
 use crate::wire::{BuildInfo, ErrorCode, HealthReport, Request, Response, PROTO_VERSION};
 use richnote_obs::{
-    encode_text, split_above, write_flight_file, CounterHandle, GaugeHandle, HistogramHandle,
-    HistoryQuery, Log2Histogram, MetricsHistory, QueryResult, Registry, RegistrySnapshot,
-    SloEngine, SloSpec, SloStatus, SpanRecord, TraceEvent, TraceRing,
+    encode_text, split_above, write_flight_file, AlertEngine, CounterHandle, GaugeHandle,
+    HistogramHandle, HistoryQuery, Log2Histogram, MetricValue, MetricsHistory, QueryResult,
+    Registry, RegistrySnapshot, ShardProbe, SloEngine, SloReport, SloSpec, SloStatus, SpanRecord,
+    TraceEvent, TraceRing, Watchdog, WatchdogVerdict,
 };
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -84,6 +87,31 @@ struct ServerObs {
     /// boundaries; answers `Query` requests and the metrics listener's
     /// `/query` path. `None` when `history.capacity` is 0.
     history: Option<Mutex<MetricsHistory>>,
+    /// The alerting plane: rule engine, shard watchdog, and incident
+    /// bookkeeping. Lock ordering: never hold this while taking the
+    /// registry, history, or SLO locks (callers snapshot those first).
+    alerts: Mutex<AlertRuntime>,
+}
+
+/// Alert-engine, watchdog, and incident-write state, behind one mutex.
+///
+/// The rule engine runs in virtual time (fed at tick boundaries from
+/// [`record_history`]); the watchdog runs in wallclock time (a stall *is*
+/// wallclock advancing while rounds do not), fed on demand from
+/// [`observe_watchdog`].
+struct AlertRuntime {
+    engine: AlertEngine,
+    watchdog: Watchdog,
+    /// Shards flagged at the previous watchdog observation; an incident
+    /// bundle is written only when this set gains a member, so health
+    /// polling does not rewrite bundles every second.
+    flagged: Vec<usize>,
+    /// Most recent watchdog verdicts, re-served to `Alerts` requests.
+    last_watchdog: Vec<WatchdogVerdict>,
+    /// Bundles written by this process (also the file-name sequence).
+    incidents_written: u64,
+    /// Path of the most recently written bundle.
+    last_incident: Option<String>,
 }
 
 /// Registry handles for one objective's exported series.
@@ -239,6 +267,14 @@ impl ServerObs {
             }),
             slo_handles,
             history,
+            alerts: Mutex::new(AlertRuntime {
+                engine: AlertEngine::new(cfg.alerts.rules.clone()),
+                watchdog: Watchdog::new(cfg.shards, cfg.alerts.watchdog),
+                flagged: Vec::new(),
+                last_watchdog: Vec::new(),
+                incidents_written: 0,
+                last_incident: None,
+            }),
         }
     }
 
@@ -620,6 +656,7 @@ fn collect_stats(ctx: &ConnCtx) -> (RegistrySnapshot, usize) {
     for shard_snap in shard_snaps {
         snap.merge(&shard_snap);
     }
+    snap.merge(&ctx.obs.alerts.lock().unwrap().engine.registry_snapshot());
     (snap, alive)
 }
 
@@ -634,9 +671,30 @@ fn merged_stats(ctx: &ConnCtx) -> RegistrySnapshot {
 /// length), so the same capture replayed as fast as possible records the
 /// same history a live run would.
 fn record_history(ctx: &ConnCtx, rounds_done: u64) {
-    if let Some(history) = &ctx.obs.history {
-        let snap = merged_stats(ctx);
-        history.lock().unwrap().record(rounds_done as f64 * ctx.cfg.round_secs, snap);
+    let Some(history) = &ctx.obs.history else { return };
+    let snap = merged_stats(ctx);
+    let now_secs = rounds_done as f64 * ctx.cfg.round_secs;
+    // A read-only SLO cut for SloBurn rules: `SloEngine::evaluate` does
+    // not advance windows or consume deltas, so health polling keeps
+    // sole ownership of the delta feed.
+    let slo: SloReport = ctx.obs.slo.lock().unwrap().engine.evaluate();
+    let newly_firing: Vec<richnote_obs::AlertEvent> = {
+        let mut h = history.lock().unwrap();
+        h.record(now_secs, snap);
+        let mut rt = ctx.obs.alerts.lock().unwrap();
+        rt.engine
+            .evaluate(now_secs, &h, Some(&slo))
+            .into_iter()
+            .filter(|e| e.to == richnote_obs::AlertState::Firing)
+            .collect()
+    };
+    if let Some(first) = newly_firing.first() {
+        let names: Vec<&str> = newly_firing.iter().map(|e| e.rule.as_str()).collect();
+        let reason = match first.value {
+            Some(v) => format!("alert(s) {} started firing (first value {v})", names.join(", ")),
+            None => format!("alert(s) {} started firing", names.join(", ")),
+        };
+        write_incident(ctx, &format!("alert:{}", first.rule), &reason, now_secs);
     }
 }
 
@@ -647,6 +705,175 @@ fn run_query(ctx: &ConnCtx, q: &HistoryQuery) -> QueryResult {
     match &ctx.obs.history {
         Some(history) => history.lock().unwrap().query(q),
         None => MetricsHistory::new(2).query(q),
+    }
+}
+
+/// Builds one [`ShardProbe`] per configured shard from a merged registry
+/// snapshot. A dead shard's worker contributed no series to the merge at
+/// all, which is exactly the `alive = false` signal; `rounds_expected` is
+/// the furthest round any live shard has reached, so a fleet with no work
+/// outstanding (everyone equal) reads as caught up, not stalled.
+fn shard_probes(ctx: &ConnCtx, snap: &RegistrySnapshot) -> Vec<ShardProbe> {
+    let shards = ctx.router.shards();
+    let per_shard_counter = |family: &str, shard: usize| -> Option<u64> {
+        let fam = snap.family(family)?;
+        let key = shard.to_string();
+        fam.series.iter().find_map(|series| {
+            let of_shard = series.labels.iter().any(|(k, v)| k == "shard" && *v == key);
+            match (of_shard, &series.value) {
+                (true, MetricValue::Counter(v)) => Some(*v),
+                _ => None,
+            }
+        })
+    };
+    let rounds: Vec<Option<u64>> =
+        (0..shards).map(|i| per_shard_counter("richnote_rounds_total", i)).collect();
+    let expected = rounds.iter().flatten().copied().max().unwrap_or(0);
+    (0..shards)
+        .map(|i| ShardProbe {
+            shard: i,
+            alive: rounds[i].is_some(),
+            rounds_done: rounds[i].unwrap_or(0),
+            rounds_expected: expected,
+            // Zero when rsrc accounting is off; the watchdog then calls a
+            // stall "starved", which is the honest reading of no data.
+            cpu_us: per_shard_counter("richnote_cpu_us_total", i).unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Feeds the watchdog one wallclock observation derived from `snap` and
+/// returns every shard currently in trouble. When the flagged set gains a
+/// member an incident bundle is written; re-observing an already-flagged
+/// shard does not rewrite it, so health polling stays idempotent.
+fn observe_watchdog(ctx: &ConnCtx, snap: &RegistrySnapshot) -> Vec<WatchdogVerdict> {
+    let probes = shard_probes(ctx, snap);
+    let now_secs = ctx.obs.started.elapsed().as_secs_f64();
+    let (verdicts, newly) = {
+        let mut rt = ctx.obs.alerts.lock().unwrap();
+        let verdicts = rt.watchdog.observe(now_secs, &probes);
+        let newly = verdicts.iter().find(|v| !rt.flagged.contains(&v.shard)).cloned();
+        rt.flagged = verdicts.iter().map(|v| v.shard).collect();
+        rt.last_watchdog = verdicts.clone();
+        (verdicts, newly)
+    };
+    if let Some(v) = newly {
+        let trigger = format!("watchdog:shard-{}:{}", v.shard, v.problem);
+        let reason = format!(
+            "shard {} {} ({}/{} rounds done, {:.1}s without progress)",
+            v.shard, v.problem, v.rounds_done, v.rounds_expected, v.stalled_secs
+        );
+        write_incident(ctx, &trigger, &reason, now_secs);
+    }
+    verdicts
+}
+
+/// Assembles the alerting plane's current view for `Alerts` requests and
+/// the metrics listener's `/alerts` path, refreshing the watchdog on the
+/// way (so a wedged shard shows up even if nobody polls `/healthz`).
+fn alerts_reply(ctx: &ConnCtx) -> AlertsReply {
+    let snap = merged_stats(ctx);
+    let watchdog = observe_watchdog(ctx, &snap);
+    let rt = ctx.obs.alerts.lock().unwrap();
+    AlertsReply {
+        alerts: rt.engine.snapshot(),
+        firing: rt.engine.firing_count(),
+        pending: rt.engine.pending_count(),
+        timeline: rt.engine.timeline().cloned().collect(),
+        events_dropped: rt.engine.events_dropped(),
+        watchdog,
+        last_incident: rt.last_incident.clone(),
+    }
+}
+
+/// Writes a `.rnincident` forensic bundle into the configured incident
+/// directory, best effort — documenting a failure must never become a
+/// second failure. No-op without `alerts.incident_dir`.
+fn write_incident(ctx: &ConnCtx, trigger: &str, reason: &str, at_secs: f64) {
+    use serde::Serialize as _;
+    let Some(dir) = ctx.cfg.alerts.incident_dir.as_deref() else { return };
+
+    let (snap, _alive) = collect_stats(ctx);
+    let slo: SloReport = ctx.obs.slo.lock().unwrap().engine.evaluate();
+
+    // Everything the alert lock guards is cut here, then released before
+    // any I/O or history query.
+    let (sequence, alerts_value, watchdog_value, queries) = {
+        let mut rt = ctx.obs.alerts.lock().unwrap();
+        let sequence = rt.incidents_written;
+        rt.incidents_written += 1;
+        let alerts_value = serde_json::Value::Object(vec![
+            ("snapshot".to_string(), rt.engine.snapshot().to_value()),
+            ("timeline".to_string(), rt.engine.timeline().cloned().collect::<Vec<_>>().to_value()),
+            ("events_dropped".to_string(), serde_json::Value::U64(rt.engine.events_dropped())),
+        ]);
+        let watchdog_value = rt.last_watchdog.to_value();
+        // The history windows each rule reads, so the bundle carries the
+        // evidence behind every rule state, not just the verdicts.
+        let mut queries: Vec<HistoryQuery> = Vec::new();
+        let mut want = |family: &str, labels: &[(String, String)], window: f64| {
+            if !queries.iter().any(|q| q.family == family) {
+                queries.push(HistoryQuery {
+                    family: family.to_string(),
+                    labels: labels.to_vec(),
+                    window_secs: window,
+                });
+            }
+        };
+        for rule in rt.engine.rules() {
+            match &rule.kind {
+                richnote_obs::AlertRuleKind::Threshold { family, labels, window_secs, .. } => {
+                    want(family, labels, *window_secs);
+                }
+                richnote_obs::AlertRuleKind::Rate { family, labels, window_secs, per, .. } => {
+                    want(family, labels, *window_secs);
+                    if let Some(per) = per {
+                        want(per, &[], *window_secs);
+                    }
+                }
+                richnote_obs::AlertRuleKind::SloBurn { .. } => {}
+            }
+        }
+        (sequence, alerts_value, watchdog_value, queries)
+    };
+
+    let history_value = match &ctx.obs.history {
+        Some(history) => {
+            let h = history.lock().unwrap();
+            queries.iter().map(|q| h.query(q)).collect::<Vec<_>>().to_value()
+        }
+        None => serde_json::Value::Array(Vec::new()),
+    };
+    let flights = broadcast(&ctx.router, |reply| ShardMsg::FlightDump { reply }).to_value();
+
+    // Sanitized config: the capture path is runtime-local detail (and the
+    // record_golden fixtures demand a stable `record: null`).
+    let mut cfg = ctx.cfg.clone();
+    cfg.record = None;
+
+    let bundle = IncidentBundle {
+        meta: IncidentMeta {
+            trigger: trigger.to_string(),
+            reason: reason.to_string(),
+            at_secs,
+            uptime_secs: ctx.obs.started.elapsed().as_secs_f64(),
+            sequence,
+            build: BuildInfo::current(),
+        },
+        sections: vec![
+            ("config".to_string(), cfg.to_value()),
+            ("registry".to_string(), snap.to_value()),
+            ("slos".to_string(), slo.verdicts.to_value()),
+            ("alerts".to_string(), alerts_value),
+            ("watchdog".to_string(), watchdog_value),
+            ("history".to_string(), history_value),
+            ("flights".to_string(), flights),
+        ],
+    };
+    let _ = std::fs::create_dir_all(dir);
+    let path = std::path::Path::new(dir).join(incident_file_name(sequence, trigger));
+    if write_incident_file(&path, &bundle).is_ok() {
+        ctx.obs.alerts.lock().unwrap().last_incident = Some(path.display().to_string());
     }
 }
 
@@ -730,12 +957,31 @@ fn evaluate_health(ctx: &ConnCtx) -> HealthReport {
         let liveness = if alive == 0 { SloStatus::Violating } else { SloStatus::Degraded };
         status = status.max(liveness);
     }
+    drop(t);
+    let watchdog = observe_watchdog(ctx, &snap);
+    let alerts_firing = ctx.obs.alerts.lock().unwrap().engine.firing_count();
+    if alerts_firing > 0 {
+        status = status.max(SloStatus::Degraded);
+    }
+    if !watchdog.is_empty() {
+        // A freshly dead shard already degrades via the liveness fold
+        // above; the watchdog escalates only once it has been wedged
+        // past the stall budget, so a just-killed shard still reads
+        // `degraded` (HTTP 200) until the grace period runs out.
+        status = status.max(SloStatus::Degraded);
+        let stall_secs = ctx.cfg.alerts.watchdog.stall_secs;
+        if watchdog.iter().any(|v| v.problem == "wedged" && v.stalled_secs >= stall_secs) {
+            status = status.max(SloStatus::Violating);
+        }
+    }
     HealthReport {
         status,
         uptime_secs: ctx.obs.uptime_secs(),
         shards_alive: alive,
         shards_total,
         slos: report.verdicts,
+        alerts_firing,
+        watchdog,
     }
 }
 
@@ -749,8 +995,9 @@ fn request_path(head: &[u8]) -> &str {
 /// for `curl` and a Prometheus scraper: only the request line's path is
 /// looked at, the response is a single status with `Content-Length`, and
 /// the connection closes after it. `/healthz` serves the SLO verdict as
-/// JSON (`503` when violating, `200` otherwise); every other path serves
-/// the text exposition of the merged registry.
+/// JSON (`503` when violating, `200` otherwise), `/alerts` the alerting
+/// plane's rule states, timeline and watchdog verdicts; every other path
+/// serves the text exposition of the merged registry.
 fn serve_scrape(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
     let mut buf = [0u8; 1024];
@@ -790,6 +1037,10 @@ fn serve_scrape(mut stream: TcpStream, ctx: &ConnCtx) -> std::io::Result<()> {
         };
         let body = serde_json::to_string(&report).unwrap_or_else(|_| "{}".to_string());
         (status, "application/json", body)
+    } else if request_path(&head).starts_with("/alerts") {
+        let reply = alerts_reply(ctx);
+        let body = serde_json::to_string(&reply).unwrap_or_else(|_| "{}".to_string());
+        ("200 OK", "application/json", body)
     } else if request_path(&head).starts_with("/query") {
         match parse_query_path(request_path(&head)) {
             Ok(q) => {
@@ -1258,6 +1509,21 @@ fn handle_connection(stream: TcpStream, ctx: &ConnCtx) -> ServerResult<()> {
                 let result = run_query(ctx, &q);
                 let t0 = Instant::now();
                 send_response(codec.as_mut(), &mut writer, &Response::QueryResult(result))?;
+                stages.observe_serialize(t0, &ctx.obs);
+            }
+            Request::Alerts => {
+                settle_ack(
+                    &ctx.obs,
+                    &mut stages,
+                    codec.as_mut(),
+                    &mut writer,
+                    &mut pending_ack,
+                    &mut traced_pending,
+                )?;
+                stages.flush(&ctx.obs);
+                let reply = alerts_reply(ctx);
+                let t0 = Instant::now();
+                send_response(codec.as_mut(), &mut writer, &Response::Alerts(reply))?;
                 stages.observe_serialize(t0, &ctx.obs);
             }
             Request::TraceDump => {

@@ -64,7 +64,8 @@ use crate::error::{ServerError, ServerResult};
 use crate::metrics::MetricsSnapshot;
 use richnote_core::{ContentId, ContentItem, UserId};
 use richnote_obs::{
-    FlightDump, HistoryQuery, QueryResult, RegistrySnapshot, SloStatus, SloVerdict, TraceEvent,
+    AlertEvent, AlertSnapshot, FlightDump, HistoryQuery, QueryResult, RegistrySnapshot, SloStatus,
+    SloVerdict, TraceEvent, WatchdogVerdict,
 };
 use richnote_pubsub::Topic;
 use serde::{Deserialize, Serialize};
@@ -186,6 +187,12 @@ pub enum Request {
     /// `Error { code: BadFrame }`, which clients surface as
     /// "query unsupported".
     Query(HistoryQuery),
+    /// Requests the alerting plane's current view: every rule's state,
+    /// the recent transition timeline, watchdog verdicts, and the most
+    /// recent incident bundle path. Servers built before the alerting
+    /// layer answer `Error { code: BadFrame }`, which clients surface as
+    /// "alerts unsupported".
+    Alerts,
 }
 
 /// Build identity of a running daemon, reported in
@@ -217,9 +224,10 @@ impl BuildInfo {
 /// The SLO engine's verdict, answering [`Request::Health`]. The same
 /// JSON body is served on the metrics listener's `/healthz` path (HTTP
 /// 200 unless violating, then 503).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct HealthReport {
-    /// Worst status across objectives and shard liveness.
+    /// Worst status across objectives, shard liveness, watchdog verdicts
+    /// and firing alerts.
     pub status: SloStatus,
     /// Seconds since the daemon started serving.
     pub uptime_secs: u64,
@@ -229,6 +237,53 @@ pub struct HealthReport {
     pub shards_total: usize,
     /// Every objective's burn rates, budget, and firing windows.
     pub slos: Vec<SloVerdict>,
+    /// Alert rules currently firing (each degrades health).
+    pub alerts_firing: u64,
+    /// Shards the watchdog currently flags; a shard wedged past the
+    /// stall threshold makes the whole report `Violating`.
+    pub watchdog: Vec<WatchdogVerdict>,
+}
+
+// Manual impl so a report from a pre-alerting daemon (no
+// `alerts_firing` / `watchdog` fields) still parses as quiet.
+impl Deserialize for HealthReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(HealthReport {
+            status: serde::field(v, "status")?,
+            uptime_secs: serde::field(v, "uptime_secs")?,
+            shards_alive: serde::field(v, "shards_alive")?,
+            shards_total: serde::field(v, "shards_total")?,
+            slos: serde::field(v, "slos")?,
+            alerts_firing: match v.get("alerts_firing") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => 0,
+            },
+            watchdog: match v.get("watchdog") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => Vec::new(),
+            },
+        })
+    }
+}
+
+/// The alerting plane's current view, answering [`Request::Alerts`]. The
+/// same JSON body is served on the metrics listener's `/alerts` path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlertsReply {
+    /// Point-in-time state of every configured rule.
+    pub alerts: Vec<AlertSnapshot>,
+    /// Rules currently firing.
+    pub firing: u64,
+    /// Rules currently pending (condition true, hold not yet elapsed).
+    pub pending: u64,
+    /// Recent rule transitions, oldest first (bounded ring).
+    pub timeline: Vec<AlertEvent>,
+    /// Transitions evicted from the timeline since the daemon started.
+    pub events_dropped: u64,
+    /// Shards the watchdog currently flags (empty = all healthy).
+    pub watchdog: Vec<WatchdogVerdict>,
+    /// Path of the most recently written incident bundle, when any.
+    pub last_incident: Option<String>,
 }
 
 /// One delivered notification, as reported by [`Response::TickReport`].
@@ -315,6 +370,9 @@ pub enum Response {
     /// Windowed analytics series answering [`Request::Query`]. The same
     /// JSON body is served on the metrics listener's `/query` path.
     QueryResult(QueryResult),
+    /// Alerting-plane view answering [`Request::Alerts`]. The same JSON
+    /// body is served on the metrics listener's `/alerts` path.
+    Alerts(AlertsReply),
     /// Coordinated checkpoint written.
     Checkpointed {
         /// Users captured in the checkpoint.
@@ -471,6 +529,7 @@ mod tests {
                 labels: vec![("policy".into(), "RichNote".into())],
                 window_secs: 60.0,
             }),
+            Request::Alerts,
         ];
         let mut buf = Vec::new();
         for r in &reqs {
@@ -650,6 +709,14 @@ mod tests {
                     good: 990,
                     bad: 10,
                 }],
+                alerts_firing: 1,
+                watchdog: vec![richnote_obs::WatchdogVerdict {
+                    shard: 2,
+                    problem: "wedged".into(),
+                    stalled_secs: 11.5,
+                    rounds_done: 4,
+                    rounds_expected: 9,
+                }],
             }),
             Response::TraceDump {
                 events: vec![TraceEvent::RoundEnd {
@@ -691,6 +758,48 @@ mod tests {
         write_frame(&mut buf, &resp).unwrap();
         let got: Response = read_frame(&mut &buf[..]).unwrap().unwrap();
         assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn alerts_response_roundtrips() {
+        use richnote_obs::{AlertEvent, AlertSnapshot, AlertState};
+        let resp = Response::Alerts(AlertsReply {
+            alerts: vec![AlertSnapshot {
+                rule: "shed_rate".into(),
+                state: AlertState::Firing,
+                since_secs: 120.0,
+                value: Some(0.3),
+                threshold: 0.05,
+            }],
+            firing: 1,
+            pending: 0,
+            timeline: vec![AlertEvent {
+                at_secs: 120.0,
+                rule: "shed_rate".into(),
+                from: AlertState::Pending,
+                to: AlertState::Firing,
+                value: Some(0.3),
+            }],
+            events_dropped: 0,
+            watchdog: vec![],
+            last_incident: Some("/tmp/incident-00001-alert-shed_rate.rnincident".into()),
+        });
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let got: Response = read_frame(&mut &buf[..]).unwrap().unwrap();
+        assert_eq!(got, resp);
+    }
+
+    #[test]
+    fn pre_alerting_health_json_still_parses_as_quiet() {
+        // A health body from a daemon built before the alerting layer has
+        // no `alerts_firing` / `watchdog` fields; it must read as quiet,
+        // not fail.
+        let old = r#"{"status":"ok","uptime_secs":5,"shards_alive":2,"shards_total":2,"slos":[]}"#;
+        let report: HealthReport = serde_json::from_str(old).unwrap();
+        assert_eq!(report.alerts_firing, 0);
+        assert!(report.watchdog.is_empty());
+        assert_eq!(report.status, SloStatus::Ok);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! * [`experiments`] — one module per figure/table of the paper, plus
 //!   ablations and network/model-value studies.
 
+pub mod alerts;
 pub mod cost;
 pub mod events;
 pub mod experiments;
@@ -44,6 +45,7 @@ pub mod simulator;
 pub mod spans;
 pub mod user;
 
+pub use alerts::{alert_timeline, timeline_json};
 pub use cost::EnergyCost;
 pub use metrics::{AggregateMetrics, UserMetrics};
 pub use obs::{evaluate_slos, export_registry, exposition, SimSloPolicy};
